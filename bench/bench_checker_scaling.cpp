@@ -1,0 +1,184 @@
+// Experiment T-CHECK — cost of the contributed decision procedures: the
+// CAL membership checker vs the classical Wing–Gong linearizability
+// checker, as history length and overlap width grow.
+//
+// Series regenerated:
+//   * CAL checker on exchanger histories vs #operations (valid histories
+//     from the known-good generator used in the property tests);
+//   * classical checker on stack histories of the same lengths;
+//   * CAL checker vs overlap width (all operations concurrent — the
+//     adversarial case for the subset enumeration);
+//   * the Def. 5 agreement check (linear pass) as the baseline primitive.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "cal/agree.hpp"
+#include "cal/cal_checker.hpp"
+#include "cal/lin_checker.hpp"
+#include "cal/specs/exchanger_spec.hpp"
+#include "cal/specs/stack_spec.hpp"
+
+namespace {
+
+using namespace cal;  // NOLINT: bench file
+
+Value iv(std::int64_t x) { return Value::integer(x); }
+
+/// Valid exchanger run: pairs of adjacent threads overlap and swap; one in
+/// four operations fails. Deterministic by construction.
+History exchanger_history(std::size_t n_ops) {
+  HistoryBuilder b;
+  std::int64_t v = 1;
+  ThreadId t = 1;
+  for (std::size_t i = 0; i + 1 < n_ops; i += 2) {
+    if (i % 8 == 6) {
+      b.op(t, "E", "exchange", iv(v), Value::pair(false, v));
+      b.op(t + 1, "E", "exchange", iv(v + 1), Value::pair(false, v + 1));
+    } else {
+      b.call(t, "E", "exchange", iv(v));
+      b.call(t + 1, "E", "exchange", iv(v + 1));
+      b.ret(t, Value::pair(true, v + 1));
+      b.ret(t + 1, Value::pair(true, v));
+    }
+    v += 2;
+    t = (t % 6) + 1;
+  }
+  return b.history();
+}
+
+/// Fully-overlapping failures: worst case for candidate-set enumeration.
+History wide_overlap_history(std::size_t width) {
+  HistoryBuilder b;
+  for (ThreadId t = 1; t <= width; ++t) {
+    b.call(t, "E", "exchange", iv(t));
+  }
+  for (ThreadId t = 1; t <= width; ++t) {
+    b.ret(t, Value::pair(false, t));
+  }
+  return b.history();
+}
+
+/// Valid stack history: per-thread push-then-pop rounds, overlapping.
+History stack_history(std::size_t n_ops) {
+  HistoryBuilder b;
+  std::int64_t v = 1;
+  for (std::size_t i = 0; i + 1 < n_ops; i += 2) {
+    const ThreadId t = static_cast<ThreadId>(i / 2 % 3 + 1);
+    b.op(t, "S", "push", iv(v), Value::boolean(true));
+    b.op(t, "S", "pop", Value::unit(), Value::pair(true, v));
+    ++v;
+  }
+  return b.history();
+}
+
+void BM_CalChecker_ExchangerHistory(benchmark::State& state) {
+  const History h = exchanger_history(static_cast<std::size_t>(state.range(0)));
+  ExchangerSpec spec(Symbol{"E"}, Symbol{"exchange"});
+  CalChecker checker(spec);
+  std::size_t visited = 0;
+  for (auto _ : state) {
+    CalCheckResult r = checker.check(h);
+    benchmark::DoNotOptimize(r.ok);
+    visited = r.visited_states;
+  }
+  state.counters["ops"] = static_cast<double>(h.operations().size());
+  state.counters["visited"] = static_cast<double>(visited);
+}
+BENCHMARK(BM_CalChecker_ExchangerHistory)
+    ->ArgName("ops")
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128);
+
+void BM_CalChecker_OverlapWidth(benchmark::State& state) {
+  const History h = wide_overlap_history(static_cast<std::size_t>(state.range(0)));
+  ExchangerSpec spec(Symbol{"E"}, Symbol{"exchange"});
+  CalChecker checker(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.check(h).ok);
+  }
+}
+BENCHMARK(BM_CalChecker_OverlapWidth)
+    ->ArgName("width")
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(6)
+    ->Arg(8)
+    ->Arg(10);
+
+void BM_LinChecker_StackHistory(benchmark::State& state) {
+  const History h = stack_history(static_cast<std::size_t>(state.range(0)));
+  StackSpec spec(Symbol{"S"});
+  LinChecker checker(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.check(h).ok);
+  }
+}
+BENCHMARK(BM_LinChecker_StackHistory)
+    ->ArgName("ops")
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128);
+
+void BM_CalCheckerViaAdapter_StackHistory(benchmark::State& state) {
+  // The generality tax: same histories, CAL checker through SeqAsCaSpec.
+  const History h = stack_history(static_cast<std::size_t>(state.range(0)));
+  auto seq = std::make_shared<StackSpec>(Symbol{"S"});
+  SeqAsCaSpec spec(seq);
+  CalChecker checker(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.check(h).ok);
+  }
+}
+BENCHMARK(BM_CalCheckerViaAdapter_StackHistory)
+    ->ArgName("ops")
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128);
+
+void BM_Agree_Def5(benchmark::State& state) {
+  const History h = exchanger_history(static_cast<std::size_t>(state.range(0)));
+  ExchangerSpec spec(Symbol{"E"}, Symbol{"exchange"});
+  CalChecker checker(spec);
+  const CaTrace witness = *checker.check(h).witness;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agrees_with(h, witness).agrees);
+  }
+}
+BENCHMARK(BM_Agree_Def5)->ArgName("ops")->Arg(16)->Arg(64)->Arg(256);
+
+void BM_CalChecker_RejectsCorrupted(benchmark::State& state) {
+  // Rejection cost: corrupt the last successful response; the checker must
+  // exhaust the search space to answer "no".
+  History h = exchanger_history(static_cast<std::size_t>(state.range(0)));
+  std::vector<Action> actions = h.actions();
+  for (auto it = actions.rbegin(); it != actions.rend(); ++it) {
+    if (it->is_respond() && it->payload.kind() == Value::Kind::kPair &&
+        it->payload.pair_ok()) {
+      it->payload = Value::pair(true, 999999);
+      break;
+    }
+  }
+  const History bad{std::move(actions)};
+  ExchangerSpec spec(Symbol{"E"}, Symbol{"exchange"});
+  CalChecker checker(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.check(bad).ok);
+  }
+}
+BENCHMARK(BM_CalChecker_RejectsCorrupted)
+    ->ArgName("ops")
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+// Experiment T-EXCH — exchanger and elimination-array behavior: pairing
+// success rate and throughput vs thread count and array width K.
+//
+// Regenerates the motivation for the elimination array (§2.2: "implemented
+// as an array of exchangers to reduce contention"): a single exchanger slot
+// saturates — concurrent threads collide on one offer slot — while wider
+// arrays spread offers but pair less often per probe. The interesting
+// series is success_frac across (threads, K).
+#include <benchmark/benchmark.h>
+
+#include "objects/elim_array.hpp"
+#include "runtime/thread_registry.hpp"
+
+namespace {
+
+using namespace cal::objects;  // NOLINT: bench file
+using cal::Symbol;
+namespace runtime = cal::runtime;
+
+void BM_ExchangerSingle(benchmark::State& state) {
+  static runtime::EpochDomain* ebr = nullptr;
+  static Exchanger* ex = nullptr;
+  if (state.thread_index() == 0) {
+    ebr = new runtime::EpochDomain();
+    ex = new Exchanger(*ebr, Symbol{"E"});
+  }
+  runtime::ThreadIdGuard tid;
+  std::int64_t v = 1;
+  std::uint64_t ops = 0;
+  std::uint64_t ok = 0;
+  for (auto _ : state) {
+    ExchangeResult r = ex->exchange(tid.tid(), v++, /*spins=*/256);
+    if (r.ok) ++ok;
+    ++ops;
+  }
+  state.counters["xchg/s"] =
+      benchmark::Counter(static_cast<double>(ops), benchmark::Counter::kIsRate);
+  state.counters["success_frac"] = benchmark::Counter(
+      static_cast<double>(ok) / static_cast<double>(ops ? ops : 1),
+      benchmark::Counter::kAvgThreads);
+  if (state.thread_index() == 0) {
+    delete ex;
+    delete ebr;
+    ex = nullptr;
+    ebr = nullptr;
+  }
+}
+BENCHMARK(BM_ExchangerSingle)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+void BM_ElimArray(benchmark::State& state) {
+  static runtime::EpochDomain* ebr = nullptr;
+  static ElimArray* ar = nullptr;
+  if (state.thread_index() == 0) {
+    ebr = new runtime::EpochDomain();
+    ar = new ElimArray(*ebr, Symbol{"AR"},
+                       static_cast<std::size_t>(state.range(0)));
+  }
+  runtime::ThreadIdGuard tid;
+  std::int64_t v = 1;
+  std::uint64_t ops = 0;
+  std::uint64_t ok = 0;
+  for (auto _ : state) {
+    ExchangeResult r = ar->exchange(tid.tid(), v++, /*spins=*/256);
+    if (r.ok) ++ok;
+    ++ops;
+  }
+  state.counters["xchg/s"] =
+      benchmark::Counter(static_cast<double>(ops), benchmark::Counter::kIsRate);
+  state.counters["success_frac"] = benchmark::Counter(
+      static_cast<double>(ok) / static_cast<double>(ops ? ops : 1),
+      benchmark::Counter::kAvgThreads);
+  if (state.thread_index() == 0) {
+    delete ar;
+    delete ebr;
+    ar = nullptr;
+    ebr = nullptr;
+  }
+}
+BENCHMARK(BM_ElimArray)
+    ->ArgName("K")
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+// Instrumentation overhead ablation: the auxiliary 𝒯 logging the paper's
+// proof technique adds (DESIGN.md calls this out as a design choice —
+// instrumentation is optional at construction).
+void BM_ExchangerInstrumented(benchmark::State& state) {
+  static runtime::EpochDomain* ebr = nullptr;
+  static runtime::TraceLog* trace = nullptr;
+  static Exchanger* ex = nullptr;
+  if (state.thread_index() == 0) {
+    ebr = new runtime::EpochDomain();
+    trace = new runtime::TraceLog(1 << 22);
+    ex = new Exchanger(*ebr, Symbol{"E"}, trace);
+  }
+  runtime::ThreadIdGuard tid;
+  std::int64_t v = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ex->exchange(tid.tid(), v++, 64));
+  }
+  if (state.thread_index() == 0) {
+    state.counters["trace_elems"] =
+        static_cast<double>(trace->size());
+    delete ex;
+    delete trace;
+    delete ebr;
+    ex = nullptr;
+    trace = nullptr;
+    ebr = nullptr;
+  }
+}
+BENCHMARK(BM_ExchangerInstrumented)->Threads(2)->Threads(4)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

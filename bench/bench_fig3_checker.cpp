@@ -1,0 +1,133 @@
+// Experiment FIG3 — regenerates Figure 3 of the paper as a verdict table,
+// and times the checkers on the three histories.
+//
+// Paper claim (§3): H1 and H2 "might occur when P executes" and are
+// CA-linearizable w.r.t. the exchanger CA-spec; H3 (the sequential
+// explanation) cannot occur, and any sequential spec admitting it also
+// admits the undesired prefix H3' (a partner-less successful exchange).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "cal/agree.hpp"
+#include "cal/cal_checker.hpp"
+#include "cal/lin_checker.hpp"
+#include "cal/specs/exchanger_spec.hpp"
+
+namespace {
+
+using namespace cal;  // NOLINT: bench file
+
+Value iv(std::int64_t x) { return Value::integer(x); }
+
+History h1() {
+  return HistoryBuilder()
+      .call(1, "E", "exchange", iv(3))
+      .call(2, "E", "exchange", iv(4))
+      .call(3, "E", "exchange", iv(7))
+      .ret(1, Value::pair(true, 4))
+      .ret(2, Value::pair(true, 3))
+      .ret(3, Value::pair(false, 7))
+      .history();
+}
+
+History h2() {
+  return HistoryBuilder()
+      .call(1, "E", "exchange", iv(3))
+      .call(2, "E", "exchange", iv(4))
+      .ret(1, Value::pair(true, 4))
+      .ret(2, Value::pair(true, 3))
+      .call(3, "E", "exchange", iv(7))
+      .ret(3, Value::pair(false, 7))
+      .history();
+}
+
+History h3() {
+  return HistoryBuilder()
+      .op(1, "E", "exchange", iv(3), Value::pair(true, 4))
+      .op(2, "E", "exchange", iv(4), Value::pair(true, 3))
+      .op(3, "E", "exchange", iv(7), Value::pair(false, 7))
+      .history();
+}
+
+History h3_prefix() {
+  return HistoryBuilder()
+      .op(1, "E", "exchange", iv(3), Value::pair(true, 4))
+      .history();
+}
+
+const ExchangerSpec& spec() {
+  static const ExchangerSpec s{Symbol{"E"}, Symbol{"exchange"}};
+  return s;
+}
+
+void print_verdict_table() {
+  CalChecker checker(spec());
+  struct Row {
+    const char* name;
+    History h;
+    const char* paper;
+  };
+  const Row rows[] = {
+      {"H1 (concurrent, swap+fail)", h1(), "occurs; CAL-explained"},
+      {"H2 (CA-history)", h2(), "occurs; CAL-explained"},
+      {"H3 (sequential explanation)", h3(), "cannot occur; rejected"},
+      {"H3' (prefix: lonely swap)", h3_prefix(), "undesired; rejected"},
+  };
+  std::printf("=== FIG3: Figure 3 verdict table (exchanger CA-spec) ===\n");
+  std::printf("%-30s %-26s %-10s\n", "history", "paper", "checker");
+  for (const Row& row : rows) {
+    CalCheckResult r = checker.check(row.h);
+    std::printf("%-30s %-26s %-10s\n", row.name, row.paper,
+                r.ok ? "ACCEPT" : "REJECT");
+  }
+  std::printf("\n--- H1 rendered (cf. Fig. 3) ---\n%s\n",
+              h1().render_ascii().c_str());
+}
+
+void BM_Fig3_H1_CalCheck(benchmark::State& state) {
+  const History h = h1();
+  CalChecker checker(spec());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.check(h).ok);
+  }
+}
+BENCHMARK(BM_Fig3_H1_CalCheck);
+
+void BM_Fig3_H2_CalCheck(benchmark::State& state) {
+  const History h = h2();
+  CalChecker checker(spec());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.check(h).ok);
+  }
+}
+BENCHMARK(BM_Fig3_H2_CalCheck);
+
+void BM_Fig3_H3_CalReject(benchmark::State& state) {
+  const History h = h3();
+  CalChecker checker(spec());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.check(h).ok);
+  }
+}
+BENCHMARK(BM_Fig3_H3_CalReject);
+
+void BM_Fig3_AgreeWitness(benchmark::State& state) {
+  // Cost of a single Def. 5 agreement check on the H1 witness.
+  const History h = h1();
+  CalChecker checker(spec());
+  const CaTrace witness = *checker.check(h).witness;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agrees_with(h, witness).agrees);
+  }
+}
+BENCHMARK(BM_Fig3_AgreeWitness);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_verdict_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

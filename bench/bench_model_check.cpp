@@ -1,0 +1,195 @@
+// Experiment T-MC — cost of the verification substrate itself: exhaustive
+// exploration of the exchanger and elimination-stack machines.
+//
+// Series regenerated:
+//   * states/transitions/time vs configuration size (threads × ops);
+//   * state merging on vs off (the soundness-preserving reduction);
+//   * rely/guarantee audit overhead (Fig. 4 actions + J + proof outline).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cal/cal_checker.hpp"
+#include "cal/specs/elim_views.hpp"
+#include "cal/specs/exchanger_spec.hpp"
+#include "cal/specs/stack_spec.hpp"
+#include "sched/explorer.hpp"
+#include "sched/machines/elim_stack_machine.hpp"
+#include "sched/machines/exchanger_machine.hpp"
+#include "sched/rg.hpp"
+
+namespace {
+
+using namespace cal;         // NOLINT: bench file
+using namespace cal::sched;  // NOLINT: bench file
+
+Value iv(std::int64_t x) { return Value::integer(x); }
+
+struct ExchangerConfig {
+  WorldConfig config;
+  ExchangerSpec spec{Symbol{"E"}, Symbol{"exchange"}};
+  const ExchangerMachine* machine = nullptr;
+  std::vector<std::unique_ptr<SimObject>> objects;
+};
+
+ExchangerConfig make_exchanger(std::size_t threads, std::size_t ops) {
+  ExchangerConfig c;
+  auto machine = std::make_unique<ExchangerMachine>(Symbol{"E"});
+  c.machine = machine.get();
+  c.objects.push_back(std::move(machine));
+  for (std::size_t i = 0; i < threads; ++i) {
+    ThreadProgram p;
+    p.tid = static_cast<ThreadId>(i);
+    for (std::size_t k = 0; k < ops; ++k) {
+      p.calls.push_back(Call{0, Symbol{"exchange"},
+                             iv(static_cast<std::int64_t>(i * 100 + k))});
+    }
+    c.config.programs.push_back(std::move(p));
+  }
+  c.config.object_names = {Symbol{"E"}};
+  c.config.spec = &c.spec;
+  c.config.record_trace = true;
+  // Small heaps keep World copies (and the visited-set keys) compact; each
+  // exchange allocates one 3-cell offer.
+  c.config.heap_cells = 8;
+  c.config.global_cells = 8;
+  return c;
+}
+
+void BM_Explore_Exchanger(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const auto ops = static_cast<std::size_t>(state.range(1));
+  std::size_t states = 0;
+  std::size_t transitions = 0;
+  for (auto _ : state) {
+    ExchangerConfig c = make_exchanger(threads, ops);
+    Explorer ex(c.config, std::move(c.objects));
+    ExploreResult r = ex.run();
+    benchmark::DoNotOptimize(r.ok());
+    states = r.states;
+    transitions = r.transitions;
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["transitions"] = static_cast<double>(transitions);
+}
+BENCHMARK(BM_Explore_Exchanger)
+    ->ArgNames({"threads", "ops"})
+    ->Args({2, 1})
+    ->Args({2, 2})
+    ->Args({3, 1})
+    ->Args({3, 2})
+    ->Args({4, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Explore_Exchanger_NoMerge(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const auto ops = static_cast<std::size_t>(state.range(1));
+  std::size_t states = 0;
+  for (auto _ : state) {
+    ExchangerConfig c = make_exchanger(threads, ops);
+    ExploreOptions opts;
+    opts.merge_states = false;
+    Explorer ex(c.config, std::move(c.objects), opts);
+    ExploreResult r = ex.run();
+    benchmark::DoNotOptimize(r.ok());
+    states = r.states;
+  }
+  state.counters["states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_Explore_Exchanger_NoMerge)
+    ->ArgNames({"threads", "ops"})
+    ->Args({2, 1})
+    ->Args({2, 2})
+    ->Args({3, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Explore_Exchanger_WithRgAudit(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const auto ops = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    ExchangerConfig c = make_exchanger(threads, ops);
+    ExchangerRgAuditor auditor(*c.machine);
+    Explorer ex(c.config, std::move(c.objects));
+    ex.set_auditor(&auditor);
+    ExploreResult r = ex.run();
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_Explore_Exchanger_WithRgAudit)
+    ->ArgNames({"threads", "ops"})
+    ->Args({2, 1})
+    ->Args({2, 2})
+    ->Args({3, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Explore_ElimStack(benchmark::State& state) {
+  const auto pushers = static_cast<std::size_t>(state.range(0));
+  const auto poppers = static_cast<std::size_t>(state.range(1));
+  std::size_t states = 0;
+  for (auto _ : state) {
+    auto es_seq = std::make_shared<StackSpec>(Symbol{"ES"});
+    SeqAsCaSpec spec(es_seq);
+    auto view = make_elimination_stack_view(Symbol{"ES"}, Symbol{"ES.S"},
+                                            Symbol{"ES.AR"}, 1);
+    WorldConfig cfg;
+    std::vector<std::unique_ptr<SimObject>> objects;
+    objects.push_back(std::make_unique<ElimStackMachine>(
+        Symbol{"ES"}, Symbol{"ES.S"}, Symbol{"ES.AR"}, 1, 1));
+    ThreadId tid = 0;
+    for (std::size_t i = 0; i < pushers; ++i, ++tid) {
+      ThreadProgram p;
+      p.tid = tid;
+      p.calls = {Call{0, Symbol{"push"}, iv(10 * (tid + 1))}};
+      cfg.programs.push_back(std::move(p));
+    }
+    for (std::size_t i = 0; i < poppers; ++i, ++tid) {
+      ThreadProgram p;
+      p.tid = tid;
+      p.calls = {Call{0, Symbol{"pop"}, Value::unit()}};
+      cfg.programs.push_back(std::move(p));
+    }
+    cfg.object_names = {Symbol{"ES"}};
+    cfg.spec = &spec;
+    cfg.view = view.get();
+    cfg.record_trace = true;
+    cfg.heap_cells = 24;
+    cfg.global_cells = 8;
+    Explorer ex(cfg, std::move(objects));
+    ExploreResult r = ex.run();
+    benchmark::DoNotOptimize(r.ok());
+    states = r.states;
+  }
+  state.counters["states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_Explore_ElimStack)
+    ->ArgNames({"pushers", "poppers"})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({2, 2})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Enumerate_And_OfflineCheck(benchmark::State& state) {
+  // End-to-end cost of the cross-validation pipeline: enumerate all
+  // interleavings of 2 concurrent exchanges and offline-check each unique
+  // history.
+  for (auto _ : state) {
+    ExchangerConfig c = make_exchanger(2, 1);
+    c.config.record_history = true;
+    ExploreOptions opts;
+    opts.merge_states = false;
+    opts.collect_terminals = true;
+    Explorer ex(c.config, std::move(c.objects), opts);
+    ExploreResult r = ex.run();
+    CalChecker checker(c.spec);
+    std::size_t ok = 0;
+    for (const History& h : r.histories) {
+      if (checker.check(h)) ++ok;
+    }
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_Enumerate_And_OfflineCheck)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

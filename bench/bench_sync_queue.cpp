@@ -1,0 +1,132 @@
+// Experiment T-SQ — the paper's second exchanger client (§2): synchronous
+// queue pairing throughput vs producer/consumer counts, against an MS queue
+// (asynchronous baseline) to show the hand-off cost.
+#include <benchmark/benchmark.h>
+
+#include "objects/ms_queue.hpp"
+#include "objects/sync_queue.hpp"
+#include "runtime/thread_registry.hpp"
+
+namespace {
+
+using namespace cal::objects;  // NOLINT: bench file
+using cal::Symbol;
+namespace runtime = cal::runtime;
+
+// Even thread indices produce, odd consume (benchmark's ->Threads(n) with
+// n even gives a balanced producer/consumer mix).
+void BM_SyncQueue_Pairing(benchmark::State& state) {
+  static runtime::EpochDomain* ebr = nullptr;
+  static SyncQueue* q = nullptr;
+  if (state.thread_index() == 0) {
+    ebr = new runtime::EpochDomain();
+    q = new SyncQueue(*ebr, Symbol{"SQ"});
+  }
+  runtime::ThreadIdGuard tid;
+  const bool producer = state.thread_index() % 2 == 0;
+  std::int64_t v = 1;
+  std::uint64_t paired = 0;
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    if (producer) {
+      if (q->put(tid.tid(), v++, /*spins=*/512)) ++paired;
+    } else {
+      if (q->take(tid.tid(), /*spins=*/512).ok) ++paired;
+    }
+    ++ops;
+  }
+  state.counters["ops/s"] =
+      benchmark::Counter(static_cast<double>(ops), benchmark::Counter::kIsRate);
+  state.counters["paired_frac"] = benchmark::Counter(
+      static_cast<double>(paired) / static_cast<double>(ops ? ops : 1),
+      benchmark::Counter::kAvgThreads);
+  if (state.thread_index() == 0) {
+    delete q;
+    delete ebr;
+    q = nullptr;
+    ebr = nullptr;
+  }
+}
+BENCHMARK(BM_SyncQueue_Pairing)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+void BM_MsQueue_Baseline(benchmark::State& state) {
+  static runtime::EpochDomain* ebr = nullptr;
+  static MsQueue* q = nullptr;
+  if (state.thread_index() == 0) {
+    ebr = new runtime::EpochDomain();
+    q = new MsQueue(*ebr, Symbol{"Q"});
+  }
+  runtime::ThreadIdGuard tid;
+  const bool producer = state.thread_index() % 2 == 0;
+  std::int64_t v = 1;
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    if (producer) {
+      q->enq(tid.tid(), v++);
+    } else {
+      benchmark::DoNotOptimize(q->deq(tid.tid()));
+    }
+    ++ops;
+  }
+  state.counters["ops/s"] =
+      benchmark::Counter(static_cast<double>(ops), benchmark::Counter::kIsRate);
+  if (state.thread_index() == 0) {
+    delete q;
+    delete ebr;
+    q = nullptr;
+    ebr = nullptr;
+  }
+}
+BENCHMARK(BM_MsQueue_Baseline)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+// Spin-budget ablation: longer waits pair more but cost more per failure.
+void BM_SyncQueue_SpinBudget(benchmark::State& state) {
+  static runtime::EpochDomain* ebr = nullptr;
+  static SyncQueue* q = nullptr;
+  if (state.thread_index() == 0) {
+    ebr = new runtime::EpochDomain();
+    q = new SyncQueue(*ebr, Symbol{"SQ"});
+  }
+  runtime::ThreadIdGuard tid;
+  const bool producer = state.thread_index() % 2 == 0;
+  const auto spins = static_cast<unsigned>(state.range(0));
+  std::int64_t v = 1;
+  std::uint64_t paired = 0;
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    if (producer) {
+      if (q->put(tid.tid(), v++, spins)) ++paired;
+    } else {
+      if (q->take(tid.tid(), spins).ok) ++paired;
+    }
+    ++ops;
+  }
+  state.counters["paired_frac"] = benchmark::Counter(
+      static_cast<double>(paired) / static_cast<double>(ops ? ops : 1),
+      benchmark::Counter::kAvgThreads);
+  if (state.thread_index() == 0) {
+    delete q;
+    delete ebr;
+    q = nullptr;
+    ebr = nullptr;
+  }
+}
+BENCHMARK(BM_SyncQueue_SpinBudget)
+    ->ArgName("spins")
+    ->Arg(16)
+    ->Arg(128)
+    ->Arg(1024)
+    ->Threads(4)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Object actions: invocations and responses (Def. 1 of the paper).
+//
+// An invocation (t, inv o.f(n)) means thread t started executing method f on
+// object o with argument n; a response (t, res o.f ▷ n') means the execution
+// terminated with return value n'.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cal/symbol.hpp"
+#include "cal/value.hpp"
+
+namespace cal {
+
+/// Dense thread identifier (t ∈ T in the paper).
+using ThreadId = std::uint32_t;
+
+/// An invocation or response action.
+struct Action {
+  enum class Kind : std::uint8_t { kInvoke, kRespond };
+
+  Kind kind = Kind::kInvoke;
+  ThreadId tid = 0;    ///< tid(ψ)
+  Symbol object;       ///< oid(ψ)
+  Symbol method;       ///< fid(ψ)
+  Value payload;       ///< argument for invocations, return value for responses
+
+  [[nodiscard]] bool is_invoke() const noexcept {
+    return kind == Kind::kInvoke;
+  }
+  [[nodiscard]] bool is_respond() const noexcept {
+    return kind == Kind::kRespond;
+  }
+
+  [[nodiscard]] static Action invoke(ThreadId t, Symbol o, Symbol f,
+                                     Value arg = Value::unit()) {
+    return Action{Kind::kInvoke, t, o, f, std::move(arg)};
+  }
+  [[nodiscard]] static Action respond(ThreadId t, Symbol o, Symbol f,
+                                      Value ret = Value::unit()) {
+    return Action{Kind::kRespond, t, o, f, std::move(ret)};
+  }
+
+  friend bool operator==(const Action& a, const Action& b) noexcept {
+    return a.kind == b.kind && a.tid == b.tid && a.object == b.object &&
+           a.method == b.method && a.payload == b.payload;
+  }
+  friend bool operator!=(const Action& a, const Action& b) noexcept {
+    return !(a == b);
+  }
+
+  /// E.g. "(t1, inv E.exchange(3))" / "(t1, res E.exchange ▷ (true,4))".
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace cal

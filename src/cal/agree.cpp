@@ -1,0 +1,97 @@
+#include "cal/agree.hpp"
+
+#include <algorithm>
+
+namespace cal {
+
+namespace {
+
+AgreeResult fail(std::string reason) {
+  AgreeResult r;
+  r.agrees = false;
+  r.reason = std::move(reason);
+  return r;
+}
+
+}  // namespace
+
+AgreeResult agrees_with(const std::vector<OpRecord>& ops,
+                        const CaTrace& trace) {
+  constexpr std::size_t kUnassigned = static_cast<std::size_t>(-1);
+  const std::size_t n = ops.size();
+
+  for (const OpRecord& rec : ops) {
+    if (rec.is_pending()) {
+      return fail("history is not complete: pending operation " +
+                  rec.op.to_string());
+    }
+  }
+
+  std::vector<std::size_t> pi(n, kUnassigned);
+  std::vector<bool> used(n, false);
+
+  auto enabled = [&](std::size_t i) {
+    if (used[i]) return false;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!used[j] && j != i && History::precedes(ops[j], ops[i])) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  for (std::size_t k = 0; k < trace.size(); ++k) {
+    const CaElement& elem = trace[k];
+    for (const Operation& want : elem.ops()) {
+      // The unique order-preserving candidate: the unused, enabled history
+      // operation equal to `want`. Equal operations share a thread and are
+      // therefore ≺H-ordered, so at most one is enabled at a time.
+      std::size_t found = kUnassigned;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!used[i] && ops[i].op == want && enabled(i)) {
+          found = i;
+          break;
+        }
+      }
+      if (found == kUnassigned) {
+        return fail("position " + std::to_string(k) +
+                    ": no enabled history operation matches " +
+                    want.to_string());
+      }
+      used[found] = true;
+      pi[found] = k;
+    }
+    // Verify the element is an antichain image: no two operations mapped to
+    // position k may be real-time ordered. (Enabledness already guarantees
+    // this — two enabled ops cannot be ordered — so this is a self-check.)
+    for (std::size_t i = 0; i < n; ++i) {
+      if (pi[i] != k) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (pi[j] == k && History::precedes(ops[i], ops[j])) {
+          return fail("position " + std::to_string(k) +
+                      ": real-time-ordered operations mapped to the same "
+                      "CA-element");
+        }
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!used[i]) {
+      return fail("operation " + ops[i].op.to_string() +
+                  " of the history is not covered by the trace");
+    }
+  }
+
+  AgreeResult r;
+  r.agrees = true;
+  r.pi = std::move(pi);
+  return r;
+}
+
+AgreeResult agrees_with(const History& history, const CaTrace& trace) {
+  if (!history.well_formed()) return fail("history is not well-formed");
+  return agrees_with(history.operations(), trace);
+}
+
+}  // namespace cal

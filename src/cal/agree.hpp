@@ -1,0 +1,42 @@
+// The agreement relation H ⊑CAL T (Def. 5 of the paper).
+//
+// A complete history H agrees with a CA-trace T iff there is a surjection π
+// from H's operations onto trace positions such that (i) π preserves the
+// real-time order ≺H and (ii) the operation set mapped to each position k is
+// exactly T_k. Because two equal operations necessarily belong to the same
+// thread (and are therefore ≺H-ordered), the order-preserving matching of
+// history operations to trace occurrences is unique when it exists, so the
+// decision procedure is a deterministic greedy pass — O(|T| · |ops|²).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cal/ca_trace.hpp"
+#include "cal/history.hpp"
+
+namespace cal {
+
+/// Diagnostic outcome of an agreement check.
+struct AgreeResult {
+  bool agrees = false;
+  /// When !agrees: a human-readable reason (which position failed and why).
+  std::string reason;
+  /// When agrees: pi[i] is the (0-based) trace position of operation i
+  /// of H.operations().
+  std::vector<std::size_t> pi;
+
+  explicit operator bool() const noexcept { return agrees; }
+};
+
+/// Decides H ⊑CAL T. `history` must be complete (well-formed, no pending
+/// invocations); returns a non-agreeing result with a reason otherwise.
+[[nodiscard]] AgreeResult agrees_with(const History& history,
+                                      const CaTrace& trace);
+
+/// Convenience overload on pre-extracted operation records (all completed).
+[[nodiscard]] AgreeResult agrees_with(const std::vector<OpRecord>& ops,
+                                      const CaTrace& trace);
+
+}  // namespace cal

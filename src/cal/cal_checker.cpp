@@ -1,0 +1,199 @@
+#include "cal/cal_checker.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cal/spec.hpp"
+
+namespace cal {
+
+std::vector<CaStepResult> SeqAsCaSpec::step(
+    const SpecState& state, Symbol object,
+    const std::vector<Operation>& ops) const {
+  if (ops.size() != 1) return {};
+  const Operation& op = ops.front();
+  std::vector<CaStepResult> out;
+  for (SeqStepResult& sr :
+       seq_->step(state, op.tid, object, op.method, op.arg, op.ret)) {
+    Operation completed = op;
+    completed.ret = sr.ret;
+    out.push_back(CaStepResult{std::move(sr.next),
+                               CaElement::singleton(object, completed)});
+  }
+  return out;
+}
+
+namespace {
+
+using Mask = std::vector<std::uint64_t>;
+
+bool test_bit(const Mask& m, std::size_t i) {
+  return (m[i / 64] >> (i % 64)) & 1u;
+}
+void set_bit(Mask& m, std::size_t i) { m[i / 64] |= (1ull << (i % 64)); }
+
+struct KeyHash {
+  std::size_t operator()(const std::vector<std::int64_t>& k) const noexcept {
+    return hash_state(k);
+  }
+};
+
+class Search {
+ public:
+  Search(const std::vector<OpRecord>& ops, const CaSpec& spec,
+         const CalCheckOptions& options)
+      : ops_(ops), spec_(spec), options_(options) {
+    const std::size_t n = ops_.size();
+    preds_.resize(n);
+    completed_ = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!ops_[i].is_pending()) ++completed_;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j != i && History::precedes(ops_[j], ops_[i])) {
+          preds_[i].push_back(j);
+        }
+      }
+    }
+  }
+
+  CalCheckResult run() {
+    CalCheckResult result;
+    Mask mask((ops_.size() + 63) / 64, 0);
+    SpecState state = spec_.initial();
+    witness_.clear();
+    const bool ok = dfs(state, mask, /*fired_completed=*/0);
+    result.ok = ok;
+    result.exhausted = exhausted_;
+    result.visited_states = visited_.size();
+    result.fired_elements = fired_elements_;
+    if (ok) result.witness = CaTrace(witness_);
+    return result;
+  }
+
+ private:
+  bool enabled(std::size_t i, const Mask& mask) const {
+    if (test_bit(mask, i)) return false;
+    for (std::size_t j : preds_[i]) {
+      if (!test_bit(mask, j)) return false;
+    }
+    return true;
+  }
+
+  bool dfs(const SpecState& state, const Mask& mask,
+           std::size_t fired_completed) {
+    if (fired_completed == completed_) return true;
+    if (options_.max_visited != 0 &&
+        visited_.size() >= options_.max_visited) {
+      exhausted_ = true;
+      return false;
+    }
+
+    std::vector<std::int64_t> key;
+    key.reserve(state.size() + mask.size() + 1);
+    key.push_back(static_cast<std::int64_t>(state.size()));
+    key.insert(key.end(), state.begin(), state.end());
+    for (std::uint64_t w : mask) {
+      key.push_back(static_cast<std::int64_t>(w));
+    }
+    if (!visited_.insert(std::move(key)).second) return false;
+
+    // Collect enabled operations, grouped by object. Pending invocations
+    // participate only when completion is allowed.
+    std::unordered_map<Symbol, std::vector<std::size_t>> by_object;
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (!enabled(i, mask)) continue;
+      if (ops_[i].is_pending() && !options_.complete_pending) continue;
+      by_object[ops_[i].op.object].push_back(i);
+    }
+
+    for (const auto& [object, candidates] : by_object) {
+      const std::size_t cap = spec_.max_element_size() == 0
+                                  ? candidates.size()
+                                  : std::min(spec_.max_element_size(),
+                                             candidates.size());
+      // Enumerate non-empty subsets of `candidates` of size <= cap, largest
+      // first (multi-operation CA-elements are the common witness shape for
+      // CA-objects, e.g. exchanger swaps).
+      std::vector<std::size_t> chosen;
+      for (std::size_t size = cap; size >= 1; --size) {
+        chosen.clear();
+        if (try_subsets(state, mask, fired_completed, object, candidates, 0,
+                        size, chosen)) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  bool try_subsets(const SpecState& state, const Mask& mask,
+                   std::size_t fired_completed, Symbol object,
+                   const std::vector<std::size_t>& candidates,
+                   std::size_t from, std::size_t remaining,
+                   std::vector<std::size_t>& chosen) {
+    if (remaining == 0) {
+      return fire(state, mask, fired_completed, object, chosen);
+    }
+    for (std::size_t i = from; i + remaining <= candidates.size(); ++i) {
+      chosen.push_back(candidates[i]);
+      if (try_subsets(state, mask, fired_completed, object, candidates, i + 1,
+                      remaining - 1, chosen)) {
+        return true;
+      }
+      chosen.pop_back();
+    }
+    return false;
+  }
+
+  bool fire(const SpecState& state, const Mask& mask,
+            std::size_t fired_completed, Symbol object,
+            const std::vector<std::size_t>& chosen) {
+    std::vector<Operation> element_ops;
+    element_ops.reserve(chosen.size());
+    std::size_t newly_completed = 0;
+    for (std::size_t i : chosen) {
+      element_ops.push_back(ops_[i].op);
+      if (!ops_[i].is_pending()) ++newly_completed;
+    }
+    for (CaStepResult& sr : spec_.step(state, object, element_ops)) {
+      ++fired_elements_;
+      Mask next_mask = mask;
+      for (std::size_t i : chosen) set_bit(next_mask, i);
+      witness_.push_back(sr.element);
+      if (dfs(sr.next, next_mask, fired_completed + newly_completed)) {
+        return true;
+      }
+      witness_.pop_back();
+    }
+    return false;
+  }
+
+  const std::vector<OpRecord>& ops_;
+  const CaSpec& spec_;
+  const CalCheckOptions& options_;
+  std::vector<std::vector<std::size_t>> preds_;
+  std::size_t completed_ = 0;
+  std::unordered_set<std::vector<std::int64_t>, KeyHash> visited_;
+  std::vector<CaElement> witness_;
+  std::size_t fired_elements_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace
+
+CalCheckResult CalChecker::check(const std::vector<OpRecord>& ops) const {
+  Search search(ops, spec_, options_);
+  return search.run();
+}
+
+CalCheckResult CalChecker::check(const History& history) const {
+  if (!history.well_formed()) {
+    CalCheckResult r;
+    r.ok = false;
+    return r;
+  }
+  return check(history.operations());
+}
+
+}  // namespace cal

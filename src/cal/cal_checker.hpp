@@ -1,0 +1,71 @@
+// The CAL membership checker (Def. 6 of the paper).
+//
+// Given a well-formed history H and a CA-spec (a generator of the trace-set
+// 𝒯), decide whether there exist a completion H^c ∈ complete(H) and a trace
+// T ∈ 𝒯 with H^c ⊑CAL T. The search fires CA-elements one at a time:
+//
+//   * a candidate element is a non-empty set of *enabled* operations of one
+//     object (enabled = every real-time predecessor already fired); enabled
+//     sets are automatically antichains of ≺H, which is exactly Def. 5's
+//     requirement that co-located operations overlap pairwise;
+//   * pending invocations may be fired (the spec fills in their return
+//     value — this realizes the response-extension half of complete(H)) or
+//     left unfired forever (the invocation-removal half);
+//   * the search succeeds when every *completed* operation has been fired;
+//   * states (spec state, fired-set) are memoized, Wing–Gong style.
+//
+// This generalizes the classical linearizability checker: running it with
+// SeqAsCaSpec(S) decides classical linearizability w.r.t. S.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cal/ca_trace.hpp"
+#include "cal/history.hpp"
+#include "cal/spec.hpp"
+
+namespace cal {
+
+struct CalCheckOptions {
+  /// Hard cap on visited (state, fired-set) pairs; 0 = unlimited. The
+  /// checker reports `exhausted` when the cap trips.
+  std::size_t max_visited = 0;
+  /// Also try firing pending invocations (completion by response extension).
+  /// When false, pending invocations are always dropped.
+  bool complete_pending = true;
+};
+
+struct CalCheckResult {
+  bool ok = false;
+  /// True when the search hit `max_visited` before finding a witness; `ok`
+  /// is then inconclusive-negative.
+  bool exhausted = false;
+  /// On success: a witness trace T ∈ 𝒯 with H^c ⊑CAL T.
+  std::optional<CaTrace> witness;
+  /// Search effort diagnostics.
+  std::size_t visited_states = 0;
+  std::size_t fired_elements = 0;
+
+  explicit operator bool() const noexcept { return ok; }
+};
+
+class CalChecker {
+ public:
+  explicit CalChecker(const CaSpec& spec, CalCheckOptions options = {})
+      : spec_(spec), options_(options) {}
+
+  /// Decides CAL membership of `history` (must be well-formed).
+  [[nodiscard]] CalCheckResult check(const History& history) const;
+
+  /// As above, on pre-extracted operation records.
+  [[nodiscard]] CalCheckResult check(const std::vector<OpRecord>& ops) const;
+
+ private:
+  const CaSpec& spec_;
+  CalCheckOptions options_;
+};
+
+}  // namespace cal

@@ -1,0 +1,227 @@
+#include "cal/history.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+#include "cal/action.hpp"
+
+namespace cal {
+
+std::string Action::to_string() const {
+  std::string out = "(t" + std::to_string(tid) + ", ";
+  if (is_invoke()) {
+    out += "inv " + object.str() + "." + method.str() + "(" +
+           (payload.is_unit() ? "" : payload.to_string()) + ")";
+  } else {
+    out += "res " + object.str() + "." + method.str() + " > " +
+           payload.to_string();
+  }
+  out += ")";
+  return out;
+}
+
+std::string Operation::to_string() const {
+  std::string out = "(t" + std::to_string(tid) + ", " + object.str() + "." +
+                    method.str() + "(" +
+                    (arg.is_unit() ? "" : arg.to_string()) + ") > ";
+  out += ret ? ret->to_string() : "?pending?";
+  out += ")";
+  return out;
+}
+
+History History::project_thread(ThreadId t) const {
+  History out;
+  for (const Action& a : actions_) {
+    if (a.tid == t) out.append(a);
+  }
+  return out;
+}
+
+History History::project_object(Symbol o) const {
+  History out;
+  for (const Action& a : actions_) {
+    if (a.object == o) out.append(a);
+  }
+  return out;
+}
+
+bool History::sequential() const {
+  bool expect_invoke = true;
+  Symbol open_object;
+  Symbol open_method;
+  ThreadId open_tid = 0;
+  for (const Action& a : actions_) {
+    if (expect_invoke) {
+      if (!a.is_invoke()) return false;
+      open_object = a.object;
+      open_method = a.method;
+      open_tid = a.tid;
+    } else {
+      if (!a.is_respond() || a.object != open_object ||
+          a.method != open_method || a.tid != open_tid) {
+        return false;
+      }
+    }
+    expect_invoke = !expect_invoke;
+  }
+  return true;
+}
+
+bool History::well_formed() const {
+  // Per-thread state: whether an invocation is open and on what.
+  std::unordered_map<ThreadId, std::optional<Action>> open;
+  for (const Action& a : actions_) {
+    auto& slot = open[a.tid];
+    if (a.is_invoke()) {
+      if (slot.has_value()) return false;  // nested invocation
+      slot = a;
+    } else {
+      if (!slot.has_value() || slot->object != a.object ||
+          slot->method != a.method) {
+        return false;  // response without (matching) open invocation
+      }
+      slot.reset();
+    }
+  }
+  return true;
+}
+
+bool History::complete() const {
+  if (!well_formed()) return false;
+  std::unordered_map<ThreadId, int> open;
+  for (const Action& a : actions_) {
+    open[a.tid] += a.is_invoke() ? 1 : -1;
+  }
+  return std::all_of(open.begin(), open.end(),
+                     [](const auto& kv) { return kv.second == 0; });
+}
+
+std::vector<OpRecord> History::operations() const {
+  std::vector<OpRecord> out;
+  // Index into `out` of each thread's open operation.
+  std::unordered_map<ThreadId, std::size_t> open;
+  for (std::size_t i = 0; i < actions_.size(); ++i) {
+    const Action& a = actions_[i];
+    if (a.is_invoke()) {
+      open[a.tid] = out.size();
+      out.push_back(OpRecord{
+          Operation::pending(a.tid, a.object, a.method, a.payload), i,
+          std::nullopt});
+    } else {
+      auto it = open.find(a.tid);
+      if (it == open.end()) continue;  // ill-formed; callers check
+      OpRecord& rec = out[it->second];
+      rec.op.ret = a.payload;
+      rec.res_index = i;
+      open.erase(it);
+    }
+  }
+  return out;
+}
+
+History History::drop_pending() const {
+  // An invocation is pending iff its thread has no later matching response.
+  std::vector<bool> keep(actions_.size(), true);
+  std::unordered_map<ThreadId, std::size_t> open;
+  for (std::size_t i = 0; i < actions_.size(); ++i) {
+    const Action& a = actions_[i];
+    if (a.is_invoke()) {
+      open[a.tid] = i;
+      keep[i] = false;  // provisionally pending
+    } else if (auto it = open.find(a.tid); it != open.end()) {
+      keep[it->second] = true;
+      open.erase(it);
+    }
+  }
+  History out;
+  for (std::size_t i = 0; i < actions_.size(); ++i) {
+    if (keep[i]) out.append(actions_[i]);
+  }
+  return out;
+}
+
+std::string History::to_string() const {
+  std::string out;
+  for (const Action& a : actions_) {
+    out += a.to_string();
+    out += "\n";
+  }
+  return out;
+}
+
+std::string History::render_ascii() const {
+  // One column per action, one row per thread.
+  std::map<ThreadId, std::string> rows;
+  for (const Action& a : actions_) rows.emplace(a.tid, "");
+
+  constexpr std::size_t kCell = 14;
+  auto pad = [](std::string s) {
+    if (s.size() < kCell) s += std::string(kCell - s.size(), ' ');
+    return s;
+  };
+
+  std::unordered_map<ThreadId, bool> open;
+  for (const Action& a : actions_) {
+    for (auto& [tid, row] : rows) {
+      if (tid == a.tid) {
+        std::string label;
+        if (a.is_invoke()) {
+          label = "[" + a.method.str() + "(" +
+                  (a.payload.is_unit() ? "" : a.payload.to_string()) + ")";
+          open[tid] = true;
+        } else {
+          label = ">" + a.payload.to_string() + "]";
+          open[tid] = false;
+        }
+        row += pad(label);
+      } else {
+        row += open[tid] ? pad(std::string(kCell, '-'))
+                         : pad("");
+      }
+    }
+  }
+
+  std::ostringstream out;
+  for (auto& [tid, row] : rows) {
+    // Trim trailing whitespace for stable golden tests.
+    std::size_t end = row.find_last_not_of(' ');
+    out << "t" << tid << ": "
+        << (end == std::string::npos ? "" : row.substr(0, end + 1)) << "\n";
+  }
+  return out.str();
+}
+
+HistoryBuilder& HistoryBuilder::call(ThreadId t, std::string_view object,
+                                     std::string_view method, Value arg) {
+  Symbol o{object};
+  Symbol f{method};
+  h_.invoke(t, o, f, std::move(arg));
+  open_.push_back(Open{t, o, f});
+  return *this;
+}
+
+HistoryBuilder& HistoryBuilder::ret(ThreadId t, Value value) {
+  for (std::size_t i = open_.size(); i-- > 0;) {
+    if (open_[i].tid == t) {
+      h_.respond(t, open_[i].object, open_[i].method, std::move(value));
+      open_.erase(open_.begin() + static_cast<std::ptrdiff_t>(i));
+      return *this;
+    }
+  }
+  // No open invocation: record a response on a null object; well_formed()
+  // will reject the resulting history, which is what tests want to see.
+  h_.respond(t, Symbol{}, Symbol{}, std::move(value));
+  return *this;
+}
+
+HistoryBuilder& HistoryBuilder::op(ThreadId t, std::string_view object,
+                                   std::string_view method, Value arg,
+                                   Value ret_value) {
+  call(t, object, method, std::move(arg));
+  ret(t, std::move(ret_value));
+  return *this;
+}
+
+}  // namespace cal

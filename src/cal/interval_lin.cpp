@@ -1,0 +1,207 @@
+#include "cal/interval_lin.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cal {
+
+namespace {
+
+using Mask = std::vector<std::uint64_t>;
+
+bool test_bit(const Mask& m, std::size_t i) {
+  return (m[i / 64] >> (i % 64)) & 1u;
+}
+void set_bit(Mask& m, std::size_t i) { m[i / 64] |= (1ull << (i % 64)); }
+void clear_bit(Mask& m, std::size_t i) { m[i / 64] &= ~(1ull << (i % 64)); }
+
+struct KeyHash {
+  std::size_t operator()(const std::vector<std::int64_t>& k) const noexcept {
+    return hash_state(k);
+  }
+};
+
+class Search {
+ public:
+  Search(const std::vector<OpRecord>& ops, const IntervalSpec& spec,
+         const IntervalCheckOptions& options)
+      : ops_(ops), spec_(spec), options_(options) {
+    preds_.resize(ops_.size());
+    intervals_.assign(ops_.size(), {0, 0});
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (!ops_[i].is_pending()) ++completed_;
+      for (std::size_t j = 0; j < ops_.size(); ++j) {
+        if (j != i && History::precedes(ops_[j], ops_[i])) {
+          preds_[i].push_back(j);
+        }
+      }
+    }
+  }
+
+  IntervalCheckResult run() {
+    IntervalCheckResult result;
+    const std::size_t words = (ops_.size() + 63) / 64;
+    Mask closed(words, 0);
+    Mask open(words, 0);
+    result.ok = dfs(spec_.initial(), closed, open, 0, 0);
+    result.exhausted = exhausted_;
+    result.visited_states = visited_.size();
+    if (result.ok) result.intervals = intervals_;
+    return result;
+  }
+
+ private:
+  // An operation may start when every completed real-time predecessor has
+  // *closed* (its response precedes our invocation in any explanation).
+  bool may_start(std::size_t i, const Mask& closed, const Mask& open) const {
+    if (test_bit(closed, i) || test_bit(open, i)) return false;
+    for (std::size_t j : preds_[i]) {
+      if (!test_bit(closed, j)) return false;
+    }
+    return true;
+  }
+
+  bool dfs(const SpecState& state, const Mask& closed, const Mask& open,
+           std::size_t closed_completed, std::size_t round_no) {
+    // Success: every completed operation has closed and nothing is left
+    // half-open that the history says returned.
+    if (closed_completed == completed_) {
+      bool open_completed = false;
+      for (std::size_t i = 0; i < ops_.size(); ++i) {
+        if (test_bit(open, i) && !ops_[i].is_pending()) {
+          open_completed = true;
+          break;
+        }
+      }
+      if (!open_completed) return true;
+    }
+    if (options_.max_visited != 0 &&
+        visited_.size() >= options_.max_visited) {
+      exhausted_ = true;
+      return false;
+    }
+
+    std::vector<std::int64_t> key;
+    key.reserve(state.size() + closed.size() + open.size() + 1);
+    key.push_back(static_cast<std::int64_t>(state.size()));
+    key.insert(key.end(), state.begin(), state.end());
+    for (std::uint64_t w : closed) key.push_back(static_cast<std::int64_t>(w));
+    for (std::uint64_t w : open) key.push_back(static_cast<std::int64_t>(w));
+    if (!visited_.insert(std::move(key)).second) return false;
+
+    // Rounds are per-object: participants are the currently open operations
+    // of the object plus any newly starting ones.
+    std::unordered_map<Symbol, std::vector<std::size_t>> startable;
+    std::unordered_map<Symbol, std::vector<std::size_t>> open_by_object;
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (test_bit(open, i)) {
+        open_by_object[ops_[i].op.object].push_back(i);
+      } else if (may_start(i, closed, open)) {
+        if (ops_[i].is_pending() && !options_.complete_pending) continue;
+        startable[ops_[i].op.object].push_back(i);
+      }
+    }
+
+    std::unordered_set<Symbol> objects;
+    for (const auto& kv : startable) objects.insert(kv.first);
+    for (const auto& kv : open_by_object) objects.insert(kv.first);
+
+    for (Symbol object : objects) {
+      const auto& st = startable[object];
+      const auto& op = open_by_object[object];
+      // Enumerate New ⊆ startable by bitmask (candidate sets are small).
+      const std::size_t sn = st.size();
+      for (std::size_t new_bits = 0; new_bits < (1ull << sn); ++new_bits) {
+        std::vector<std::size_t> participants = op;
+        std::vector<bool> starts(op.size(), false);
+        for (std::size_t b = 0; b < sn; ++b) {
+          if (new_bits & (1ull << b)) {
+            participants.push_back(st[b]);
+            starts.push_back(true);
+          }
+        }
+        if (participants.empty()) continue;
+        if (spec_.max_round_size() != 0 &&
+            participants.size() > spec_.max_round_size()) {
+          continue;
+        }
+        // Enumerate Close ⊆ participants.
+        const std::size_t pn = participants.size();
+        for (std::size_t close_bits = 0; close_bits < (1ull << pn);
+             ++close_bits) {
+          if (new_bits == 0 && close_bits == 0) continue;  // no-op round
+          std::vector<IntervalOpRef> refs;
+          refs.reserve(pn);
+          for (std::size_t b = 0; b < pn; ++b) {
+            refs.push_back(IntervalOpRef{ops_[participants[b]].op, starts[b],
+                                         (close_bits >> b) & 1u ? true
+                                                                : false});
+          }
+          if (step_round(state, closed, open, closed_completed, round_no,
+                         object, participants, refs)) {
+            return true;
+          }
+        }
+      }
+    }
+    return false;
+  }
+
+  bool step_round(const SpecState& state, const Mask& closed,
+                  const Mask& open, std::size_t closed_completed,
+                  std::size_t round_no, Symbol object,
+                  const std::vector<std::size_t>& participants,
+                  const std::vector<IntervalOpRef>& refs) {
+    for (const IntervalRoundResult& rr : spec_.round(state, object, refs)) {
+      Mask next_closed = closed;
+      Mask next_open = open;
+      std::size_t next_cc = closed_completed;
+      for (std::size_t b = 0; b < refs.size(); ++b) {
+        const std::size_t i = participants[b];
+        if (refs[b].starts) {
+          intervals_[i].first = round_no;
+          set_bit(next_open, i);
+        }
+        if (refs[b].ends) {
+          intervals_[i].second = round_no;
+          clear_bit(next_open, i);
+          set_bit(next_closed, i);
+          if (!ops_[i].is_pending()) ++next_cc;
+        }
+      }
+      if (dfs(rr.next, next_closed, next_open, next_cc, round_no + 1)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const std::vector<OpRecord>& ops_;
+  const IntervalSpec& spec_;
+  const IntervalCheckOptions& options_;
+  std::vector<std::vector<std::size_t>> preds_;
+  std::size_t completed_ = 0;
+  std::unordered_set<std::vector<std::int64_t>, KeyHash> visited_;
+  std::vector<std::pair<std::size_t, std::size_t>> intervals_;
+  bool exhausted_ = false;
+};
+
+}  // namespace
+
+IntervalCheckResult IntervalLinChecker::check(
+    const std::vector<OpRecord>& ops) const {
+  Search search(ops, spec_, options_);
+  return search.run();
+}
+
+IntervalCheckResult IntervalLinChecker::check(const History& history) const {
+  if (!history.well_formed()) {
+    IntervalCheckResult r;
+    r.ok = false;
+    return r;
+  }
+  return check(history.operations());
+}
+
+}  // namespace cal

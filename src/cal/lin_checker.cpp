@@ -1,0 +1,124 @@
+#include "cal/lin_checker.hpp"
+
+#include <unordered_set>
+
+namespace cal {
+
+namespace {
+
+using Mask = std::vector<std::uint64_t>;
+
+bool test_bit(const Mask& m, std::size_t i) {
+  return (m[i / 64] >> (i % 64)) & 1u;
+}
+void set_bit(Mask& m, std::size_t i) { m[i / 64] |= (1ull << (i % 64)); }
+
+struct KeyHash {
+  std::size_t operator()(const std::vector<std::int64_t>& k) const noexcept {
+    return hash_state(k);
+  }
+};
+
+class Search {
+ public:
+  Search(const std::vector<OpRecord>& ops, const SequentialSpec& spec,
+         const LinCheckOptions& options)
+      : ops_(ops), spec_(spec), options_(options) {
+    preds_.resize(ops_.size());
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (!ops_[i].is_pending()) ++completed_;
+      for (std::size_t j = 0; j < ops_.size(); ++j) {
+        if (j != i && History::precedes(ops_[j], ops_[i])) {
+          preds_[i].push_back(j);
+        }
+      }
+    }
+  }
+
+  LinCheckResult run() {
+    LinCheckResult result;
+    Mask mask((ops_.size() + 63) / 64, 0);
+    result.ok = dfs(spec_.initial(), mask, 0);
+    result.exhausted = exhausted_;
+    result.visited_states = visited_.size();
+    if (result.ok) result.witness = witness_;
+    return result;
+  }
+
+ private:
+  bool dfs(const SpecState& state, const Mask& mask,
+           std::size_t fired_completed) {
+    if (fired_completed == completed_) return true;
+    if (options_.max_visited != 0 &&
+        visited_.size() >= options_.max_visited) {
+      exhausted_ = true;
+      return false;
+    }
+
+    std::vector<std::int64_t> key;
+    key.reserve(state.size() + mask.size() + 1);
+    key.push_back(static_cast<std::int64_t>(state.size()));
+    key.insert(key.end(), state.begin(), state.end());
+    for (std::uint64_t w : mask) {
+      key.push_back(static_cast<std::int64_t>(w));
+    }
+    if (!visited_.insert(std::move(key)).second) return false;
+
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (test_bit(mask, i)) continue;
+      if (ops_[i].is_pending() && !options_.complete_pending) continue;
+      bool is_enabled = true;
+      for (std::size_t j : preds_[i]) {
+        if (!test_bit(mask, j)) {
+          is_enabled = false;
+          break;
+        }
+      }
+      if (!is_enabled) continue;
+
+      const OpRecord& rec = ops_[i];
+      for (SeqStepResult& sr :
+           spec_.step(state, rec.op.tid, rec.op.object, rec.op.method,
+                      rec.op.arg, rec.op.ret)) {
+        Mask next = mask;
+        set_bit(next, i);
+        Operation completed_op = rec.op;
+        completed_op.ret = sr.ret;
+        witness_.push_back(std::move(completed_op));
+        if (dfs(sr.next, next,
+                fired_completed + (rec.is_pending() ? 0 : 1))) {
+          return true;
+        }
+        witness_.pop_back();
+      }
+    }
+    return false;
+  }
+
+  const std::vector<OpRecord>& ops_;
+  const SequentialSpec& spec_;
+  const LinCheckOptions& options_;
+  std::vector<std::vector<std::size_t>> preds_;
+  std::size_t completed_ = 0;
+  std::unordered_set<std::vector<std::int64_t>, KeyHash> visited_;
+  std::vector<Operation> witness_;
+  bool exhausted_ = false;
+};
+
+}  // namespace
+
+LinCheckResult LinChecker::check(const std::vector<OpRecord>& ops) const {
+  Search search(ops, spec_, options_);
+  return search.run();
+}
+
+LinCheckResult LinChecker::check(const History& history) const {
+  if (!history.well_formed()) {
+    LinCheckResult r;
+    r.ok = false;
+    return r;
+  }
+  return check(history.operations());
+}
+
+}  // namespace cal

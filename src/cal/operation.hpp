@@ -1,0 +1,79 @@
+// Operations: matched invocation/response pairs (Def. 4 of the paper).
+//
+// An operation (t, f(n) ▷ n') of object o pairs an invocation
+// (t, inv o.f(n)) with its matching response (t, res o.f ▷ n'). Inside the
+// checkers, a pending invocation — one the history never answers — is
+// represented by an Operation whose `ret` is empty; a *completion* of the
+// history (Def. 2) either supplies the return value or drops the operation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "cal/symbol.hpp"
+#include "cal/value.hpp"
+
+namespace cal {
+
+using ThreadId = std::uint32_t;
+
+struct Operation {
+  ThreadId tid = 0;
+  Symbol object;
+  Symbol method;
+  Value arg;
+  std::optional<Value> ret;  ///< empty = pending (no matching response yet)
+
+  [[nodiscard]] bool is_pending() const noexcept { return !ret.has_value(); }
+
+  [[nodiscard]] static Operation make(ThreadId t, Symbol o, Symbol f,
+                                      Value arg, Value ret) {
+    return Operation{t, o, f, std::move(arg), std::move(ret)};
+  }
+  [[nodiscard]] static Operation pending(ThreadId t, Symbol o, Symbol f,
+                                         Value arg) {
+    return Operation{t, o, f, std::move(arg), std::nullopt};
+  }
+
+  friend bool operator==(const Operation& a, const Operation& b) noexcept {
+    return a.tid == b.tid && a.object == b.object && a.method == b.method &&
+           a.arg == b.arg && a.ret == b.ret;
+  }
+  friend bool operator!=(const Operation& a, const Operation& b) noexcept {
+    return !(a == b);
+  }
+  /// Canonical order used when normalizing the operation *sets* inside
+  /// CA-elements (sets are stored as sorted vectors).
+  friend bool operator<(const Operation& a, const Operation& b) noexcept {
+    if (a.tid != b.tid) return a.tid < b.tid;
+    if (a.object != b.object) return a.object < b.object;
+    if (a.method != b.method) return a.method < b.method;
+    if (a.arg != b.arg) return a.arg < b.arg;
+    if (a.ret.has_value() != b.ret.has_value()) return !a.ret.has_value();
+    if (a.ret && b.ret && *a.ret != *b.ret) return *a.ret < *b.ret;
+    return false;
+  }
+
+  [[nodiscard]] std::size_t hash() const noexcept {
+    std::size_t h = std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(tid) << 32) ^
+        (static_cast<std::uint64_t>(object.id()) << 16) ^ method.id());
+    h ^= arg.hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    if (ret) h ^= ret->hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h;
+  }
+
+  /// E.g. "(t1, E.exchange(3) ▷ (true,4))".
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace cal
+
+template <>
+struct std::hash<cal::Operation> {
+  std::size_t operator()(const cal::Operation& op) const noexcept {
+    return op.hash();
+  }
+};

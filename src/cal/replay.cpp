@@ -1,0 +1,74 @@
+#include "cal/replay.hpp"
+
+namespace cal {
+
+namespace {
+
+bool replay_ca_from(const CaTrace& trace, const CaSpec& spec,
+                    const SpecState& state, std::size_t k,
+                    ReplayResult& result) {
+  if (k == trace.size()) {
+    result.ok = true;
+    result.final_state = state;
+    return true;
+  }
+  const CaElement& elem = trace[k];
+  bool any_step = false;
+  for (const CaStepResult& sr : spec.step(state, elem.object(), elem.ops())) {
+    if (sr.element != elem) continue;  // spec filled different returns
+    any_step = true;
+    if (replay_ca_from(trace, spec, sr.next, k + 1, result)) return true;
+  }
+  if (!any_step && result.failed_at <= k) {
+    result.failed_at = k;
+    result.reason = "element not admissible: " + elem.to_string();
+  }
+  return false;
+}
+
+}  // namespace
+
+ReplayResult replay_ca(const CaTrace& trace, const CaSpec& spec) {
+  ReplayResult result;
+  replay_ca_from(trace, spec, spec.initial(), 0, result);
+  return result;
+}
+
+ReplayResult replay_sequential(const CaTrace& trace,
+                               const SequentialSpec& spec) {
+  ReplayResult result;
+  SpecState state = spec.initial();
+  for (std::size_t k = 0; k < trace.size(); ++k) {
+    const CaElement& elem = trace[k];
+    if (elem.size() != 1) {
+      result.failed_at = k;
+      result.reason = "non-singleton element in a sequential trace";
+      return result;
+    }
+    const Operation& op = elem.ops().front();
+    if (op.is_pending()) {
+      result.failed_at = k;
+      result.reason = "pending operation in a sequential trace";
+      return result;
+    }
+    bool stepped = false;
+    for (SeqStepResult& sr :
+         spec.step(state, op.tid, op.object, op.method, op.arg, op.ret)) {
+      if (sr.ret == *op.ret) {
+        state = std::move(sr.next);
+        stepped = true;
+        break;
+      }
+    }
+    if (!stepped) {
+      result.failed_at = k;
+      result.reason = "operation not admissible: " + op.to_string();
+      return result;
+    }
+  }
+  result.ok = true;
+  result.final_state = std::move(state);
+  return result;
+}
+
+}  // namespace cal

@@ -1,0 +1,41 @@
+// Trace replay: membership of a concrete CA-trace in a specification's
+// trace-set (T ∈ 𝒯), and the paper's WFS predicate ("a sequential history of
+// stack operations is well-defined over an initial stack", §4).
+//
+// Used wherever an *already recorded* auxiliary trace 𝒯 must be validated —
+// the model checker checks the final 𝒯 of every execution, and the
+// elimination-stack verification checks 𝔽_ES(𝒯) against the sequential
+// stack spec.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "cal/ca_trace.hpp"
+#include "cal/spec.hpp"
+
+namespace cal {
+
+struct ReplayResult {
+  bool ok = false;
+  /// When !ok: index of the first inadmissible element plus a reason.
+  std::size_t failed_at = 0;
+  std::string reason;
+  /// When ok: the abstract state after consuming the whole trace.
+  SpecState final_state;
+
+  explicit operator bool() const noexcept { return ok; }
+};
+
+/// Decides T ∈ 𝒯(spec): folds spec.step over the trace's elements; each
+/// element must be reproduced exactly by some admissible step. Because specs
+/// may be nondeterministic, the replay forks on every matching successor
+/// (DFS over abstract states).
+[[nodiscard]] ReplayResult replay_ca(const CaTrace& trace, const CaSpec& spec);
+
+/// Decides WFS: every element is a singleton and the operation sequence
+/// replays against the sequential spec from its initial state.
+[[nodiscard]] ReplayResult replay_sequential(const CaTrace& trace,
+                                             const SequentialSpec& spec);
+
+}  // namespace cal

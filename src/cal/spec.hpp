@@ -1,0 +1,111 @@
+// Specification interfaces.
+//
+// The paper specifies objects by *sets of CA-traces* (§3.1) generated from
+// Hoare-style per-operation descriptions (§4). Executably, a specification
+// is a (possibly nondeterministic) abstract state machine whose transitions
+// consume CA-elements: the trace-set of the spec is the set of element
+// sequences the machine can consume from its initial state. All such
+// trace-sets are prefix-closed by construction, matching Def. 6's
+// requirements on object systems.
+//
+// States are encoded as flat `std::vector<int64_t>` blobs so the checkers
+// can hash and memoize them without knowing their structure.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cal/ca_trace.hpp"
+#include "cal/operation.hpp"
+#include "cal/symbol.hpp"
+
+namespace cal {
+
+/// Opaque, hashable abstract-state encoding.
+using SpecState = std::vector<std::int64_t>;
+
+[[nodiscard]] inline std::size_t hash_state(const SpecState& s) noexcept {
+  std::size_t h = 0xcbf29ce484222325ull;
+  for (std::int64_t x : s) {
+    h ^= static_cast<std::size_t>(x);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// One possible outcome of consuming a candidate CA-element: the successor
+/// abstract state and the element with all pending returns filled in.
+struct CaStepResult {
+  SpecState next;
+  CaElement element;
+};
+
+/// A concurrency-aware specification: which CA-elements may occur, in which
+/// abstract states, and what they do to the state.
+class CaSpec {
+ public:
+  virtual ~CaSpec() = default;
+
+  [[nodiscard]] virtual SpecState initial() const = 0;
+
+  /// Largest number of operations a single CA-element of this spec may
+  /// contain (0 = unbounded). The checker only enumerates candidate sets up
+  /// to this size — e.g. 2 for the exchanger, 1 for purely sequential specs.
+  [[nodiscard]] virtual std::size_t max_element_size() const = 0;
+
+  /// All ways the spec can consume a CA-element o.{ops}. Operations with
+  /// empty `ret` are *pending* invocations; each returned CaStepResult must
+  /// fill in their return values (this is how the checker enumerates
+  /// completions of the history, Def. 2). Returns empty if the element is
+  /// not admissible in `state`.
+  [[nodiscard]] virtual std::vector<CaStepResult> step(
+      const SpecState& state, Symbol object,
+      const std::vector<Operation>& ops) const = 0;
+};
+
+/// One possible outcome of a sequential-spec transition.
+struct SeqStepResult {
+  SpecState next;
+  Value ret;
+};
+
+/// A classical sequential specification: an abstract state machine consuming
+/// one operation at a time (Herlihy & Wing style). Used by the classical
+/// linearizability checker and, via SeqAsCaSpec, by the CAL checker (every
+/// sequential spec is the degenerate CA-spec with singleton elements).
+class SequentialSpec {
+ public:
+  virtual ~SequentialSpec() = default;
+
+  [[nodiscard]] virtual SpecState initial() const = 0;
+
+  /// All ways `method(arg)` may execute in `state`. If `ret` is set, only
+  /// outcomes returning exactly `ret` are produced; if empty (pending
+  /// operation), every admissible return is produced.
+  [[nodiscard]] virtual std::vector<SeqStepResult> step(
+      const SpecState& state, ThreadId tid, Symbol object, Symbol method,
+      const Value& arg, const std::optional<Value>& ret) const = 0;
+};
+
+/// Adapter: view a sequential specification as a CA-spec whose elements are
+/// all singletons. A history is classically linearizable w.r.t. S iff it is
+/// CAL w.r.t. SeqAsCaSpec(S) — the formal sense in which CAL generalizes
+/// linearizability (§3).
+class SeqAsCaSpec final : public CaSpec {
+ public:
+  explicit SeqAsCaSpec(std::shared_ptr<const SequentialSpec> seq)
+      : seq_(std::move(seq)) {}
+
+  [[nodiscard]] SpecState initial() const override { return seq_->initial(); }
+  [[nodiscard]] std::size_t max_element_size() const override { return 1; }
+  [[nodiscard]] std::vector<CaStepResult> step(
+      const SpecState& state, Symbol object,
+      const std::vector<Operation>& ops) const override;
+
+ private:
+  std::shared_ptr<const SequentialSpec> seq_;
+};
+
+}  // namespace cal

@@ -1,0 +1,99 @@
+#include "cal/specs/elim_views.hpp"
+
+#include <string>
+
+namespace cal {
+
+Symbol elim_slot_name(Symbol ar, std::size_t i) {
+  return Symbol(ar.str() + ".E[" + std::to_string(i) + "]");
+}
+
+std::shared_ptr<const ViewFunction> make_f_ar(std::vector<Symbol> exchangers,
+                                              Symbol ar) {
+  return std::make_shared<RenameObjectView>(std::move(exchangers), ar);
+}
+
+std::shared_ptr<const ViewFunction> make_f_ar(Symbol ar, std::size_t width) {
+  std::vector<Symbol> sources;
+  sources.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    sources.push_back(elim_slot_name(ar, i));
+  }
+  return make_f_ar(std::move(sources), ar);
+}
+
+std::shared_ptr<const ViewFunction> make_f_es(Symbol es, Symbol s, Symbol ar) {
+  static const Symbol kPush{"push"};
+  static const Symbol kPop{"pop"};
+  static const Symbol kExchange{"exchange"};
+
+  return std::make_shared<LambdaView>(
+      [es, s, ar, kPush = kPush, kPop = kPop, kExchange = kExchange](
+          const CaElement& e) -> std::optional<CaTrace> {
+        if (e.object() == s) {
+          // Successful central-stack push/pop is an elimination-stack
+          // linearization point; everything else on S is erased.
+          CaTrace out;
+          if (e.size() == 1) {
+            const Operation& op = e.ops().front();
+            if (op.method == kPush && op.ret &&
+                op.ret->kind() == Value::Kind::kBool && op.ret->as_bool()) {
+              Operation lifted = op;
+              lifted.object = es;
+              out.append(CaElement::singleton(es, std::move(lifted)));
+            } else if (op.method == kPop && op.ret &&
+                       op.ret->kind() == Value::Kind::kPair &&
+                       op.ret->pair_ok()) {
+              Operation lifted = op;
+              lifted.object = es;
+              out.append(CaElement::singleton(es, std::move(lifted)));
+            }
+          }
+          return out;  // possibly ε
+        }
+        if (e.object() == ar) {
+          // A swap of (n, ∞) with n ≠ ∞ is an elimination: the push
+          // linearizes immediately before the pop. Everything else on AR
+          // (failed exchanges, push/push or pop/pop collisions) is erased.
+          CaTrace out;
+          if (e.size() == 2) {
+            const Operation* pusher = nullptr;
+            const Operation* popper = nullptr;
+            for (const Operation& op : e.ops()) {
+              if (op.method != kExchange || !op.ret ||
+                  op.ret->kind() != Value::Kind::kPair || !op.ret->pair_ok()) {
+                return CaTrace{};
+              }
+              if (op.arg.kind() != Value::Kind::kInt) return CaTrace{};
+              if (op.arg.as_int() == kInfinity) {
+                popper = &op;
+              } else {
+                pusher = &op;
+              }
+            }
+            if (pusher != nullptr && popper != nullptr &&
+                popper->ret->pair_int() == pusher->arg.as_int()) {
+              Operation push_op = Operation::make(
+                  pusher->tid, es, kPush,
+                  Value::integer(pusher->arg.as_int()), Value::boolean(true));
+              Operation pop_op = Operation::make(
+                  popper->tid, es, kPop, Value::unit(),
+                  Value::pair(true, pusher->arg.as_int()));
+              out.append(CaElement::singleton(es, std::move(push_op)));
+              out.append(CaElement::singleton(es, std::move(pop_op)));
+            }
+          }
+          return out;  // possibly ε
+        }
+        return std::nullopt;  // not a subobject of ES: leave unchanged
+      });
+}
+
+std::shared_ptr<const ComposedView> make_elimination_stack_view(
+    Symbol es, Symbol s, Symbol ar, std::size_t width) {
+  return std::make_shared<ComposedView>(
+      make_f_es(es, s, ar),
+      std::vector<std::shared_ptr<const ViewFunction>>{make_f_ar(ar, width)});
+}
+
+}  // namespace cal

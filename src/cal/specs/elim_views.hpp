@@ -1,0 +1,48 @@
+// The concrete view functions of §5: F_AR and F_ES.
+//
+//   F_AR(E[i].S) ≜ (AR.S) — an exchange on any of the elimination array's
+//   encapsulated exchangers looks like an exchange on the array itself.
+//
+//   F_ES picks the elimination stack's linearization points:
+//     (S.(t, push(n) ▷ true))            ↦ (ES.(t, push(n) ▷ true))
+//     (S.(t, pop() ▷ (true,n)))          ↦ (ES.(t, pop() ▷ (true,n)))
+//     AR.{(t, ex(n) ▷ (true,∞)),
+//         (t', ex(∞) ▷ (true,n))}, n ≠ ∞ ↦ (ES.(t, push(n) ▷ true)) ·
+//                                          (ES.(t', pop() ▷ (true,n)))
+//     F_ES(S._) ≜ ε,  F_ES(AR._) ≜ ε     (all other S/AR elements erased)
+//
+// The third clause is the paper's key move: a *single* simultaneous
+// exchange is interpreted as an imaginary *sequence* of two abstract
+// operations — the push linearized immediately before the pop.
+#pragma once
+
+#include <memory>
+
+#include "cal/symbol.hpp"
+#include "cal/view.hpp"
+
+namespace cal {
+
+/// F_AR for an elimination array named `ar` over `width` exchangers named
+/// "<ar>.E[0]" … "<ar>.E[width-1]" (see objects/ElimArray for the naming).
+[[nodiscard]] std::shared_ptr<const ViewFunction> make_f_ar(Symbol ar,
+                                                            std::size_t width);
+/// As above with explicit subobject names.
+[[nodiscard]] std::shared_ptr<const ViewFunction> make_f_ar(
+    std::vector<Symbol> exchangers, Symbol ar);
+
+/// F_ES for an elimination stack `es` built from central stack `s` and
+/// elimination array `ar`.
+[[nodiscard]] std::shared_ptr<const ViewFunction> make_f_es(Symbol es,
+                                                            Symbol s,
+                                                            Symbol ar);
+
+/// The full composed view 𝔽_ES = F̂_ES ∘ F̂_AR: maps the raw global trace
+/// (with E[i] and S elements) to the elimination stack's own trace.
+[[nodiscard]] std::shared_ptr<const ComposedView> make_elimination_stack_view(
+    Symbol es, Symbol s, Symbol ar, std::size_t width);
+
+/// Conventional subobject name "<ar>.E[<i>]".
+[[nodiscard]] Symbol elim_slot_name(Symbol ar, std::size_t i);
+
+}  // namespace cal

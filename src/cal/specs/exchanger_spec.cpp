@@ -1,0 +1,59 @@
+#include "cal/specs/exchanger_spec.hpp"
+
+namespace cal {
+
+namespace {
+
+/// True iff `op` could be (or is) the failed exchange (t, ex(v) ▷ (false,v)).
+bool admits_failure(const Operation& op) {
+  if (op.arg.kind() != Value::Kind::kInt) return false;
+  if (!op.ret) return true;  // pending: may be completed as a failure
+  return op.ret->kind() == Value::Kind::kPair && !op.ret->pair_ok() &&
+         op.ret->pair_int() == op.arg.as_int();
+}
+
+/// True iff `op` could be one half of a successful swap receiving `got`.
+bool admits_success(const Operation& op, std::int64_t got) {
+  if (op.arg.kind() != Value::Kind::kInt) return false;
+  if (!op.ret) return true;
+  return op.ret->kind() == Value::Kind::kPair && op.ret->pair_ok() &&
+         op.ret->pair_int() == got;
+}
+
+}  // namespace
+
+std::vector<CaStepResult> ExchangerSpec::step(
+    const SpecState& state, Symbol object,
+    const std::vector<Operation>& ops) const {
+  if (object != object_) return {};
+  for (const Operation& op : ops) {
+    if (op.method != method_) return {};
+  }
+
+  std::vector<CaStepResult> out;
+  if (ops.size() == 1) {
+    const Operation& op = ops.front();
+    if (!admits_failure(op)) return {};
+    Operation completed = op;
+    completed.ret = Value::pair(false, op.arg.as_int());
+    out.push_back(
+        CaStepResult{state, CaElement::singleton(object_, completed)});
+  } else if (ops.size() == 2) {
+    const Operation& a = ops[0];
+    const Operation& b = ops[1];
+    if (a.tid == b.tid) return {};
+    if (!admits_success(a, b.arg.as_int()) ||
+        !admits_success(b, a.arg.as_int())) {
+      return {};
+    }
+    Operation ca = a;
+    Operation cb = b;
+    ca.ret = Value::pair(true, b.arg.as_int());
+    cb.ret = Value::pair(true, a.arg.as_int());
+    out.push_back(CaStepResult{
+        state, CaElement(object_, {std::move(ca), std::move(cb)})});
+  }
+  return out;
+}
+
+}  // namespace cal

@@ -1,0 +1,42 @@
+// The exchanger CA-specification (§4 of the paper).
+//
+// The trace-set of an exchanger E is the set of sequences S1 S2 … where each
+// CA-element Si is either
+//   * E.swap(t, v, t', v') ≜ E.{(t, ex(v) ▷ (true,v')), (t', ex(v') ▷ (true,v))}
+//     with t ≠ t' — two overlapping operations that succeed simultaneously, or
+//   * E.{(t, ex(v) ▷ (false,v))} — a thread that failed to find a partner.
+//
+// The spec is stateless: admissibility of an element depends only on its own
+// shape. That statelessness is exactly why no *sequential* specification
+// exists (§3, Fig. 3): a sequential spec would have to carry the first
+// ex(v) ▷ (true,v') as a prefix-closed singleton, inventing a partner-less
+// successful exchange.
+#pragma once
+
+#include "cal/spec.hpp"
+
+namespace cal {
+
+class ExchangerSpec final : public CaSpec {
+ public:
+  /// Governs `object`, whose exchange method is named `method`.
+  /// The same shape specifies rendezvous objects under another method name.
+  explicit ExchangerSpec(Symbol object, Symbol method = Symbol("exchange"))
+      : object_(object), method_(method) {}
+
+  [[nodiscard]] SpecState initial() const override { return {}; }
+  [[nodiscard]] std::size_t max_element_size() const override { return 2; }
+
+  [[nodiscard]] std::vector<CaStepResult> step(
+      const SpecState& state, Symbol object,
+      const std::vector<Operation>& ops) const override;
+
+  [[nodiscard]] Symbol object() const noexcept { return object_; }
+  [[nodiscard]] Symbol method() const noexcept { return method_; }
+
+ private:
+  Symbol object_;
+  Symbol method_;
+};
+
+}  // namespace cal

@@ -1,0 +1,56 @@
+#include "cal/specs/queue_spec.hpp"
+
+#include <algorithm>
+
+namespace cal {
+
+namespace {
+
+void emit(std::vector<SeqStepResult>& out, const std::optional<Value>& want,
+          SpecState next, Value ret) {
+  if (want && *want != ret) return;
+  out.push_back(SeqStepResult{std::move(next), std::move(ret)});
+}
+
+}  // namespace
+
+std::vector<SeqStepResult> QueueSpec::step(
+    const SpecState& state, ThreadId /*tid*/, Symbol object, Symbol method,
+    const Value& arg, const std::optional<Value>& ret) const {
+  static const Symbol kEnq{"enq"};
+  static const Symbol kDeq{"deq"};
+  if (object != object_) return {};
+  std::vector<SeqStepResult> out;
+  if (method == kEnq) {
+    if (arg.kind() != Value::Kind::kInt) return {};
+    SpecState next = state;
+    next.push_back(arg.as_int());
+    emit(out, ret, std::move(next), Value::boolean(true));
+  } else if (method == kDeq) {
+    if (state.empty()) {
+      emit(out, ret, state, Value::pair(false, 0));
+    } else {
+      SpecState next(state.begin() + 1, state.end());
+      emit(out, ret, std::move(next), Value::pair(true, state.front()));
+    }
+  }
+  return out;
+}
+
+std::vector<SeqStepResult> RegisterSpec::step(
+    const SpecState& state, ThreadId /*tid*/, Symbol object, Symbol method,
+    const Value& arg, const std::optional<Value>& ret) const {
+  static const Symbol kRead{"read"};
+  static const Symbol kWrite{"write"};
+  if (object != object_) return {};
+  std::vector<SeqStepResult> out;
+  if (method == kWrite) {
+    if (arg.kind() != Value::Kind::kInt) return {};
+    emit(out, ret, SpecState{arg.as_int()}, Value::unit());
+  } else if (method == kRead) {
+    emit(out, ret, state, Value::integer(state.front()));
+  }
+  return out;
+}
+
+}  // namespace cal

@@ -1,0 +1,32 @@
+#include "cal/specs/snapshot_spec.hpp"
+
+#include <algorithm>
+
+namespace cal {
+
+std::vector<CaStepResult> SnapshotSpec::step(
+    const SpecState& state, Symbol object,
+    const std::vector<Operation>& ops) const {
+  if (object != object_ || ops.empty()) return {};
+
+  SpecState next = state;
+  for (const Operation& op : ops) {
+    if (op.method != method_ || op.arg.kind() != Value::Kind::kInt) return {};
+    next.push_back(op.arg.as_int());
+  }
+  std::sort(next.begin(), next.end());
+  const Value snapshot = Value::vec(next);
+
+  std::vector<Operation> completed;
+  completed.reserve(ops.size());
+  for (const Operation& op : ops) {
+    if (op.ret && *op.ret != snapshot) return {};
+    Operation c = op;
+    c.ret = snapshot;
+    completed.push_back(std::move(c));
+  }
+  return {CaStepResult{std::move(next),
+                       CaElement(object_, std::move(completed))}};
+}
+
+}  // namespace cal

@@ -1,0 +1,36 @@
+// Immediate atomic snapshot CA-specification (Borowsky & Gafni) — the task
+// Neiger used to motivate set-linearizability (§6 of the paper).
+//
+// Each operation us(v) simultaneously writes v and returns a snapshot of
+// everything written. In an immediate snapshot, a *set* of concurrent
+// operations all see each other: a CA-element IS.{(t1, us(v1) ▷ S), …,
+// (tk, us(vk) ▷ S)} is admissible iff every member returns the same snapshot
+// S = previously-written ∪ {v1,…,vk}. Elements are unbounded — this is the
+// spec that exercises the CAL checker's max_element_size() == 0 path.
+//
+// Abstract state: the sorted multiset of written values.
+#pragma once
+
+#include "cal/spec.hpp"
+
+namespace cal {
+
+class SnapshotSpec final : public CaSpec {
+ public:
+  /// `method` is the update-and-scan operation's name ("us" by default;
+  /// write-snapshot comparisons pass "ws" to share histories).
+  explicit SnapshotSpec(Symbol object, Symbol method = Symbol("us"))
+      : object_(object), method_(method) {}
+
+  [[nodiscard]] SpecState initial() const override { return {}; }
+  [[nodiscard]] std::size_t max_element_size() const override { return 0; }
+  [[nodiscard]] std::vector<CaStepResult> step(
+      const SpecState& state, Symbol object,
+      const std::vector<Operation>& ops) const override;
+
+ private:
+  Symbol object_;
+  Symbol method_;
+};
+
+}  // namespace cal

@@ -1,0 +1,74 @@
+#include "cal/specs/union_spec.hpp"
+
+#include <algorithm>
+
+namespace cal {
+
+SpecState UnionCaSpec::initial() const {
+  SpecState out;
+  for (const Entry& e : specs_) {
+    const SpecState sub = e.second->initial();
+    out.push_back(static_cast<std::int64_t>(sub.size()));
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+std::size_t UnionCaSpec::max_element_size() const {
+  std::size_t max = 1;
+  for (const Entry& e : specs_) {
+    const std::size_t m = e.second->max_element_size();
+    if (m == 0) return 0;  // one unbounded sub-spec makes the union unbounded
+    max = std::max(max, m);
+  }
+  return max;
+}
+
+SpecState UnionCaSpec::sub_state(const SpecState& state,
+                                 std::size_t index) const {
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < index; ++i) {
+    pos += 1 + static_cast<std::size_t>(state[pos]);
+  }
+  const auto len = static_cast<std::size_t>(state[pos]);
+  return SpecState(state.begin() + static_cast<std::ptrdiff_t>(pos + 1),
+                   state.begin() + static_cast<std::ptrdiff_t>(pos + 1 + len));
+}
+
+SpecState UnionCaSpec::replace_sub_state(const SpecState& state,
+                                         std::size_t index,
+                                         const SpecState& next) const {
+  SpecState out;
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const auto len = static_cast<std::size_t>(state[pos]);
+    if (i == index) {
+      out.push_back(static_cast<std::int64_t>(next.size()));
+      out.insert(out.end(), next.begin(), next.end());
+    } else {
+      out.insert(out.end(),
+                 state.begin() + static_cast<std::ptrdiff_t>(pos),
+                 state.begin() + static_cast<std::ptrdiff_t>(pos + 1 + len));
+    }
+    pos += 1 + len;
+  }
+  return out;
+}
+
+std::vector<CaStepResult> UnionCaSpec::step(
+    const SpecState& state, Symbol object,
+    const std::vector<Operation>& ops) const {
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    if (specs_[i].first != object) continue;
+    std::vector<CaStepResult> out;
+    for (CaStepResult& sr :
+         specs_[i].second->step(sub_state(state, i), object, ops)) {
+      out.push_back(CaStepResult{replace_sub_state(state, i, sr.next),
+                                 std::move(sr.element)});
+    }
+    return out;
+  }
+  return {};  // no registered spec for this object
+}
+
+}  // namespace cal

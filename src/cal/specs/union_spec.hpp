@@ -1,0 +1,43 @@
+// Union of disjoint per-object specifications.
+//
+// The paper's programs use "a static number of concurrent objects" under a
+// strict ownership discipline (§2); a whole-program history therefore mixes
+// operations of several objects, each governed by its own spec. UnionCaSpec
+// composes them: elements are dispatched to the sub-spec registered for
+// their object, and the abstract state is the product of the sub-states.
+// Because objects are disjoint, the sub-states never interact — the
+// executable face of the paper's encapsulation assumption.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "cal/spec.hpp"
+
+namespace cal {
+
+class UnionCaSpec final : public CaSpec {
+ public:
+  using Entry = std::pair<Symbol, std::shared_ptr<const CaSpec>>;
+
+  explicit UnionCaSpec(std::vector<Entry> specs) : specs_(std::move(specs)) {}
+
+  [[nodiscard]] SpecState initial() const override;
+  [[nodiscard]] std::size_t max_element_size() const override;
+  [[nodiscard]] std::vector<CaStepResult> step(
+      const SpecState& state, Symbol object,
+      const std::vector<Operation>& ops) const override;
+
+ private:
+  /// Splits the product state into the i-th sub-state (by length prefix).
+  [[nodiscard]] SpecState sub_state(const SpecState& state,
+                                    std::size_t index) const;
+  [[nodiscard]] SpecState replace_sub_state(const SpecState& state,
+                                            std::size_t index,
+                                            const SpecState& next) const;
+
+  std::vector<Entry> specs_;
+};
+
+}  // namespace cal

@@ -1,0 +1,35 @@
+#include "cal/specs/write_snapshot_spec.hpp"
+
+#include <algorithm>
+
+namespace cal {
+
+std::vector<IntervalRoundResult> WriteSnapshotIntervalSpec::round(
+    const SpecState& state, Symbol object,
+    const std::vector<IntervalOpRef>& participants) const {
+  static const Symbol kWs{"ws"};
+  if (object != object_) return {};
+
+  // Writes of starting operations land first…
+  SpecState next = state;
+  for (const IntervalOpRef& ref : participants) {
+    if (ref.op.method != kWs || ref.op.arg.kind() != Value::Kind::kInt) {
+      return {};
+    }
+    if (ref.starts) next.push_back(ref.op.arg.as_int());
+  }
+  std::sort(next.begin(), next.end());
+
+  // …then ending operations snapshot the updated memory.
+  const Value snapshot = Value::vec(next);
+  std::vector<std::optional<Value>> returns(participants.size());
+  for (std::size_t i = 0; i < participants.size(); ++i) {
+    const IntervalOpRef& ref = participants[i];
+    if (!ref.ends) continue;
+    if (ref.op.ret && *ref.op.ret != snapshot) return {};
+    returns[i] = snapshot;
+  }
+  return {IntervalRoundResult{std::move(next), std::move(returns)}};
+}
+
+}  // namespace cal

@@ -1,0 +1,38 @@
+// Write-snapshot interval specification — the task Castañeda, Rajsbaum &
+// Raynal use to show that set-linearizability (and hence single-element
+// CAL traces) is not expressive enough, motivating interval-linearizability
+// (§6 of the paper).
+//
+// Each operation ws(v) *writes* v at one point and *snapshots* the written
+// values at a possibly later point, so a single operation spans an interval
+// of rounds: the write takes effect in its first round, the snapshot is
+// taken in its last. The outcome that separates the notions is *mutual
+// visibility without equality*: with writes w1 w2 · snap1 · w3 · snap2 the
+// returns S1 = {1,2} and S2 = {1,2,3} are legal although ops 1 and 2 see
+// each other — impossible for any sequence of operation *sets*, where
+// mutually-visible operations share one set and hence one snapshot. The
+// tests show this history rejected by the (set-style) SnapshotSpec and
+// accepted here.
+//
+// Abstract state: the sorted set of written values.
+#pragma once
+
+#include "cal/interval_lin.hpp"
+
+namespace cal {
+
+class WriteSnapshotIntervalSpec final : public IntervalSpec {
+ public:
+  explicit WriteSnapshotIntervalSpec(Symbol object) : object_(object) {}
+
+  [[nodiscard]] SpecState initial() const override { return {}; }
+  [[nodiscard]] std::size_t max_round_size() const override { return 0; }
+  [[nodiscard]] std::vector<IntervalRoundResult> round(
+      const SpecState& state, Symbol object,
+      const std::vector<IntervalOpRef>& participants) const override;
+
+ private:
+  Symbol object_;
+};
+
+}  // namespace cal

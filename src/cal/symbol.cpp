@@ -1,0 +1,45 @@
+#include "cal/symbol.hpp"
+
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+namespace cal {
+namespace {
+
+struct Interner {
+  std::mutex mu;
+  // Stable storage for spellings; index i holds the spelling of symbol id
+  // i + 1 (id 0 is the null symbol).
+  std::deque<std::string> spellings;
+  std::unordered_map<std::string_view, std::uint32_t> ids;
+  std::string empty;
+};
+
+Interner& interner() {
+  static Interner* table = new Interner();  // intentionally leaked singleton
+  return *table;
+}
+
+}  // namespace
+
+Symbol::Symbol(std::string_view name) {
+  Interner& t = interner();
+  std::lock_guard lock(t.mu);
+  if (auto it = t.ids.find(name); it != t.ids.end()) {
+    id_ = it->second;
+    return;
+  }
+  t.spellings.emplace_back(name);
+  id_ = static_cast<std::uint32_t>(t.spellings.size());
+  t.ids.emplace(t.spellings.back(), id_);
+}
+
+const std::string& Symbol::str() const {
+  Interner& t = interner();
+  std::lock_guard lock(t.mu);
+  if (id_ == 0) return t.empty;
+  return t.spellings[id_ - 1];
+}
+
+}  // namespace cal

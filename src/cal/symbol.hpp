@@ -1,0 +1,53 @@
+// Interned string symbols used for object and method identifiers.
+//
+// Histories and CA-traces mention object names (o) and method names (f)
+// (Def. 1 of the paper). Checkers compare these identifiers in inner loops,
+// so we intern every name into a dense 32-bit id once and compare integers
+// afterwards. Interning is process-global and thread-safe; symbols never
+// expire.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace cal {
+
+/// A process-global interned string. Cheap to copy and compare.
+class Symbol {
+ public:
+  /// The null symbol; distinct from every interned name.
+  constexpr Symbol() noexcept : id_(0) {}
+
+  /// Interns `name` (or reuses an earlier interning of the same spelling).
+  explicit Symbol(std::string_view name);
+
+  [[nodiscard]] constexpr std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] constexpr bool is_null() const noexcept { return id_ == 0; }
+
+  /// The spelling this symbol was interned from ("" for the null symbol).
+  [[nodiscard]] const std::string& str() const;
+
+  friend constexpr bool operator==(Symbol a, Symbol b) noexcept {
+    return a.id_ == b.id_;
+  }
+  friend constexpr bool operator!=(Symbol a, Symbol b) noexcept {
+    return a.id_ != b.id_;
+  }
+  friend constexpr bool operator<(Symbol a, Symbol b) noexcept {
+    return a.id_ < b.id_;
+  }
+
+ private:
+  std::uint32_t id_;
+};
+
+}  // namespace cal
+
+template <>
+struct std::hash<cal::Symbol> {
+  std::size_t operator()(cal::Symbol s) const noexcept {
+    return std::hash<std::uint32_t>{}(s.id());
+  }
+};

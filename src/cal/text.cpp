@@ -1,0 +1,286 @@
+#include "cal/text.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <sstream>
+#include <vector>
+
+namespace cal {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::optional<std::int64_t> parse_int(std::string_view token) {
+  if (token == "inf") return kInfinity;
+  std::int64_t out = 0;
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return out;
+}
+
+/// Splits on whitespace.
+std::vector<std::string_view> tokens_of(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    std::size_t start = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i > start) out.push_back(line.substr(start, i - start));
+  }
+  return out;
+}
+
+std::optional<ThreadId> parse_thread(std::string_view token) {
+  if (token.size() < 2 || token[0] != 't') return std::nullopt;
+  std::uint32_t id = 0;
+  const char* first = token.data() + 1;
+  const char* last = token.data() + token.size();
+  auto [ptr, ec] = std::from_chars(first, last, id);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return id;
+}
+
+/// "E.exchange" -> (E, exchange); the method is the part after the LAST
+/// dot so object names may themselves be dotted ("ES.AR.E[0]").
+std::optional<std::pair<Symbol, Symbol>> parse_target(std::string_view token) {
+  const std::size_t dot = token.rfind('.');
+  if (dot == std::string_view::npos || dot == 0 || dot + 1 == token.size()) {
+    return std::nullopt;
+  }
+  return std::make_pair(Symbol{token.substr(0, dot)},
+                        Symbol{token.substr(dot + 1)});
+}
+
+template <typename T>
+ParseResult<T> fail_at(std::size_t line, std::string message) {
+  ParseResult<T> r;
+  r.error = ParseError{line, std::move(message)};
+  return r;
+}
+
+/// Parses "t1 exchange 3 (true,4)" (an operation inside an `elem` line).
+std::optional<Operation> parse_element_op(std::string_view text,
+                                          Symbol object) {
+  const auto toks = tokens_of(text);
+  if (toks.size() != 4) return std::nullopt;
+  const auto tid = parse_thread(toks[0]);
+  if (!tid) return std::nullopt;
+  const auto arg = parse_value(toks[2]);
+  const auto ret = parse_value(toks[3]);
+  if (!arg || !ret) return std::nullopt;
+  return Operation::make(*tid, object, Symbol{toks[1]}, *arg, *ret);
+}
+
+}  // namespace
+
+std::optional<Value> parse_value(std::string_view token) {
+  token = trim(token);
+  if (token.empty()) return std::nullopt;
+  if (token == "()") return Value::unit();
+  if (token == "true") return Value::boolean(true);
+  if (token == "false") return Value::boolean(false);
+  if (token.front() == '(' && token.back() == ')') {
+    std::string_view inner = token.substr(1, token.size() - 2);
+    const std::size_t comma = inner.find(',');
+    if (comma == std::string_view::npos) return std::nullopt;
+    std::string_view b = trim(inner.substr(0, comma));
+    std::string_view i = trim(inner.substr(comma + 1));
+    bool ok = false;
+    if (b == "true") {
+      ok = true;
+    } else if (b != "false") {
+      return std::nullopt;
+    }
+    const auto n = parse_int(i);
+    if (!n) return std::nullopt;
+    return Value::pair(ok, *n);
+  }
+  if (token.front() == '[' && token.back() == ']') {
+    std::string_view inner = trim(token.substr(1, token.size() - 2));
+    std::vector<std::int64_t> items;
+    while (!inner.empty()) {
+      const std::size_t comma = inner.find(',');
+      std::string_view piece = comma == std::string_view::npos
+                                   ? inner
+                                   : inner.substr(0, comma);
+      const auto n = parse_int(trim(piece));
+      if (!n) return std::nullopt;
+      items.push_back(*n);
+      if (comma == std::string_view::npos) break;
+      inner = inner.substr(comma + 1);
+    }
+    return Value::vec(std::move(items));
+  }
+  if (const auto n = parse_int(token)) return Value::integer(*n);
+  return std::nullopt;
+}
+
+std::string format_value(const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::kUnit:
+      return "()";
+    case Value::Kind::kBool:
+      return v.as_bool() ? "true" : "false";
+    case Value::Kind::kInt:
+      return v.as_int() == kInfinity ? "inf" : std::to_string(v.as_int());
+    case Value::Kind::kPair: {
+      std::string i = v.pair_int() == kInfinity
+                          ? "inf"
+                          : std::to_string(v.pair_int());
+      return std::string("(") + (v.pair_ok() ? "true" : "false") + "," + i +
+             ")";
+    }
+    case Value::Kind::kVec: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < v.as_vec().size(); ++i) {
+        if (i) out += ",";
+        out += std::to_string(v.as_vec()[i]);
+      }
+      return out + "]";
+    }
+  }
+  return "()";
+}
+
+ParseResult<History> parse_history(std::string_view text) {
+  History h;
+  std::size_t line_no = 0;
+  std::istringstream in{std::string(text)};
+  std::string raw;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string_view line = trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    const auto toks = tokens_of(line);
+    if (toks.size() < 3 || toks.size() > 4) {
+      return fail_at<History>(line_no,
+                              "expected: inv|res t<N> obj.method [value]");
+    }
+    Action::Kind kind;
+    if (toks[0] == "inv") {
+      kind = Action::Kind::kInvoke;
+    } else if (toks[0] == "res") {
+      kind = Action::Kind::kRespond;
+    } else {
+      return fail_at<History>(line_no, "unknown action kind '" +
+                                           std::string(toks[0]) + "'");
+    }
+    const auto tid = parse_thread(toks[1]);
+    if (!tid) {
+      return fail_at<History>(line_no, "bad thread id '" +
+                                           std::string(toks[1]) + "'");
+    }
+    const auto target = parse_target(toks[2]);
+    if (!target) {
+      return fail_at<History>(line_no, "bad object.method '" +
+                                           std::string(toks[2]) + "'");
+    }
+    Value payload = Value::unit();
+    if (toks.size() == 4) {
+      const auto v = parse_value(toks[3]);
+      if (!v) {
+        return fail_at<History>(line_no,
+                                "bad value '" + std::string(toks[3]) + "'");
+      }
+      payload = *v;
+    }
+    h.append(Action{kind, *tid, target->first, target->second, payload});
+  }
+  ParseResult<History> r;
+  r.value = std::move(h);
+  return r;
+}
+
+std::string format_history(const History& h) {
+  std::string out;
+  for (const Action& a : h.actions()) {
+    out += a.is_invoke() ? "inv" : "res";
+    out += " t" + std::to_string(a.tid) + " " + a.object.str() + "." +
+           a.method.str();
+    if (!a.payload.is_unit() || a.is_respond()) {
+      out += " " + format_value(a.payload);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+ParseResult<CaTrace> parse_trace(std::string_view text) {
+  CaTrace t;
+  std::size_t line_no = 0;
+  std::istringstream in{std::string(text)};
+  std::string raw;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string_view line = trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    if (!line.starts_with("elem ")) {
+      return fail_at<CaTrace>(line_no, "expected: elem OBJ.{...}");
+    }
+    line.remove_prefix(5);
+    const std::size_t brace = line.find(".{");
+    if (brace == std::string_view::npos || line.back() != '}') {
+      return fail_at<CaTrace>(line_no, "expected OBJ.{op | op | ...}");
+    }
+    const Symbol object{trim(line.substr(0, brace))};
+    std::string_view inner = line.substr(brace + 2);
+    inner.remove_suffix(1);  // trailing '}'
+    std::vector<Operation> ops;
+    while (true) {
+      const std::size_t bar = inner.find('|');
+      std::string_view piece =
+          bar == std::string_view::npos ? inner : inner.substr(0, bar);
+      const auto op = parse_element_op(trim(piece), object);
+      if (!op) {
+        return fail_at<CaTrace>(line_no, "bad operation '" +
+                                             std::string(trim(piece)) + "'");
+      }
+      ops.push_back(*op);
+      if (bar == std::string_view::npos) break;
+      inner = inner.substr(bar + 1);
+    }
+    if (ops.empty()) {
+      return fail_at<CaTrace>(line_no, "empty CA-element");
+    }
+    t.append(CaElement(object, std::move(ops)));
+  }
+  ParseResult<CaTrace> r;
+  r.value = std::move(t);
+  return r;
+}
+
+std::string format_trace(const CaTrace& t) {
+  std::string out;
+  for (const CaElement& e : t.elements()) {
+    out += "elem " + e.object().str() + ".{";
+    for (std::size_t i = 0; i < e.ops().size(); ++i) {
+      const Operation& op = e.ops()[i];
+      if (i) out += " | ";
+      out += "t" + std::to_string(op.tid) + " " + op.method.str() + " " +
+             format_value(op.arg) + " " +
+             format_value(op.ret.value_or(Value::unit()));
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace cal

@@ -1,0 +1,38 @@
+#include "cal/value.hpp"
+
+#include <string>
+
+namespace cal {
+
+namespace {
+std::string int_to_string(std::int64_t i) {
+  if (i == kInfinity) return "inf";
+  return std::to_string(i);
+}
+}  // namespace
+
+std::string Value::to_string() const {
+  switch (kind_) {
+    case Kind::kUnit:
+      return "()";
+    case Kind::kBool:
+      return int_ != 0 ? "true" : "false";
+    case Kind::kInt:
+      return int_to_string(int_);
+    case Kind::kPair:
+      return std::string("(") + (bool_of_pair_ ? "true" : "false") + "," +
+             int_to_string(int_) + ")";
+    case Kind::kVec: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < vec_.size(); ++i) {
+        if (i != 0) out += ",";
+        out += int_to_string(vec_[i]);
+      }
+      out += "]";
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace cal

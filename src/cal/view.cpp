@@ -1,0 +1,47 @@
+#include "cal/view.hpp"
+
+#include <algorithm>
+
+namespace cal {
+
+CaTrace total_apply(const ViewFunction& f, const CaTrace& t) {
+  CaTrace out;
+  for (const CaElement& e : t.elements()) {
+    if (std::optional<CaTrace> image = f.apply(e)) {
+      out.append(*image);
+    } else {
+      out.append(e);
+    }
+  }
+  return out;
+}
+
+std::optional<CaTrace> RenameObjectView::apply(const CaElement& e) const {
+  if (std::find(sources_.begin(), sources_.end(), e.object()) ==
+      sources_.end()) {
+    return std::nullopt;
+  }
+  std::vector<Operation> renamed = e.ops();
+  for (Operation& op : renamed) op.object = target_;
+  CaTrace out;
+  out.append(CaElement(target_, std::move(renamed)));
+  return out;
+}
+
+std::optional<CaTrace> ComposedView::apply(const CaElement& e) const {
+  CaTrace t;
+  t.append(e);
+  CaTrace image = view(t);
+  if (image.size() == 1 && image[0] == e) return std::nullopt;
+  return image;
+}
+
+CaTrace ComposedView::view(const CaTrace& global) const {
+  CaTrace current = global;
+  for (const auto& child : children_) {
+    current = total_apply(*child, current);
+  }
+  return total_apply(*own_, current);
+}
+
+}  // namespace cal

@@ -1,0 +1,92 @@
+// View functions F_o (§4 of the paper) — the mechanism that makes the
+// verification *compositional*.
+//
+// A single global auxiliary variable 𝒯 records the CA-trace of the whole
+// program. Each object o supplies a partial function F_o from CA-elements of
+// its immediate subobjects to CA-traces containing only operations of o;
+// its total extension F̂_o maps any other element to itself. The recursive
+// composition 𝔽_o ≜ F̂_o ∘ (𝔽_o1 ∘ … ∘ 𝔽_on) (over the encapsulated objects
+// o1…on) defines o's *view* 𝒯_o = 𝔽_o(𝒯) of the global trace. Clients of o
+// reason purely about 𝒯_o, never about the subobjects' elements — e.g. the
+// elimination stack sees an AR swap of (v, ∞) as push(v)·pop()▷v on itself
+// and never sees the exchangers inside AR at all.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cal/ca_trace.hpp"
+#include "cal/symbol.hpp"
+
+namespace cal {
+
+/// The partial per-object rewriting function F_o.
+class ViewFunction {
+ public:
+  virtual ~ViewFunction() = default;
+
+  /// F_o(e): the trace this element denotes at o's level of abstraction, or
+  /// std::nullopt where F_o is undefined (the total extension then keeps
+  /// `e` unchanged). Note: nullopt ≠ empty trace — F_o(e) = ε *erases* e.
+  [[nodiscard]] virtual std::optional<CaTrace> apply(
+      const CaElement& e) const = 0;
+};
+
+/// F̂_o applied pointwise to a trace: elements where F_o is defined are
+/// replaced by their image (possibly several elements, possibly none);
+/// everything else passes through untouched.
+[[nodiscard]] CaTrace total_apply(const ViewFunction& f, const CaTrace& t);
+
+/// A view function defined by a plain callable.
+class LambdaView final : public ViewFunction {
+ public:
+  using Fn = std::function<std::optional<CaTrace>(const CaElement&)>;
+  explicit LambdaView(Fn fn) : fn_(std::move(fn)) {}
+  [[nodiscard]] std::optional<CaTrace> apply(
+      const CaElement& e) const override {
+    return fn_(e);
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// Renames elements of any object in `sources` to look like elements of
+/// `target` — e.g. F_AR, which maps an exchange on any E[i] to the same
+/// exchange on AR (§5: F_AR(E[i].S) ≜ (AR.S)).
+class RenameObjectView final : public ViewFunction {
+ public:
+  RenameObjectView(std::vector<Symbol> sources, Symbol target)
+      : sources_(std::move(sources)), target_(target) {}
+
+  [[nodiscard]] std::optional<CaTrace> apply(
+      const CaElement& e) const override;
+
+ private:
+  std::vector<Symbol> sources_;
+  Symbol target_;
+};
+
+/// The recursive composition 𝔽_o: applies the child views (in any order —
+/// encapsulation makes them commute, §4) and then the object's own F̂_o.
+class ComposedView final : public ViewFunction {
+ public:
+  ComposedView(std::shared_ptr<const ViewFunction> own,
+               std::vector<std::shared_ptr<const ViewFunction>> children)
+      : own_(std::move(own)), children_(std::move(children)) {}
+
+  /// Not meaningfully defined element-wise; use view() on whole traces.
+  [[nodiscard]] std::optional<CaTrace> apply(
+      const CaElement& e) const override;
+
+  /// 𝒯_o = 𝔽_o(𝒯).
+  [[nodiscard]] CaTrace view(const CaTrace& global) const;
+
+ private:
+  std::shared_ptr<const ViewFunction> own_;
+  std::vector<std::shared_ptr<const ViewFunction>> children_;
+};
+
+}  // namespace cal

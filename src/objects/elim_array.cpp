@@ -1,0 +1,40 @@
+#include "objects/elim_array.hpp"
+
+namespace cal::objects {
+
+namespace {
+
+/// Cheap per-thread xorshift; quality is irrelevant, independence from other
+/// threads is what matters for spreading load over the slots.
+std::uint64_t next_random() noexcept {
+  thread_local std::uint64_t state =
+      0x9e3779b97f4a7c15ull ^
+      reinterpret_cast<std::uintptr_t>(&state);  // per-thread seed
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
+}
+
+}  // namespace
+
+ElimArray::ElimArray(EpochDomain& ebr, Symbol name, std::size_t width,
+                     TraceLog* trace)
+    : name_(name) {
+  slots_.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    slots_.push_back(
+        std::make_unique<Exchanger>(ebr, elim_slot_name(name, i), trace));
+  }
+}
+
+std::size_t ElimArray::random_slot() const noexcept {
+  return static_cast<std::size_t>(next_random() % slots_.size());
+}
+
+ExchangeResult ElimArray::exchange(ThreadId tid, std::int64_t v,
+                                   unsigned spins) {
+  return slots_[random_slot()]->exchange(tid, v, spins);
+}
+
+}  // namespace cal::objects

@@ -1,0 +1,44 @@
+// The elimination array AR (Fig. 2, top-left): an array of K exchangers
+// that "essentially acts as an exchanger object, but is implemented as an
+// array of exchangers to reduce contention".
+//
+// exchange() picks a uniformly random slot and delegates to it. The array
+// exposes the same CA-specification as a single exchanger; its view function
+// F_AR(E[i].S) ≜ (AR.S) (built by cal::make_f_ar) renames the subobjects'
+// trace elements so clients — the elimination stack — never see the slots.
+// Subobjects are named "<AR>.E[<i>]" to match cal::elim_slot_name.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cal/specs/elim_views.hpp"
+#include "cal/symbol.hpp"
+#include "objects/exchanger.hpp"
+
+namespace cal::objects {
+
+class ElimArray {
+ public:
+  ElimArray(EpochDomain& ebr, Symbol name, std::size_t width,
+            TraceLog* trace = nullptr);
+
+  ElimArray(const ElimArray&) = delete;
+  ElimArray& operator=(const ElimArray&) = delete;
+
+  /// exchange on a random slot (Fig. 2 lines 3-6).
+  ExchangeResult exchange(ThreadId tid, std::int64_t v, unsigned spins = 256);
+
+  [[nodiscard]] std::size_t width() const noexcept { return slots_.size(); }
+  [[nodiscard]] Symbol name() const noexcept { return name_; }
+  [[nodiscard]] Exchanger& slot(std::size_t i) { return *slots_[i]; }
+
+ private:
+  [[nodiscard]] std::size_t random_slot() const noexcept;
+
+  Symbol name_;
+  std::vector<std::unique_ptr<Exchanger>> slots_;
+};
+
+}  // namespace cal::objects

@@ -1,0 +1,72 @@
+#include "objects/elimination_stack.hpp"
+
+#include <cassert>
+
+namespace cal::objects {
+
+namespace {
+const Symbol& push_sym() {
+  static const Symbol s{"push"};
+  return s;
+}
+const Symbol& pop_sym() {
+  static const Symbol s{"pop"};
+  return s;
+}
+}  // namespace
+
+EliminationStack::EliminationStack(EpochDomain& ebr, Symbol name,
+                                   std::size_t width, TraceLog* trace,
+                                   runtime::Recorder* recorder,
+                                   unsigned exchange_spins)
+    : name_(name),
+      stack_(ebr, Symbol(name.str() + ".S"), trace),
+      array_(ebr, Symbol(name.str() + ".AR"), width, trace),
+      recorder_(recorder),
+      exchange_spins_(exchange_spins) {}
+
+bool EliminationStack::push(ThreadId tid, std::int64_t v) {
+  assert(v != kPopSentinel && "the sentinel value cannot be pushed");
+  if (recorder_ != nullptr) {
+    recorder_->invoke(tid, name_, push_sym(), Value::integer(v));
+  }
+  for (;;) {                                       // line 31
+    if (stack_.push(tid, v)) break;                // lines 32-33
+    ExchangeResult r = array_.exchange(tid, v, exchange_spins_);  // line 34
+    if (r.ok && r.value == kPopSentinel) {         // line 35
+      eliminations_.fetch_add(1, std::memory_order_relaxed);
+      break;                                       // line 36
+    }
+    // Failed exchange or push/push collision: retry (line 31).
+  }
+  if (recorder_ != nullptr) {
+    recorder_->respond(tid, name_, push_sym(), Value::boolean(true));
+  }
+  return true;
+}
+
+PopResult EliminationStack::pop(ThreadId tid) {
+  if (recorder_ != nullptr) {
+    recorder_->invoke(tid, name_, pop_sym());
+  }
+  PopResult result;
+  for (;;) {                                       // line 41
+    result = stack_.pop(tid);                      // line 42
+    if (result.ok) break;                          // line 43
+    ExchangeResult r =
+        array_.exchange(tid, kPopSentinel, exchange_spins_);  // line 44
+    if (r.ok && r.value != kPopSentinel) {         // line 45
+      eliminations_.fetch_add(1, std::memory_order_relaxed);
+      result = {true, r.value};                    // line 46
+      break;
+    }
+    // Failed exchange or pop/pop collision: retry (line 41).
+  }
+  if (recorder_ != nullptr) {
+    recorder_->respond(tid, name_, pop_sym(),
+                       Value::pair(true, result.value));
+  }
+  return result;
+}
+
+}  // namespace cal::objects

@@ -1,0 +1,72 @@
+// The elimination stack of Hendler, Shavit & Yerushalmi (Fig. 2 of the
+// paper; SPAA 2004) — the paper's main client of the exchanger.
+//
+// A pushing/popping thread first tries the central stack S; if the single
+// CAS attempt fails under contention, it goes to the elimination array AR:
+// the pusher offers its value, the popper offers POP_SENTINAL (∞). A swap
+// of (v, ∞) *eliminates* the pair — the push and the pop both complete
+// without ever touching S. An exchange that failed or paired two same-side
+// operations simply retries (Fig. 2 lines 31-37 / 41-47).
+//
+// Correctness (§5): the composite is *classically* linearizable as a stack.
+// The elimination view 𝔽_ES = F̂_ES ∘ F̂_AR (cal/specs/elim_views.hpp) maps
+// the recorded auxiliary trace — central-stack singletons and AR swaps — to
+// ES-level push/pop linearization points, with the eliminated push placed
+// immediately before its pop; the result must replay against the sequential
+// stack spec (WFS, §4).
+#pragma once
+
+#include <cstdint>
+
+#include "cal/symbol.hpp"
+#include "objects/elim_array.hpp"
+#include "objects/treiber_stack.hpp"
+#include "runtime/recorder.hpp"
+
+namespace cal::objects {
+
+class EliminationStack {
+ public:
+  static constexpr std::int64_t kPopSentinel = kInfinity;  // line 26
+
+  /// `width` is the elimination array's size K. `trace` receives the
+  /// auxiliary 𝒯 elements of the subobjects (S singletons, E[i] swaps);
+  /// `recorder`, when set, records push/pop invocations and responses at
+  /// the elimination stack's own interface.
+  EliminationStack(EpochDomain& ebr, Symbol name, std::size_t width,
+                   TraceLog* trace = nullptr,
+                   runtime::Recorder* recorder = nullptr,
+                   unsigned exchange_spins = 256);
+
+  EliminationStack(const EliminationStack&) = delete;
+  EliminationStack& operator=(const EliminationStack&) = delete;
+
+  /// Always succeeds (possibly by elimination). `v` must not be the
+  /// sentinel value kPopSentinel.
+  bool push(ThreadId tid, std::int64_t v);
+
+  /// Pops a value; loops until one is available (the Fig. 2 pop never
+  /// reports empty).
+  PopResult pop(ThreadId tid);
+
+  [[nodiscard]] Symbol name() const noexcept { return name_; }
+  [[nodiscard]] Symbol stack_name() const noexcept { return stack_.name(); }
+  [[nodiscard]] Symbol array_name() const noexcept { return array_.name(); }
+  [[nodiscard]] std::size_t width() const noexcept { return array_.width(); }
+
+  /// Number of push/pop completions that went through elimination rather
+  /// than the central stack (diagnostics for the benchmarks).
+  [[nodiscard]] std::uint64_t eliminations() const noexcept {
+    return eliminations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Symbol name_;
+  CentralStack stack_;
+  ElimArray array_;
+  runtime::Recorder* recorder_;
+  unsigned exchange_spins_;
+  std::atomic<std::uint64_t> eliminations_{0};
+};
+
+}  // namespace cal::objects

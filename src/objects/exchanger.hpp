@@ -1,0 +1,94 @@
+// The wait-free exchanger CA-object (Fig. 1 of the paper; a simplified
+// java.util.concurrent.Exchanger).
+//
+// A thread offers a value; if it pairs up with a concurrently offering
+// thread the two swap values instantaneously ((true, partner's value)),
+// otherwise the call fails ((false, own value)). The protocol:
+//
+//   * An Offer{tid, data, hole} is published by CAS'ing the global slot `g`
+//     from null to the offer ("init", line 15). The publisher then waits
+//     briefly and CAS'es its own hole from null to the fail sentinel
+//     ("pass", line 18): success means no partner arrived (fail), failure
+//     means a partner already matched and the exchange succeeded.
+//   * A thread that finds `g` non-null CAS'es the published offer's hole
+//     from null to its own offer ("xchg", line 29) and then unconditionally
+//     CAS'es `g` back to null ("clean", line 31) — helping that keeps the
+//     object wait-free.
+//
+// Instrumentation (§4-§5): when constructed with a TraceLog, the object
+// appends to the auxiliary trace variable 𝒯 exactly where the paper's proof
+// instruments the code — the successful xchg CAS appends
+// E.swap(g.tid, g.data, tid, n.data) (action XCHG), and the failing returns
+// append the singleton failure element (actions PASS / FAIL).
+//
+// Memory: offers may be read by racing threads after the owning call
+// returns, so they are retired through an EpochDomain (the GC substitute;
+// see runtime/ebr.hpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "cal/ca_trace.hpp"
+#include "cal/symbol.hpp"
+#include "runtime/ebr.hpp"
+#include "runtime/trace_log.hpp"
+
+namespace cal::objects {
+
+using runtime::EpochDomain;
+using runtime::ThreadId;
+using runtime::TraceLog;
+
+struct ExchangeResult {
+  bool ok = false;
+  std::int64_t value = 0;
+
+  friend bool operator==(const ExchangeResult&,
+                         const ExchangeResult&) = default;
+};
+
+class Exchanger {
+ public:
+  /// `name` is this object's identity in histories and in 𝒯; `trace`, when
+  /// non-null, receives the auxiliary CA-elements. `method` is the method
+  /// name logged in 𝒯 ("exchange" for exchangers; rendezvous objects reuse
+  /// the protocol under their own method name).
+  Exchanger(EpochDomain& ebr, Symbol name, TraceLog* trace = nullptr,
+            Symbol method = Symbol("exchange"))
+      : ebr_(ebr), name_(name), trace_(trace), method_(method) {}
+  ~Exchanger();
+
+  Exchanger(const Exchanger&) = delete;
+  Exchanger& operator=(const Exchanger&) = delete;
+
+  /// Attempts to swap `v` with a concurrent partner. `spins` bounds the
+  /// wait for a partner after publishing an offer (the paper's sleep(50));
+  /// the call is wait-free for every value of `spins`.
+  ExchangeResult exchange(ThreadId tid, std::int64_t v, unsigned spins = 256);
+
+  [[nodiscard]] Symbol name() const noexcept { return name_; }
+  [[nodiscard]] Symbol method() const noexcept { return method_; }
+
+ private:
+  struct Offer {
+    ThreadId tid;  // auxiliary field used by the XCHG instrumentation (§5.1)
+    std::int64_t data;
+    std::atomic<Offer*> hole{nullptr};
+
+    Offer(ThreadId t, std::int64_t d) : tid(t), data(d) {}
+  };
+
+  void log_swap(ThreadId passive, std::int64_t passive_value, ThreadId active,
+                std::int64_t active_value);
+  void log_failure(ThreadId tid, std::int64_t v);
+
+  EpochDomain& ebr_;
+  Symbol name_;
+  TraceLog* trace_;
+  Symbol method_;
+  std::atomic<Offer*> g_{nullptr};
+  Offer fail_{0, 0};  ///< the fail sentinel (line 10)
+};
+
+}  // namespace cal::objects

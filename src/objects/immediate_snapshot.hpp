@@ -1,0 +1,82 @@
+// One-shot immediate atomic snapshot (Borowsky & Gafni) — the task Neiger
+// used to motivate set-linearizability (§6 of the paper), as a real
+// concurrent object.
+//
+// Each participant calls us(v) once: it simultaneously writes v and returns
+// a snapshot S of written values satisfying
+//   * self-inclusion: v ∈ S,
+//   * containment: any two returned snapshots are ⊆-comparable,
+//   * immediacy: if p's value is in q's snapshot, then p's snapshot ⊆ q's.
+//
+// Algorithm (the classic BG level descent): a participant writes its value,
+// then descends one level at a time from n; at level L it counts the
+// participants at level ≤ L and terminates when that count reaches L,
+// returning their values. Participants terminating at the same level with
+// the same set form one "simultaneity block" — exactly one CA-element of
+// cal::SnapshotSpec, which is this object's specification.
+//
+// This is a CA-object with *unbounded* CA-elements (up to n operations can
+// take effect simultaneously), exercising the checkers beyond the
+// pairwise-only exchanger.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cal/ca_trace.hpp"
+#include "cal/symbol.hpp"
+#include "runtime/thread_registry.hpp"
+#include "runtime/trace_log.hpp"
+
+namespace cal::objects {
+
+using runtime::ThreadId;
+using runtime::TraceLog;
+
+class ImmediateSnapshot {
+ public:
+  /// A one-shot object for up to `participants` processes with dense ids
+  /// 0..participants-1.
+  ImmediateSnapshot(Symbol name, std::size_t participants,
+                    TraceLog* trace = nullptr)
+      : name_(name),
+        trace_(trace),
+        values_(participants),
+        levels_(participants) {
+    for (auto& level : levels_) {
+      level.store(kNotStarted, std::memory_order_relaxed);
+    }
+    for (auto& value : values_) {
+      value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  ImmediateSnapshot(const ImmediateSnapshot&) = delete;
+  ImmediateSnapshot& operator=(const ImmediateSnapshot&) = delete;
+
+  /// update-and-scan: writes `v` and returns the snapshot (sorted values).
+  /// Must be called at most once per participant id.
+  std::vector<std::int64_t> us(ThreadId tid, std::int64_t v);
+
+  [[nodiscard]] Symbol name() const noexcept { return name_; }
+  [[nodiscard]] Symbol method() const noexcept {
+    static const Symbol kUs{"us"};
+    return kUs;
+  }
+  [[nodiscard]] std::size_t participants() const noexcept {
+    return levels_.size();
+  }
+
+ private:
+  static constexpr std::int64_t kNotStarted = INT64_MAX;
+
+  Symbol name_;
+  TraceLog* trace_;
+  std::vector<std::atomic<std::int64_t>> values_;
+  std::vector<std::atomic<std::int64_t>> levels_;
+};
+
+}  // namespace cal::objects

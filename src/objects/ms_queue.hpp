@@ -1,0 +1,56 @@
+// Michael–Scott lock-free FIFO queue.
+//
+// A classically linearizable "ordinary" object (not a CA-object), included
+// as the control for the checkers: its recorded histories must pass both
+// the classical LinChecker(QueueSpec) and the CAL checker with
+// SeqAsCaSpec(QueueSpec) — demonstrating that CAL conservatively extends
+// linearizability on objects that need no concurrency awareness (§3).
+//
+// Instrumentation appends singleton CA-elements at the linearization
+// points: the tail-link CAS for enq, the head-swing CAS (or the empty read)
+// for deq.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "cal/ca_trace.hpp"
+#include "cal/symbol.hpp"
+#include "objects/treiber_stack.hpp"  // PopResult
+#include "runtime/ebr.hpp"
+#include "runtime/trace_log.hpp"
+
+namespace cal::objects {
+
+class MsQueue {
+ public:
+  MsQueue(EpochDomain& ebr, Symbol name, TraceLog* trace = nullptr);
+  ~MsQueue();
+
+  MsQueue(const MsQueue&) = delete;
+  MsQueue& operator=(const MsQueue&) = delete;
+
+  void enq(ThreadId tid, std::int64_t v);
+  /// (false, 0) when observed empty.
+  PopResult deq(ThreadId tid);
+
+  [[nodiscard]] Symbol name() const noexcept { return name_; }
+
+ private:
+  struct Node {
+    std::int64_t data;
+    std::atomic<Node*> next{nullptr};
+
+    explicit Node(std::int64_t d) : data(d) {}
+  };
+
+  void log(ThreadId tid, Symbol method, Value arg, Value ret);
+
+  EpochDomain& ebr_;
+  Symbol name_;
+  TraceLog* trace_;
+  std::atomic<Node*> head_;
+  std::atomic<Node*> tail_;
+};
+
+}  // namespace cal::objects

@@ -1,0 +1,60 @@
+// Rendezvous object (Afek, Hakimi & Morrison — cited in §6 as another
+// CA-linearizable object).
+//
+// A rendezvous pairs two threads and hands each the other's value — exactly
+// the exchanger's contract under a different method name. The "fast and
+// scalable" implementations stripe the meeting point, which is what the
+// elimination-array layout already provides, so this object is a striped
+// array of exchanger protocols logging `rendezvous` operations. Its CA-spec
+// is ExchangerSpec(name, Symbol("rendezvous")).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cal/specs/elim_views.hpp"
+#include "cal/symbol.hpp"
+#include "objects/exchanger.hpp"
+
+namespace cal::objects {
+
+class Rendezvous {
+ public:
+  Rendezvous(EpochDomain& ebr, Symbol name, std::size_t width = 1,
+             TraceLog* trace = nullptr)
+      : name_(name) {
+    static const Symbol kMethod{"rendezvous"};
+    slots_.reserve(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      // Single-slot rendezvous logs under its own name so that traces need
+      // no renaming; striped ones reuse the elimination-array naming and
+      // are viewed through cal::make_f_ar(name, width).
+      const Symbol slot_name = width == 1 ? name : elim_slot_name(name, i);
+      slots_.push_back(
+          std::make_unique<Exchanger>(ebr, slot_name, trace, kMethod));
+    }
+  }
+
+  Rendezvous(const Rendezvous&) = delete;
+  Rendezvous& operator=(const Rendezvous&) = delete;
+
+  /// Meets a partner and swaps values; (false, v) if none arrived in time.
+  ExchangeResult meet(ThreadId tid, std::int64_t v, unsigned spins = 256) {
+    thread_local std::uint64_t state =
+        0x2545f4914f6cdd1dull ^ reinterpret_cast<std::uintptr_t>(&state);
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return slots_[state % slots_.size()]->exchange(tid, v, spins);
+  }
+
+  [[nodiscard]] Symbol name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t width() const noexcept { return slots_.size(); }
+
+ private:
+  Symbol name_;
+  std::vector<std::unique_ptr<Exchanger>> slots_;
+};
+
+}  // namespace cal::objects

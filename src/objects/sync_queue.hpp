@@ -1,0 +1,77 @@
+// Synchronous (hand-off) queue — the paper's second exchanger-style client
+// (§2, citing Scherer, Lea & Scott). Implemented as an unfair dual stack of
+// reservations, the classic nonblocking synchronous-queue construction:
+//
+//   * If the top of the stack is empty or holds same-mode reservations, the
+//     caller pushes its own reservation (DATA for put, REQUEST for take)
+//     and spins for a partner; on timeout it cancels the reservation by
+//     CAS'ing its own match field to the cancelled sentinel — the exact
+//     "pass" idiom of the exchanger (Fig. 1 line 18).
+//   * If the top reservation is complementary, the caller *fulfills* it by
+//     CAS'ing the reservation's match field from null to its own node; that
+//     single CAS completes both operations simultaneously, and — like the
+//     exchanger's XCHG action — appends the joint CA-element
+//     Q.{(t, put(v) ▷ true), (t', take() ▷ (true,v))} to 𝒯.
+//
+// This is a CA-object: put/take pairs must overlap, and no useful
+// sequential specification exists (same Fig. 3 argument as the exchanger).
+// Its CA-spec is cal::SyncQueueSpec; the equivalent dual-data-structure
+// interval spec is cal::SyncQueueIntervalSpec.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "cal/ca_trace.hpp"
+#include "cal/symbol.hpp"
+#include "objects/treiber_stack.hpp"  // PopResult
+#include "runtime/ebr.hpp"
+#include "runtime/trace_log.hpp"
+
+namespace cal::objects {
+
+class SyncQueue {
+ public:
+  SyncQueue(EpochDomain& ebr, Symbol name, TraceLog* trace = nullptr)
+      : ebr_(ebr), name_(name), trace_(trace) {}
+  ~SyncQueue();
+
+  SyncQueue(const SyncQueue&) = delete;
+  SyncQueue& operator=(const SyncQueue&) = delete;
+
+  /// Offers `v`; true iff a take() accepted it within the spin budget.
+  bool put(ThreadId tid, std::int64_t v, unsigned spins = 256);
+
+  /// Requests a value; (true, v) iff paired with a put(v) within budget.
+  PopResult take(ThreadId tid, unsigned spins = 256);
+
+  [[nodiscard]] Symbol name() const noexcept { return name_; }
+
+ private:
+  enum class Mode : std::uint8_t { kData, kRequest };
+
+  struct Node {
+    Mode mode;
+    std::int64_t data;
+    ThreadId tid;
+    std::atomic<Node*> match{nullptr};  ///< partner node, or cancelled_
+    Node* next = nullptr;
+
+    Node(Mode m, std::int64_t d, ThreadId t) : mode(m), data(d), tid(t) {}
+  };
+
+  /// Common engine for put/take.
+  bool transfer(ThreadId tid, Mode mode, std::int64_t v, unsigned spins,
+                std::int64_t& received);
+
+  void log_pair(ThreadId putter, std::int64_t v, ThreadId taker);
+  void log_failure(ThreadId tid, Mode mode, std::int64_t v);
+
+  EpochDomain& ebr_;
+  Symbol name_;
+  TraceLog* trace_;
+  std::atomic<Node*> top_{nullptr};
+  Node cancelled_{Mode::kData, 0, 0};  ///< cancellation sentinel
+};
+
+}  // namespace cal::objects

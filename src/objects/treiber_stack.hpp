@@ -1,0 +1,106 @@
+// The central lock-free stack S of the elimination stack (Fig. 2, class
+// Stack), plus the classic retrying Treiber stack used as the
+// no-elimination baseline in the benchmarks.
+//
+// CentralStack is *single-attempt*: push/pop perform one CAS on `top` and
+// report failure under contention (push ▷ false, pop ▷ (false,0)) — that
+// failure is what sends elimination-stack threads to the elimination array.
+// pop also returns (false,0) on empty (Fig. 2 line 18), which is why the
+// elimination stack's pop loops instead of reporting empty.
+//
+// Instrumentation: with a TraceLog, every completed operation appends its
+// singleton CA-element S.{(t, f(n) ▷ r)} at its linearization point (the
+// successful CAS, the failed CAS, or the empty-read), matching the
+// sequential stack specification of §4.
+//
+// Cells are retired through the EpochDomain; not reusing them until safe
+// also rules out the top-pointer ABA.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "cal/ca_trace.hpp"
+#include "cal/symbol.hpp"
+#include "runtime/ebr.hpp"
+#include "runtime/trace_log.hpp"
+
+namespace cal::objects {
+
+using runtime::EpochDomain;
+using runtime::ThreadId;
+using runtime::TraceLog;
+
+struct PopResult {
+  bool ok = false;
+  std::int64_t value = 0;
+
+  friend bool operator==(const PopResult&, const PopResult&) = default;
+};
+
+class CentralStack {
+ public:
+  CentralStack(EpochDomain& ebr, Symbol name, TraceLog* trace = nullptr)
+      : ebr_(ebr), name_(name), trace_(trace) {}
+  ~CentralStack();
+
+  CentralStack(const CentralStack&) = delete;
+  CentralStack& operator=(const CentralStack&) = delete;
+
+  /// One CAS attempt; false = lost the race (no effect).
+  bool push(ThreadId tid, std::int64_t v);
+  /// One CAS attempt; (false,0) = empty or lost the race (no effect).
+  PopResult pop(ThreadId tid);
+
+  /// True iff the stack is empty at this instant (test/diagnostic helper).
+  [[nodiscard]] bool empty() const noexcept {
+    return top_.load(std::memory_order_acquire) == nullptr;
+  }
+
+  [[nodiscard]] Symbol name() const noexcept { return name_; }
+
+ private:
+  struct Cell {
+    std::int64_t data;
+    Cell* next;
+  };
+
+  void log(ThreadId tid, Symbol method, Value arg, Value ret);
+
+  EpochDomain& ebr_;
+  Symbol name_;
+  TraceLog* trace_;
+  std::atomic<Cell*> top_{nullptr};
+};
+
+/// The no-elimination baseline: retries the single-attempt CAS until it
+/// wins. push always succeeds; pop returns (false,0) only when empty.
+class TreiberStack {
+ public:
+  TreiberStack(EpochDomain& ebr, Symbol name, TraceLog* trace = nullptr)
+      : inner_(ebr, name, trace) {}
+
+  void push(ThreadId tid, std::int64_t v) {
+    while (!inner_.push(tid, v)) {
+      std::this_thread::yield();
+    }
+  }
+
+  /// Retries on contention; (false,0) means observed empty.
+  PopResult pop(ThreadId tid) {
+    for (;;) {
+      if (inner_.empty()) return {false, 0};
+      PopResult r = inner_.pop(tid);
+      if (r.ok) return r;
+      std::this_thread::yield();
+    }
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return inner_.empty(); }
+
+ private:
+  CentralStack inner_;
+};
+
+}  // namespace cal::objects

@@ -1,0 +1,77 @@
+#include "runtime/ebr.hpp"
+
+#include <cassert>
+
+namespace cal::runtime {
+
+EpochDomain::~EpochDomain() {
+  // No thread may be pinned at destruction; everything retired is safe.
+  for (RetireShard& shard : shards_) {
+    for (const Retired& r : shard.list) r.deleter(r.ptr);
+    shard.list.clear();
+  }
+}
+
+void EpochDomain::pin(ThreadId t) noexcept {
+  assert(t < kMaxThreads);
+  // seq_cst: the epoch announcement must be visible before any subsequent
+  // shared read, or try_advance could advance past a live reader.
+  slots_[t].local.store(global_epoch_.load(std::memory_order_acquire),
+                        std::memory_order_seq_cst);
+}
+
+void EpochDomain::unpin(ThreadId t) noexcept {
+  slots_[t].local.store(0, std::memory_order_release);
+}
+
+bool EpochDomain::try_advance() noexcept {
+  const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
+  for (const Slot& slot : slots_) {
+    const std::uint64_t local = slot.local.load(std::memory_order_acquire);
+    if (local != 0 && local != e) return false;  // straggler in an old epoch
+  }
+  std::uint64_t expected = e;
+  return global_epoch_.compare_exchange_strong(expected, e + 1,
+                                               std::memory_order_acq_rel);
+}
+
+void EpochDomain::free_safe(RetireShard& shard) {
+  const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
+  std::size_t kept = 0;
+  for (Retired& r : shard.list) {
+    // Safe once two advances have happened since retirement: every thread
+    // pinned at retirement time has since unpinned or re-pinned.
+    if (r.epoch + 2 <= e) {
+      r.deleter(r.ptr);
+    } else {
+      shard.list[kept++] = r;
+    }
+  }
+  shard.list.resize(kept);
+  shard.size.store(kept, std::memory_order_relaxed);
+}
+
+void EpochDomain::retire(ThreadId t, void* p, void (*deleter)(void*)) {
+  assert(t < kMaxThreads);
+  RetireShard& shard = shards_[t];
+  shard.list.push_back(
+      Retired{p, deleter, global_epoch_.load(std::memory_order_acquire)});
+  shard.size.store(shard.list.size(), std::memory_order_relaxed);
+  if (shard.list.size() >= kCollectThreshold) collect(t);
+}
+
+void EpochDomain::collect(ThreadId t) {
+  assert(t < kMaxThreads);
+  try_advance();
+  free_safe(shards_[t]);
+}
+
+std::size_t EpochDomain::retired_count() const noexcept {
+  std::size_t total = 0;
+  for (const RetireShard& shard : shards_) {
+    total += shard.size.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace cal::runtime

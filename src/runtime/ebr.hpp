@@ -1,0 +1,101 @@
+// Epoch-based memory reclamation (EBR).
+//
+// The paper's objects are written for a garbage-collected runtime
+// (java.util.concurrent): an exchanger Offer or stack Cell may still be read
+// by a racing thread after its owner's method returned, so nothing can be
+// freed eagerly. This domain provides the GC substitute: readers pin the
+// current epoch for the duration of a method, retired nodes are stamped with
+// the epoch at retirement, and a node is reclaimed only after the global
+// epoch has advanced twice past its stamp — at which point no pinned reader
+// can still hold a reference. Avoiding reuse until then also eliminates the
+// classic CAS ABA hazard on the Treiber stack's top pointer.
+//
+// All operations are keyed by the caller's dense ThreadId (ThreadRegistry);
+// ids above kMaxThreads are rejected at pin time.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/thread_registry.hpp"
+
+namespace cal::runtime {
+
+class EpochDomain {
+ public:
+  static constexpr std::size_t kMaxThreads = ThreadRegistry::kMaxThreads;
+  /// Retired-list length that triggers an advance-and-collect attempt.
+  static constexpr std::size_t kCollectThreshold = 64;
+
+  EpochDomain() = default;
+  ~EpochDomain();
+
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  /// Marks thread t as active in the current epoch. Must be balanced with
+  /// unpin(); use Guard for RAII.
+  void pin(ThreadId t) noexcept;
+  void unpin(ThreadId t) noexcept;
+
+  /// Hands `p` to the domain; `deleter(p)` runs once it is provably
+  /// unreachable. Call while pinned.
+  void retire(ThreadId t, void* p, void (*deleter)(void*));
+
+  /// Convenience for `delete static_cast<T*>(p)`.
+  template <typename T>
+  void retire(ThreadId t, T* p) {
+    retire(t, p, [](void* q) { delete static_cast<T*>(q); });
+  }
+
+  /// Attempts one epoch advance and frees whatever became safe for `t`.
+  void collect(ThreadId t);
+
+  [[nodiscard]] std::uint64_t global_epoch() const noexcept {
+    return global_epoch_.load(std::memory_order_acquire);
+  }
+  /// Nodes retired and not yet freed (approximate; for tests/metrics).
+  [[nodiscard]] std::size_t retired_count() const noexcept;
+
+  class Guard {
+   public:
+    Guard(EpochDomain& domain, ThreadId t) noexcept : domain_(domain), t_(t) {
+      domain_.pin(t_);
+    }
+    ~Guard() { domain_.unpin(t_); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    EpochDomain& domain_;
+    ThreadId t_;
+  };
+
+ private:
+  struct Retired {
+    void* ptr;
+    void (*deleter)(void*);
+    std::uint64_t epoch;
+  };
+
+  struct alignas(64) Slot {
+    /// 0 = quiescent; otherwise the epoch the thread pinned.
+    std::atomic<std::uint64_t> local{0};
+  };
+
+  struct alignas(64) RetireShard {
+    std::vector<Retired> list;  // accessed only by the owning thread
+    std::atomic<std::size_t> size{0};
+  };
+
+  bool try_advance() noexcept;
+  void free_safe(RetireShard& shard);
+
+  std::atomic<std::uint64_t> global_epoch_{1};
+  Slot slots_[kMaxThreads];
+  RetireShard shards_[kMaxThreads];
+};
+
+}  // namespace cal::runtime

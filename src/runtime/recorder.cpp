@@ -1,0 +1,44 @@
+#include "runtime/recorder.hpp"
+
+namespace cal::runtime {
+
+Recorder::Recorder(std::size_t capacity) : slots_(capacity) {}
+
+void Recorder::record(Action a) {
+  const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+  if (i >= slots_.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  slots_[i].action = std::move(a);
+  slots_[i].ready.store(true, std::memory_order_release);
+}
+
+void Recorder::invoke(ThreadId t, Symbol object, Symbol method, Value arg) {
+  record(Action::invoke(t, object, method, std::move(arg)));
+}
+
+void Recorder::respond(ThreadId t, Symbol object, Symbol method, Value ret) {
+  record(Action::respond(t, object, method, std::move(ret)));
+}
+
+History Recorder::snapshot() const {
+  History out;
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!slots_[i].ready.load(std::memory_order_acquire)) break;
+    out.append(slots_[i].action);
+  }
+  return out;
+}
+
+void Recorder::reset() {
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) {
+    slots_[i].ready.store(false, std::memory_order_relaxed);
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+  next_.store(0, std::memory_order_release);
+}
+
+}  // namespace cal::runtime

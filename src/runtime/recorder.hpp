@@ -1,0 +1,96 @@
+// Concurrent history recorder.
+//
+// Records the invocation/response actions of real threaded executions into a
+// single global order, producing the History objects the checkers consume.
+// The interaction is recorded "at the interface level ... at the point where
+// control passes from the program to the object system and vice versa" (§3):
+// objects call invoke() on entry and respond() on exit.
+//
+// Implementation: a fixed-capacity log. A slot is claimed with one atomic
+// fetch_add (wait-free), written, then published with a release store on a
+// per-slot ready flag; snapshot() reads with acquire loads and stops at the
+// first unpublished slot, so it only ever observes a consistent prefix.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "cal/history.hpp"
+
+namespace cal::runtime {
+
+class Recorder {
+ public:
+  explicit Recorder(std::size_t capacity = 1 << 20);
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  /// Records (t, inv o.f(arg)). Wait-free. Drops the action (and counts the
+  /// drop) if the log is full.
+  void invoke(ThreadId t, Symbol object, Symbol method,
+              Value arg = Value::unit());
+  /// Records (t, res o.f ▷ ret).
+  void respond(ThreadId t, Symbol object, Symbol method,
+               Value ret = Value::unit());
+
+  /// The longest published prefix as a History. Safe to call concurrently
+  /// with recording, but normally called after joining worker threads.
+  [[nodiscard]] History snapshot() const;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    const std::size_t n = next_.load(std::memory_order_acquire);
+    return n < slots_.size() ? n : slots_.size();
+  }
+  [[nodiscard]] std::size_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  void reset();
+
+ private:
+  struct Slot {
+    Action action;
+    std::atomic<bool> ready{false};
+  };
+
+  void record(Action a);
+
+  std::vector<Slot> slots_;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<std::size_t> dropped_{0};
+};
+
+/// RAII pair: records the invocation on construction and the response when
+/// `finish(ret)` is called (or a unit response on destruction if not).
+class RecordedCall {
+ public:
+  RecordedCall(Recorder& recorder, ThreadId t, Symbol object, Symbol method,
+               Value arg = Value::unit())
+      : recorder_(recorder), tid_(t), object_(object), method_(method) {
+    recorder_.invoke(tid_, object_, method_, std::move(arg));
+  }
+
+  ~RecordedCall() {
+    if (!finished_) recorder_.respond(tid_, object_, method_);
+  }
+
+  RecordedCall(const RecordedCall&) = delete;
+  RecordedCall& operator=(const RecordedCall&) = delete;
+
+  void finish(Value ret) {
+    recorder_.respond(tid_, object_, method_, std::move(ret));
+    finished_ = true;
+  }
+
+ private:
+  Recorder& recorder_;
+  ThreadId tid_;
+  Symbol object_;
+  Symbol method_;
+  bool finished_ = false;
+};
+
+}  // namespace cal::runtime

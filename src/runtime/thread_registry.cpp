@@ -1,0 +1,34 @@
+#include "runtime/thread_registry.hpp"
+
+#include <stdexcept>
+
+namespace cal::runtime {
+
+ThreadRegistry& ThreadRegistry::instance() {
+  static ThreadRegistry* registry = new ThreadRegistry();  // leaked singleton
+  return *registry;
+}
+
+ThreadId ThreadRegistry::acquire() {
+  std::lock_guard lock(mu_);
+  for (std::size_t i = 0; i < in_use_.size(); ++i) {
+    if (!in_use_[i]) {
+      in_use_[i] = true;
+      if (i + 1 > high_water_) high_water_ = i + 1;
+      return static_cast<ThreadId>(i);
+    }
+  }
+  throw std::runtime_error("ThreadRegistry: more than kMaxThreads live ids");
+}
+
+void ThreadRegistry::release(ThreadId id) noexcept {
+  std::lock_guard lock(mu_);
+  if (id < in_use_.size()) in_use_[id] = false;
+}
+
+std::size_t ThreadRegistry::high_water() const noexcept {
+  std::lock_guard lock(mu_);
+  return high_water_;
+}
+
+}  // namespace cal::runtime

@@ -1,0 +1,56 @@
+// Dense thread-id assignment.
+//
+// Histories and rely/guarantee actions are indexed by small integer thread
+// ids (t ∈ T). Worker threads register on first use and obtain a dense id;
+// ids are released on thread exit and may be reused by later threads, which
+// keeps per-thread arrays (epoch slots, recorder shards) small.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace cal::runtime {
+
+using ThreadId = std::uint32_t;
+
+class ThreadRegistry {
+ public:
+  static constexpr std::size_t kMaxThreads = 256;
+
+  /// The singleton registry used by the guard below.
+  static ThreadRegistry& instance();
+
+  /// Claims the smallest free id. Throws std::runtime_error beyond
+  /// kMaxThreads live threads.
+  [[nodiscard]] ThreadId acquire();
+  void release(ThreadId id) noexcept;
+
+  /// Number of ids ever claimed simultaneously (high-water mark).
+  [[nodiscard]] std::size_t high_water() const noexcept;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<bool> in_use_ = std::vector<bool>(kMaxThreads, false);
+  std::size_t high_water_ = 0;
+};
+
+/// RAII registration for the calling thread; `tid()` is stable for the
+/// guard's lifetime.
+class ThreadIdGuard {
+ public:
+  explicit ThreadIdGuard(ThreadRegistry& registry = ThreadRegistry::instance())
+      : registry_(registry), tid_(registry.acquire()) {}
+  ~ThreadIdGuard() { registry_.release(tid_); }
+
+  ThreadIdGuard(const ThreadIdGuard&) = delete;
+  ThreadIdGuard& operator=(const ThreadIdGuard&) = delete;
+
+  [[nodiscard]] ThreadId tid() const noexcept { return tid_; }
+
+ private:
+  ThreadRegistry& registry_;
+  ThreadId tid_;
+};
+
+}  // namespace cal::runtime

@@ -1,0 +1,36 @@
+#include "runtime/trace_log.hpp"
+
+namespace cal::runtime {
+
+TraceLog::TraceLog(std::size_t capacity) : slots_(capacity) {}
+
+void TraceLog::append(CaElement element) {
+  const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+  if (i >= slots_.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  slots_[i].element = std::move(element);
+  slots_[i].ready.store(true, std::memory_order_release);
+}
+
+CaTrace TraceLog::snapshot() const {
+  CaTrace out;
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!slots_[i].ready.load(std::memory_order_acquire)) break;
+    out.append(slots_[i].element);
+  }
+  return out;
+}
+
+void TraceLog::reset() {
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) {
+    slots_[i].ready.store(false, std::memory_order_relaxed);
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+  next_.store(0, std::memory_order_release);
+}
+
+}  // namespace cal::runtime

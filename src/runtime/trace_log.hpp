@@ -1,0 +1,63 @@
+// The auxiliary history variable 𝒯 (§4 of the paper).
+//
+// Verification instruments programs with auxiliary assignments that append
+// CA-elements to a single global trace variable at commit points — e.g. the
+// exchanger's XCHG CAS appends E.swap(g.tid, g.data, t, n.data), and its
+// failure returns append the singleton failure element. This class is that
+// variable for *real threaded* executions: a wait-free append log of
+// CA-elements.
+//
+// Fidelity note: in the paper (and in the model-checking substrate,
+// src/sched), the auxiliary assignment happens *atomically with* the
+// instrumented instruction. Real hardware offers no such coupling, so here
+// the append happens immediately after the committing instruction; the
+// resulting 𝒯 may order two racing commits differently from their memory
+// order. The tests therefore validate recorded traces with replay_ca /
+// agrees_with (order-insensitive within overlap windows) rather than by
+// exact equality, and the exact-coupling claim is discharged by the model
+// checker.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "cal/ca_trace.hpp"
+
+namespace cal::runtime {
+
+class TraceLog {
+ public:
+  explicit TraceLog(std::size_t capacity = 1 << 20);
+
+  TraceLog(const TraceLog&) = delete;
+  TraceLog& operator=(const TraceLog&) = delete;
+
+  /// Appends one CA-element to 𝒯. Wait-free; drops (and counts) on overflow.
+  void append(CaElement element);
+
+  /// The longest published prefix of 𝒯.
+  [[nodiscard]] CaTrace snapshot() const;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    const std::size_t n = next_.load(std::memory_order_acquire);
+    return n < slots_.size() ? n : slots_.size();
+  }
+  [[nodiscard]] std::size_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  void reset();
+
+ private:
+  struct Slot {
+    CaElement element;
+    std::atomic<bool> ready{false};
+  };
+
+  std::vector<Slot> slots_;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<std::size_t> dropped_{0};
+};
+
+}  // namespace cal::runtime

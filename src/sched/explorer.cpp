@@ -1,0 +1,200 @@
+#include "sched/explorer.hpp"
+
+namespace cal::sched {
+
+namespace {
+
+/// Serializes a history for terminal deduplication.
+std::vector<std::int64_t> encode_history(const History& h) {
+  std::vector<std::int64_t> out;
+  out.reserve(h.size() * 5);
+  for (const Action& a : h.actions()) {
+    out.push_back(a.is_invoke() ? 1 : 2);
+    out.push_back(a.tid);
+    out.push_back(a.object.id());
+    out.push_back(a.method.id());
+    out.push_back(static_cast<std::int64_t>(a.payload.hash()));
+  }
+  return out;
+}
+
+}  // namespace
+
+Explorer::Explorer(const WorldConfig& config,
+                   std::vector<std::unique_ptr<SimObject>> objects,
+                   ExploreOptions options)
+    : config_(config), objects_(std::move(objects)), options_(options) {}
+
+ExploreResult Explorer::run() {
+  visited_.clear();
+  seen_histories_.clear();
+  schedule_.clear();
+  result_ = ExploreResult{};
+  done_ = false;
+
+  World initial(config_);
+  for (auto& obj : objects_) obj->init(initial);
+  dfs(std::move(initial), 0);
+  return result_;
+}
+
+void Explorer::record_violation(const World& world) {
+  result_.violations.push_back(
+      ScheduleViolation{world.violation().value_or("unknown"), schedule_});
+  if (options_.stop_on_first_violation) done_ = true;
+}
+
+void Explorer::reached(World&& world, std::size_t depth) {
+  if (done_) return;
+  if (world.violated()) {
+    record_violation(world);
+    return;
+  }
+  if (auditor_ != nullptr) {
+    if (auto why = auditor_->check_invariant(world)) {
+      world.report_violation("invariant: " + *why);
+      record_violation(world);
+      return;
+    }
+  }
+  dfs(std::move(world), depth);
+}
+
+void Explorer::dfs(World world, std::size_t depth) {
+  if (done_) return;
+  if (depth > result_.max_depth) result_.max_depth = depth;
+  result_.events |= world.events();
+
+  if (options_.max_states != 0 && result_.states >= options_.max_states) {
+    result_.exhausted = true;
+    done_ = true;
+    return;
+  }
+  if (options_.merge_states) {
+    std::vector<std::int64_t> key;
+    world.encode(key);
+    if (!visited_.insert(std::move(key)).second) {
+      ++result_.merged;
+      return;
+    }
+  }
+  ++result_.states;
+
+  if (world.all_done()) {
+    ++result_.terminals;
+    if (options_.collect_terminals) {
+      auto key = encode_history(world.history());
+      if (seen_histories_.insert(std::move(key)).second) {
+        result_.histories.push_back(world.history());
+        result_.traces.push_back(world.trace());
+      }
+    }
+    return;
+  }
+
+  for (std::size_t i = 0; i < world.threads().size(); ++i) {
+    const ThreadCtx& t = world.threads()[i];
+    if (t.done(config_.programs[t.program].calls.size())) continue;
+    advance(world, i, depth);
+    if (done_) return;
+  }
+}
+
+void Explorer::advance(const World& world, std::size_t thread,
+                       std::size_t depth) {
+  const ThreadCtx& t = world.threads()[thread];
+  const Call& call = config_.programs[t.program].calls[t.call_idx];
+  const SimObject& object = *objects_[call.object];
+
+  schedule_.push_back(ScheduleStep{t.tid, -1});
+  ++result_.transitions;
+
+  World next = world;  // branch
+  ThreadCtx& nt = next.threads()[thread];
+  StepResult sr = object.step(next, nt);
+
+  if (sr.kind == StepResult::Kind::kChoice) {
+    // Fork one successor per choice value; the machine consumes the choice
+    // on its next step.
+    for (std::int32_t c = 0; c < sr.nchoices && !done_; ++c) {
+      schedule_.back().choice = c;
+      World branch = world;
+      ThreadCtx& bt = branch.threads()[thread];
+      bt.choice = c;
+      StepResult inner = object.step(branch, bt);
+      bt.choice = -1;
+      if (inner.kind == StepResult::Kind::kChoice) {
+        branch.report_violation("machine asked for a choice twice in a row");
+      }
+      if (auditor_ != nullptr && !branch.violated()) {
+        if (auto why =
+                auditor_->check_transition(world, branch, bt.tid)) {
+          branch.report_violation("guarantee: " + *why);
+        }
+      }
+      reached(std::move(branch), depth + 1);
+    }
+  } else {
+    if (auditor_ != nullptr && !next.violated()) {
+      if (auto why = auditor_->check_transition(world, next, nt.tid)) {
+        next.report_violation("guarantee: " + *why);
+      }
+    }
+    reached(std::move(next), depth + 1);
+  }
+
+  schedule_.pop_back();
+}
+
+std::string ScheduleViolation::to_string() const {
+  std::string out = what + "\nschedule:";
+  for (const ScheduleStep& s : schedule) {
+    out += " t" + std::to_string(s.tid);
+    if (s.choice >= 0) out += "#" + std::to_string(s.choice);
+  }
+  return out;
+}
+
+World Explorer::replay(const std::vector<ScheduleStep>& schedule,
+                       bool record) {
+  WorldConfig cfg = config_;
+  if (record) {
+    cfg.record_history = true;
+    cfg.record_trace = true;
+  }
+  // The replay world references `cfg` locally, so rebuild against the
+  // original config after initialization: World stores a pointer to its
+  // config, which must outlive it. Use the member config with overridden
+  // recording only when identical lifetimes are guaranteed — simplest is
+  // to replay against the original config when no recording override is
+  // needed.
+  World world(record ? replay_config_.emplace(std::move(cfg))
+                     : config_);
+  for (auto& obj : objects_) obj->init(world);
+
+  for (const ScheduleStep& step : schedule) {
+    if (world.violated()) break;
+    ThreadCtx* ctx = nullptr;
+    for (ThreadCtx& t : world.threads()) {
+      if (t.tid == step.tid) ctx = &t;
+    }
+    if (ctx == nullptr ||
+        ctx->done(config_.programs[ctx->program].calls.size())) {
+      world.report_violation("replay: thread t" + std::to_string(step.tid) +
+                             " cannot act");
+      break;
+    }
+    const Call& call = config_.programs[ctx->program].calls[ctx->call_idx];
+    ctx->choice = step.choice;
+    StepResult sr = objects_[call.object]->step(world, *ctx);
+    ctx->choice = -1;
+    if (sr.kind == StepResult::Kind::kChoice) {
+      world.report_violation(
+          "replay: step needs a choice but none was recorded");
+      break;
+    }
+  }
+  return world;
+}
+
+}  // namespace cal::sched

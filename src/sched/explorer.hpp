@@ -1,0 +1,135 @@
+// Exhaustive interleaving exploration.
+//
+// Depth-first enumeration of every schedule of the simulated program, one
+// atomic step (shared access / nondeterministic choice) at a time. Two
+// modes:
+//
+//   * merged (default): worlds are hashed and converged schedules explored
+//     once. Sound for the online audit (L1-L3 and the rely/guarantee
+//     auditor are per-step checks, so equal states have equal futures);
+//     this is what makes 3-thread exchanger configurations tractable.
+//   * enumerating (merge_states = false, record_history = true): every
+//     interleaving is walked to a terminal state and its complete history
+//     (plus final raw 𝒯) collected — the input for the *offline* checkers,
+//     which cross-validate the online audit in the test suite.
+//
+// A TransitionAuditor hook observes every (pre, post, actor) transition and
+// every reached state; the rely/guarantee audit of Fig. 4 (sched/rg.hpp) is
+// implemented as one.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "sched/world.hpp"
+
+namespace cal::sched {
+
+class TransitionAuditor {
+ public:
+  virtual ~TransitionAuditor() = default;
+
+  /// Checks one transition by `actor`; a returned string is a violation.
+  [[nodiscard]] virtual std::optional<std::string> check_transition(
+      const World& pre, const World& post, ThreadId actor) const = 0;
+
+  /// Checks a state invariant (the paper's J); called on every new state.
+  [[nodiscard]] virtual std::optional<std::string> check_invariant(
+      const World& world) const = 0;
+};
+
+struct ExploreOptions {
+  bool merge_states = true;
+  /// Hard cap on distinct states (0 = unlimited); trips `exhausted`.
+  std::size_t max_states = 0;
+  bool stop_on_first_violation = true;
+  /// Collect unique terminal histories/traces (needs record_history /
+  /// record_trace in the WorldConfig; usually with merge_states = false).
+  bool collect_terminals = false;
+};
+
+/// One step of a recorded schedule: which thread acted, and the value of
+/// the nondeterministic choice it consumed (-1 = none).
+struct ScheduleStep {
+  ThreadId tid = 0;
+  std::int32_t choice = -1;
+
+  friend bool operator==(const ScheduleStep&, const ScheduleStep&) = default;
+};
+
+struct ScheduleViolation {
+  std::string what;
+  /// Every step up to and including the violating one — a replayable
+  /// counterexample (see Explorer::replay).
+  std::vector<ScheduleStep> schedule;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct ExploreResult {
+  std::size_t states = 0;       ///< distinct states visited
+  std::size_t transitions = 0;  ///< steps executed (incl. merged re-entries)
+  std::size_t merged = 0;       ///< prunes due to visited-set hits
+  std::size_t terminals = 0;    ///< terminal states reached
+  std::size_t max_depth = 0;
+  bool exhausted = false;
+  /// OR of World::events() over every reached state (reachability beacons).
+  std::uint64_t events = 0;
+  std::vector<ScheduleViolation> violations;
+  std::vector<History> histories;  ///< unique terminal histories
+  std::vector<CaTrace> traces;     ///< final raw 𝒯 per collected history
+
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+};
+
+class Explorer {
+ public:
+  Explorer(const WorldConfig& config,
+           std::vector<std::unique_ptr<SimObject>> objects,
+           ExploreOptions options = {});
+
+  void set_auditor(const TransitionAuditor* auditor) { auditor_ = auditor; }
+
+  [[nodiscard]] ExploreResult run();
+
+  /// Deterministically re-executes a recorded schedule from the initial
+  /// world (e.g. a violation's counterexample) and returns the resulting
+  /// world — histories, traces, and the violation (if any) can then be
+  /// inspected. Steps beyond a violation or past thread completion stop
+  /// the replay. Enable `record` to capture history/trace regardless of
+  /// the exploration config.
+  [[nodiscard]] World replay(const std::vector<ScheduleStep>& schedule,
+                             bool record = true);
+
+ private:
+  void dfs(World world, std::size_t depth);
+  /// Steps `thread` of a copy of `world`, resolving nondeterministic
+  /// choices by forking; recurses into dfs() for every successor.
+  void advance(const World& world, std::size_t thread, std::size_t depth);
+  void reached(World&& world, std::size_t depth);
+  void record_violation(const World& world);
+
+  const WorldConfig& config_;
+  std::vector<std::unique_ptr<SimObject>> objects_;
+  ExploreOptions options_;
+  const TransitionAuditor* auditor_ = nullptr;
+  /// Storage for replay()'s recording-enabled config copy (worlds keep a
+  /// pointer to their config, so it must outlive the returned World).
+  std::optional<WorldConfig> replay_config_;
+
+  struct KeyHash {
+    std::size_t operator()(const std::vector<std::int64_t>& k) const noexcept {
+      return hash_state(k);
+    }
+  };
+  std::unordered_set<std::vector<std::int64_t>, KeyHash> visited_;
+  std::unordered_set<std::vector<std::int64_t>, KeyHash> seen_histories_;
+  std::vector<ScheduleStep> schedule_;
+  ExploreResult result_;
+  bool done_ = false;
+};
+
+}  // namespace cal::sched

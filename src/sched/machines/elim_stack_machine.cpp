@@ -1,0 +1,221 @@
+#include "sched/machines/elim_stack_machine.hpp"
+
+#include "cal/specs/elim_views.hpp"
+
+namespace cal::sched {
+
+namespace {
+const Symbol& push_sym() {
+  static const Symbol s{"push"};
+  return s;
+}
+const Symbol& pop_sym() {
+  static const Symbol s{"pop"};
+  return s;
+}
+const Symbol& exchange_sym() {
+  static const Symbol s{"exchange"};
+  return s;
+}
+}  // namespace
+
+void ElimStackMachine::init(World& world) {
+  top_ = world.alloc_global(1);
+  fail_ = world.alloc_global(3);
+  slots_.clear();
+  slot_names_.clear();
+  for (std::size_t i = 0; i < width_; ++i) {
+    slots_.push_back(world.alloc_global(1));
+    slot_names_.push_back(elim_slot_name(ar_, i));
+  }
+}
+
+Word ElimStackMachine::offer_value(bool is_push, const Call& call) {
+  return is_push ? call.arg.as_int() : kInfinity;  // POP_SENTINAL
+}
+
+StepResult ElimStackMachine::step(World& world, ThreadCtx& t) const {
+  const Call& call = world.config().programs[t.program].calls[t.call_idx];
+  const bool is_push = call.method == push_sym();
+
+  auto log_stack = [&](Symbol method, Value arg, Value ret) {
+    world.append_element(CaElement::singleton(
+        s_, Operation::make(t.tid, s_, method, std::move(arg),
+                            std::move(ret))));
+  };
+  auto log_exch_fail = [&](std::size_t slot, Word v) {
+    world.append_element(CaElement::singleton(
+        slot_names_[slot],
+        Operation::make(t.tid, slot_names_[slot], exchange_sym(),
+                        Value::integer(v), Value::pair(false, v))));
+  };
+  /// Routes an exchange outcome value `d`: elimination success responds,
+  /// anything else retries.
+  auto after_exchange = [&](Word d) {
+    if (is_push) {
+      t.pc = d == kInfinity ? kRespondPush : kRetry;  // line 35
+    } else {
+      t.regs[kRegVal] = d;
+      t.pc = d != kInfinity ? kRespondPop : kRetry;  // line 45
+    }
+    if (t.pc != kRetry) world.signal_event(kEventElimination);
+  };
+
+  switch (t.pc) {
+    case kInvoke:
+      world.invoke(t);
+      t.regs[kRegRetries] = 0;
+      t.pc = kStackRead;
+      return StepResult::ran();
+
+    case kStackRead: {  // S.push / S.pop first read
+      const Word h = world.read(top_);
+      t.regs[kRegHead] = h;
+      if (is_push) {
+        const Addr n = world.alloc(t, 2);
+        world.write(n + kData, call.arg.as_int());
+        world.write(n + kNext, h);
+        t.regs[kRegNode] = n;
+        t.pc = kStackPushCas;
+      } else if (h == kNull) {
+        // S.pop EMPTY (Fig. 2 line 18): logged, then off to elimination.
+        log_stack(pop_sym(), Value::unit(), Value::pair(false, 0));
+        t.pc = kChooseSlot;
+      } else {
+        t.pc = kStackPopNext;
+      }
+      return StepResult::ran();
+    }
+
+    case kStackPushCas: {
+      const bool ok = world.cas(top_, t.regs[kRegHead], t.regs[kRegNode]);
+      log_stack(push_sym(), call.arg, Value::boolean(ok));
+      t.pc = ok ? kRespondPush : kChooseSlot;
+      return StepResult::ran();
+    }
+
+    case kStackPopNext: {
+      const Addr h = static_cast<Addr>(t.regs[kRegHead]);
+      t.regs[kRegNode] = world.read(h + kNext);
+      t.pc = kStackPopCas;
+      return StepResult::ran();
+    }
+
+    case kStackPopCas: {
+      const Addr h = static_cast<Addr>(t.regs[kRegHead]);
+      if (world.cas(top_, h, t.regs[kRegNode])) {
+        const Word v = world.read(h + kData);
+        t.regs[kRegVal] = v;
+        log_stack(pop_sym(), Value::unit(), Value::pair(true, v));
+        t.pc = kRespondPop;
+      } else {
+        log_stack(pop_sym(), Value::unit(), Value::pair(false, 0));
+        t.pc = kChooseSlot;
+      }
+      return StepResult::ran();
+    }
+
+    case kChooseSlot: {  // Fig. 2 line 4: int slot = random(0, K-1)
+      if (t.choice < 0) {
+        return StepResult::choice(static_cast<std::int32_t>(width_));
+      }
+      t.regs[kRegSlot] = t.choice;
+      t.pc = kExchInitCas;
+      return StepResult::ran();
+    }
+
+    case kExchInitCas: {
+      const Word v = offer_value(is_push, call);
+      const Addr n = world.alloc(t, 3);
+      world.write(n + kOfferTid, t.tid);
+      world.write(n + kOfferData, v);
+      t.regs[kRegNode] = n;
+      const Addr g = slots_[t.regs[kRegSlot]];
+      t.pc = world.cas(g, kNull, n) ? kExchPassCas : kExchReadG;
+      return StepResult::ran();
+    }
+
+    case kExchPassCas: {
+      const Addr n = static_cast<Addr>(t.regs[kRegNode]);
+      const std::size_t slot = static_cast<std::size_t>(t.regs[kRegSlot]);
+      if (world.cas(n + kOfferHole, kNull, fail_)) {
+        // Timed out unmatched: the inner exchange returns (false, v).
+        log_exch_fail(slot, offer_value(is_push, call));
+        t.pc = kRetry;
+      } else {
+        const Addr partner = static_cast<Addr>(world.read(n + kOfferHole));
+        after_exchange(world.read(partner + kOfferData));
+      }
+      return StepResult::ran();
+    }
+
+    case kExchReadG: {
+      const Addr g = slots_[t.regs[kRegSlot]];
+      const Word cur = world.read(g);
+      t.regs[kRegHead] = cur;
+      if (cur == kNull) {
+        log_exch_fail(static_cast<std::size_t>(t.regs[kRegSlot]),
+                      offer_value(is_push, call));
+        t.pc = kRetry;
+      } else {
+        t.pc = kExchXchgCas;
+      }
+      return StepResult::ran();
+    }
+
+    case kExchXchgCas: {
+      const Addr cur = static_cast<Addr>(t.regs[kRegHead]);
+      const Addr n = static_cast<Addr>(t.regs[kRegNode]);
+      const std::size_t slot = static_cast<std::size_t>(t.regs[kRegSlot]);
+      const bool s = world.cas(cur + kOfferHole, kNull, n);
+      t.regs[kRegS] = s ? 1 : 0;
+      if (s) {
+        world.append_element(CaElement::swap(
+            slot_names_[slot], exchange_sym(),
+            static_cast<ThreadId>(world.read(cur + kOfferTid)),
+            world.read(cur + kOfferData), t.tid,
+            offer_value(is_push, call)));
+      }
+      t.pc = kExchCleanCas;
+      return StepResult::ran();
+    }
+
+    case kExchCleanCas: {
+      const Addr cur = static_cast<Addr>(t.regs[kRegHead]);
+      const Addr g = slots_[t.regs[kRegSlot]];
+      world.cas(g, cur, kNull);
+      if (t.regs[kRegS] != 0) {
+        after_exchange(world.read(cur + kOfferData));
+      } else {
+        log_exch_fail(static_cast<std::size_t>(t.regs[kRegSlot]),
+                      offer_value(is_push, call));
+        t.pc = kRetry;
+      }
+      return StepResult::ran();
+    }
+
+    case kRespondPush:
+      world.respond(t, Value::boolean(true));
+      return StepResult::ran();
+
+    case kRespondPop:
+      world.respond(t, Value::pair(true, t.regs[kRegVal]));
+      return StepResult::ran();
+
+    case kRetry: {
+      t.regs[kRegRetries] += 1;
+      if (static_cast<std::size_t>(t.regs[kRegRetries]) > retry_bound_) {
+        world.truncate(t);
+      } else {
+        t.pc = kStackRead;
+      }
+      return StepResult::ran();
+    }
+
+    default:
+      world.report_violation("elimination stack machine: invalid pc");
+      return StepResult::ran();
+  }
+}
+
+}  // namespace cal::sched

@@ -1,0 +1,95 @@
+// The elimination stack of Fig. 2 as a step machine: the central-stack
+// attempt and the elimination-array exchange inlined into one pc space,
+// with the retry loop bounded (a thread that exhausts its retry budget is
+// truncated — its operation stays pending, which the checkers handle as an
+// incomplete history; see Explorer).
+//
+// The machine appends the *subobjects'* CA-elements (S singletons, E[slot]
+// swaps/failures) to 𝒯, exactly like the composed real implementation; the
+// World's configured view 𝔽_ES = F̂_ES ∘ F̂_AR maps them to ES-level
+// linearization points for the online audit — the paper's §5 modular
+// argument run operationally.
+//
+// The elimination slot choice (Fig. 2 line 4, random(0, K-1)) is a genuine
+// nondeterministic choice: the explorer forks on every slot.
+#pragma once
+
+#include <vector>
+
+#include "sched/world.hpp"
+
+namespace cal::sched {
+
+class ElimStackMachine final : public SimObject {
+ public:
+  /// `es` / `s` / `ar` name the composite and its two subobjects; `width`
+  /// is the elimination array size K; `retry_bound` caps the Fig. 2
+  /// while(true) loop per operation.
+  ElimStackMachine(Symbol es, Symbol s, Symbol ar, std::size_t width,
+                   std::size_t retry_bound = 2)
+      : es_(es), s_(s), ar_(ar), width_(width), retry_bound_(retry_bound) {}
+
+  void init(World& world) override;
+  [[nodiscard]] StepResult step(World& world, ThreadCtx& t) const override;
+
+  [[nodiscard]] Symbol name() const noexcept { return es_; }
+  [[nodiscard]] Symbol stack_name() const noexcept { return s_; }
+  [[nodiscard]] Symbol array_name() const noexcept { return ar_; }
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+  [[nodiscard]] Addr top_addr() const noexcept { return top_; }
+  [[nodiscard]] Addr slot_g_addr(std::size_t i) const { return slots_[i]; }
+
+  // Cell layout: [0] data, [1] next. Offer layout: [0] tid, [1] data,
+  // [2] hole.
+  static constexpr Addr kData = 0;
+  static constexpr Addr kNext = 1;
+  static constexpr Addr kOfferTid = 0;
+  static constexpr Addr kOfferData = 1;
+  static constexpr Addr kOfferHole = 2;
+
+  enum Pc : std::int32_t {
+    kInvoke = 0,
+    kStackRead = 1,
+    kStackPushCas = 2,
+    kStackPopNext = 3,
+    kStackPopCas = 4,
+    kChooseSlot = 5,
+    kExchInitCas = 6,
+    kExchPassCas = 7,
+    kExchReadG = 8,
+    kExchXchgCas = 9,
+    kExchCleanCas = 10,
+    kRespondPush = 11,
+    kRespondPop = 12,
+    kRetry = 13,
+  };
+
+  /// World event bit signalled when an operation completes by elimination
+  /// (reachability beacon; see World::signal_event).
+  static constexpr unsigned kEventElimination = 0;
+
+  enum Reg : std::size_t {
+    kRegNode = 0,
+    kRegHead = 1,
+    kRegVal = 2,
+    kRegS = 3,
+    kRegRetries = 4,
+    kRegSlot = 5,
+  };
+
+ private:
+  /// The value this thread offers to the elimination array.
+  [[nodiscard]] static Word offer_value(bool is_push, const Call& call);
+
+  Symbol es_;
+  Symbol s_;
+  Symbol ar_;
+  std::size_t width_;
+  std::size_t retry_bound_;
+  Addr top_ = kNull;
+  Addr fail_ = kNull;
+  std::vector<Addr> slots_;
+  std::vector<Symbol> slot_names_;
+};
+
+}  // namespace cal::sched

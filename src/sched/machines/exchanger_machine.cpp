@@ -1,0 +1,108 @@
+#include "sched/machines/exchanger_machine.hpp"
+
+namespace cal::sched {
+
+namespace {
+const Symbol& exchange_sym() {
+  static const Symbol s{"exchange"};
+  return s;
+}
+}  // namespace
+
+void ExchangerMachine::init(World& world) {
+  g_ = world.alloc_global(1);     // Offer g = null (line 9)
+  fail_ = world.alloc_global(3);  // Offer fail = new Offer(0,0) (line 10)
+}
+
+StepResult ExchangerMachine::step(World& world, ThreadCtx& t) const {
+  const Call& call =
+      world.config().programs[t.program].calls[t.call_idx];
+
+  auto fail_element = [&](Word v) {
+    return CaElement::singleton(
+        name_, Operation::make(t.tid, name_, exchange_sym(),
+                               Value::integer(v), Value::pair(false, v)));
+  };
+
+  switch (t.pc) {
+    case kInvoke: {
+      world.invoke(t);
+      const Word v = call.arg.as_int();
+      const Addr n = world.alloc(t, 3);  // Offer n = new Offer(tid, v)
+      world.write(n + kTid, t.tid);
+      world.write(n + kData, v);
+      // hole starts null (cells are zeroed)
+      t.regs[kRegN] = n;
+      t.regs[kRegV] = v;
+      t.pc = kInitCas;
+      return StepResult::ran();
+    }
+    case kInitCas: {  // line 15: CAS(g, null, n)
+      const Addr n = static_cast<Addr>(t.regs[kRegN]);
+      t.pc = world.cas(g_, kNull, n) ? kPassCas : kReadG;
+      return StepResult::ran();
+    }
+    case kPassCas: {  // line 18: CAS(n.hole, null, fail)
+      const Addr n = static_cast<Addr>(t.regs[kRegN]);
+      t.pc = world.cas(n + kHole, kNull, fail_) ? kFailReturnA
+                                                : kSuccessReturnA;
+      return StepResult::ran();
+    }
+    case kFailReturnA: {  // line 20: return (false, v) — FAIL aux append
+      const Word v = t.regs[kRegV];
+      world.append_element(fail_element(v));
+      world.respond(t, Value::pair(false, v));
+      return StepResult::ran();
+    }
+    case kSuccessReturnA: {  // line 22: return (true, n.hole.data)
+      const Addr n = static_cast<Addr>(t.regs[kRegN]);
+      const Addr partner = static_cast<Addr>(world.read(n + kHole));
+      const Word data = world.read(partner + kData);
+      world.respond(t, Value::pair(true, data));
+      return StepResult::ran();
+    }
+    case kReadG: {  // line 25: Offer cur = g
+      t.regs[kRegCur] = world.read(g_);
+      t.pc = t.regs[kRegCur] == kNull ? kFailReturnB : kXchgCas;
+      return StepResult::ran();
+    }
+    case kXchgCas: {  // line 29: s = CAS(cur.hole, null, n) — XCHG
+      const Addr cur = static_cast<Addr>(t.regs[kRegCur]);
+      const Addr n = static_cast<Addr>(t.regs[kRegN]);
+      const bool s = world.cas(cur + kHole, kNull, n);
+      t.regs[kRegS] = s ? 1 : 0;
+      if (s) {
+        // The auxiliary assignment of the XCHG action (§5.1): one concrete
+        // atomic step logs a CA-element completing *two* operations.
+        world.append_element(CaElement::swap(
+            name_, exchange_sym(),
+            static_cast<ThreadId>(world.read(cur + kTid)),
+            world.read(cur + kData), t.tid, t.regs[kRegV]));
+      }
+      t.pc = kCleanCas;
+      return StepResult::ran();
+    }
+    case kCleanCas: {  // line 31: CAS(g, cur, null) — CLEAN (unconditional)
+      const Addr cur = static_cast<Addr>(t.regs[kRegCur]);
+      world.cas(g_, cur, kNull);
+      t.pc = t.regs[kRegS] != 0 ? kSuccessReturnB : kFailReturnB;
+      return StepResult::ran();
+    }
+    case kSuccessReturnB: {  // line 33: return (true, cur.data)
+      const Addr cur = static_cast<Addr>(t.regs[kRegCur]);
+      world.respond(t, Value::pair(true, world.read(cur + kData)));
+      return StepResult::ran();
+    }
+    case kFailReturnB: {  // line 35: return (false, v) — FAIL aux append
+      const Word v = t.regs[kRegV];
+      world.append_element(fail_element(v));
+      world.respond(t, Value::pair(false, v));
+      return StepResult::ran();
+    }
+    default:
+      world.report_violation("exchanger machine: invalid pc");
+      return StepResult::ran();
+  }
+}
+
+}  // namespace cal::sched

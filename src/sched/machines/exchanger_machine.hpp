@@ -1,0 +1,73 @@
+// The Fig. 1 exchanger compiled into explicit atomic steps for the
+// explorer, with the paper's auxiliary assignments at exactly the
+// instrumented points (§5.1):
+//
+//   pc0  invoke; allocate Offer n = {tid, v, hole: null}
+//   pc1  CAS(g, null, n)                        — INIT   → pc2 / pc5
+//   pc2  CAS(n.hole, null, fail)                — PASS   → pc3 / pc4
+//   pc3  𝒯 += E.{(tid, ex(v) ▷ (false,v))};       FAIL
+//        respond (false, v)
+//   pc4  partner = n.hole; respond (true, partner.data)
+//   pc5  cur = g                                         → pc6 / pc9
+//   pc6  s = CAS(cur.hole, null, n); if s:
+//          𝒯 += E.swap(cur.tid, cur.data, tid, n.data)  — XCHG
+//   pc7  CAS(g, cur, null)                      — CLEAN
+//   pc8  respond (true, cur.data)
+//   pc9  𝒯 += failure element; respond (false,v)         FAIL
+//
+// The bounded wait (Fig. 1 line 17, sleep(50)) needs no modelling: whether
+// a partner arrives "during the wait" is exactly the scheduler's choice of
+// running the partner's pc6 before this thread's pc2, so the schedule
+// enumeration already covers every timeout outcome.
+//
+// Offer layout: [0] tid (the auxiliary field of §5.1), [1] data, [2] hole.
+#pragma once
+
+#include "sched/world.hpp"
+
+namespace cal::sched {
+
+class ExchangerMachine final : public SimObject {
+ public:
+  /// `name` is the object identity used in 𝒯 elements and histories.
+  explicit ExchangerMachine(Symbol name) : name_(name) {}
+
+  void init(World& world) override;
+  [[nodiscard]] StepResult step(World& world, ThreadCtx& t) const override;
+
+  [[nodiscard]] Symbol name() const noexcept { return name_; }
+  /// Address of the global offer slot g (for the rely/guarantee auditor).
+  [[nodiscard]] Addr g_addr() const noexcept { return g_; }
+  /// Address of the fail sentinel offer.
+  [[nodiscard]] Addr fail_addr() const noexcept { return fail_; }
+
+  // Offer field offsets.
+  static constexpr Addr kTid = 0;
+  static constexpr Addr kData = 1;
+  static constexpr Addr kHole = 2;
+
+  // Program counters (public so the proof-outline auditor can key
+  // assertions by control point).
+  enum Pc : std::int32_t {
+    kInvoke = 0,
+    kInitCas = 1,
+    kPassCas = 2,
+    kFailReturnA = 3,
+    kSuccessReturnA = 4,
+    kReadG = 5,
+    kXchgCas = 6,
+    kCleanCas = 7,
+    kSuccessReturnB = 8,
+    kFailReturnB = 9,
+  };
+
+  // Register allocation.
+  enum Reg : std::size_t { kRegN = 0, kRegV = 1, kRegCur = 2, kRegS = 3 };
+
+ private:
+  Symbol name_;
+  Addr g_ = kNull;
+  Addr fail_ = kNull;
+};
+
+}  // namespace cal::sched

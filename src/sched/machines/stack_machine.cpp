@@ -1,0 +1,97 @@
+#include "sched/machines/stack_machine.hpp"
+
+namespace cal::sched {
+
+namespace {
+const Symbol& push_sym() {
+  static const Symbol s{"push"};
+  return s;
+}
+}  // namespace
+
+void StackMachine::init(World& world) {
+  top_ = world.alloc_global(1);  // Cell top = null (line 9)
+}
+
+StepResult StackMachine::step(World& world, ThreadCtx& t) const {
+  const Call& call = world.config().programs[t.program].calls[t.call_idx];
+  const bool is_push = call.method == push_sym();
+
+  auto log_op = [&](Value arg, Value ret) {
+    world.append_element(CaElement::singleton(
+        name_, Operation::make(t.tid, name_, call.method, std::move(arg),
+                               std::move(ret))));
+  };
+
+  switch (t.pc) {
+    case kInvoke:
+      world.invoke(t);
+      t.pc = kRead;
+      return StepResult::ran();
+
+    case kRead: {
+      const Word h = world.read(top_);
+      t.regs[kRegHead] = h;
+      if (is_push) {
+        const Addr n = world.alloc(t, 2);  // Cell n = new Cell(data, h)
+        world.write(n + kData, call.arg.as_int());
+        world.write(n + kNext, h);
+        t.regs[kRegNode] = n;
+        t.pc = kPushCas;
+      } else if (h == kNull) {  // line 17: EMPTY
+        log_op(Value::unit(), Value::pair(false, 0));
+        t.pc = kRespondFail;
+      } else {
+        t.pc = kPopReadNext;
+      }
+      return StepResult::ran();
+    }
+
+    case kPushCas: {  // line 13: return CAS(&top, h, n)
+      const bool ok = world.cas(top_, t.regs[kRegHead], t.regs[kRegNode]);
+      t.regs[kRegVal] = ok ? 1 : 0;
+      log_op(call.arg, Value::boolean(ok));
+      t.pc = kRespondOk;
+      return StepResult::ran();
+    }
+
+    case kPopReadNext: {  // line 19: Cell n = h.next
+      const Addr h = static_cast<Addr>(t.regs[kRegHead]);
+      t.regs[kRegNode] = world.read(h + kNext);
+      t.pc = kPopCas;
+      return StepResult::ran();
+    }
+
+    case kPopCas: {  // line 20: CAS(&top, h, n)
+      const Addr h = static_cast<Addr>(t.regs[kRegHead]);
+      if (world.cas(top_, h, t.regs[kRegNode])) {
+        const Word v = world.read(h + kData);
+        t.regs[kRegVal] = v;
+        log_op(Value::unit(), Value::pair(true, v));
+        t.pc = kRespondOk;
+      } else {  // line 23
+        log_op(Value::unit(), Value::pair(false, 0));
+        t.pc = kRespondFail;
+      }
+      return StepResult::ran();
+    }
+
+    case kRespondFail:
+      world.respond(t, Value::pair(false, 0));
+      return StepResult::ran();
+
+    case kRespondOk:
+      if (is_push) {
+        world.respond(t, Value::boolean(t.regs[kRegVal] != 0));
+      } else {
+        world.respond(t, Value::pair(true, t.regs[kRegVal]));
+      }
+      return StepResult::ran();
+
+    default:
+      world.report_violation("stack machine: invalid pc");
+      return StepResult::ran();
+  }
+}
+
+}  // namespace cal::sched

@@ -1,0 +1,47 @@
+// The central stack of Fig. 2 (class Stack) as a step machine: one-shot
+// CAS push/pop logging singleton CA-elements at the linearization points.
+//
+//   push: pc0 invoke           pop: pc0 invoke
+//         pc1 h = top; alloc n      pc1 h = top (null → pc4 via empty log)
+//         pc2 CAS(top,h,n); log     pc2 n = h.next
+//         pc3 respond               pc3 CAS(top,h,n); log
+//                                   pc4/pc5 respond fail/ok
+//
+// Cell layout: [0] data, [1] next.
+#pragma once
+
+#include "sched/world.hpp"
+
+namespace cal::sched {
+
+class StackMachine final : public SimObject {
+ public:
+  explicit StackMachine(Symbol name) : name_(name) {}
+
+  void init(World& world) override;
+  [[nodiscard]] StepResult step(World& world, ThreadCtx& t) const override;
+
+  [[nodiscard]] Symbol name() const noexcept { return name_; }
+  [[nodiscard]] Addr top_addr() const noexcept { return top_; }
+
+  static constexpr Addr kData = 0;
+  static constexpr Addr kNext = 1;
+
+  enum Pc : std::int32_t {
+    kInvoke = 0,
+    kRead = 1,
+    kPushCas = 2,
+    kPopReadNext = 3,
+    kPopCas = 4,
+    kRespondFail = 5,
+    kRespondOk = 6,
+  };
+
+  enum Reg : std::size_t { kRegNode = 0, kRegHead = 1, kRegVal = 2 };
+
+ private:
+  Symbol name_;
+  Addr top_ = kNull;
+};
+
+}  // namespace cal::sched

@@ -1,0 +1,193 @@
+#include "sched/machines/sync_queue_machine.hpp"
+
+namespace cal::sched {
+
+namespace {
+const Symbol& put_sym() {
+  static const Symbol s{"put"};
+  return s;
+}
+const Symbol& take_sym() {
+  static const Symbol s{"take"};
+  return s;
+}
+constexpr Word kModeData = 0;
+constexpr Word kModeRequest = 1;
+}  // namespace
+
+void SyncQueueMachine::init(World& world) {
+  top_ = world.alloc_global(1);
+  cancelled_ = world.alloc_global(5);  // sentinel node
+}
+
+StepResult SyncQueueMachine::step(World& world, ThreadCtx& t) const {
+  const Call& call = world.config().programs[t.program].calls[t.call_idx];
+  const bool is_put = call.method == put_sym();
+
+  auto log_failure = [&] {
+    if (is_put) {
+      world.append_element(CaElement::singleton(
+          name_, Operation::make(t.tid, name_, put_sym(),
+                                 Value::integer(t.regs[kRegV]),
+                                 Value::boolean(false))));
+    } else {
+      world.append_element(CaElement::singleton(
+          name_, Operation::make(t.tid, name_, take_sym(), Value::unit(),
+                                 Value::pair(false, 0))));
+    }
+  };
+  auto log_pair = [&](ThreadId putter, Word v, ThreadId taker) {
+    world.append_element(CaElement(
+        name_, {Operation::make(putter, name_, put_sym(), Value::integer(v),
+                                Value::boolean(true)),
+                Operation::make(taker, name_, take_sym(), Value::unit(),
+                                Value::pair(true, v))}));
+    world.signal_event(kEventPairing);
+  };
+
+  switch (t.pc) {
+    case kInvoke:
+      world.invoke(t);
+      t.regs[kRegV] = is_put ? call.arg.as_int() : 0;
+      t.regs[kRegMode] = is_put ? kModeData : kModeRequest;
+      t.regs[kRegRetries] = 0;
+      t.pc = kReadTop;
+      return StepResult::ran();
+
+    case kReadTop: {
+      const Word h = world.read(top_);
+      t.regs[kRegHead] = h;
+      if (h == kNull ||
+          world.read(static_cast<Addr>(h) + kMode) == t.regs[kRegMode]) {
+        // Reserve: allocate the node now; published at the next CAS.
+        const Addr node = world.alloc(t, 5);
+        world.write(node + kMode, t.regs[kRegMode]);
+        world.write(node + kData, t.regs[kRegV]);
+        world.write(node + kTid, t.tid);
+        world.write(node + kNext, h);
+        t.regs[kRegNode] = node;
+        t.pc = kPushCas;
+      } else {
+        t.pc = kReadMatch;
+      }
+      return StepResult::ran();
+    }
+
+    case kPushCas: {
+      const Addr node = static_cast<Addr>(t.regs[kRegNode]);
+      t.pc = world.cas(top_, t.regs[kRegHead], node) ? kMatchCas : kRetry;
+      return StepResult::ran();
+    }
+
+    case kMatchCas: {
+      // Timeout attempt — the "pass" of Fig. 1 line 18 transplanted: if we
+      // can cancel, nobody matched; otherwise the fulfiller already paired
+      // us (and logged the joint element).
+      const Addr node = static_cast<Addr>(t.regs[kRegNode]);
+      t.pc = world.cas(node + kMatch, kNull, cancelled_) ? kUnlinkSelf
+                                                         : kRespondWaiter;
+      return StepResult::ran();
+    }
+
+    case kUnlinkSelf: {
+      const Addr node = static_cast<Addr>(t.regs[kRegNode]);
+      const Word next = world.read(node + kNext);
+      Word self = node;
+      world.cas(top_, self, next);  // best-effort
+      t.pc = kRespondFail;
+      return StepResult::ran();
+    }
+
+    case kRespondFail:
+      log_failure();
+      if (is_put) {
+        world.respond(t, Value::boolean(false));
+      } else {
+        world.respond(t, Value::pair(false, 0));
+      }
+      return StepResult::ran();
+
+    case kRespondWaiter: {
+      const Addr node = static_cast<Addr>(t.regs[kRegNode]);
+      const Addr partner = static_cast<Addr>(world.read(node + kMatch));
+      if (is_put) {
+        world.respond(t, Value::boolean(true));
+      } else {
+        world.respond(t, Value::pair(true, world.read(partner + kData)));
+      }
+      return StepResult::ran();
+    }
+
+    case kReadMatch: {
+      const Addr h = static_cast<Addr>(t.regs[kRegHead]);
+      t.pc = world.read(h + kMatch) != kNull ? kHelpUnlink : kFulfillCas;
+      return StepResult::ran();
+    }
+
+    case kHelpUnlink: {
+      const Addr h = static_cast<Addr>(t.regs[kRegHead]);
+      const Word next = world.read(h + kNext);
+      Word head = h;
+      world.cas(top_, head, next);
+      t.pc = kRetry;
+      return StepResult::ran();
+    }
+
+    case kFulfillCas: {
+      const Addr h = static_cast<Addr>(t.regs[kRegHead]);
+      const Addr node = world.alloc(t, 5);
+      world.write(node + kMode, t.regs[kRegMode]);
+      world.write(node + kData, t.regs[kRegV]);
+      world.write(node + kTid, t.tid);
+      if (world.cas(h + kMatch, kNull, node)) {
+        // The fulfilling CAS completes both operations; append the joint
+        // element atomically with it.
+        const auto partner_tid =
+            static_cast<ThreadId>(world.read(h + kTid));
+        if (is_put) {
+          log_pair(/*putter=*/t.tid, t.regs[kRegV], /*taker=*/partner_tid);
+        } else {
+          log_pair(/*putter=*/partner_tid, world.read(h + kData),
+                   /*taker=*/t.tid);
+          t.regs[kRegGot] = world.read(h + kData);
+        }
+        t.pc = kUnlinkTop;
+      } else {
+        t.pc = kRetry;
+      }
+      return StepResult::ran();
+    }
+
+    case kUnlinkTop: {
+      const Addr h = static_cast<Addr>(t.regs[kRegHead]);
+      const Word next = world.read(h + kNext);
+      Word head = h;
+      world.cas(top_, head, next);
+      t.pc = kRespondFulfiller;
+      return StepResult::ran();
+    }
+
+    case kRespondFulfiller:
+      if (is_put) {
+        world.respond(t, Value::boolean(true));
+      } else {
+        world.respond(t, Value::pair(true, t.regs[kRegGot]));
+      }
+      return StepResult::ran();
+
+    case kRetry:
+      t.regs[kRegRetries] += 1;
+      if (static_cast<std::size_t>(t.regs[kRegRetries]) > retry_bound_) {
+        world.truncate(t);
+      } else {
+        t.pc = kReadTop;
+      }
+      return StepResult::ran();
+
+    default:
+      world.report_violation("sync queue machine: invalid pc");
+      return StepResult::ran();
+  }
+}
+
+}  // namespace cal::sched

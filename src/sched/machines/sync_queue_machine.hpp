@@ -1,0 +1,81 @@
+// The dual synchronous queue (objects/sync_queue.hpp) as a step machine —
+// the paper's second exchanger-style client, exhaustively verifiable.
+//
+// Protocol steps (mirroring SyncQueue::transfer):
+//   pc0  invoke
+//   pc1  h = top; same-mode/empty → reserve, complementary → fulfill
+//   pc2  CAS(top, h, node)          — publish reservation
+//   pc3  CAS(node.match, 0, CANCEL) — timeout ("pass") vs matched
+//   pc4  CAS(top, node, node.next)  — unlink own cancelled reservation
+//   pc5  𝒯 += failure element; respond failure
+//   pc6  respond success (waiter side; the fulfiller logged the pair)
+//   pc7  m = h.match (≠0 → help unlink; =0 → try fulfill)
+//   pc8  CAS(top, h, h.next)        — help remove matched/cancelled top
+//   pc9  CAS(h.match, 0, node); on success 𝒯 += the pairing CA-element
+//        Q.{(put(v) ▷ true), (take() ▷ (true,v))} — one atomic step
+//        completing two operations, the XCHG analogue
+//   pc10 CAS(top, h, h.next)        — pop the fulfilled reservation
+//   pc11 respond success (fulfiller side)
+//   pc12 retry bookkeeping (bounded; exceeding truncates the thread)
+//
+// Node layout: [0] mode (0 = DATA/put, 1 = REQUEST/take), [1] data,
+// [2] tid, [3] match, [4] next.
+#pragma once
+
+#include "sched/world.hpp"
+
+namespace cal::sched {
+
+class SyncQueueMachine final : public SimObject {
+ public:
+  explicit SyncQueueMachine(Symbol name, std::size_t retry_bound = 2)
+      : name_(name), retry_bound_(retry_bound) {}
+
+  void init(World& world) override;
+  [[nodiscard]] StepResult step(World& world, ThreadCtx& t) const override;
+
+  [[nodiscard]] Symbol name() const noexcept { return name_; }
+  [[nodiscard]] Addr top_addr() const noexcept { return top_; }
+
+  static constexpr Addr kMode = 0;
+  static constexpr Addr kData = 1;
+  static constexpr Addr kTid = 2;
+  static constexpr Addr kMatch = 3;
+  static constexpr Addr kNext = 4;
+
+  /// World event bit signalled when a hand-off pairing completes.
+  static constexpr unsigned kEventPairing = 1;
+
+  enum Pc : std::int32_t {
+    kInvoke = 0,
+    kReadTop = 1,
+    kPushCas = 2,
+    kMatchCas = 3,
+    kUnlinkSelf = 4,
+    kRespondFail = 5,
+    kRespondWaiter = 6,
+    kReadMatch = 7,
+    kHelpUnlink = 8,
+    kFulfillCas = 9,
+    kUnlinkTop = 10,
+    kRespondFulfiller = 11,
+    kRetry = 12,
+  };
+
+  enum Reg : std::size_t {
+    kRegNode = 0,
+    kRegHead = 1,
+    kRegV = 2,
+    kRegMode = 3,
+    kRegRetries = 4,
+    kRegGot = 5,
+  };
+
+ private:
+  Symbol name_;
+  std::size_t retry_bound_;
+  Addr top_ = kNull;
+  Addr cancelled_ = kNull;
+};
+
+}  // namespace cal::sched

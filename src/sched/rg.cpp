@@ -1,0 +1,289 @@
+#include "sched/rg.hpp"
+
+namespace cal::sched {
+
+namespace {
+const Symbol& exchange_sym() {
+  static const Symbol s{"exchange"};
+  return s;
+}
+
+std::string describe(const std::vector<std::int64_t>& xs) {
+  std::string out;
+  for (std::int64_t x : xs) out += std::to_string(x) + " ";
+  return out;
+}
+}  // namespace
+
+std::optional<std::string> ExchangerRgAuditor::check_transition(
+    const World& pre, const World& post, ThreadId actor) const {
+  // Collect the shared-memory delta of this single step.
+  std::vector<Change> changes;
+  const SimMemory& pm = pre.memory();
+  const SimMemory& qm = post.memory();
+  for (Addr a = 1; a < pm.size(); ++a) {
+    const Word b = pm.read(a);
+    const Word c = qm.read(a);
+    if (b != c) changes.push_back(Change{a, b, c});
+  }
+  const std::size_t appended = post.trace().size() - pre.trace().size();
+  return classify(pre, post, actor, changes, appended);
+}
+
+std::optional<std::string> ExchangerRgAuditor::classify(
+    const World& pre, const World& post, ThreadId actor,
+    const std::vector<Change>& changes, std::size_t appended) const {
+  const Addr g = machine_.g_addr();
+  const Addr fail = machine_.fail_addr();
+  const SimMemory& pm = pre.memory();
+  const SimMemory& qm = post.memory();
+
+  // Stutter: reads, pc moves, responses of already-logged results.
+  if (changes.empty() && appended == 0) return std::nullopt;
+
+  // Local-heap initialization: all changed cells are fresh (previously 0)
+  // cells in the actor's own region, and nothing was logged. This is the
+  // allocation in line 13, invisible to other threads until INIT.
+  if (appended == 0 && !changes.empty()) {
+    bool all_local_fresh = true;
+    for (const Change& ch : changes) {
+      if (pm.owner(ch.addr) != static_cast<int>(actor) || ch.before != 0) {
+        all_local_fresh = false;
+        break;
+      }
+    }
+    if (all_local_fresh) return std::nullopt;
+  }
+
+  // FAIL^t: pure auxiliary append, no shared-memory change.
+  if (changes.empty() && appended == 1) {
+    const CaElement& e = post.trace()[post.trace().size() - 1];
+    if (e.object() == machine_.name() && e.size() == 1) {
+      const Operation& op = e.ops().front();
+      if (op.tid == actor && op.method == exchange_sym() && op.ret &&
+          op.ret->kind() == Value::Kind::kPair && !op.ret->pair_ok() &&
+          op.arg == Value::integer(op.ret->pair_int())) {
+        return std::nullopt;  // FAIL
+      }
+    }
+    return "trace append by t" + std::to_string(actor) +
+           " matches no action: " + post.trace()[post.trace().size() - 1]
+               .to_string();
+  }
+
+  if (changes.size() == 1 && appended == 0) {
+    const Change& ch = changes.front();
+
+    // INIT^t: g: null → n with n.tid = t, n.hole = null.
+    if (ch.addr == g && ch.before == kNull && ch.after != kNull) {
+      const Addr n = static_cast<Addr>(ch.after);
+      if (qm.read(n + ExchangerMachine::kTid) ==
+              static_cast<Word>(actor) &&
+          qm.read(n + ExchangerMachine::kHole) == kNull) {
+        return std::nullopt;  // INIT
+      }
+      return "INIT by t" + std::to_string(actor) +
+             " publishes a malformed offer";
+    }
+
+    // CLEAN^t: g: cur → null with cur.hole ≠ null.
+    if (ch.addr == g && ch.after == kNull && ch.before != kNull) {
+      const Addr cur = static_cast<Addr>(ch.before);
+      if (pm.read(cur + ExchangerMachine::kHole) != kNull) {
+        return std::nullopt;  // CLEAN
+      }
+      return "CLEAN by t" + std::to_string(actor) +
+             " removed an unmatched offer";
+    }
+
+    // PASS^t: own published offer's hole: null → fail.
+    if (ch.before == kNull && ch.after == static_cast<Word>(fail)) {
+      const Addr n = ch.addr - ExchangerMachine::kHole;
+      if (pm.read(n + ExchangerMachine::kTid) == static_cast<Word>(actor) &&
+          pm.read(g) == static_cast<Word>(n)) {
+        return std::nullopt;  // PASS
+      }
+      return "PASS by t" + std::to_string(actor) +
+             " on an offer it does not own or that is not published";
+    }
+
+    return "unclassified shared write by t" + std::to_string(actor) +
+           " at cell " + std::to_string(ch.addr);
+  }
+
+  // XCHG^t: cur.hole: null → n (n ≠ fail, n.tid = t, g = cur) appending
+  // exactly E.swap(cur.tid, cur.data, t, n.data).
+  if (changes.size() == 1 && appended == 1) {
+    const Change& ch = changes.front();
+    if (ch.before == kNull && ch.after != static_cast<Word>(fail) &&
+        ch.after != kNull) {
+      const Addr cur = ch.addr - ExchangerMachine::kHole;
+      const Addr n = static_cast<Addr>(ch.after);
+      if (qm.read(n + ExchangerMachine::kTid) !=
+          static_cast<Word>(actor)) {
+        return "XCHG by t" + std::to_string(actor) +
+               " installs another thread's offer";
+      }
+      if (pm.read(cur + ExchangerMachine::kTid) ==
+          static_cast<Word>(actor)) {
+        return "XCHG by t" + std::to_string(actor) + " matched itself";
+      }
+      if (pm.read(g) != static_cast<Word>(cur)) {
+        return "XCHG by t" + std::to_string(actor) +
+               " on an offer not published in g";
+      }
+      const CaElement expected = CaElement::swap(
+          machine_.name(), exchange_sym(),
+          static_cast<ThreadId>(pm.read(cur + ExchangerMachine::kTid)),
+          pm.read(cur + ExchangerMachine::kData), actor,
+          qm.read(n + ExchangerMachine::kData));
+      const CaElement& logged = post.trace()[post.trace().size() - 1];
+      if (logged == expected) return std::nullopt;  // XCHG
+      return "XCHG by t" + std::to_string(actor) +
+             " logged the wrong element: " + logged.to_string() +
+             " instead of " + expected.to_string();
+    }
+  }
+
+  std::vector<std::int64_t> addrs;
+  for (const Change& ch : changes) addrs.push_back(ch.addr);
+  return "transition by t" + std::to_string(actor) +
+         " matches no guarantee action (cells " + describe(addrs) +
+         ", appends " + std::to_string(appended) + ")";
+}
+
+std::optional<std::string> ExchangerRgAuditor::check_invariant(
+    const World& world) const {
+  const SimMemory& m = world.memory();
+  const Word gval = m.read(machine_.g_addr());
+
+  // J: g ≠ null ∧ g.hole = null ⇒ InE(g.tid).
+  if (gval != kNull) {
+    const Addr offer = static_cast<Addr>(gval);
+    if (m.read(offer + ExchangerMachine::kHole) == kNull) {
+      const Word owner = m.read(offer + ExchangerMachine::kTid);
+      bool in_e = false;
+      for (const ThreadCtx& t : world.threads()) {
+        if (static_cast<Word>(t.tid) != owner || !t.op_active) continue;
+        const auto& prog = world.config().programs[t.program];
+        if (prog.calls[t.call_idx].method == exchange_sym()) in_e = true;
+      }
+      if (!in_e) {
+        return "J violated: unmatched published offer of t" +
+               std::to_string(owner) + " which is not inside exchange()";
+      }
+    }
+  }
+
+  if (!check_outline_) return std::nullopt;
+  for (const ThreadCtx& t : world.threads()) {
+    if (!t.op_active) continue;
+    if (auto why = check_outline(world, t)) return why;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> ExchangerRgAuditor::check_outline(
+    const World& world, const ThreadCtx& t) const {
+  const SimMemory& m = world.memory();
+  const Addr g = machine_.g_addr();
+  const Addr fail = machine_.fail_addr();
+  const Addr n = static_cast<Addr>(t.regs[ExchangerMachine::kRegN]);
+  const Word v = t.regs[ExchangerMachine::kRegV];
+
+  auto fmt = [&](const char* what) {
+    return std::string("proof outline at pc ") + std::to_string(t.pc) +
+           " for t" + std::to_string(t.tid) + ": " + what;
+  };
+
+  // B(k) ≜ k ≠ null ∧ k.tid ≠ tid ∧ TE|tid = T·E.swap(tid, p, k.tid, k.data).
+  auto B = [&](Word k) {
+    if (k == kNull || k == static_cast<Word>(fail)) return false;
+    const Addr ka = static_cast<Addr>(k);
+    if (m.read(ka + ExchangerMachine::kTid) == static_cast<Word>(t.tid)) {
+      return false;
+    }
+    return t.op_logged &&
+           t.op_logged_ret ==
+               Value::pair(true, m.read(ka + ExchangerMachine::kData));
+  };
+  // A ≜ TE|tid = T ∧ (g = null ∨ g.hole ≠ null ∨ g.tid ≠ tid) ∧ n ↦ tid,v,null.
+  auto A = [&]() {
+    if (t.op_logged) return false;
+    const Word gval = m.read(g);
+    bool g_ok = gval == kNull;
+    if (!g_ok) {
+      const Addr ga = static_cast<Addr>(gval);
+      g_ok = m.read(ga + ExchangerMachine::kHole) != kNull ||
+             m.read(ga + ExchangerMachine::kTid) !=
+                 static_cast<Word>(t.tid);
+    }
+    return g_ok &&
+           m.read(n + ExchangerMachine::kTid) == static_cast<Word>(t.tid) &&
+           m.read(n + ExchangerMachine::kData) == v &&
+           m.read(n + ExchangerMachine::kHole) == kNull;
+  };
+
+  switch (t.pc) {
+    case ExchangerMachine::kInitCas:
+      if (!A()) return fmt("A does not hold before the init CAS");
+      break;
+    case ExchangerMachine::kPassCas: {
+      // (TE|tid = T ∧ n ↦ tid,v,null ∧ g = n) ∨ B(n.hole)   (line 16)
+      const Word hole = m.read(n + ExchangerMachine::kHole);
+      const bool first = !t.op_logged && hole == kNull &&
+                         m.read(g) == static_cast<Word>(n);
+      if (!first && !B(hole)) {
+        return fmt("neither unmatched-published nor B(n.hole) holds");
+      }
+      break;
+    }
+    case ExchangerMachine::kSuccessReturnA: {
+      if (!B(m.read(n + ExchangerMachine::kHole))) {
+        return fmt("B(n.hole) does not hold at the passive success return");
+      }
+      break;
+    }
+    case ExchangerMachine::kXchgCas: {
+      // A ∧ (g = cur ∨ cur.hole ≠ null) ∧ cur ≠ null ∧ ¬s   (line 28)
+      const Word cur = t.regs[ExchangerMachine::kRegCur];
+      if (cur == kNull) return fmt("cur is null before the xchg CAS");
+      if (!A()) return fmt("A does not hold before the xchg CAS");
+      const Addr ca = static_cast<Addr>(cur);
+      if (m.read(g) != cur &&
+          m.read(ca + ExchangerMachine::kHole) == kNull) {
+        return fmt("g != cur and cur.hole is null before the xchg CAS");
+      }
+      break;
+    }
+    case ExchangerMachine::kCleanCas: {
+      // (¬s ∧ A ∨ s ∧ B(cur)) ∧ cur ≠ null ∧ cur.hole ≠ null   (line 30)
+      const Word cur = t.regs[ExchangerMachine::kRegCur];
+      const bool s = t.regs[ExchangerMachine::kRegS] != 0;
+      if (cur == kNull) return fmt("cur is null before the clean CAS");
+      const Addr ca = static_cast<Addr>(cur);
+      if (m.read(ca + ExchangerMachine::kHole) == kNull) {
+        return fmt("cur.hole is null before the clean CAS");
+      }
+      if (s ? !B(cur) : !A()) {
+        return fmt("post-xchg disjunction does not hold");
+      }
+      break;
+    }
+    case ExchangerMachine::kSuccessReturnB: {
+      if (!B(t.regs[ExchangerMachine::kRegCur])) {
+        return fmt("B(cur) does not hold at the active success return");
+      }
+      break;
+    }
+    case ExchangerMachine::kFailReturnA:
+    case ExchangerMachine::kFailReturnB:
+      if (t.op_logged) return fmt("failing return but already logged");
+      break;
+    default:
+      break;
+  }
+  return std::nullopt;
+}
+
+}  // namespace cal::sched

@@ -1,0 +1,66 @@
+// Executable rely/guarantee verification of the exchanger (Fig. 4 + the
+// Fig. 1 proof outline).
+//
+// The paper's proof obligations, discharged by enumeration over the
+// explorer's state space instead of by hand:
+//
+//   * Guarantee conformance (G^t = INIT ∨ CLEAN ∨ PASS ∨ XCHG ∨ FAIL):
+//     every transition that changes shared exchanger state or appends an
+//     exchanger element to 𝒯 must match one of the five actions, executed
+//     by the thread the action is parameterized over. Local-heap
+//     initialization of a not-yet-published offer and pure reads are
+//     stutter steps. Because every thread's every transition is checked,
+//     this simultaneously establishes the rely of every other thread
+//     (G^t ⇒ R^t' for t ≠ t').
+//   * Invariant J: g ≠ null ∧ g.hole = null ⇒ InE(g.tid) — the published
+//     unmatched offer belongs to a thread currently inside exchange().
+//   * Proof-outline assertions (Fig. 1): the assertions A and B(k) at each
+//     control point, with TE|tid = T encoded as "this operation not yet
+//     logged" and TE|tid = T·E.swap(...) as "logged with (true, k.data)".
+//     Checking them at every reachable state is exactly checking their
+//     stability under the rely: any interference that invalidated one
+//     would surface as a failed assertion in some interleaving.
+//
+// Requires WorldConfig::record_trace = true (the auditor reads the 𝒯 delta
+// of each transition).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "sched/explorer.hpp"
+#include "sched/machines/exchanger_machine.hpp"
+
+namespace cal::sched {
+
+class ExchangerRgAuditor final : public TransitionAuditor {
+ public:
+  explicit ExchangerRgAuditor(const ExchangerMachine& machine,
+                              bool check_proof_outline = true)
+      : machine_(machine), check_outline_(check_proof_outline) {}
+
+  [[nodiscard]] std::optional<std::string> check_transition(
+      const World& pre, const World& post, ThreadId actor) const override;
+
+  [[nodiscard]] std::optional<std::string> check_invariant(
+      const World& world) const override;
+
+ private:
+  struct Change {
+    Addr addr;
+    Word before;
+    Word after;
+  };
+
+  [[nodiscard]] std::optional<std::string> classify(
+      const World& pre, const World& post, ThreadId actor,
+      const std::vector<Change>& changes, std::size_t appended) const;
+
+  [[nodiscard]] std::optional<std::string> check_outline(
+      const World& world, const ThreadCtx& t) const;
+
+  const ExchangerMachine& machine_;
+  bool check_outline_;
+};
+
+}  // namespace cal::sched

@@ -1,0 +1,110 @@
+// Simulated shared memory for the model-checking substrate.
+//
+// A flat array of 64-bit cells with read / write / CAS, all executed
+// atomically by the explorer (one shared access per scheduling step — the
+// interleaving granularity of the paper's operational semantics). Addresses
+// are cell indices; address 0 is reserved as null.
+//
+// Allocation is *deterministic per thread*: thread t's i-th allocation
+// always lands at the same address regardless of interleaving. This keeps
+// heap layout canonical across schedules so that the explorer's state
+// hashing merges executions that converge to the same logical state —
+// without it, every interleaving would produce a fresh heap shape and the
+// visited set would never hit.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace cal::sched {
+
+using Addr = std::uint32_t;
+using Word = std::int64_t;
+
+inline constexpr Addr kNull = 0;
+
+class SimMemory {
+ public:
+  /// `threads` per-thread heap regions of `heap_cells` cells each, plus a
+  /// shared globals region of `global_cells` cells.
+  SimMemory(std::size_t threads, std::size_t heap_cells = 512,
+            std::size_t global_cells = 64)
+      : heap_cells_(heap_cells),
+        globals_base_(1),
+        heaps_base_(static_cast<Addr>(1 + global_cells)),
+        cells_(1 + global_cells + threads * heap_cells, 0),
+        heap_next_(threads, 0),
+        globals_next_(0) {}
+
+  [[nodiscard]] Word read(Addr a) const {
+    assert(a != kNull && a < cells_.size());
+    return cells_[a];
+  }
+
+  void write(Addr a, Word v) {
+    assert(a != kNull && a < cells_.size());
+    cells_[a] = v;
+  }
+
+  /// Atomic compare-and-swap; true iff the cell held `expect`.
+  bool cas(Addr a, Word expect, Word desired) {
+    assert(a != kNull && a < cells_.size());
+    if (cells_[a] != expect) return false;
+    cells_[a] = desired;
+    return true;
+  }
+
+  /// Allocates `n` zeroed cells from the globals region (object fields;
+  /// call during world construction only).
+  Addr alloc_global(std::size_t n) {
+    assert(globals_next_ + n <= heaps_base_ - globals_base_);
+    const Addr a = globals_base_ + static_cast<Addr>(globals_next_);
+    globals_next_ += n;
+    return a;
+  }
+
+  /// Allocates `n` zeroed cells from thread t's region (deterministic).
+  Addr alloc(std::uint32_t t, std::size_t n) {
+    assert(t < heap_next_.size());
+    assert(heap_next_[t] + n <= heap_cells_ && "thread heap exhausted");
+    const Addr a = heaps_base_ + static_cast<Addr>(t * heap_cells_ +
+                                                   heap_next_[t]);
+    heap_next_[t] += n;
+    return a;
+  }
+
+  /// True iff `a` lies in thread-heap or globals space (diagnostics).
+  [[nodiscard]] bool valid(Addr a) const noexcept {
+    return a != kNull && a < cells_.size();
+  }
+
+  /// Owning thread of a heap address, or -1 for globals/null.
+  [[nodiscard]] int owner(Addr a) const noexcept {
+    if (a < heaps_base_ || a >= cells_.size()) return -1;
+    return static_cast<int>((a - heaps_base_) / heap_cells_);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return cells_.size(); }
+
+  /// Flattens the full memory state (cells + allocation cursors) for the
+  /// explorer's visited-set hashing.
+  void encode(std::vector<std::int64_t>& out) const {
+    out.insert(out.end(), cells_.begin(), cells_.end());
+    for (std::size_t n : heap_next_) {
+      out.push_back(static_cast<std::int64_t>(n));
+    }
+  }
+
+  friend bool operator==(const SimMemory&, const SimMemory&) = default;
+
+ private:
+  std::size_t heap_cells_;
+  Addr globals_base_;
+  Addr heaps_base_;
+  std::vector<Word> cells_;
+  std::vector<std::size_t> heap_next_;
+  std::size_t globals_next_;
+};
+
+}  // namespace cal::sched

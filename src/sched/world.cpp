@@ -1,0 +1,160 @@
+#include "sched/world.hpp"
+
+namespace cal::sched {
+
+World::World(const WorldConfig& config)
+    : config_(&config),
+      mem_(config.programs.size(), config.heap_cells, config.global_cells) {
+  threads_.reserve(config.programs.size());
+  for (std::size_t i = 0; i < config.programs.size(); ++i) {
+    ThreadCtx t;
+    t.tid = config.programs[i].tid;
+    t.program = i;
+    threads_.push_back(t);
+  }
+  if (config_->spec != nullptr) view_state_ = config_->spec->initial();
+}
+
+void World::invoke(ThreadCtx& t) {
+  const ThreadProgram& prog = config_->programs[t.program];
+  const Call& call = prog.calls[t.call_idx];
+  if (t.op_active) {
+    report_violation("thread invoked while an operation is active");
+    return;
+  }
+  t.op_active = true;
+  t.op_logged = false;
+  t.op_logged_ret = Value::unit();
+  if (config_->record_history) {
+    history_.invoke(t.tid, object_symbol(t), call.method, call.arg);
+  }
+}
+
+void World::respond(ThreadCtx& t, Value ret) {
+  const ThreadProgram& prog = config_->programs[t.program];
+  const Call& call = prog.calls[t.call_idx];
+  if (!t.op_active) {
+    report_violation("response without active operation");
+    return;
+  }
+  // L2: the operation must have been logged, with exactly this result.
+  if (config_->spec != nullptr) {
+    if (!t.op_logged) {
+      report_violation("t" + std::to_string(t.tid) + " returns " +
+                       ret.to_string() + " from " + call.method.str() +
+                       " but its operation was never logged in T");
+      return;
+    }
+    if (t.op_logged_ret != ret) {
+      report_violation(
+          "t" + std::to_string(t.tid) + " returns " + ret.to_string() +
+          " but T logged " + t.op_logged_ret.to_string() +
+          " for its " + call.method.str() + " operation");
+      return;
+    }
+  }
+  if (config_->record_history) {
+    history_.respond(t.tid, object_symbol(t), call.method, ret);
+  }
+  t.op_active = false;
+  t.op_logged = false;
+  t.call_idx += 1;
+  t.pc = 0;
+  t.regs = {};
+}
+
+std::optional<std::string> World::mark_logged(const Operation& op) {
+  for (ThreadCtx& t : threads_) {
+    if (t.tid != op.tid) continue;
+    if (!t.op_active) {
+      return "element logs an operation of t" + std::to_string(op.tid) +
+             " which is not executing";
+    }
+    const Call& call = config_->programs[t.program].calls[t.call_idx];
+    if (call.method != op.method || call.arg != op.arg) {
+      return "element logs " + op.to_string() + " but t" +
+             std::to_string(op.tid) + " is executing " + call.method.str() +
+             "(" + call.arg.to_string() + ")";
+    }
+    if (t.op_logged) {
+      return "operation of t" + std::to_string(op.tid) +
+             " logged twice in T";
+    }
+    if (!op.ret) {
+      return "element logs a pending return for t" + std::to_string(op.tid);
+    }
+    t.op_logged = true;
+    t.op_logged_ret = *op.ret;
+    return std::nullopt;
+  }
+  return "element logs unknown thread t" + std::to_string(op.tid);
+}
+
+void World::append_element(const CaElement& element) {
+  if (config_->record_trace) trace_.append(element);
+
+  // Apply the composed view 𝔽 to obtain interface-level elements.
+  CaTrace image;
+  if (config_->view != nullptr) {
+    CaTrace raw;
+    raw.append(element);
+    image = total_apply(*config_->view, raw);
+  } else {
+    image.append(element);
+  }
+
+  for (const CaElement& e : image.elements()) {
+    if (config_->record_trace) viewed_trace_.append(e);
+    // L3: interface-level replay.
+    if (config_->spec != nullptr) {
+      bool stepped = false;
+      for (const CaStepResult& sr :
+           config_->spec->step(view_state_, e.object(), e.ops())) {
+        if (sr.element == e) {
+          view_state_ = sr.next;
+          stepped = true;
+          break;
+        }
+      }
+      if (!stepped) {
+        report_violation("logged element rejected by the specification: " +
+                         e.to_string());
+        return;
+      }
+    }
+    // L1: every member is a currently-executing, unlogged operation.
+    for (const Operation& op : e.ops()) {
+      if (auto why = mark_logged(op)) {
+        report_violation(*why);
+        return;
+      }
+    }
+  }
+}
+
+void World::truncate(ThreadCtx& t) { t.truncated = true; }
+
+bool World::all_done() const noexcept {
+  for (const ThreadCtx& t : threads_) {
+    if (!t.done(config_->programs[t.program].calls.size())) return false;
+  }
+  return true;
+}
+
+void World::encode(std::vector<std::int64_t>& out) const {
+  mem_.encode(out);
+  for (const ThreadCtx& t : threads_) {
+    out.push_back(static_cast<std::int64_t>(t.call_idx));
+    out.push_back(t.pc);
+    for (Word r : t.regs) out.push_back(r);
+    out.push_back(t.choice);
+    out.push_back((t.op_active ? 1 : 0) | (t.op_logged ? 2 : 0) |
+                  (t.truncated ? 4 : 0));
+    out.push_back(static_cast<std::int64_t>(t.op_logged_ret.hash()));
+  }
+  out.push_back(static_cast<std::int64_t>(view_state_.size()));
+  out.insert(out.end(), view_state_.begin(), view_state_.end());
+  out.push_back(static_cast<std::int64_t>(events_));
+}
+
+}  // namespace cal::sched

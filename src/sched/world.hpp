@@ -1,0 +1,213 @@
+// The explorer's world state and the online CAL audit.
+//
+// A World is one configuration of the simulated program: the shared memory,
+// every thread's control state, and the audit state. Worlds are plain
+// values — the explorer copies them to branch and hashes their encoding to
+// merge converged schedules.
+//
+// The online audit is the executable form of the paper's proof obligations.
+// The instrumentation appends CA-elements to 𝒯 at commit points; the audit
+// maintains, per thread, whether its current operation has been logged and
+// with what result, and checks:
+//
+//   (L1) an appended element only mentions *currently executing, not yet
+//        logged* operations, with matching method and argument;
+//   (L2) every response returns exactly the value its operation was logged
+//        with — the paper's postcondition TE|tid = T·(element);
+//   (L3) the appended elements, viewed through the object's composed view
+//        function 𝔽_o, replay against the interface specification
+//        (T_o ∈ 𝒯spec).
+//
+// L1 guarantees every logged element is a set of pairwise-overlapping
+// operations appended inside all its members' intervals, so the recorded
+// history automatically agrees with 𝒯 (Def. 5: take π = element position);
+// L2 ties the concrete return values to 𝒯; L3 ties 𝒯 to the spec. Together
+// a violation-free exploration establishes CAL (Def. 6) for every schedule.
+// The offline checkers cross-validate this argument on enumerated histories
+// in the test suite.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cal/ca_trace.hpp"
+#include "cal/history.hpp"
+#include "cal/spec.hpp"
+#include "cal/view.hpp"
+#include "sched/sim_memory.hpp"
+
+namespace cal::sched {
+
+using cal::ThreadId;
+
+/// One operation a thread will perform: which simulated object (index into
+/// the world's object table), which method, which argument.
+struct Call {
+  std::size_t object = 0;
+  Symbol method;
+  Value arg;
+};
+
+/// A thread's whole program: the sequence of calls it makes.
+struct ThreadProgram {
+  ThreadId tid = 0;
+  std::vector<Call> calls;
+};
+
+struct ThreadCtx {
+  ThreadId tid = 0;
+  std::size_t program = 0;   ///< index into the immutable program table
+  std::size_t call_idx = 0;  ///< next / current call
+  std::int32_t pc = 0;
+  std::array<Word, 8> regs{};
+  std::int32_t choice = -1;  ///< set by the explorer before a choice step
+
+  // Audit bookkeeping for the current operation.
+  bool op_active = false;
+  bool op_logged = false;
+  Value op_logged_ret;
+
+  bool truncated = false;  ///< halted at a retry bound; operation pending
+
+  [[nodiscard]] bool done(std::size_t program_size) const noexcept {
+    return truncated || call_idx >= program_size;
+  }
+};
+
+/// Immutable per-exploration configuration shared by all world copies.
+struct WorldConfig {
+  std::vector<ThreadProgram> programs;
+  /// Interface name of each simulated object, indexed by Call::object.
+  std::vector<Symbol> object_names;
+  /// Interface-level specification used by the online replay (L3).
+  const CaSpec* spec = nullptr;
+  /// Composed view 𝔽 applied to every appended element before the replay
+  /// and the logging marks; null = identity.
+  const ViewFunction* view = nullptr;
+  /// Record the interleaved history / raw trace along each path (disables
+  /// nothing by itself, but meaningful mostly with merging off).
+  bool record_history = false;
+  bool record_trace = false;
+  /// Heap cells per thread in the simulated memory.
+  std::size_t heap_cells = 512;
+  std::size_t global_cells = 64;
+};
+
+class World {
+ public:
+  explicit World(const WorldConfig& config);
+
+  // --- machine-facing API (one shared access per scheduling step) ---
+  [[nodiscard]] Word read(Addr a) const { return mem_.read(a); }
+  void write(Addr a, Word v) { mem_.write(a, v); }
+  bool cas(Addr a, Word expect, Word desired) {
+    return mem_.cas(a, expect, desired);
+  }
+  Addr alloc(const ThreadCtx& t, std::size_t n) {
+    return mem_.alloc(t.tid, n);
+  }
+  Addr alloc_global(std::size_t n) { return mem_.alloc_global(n); }
+
+  /// Records the invocation of the thread's current call.
+  void invoke(ThreadCtx& t);
+  /// Records the response; runs check L2; advances to the next call.
+  void respond(ThreadCtx& t, Value ret);
+  /// Appends a CA-element to 𝒯 atomically with the current step; runs
+  /// checks L1 and L3 through the configured view.
+  void append_element(const CaElement& element);
+  /// Halts the thread at a retry bound; its current operation stays pending.
+  void truncate(ThreadCtx& t);
+
+  // --- explorer-facing API ---
+  [[nodiscard]] const WorldConfig& config() const noexcept { return *config_; }
+  [[nodiscard]] std::vector<ThreadCtx>& threads() noexcept { return threads_; }
+  [[nodiscard]] const std::vector<ThreadCtx>& threads() const noexcept {
+    return threads_;
+  }
+  [[nodiscard]] const SimMemory& memory() const noexcept { return mem_; }
+  [[nodiscard]] SimMemory& memory() noexcept { return mem_; }
+
+  [[nodiscard]] bool violated() const noexcept {
+    return violation_.has_value();
+  }
+  [[nodiscard]] const std::optional<std::string>& violation() const noexcept {
+    return violation_;
+  }
+  void report_violation(std::string what) {
+    if (!violation_) violation_ = std::move(what);
+  }
+
+  [[nodiscard]] bool all_done() const noexcept;
+
+  /// Reachability beacons: machines set a bit when a path of interest is
+  /// taken (e.g. "an elimination completed"). Flags are part of the state
+  /// encoding, so state merging never hides a reachable event; the explorer
+  /// ORs them over all reached states into ExploreResult::events.
+  void signal_event(unsigned bit) noexcept {
+    events_ |= (1ull << (bit & 63u));
+  }
+  [[nodiscard]] std::uint64_t events() const noexcept { return events_; }
+
+  [[nodiscard]] const History& history() const noexcept { return history_; }
+  [[nodiscard]] const CaTrace& trace() const noexcept { return trace_; }
+  /// The view image of the raw trace accumulated so far (L3's input).
+  [[nodiscard]] const CaTrace& viewed_trace() const noexcept {
+    return viewed_trace_;
+  }
+
+  /// Canonical state encoding for the visited set (excludes history/trace).
+  void encode(std::vector<std::int64_t>& out) const;
+
+  /// Interface name of the object the thread's current call targets.
+  [[nodiscard]] Symbol object_symbol(const ThreadCtx& t) const {
+    const Call& call = config_->programs[t.program].calls[t.call_idx];
+    return config_->object_names[call.object];
+  }
+
+ private:
+  /// Marks the op logged on its thread; returns a violation reason if L1
+  /// fails (not executing / mismatched call / already logged / pending).
+  [[nodiscard]] std::optional<std::string> mark_logged(const Operation& op);
+
+  const WorldConfig* config_;
+  SimMemory mem_;
+  std::vector<ThreadCtx> threads_;
+  SpecState view_state_;
+  std::uint64_t events_ = 0;
+  std::optional<std::string> violation_;
+  History history_;
+  CaTrace trace_;
+  CaTrace viewed_trace_;
+};
+
+/// Outcome of one machine step.
+struct StepResult {
+  enum class Kind : std::uint8_t {
+    kRan,     ///< one atomic step executed
+    kChoice,  ///< the machine needs ctx.choice ∈ [0, nchoices)
+  };
+  Kind kind = Kind::kRan;
+  std::int32_t nchoices = 0;
+
+  [[nodiscard]] static StepResult ran() { return {Kind::kRan, 0}; }
+  [[nodiscard]] static StepResult choice(std::int32_t n) {
+    return {Kind::kChoice, n};
+  }
+};
+
+/// A simulated object: allocates its globals in init() (before exploration)
+/// and advances one thread by one atomic step in step(). Implementations
+/// are immutable during exploration; all mutable state lives in the World.
+class SimObject {
+ public:
+  virtual ~SimObject() = default;
+  virtual void init(World& world) = 0;
+  virtual StepResult step(World& world, ThreadCtx& t) const = 0;
+};
+
+}  // namespace cal::sched

@@ -1,0 +1,175 @@
+// Tests for the agreement relation H ⊑CAL T (Def. 5).
+#include <gtest/gtest.h>
+
+#include "cal/agree.hpp"
+
+namespace cal {
+namespace {
+
+const Symbol kE{"E"};
+const Symbol kEx{"exchange"};
+
+Value iv(std::int64_t x) { return Value::integer(x); }
+
+Operation fail_op(ThreadId t, std::int64_t v) {
+  return Operation::make(t, kE, kEx, iv(v), Value::pair(false, v));
+}
+
+TEST(Agree, EmptyHistoryAgreesWithEmptyTrace) {
+  EXPECT_TRUE(agrees_with(History{}, CaTrace{}));
+}
+
+TEST(Agree, EmptyHistoryDisagreesWithNonEmptyTrace) {
+  CaTrace t;
+  t.append(CaElement::singleton(kE, fail_op(1, 5)));
+  EXPECT_FALSE(agrees_with(History{}, t));
+}
+
+TEST(Agree, OverlappingSwapAgreesWithSwapElement) {
+  auto h = HistoryBuilder()
+               .call(1, "E", "exchange", iv(3))
+               .call(2, "E", "exchange", iv(4))
+               .ret(1, Value::pair(true, 4))
+               .ret(2, Value::pair(true, 3))
+               .history();
+  CaTrace t;
+  t.append(CaElement::swap(kE, kEx, 1, 3, 2, 4));
+  EXPECT_TRUE(agrees_with(h, t));
+}
+
+TEST(Agree, NonOverlappingOpsCannotShareAnElement) {
+  // t1 responds before t2 invokes: real-time ordered, so a single swap
+  // element (which maps both to one position) must be rejected.
+  auto h = HistoryBuilder()
+               .op(1, "E", "exchange", iv(3), Value::pair(true, 4))
+               .op(2, "E", "exchange", iv(4), Value::pair(true, 3))
+               .history();
+  CaTrace t;
+  t.append(CaElement::swap(kE, kEx, 1, 3, 2, 4));
+  AgreeResult r = agrees_with(h, t);
+  EXPECT_FALSE(r);
+  EXPECT_FALSE(r.reason.empty());
+}
+
+TEST(Agree, RealTimeOrderMustBePreservedAcrossElements) {
+  // t1's (failed) exchange completes before t2's begins; the trace listing
+  // t2 first contradicts ≺H.
+  auto h = HistoryBuilder()
+               .op(1, "E", "exchange", iv(1), Value::pair(false, 1))
+               .op(2, "E", "exchange", iv(2), Value::pair(false, 2))
+               .history();
+  CaTrace wrong;
+  wrong.append(CaElement::singleton(kE, fail_op(2, 2)));
+  wrong.append(CaElement::singleton(kE, fail_op(1, 1)));
+  EXPECT_FALSE(agrees_with(h, wrong));
+
+  CaTrace right;
+  right.append(CaElement::singleton(kE, fail_op(1, 1)));
+  right.append(CaElement::singleton(kE, fail_op(2, 2)));
+  EXPECT_TRUE(agrees_with(h, right));
+}
+
+TEST(Agree, ConcurrentOpsMayLinearizeInEitherOrder) {
+  auto h = HistoryBuilder()
+               .call(1, "E", "exchange", iv(1))
+               .call(2, "E", "exchange", iv(2))
+               .ret(1, Value::pair(false, 1))
+               .ret(2, Value::pair(false, 2))
+               .history();
+  for (bool t1_first : {true, false}) {
+    CaTrace t;
+    t.append(CaElement::singleton(kE, fail_op(t1_first ? 1 : 2,
+                                              t1_first ? 1 : 2)));
+    t.append(CaElement::singleton(kE, fail_op(t1_first ? 2 : 1,
+                                              t1_first ? 2 : 1)));
+    EXPECT_TRUE(agrees_with(h, t)) << "t1_first=" << t1_first;
+  }
+}
+
+TEST(Agree, EveryHistoryOperationMustBeCovered) {
+  auto h = HistoryBuilder()
+               .op(1, "E", "exchange", iv(1), Value::pair(false, 1))
+               .op(1, "E", "exchange", iv(2), Value::pair(false, 2))
+               .history();
+  CaTrace t;
+  t.append(CaElement::singleton(kE, fail_op(1, 1)));
+  AgreeResult r = agrees_with(h, t);
+  EXPECT_FALSE(r);
+  EXPECT_NE(r.reason.find("not covered"), std::string::npos);
+}
+
+TEST(Agree, TraceValuesMustMatchHistoryValues) {
+  auto h = HistoryBuilder()
+               .op(1, "E", "exchange", iv(1), Value::pair(false, 1))
+               .history();
+  CaTrace t;
+  t.append(CaElement::singleton(kE, fail_op(1, 99)));
+  EXPECT_FALSE(agrees_with(h, t));
+}
+
+TEST(Agree, PendingHistoryIsRejected) {
+  auto h = HistoryBuilder().call(1, "E", "exchange", iv(1)).history();
+  CaTrace t;
+  t.append(CaElement::singleton(kE, fail_op(1, 1)));
+  AgreeResult r = agrees_with(h, t);
+  EXPECT_FALSE(r);
+  EXPECT_NE(r.reason.find("not complete"), std::string::npos);
+}
+
+TEST(Agree, RepeatedIdenticalOpsMatchInProgramOrder) {
+  // The same thread fails the same exchange twice; π must map the first
+  // occurrence to the first element.
+  auto h = HistoryBuilder()
+               .op(1, "E", "exchange", iv(7), Value::pair(false, 7))
+               .op(1, "E", "exchange", iv(7), Value::pair(false, 7))
+               .history();
+  CaTrace t;
+  t.append(CaElement::singleton(kE, fail_op(1, 7)));
+  t.append(CaElement::singleton(kE, fail_op(1, 7)));
+  AgreeResult r = agrees_with(h, t);
+  ASSERT_TRUE(r);
+  ASSERT_EQ(r.pi.size(), 2u);
+  EXPECT_EQ(r.pi[0], 0u);
+  EXPECT_EQ(r.pi[1], 1u);
+}
+
+TEST(Agree, ThreeWayScenarioWithSwapAndFailure) {
+  // H1 of Fig. 3: t1/t2 swap 3 and 4 while t3 fails with 7.
+  auto h = HistoryBuilder()
+               .call(3, "E", "exchange", iv(7))
+               .call(1, "E", "exchange", iv(3))
+               .call(2, "E", "exchange", iv(4))
+               .ret(1, Value::pair(true, 4))
+               .ret(2, Value::pair(true, 3))
+               .ret(3, Value::pair(false, 7))
+               .history();
+  CaTrace t;
+  t.append(CaElement::swap(kE, kEx, 1, 3, 2, 4));
+  t.append(CaElement::singleton(kE, fail_op(3, 7)));
+  EXPECT_TRUE(agrees_with(h, t));
+
+  // The failure may also be ordered first: everything overlaps.
+  CaTrace t2;
+  t2.append(CaElement::singleton(kE, fail_op(3, 7)));
+  t2.append(CaElement::swap(kE, kEx, 1, 3, 2, 4));
+  EXPECT_TRUE(agrees_with(h, t2));
+}
+
+TEST(Agree, SurjectivityWitnessCoversAllPositions) {
+  auto h = HistoryBuilder()
+               .call(1, "E", "exchange", iv(3))
+               .call(2, "E", "exchange", iv(4))
+               .ret(1, Value::pair(true, 4))
+               .ret(2, Value::pair(true, 3))
+               .history();
+  CaTrace t;
+  t.append(CaElement::swap(kE, kEx, 1, 3, 2, 4));
+  AgreeResult r = agrees_with(h, t);
+  ASSERT_TRUE(r);
+  ASSERT_EQ(r.pi.size(), 2u);
+  EXPECT_EQ(r.pi[0], 0u);
+  EXPECT_EQ(r.pi[1], 0u);  // both operations map to the single element
+}
+
+}  // namespace
+}  // namespace cal

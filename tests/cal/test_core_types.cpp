@@ -1,0 +1,166 @@
+// Symbol, Value, Action, Operation, CaElement/CaTrace unit tests.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "cal/ca_trace.hpp"
+#include "cal/history.hpp"
+#include "cal/symbol.hpp"
+#include "cal/value.hpp"
+
+namespace cal {
+namespace {
+
+Value iv(std::int64_t x) { return Value::integer(x); }
+
+TEST(SymbolTest, InterningIsStable) {
+  Symbol a{"push"};
+  Symbol b{"push"};
+  Symbol c{"pop"};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.str(), "push");
+  EXPECT_EQ(c.str(), "pop");
+}
+
+TEST(SymbolTest, NullSymbolDistinctFromInterned) {
+  Symbol null;
+  EXPECT_TRUE(null.is_null());
+  EXPECT_NE(null, Symbol{""});  // even "" gets a real id
+  EXPECT_EQ(null.str(), "");
+}
+
+TEST(SymbolTest, UsableAsHashKey) {
+  std::unordered_set<Symbol> set;
+  set.insert(Symbol{"a"});
+  set.insert(Symbol{"b"});
+  set.insert(Symbol{"a"});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(ValueTest, KindsCompareUnequal) {
+  EXPECT_NE(Value::unit(), Value::boolean(false));
+  EXPECT_NE(Value::boolean(true), iv(1));
+  EXPECT_NE(iv(1), Value::pair(true, 1));
+  EXPECT_NE(Value::vec({1}), iv(1));
+}
+
+TEST(ValueTest, PairAccessors) {
+  Value p = Value::pair(true, 7);
+  EXPECT_TRUE(p.pair_ok());
+  EXPECT_EQ(p.pair_int(), 7);
+  EXPECT_EQ(p.to_string(), "(true,7)");
+}
+
+TEST(ValueTest, InfinityPrintsAsInf) {
+  EXPECT_EQ(iv(kInfinity).to_string(), "inf");
+  EXPECT_EQ(Value::pair(true, kInfinity).to_string(), "(true,inf)");
+}
+
+TEST(ValueTest, OrderingIsTotal) {
+  std::vector<Value> vals = {Value::unit(), Value::boolean(false),
+                             Value::boolean(true), iv(-1), iv(3),
+                             Value::pair(false, 0), Value::pair(true, 0),
+                             Value::vec({1, 2})};
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    for (std::size_t j = 0; j < vals.size(); ++j) {
+      const bool lt = vals[i] < vals[j];
+      const bool gt = vals[j] < vals[i];
+      const bool eq = vals[i] == vals[j];
+      EXPECT_EQ(static_cast<int>(lt) + static_cast<int>(gt) +
+                    static_cast<int>(eq),
+                1)
+          << i << " vs " << j;
+    }
+  }
+}
+
+TEST(ValueTest, HashDistinguishesCommonValues) {
+  EXPECT_NE(iv(1).hash(), iv(2).hash());
+  EXPECT_NE(Value::pair(true, 1).hash(), Value::pair(false, 1).hash());
+  EXPECT_EQ(iv(7).hash(), iv(7).hash());
+}
+
+TEST(ActionTest, ToStringFormats) {
+  Action inv = Action::invoke(1, Symbol{"E"}, Symbol{"exchange"}, iv(3));
+  Action res =
+      Action::respond(1, Symbol{"E"}, Symbol{"exchange"},
+                      Value::pair(true, 4));
+  EXPECT_EQ(inv.to_string(), "(t1, inv E.exchange(3))");
+  EXPECT_EQ(res.to_string(), "(t1, res E.exchange > (true,4))");
+}
+
+TEST(OperationTest, PendingAndCompleted) {
+  Operation p = Operation::pending(1, Symbol{"E"}, Symbol{"exchange"}, iv(3));
+  EXPECT_TRUE(p.is_pending());
+  Operation c = Operation::make(1, Symbol{"E"}, Symbol{"exchange"}, iv(3),
+                                Value::pair(false, 3));
+  EXPECT_FALSE(c.is_pending());
+  EXPECT_NE(p, c);
+  EXPECT_LT(p, c);  // pending sorts before completed
+}
+
+TEST(CaElementTest, CanonicalizesOperationOrder) {
+  const Symbol e{"E"};
+  const Symbol f{"exchange"};
+  Operation a = Operation::make(1, e, f, iv(1), Value::pair(true, 2));
+  Operation b = Operation::make(2, e, f, iv(2), Value::pair(true, 1));
+  EXPECT_EQ(CaElement(e, {a, b}), CaElement(e, {b, a}));
+  EXPECT_EQ(CaElement(e, {a, b}).hash(), CaElement(e, {b, a}).hash());
+}
+
+TEST(CaElementTest, DeduplicatesIdenticalOps) {
+  const Symbol e{"E"};
+  Operation a =
+      Operation::make(1, e, Symbol{"exchange"}, iv(1), Value::pair(false, 1));
+  EXPECT_EQ(CaElement(e, {a, a}).size(), 1u);
+}
+
+TEST(CaElementTest, SwapAbbreviation) {
+  const Symbol e{"E"};
+  CaElement s = CaElement::swap(e, Symbol{"exchange"}, 1, 3, 2, 4);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.mentions_thread(1));
+  EXPECT_TRUE(s.mentions_thread(2));
+  EXPECT_FALSE(s.mentions_thread(3));
+  EXPECT_TRUE(s.contains(Operation::make(1, e, Symbol{"exchange"}, iv(3),
+                                         Value::pair(true, 4))));
+}
+
+TEST(CaTraceTest, ThreadProjectionKeepsWholeElements) {
+  const Symbol e{"E"};
+  const Symbol f{"exchange"};
+  CaTrace t;
+  t.append(CaElement::swap(e, f, 1, 3, 2, 4));
+  t.append(CaElement::singleton(
+      e, Operation::make(3, e, f, iv(7), Value::pair(false, 7))));
+  // T|t1 contains the swap element *including t2's operation* (Def. 4).
+  CaTrace p1 = t.project_thread(1);
+  ASSERT_EQ(p1.size(), 1u);
+  EXPECT_EQ(p1[0].size(), 2u);
+  EXPECT_EQ(t.project_thread(3).size(), 1u);
+  EXPECT_EQ(t.project_thread(9).size(), 0u);
+}
+
+TEST(CaTraceTest, ObjectProjection) {
+  const Symbol e{"E"};
+  const Symbol s{"S"};
+  CaTrace t;
+  t.append(CaElement::singleton(
+      e, Operation::make(1, e, Symbol{"exchange"}, iv(1),
+                         Value::pair(false, 1))));
+  t.append(CaElement::singleton(
+      s, Operation::make(1, s, Symbol{"push"}, iv(1), Value::boolean(true))));
+  EXPECT_EQ(t.project_object(e).size(), 1u);
+  EXPECT_EQ(t.project_object(s).size(), 1u);
+}
+
+TEST(CaTraceTest, AllOpsFlattens) {
+  const Symbol e{"E"};
+  CaTrace t;
+  t.append(CaElement::swap(e, Symbol{"exchange"}, 1, 3, 2, 4));
+  EXPECT_EQ(t.all_ops().size(), 2u);
+}
+
+}  // namespace
+}  // namespace cal

@@ -1,0 +1,229 @@
+// Figure 3 of the paper, executable: the impossibility of a useful
+// sequential exchanger specification, and how CAL resolves it.
+//
+// Program P:  t1: exchange(3) || t2: exchange(4) || t3: exchange(7)
+//   H1 — concurrent history where t1/t2 swap and t3 fails;
+//   H2 — the CA-history shape (pairwise-overlapping swap, then failure);
+//   H3 — a sequential "explanation" of H1, whose prefix H3' would commit a
+//        partner-less successful exchange.
+#include <gtest/gtest.h>
+
+#include "cal/agree.hpp"
+#include "cal/cal_checker.hpp"
+#include "cal/lin_checker.hpp"
+#include "cal/specs/exchanger_spec.hpp"
+
+namespace cal {
+namespace {
+
+const Symbol kE{"E"};
+const Symbol kEx{"exchange"};
+
+Value iv(std::int64_t x) { return Value::integer(x); }
+
+History h1() {
+  // Fig. 3 (H1): t1 and t2 overlap; t3 overlaps both.
+  return HistoryBuilder()
+      .call(1, "E", "exchange", iv(3))
+      .call(2, "E", "exchange", iv(4))
+      .call(3, "E", "exchange", iv(7))
+      .ret(1, Value::pair(true, 4))
+      .ret(2, Value::pair(true, 3))
+      .ret(3, Value::pair(false, 7))
+      .history();
+}
+
+History h2() {
+  // Fig. 3 (H2): the swap pair overlaps; t3 runs after, alone.
+  return HistoryBuilder()
+      .call(1, "E", "exchange", iv(3))
+      .call(2, "E", "exchange", iv(4))
+      .ret(1, Value::pair(true, 4))
+      .ret(2, Value::pair(true, 3))
+      .call(3, "E", "exchange", iv(7))
+      .ret(3, Value::pair(false, 7))
+      .history();
+}
+
+History h3() {
+  // Fig. 3 (H3): a *sequential* history with the same operations — each
+  // response precedes the next invocation.
+  return HistoryBuilder()
+      .op(1, "E", "exchange", iv(3), Value::pair(true, 4))
+      .op(2, "E", "exchange", iv(4), Value::pair(true, 3))
+      .op(3, "E", "exchange", iv(7), Value::pair(false, 7))
+      .history();
+}
+
+History h3_prefix() {
+  // H3': the prefix of H3 after t1's operation only — the undesirable
+  // behavior any sequential spec explaining H1 must also admit.
+  return HistoryBuilder()
+      .op(1, "E", "exchange", iv(3), Value::pair(true, 4))
+      .history();
+}
+
+TEST(Fig3, H1IsCaLinearizableWrtExchangerSpec) {
+  ExchangerSpec spec(kE, kEx);
+  CalChecker checker(spec);
+  CalCheckResult r = checker.check(h1());
+  ASSERT_TRUE(r) << "H1 must be explained by a CA-trace";
+  ASSERT_TRUE(r.witness.has_value());
+  // The witness contains the swap element and the singleton failure.
+  ASSERT_EQ(r.witness->size(), 2u);
+}
+
+TEST(Fig3, H2IsCaLinearizableWrtExchangerSpec) {
+  ExchangerSpec spec(kE, kEx);
+  CalChecker checker(spec);
+  EXPECT_TRUE(checker.check(h2()));
+}
+
+TEST(Fig3, H2TraceOrderPutsSwapBeforeFailure) {
+  // In H2 the swap pair precedes t3 in real time, so every witness must
+  // order the swap element first.
+  ExchangerSpec spec(kE, kEx);
+  CalChecker checker(spec);
+  CalCheckResult r = checker.check(h2());
+  ASSERT_TRUE(r);
+  ASSERT_EQ(r.witness->size(), 2u);
+  EXPECT_EQ((*r.witness)[0].size(), 2u);  // swap first
+  EXPECT_EQ((*r.witness)[1].size(), 1u);  // failure second
+}
+
+TEST(Fig3, H3IsNotCaLinearizable) {
+  // The sequential history H3 separates the two successful exchanges in
+  // real time, so no CA-trace of the exchanger spec explains it: the spec
+  // has no singleton successful element.
+  ExchangerSpec spec(kE, kEx);
+  CalChecker checker(spec);
+  EXPECT_FALSE(checker.check(h3()));
+}
+
+TEST(Fig3, H3PrefixIsTheUndesiredBehavior) {
+  // H3' — one thread exchanging without a partner — is rejected: this is
+  // the prefix-closure argument of §3 made executable.
+  ExchangerSpec spec(kE, kEx);
+  CalChecker checker(spec);
+  EXPECT_FALSE(checker.check(h3_prefix()));
+}
+
+// A candidate sequential specification that tries to explain H1 by
+// admitting "lonely" successful exchanges: exchange(v) may return any
+// (true, v') or (false, v). This is the "too loose" horn of §3's dilemma.
+class LooseSeqExchangerSpec final : public SequentialSpec {
+ public:
+  [[nodiscard]] SpecState initial() const override { return {}; }
+  [[nodiscard]] std::vector<SeqStepResult> step(
+      const SpecState& state, ThreadId, Symbol, Symbol method,
+      const Value& arg, const std::optional<Value>& ret) const override {
+    if (method != kEx || arg.kind() != Value::Kind::kInt) return {};
+    std::vector<SeqStepResult> out;
+    if (!ret) {
+      out.push_back(SeqStepResult{state, Value::pair(false, arg.as_int())});
+      return out;
+    }
+    if (ret->kind() == Value::Kind::kPair) {
+      // Anything goes, as long as failures echo the argument.
+      if (ret->pair_ok() || ret->pair_int() == arg.as_int()) {
+        out.push_back(SeqStepResult{state, *ret});
+      }
+    }
+    return out;
+  }
+};
+
+// The "too restrictive" horn: only failures are admissible sequentially.
+class StrictSeqExchangerSpec final : public SequentialSpec {
+ public:
+  [[nodiscard]] SpecState initial() const override { return {}; }
+  [[nodiscard]] std::vector<SeqStepResult> step(
+      const SpecState& state, ThreadId, Symbol, Symbol method,
+      const Value& arg, const std::optional<Value>& ret) const override {
+    if (method != kEx || arg.kind() != Value::Kind::kInt) return {};
+    const Value fail = Value::pair(false, arg.as_int());
+    if (ret && *ret != fail) return {};
+    return {SeqStepResult{state, fail}};
+  }
+};
+
+TEST(Fig3, LooseSequentialSpecAcceptsH1ButAlsoTheUndesiredPrefix) {
+  LooseSeqExchangerSpec loose;
+  LinChecker checker(loose);
+  EXPECT_TRUE(checker.check(h1()));        // explains H1...
+  EXPECT_TRUE(checker.check(h3_prefix())); // ...but admits the lonely swap
+}
+
+TEST(Fig3, StrictSequentialSpecRejectsH1Entirely) {
+  StrictSeqExchangerSpec strict;
+  LinChecker checker(strict);
+  EXPECT_FALSE(checker.check(h1()));  // too restrictive: no swaps at all
+  // Only all-failure executions are linearizable under it:
+  auto all_fail = HistoryBuilder()
+                      .op(1, "E", "exchange", iv(3), Value::pair(false, 3))
+                      .op(2, "E", "exchange", iv(4), Value::pair(false, 4))
+                      .history();
+  EXPECT_TRUE(checker.check(all_fail));
+}
+
+TEST(Fig3, CalSpecRejectsLonelySwapButAcceptsRealOnes) {
+  // The resolution: the CA-spec accepts H1/H2 (true concurrency) and
+  // rejects both horns' pathologies.
+  ExchangerSpec spec(kE, kEx);
+  CalChecker checker(spec);
+  EXPECT_TRUE(checker.check(h1()));
+  EXPECT_TRUE(checker.check(h2()));
+  EXPECT_FALSE(checker.check(h3()));
+  EXPECT_FALSE(checker.check(h3_prefix()));
+}
+
+TEST(Fig3, SwapWithMismatchedValuesIsRejected) {
+  auto bad = HistoryBuilder()
+                 .call(1, "E", "exchange", iv(3))
+                 .call(2, "E", "exchange", iv(4))
+                 .ret(1, Value::pair(true, 9))  // t1 received 9; nobody sent 9
+                 .ret(2, Value::pair(true, 3))
+                 .history();
+  ExchangerSpec spec(kE, kEx);
+  CalChecker checker(spec);
+  EXPECT_FALSE(checker.check(bad));
+}
+
+TEST(Fig3, PendingThirdPartyCanBeDropped) {
+  // t3's exchange never returns; completion may drop it (Def. 2).
+  auto h = HistoryBuilder()
+               .call(3, "E", "exchange", iv(7))
+               .call(1, "E", "exchange", iv(3))
+               .call(2, "E", "exchange", iv(4))
+               .ret(1, Value::pair(true, 4))
+               .ret(2, Value::pair(true, 3))
+               .history();
+  ExchangerSpec spec(kE, kEx);
+  CalChecker checker(spec);
+  EXPECT_TRUE(checker.check(h));
+}
+
+TEST(Fig3, PendingPartnerCanBeCompleted) {
+  // t2 never responds, but t1 claims a successful swap with value 4; the
+  // only explanation completes t2's pending exchange(4) with (true, 3).
+  auto h = HistoryBuilder()
+               .call(1, "E", "exchange", iv(3))
+               .call(2, "E", "exchange", iv(4))
+               .ret(1, Value::pair(true, 4))
+               .history();
+  ExchangerSpec spec(kE, kEx);
+  CalChecker checker(spec);
+  CalCheckResult r = checker.check(h);
+  ASSERT_TRUE(r);
+  ASSERT_EQ(r.witness->size(), 1u);
+  EXPECT_EQ((*r.witness)[0].size(), 2u);
+
+  // With completion disabled the same history must be rejected.
+  CalCheckOptions opts;
+  opts.complete_pending = false;
+  CalChecker strict(spec, opts);
+  EXPECT_FALSE(strict.check(h));
+}
+
+}  // namespace
+}  // namespace cal

@@ -1,0 +1,179 @@
+// History (Def. 2) and real-time order (Def. 3) unit tests.
+#include <gtest/gtest.h>
+
+#include "cal/history.hpp"
+
+namespace cal {
+namespace {
+
+Value iv(std::int64_t x) { return Value::integer(x); }
+
+TEST(History, EmptyIsWellFormedSequentialComplete) {
+  History h;
+  EXPECT_TRUE(h.well_formed());
+  EXPECT_TRUE(h.sequential());
+  EXPECT_TRUE(h.complete());
+  EXPECT_TRUE(h.operations().empty());
+}
+
+TEST(History, SingleOperationIsSequential) {
+  auto h = HistoryBuilder().op(1, "E", "exchange", iv(3), Value::pair(false, 3))
+               .history();
+  EXPECT_TRUE(h.well_formed());
+  EXPECT_TRUE(h.sequential());
+  EXPECT_TRUE(h.complete());
+  ASSERT_EQ(h.operations().size(), 1u);
+  EXPECT_FALSE(h.operations()[0].is_pending());
+}
+
+TEST(History, OverlappingOperationsAreWellFormedNotSequential) {
+  auto h = HistoryBuilder()
+               .call(1, "E", "exchange", iv(3))
+               .call(2, "E", "exchange", iv(4))
+               .ret(1, Value::pair(true, 4))
+               .ret(2, Value::pair(true, 3))
+               .history();
+  EXPECT_TRUE(h.well_formed());
+  EXPECT_FALSE(h.sequential());
+  EXPECT_TRUE(h.complete());
+}
+
+TEST(History, PendingInvocationMakesHistoryIncomplete) {
+  auto h = HistoryBuilder().call(1, "E", "exchange", iv(3)).history();
+  EXPECT_TRUE(h.well_formed());
+  EXPECT_FALSE(h.complete());
+  ASSERT_EQ(h.operations().size(), 1u);
+  EXPECT_TRUE(h.operations()[0].is_pending());
+}
+
+TEST(History, NestedInvocationBySameThreadIsIllFormed) {
+  History h;
+  Symbol e{"E"};
+  Symbol f{"exchange"};
+  h.invoke(1, e, f, iv(1));
+  h.invoke(1, e, f, iv(2));
+  EXPECT_FALSE(h.well_formed());
+}
+
+TEST(History, ResponseWithoutInvocationIsIllFormed) {
+  History h;
+  h.respond(1, Symbol{"E"}, Symbol{"exchange"}, Value::pair(false, 1));
+  EXPECT_FALSE(h.well_formed());
+}
+
+TEST(History, MismatchedResponseMethodIsIllFormed) {
+  History h;
+  h.invoke(1, Symbol{"S"}, Symbol{"push"}, iv(1));
+  h.respond(1, Symbol{"S"}, Symbol{"pop"}, Value::boolean(true));
+  EXPECT_FALSE(h.well_formed());
+}
+
+TEST(History, ThreadProjectionIsSequential) {
+  auto h = HistoryBuilder()
+               .call(1, "E", "exchange", iv(3))
+               .call(2, "E", "exchange", iv(4))
+               .ret(2, Value::pair(true, 3))
+               .ret(1, Value::pair(true, 4))
+               .history();
+  EXPECT_EQ(h.project_thread(1).size(), 2u);
+  EXPECT_TRUE(h.project_thread(1).sequential());
+  EXPECT_TRUE(h.project_thread(2).sequential());
+  EXPECT_EQ(h.project_thread(3).size(), 0u);
+}
+
+TEST(History, ObjectProjectionKeepsOnlyThatObject) {
+  auto h = HistoryBuilder()
+               .op(1, "S", "push", iv(1), Value::boolean(true))
+               .op(2, "E", "exchange", iv(2), Value::pair(false, 2))
+               .history();
+  EXPECT_EQ(h.project_object(Symbol{"S"}).size(), 2u);
+  EXPECT_EQ(h.project_object(Symbol{"E"}).size(), 2u);
+  EXPECT_EQ(h.project_object(Symbol{"Q"}).size(), 0u);
+}
+
+TEST(History, RealTimeOrderSequentialOpsAreOrdered) {
+  auto h = HistoryBuilder()
+               .op(1, "E", "exchange", iv(1), Value::pair(false, 1))
+               .op(2, "E", "exchange", iv(2), Value::pair(false, 2))
+               .history();
+  auto ops = h.operations();
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_TRUE(History::precedes(ops[0], ops[1]));
+  EXPECT_FALSE(History::precedes(ops[1], ops[0]));
+}
+
+TEST(History, RealTimeOrderOverlappingOpsAreUnordered) {
+  auto h = HistoryBuilder()
+               .call(1, "E", "exchange", iv(1))
+               .call(2, "E", "exchange", iv(2))
+               .ret(1, Value::pair(true, 2))
+               .ret(2, Value::pair(true, 1))
+               .history();
+  auto ops = h.operations();
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_FALSE(History::precedes(ops[0], ops[1]));
+  EXPECT_FALSE(History::precedes(ops[1], ops[0]));
+}
+
+TEST(History, PendingOperationNeverPrecedes) {
+  auto h = HistoryBuilder()
+               .call(1, "E", "exchange", iv(1))
+               .op(2, "E", "exchange", iv(2), Value::pair(false, 2))
+               .history();
+  auto ops = h.operations();
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_FALSE(History::precedes(ops[0], ops[1]));
+  // t2's operation responded before... no: t1 invoked first, t2 invoked
+  // after t1's invocation but t1 never responded, so no order either way.
+  EXPECT_FALSE(History::precedes(ops[1], ops[0]));
+}
+
+TEST(History, DropPendingRemovesExactlyUnansweredInvocations) {
+  auto h = HistoryBuilder()
+               .call(1, "E", "exchange", iv(1))
+               .call(2, "E", "exchange", iv(2))
+               .ret(2, Value::pair(false, 2))
+               .call(3, "E", "exchange", iv(3))
+               .history();
+  History dropped = h.drop_pending();
+  EXPECT_TRUE(dropped.complete());
+  EXPECT_EQ(dropped.size(), 2u);  // t2's call and response only
+  ASSERT_EQ(dropped.operations().size(), 1u);
+  EXPECT_EQ(dropped.operations()[0].op.tid, 2u);
+}
+
+TEST(History, OperationsPairInvocationWithOwnThreadsResponse) {
+  auto h = HistoryBuilder()
+               .call(1, "S", "push", iv(10))
+               .call(2, "S", "push", iv(20))
+               .ret(1, Value::boolean(true))
+               .ret(2, Value::boolean(false))
+               .history();
+  auto ops = h.operations();
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[0].op.tid, 1u);
+  EXPECT_EQ(*ops[0].op.ret, Value::boolean(true));
+  EXPECT_EQ(ops[1].op.tid, 2u);
+  EXPECT_EQ(*ops[1].op.ret, Value::boolean(false));
+}
+
+TEST(History, RenderAsciiMentionsEveryThread) {
+  auto h = HistoryBuilder()
+               .call(1, "E", "exchange", iv(3))
+               .call(2, "E", "exchange", iv(4))
+               .ret(1, Value::pair(true, 4))
+               .ret(2, Value::pair(true, 3))
+               .history();
+  const std::string art = h.render_ascii();
+  EXPECT_NE(art.find("t1:"), std::string::npos);
+  EXPECT_NE(art.find("t2:"), std::string::npos);
+  EXPECT_NE(art.find("exchange"), std::string::npos);
+}
+
+TEST(HistoryBuilder, RetWithoutCallYieldsIllFormed) {
+  auto h = HistoryBuilder().ret(7, Value::unit()).history();
+  EXPECT_FALSE(h.well_formed());
+}
+
+}  // namespace
+}  // namespace cal

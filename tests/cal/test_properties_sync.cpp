@@ -1,0 +1,161 @@
+// Property sweeps for the synchronous queue specs and the text layer.
+//
+//   P5: histories from a known-good synchronous-queue execution simulator
+//       are accepted by both the CA-spec and the interval spec;
+//   P6: pairing a put with a non-overlapping take is always rejected;
+//   P7: history/trace text serialization round-trips on random documents.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cal/cal_checker.hpp"
+#include "cal/interval_lin.hpp"
+#include "cal/specs/sync_queue_spec.hpp"
+#include "cal/text.hpp"
+
+namespace cal {
+namespace {
+
+const Symbol kQ{"Q"};
+Value iv(std::int64_t x) { return Value::integer(x); }
+
+/// Simulates a valid synchronous-queue run: active puts and takes pair up
+/// or time out; responses are emitted after commitment.
+History generate_sync_queue_run(std::mt19937& rng, std::size_t n_threads,
+                                std::size_t ops_per_thread) {
+  struct Active {
+    ThreadId tid;
+    bool is_put;
+    std::int64_t v;
+    bool decided = false;
+    Value ret;
+  };
+  History h;
+  std::vector<std::size_t> remaining(n_threads, ops_per_thread);
+  std::vector<std::optional<Active>> active(n_threads);
+  std::int64_t next_value = 1;
+  auto rnd = [&](std::size_t n) {
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(rng);
+  };
+  auto some_left = [&] {
+    for (std::size_t t = 0; t < n_threads; ++t) {
+      if (remaining[t] > 0 || active[t]) return true;
+    }
+    return false;
+  };
+
+  while (some_left()) {
+    switch (rnd(3)) {
+      case 0: {  // invoke
+        std::vector<std::size_t> can;
+        for (std::size_t t = 0; t < n_threads; ++t) {
+          if (remaining[t] > 0 && !active[t]) can.push_back(t);
+        }
+        if (can.empty()) break;
+        const std::size_t t = can[rnd(can.size())];
+        const bool is_put = rnd(2) == 0;
+        Active a{static_cast<ThreadId>(t + 1), is_put,
+                 is_put ? next_value++ : 0};
+        if (is_put) {
+          h.invoke(a.tid, kQ, Symbol{"put"}, iv(a.v));
+        } else {
+          h.invoke(a.tid, kQ, Symbol{"take"});
+        }
+        active[t] = a;
+        remaining[t] -= 1;
+        break;
+      }
+      case 1: {  // commit: pair a put with a take, or time one out
+        std::vector<std::size_t> puts;
+        std::vector<std::size_t> takes;
+        std::vector<std::size_t> undecided;
+        for (std::size_t t = 0; t < n_threads; ++t) {
+          if (active[t] && !active[t]->decided) {
+            undecided.push_back(t);
+            (active[t]->is_put ? puts : takes).push_back(t);
+          }
+        }
+        if (!puts.empty() && !takes.empty() && rnd(2) == 0) {
+          const std::size_t p = puts[rnd(puts.size())];
+          const std::size_t k = takes[rnd(takes.size())];
+          active[p]->decided = true;
+          active[k]->decided = true;
+          active[p]->ret = Value::boolean(true);
+          active[k]->ret = Value::pair(true, active[p]->v);
+        } else if (!undecided.empty()) {
+          const std::size_t t = undecided[rnd(undecided.size())];
+          active[t]->decided = true;
+          active[t]->ret = active[t]->is_put ? Value::boolean(false)
+                                             : Value::pair(false, 0);
+        }
+        break;
+      }
+      case 2: {  // respond
+        std::vector<std::size_t> decided;
+        for (std::size_t t = 0; t < n_threads; ++t) {
+          if (active[t] && active[t]->decided) decided.push_back(t);
+        }
+        if (decided.empty()) break;
+        const std::size_t t = decided[rnd(decided.size())];
+        h.respond(active[t]->tid, kQ,
+                  active[t]->is_put ? Symbol{"put"} : Symbol{"take"},
+                  active[t]->ret);
+        active[t].reset();
+        break;
+      }
+    }
+  }
+  return h;
+}
+
+class SyncQueueProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SyncQueueProperty, GeneratedRunsPassBothSpecs) {
+  std::mt19937 rng(GetParam());
+  History h = generate_sync_queue_run(rng, 4, 2);
+  ASSERT_TRUE(h.well_formed());
+  ASSERT_TRUE(h.complete());
+  SyncQueueSpec ca(kQ);
+  CalChecker cal(ca);
+  EXPECT_TRUE(cal.check(h)) << h.to_string();
+  SyncQueueIntervalSpec ispec(kQ);
+  IntervalLinChecker interval(ispec);
+  EXPECT_TRUE(interval.check(h)) << h.to_string();
+}
+
+TEST_P(SyncQueueProperty, SerializationRoundTrips) {
+  std::mt19937 rng(GetParam() + 7000);
+  History h = generate_sync_queue_run(rng, 3, 2);
+  ParseResult<History> back = parse_history(format_history(h));
+  ASSERT_TRUE(back) << back.error->message;
+  EXPECT_EQ(*back.value, h);
+}
+
+TEST_P(SyncQueueProperty, SequentializedRunsAreRejectedIfAnyPairSucceeded) {
+  // Squash the history into a sequential one (each op completes before the
+  // next begins). If it contains a successful hand-off, the CA-spec must
+  // now reject it — hand-offs need overlap.
+  std::mt19937 rng(GetParam() + 9000);
+  History h = generate_sync_queue_run(rng, 4, 2);
+  std::vector<OpRecord> ops = h.operations();
+  bool any_pair = false;
+  History seq;
+  for (const OpRecord& rec : ops) {
+    seq.invoke(rec.op.tid, rec.op.object, rec.op.method, rec.op.arg);
+    seq.respond(rec.op.tid, rec.op.object, rec.op.method, *rec.op.ret);
+    if (rec.op.method == Symbol{"put"} && rec.op.ret->kind() ==
+            Value::Kind::kBool && rec.op.ret->as_bool()) {
+      any_pair = true;
+    }
+  }
+  SyncQueueSpec ca(kQ);
+  CalChecker cal(ca);
+  EXPECT_EQ(static_cast<bool>(cal.check(seq)), !any_pair)
+      << seq.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SyncQueueProperty,
+                         ::testing::Range(0u, 20u));
+
+}  // namespace
+}  // namespace cal

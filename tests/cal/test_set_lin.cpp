@@ -1,0 +1,124 @@
+// Set-linearizability (Neiger) checker tests, including its relationship
+// to CAL (§6) and to the immediate-snapshot task Neiger motivated it with.
+#include <gtest/gtest.h>
+
+#include "cal/set_lin.hpp"
+#include "cal/specs/exchanger_spec.hpp"
+#include "cal/specs/snapshot_spec.hpp"
+
+namespace cal {
+namespace {
+
+const Symbol kE{"E"};
+const Symbol kEx{"exchange"};
+Value iv(std::int64_t x) { return Value::integer(x); }
+
+TEST(SetLin, AcceptsOverlappingSwap) {
+  ExchangerSpec spec(kE, kEx);
+  SetLinChecker checker(spec);
+  auto h = HistoryBuilder()
+               .call(1, "E", "exchange", iv(3))
+               .call(2, "E", "exchange", iv(4))
+               .ret(1, Value::pair(true, 4))
+               .ret(2, Value::pair(true, 3))
+               .history();
+  SetLinResult r = checker.check(h);
+  EXPECT_TRUE(r);
+  ASSERT_TRUE(r.witness.has_value());
+  EXPECT_EQ(r.witness->size(), 1u);
+}
+
+TEST(SetLin, RejectsSequentialSwap) {
+  ExchangerSpec spec(kE, kEx);
+  SetLinChecker checker(spec);
+  auto h = HistoryBuilder()
+               .op(1, "E", "exchange", iv(3), Value::pair(true, 4))
+               .op(2, "E", "exchange", iv(4), Value::pair(true, 3))
+               .history();
+  EXPECT_FALSE(checker.check(h));
+}
+
+TEST(SetLin, NeverCompletesPendingInvocations) {
+  // The distinguishing knob vs the CAL checker: set-linearizability (as a
+  // task-solution notion) assumes all processes finish, so a pending
+  // partner cannot be invented.
+  ExchangerSpec spec(kE, kEx);
+  SetLinChecker checker(spec);
+  auto h = HistoryBuilder()
+               .call(1, "E", "exchange", iv(3))
+               .call(2, "E", "exchange", iv(4))
+               .ret(1, Value::pair(true, 4))
+               .history();
+  EXPECT_FALSE(checker.check(h));  // t2 pending; cannot complete it
+
+  // Dropping the pending op does not help: t1's swap then has no partner.
+  // But a *failed* pending op CAN simply be dropped:
+  auto h2 = HistoryBuilder()
+                .call(1, "E", "exchange", iv(3))
+                .op(2, "E", "exchange", iv(4), Value::pair(false, 4))
+                .history();
+  EXPECT_TRUE(checker.check(h2));
+}
+
+TEST(SetLin, ImmediateSnapshotIsTheMotivatingTask) {
+  // Neiger's example (§6): immediate atomic snapshots are
+  // set-linearizable but not linearizable. Three concurrent updates all
+  // seeing each other form one simultaneity class.
+  SnapshotSpec spec(Symbol{"IS"});
+  SetLinChecker checker(spec);
+  const Value snap = Value::vec({1, 2, 3});
+  auto h = HistoryBuilder()
+               .call(1, "IS", "us", iv(1))
+               .call(2, "IS", "us", iv(2))
+               .call(3, "IS", "us", iv(3))
+               .ret(3, snap)
+               .ret(2, snap)
+               .ret(1, snap)
+               .history();
+  SetLinResult r = checker.check(h);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r.witness->size(), 1u);
+  EXPECT_EQ((*r.witness)[0].size(), 3u);
+
+  // The same outcome with sequentially separated operations is rejected:
+  // a later op would have to see its predecessor's value only.
+  auto seq = HistoryBuilder()
+                 .op(1, "IS", "us", iv(1), snap)
+                 .op(2, "IS", "us", iv(2), snap)
+                 .op(3, "IS", "us", iv(3), snap)
+                 .history();
+  EXPECT_FALSE(checker.check(seq));
+}
+
+TEST(SetLin, AgreesWithCalOnCompleteHistories) {
+  ExchangerSpec spec(kE, kEx);
+  SetLinChecker set_lin(spec);
+  CalChecker cal(spec);
+  std::vector<History> histories;
+  histories.push_back(HistoryBuilder()
+                          .call(1, "E", "exchange", iv(1))
+                          .call(2, "E", "exchange", iv(2))
+                          .ret(2, Value::pair(true, 1))
+                          .ret(1, Value::pair(true, 2))
+                          .history());
+  histories.push_back(HistoryBuilder()
+                          .op(1, "E", "exchange", iv(1),
+                              Value::pair(false, 1))
+                          .op(2, "E", "exchange", iv(2),
+                              Value::pair(false, 2))
+                          .history());
+  histories.push_back(HistoryBuilder()
+                          .op(1, "E", "exchange", iv(1),
+                              Value::pair(true, 2))
+                          .op(2, "E", "exchange", iv(2),
+                              Value::pair(true, 1))
+                          .history());
+  for (const History& h : histories) {
+    EXPECT_EQ(static_cast<bool>(set_lin.check(h)),
+              static_cast<bool>(cal.check(h)))
+        << h.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace cal

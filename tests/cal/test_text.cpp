@@ -1,0 +1,112 @@
+// Text serialization round-trips and error reporting.
+#include <gtest/gtest.h>
+
+#include "cal/text.hpp"
+
+namespace cal {
+namespace {
+
+Value iv(std::int64_t x) { return Value::integer(x); }
+
+TEST(Text, ValueRoundTrips) {
+  const Value values[] = {
+      Value::unit(),       Value::boolean(true), Value::boolean(false),
+      iv(0),               iv(-17),              iv(kInfinity),
+      Value::pair(true, 4), Value::pair(false, -2),
+      Value::pair(true, kInfinity), Value::vec({}), Value::vec({1, 2, 3}),
+  };
+  for (const Value& v : values) {
+    const auto back = parse_value(format_value(v));
+    ASSERT_TRUE(back.has_value()) << format_value(v);
+    EXPECT_EQ(*back, v) << format_value(v);
+  }
+}
+
+TEST(Text, ValueRejectsGarbage) {
+  for (const char* bad : {"", "tru", "(true)", "(maybe,1)", "(true,)",
+                          "[1,", "12x", "-", "()x"}) {
+    EXPECT_FALSE(parse_value(bad).has_value()) << bad;
+  }
+}
+
+TEST(Text, HistoryRoundTrips) {
+  auto h = HistoryBuilder()
+               .call(1, "E", "exchange", iv(3))
+               .call(2, "E", "exchange", iv(4))
+               .ret(1, Value::pair(true, 4))
+               .ret(2, Value::pair(true, 3))
+               .call(3, "ES.AR.E[0]", "exchange", iv(kInfinity))
+               .history();
+  const std::string text = format_history(h);
+  ParseResult<History> back = parse_history(text);
+  ASSERT_TRUE(back) << back.error->message;
+  EXPECT_EQ(*back.value, h) << text;
+}
+
+TEST(Text, HistoryParsesCommentsAndBlankLines) {
+  const char* text =
+      "# Fig. 3 H1\n"
+      "\n"
+      "inv t1 E.exchange 3\n"
+      "res t1 E.exchange (false,3)\n";
+  ParseResult<History> r = parse_history(text);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r.value->size(), 2u);
+  EXPECT_TRUE(r.value->complete());
+}
+
+TEST(Text, HistoryUnitPayloadIsOptionalOnInvoke) {
+  ParseResult<History> r = parse_history("inv t1 S.pop\n");
+  ASSERT_TRUE(r);
+  EXPECT_TRUE((*r.value)[0].payload.is_unit());
+}
+
+TEST(Text, HistoryReportsLineNumbers) {
+  ParseResult<History> r =
+      parse_history("inv t1 E.exchange 3\nbogus line here\n");
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error->line, 2u);
+}
+
+TEST(Text, HistoryRejectsBadThread) {
+  ParseResult<History> r = parse_history("inv x1 E.exchange 3\n");
+  ASSERT_FALSE(r);
+  EXPECT_NE(r.error->message.find("thread"), std::string::npos);
+}
+
+TEST(Text, HistoryRejectsMissingMethod) {
+  ParseResult<History> r = parse_history("inv t1 Exchange 3\n");
+  ASSERT_FALSE(r);
+}
+
+TEST(Text, TraceRoundTrips) {
+  const Symbol e{"E"};
+  const Symbol ex{"exchange"};
+  CaTrace t;
+  t.append(CaElement::swap(e, ex, 1, 3, 2, 4));
+  t.append(CaElement::singleton(
+      e, Operation::make(3, e, ex, iv(7), Value::pair(false, 7))));
+  const std::string text = format_trace(t);
+  ParseResult<CaTrace> back = parse_trace(text);
+  ASSERT_TRUE(back) << back.error->message;
+  EXPECT_EQ(*back.value, t) << text;
+}
+
+TEST(Text, TraceParsesDottedObjects) {
+  ParseResult<CaTrace> r = parse_trace(
+      "elem ES.AR.E[0].{t1 exchange 10 (true,inf) | "
+      "t2 exchange inf (true,10)}\n");
+  ASSERT_TRUE(r) << r.error->message;
+  ASSERT_EQ(r.value->size(), 1u);
+  EXPECT_EQ((*r.value)[0].object().str(), "ES.AR.E[0]");
+  EXPECT_EQ((*r.value)[0].size(), 2u);
+}
+
+TEST(Text, TraceRejectsEmptyElement) {
+  EXPECT_FALSE(parse_trace("elem E.{}\n"));
+  EXPECT_FALSE(parse_trace("elem E.{t1 exchange}\n"));
+  EXPECT_FALSE(parse_trace("element E.{t1 exchange 1 (false,1)}\n"));
+}
+
+}  // namespace
+}  // namespace cal

@@ -1,0 +1,95 @@
+// Whole-program checking: one history over several objects, checked
+// against the union of their specifications (the §2 ownership discipline).
+#include <gtest/gtest.h>
+
+#include "cal/cal_checker.hpp"
+#include "cal/specs/exchanger_spec.hpp"
+#include "cal/specs/stack_spec.hpp"
+#include "cal/specs/sync_queue_spec.hpp"
+#include "cal/specs/union_spec.hpp"
+
+namespace cal {
+namespace {
+
+Value iv(std::int64_t x) { return Value::integer(x); }
+
+UnionCaSpec make_union() {
+  std::vector<UnionCaSpec::Entry> entries;
+  entries.emplace_back(Symbol{"E"}, std::make_shared<ExchangerSpec>(
+                                        Symbol{"E"}, Symbol{"exchange"}));
+  entries.emplace_back(
+      Symbol{"S"},
+      std::make_shared<SeqAsCaSpec>(std::make_shared<StackSpec>(Symbol{"S"})));
+  entries.emplace_back(Symbol{"SQ"},
+                       std::make_shared<SyncQueueSpec>(Symbol{"SQ"}));
+  return UnionCaSpec(std::move(entries));
+}
+
+TEST(UnionSpec, MixedObjectHistoryAccepted) {
+  // t1/t2 swap on E while t3 pushes/pops on S and t1/t3 later hand off on
+  // the synchronous queue.
+  auto h = HistoryBuilder()
+               .call(1, "E", "exchange", iv(1))
+               .call(2, "E", "exchange", iv(2))
+               .op(3, "S", "push", iv(7), Value::boolean(true))
+               .ret(1, Value::pair(true, 2))
+               .ret(2, Value::pair(true, 1))
+               .op(3, "S", "pop", Value::unit(), Value::pair(true, 7))
+               .call(1, "SQ", "put", iv(9))
+               .call(3, "SQ", "take")
+               .ret(1, Value::boolean(true))
+               .ret(3, Value::pair(true, 9))
+               .history();
+  UnionCaSpec spec = make_union();
+  CalChecker checker(spec);
+  CalCheckResult r = checker.check(h);
+  ASSERT_TRUE(r);
+  // Four elements: the swap, the push, the pop, and the hand-off.
+  EXPECT_EQ(r.witness->size(), 4u);
+}
+
+TEST(UnionSpec, CrossObjectStateIsIndependent) {
+  // The stack's LIFO discipline must still bite inside a union.
+  auto h = HistoryBuilder()
+               .op(1, "S", "push", iv(1), Value::boolean(true))
+               .op(1, "S", "push", iv(2), Value::boolean(true))
+               .op(2, "E", "exchange", iv(5), Value::pair(false, 5))
+               .op(1, "S", "pop", Value::unit(), Value::pair(true, 1))
+               .history();
+  UnionCaSpec spec = make_union();
+  CalChecker checker(spec);
+  EXPECT_FALSE(checker.check(h)) << "LIFO violation must survive the union";
+}
+
+TEST(UnionSpec, UnregisteredObjectRejected) {
+  auto h = HistoryBuilder()
+               .op(1, "X", "frob", iv(1), Value::boolean(true))
+               .history();
+  UnionCaSpec spec = make_union();
+  CalChecker checker(spec);
+  EXPECT_FALSE(checker.check(h));
+}
+
+TEST(UnionSpec, ExchangerRulesSurviveTheUnion) {
+  auto h = HistoryBuilder()
+               .op(1, "E", "exchange", iv(1), Value::pair(true, 2))
+               .op(2, "E", "exchange", iv(2), Value::pair(true, 1))
+               .history();
+  UnionCaSpec spec = make_union();
+  CalChecker checker(spec);
+  EXPECT_FALSE(checker.check(h)) << "sequential swap must still be rejected";
+}
+
+TEST(UnionSpec, MaxElementSizeIsTheMaximum) {
+  UnionCaSpec spec = make_union();
+  EXPECT_EQ(spec.max_element_size(), 2u);
+}
+
+TEST(UnionSpec, InitialStateConcatenatesSubStates) {
+  UnionCaSpec spec = make_union();
+  // Three sub-specs, each with an empty initial state: [0, 0, 0].
+  EXPECT_EQ(spec.initial(), (SpecState{0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace cal

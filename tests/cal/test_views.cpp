@@ -1,0 +1,186 @@
+// View functions (§4) and the concrete F_AR / F_ES of §5.
+#include <gtest/gtest.h>
+
+#include "cal/replay.hpp"
+#include "cal/specs/elim_views.hpp"
+#include "cal/specs/stack_spec.hpp"
+#include "cal/view.hpp"
+
+namespace cal {
+namespace {
+
+const Symbol kES{"ES"};
+const Symbol kS{"ES.S"};
+const Symbol kAR{"ES.AR"};
+const Symbol kPush{"push"};
+const Symbol kPop{"pop"};
+const Symbol kEx{"exchange"};
+
+Value iv(std::int64_t x) { return Value::integer(x); }
+
+CaElement s_push(ThreadId t, std::int64_t v, bool ok) {
+  return CaElement::singleton(
+      kS, Operation::make(t, kS, kPush, iv(v), Value::boolean(ok)));
+}
+CaElement s_pop(ThreadId t, bool ok, std::int64_t v) {
+  return CaElement::singleton(
+      kS, Operation::make(t, kS, kPop, Value::unit(), Value::pair(ok, v)));
+}
+CaElement slot_swap(std::size_t slot, ThreadId t, std::int64_t v, ThreadId t2,
+                    std::int64_t v2) {
+  return CaElement::swap(elim_slot_name(kAR, slot), kEx, t, v, t2, v2);
+}
+CaElement slot_fail(std::size_t slot, ThreadId t, std::int64_t v) {
+  const Symbol e = elim_slot_name(kAR, slot);
+  return CaElement::singleton(
+      e, Operation::make(t, e, kEx, iv(v), Value::pair(false, v)));
+}
+
+TEST(Views, FArRenamesSlotElementsToArray) {
+  auto f_ar = make_f_ar(kAR, 4);
+  CaTrace raw;
+  raw.append(slot_swap(2, 1, 10, 2, kInfinity));
+  CaTrace mapped = total_apply(*f_ar, raw);
+  ASSERT_EQ(mapped.size(), 1u);
+  EXPECT_EQ(mapped[0].object(), kAR);
+  EXPECT_EQ(mapped[0].size(), 2u);
+  for (const Operation& op : mapped[0].ops()) EXPECT_EQ(op.object, kAR);
+}
+
+TEST(Views, FArLeavesOtherObjectsUntouched) {
+  auto f_ar = make_f_ar(kAR, 4);
+  CaTrace raw;
+  raw.append(s_push(1, 5, true));
+  CaTrace mapped = total_apply(*f_ar, raw);
+  ASSERT_EQ(mapped.size(), 1u);
+  EXPECT_EQ(mapped[0], raw[0]);
+}
+
+TEST(Views, FEsLiftsSuccessfulStackOps) {
+  auto view = make_elimination_stack_view(kES, kS, kAR, 4);
+  CaTrace raw;
+  raw.append(s_push(1, 5, true));
+  raw.append(s_pop(2, true, 5));
+  CaTrace es = view->view(raw);
+  ASSERT_EQ(es.size(), 2u);
+  EXPECT_EQ(es[0].object(), kES);
+  EXPECT_EQ(es[0].ops().front().method, kPush);
+  EXPECT_EQ(es[1].ops().front().method, kPop);
+  EXPECT_EQ(*es[1].ops().front().ret, Value::pair(true, 5));
+}
+
+TEST(Views, FEsErasesFailedStackOps) {
+  auto view = make_elimination_stack_view(kES, kS, kAR, 4);
+  CaTrace raw;
+  raw.append(s_push(1, 5, false));
+  raw.append(s_pop(2, false, 0));
+  EXPECT_EQ(view->view(raw).size(), 0u);
+}
+
+TEST(Views, FEsMapsEliminationToPushThenPop) {
+  auto view = make_elimination_stack_view(kES, kS, kAR, 4);
+  CaTrace raw;
+  // t1 pushes 10, t2 pops: swap of (10, ∞) on slot 3.
+  raw.append(slot_swap(3, 1, 10, 2, kInfinity));
+  CaTrace es = view->view(raw);
+  ASSERT_EQ(es.size(), 2u);
+  // "the push is linearized before the pop" (§5)
+  EXPECT_EQ(es[0].ops().front().method, kPush);
+  EXPECT_EQ(es[0].ops().front().tid, 1u);
+  EXPECT_EQ(es[0].ops().front().arg, iv(10));
+  EXPECT_EQ(es[1].ops().front().method, kPop);
+  EXPECT_EQ(es[1].ops().front().tid, 2u);
+  EXPECT_EQ(*es[1].ops().front().ret, Value::pair(true, 10));
+}
+
+TEST(Views, FEsMapsEliminationRegardlessOfElementOrder) {
+  auto view = make_elimination_stack_view(kES, kS, kAR, 4);
+  CaTrace raw;
+  raw.append(slot_swap(0, 2, kInfinity, 1, 10));  // popper listed first
+  CaTrace es = view->view(raw);
+  ASSERT_EQ(es.size(), 2u);
+  EXPECT_EQ(es[0].ops().front().method, kPush);
+}
+
+TEST(Views, FEsErasesFailedExchanges) {
+  auto view = make_elimination_stack_view(kES, kS, kAR, 4);
+  CaTrace raw;
+  raw.append(slot_fail(1, 1, 10));
+  raw.append(slot_fail(2, 2, kInfinity));
+  EXPECT_EQ(view->view(raw).size(), 0u);
+}
+
+TEST(Views, FEsErasesSameSideCollisions) {
+  auto view = make_elimination_stack_view(kES, kS, kAR, 4);
+  CaTrace raw;
+  raw.append(slot_swap(0, 1, 10, 2, 20));  // push/push collision
+  EXPECT_EQ(view->view(raw).size(), 0u);
+  CaTrace raw2;
+  raw2.append(slot_swap(0, 1, kInfinity, 2, kInfinity));  // pop/pop
+  EXPECT_EQ(view->view(raw2).size(), 0u);
+}
+
+TEST(Views, ComposedViewImplementsSection5Example) {
+  // A realistic mixed trace: a central push, an elimination, a failed
+  // exchange, a failed stack pop — mapped and replayed against WFS.
+  auto view = make_elimination_stack_view(kES, kS, kAR, 4);
+  CaTrace raw;
+  raw.append(s_push(1, 5, true));          // ES.push(5) via S
+  raw.append(slot_fail(2, 3, kInfinity));  // t3's failed exchange: erased
+  raw.append(slot_swap(1, 2, 7, 3, kInfinity));  // t2 push 7 / t3 pop: elim
+  raw.append(s_pop(1, false, 0));          // failed central pop: erased
+  raw.append(s_pop(1, true, 5));           // ES.pop ▷ 5 via S
+  CaTrace es = view->view(raw);
+  ASSERT_EQ(es.size(), 4u);
+
+  StackSpec spec(kES);
+  ReplayResult r = replay_sequential(es, spec);
+  EXPECT_TRUE(r) << r.reason;
+  EXPECT_TRUE(r.final_state.empty());  // everything pushed was popped
+}
+
+TEST(Views, WfsRejectsWrongPopValue) {
+  auto view = make_elimination_stack_view(kES, kS, kAR, 4);
+  CaTrace raw;
+  raw.append(s_push(1, 5, true));
+  raw.append(s_pop(2, true, 6));  // wrong value popped
+  StackSpec spec(kES);
+  EXPECT_FALSE(replay_sequential(view->view(raw), spec));
+}
+
+TEST(Views, LambdaViewNulloptMeansIdentity) {
+  LambdaView undefined([](const CaElement&) { return std::nullopt; });
+  CaTrace raw;
+  raw.append(s_push(1, 1, true));
+  EXPECT_EQ(total_apply(undefined, raw), raw);
+}
+
+TEST(Views, EmptyImageErasesElement) {
+  LambdaView eraser([](const CaElement&) {
+    return std::optional<CaTrace>(CaTrace{});
+  });
+  CaTrace raw;
+  raw.append(s_push(1, 1, true));
+  EXPECT_EQ(total_apply(eraser, raw).size(), 0u);
+}
+
+TEST(Views, ChildViewsCommute) {
+  // §4: for disjoint objects, F̂_o ∘ F̂_o' = F̂_o' ∘ F̂_o. Check with two
+  // renamers over disjoint sources.
+  const Symbol a{"A"};
+  const Symbol b{"B"};
+  RenameObjectView ra({Symbol{"A0"}}, a);
+  RenameObjectView rb({Symbol{"B0"}}, b);
+  CaTrace raw;
+  raw.append(CaElement::singleton(
+      Symbol{"A0"}, Operation::make(1, Symbol{"A0"}, kPush, iv(1),
+                                    Value::boolean(true))));
+  raw.append(CaElement::singleton(
+      Symbol{"B0"}, Operation::make(2, Symbol{"B0"}, kPop, Value::unit(),
+                                    Value::pair(true, 1))));
+  EXPECT_EQ(total_apply(ra, total_apply(rb, raw)),
+            total_apply(rb, total_apply(ra, raw)));
+}
+
+}  // namespace
+}  // namespace cal

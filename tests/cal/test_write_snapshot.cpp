@@ -1,0 +1,110 @@
+// Write-snapshot: the separation between set-linearizability / single-
+// element CAL and interval-linearizability (§6, Castañeda et al.).
+#include <gtest/gtest.h>
+
+#include "cal/cal_checker.hpp"
+#include "cal/interval_lin.hpp"
+#include "cal/set_lin.hpp"
+#include "cal/specs/snapshot_spec.hpp"
+#include "cal/specs/write_snapshot_spec.hpp"
+
+namespace cal {
+namespace {
+
+const Symbol kWS{"WS"};
+Value iv(std::int64_t x) { return Value::integer(x); }
+
+/// The separating history: ops 1 and 2 overlap and see each other, yet
+/// return different snapshots (op 2's snapshot also contains op 3's later
+/// write). Legal for write-snapshot; inexpressible as a sequence of sets.
+History separating_history() {
+  return HistoryBuilder()
+      .call(1, "WS", "ws", iv(1))
+      .call(2, "WS", "ws", iv(2))
+      .ret(1, Value::vec({1, 2}))  // S1 = {1,2}: sees 2
+      .call(3, "WS", "ws", iv(3))
+      .ret(3, Value::vec({1, 2, 3}))
+      .ret(2, Value::vec({1, 2, 3}))  // S2 = {1,2,3}: sees 1, ≠ S1
+      .history();
+}
+
+TEST(WriteSnapshot, SeparatingHistoryAcceptedByIntervalSpec) {
+  WriteSnapshotIntervalSpec spec(kWS);
+  IntervalLinChecker checker(spec);
+  IntervalCheckResult r = checker.check(separating_history());
+  ASSERT_TRUE(r);
+  // Op 2's interval genuinely spans rounds: it starts before op 1's
+  // snapshot and ends after op 3's write.
+  ASSERT_TRUE(r.intervals.has_value());
+  const auto& op2 = (*r.intervals)[1];
+  EXPECT_LT(op2.first, op2.second);
+}
+
+TEST(WriteSnapshot, SeparatingHistoryRejectedBySetStyleSpecs) {
+  // The same history against the immediate-snapshot (set) spec: mutual
+  // visibility forces one shared element and hence equal snapshots, so
+  // both the CAL checker and the set-linearizability checker reject.
+  SnapshotSpec set_spec(kWS, Symbol{"ws"});
+  CalChecker cal(set_spec);
+  EXPECT_FALSE(cal.check(separating_history()));
+  SetLinChecker set_lin(set_spec);
+  EXPECT_FALSE(set_lin.check(separating_history()));
+}
+
+TEST(WriteSnapshot, SelfInclusionEnforced) {
+  WriteSnapshotIntervalSpec spec(kWS);
+  IntervalLinChecker checker(spec);
+  auto h = HistoryBuilder().op(1, "WS", "ws", iv(1), Value::vec({})).history();
+  EXPECT_FALSE(checker.check(h)) << "a snapshot must contain its own write";
+}
+
+TEST(WriteSnapshot, SnapshotsAreCumulative) {
+  // Values never disappear: a later snapshot missing an earlier completed
+  // write is rejected.
+  WriteSnapshotIntervalSpec spec(kWS);
+  IntervalLinChecker checker(spec);
+  auto h = HistoryBuilder()
+               .op(1, "WS", "ws", iv(1), Value::vec({1}))
+               .op(2, "WS", "ws", iv(2), Value::vec({2}))
+               .history();
+  EXPECT_FALSE(checker.check(h));
+  auto ok = HistoryBuilder()
+                .op(1, "WS", "ws", iv(1), Value::vec({1}))
+                .op(2, "WS", "ws", iv(2), Value::vec({1, 2}))
+                .history();
+  EXPECT_TRUE(checker.check(ok));
+}
+
+TEST(WriteSnapshot, ImmediateSnapshotOutcomesRemainLegal) {
+  // Every immediate-snapshot outcome is also a write-snapshot outcome
+  // (the generalization is strict in one direction only).
+  WriteSnapshotIntervalSpec wspec(kWS);
+  SnapshotSpec sspec(kWS, Symbol{"ws"});
+  IntervalLinChecker interval(wspec);
+  CalChecker cal(sspec);
+  const Value snap = Value::vec({1, 2});
+  auto h = HistoryBuilder()
+               .call(1, "WS", "ws", iv(1))
+               .call(2, "WS", "ws", iv(2))
+               .ret(1, snap)
+               .ret(2, snap)
+               .history();
+  EXPECT_TRUE(cal.check(h));
+  EXPECT_TRUE(interval.check(h));
+}
+
+TEST(WriteSnapshot, RealTimeOrderStillBites) {
+  // A snapshot cannot contain a value whose write starts strictly after
+  // the snapshotting operation returned.
+  WriteSnapshotIntervalSpec spec(kWS);
+  IntervalLinChecker checker(spec);
+  auto h = HistoryBuilder()
+               .op(1, "WS", "ws", iv(1), Value::vec({1, 2}))
+               .op(2, "WS", "ws", iv(2), Value::vec({1, 2}))
+               .history();
+  EXPECT_FALSE(checker.check(h))
+      << "op 1 returned {1,2} before op 2 was even invoked";
+}
+
+}  // namespace
+}  // namespace cal

@@ -1,0 +1,178 @@
+// Threaded exchanger tests: protocol sanity, swap conservation, and CAL of
+// recorded histories (the paper's Def. 6 on real executions).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "cal/cal_checker.hpp"
+#include "cal/replay.hpp"
+#include "cal/specs/exchanger_spec.hpp"
+#include "objects/exchanger.hpp"
+#include "runtime/recorder.hpp"
+
+namespace cal::objects {
+namespace {
+
+using runtime::Recorder;
+
+Value iv(std::int64_t x) { return Value::integer(x); }
+
+TEST(Exchanger, SingleThreadAlwaysFails) {
+  runtime::EpochDomain ebr;
+  Exchanger ex(ebr, Symbol{"E"});
+  ExchangeResult r = ex.exchange(0, 42, /*spins=*/4);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.value, 42);
+  // And again: the object resets cleanly after a pass.
+  ExchangeResult r2 = ex.exchange(0, 43, 4);
+  EXPECT_FALSE(r2.ok);
+  EXPECT_EQ(r2.value, 43);
+}
+
+TEST(Exchanger, TwoThreadsEventuallySwap) {
+  runtime::EpochDomain ebr;
+  Exchanger ex(ebr, Symbol{"E"});
+  ExchangeResult r1, r2;
+  bool swapped = false;
+  for (int attempt = 0; attempt < 200 && !swapped; ++attempt) {
+    std::jthread a([&] { r1 = ex.exchange(0, 1, 1 << 14); });
+    std::jthread b([&] { r2 = ex.exchange(1, 2, 1 << 14); });
+    a.join();
+    b.join();
+    swapped = r1.ok && r2.ok;
+  }
+  ASSERT_TRUE(swapped) << "no swap in 200 generously-spun attempts";
+  EXPECT_EQ(r1.value, 2);
+  EXPECT_EQ(r2.value, 1);
+}
+
+TEST(Exchanger, SwapValuesAreConserved) {
+  // Many threads, many rounds: every successful exchange must receive a
+  // value some other thread offered in the same round, and each offered
+  // value is received at most once.
+  runtime::EpochDomain ebr;
+  Exchanger ex(ebr, Symbol{"E"});
+  constexpr int kThreads = 6;
+  constexpr int kRounds = 50;
+  std::vector<std::vector<ExchangeResult>> results(
+      kThreads, std::vector<ExchangeResult>(kRounds));
+  {
+    std::vector<std::jthread> ts;
+    for (int i = 0; i < kThreads; ++i) {
+      ts.emplace_back([&, i] {
+        for (int r = 0; r < kRounds; ++r) {
+          const std::int64_t v = i * 1000 + r;
+          results[i][r] = ex.exchange(static_cast<runtime::ThreadId>(i), v,
+                                      256);
+        }
+      });
+    }
+  }
+  std::vector<std::int64_t> received;
+  for (int i = 0; i < kThreads; ++i) {
+    for (int r = 0; r < kRounds; ++r) {
+      if (!results[i][r].ok) {
+        EXPECT_EQ(results[i][r].value, i * 1000 + r);
+        continue;
+      }
+      received.push_back(results[i][r].value);
+      // A received value is someone's offer, never one's own.
+      EXPECT_NE(results[i][r].value / 1000, i);
+    }
+  }
+  std::sort(received.begin(), received.end());
+  EXPECT_EQ(std::unique(received.begin(), received.end()), received.end())
+      << "a value was received by two different exchanges";
+  // Success count must be even (successes come in pairs).
+  EXPECT_EQ(received.size() % 2, 0u);
+}
+
+TEST(Exchanger, RecordedHistoryIsCaLinearizable) {
+  runtime::EpochDomain ebr;
+  runtime::TraceLog trace(1 << 12);
+  Exchanger ex(ebr, Symbol{"E"}, &trace);
+  Recorder rec(1 << 12);
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 4;
+  {
+    std::vector<std::jthread> ts;
+    for (int i = 0; i < kThreads; ++i) {
+      ts.emplace_back([&, i] {
+        const auto tid = static_cast<runtime::ThreadId>(i);
+        for (int r = 0; r < kRounds; ++r) {
+          const std::int64_t v = i * 100 + r;
+          rec.invoke(tid, ex.name(), ex.method(), iv(v));
+          ExchangeResult res = ex.exchange(tid, v, 512);
+          rec.respond(tid, ex.name(), ex.method(),
+                      Value::pair(res.ok, res.value));
+        }
+      });
+    }
+  }
+  History h = rec.snapshot();
+  ASSERT_TRUE(h.well_formed());
+  ASSERT_TRUE(h.complete());
+  ExchangerSpec spec(ex.name(), ex.method());
+  CalChecker checker(spec);
+  CalCheckResult r = checker.check(h);
+  EXPECT_TRUE(r) << h.to_string();
+}
+
+TEST(Exchanger, AuxiliaryTraceIsInSpecTraceSet) {
+  // 𝒯 ∈ 𝒯spec: the instrumented log must replay against the CA-spec.
+  runtime::EpochDomain ebr;
+  runtime::TraceLog trace(1 << 12);
+  Exchanger ex(ebr, Symbol{"E"}, &trace);
+  {
+    std::vector<std::jthread> ts;
+    for (int i = 0; i < 4; ++i) {
+      ts.emplace_back([&, i] {
+        for (int r = 0; r < 8; ++r) {
+          ex.exchange(static_cast<runtime::ThreadId>(i), i * 100 + r, 256);
+        }
+      });
+    }
+  }
+  ExchangerSpec spec(ex.name(), ex.method());
+  ReplayResult r = replay_ca(trace.snapshot(), spec);
+  EXPECT_TRUE(r) << r.reason;
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(Exchanger, TraceAccountsForEveryOperation) {
+  runtime::EpochDomain ebr;
+  runtime::TraceLog trace(1 << 12);
+  Exchanger ex(ebr, Symbol{"E"}, &trace);
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 10;
+  {
+    std::vector<std::jthread> ts;
+    for (int i = 0; i < kThreads; ++i) {
+      ts.emplace_back([&, i] {
+        for (int r = 0; r < kRounds; ++r) {
+          ex.exchange(static_cast<runtime::ThreadId>(i), i * 100 + r, 128);
+        }
+      });
+    }
+  }
+  std::size_t ops = 0;
+  const CaTrace snap = trace.snapshot();
+  for (const CaElement& e : snap.elements()) {
+    ops += e.size();
+  }
+  EXPECT_EQ(ops, static_cast<std::size_t>(kThreads * kRounds));
+}
+
+TEST(Exchanger, ZeroSpinsStillWaitFree) {
+  runtime::EpochDomain ebr;
+  Exchanger ex(ebr, Symbol{"E"});
+  // Every call returns (wait-freedom smoke test with no waiting budget).
+  for (int i = 0; i < 100; ++i) {
+    ExchangeResult r = ex.exchange(0, i, 0);
+    EXPECT_EQ(r.ok || r.value == i, true);
+  }
+}
+
+}  // namespace
+}  // namespace cal::objects

@@ -1,0 +1,105 @@
+// Immediate snapshot object: BG properties and CAL w.r.t. SnapshotSpec.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "cal/cal_checker.hpp"
+#include "cal/set_lin.hpp"
+#include "cal/specs/snapshot_spec.hpp"
+#include "objects/immediate_snapshot.hpp"
+#include "runtime/recorder.hpp"
+
+namespace cal::objects {
+namespace {
+
+bool subset(const std::vector<std::int64_t>& a,
+            const std::vector<std::int64_t>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+TEST(ImmediateSnapshot, SoloParticipantSeesOnlyItself) {
+  ImmediateSnapshot is(Symbol{"IS"}, 4);
+  EXPECT_EQ(is.us(2, 42), (std::vector<std::int64_t>{42}));
+}
+
+TEST(ImmediateSnapshot, SequentialCallsNest) {
+  ImmediateSnapshot is(Symbol{"IS"}, 3);
+  EXPECT_EQ(is.us(0, 1), (std::vector<std::int64_t>{1}));
+  EXPECT_EQ(is.us(1, 2), (std::vector<std::int64_t>{1, 2}));
+  EXPECT_EQ(is.us(2, 3), (std::vector<std::int64_t>{1, 2, 3}));
+}
+
+TEST(ImmediateSnapshot, BgPropertiesUnderConcurrency) {
+  // Self-inclusion, containment, immediacy — across many concurrent runs.
+  constexpr std::size_t kN = 6;
+  for (int round = 0; round < 50; ++round) {
+    ImmediateSnapshot is(Symbol{"IS"}, kN);
+    std::vector<std::vector<std::int64_t>> snaps(kN);
+    {
+      std::vector<std::jthread> ts;
+      for (std::size_t i = 0; i < kN; ++i) {
+        ts.emplace_back([&, i] {
+          snaps[i] = is.us(static_cast<runtime::ThreadId>(i),
+                           static_cast<std::int64_t>(100 + i));
+        });
+      }
+    }
+    for (std::size_t i = 0; i < kN; ++i) {
+      // Self-inclusion.
+      EXPECT_TRUE(std::binary_search(snaps[i].begin(), snaps[i].end(),
+                                     static_cast<std::int64_t>(100 + i)));
+      for (std::size_t j = 0; j < kN; ++j) {
+        // Containment.
+        EXPECT_TRUE(subset(snaps[i], snaps[j]) || subset(snaps[j], snaps[i]))
+            << "snapshots not comparable";
+        // Immediacy: j's value in i's snapshot ⇒ snaps[j] ⊆ snaps[i].
+        if (std::binary_search(snaps[i].begin(), snaps[i].end(),
+                               static_cast<std::int64_t>(100 + j))) {
+          EXPECT_TRUE(subset(snaps[j], snaps[i])) << "immediacy violated";
+        }
+      }
+    }
+  }
+}
+
+TEST(ImmediateSnapshot, RecordedHistoryIsCaLinearizable) {
+  constexpr std::size_t kN = 4;
+  ImmediateSnapshot is(Symbol{"IS"}, kN);
+  runtime::Recorder rec(1 << 10);
+  {
+    std::vector<std::jthread> ts;
+    for (std::size_t i = 0; i < kN; ++i) {
+      ts.emplace_back([&, i] {
+        const auto tid = static_cast<runtime::ThreadId>(i);
+        const std::int64_t v = static_cast<std::int64_t>(10 + i);
+        rec.invoke(tid, is.name(), is.method(), Value::integer(v));
+        auto snap = is.us(tid, v);
+        rec.respond(tid, is.name(), is.method(), Value::vec(snap));
+      });
+    }
+  }
+  History h = rec.snapshot();
+  ASSERT_TRUE(h.complete());
+  SnapshotSpec spec(is.name());
+  CalChecker checker(spec);
+  EXPECT_TRUE(checker.check(h)) << h.to_string();
+  // And set-linearizable (Neiger's notion; complete history, no pendings).
+  SetLinChecker set_lin(spec);
+  EXPECT_TRUE(set_lin.check(h)) << h.to_string();
+}
+
+TEST(ImmediateSnapshot, InstrumentedTraceElementsCarryTerminalSnapshots) {
+  runtime::TraceLog trace(64);
+  ImmediateSnapshot is(Symbol{"IS"}, 2, &trace);
+  is.us(0, 5);
+  is.us(1, 6);
+  CaTrace t = trace.snapshot();
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(*t[0].ops().front().ret, Value::vec({5}));
+  EXPECT_EQ(*t[1].ops().front().ret, Value::vec({5, 6}));
+}
+
+}  // namespace
+}  // namespace cal::objects

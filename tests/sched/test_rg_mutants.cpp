@@ -1,0 +1,146 @@
+// Rely/guarantee audit mutants: violations of the invariant J and of the
+// INIT action shape, caught by ExchangerRgAuditor (Fig. 4 made executable).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cal/specs/exchanger_spec.hpp"
+#include "sched/explorer.hpp"
+#include "sched/machines/exchanger_machine.hpp"
+#include "sched/rg.hpp"
+
+namespace cal::sched {
+namespace {
+
+Value iv(std::int64_t x) { return Value::integer(x); }
+
+WorldConfig exchanger_config(const CaSpec* spec, std::size_t threads) {
+  WorldConfig cfg;
+  for (std::size_t i = 0; i < threads; ++i) {
+    ThreadProgram p;
+    p.tid = static_cast<ThreadId>(i);
+    p.calls = {Call{0, Symbol{"exchange"},
+                    iv(static_cast<std::int64_t>(10 * (i + 1)))}};
+    cfg.programs.push_back(std::move(p));
+  }
+  cfg.object_names = {Symbol{"E"}};
+  cfg.spec = spec;
+  cfg.record_trace = true;
+  cfg.heap_cells = 8;
+  cfg.global_cells = 8;
+  return cfg;
+}
+
+/// Mutant: the offer is allocated with a *wrong tid* (as if the auxiliary
+/// tid field of §5.1 were mis-instrumented). Publishing it breaks both the
+/// INIT action (the published offer must carry the actor's tid) and the
+/// invariant J (the unmatched offer's owner is not inside exchange()).
+class WrongTidOffer final : public SimObject {
+ public:
+  explicit WrongTidOffer(Symbol name) : inner_(name) {}
+  void init(World& world) override { inner_.init(world); }
+  [[nodiscard]] const ExchangerMachine& inner() const { return inner_; }
+  StepResult step(World& world, ThreadCtx& t) const override {
+    if (t.pc == ExchangerMachine::kInvoke) {
+      const Call& call =
+          world.config().programs[t.program].calls[t.call_idx];
+      world.invoke(t);
+      const Word v = call.arg.as_int();
+      const Addr n = world.alloc(t, 3);
+      world.write(n + ExchangerMachine::kTid, t.tid + 17);  // bug
+      world.write(n + ExchangerMachine::kData, v);
+      t.regs[ExchangerMachine::kRegN] = n;
+      t.regs[ExchangerMachine::kRegV] = v;
+      t.pc = ExchangerMachine::kInitCas;
+      return StepResult::ran();
+    }
+    return inner_.step(world, t);
+  }
+
+ private:
+  ExchangerMachine inner_;
+};
+
+TEST(RgMutants, WrongOfferTidCaughtByAudit) {
+  ExchangerSpec spec(Symbol{"E"}, Symbol{"exchange"});
+  WorldConfig cfg = exchanger_config(&spec, 2);
+  auto mutant = std::make_unique<WrongTidOffer>(Symbol{"E"});
+  const ExchangerMachine& inner = mutant->inner();
+  std::vector<std::unique_ptr<SimObject>> objects;
+  objects.push_back(std::move(mutant));
+  ExchangerRgAuditor auditor(inner, /*check_proof_outline=*/false);
+  Explorer ex(cfg, std::move(objects));
+  ex.set_auditor(&auditor);
+  ExploreResult r = ex.run();
+  ASSERT_FALSE(r.ok());
+  // Caught either as a malformed INIT (guarantee) or as a J violation,
+  // depending on which check fires first along the DFS order.
+  const std::string& what = r.violations.front().what;
+  EXPECT_TRUE(what.find("INIT") != std::string::npos ||
+              what.find("J violated") != std::string::npos)
+      << what;
+}
+
+TEST(RgMutants, WrongOfferTidAlsoBreaksProofOutline) {
+  // With outline checking on, assertion A (n ↦ tid,v,null) fails even
+  // before the offer is published.
+  ExchangerSpec spec(Symbol{"E"}, Symbol{"exchange"});
+  WorldConfig cfg = exchanger_config(&spec, 1);
+  auto mutant = std::make_unique<WrongTidOffer>(Symbol{"E"});
+  const ExchangerMachine& inner = mutant->inner();
+  std::vector<std::unique_ptr<SimObject>> objects;
+  objects.push_back(std::move(mutant));
+  ExchangerRgAuditor auditor(inner, /*check_proof_outline=*/true);
+  Explorer ex(cfg, std::move(objects));
+  ex.set_auditor(&auditor);
+  ExploreResult r = ex.run();
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.violations.front().what.find("proof outline"),
+            std::string::npos)
+      << r.violations.front().what;
+}
+
+/// Mutant: CLEAN fires even when the removed offer is unmatched (drops the
+/// paper's side condition cur.hole ≠ null by clearing g at the wrong time).
+class OverzealousClean final : public SimObject {
+ public:
+  explicit OverzealousClean(Symbol name) : inner_(name) {}
+  void init(World& world) override { inner_.init(world); }
+  [[nodiscard]] const ExchangerMachine& inner() const { return inner_; }
+  StepResult step(World& world, ThreadCtx& t) const override {
+    if (t.pc == ExchangerMachine::kReadG) {
+      // Bug: instead of reading g, clear it unconditionally (removing a
+      // possibly-unmatched offer), then fail.
+      const Word g = world.read(inner_.g_addr());
+      if (g != kNull) {
+        world.cas(inner_.g_addr(), g, kNull);
+      }
+      t.regs[ExchangerMachine::kRegCur] = kNull;
+      t.pc = ExchangerMachine::kFailReturnB;
+      return StepResult::ran();
+    }
+    return inner_.step(world, t);
+  }
+
+ private:
+  ExchangerMachine inner_;
+};
+
+TEST(RgMutants, UnjustifiedCleanCaughtByGuarantee) {
+  ExchangerSpec spec(Symbol{"E"}, Symbol{"exchange"});
+  WorldConfig cfg = exchanger_config(&spec, 2);
+  auto mutant = std::make_unique<OverzealousClean>(Symbol{"E"});
+  const ExchangerMachine& inner = mutant->inner();
+  std::vector<std::unique_ptr<SimObject>> objects;
+  objects.push_back(std::move(mutant));
+  ExchangerRgAuditor auditor(inner, /*check_proof_outline=*/false);
+  Explorer ex(cfg, std::move(objects));
+  ex.set_auditor(&auditor);
+  ExploreResult r = ex.run();
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.violations.front().what.find("CLEAN"), std::string::npos)
+      << r.violations.front().what;
+}
+
+}  // namespace
+}  // namespace cal::sched

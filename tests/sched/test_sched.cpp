@@ -1,0 +1,518 @@
+// Model-checking substrate tests: exhaustive verification of the exchanger
+// (Fig. 1 + Fig. 4) and the elimination stack (Fig. 2 + §5), plus mutation
+// tests showing the online audit actually catches bugs.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cal/agree.hpp"
+#include "cal/cal_checker.hpp"
+#include "cal/lin_checker.hpp"
+#include "cal/replay.hpp"
+#include "cal/specs/elim_views.hpp"
+#include "cal/specs/exchanger_spec.hpp"
+#include "cal/specs/stack_spec.hpp"
+#include "sched/explorer.hpp"
+#include "sched/machines/elim_stack_machine.hpp"
+#include "sched/machines/exchanger_machine.hpp"
+#include "sched/machines/stack_machine.hpp"
+#include "sched/rg.hpp"
+
+namespace cal::sched {
+namespace {
+
+Value iv(std::int64_t x) { return Value::integer(x); }
+
+TEST(SimMemory, ReadWriteCas) {
+  SimMemory m(2, 16, 8);
+  const Addr g = m.alloc_global(1);
+  EXPECT_EQ(m.read(g), 0);
+  m.write(g, 7);
+  EXPECT_EQ(m.read(g), 7);
+  EXPECT_FALSE(m.cas(g, 0, 9));
+  EXPECT_TRUE(m.cas(g, 7, 9));
+  EXPECT_EQ(m.read(g), 9);
+}
+
+TEST(SimMemory, PerThreadAllocationIsDeterministic) {
+  SimMemory a(2, 16, 8);
+  SimMemory b(2, 16, 8);
+  // Different interleavings of allocations by different threads yield the
+  // same addresses per (thread, ordinal).
+  const Addr a0 = a.alloc(0, 3);
+  const Addr a1 = a.alloc(1, 3);
+  const Addr b1 = b.alloc(1, 3);
+  const Addr b0 = b.alloc(0, 3);
+  EXPECT_EQ(a0, b0);
+  EXPECT_EQ(a1, b1);
+  EXPECT_EQ(a.owner(a0), 0);
+  EXPECT_EQ(a.owner(a1), 1);
+  EXPECT_EQ(a.owner(1), -1);  // globals
+}
+
+// --- configuration helpers ---
+
+struct ExchangerWorld {
+  WorldConfig config;
+  ExchangerSpec spec{Symbol{"E"}, Symbol{"exchange"}};
+  const ExchangerMachine* machine = nullptr;
+  std::vector<std::unique_ptr<SimObject>> objects;
+};
+
+/// n threads, thread i performing ops_per_thread exchanges of distinct
+/// values (i*100 + k).
+ExchangerWorld make_exchanger_world(std::size_t n_threads,
+                                    std::size_t ops_per_thread,
+                                    bool record = false) {
+  ExchangerWorld w;
+  auto machine = std::make_unique<ExchangerMachine>(Symbol{"E"});
+  w.machine = machine.get();
+  w.objects.push_back(std::move(machine));
+  for (std::size_t i = 0; i < n_threads; ++i) {
+    ThreadProgram p;
+    p.tid = static_cast<ThreadId>(i);
+    for (std::size_t k = 0; k < ops_per_thread; ++k) {
+      p.calls.push_back(Call{0, Symbol{"exchange"},
+                             iv(static_cast<std::int64_t>(i * 100 + k))});
+    }
+    w.config.programs.push_back(std::move(p));
+  }
+  w.config.object_names = {Symbol{"E"}};
+  w.config.spec = &w.spec;
+  w.config.record_history = record;
+  w.config.record_trace = true;  // the RG auditor needs the 𝒯 delta
+  w.config.heap_cells = 64;
+  w.config.global_cells = 16;
+  return w;
+}
+
+TEST(ExplorerExchanger, TwoThreadsOneOpAuditClean) {
+  ExchangerWorld w = make_exchanger_world(2, 1);
+  ExchangerRgAuditor auditor(*w.machine);
+  Explorer ex(w.config, std::move(w.objects));
+  ex.set_auditor(&auditor);
+  ExploreResult r = ex.run();
+  EXPECT_TRUE(r.ok()) << (r.violations.empty()
+                              ? ""
+                              : r.violations.front().what);
+  EXPECT_GT(r.states, 10u);
+  EXPECT_GT(r.terminals, 0u);
+}
+
+TEST(ExplorerExchanger, ThreeThreadsOneOpAuditClean) {
+  ExchangerWorld w = make_exchanger_world(3, 1);
+  ExchangerRgAuditor auditor(*w.machine);
+  Explorer ex(w.config, std::move(w.objects));
+  ex.set_auditor(&auditor);
+  ExploreResult r = ex.run();
+  EXPECT_TRUE(r.ok()) << (r.violations.empty()
+                              ? ""
+                              : r.violations.front().what);
+}
+
+TEST(ExplorerExchanger, TwoThreadsTwoOpsAuditClean) {
+  ExchangerWorld w = make_exchanger_world(2, 2);
+  ExchangerRgAuditor auditor(*w.machine);
+  Explorer ex(w.config, std::move(w.objects));
+  ex.set_auditor(&auditor);
+  ExploreResult r = ex.run();
+  EXPECT_TRUE(r.ok()) << (r.violations.empty()
+                              ? ""
+                              : r.violations.front().what);
+}
+
+TEST(ExplorerExchanger, EnumeratedHistoriesAllCaLinearizableOffline) {
+  // Cross-validation of the online audit: enumerate *every* interleaving
+  // of two concurrent exchanges, and run the offline CAL checker on each
+  // unique complete history. Also: the final 𝒯 of each execution agrees
+  // with its history (Def. 5) and lies in the spec's trace-set.
+  ExchangerWorld w = make_exchanger_world(2, 1, /*record=*/true);
+  ExploreOptions opts;
+  opts.merge_states = false;
+  opts.collect_terminals = true;
+  Explorer ex(w.config, std::move(w.objects), opts);
+  ExploreResult r = ex.run();
+  ASSERT_TRUE(r.ok());
+  ASSERT_GT(r.histories.size(), 1u);
+
+  CalChecker checker(w.spec);
+  bool saw_swap = false;
+  bool saw_double_fail = false;
+  for (std::size_t i = 0; i < r.histories.size(); ++i) {
+    const History& h = r.histories[i];
+    ASSERT_TRUE(h.complete());
+    EXPECT_TRUE(checker.check(h)) << h.to_string();
+    AgreeResult agree = agrees_with(h, r.traces[i]);
+    EXPECT_TRUE(agree) << agree.reason << "\n"
+                       << h.to_string() << r.traces[i].to_string();
+    EXPECT_TRUE(replay_ca(r.traces[i], w.spec));
+    for (const OpRecord& rec : h.operations()) {
+      if (rec.op.ret->pair_ok()) saw_swap = true;
+    }
+    bool all_fail = true;
+    for (const OpRecord& rec : h.operations()) {
+      if (rec.op.ret->pair_ok()) all_fail = false;
+    }
+    saw_double_fail = saw_double_fail || all_fail;
+  }
+  // The enumeration must include both outcome classes.
+  EXPECT_TRUE(saw_swap) << "no interleaving produced a successful swap";
+  EXPECT_TRUE(saw_double_fail) << "no interleaving produced two failures";
+}
+
+TEST(ExplorerExchanger, StateMergingPreservesVerdictAndShrinksSpace) {
+  ExchangerWorld w1 = make_exchanger_world(2, 2);
+  Explorer merged(w1.config, std::move(w1.objects));
+  ExploreResult rm = merged.run();
+
+  ExchangerWorld w2 = make_exchanger_world(2, 2);
+  ExploreOptions opts;
+  opts.merge_states = false;
+  Explorer unmerged(w2.config, std::move(w2.objects), opts);
+  ExploreResult ru = unmerged.run();
+
+  EXPECT_TRUE(rm.ok());
+  EXPECT_TRUE(ru.ok());
+  EXPECT_GT(rm.merged, 0u);
+  EXPECT_LT(rm.states, ru.states);
+}
+
+TEST(ExplorerExchanger, MaxStatesCapTripsExhausted) {
+  ExchangerWorld w = make_exchanger_world(3, 1);
+  ExploreOptions opts;
+  opts.max_states = 5;
+  Explorer ex(w.config, std::move(w.objects), opts);
+  ExploreResult r = ex.run();
+  EXPECT_TRUE(r.exhausted);
+}
+
+// --- mutation tests: the audit must catch broken implementations ---
+
+/// A broken machine: returns success with the *offered* value instead of
+/// the partner's (classic copy-paste bug). L2 must fire.
+class WrongValueExchanger final : public SimObject {
+ public:
+  explicit WrongValueExchanger(Symbol name) : inner_(name) {}
+  void init(World& world) override { inner_.init(world); }
+  StepResult step(World& world, ThreadCtx& t) const override {
+    if (t.pc == ExchangerMachine::kSuccessReturnB) {
+      world.respond(t, Value::pair(true, t.regs[ExchangerMachine::kRegV]));
+      return StepResult::ran();
+    }
+    return inner_.step(world, t);
+  }
+
+ private:
+  ExchangerMachine inner_;
+};
+
+TEST(ExplorerMutation, WrongReturnValueCaught) {
+  ExchangerWorld w = make_exchanger_world(2, 1);
+  w.objects.clear();
+  w.objects.push_back(std::make_unique<WrongValueExchanger>(Symbol{"E"}));
+  Explorer ex(w.config, std::move(w.objects));
+  ExploreResult r = ex.run();
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.violations.front().what.find("returns"), std::string::npos)
+      << r.violations.front().what;
+}
+
+/// A machine that "forgets" the auxiliary FAIL assignment (the paper's
+/// instrumentation obligation). L2 fires: response without a logged op.
+class ForgetsFailLog final : public SimObject {
+ public:
+  explicit ForgetsFailLog(Symbol name) : inner_(name) {}
+  void init(World& world) override { inner_.init(world); }
+  StepResult step(World& world, ThreadCtx& t) const override {
+    if (t.pc == ExchangerMachine::kFailReturnA ||
+        t.pc == ExchangerMachine::kFailReturnB) {
+      world.respond(t, Value::pair(false, t.regs[ExchangerMachine::kRegV]));
+      return StepResult::ran();
+    }
+    return inner_.step(world, t);
+  }
+
+ private:
+  ExchangerMachine inner_;
+};
+
+TEST(ExplorerMutation, MissingAuxAssignmentCaught) {
+  ExchangerWorld w = make_exchanger_world(1, 1);  // one lonely thread fails
+  w.objects.clear();
+  w.objects.push_back(std::make_unique<ForgetsFailLog>(Symbol{"E"}));
+  Explorer ex(w.config, std::move(w.objects));
+  ExploreResult r = ex.run();
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.violations.front().what.find("never logged"),
+            std::string::npos)
+      << r.violations.front().what;
+}
+
+/// A machine that logs a swap with the *values* crossed over: the element
+/// claims each thread offered the other's value. The exchanger spec replay
+/// accepts it (it is a well-formed swap), but L1 catches the mismatch with
+/// the threads' actual call arguments, and the RG auditor catches the
+/// malformed XCHG element.
+class CrossedValuesSwapLog final : public SimObject {
+ public:
+  explicit CrossedValuesSwapLog(Symbol name) : inner_(name) {}
+  void init(World& world) override { inner_.init(world); }
+  [[nodiscard]] const ExchangerMachine& inner() const { return inner_; }
+  StepResult step(World& world, ThreadCtx& t) const override {
+    if (t.pc == ExchangerMachine::kXchgCas) {
+      const Addr cur = static_cast<Addr>(t.regs[ExchangerMachine::kRegCur]);
+      const Addr n = static_cast<Addr>(t.regs[ExchangerMachine::kRegN]);
+      const bool s = world.cas(cur + ExchangerMachine::kHole, kNull, n);
+      t.regs[ExchangerMachine::kRegS] = s ? 1 : 0;
+      if (s) {
+        // Bug: partner's value attributed to us and vice versa.
+        world.append_element(CaElement::swap(
+            Symbol{"E"}, Symbol{"exchange"},
+            static_cast<ThreadId>(world.read(cur + ExchangerMachine::kTid)),
+            t.regs[ExchangerMachine::kRegV], t.tid,
+            world.read(cur + ExchangerMachine::kData)));
+      }
+      t.pc = ExchangerMachine::kCleanCas;
+      return StepResult::ran();
+    }
+    return inner_.step(world, t);
+  }
+
+ private:
+  ExchangerMachine inner_;
+};
+
+TEST(ExplorerMutation, CrossedSwapValuesCaughtByOnlineAudit) {
+  ExchangerWorld w = make_exchanger_world(2, 1);
+  w.objects.clear();
+  w.objects.push_back(std::make_unique<CrossedValuesSwapLog>(Symbol{"E"}));
+  Explorer ex(w.config, std::move(w.objects));
+  ExploreResult r = ex.run();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ExplorerMutation, CrossedSwapValuesCaughtByGuaranteeAudit) {
+  ExchangerWorld w = make_exchanger_world(2, 1);
+  w.objects.clear();
+  auto mutant = std::make_unique<CrossedValuesSwapLog>(Symbol{"E"});
+  const ExchangerMachine& inner = mutant->inner();
+  w.objects.push_back(std::move(mutant));
+  ExchangerRgAuditor auditor(inner, /*check_proof_outline=*/false);
+  Explorer ex(w.config, std::move(w.objects));
+  ex.set_auditor(&auditor);
+  ExploreResult r = ex.run();
+  ASSERT_FALSE(r.ok());
+  // The very first bad step is the malformed XCHG (guarantee violation)
+  // or the resulting audit failure — either way a violation with a
+  // replayable counterexample schedule.
+  EXPECT_FALSE(r.violations.front().schedule.empty());
+}
+
+// --- central stack machine ---
+
+TEST(ExplorerStack, EnumeratedHistoriesAllLinearizable) {
+  WorldConfig cfg;
+  StackSpec es_spec(Symbol{"S"});  // unused at this interface
+  CentralStackSpec spec(Symbol{"S"});
+  auto seq = std::make_shared<CentralStackSpec>(Symbol{"S"});
+  SeqAsCaSpec ca(seq);
+  cfg.object_names = {Symbol{"S"}};
+  cfg.spec = &ca;
+  cfg.record_history = true;
+  cfg.record_trace = true;
+  cfg.heap_cells = 64;
+  cfg.global_cells = 8;
+  ThreadProgram p0;
+  p0.tid = 0;
+  p0.calls = {Call{0, Symbol{"push"}, iv(1)}, Call{0, Symbol{"pop"}, {}}};
+  ThreadProgram p1;
+  p1.tid = 1;
+  p1.calls = {Call{0, Symbol{"push"}, iv(2)}, Call{0, Symbol{"pop"}, {}}};
+  cfg.programs = {p0, p1};
+
+  std::vector<std::unique_ptr<SimObject>> objects;
+  objects.push_back(std::make_unique<StackMachine>(Symbol{"S"}));
+  ExploreOptions opts;
+  opts.merge_states = false;
+  opts.collect_terminals = true;
+  Explorer ex(cfg, std::move(objects), opts);
+  ExploreResult r = ex.run();
+  ASSERT_TRUE(r.ok()) << r.violations.front().what;
+  ASSERT_GT(r.histories.size(), 2u);
+
+  LinChecker lin(spec);
+  for (const History& h : r.histories) {
+    EXPECT_TRUE(lin.check(h)) << h.to_string();
+  }
+}
+
+// --- elimination stack machine: the §5 composite, model-checked ---
+
+struct ElimWorld {
+  WorldConfig config;
+  std::shared_ptr<StackSpec> es_seq = std::make_shared<StackSpec>(Symbol{"ES"});
+  SeqAsCaSpec spec{es_seq};
+  std::shared_ptr<const ComposedView> view;
+  std::vector<std::unique_ptr<SimObject>> objects;
+};
+
+ElimWorld make_elim_world(std::size_t pushers, std::size_t poppers,
+                          std::size_t width, std::size_t retry_bound,
+                          bool record = false) {
+  ElimWorld w;
+  w.view = make_elimination_stack_view(Symbol{"ES"}, Symbol{"ES.S"},
+                                       Symbol{"ES.AR"}, width);
+  w.objects.push_back(std::make_unique<ElimStackMachine>(
+      Symbol{"ES"}, Symbol{"ES.S"}, Symbol{"ES.AR"}, width, retry_bound));
+  ThreadId tid = 0;
+  for (std::size_t i = 0; i < pushers; ++i, ++tid) {
+    ThreadProgram p;
+    p.tid = tid;
+    p.calls = {Call{0, Symbol{"push"}, iv(static_cast<std::int64_t>(
+                                           10 * (tid + 1)))}};
+    w.config.programs.push_back(std::move(p));
+  }
+  for (std::size_t i = 0; i < poppers; ++i, ++tid) {
+    ThreadProgram p;
+    p.tid = tid;
+    p.calls = {Call{0, Symbol{"pop"}, Value::unit()}};
+    w.config.programs.push_back(std::move(p));
+  }
+  w.config.object_names = {Symbol{"ES"}};
+  w.config.spec = &w.spec;
+  w.config.view = w.view.get();
+  w.config.record_history = record;
+  w.config.record_trace = record;
+  w.config.heap_cells = 128;
+  w.config.global_cells = 16;
+  return w;
+}
+
+TEST(ExplorerElimStack, OnePusherOnePopperAuditClean) {
+  ElimWorld w = make_elim_world(1, 1, 1, 2);
+  Explorer ex(w.config, std::move(w.objects));
+  ExploreResult r = ex.run();
+  EXPECT_TRUE(r.ok()) << r.violations.front().what;
+  EXPECT_GT(r.states, 50u);
+}
+
+TEST(ExplorerElimStack, TwoPushersOnePopperAuditClean) {
+  ElimWorld w = make_elim_world(2, 1, 1, 1);
+  Explorer ex(w.config, std::move(w.objects));
+  ExploreResult r = ex.run();
+  EXPECT_TRUE(r.ok()) << r.violations.front().what;
+}
+
+TEST(ExplorerElimStack, WidthTwoChoiceForksAuditClean) {
+  ElimWorld w = make_elim_world(1, 1, 2, 1);
+  Explorer ex(w.config, std::move(w.objects));
+  ExploreResult r = ex.run();
+  EXPECT_TRUE(r.ok()) << r.violations.front().what;
+}
+
+TEST(ExplorerElimStack, EliminationPathIsReachable) {
+  // In some interleaving a push and a pop must complete by exchanging
+  // through E[0] — the defining behavior of the elimination stack. The
+  // pusher only visits the exchanger after *losing* a stack CAS, which
+  // takes a second pusher plus a popper perturbing top, so the minimal
+  // eliminating configuration is 2 pushers + 1 popper. Reachability is
+  // observed via the machine's event beacon, which is part of the state
+  // encoding and therefore sound under merging.
+  ElimWorld w = make_elim_world(2, 1, 1, 2);
+  Explorer ex(w.config, std::move(w.objects));
+  ExploreResult r = ex.run();
+  ASSERT_TRUE(r.ok()) << r.violations.front().what;
+  EXPECT_TRUE(r.events & (1ull << ElimStackMachine::kEventElimination))
+      << "no interleaving exercised the elimination path";
+}
+
+TEST(ExplorerElimStack, OnePusherOnePopperCannotEliminate) {
+  // The dual of the test above: with a single pusher, the push CAS never
+  // loses, so the pusher never reaches the exchanger and no elimination
+  // can occur — the beacon must stay dark.
+  ElimWorld w = make_elim_world(1, 1, 1, 2);
+  Explorer ex(w.config, std::move(w.objects));
+  ExploreResult r = ex.run();
+  ASSERT_TRUE(r.ok()) << r.violations.front().what;
+  EXPECT_FALSE(r.events & (1ull << ElimStackMachine::kEventElimination));
+}
+
+TEST(ExplorerElimStack, EnumeratedHistoriesAllStackLinearizable) {
+  ElimWorld w = make_elim_world(1, 1, 1, 1, /*record=*/true);
+  ExploreOptions opts;
+  opts.merge_states = false;
+  opts.collect_terminals = true;
+  Explorer ex(w.config, std::move(w.objects), opts);
+  ExploreResult r = ex.run();
+  ASSERT_TRUE(r.ok()) << r.violations.front().what;
+  ASSERT_GT(r.histories.size(), 0u);
+  StackSpec spec(Symbol{"ES"});
+  LinChecker lin(spec);
+  for (const History& h : r.histories) {
+    EXPECT_TRUE(lin.check(h)) << h.to_string();
+  }
+}
+
+/// Mutant elimination stack: pop accepts a value from a *pusher-pusher*
+/// collision (forgets the sentinel check of Fig. 2 line 45 on the push
+/// side: a pusher treats any successful exchange as elimination). The
+/// composite then drops pushes, which the stack-spec replay catches.
+class DropsPushMutant final : public SimObject {
+ public:
+  DropsPushMutant(Symbol es, Symbol s, Symbol ar, std::size_t width,
+                  std::size_t retry_bound)
+      : inner_(es, s, ar, width, retry_bound) {}
+  void init(World& world) override { inner_.init(world); }
+  StepResult step(World& world, ThreadCtx& t) const override {
+    const Call& call = world.config().programs[t.program].calls[t.call_idx];
+    const bool is_push = call.method == Symbol{"push"};
+    if (is_push && t.pc == ElimStackMachine::kExchCleanCas) {
+      // Like the real machine, but treats ANY successful exchange as an
+      // elimination (drops the d == POP_SENTINAL check of Fig. 2 line 35).
+      const Addr cur = static_cast<Addr>(t.regs[ElimStackMachine::kRegHead]);
+      world.cas(inner_.slot_g_addr(static_cast<std::size_t>(
+                    t.regs[ElimStackMachine::kRegSlot])),
+                cur, kNull);
+      t.pc = t.regs[ElimStackMachine::kRegS] != 0
+                 ? ElimStackMachine::kRespondPush  // bug: no sentinel check
+                 : ElimStackMachine::kRetry;
+      return StepResult::ran();
+    }
+    return inner_.step(world, t);
+  }
+
+ private:
+  ElimStackMachine inner_;
+};
+
+TEST(ExplorerMutation, PushAcceptingPushCollisionCaught) {
+  // A push/push collision at the exchanger needs two pushers there at
+  // once; that takes a popper perturbing the central stack so both pushers
+  // lose a CAS. The mutant then answers one push with success although the
+  // exchange paired two pushes — L2 fires ("never logged").
+  ElimWorld w = make_elim_world(0, 0, 1, 2);
+  auto mk_prog = [](ThreadId tid, std::vector<Call> calls) {
+    ThreadProgram p;
+    p.tid = tid;
+    p.calls = std::move(calls);
+    return p;
+  };
+  w.config.programs = {
+      mk_prog(0, {Call{0, Symbol{"push"}, iv(10)},
+                  Call{0, Symbol{"push"}, iv(11)}}),
+      mk_prog(1, {Call{0, Symbol{"push"}, iv(20)},
+                  Call{0, Symbol{"push"}, iv(21)}}),
+      mk_prog(2, {Call{0, Symbol{"pop"}, Value::unit()}}),
+  };
+  w.objects.clear();
+  w.objects.push_back(std::make_unique<DropsPushMutant>(
+      Symbol{"ES"}, Symbol{"ES.S"}, Symbol{"ES.AR"}, 1, 2));
+  Explorer ex(w.config, std::move(w.objects));
+  ExploreResult r = ex.run();
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.violations.front().what.find("logged"), std::string::npos)
+      << r.violations.front().what;
+}
+
+}  // namespace
+}  // namespace cal::sched

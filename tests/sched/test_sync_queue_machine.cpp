@@ -1,0 +1,191 @@
+// Exhaustive verification of the dual synchronous queue — the paper's
+// second client, model-checked against its CA-spec.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cal/cal_checker.hpp"
+#include "cal/agree.hpp"
+#include "cal/replay.hpp"
+#include "cal/specs/sync_queue_spec.hpp"
+#include "sched/explorer.hpp"
+#include "sched/machines/sync_queue_machine.hpp"
+
+namespace cal::sched {
+namespace {
+
+Value iv(std::int64_t x) { return Value::integer(x); }
+
+struct SqWorld {
+  WorldConfig config;
+  SyncQueueSpec spec{Symbol{"SQ"}};
+  std::vector<std::unique_ptr<SimObject>> objects;
+};
+
+SqWorld make_world(std::size_t putters, std::size_t takers,
+                   std::size_t retry_bound = 1, bool record = false) {
+  SqWorld w;
+  w.objects.push_back(
+      std::make_unique<SyncQueueMachine>(Symbol{"SQ"}, retry_bound));
+  ThreadId tid = 0;
+  for (std::size_t i = 0; i < putters; ++i, ++tid) {
+    ThreadProgram p;
+    p.tid = tid;
+    p.calls = {Call{0, Symbol{"put"}, iv(10 * (tid + 1))}};
+    w.config.programs.push_back(std::move(p));
+  }
+  for (std::size_t i = 0; i < takers; ++i, ++tid) {
+    ThreadProgram p;
+    p.tid = tid;
+    p.calls = {Call{0, Symbol{"take"}, Value::unit()}};
+    w.config.programs.push_back(std::move(p));
+  }
+  w.config.object_names = {Symbol{"SQ"}};
+  w.config.spec = &w.spec;
+  w.config.record_history = record;
+  w.config.record_trace = true;
+  w.config.heap_cells = 16;
+  w.config.global_cells = 8;
+  return w;
+}
+
+TEST(SyncQueueMachine, OnePutterOneTakerAuditClean) {
+  SqWorld w = make_world(1, 1);
+  Explorer ex(w.config, std::move(w.objects));
+  ExploreResult r = ex.run();
+  EXPECT_TRUE(r.ok()) << r.violations.front().what;
+  EXPECT_TRUE(r.events & (1ull << SyncQueueMachine::kEventPairing))
+      << "no interleaving paired the put with the take";
+}
+
+TEST(SyncQueueMachine, TwoPuttersOneTakerAuditClean) {
+  SqWorld w = make_world(2, 1);
+  Explorer ex(w.config, std::move(w.objects));
+  ExploreResult r = ex.run();
+  EXPECT_TRUE(r.ok()) << r.violations.front().what;
+}
+
+TEST(SyncQueueMachine, TwoPuttersTwoTakersAuditClean) {
+  // retry_bound 0 keeps the 4-thread state space test-suite sized (a
+  // thread that loses a race is truncated with its operation pending); the
+  // benchmark harness explores deeper configurations.
+  SqWorld w = make_world(2, 2, /*retry_bound=*/0);
+  Explorer ex(w.config, std::move(w.objects));
+  ExploreResult r = ex.run();
+  EXPECT_TRUE(r.ok()) << r.violations.front().what;
+}
+
+TEST(SyncQueueMachine, SameModeOnlyNeverPairs) {
+  SqWorld w = make_world(2, 0);
+  Explorer ex(w.config, std::move(w.objects));
+  ExploreResult r = ex.run();
+  EXPECT_TRUE(r.ok()) << r.violations.front().what;
+  EXPECT_FALSE(r.events & (1ull << SyncQueueMachine::kEventPairing));
+}
+
+TEST(SyncQueueMachine, EnumeratedHistoriesAllCaLinearizable) {
+  SqWorld w = make_world(1, 1, 1, /*record=*/true);
+  ExploreOptions opts;
+  opts.merge_states = false;
+  opts.collect_terminals = true;
+  Explorer ex(w.config, std::move(w.objects), opts);
+  ExploreResult r = ex.run();
+  ASSERT_TRUE(r.ok()) << r.violations.front().what;
+  ASSERT_GT(r.histories.size(), 1u);
+  CalChecker checker(w.spec);
+  bool saw_handoff = false;
+  for (std::size_t i = 0; i < r.histories.size(); ++i) {
+    const History& h = r.histories[i];
+    EXPECT_TRUE(checker.check(h)) << h.to_string();
+    AgreeResult agree = agrees_with(h.drop_pending(), r.traces[i]);
+    // Truncated executions leave pending ops; only fully complete ones
+    // must agree exactly with the final trace.
+    if (h.complete()) {
+      EXPECT_TRUE(agree) << agree.reason;
+    }
+    EXPECT_TRUE(replay_ca(r.traces[i], w.spec));
+    for (const OpRecord& rec : h.operations()) {
+      if (rec.op.ret && rec.op.method == Symbol{"put"} &&
+          rec.op.ret->kind() == Value::Kind::kBool && rec.op.ret->as_bool()) {
+        saw_handoff = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_handoff);
+}
+
+/// Mutant: the fulfilling taker responds with its own register contents
+/// instead of the value it logged — L2 must fire.
+class WrongTakeValue final : public SimObject {
+ public:
+  explicit WrongTakeValue(Symbol name) : inner_(name, 1) {}
+  void init(World& world) override { inner_.init(world); }
+  StepResult step(World& world, ThreadCtx& t) const override {
+    const Call& call =
+        world.config().programs[t.program].calls[t.call_idx];
+    if (t.pc == SyncQueueMachine::kRespondFulfiller &&
+        call.method == Symbol{"take"}) {
+      world.respond(t, Value::pair(true, 424242));
+      return StepResult::ran();
+    }
+    return inner_.step(world, t);
+  }
+
+ private:
+  SyncQueueMachine inner_;
+};
+
+TEST(SyncQueueMachine, MutantWrongTakeValueCaught) {
+  SqWorld w = make_world(1, 1);
+  w.objects.clear();
+  w.objects.push_back(std::make_unique<WrongTakeValue>(Symbol{"SQ"}));
+  Explorer ex(w.config, std::move(w.objects));
+  ExploreResult r = ex.run();
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.violations.front().what.find("424242"), std::string::npos);
+}
+
+/// Mutant: forgets to log the pairing element (drops the paper's auxiliary
+/// assignment at the fulfilling CAS).
+class ForgetsPairLog final : public SimObject {
+ public:
+  explicit ForgetsPairLog(Symbol name) : inner_(name, 1) {}
+  void init(World& world) override { inner_.init(world); }
+  StepResult step(World& world, ThreadCtx& t) const override {
+    if (t.pc == SyncQueueMachine::kFulfillCas) {
+      const Addr h =
+          static_cast<Addr>(t.regs[SyncQueueMachine::kRegHead]);
+      const Addr node = world.alloc(t, 5);
+      world.write(node + SyncQueueMachine::kData,
+                  t.regs[SyncQueueMachine::kRegV]);
+      world.write(node + SyncQueueMachine::kTid, t.tid);
+      if (world.cas(h + SyncQueueMachine::kMatch, kNull, node)) {
+        t.regs[SyncQueueMachine::kRegGot] =
+            world.read(h + SyncQueueMachine::kData);
+        t.pc = SyncQueueMachine::kUnlinkTop;  // bug: no log_pair
+      } else {
+        t.pc = SyncQueueMachine::kRetry;
+      }
+      return StepResult::ran();
+    }
+    return inner_.step(world, t);
+  }
+
+ private:
+  SyncQueueMachine inner_;
+};
+
+TEST(SyncQueueMachine, MutantMissingPairLogCaught) {
+  SqWorld w = make_world(1, 1);
+  w.objects.clear();
+  w.objects.push_back(std::make_unique<ForgetsPairLog>(Symbol{"SQ"}));
+  Explorer ex(w.config, std::move(w.objects));
+  ExploreResult r = ex.run();
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.violations.front().what.find("never logged"),
+            std::string::npos)
+      << r.violations.front().what;
+}
+
+}  // namespace
+}  // namespace cal::sched

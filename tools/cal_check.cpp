@@ -1,0 +1,213 @@
+// cal-check — command-line membership checker for recorded histories.
+//
+//   cal-check --spec exchanger:E [--checker cal|set-lin] [FILE]
+//   cal-check --spec stack:S --checker lin history.txt
+//
+// Reads a history in the line format of cal/text.hpp (stdin when FILE is
+// omitted), decides membership w.r.t. the named specification, prints the
+// verdict and (on acceptance) the witness, and exits 0/1/2 for
+// accept/reject/usage-or-parse error.
+//
+// Specs:
+//   exchanger:<obj>[:<method>]   CA-spec (swap pairs / failures)
+//   sync-queue:<obj>             CA-spec (put/take hand-offs)
+//   snapshot:<obj>               CA-spec (immediate snapshot, unbounded)
+//   stack:<obj>                  sequential (push always true; pop blocks)
+//   central-stack:<obj>          sequential with spurious CAS failures
+//   queue:<obj>                  sequential FIFO
+//   register:<obj>               sequential read/write register
+// Sequential specs work with every checker (wrapped in SeqAsCaSpec for
+// cal/set-lin); CA-specs reject --checker lin.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "cal/cal_checker.hpp"
+#include "cal/lin_checker.hpp"
+#include "cal/set_lin.hpp"
+#include "cal/specs/exchanger_spec.hpp"
+#include "cal/specs/queue_spec.hpp"
+#include "cal/specs/snapshot_spec.hpp"
+#include "cal/specs/stack_spec.hpp"
+#include "cal/specs/sync_queue_spec.hpp"
+#include "cal/text.hpp"
+
+namespace {
+
+using namespace cal;  // NOLINT: tool
+
+struct Options {
+  std::string spec;
+  std::string checker = "cal";
+  std::string file;  // empty = stdin
+  bool quiet = false;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --spec KIND:OBJ[:METHOD] [--checker cal|lin|set-lin]\n"
+      "          [--quiet] [FILE]\n"
+      "spec kinds: exchanger sync-queue snapshot stack central-stack queue "
+      "register\n",
+      argv0);
+  return 2;
+}
+
+struct SpecBundle {
+  std::shared_ptr<SequentialSpec> seq;  // set for sequential kinds
+  std::shared_ptr<CaSpec> ca;           // always set
+};
+
+std::optional<SpecBundle> make_spec(const std::string& desc) {
+  std::vector<std::string> parts;
+  std::stringstream ss(desc);
+  std::string piece;
+  while (std::getline(ss, piece, ':')) parts.push_back(piece);
+  if (parts.size() < 2 || parts[1].empty()) return std::nullopt;
+  const std::string& kind = parts[0];
+  const Symbol object{parts[1]};
+
+  SpecBundle b;
+  if (kind == "exchanger") {
+    const Symbol method{parts.size() > 2 ? parts[2] : "exchange"};
+    b.ca = std::make_shared<ExchangerSpec>(object, method);
+  } else if (kind == "sync-queue") {
+    b.ca = std::make_shared<SyncQueueSpec>(object);
+  } else if (kind == "snapshot") {
+    b.ca = std::make_shared<SnapshotSpec>(object);
+  } else if (kind == "stack") {
+    b.seq = std::make_shared<StackSpec>(object);
+  } else if (kind == "central-stack") {
+    b.seq = std::make_shared<CentralStackSpec>(object);
+  } else if (kind == "queue") {
+    b.seq = std::make_shared<QueueSpec>(object);
+  } else if (kind == "register") {
+    b.seq = std::make_shared<RegisterSpec>(object);
+  } else {
+    return std::nullopt;
+  }
+  if (b.seq && !b.ca) b.ca = std::make_shared<SeqAsCaSpec>(b.seq);
+  return b;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--spec" && i + 1 < argc) {
+      opt.spec = argv[++i];
+    } else if (arg == "--checker" && i + 1 < argc) {
+      opt.checker = argv[++i];
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return usage(argv[0]);
+    } else {
+      opt.file = arg;
+    }
+  }
+  if (opt.spec.empty()) return usage(argv[0]);
+
+  const auto spec = make_spec(opt.spec);
+  if (!spec) {
+    std::fprintf(stderr, "bad --spec '%s'\n", opt.spec.c_str());
+    return usage(argv[0]);
+  }
+  if (opt.checker == "lin" && !spec->seq) {
+    std::fprintf(stderr,
+                 "--checker lin needs a sequential spec; '%s' is a "
+                 "CA-spec (that impossibility is the point of the paper — "
+                 "use cal or set-lin)\n",
+                 opt.spec.c_str());
+    return 2;
+  }
+
+  std::string text;
+  if (opt.file.empty()) {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    text = buf.str();
+  } else {
+    std::ifstream in(opt.file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", opt.file.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+
+  ParseResult<History> parsed = parse_history(text);
+  if (!parsed) {
+    std::fprintf(stderr, "parse error at line %zu: %s\n",
+                 parsed.error->line, parsed.error->message.c_str());
+    return 2;
+  }
+  const History& history = *parsed.value;
+  if (!history.well_formed()) {
+    std::printf("REJECT: history is not well-formed\n");
+    return 1;
+  }
+
+  if (opt.checker == "cal") {
+    CalChecker checker(*spec->ca);
+    CalCheckResult r = checker.check(history);
+    if (r.ok) {
+      if (!opt.quiet) {
+        std::printf("ACCEPT: CA-linearizable (%zu states)\nwitness:\n%s",
+                    r.visited_states, format_trace(*r.witness).c_str());
+      } else {
+        std::printf("ACCEPT\n");
+      }
+      return 0;
+    }
+    std::printf("REJECT: not CA-linearizable (%zu states%s)\n",
+                r.visited_states, r.exhausted ? ", search exhausted" : "");
+    return 1;
+  }
+  if (opt.checker == "set-lin") {
+    SetLinChecker checker(*spec->ca);
+    SetLinResult r = checker.check(history);
+    if (r.ok) {
+      if (!opt.quiet) {
+        std::printf("ACCEPT: set-linearizable\nwitness:\n%s",
+                    format_trace(*r.witness).c_str());
+      } else {
+        std::printf("ACCEPT\n");
+      }
+      return 0;
+    }
+    std::printf("REJECT: not set-linearizable\n");
+    return 1;
+  }
+  if (opt.checker == "lin") {
+    LinChecker checker(*spec->seq);
+    LinCheckResult r = checker.check(history);
+    if (r.ok) {
+      if (!opt.quiet && r.witness) {
+        std::printf("ACCEPT: linearizable\nwitness linearization:\n");
+        for (const Operation& op : *r.witness) {
+          std::printf("  %s\n", op.to_string().c_str());
+        }
+      } else {
+        std::printf("ACCEPT\n");
+      }
+      return 0;
+    }
+    std::printf("REJECT: not linearizable\n");
+    return 1;
+  }
+  std::fprintf(stderr, "unknown checker '%s'\n", opt.checker.c_str());
+  return usage(argv[0]);
+}
