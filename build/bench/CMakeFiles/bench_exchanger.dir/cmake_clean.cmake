@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exchanger.dir/bench_exchanger.cpp.o"
+  "CMakeFiles/bench_exchanger.dir/bench_exchanger.cpp.o.d"
+  "bench_exchanger"
+  "bench_exchanger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exchanger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_checker.cpp" "bench/CMakeFiles/bench_fig3_checker.dir/bench_fig3_checker.cpp.o" "gcc" "bench/CMakeFiles/bench_fig3_checker.dir/bench_fig3_checker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cal/CMakeFiles/cal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cal_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/objects/CMakeFiles/cal_objects.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cal_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

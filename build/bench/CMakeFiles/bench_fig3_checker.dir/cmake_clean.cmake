@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_checker.dir/bench_fig3_checker.cpp.o"
+  "CMakeFiles/bench_fig3_checker.dir/bench_fig3_checker.cpp.o.d"
+  "bench_fig3_checker"
+  "bench_fig3_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sync_queue.dir/bench_sync_queue.cpp.o"
+  "CMakeFiles/bench_sync_queue.dir/bench_sync_queue.cpp.o.d"
+  "bench_sync_queue"
+  "bench_sync_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sync_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

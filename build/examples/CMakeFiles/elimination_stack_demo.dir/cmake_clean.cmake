@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elimination_stack_demo.dir/elimination_stack_demo.cpp.o"
+  "CMakeFiles/elimination_stack_demo.dir/elimination_stack_demo.cpp.o.d"
+  "elimination_stack_demo"
+  "elimination_stack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elimination_stack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for elimination_stack_demo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_queue_demo.dir/sync_queue_demo.cpp.o"
+  "CMakeFiles/sync_queue_demo.dir/sync_queue_demo.cpp.o.d"
+  "sync_queue_demo"
+  "sync_queue_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_queue_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

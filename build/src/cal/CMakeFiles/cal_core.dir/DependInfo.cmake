@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cal/agree.cpp" "src/cal/CMakeFiles/cal_core.dir/agree.cpp.o" "gcc" "src/cal/CMakeFiles/cal_core.dir/agree.cpp.o.d"
+  "/root/repo/src/cal/ca_trace.cpp" "src/cal/CMakeFiles/cal_core.dir/ca_trace.cpp.o" "gcc" "src/cal/CMakeFiles/cal_core.dir/ca_trace.cpp.o.d"
+  "/root/repo/src/cal/cal_checker.cpp" "src/cal/CMakeFiles/cal_core.dir/cal_checker.cpp.o" "gcc" "src/cal/CMakeFiles/cal_core.dir/cal_checker.cpp.o.d"
+  "/root/repo/src/cal/history.cpp" "src/cal/CMakeFiles/cal_core.dir/history.cpp.o" "gcc" "src/cal/CMakeFiles/cal_core.dir/history.cpp.o.d"
+  "/root/repo/src/cal/interval_lin.cpp" "src/cal/CMakeFiles/cal_core.dir/interval_lin.cpp.o" "gcc" "src/cal/CMakeFiles/cal_core.dir/interval_lin.cpp.o.d"
+  "/root/repo/src/cal/lin_checker.cpp" "src/cal/CMakeFiles/cal_core.dir/lin_checker.cpp.o" "gcc" "src/cal/CMakeFiles/cal_core.dir/lin_checker.cpp.o.d"
+  "/root/repo/src/cal/replay.cpp" "src/cal/CMakeFiles/cal_core.dir/replay.cpp.o" "gcc" "src/cal/CMakeFiles/cal_core.dir/replay.cpp.o.d"
+  "/root/repo/src/cal/specs/elim_views.cpp" "src/cal/CMakeFiles/cal_core.dir/specs/elim_views.cpp.o" "gcc" "src/cal/CMakeFiles/cal_core.dir/specs/elim_views.cpp.o.d"
+  "/root/repo/src/cal/specs/exchanger_spec.cpp" "src/cal/CMakeFiles/cal_core.dir/specs/exchanger_spec.cpp.o" "gcc" "src/cal/CMakeFiles/cal_core.dir/specs/exchanger_spec.cpp.o.d"
+  "/root/repo/src/cal/specs/queue_spec.cpp" "src/cal/CMakeFiles/cal_core.dir/specs/queue_spec.cpp.o" "gcc" "src/cal/CMakeFiles/cal_core.dir/specs/queue_spec.cpp.o.d"
+  "/root/repo/src/cal/specs/snapshot_spec.cpp" "src/cal/CMakeFiles/cal_core.dir/specs/snapshot_spec.cpp.o" "gcc" "src/cal/CMakeFiles/cal_core.dir/specs/snapshot_spec.cpp.o.d"
+  "/root/repo/src/cal/specs/stack_spec.cpp" "src/cal/CMakeFiles/cal_core.dir/specs/stack_spec.cpp.o" "gcc" "src/cal/CMakeFiles/cal_core.dir/specs/stack_spec.cpp.o.d"
+  "/root/repo/src/cal/specs/sync_queue_spec.cpp" "src/cal/CMakeFiles/cal_core.dir/specs/sync_queue_spec.cpp.o" "gcc" "src/cal/CMakeFiles/cal_core.dir/specs/sync_queue_spec.cpp.o.d"
+  "/root/repo/src/cal/specs/union_spec.cpp" "src/cal/CMakeFiles/cal_core.dir/specs/union_spec.cpp.o" "gcc" "src/cal/CMakeFiles/cal_core.dir/specs/union_spec.cpp.o.d"
+  "/root/repo/src/cal/specs/write_snapshot_spec.cpp" "src/cal/CMakeFiles/cal_core.dir/specs/write_snapshot_spec.cpp.o" "gcc" "src/cal/CMakeFiles/cal_core.dir/specs/write_snapshot_spec.cpp.o.d"
+  "/root/repo/src/cal/symbol.cpp" "src/cal/CMakeFiles/cal_core.dir/symbol.cpp.o" "gcc" "src/cal/CMakeFiles/cal_core.dir/symbol.cpp.o.d"
+  "/root/repo/src/cal/text.cpp" "src/cal/CMakeFiles/cal_core.dir/text.cpp.o" "gcc" "src/cal/CMakeFiles/cal_core.dir/text.cpp.o.d"
+  "/root/repo/src/cal/value.cpp" "src/cal/CMakeFiles/cal_core.dir/value.cpp.o" "gcc" "src/cal/CMakeFiles/cal_core.dir/value.cpp.o.d"
+  "/root/repo/src/cal/view.cpp" "src/cal/CMakeFiles/cal_core.dir/view.cpp.o" "gcc" "src/cal/CMakeFiles/cal_core.dir/view.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/objects/elim_array.cpp" "src/objects/CMakeFiles/cal_objects.dir/elim_array.cpp.o" "gcc" "src/objects/CMakeFiles/cal_objects.dir/elim_array.cpp.o.d"
+  "/root/repo/src/objects/elimination_stack.cpp" "src/objects/CMakeFiles/cal_objects.dir/elimination_stack.cpp.o" "gcc" "src/objects/CMakeFiles/cal_objects.dir/elimination_stack.cpp.o.d"
+  "/root/repo/src/objects/exchanger.cpp" "src/objects/CMakeFiles/cal_objects.dir/exchanger.cpp.o" "gcc" "src/objects/CMakeFiles/cal_objects.dir/exchanger.cpp.o.d"
+  "/root/repo/src/objects/immediate_snapshot.cpp" "src/objects/CMakeFiles/cal_objects.dir/immediate_snapshot.cpp.o" "gcc" "src/objects/CMakeFiles/cal_objects.dir/immediate_snapshot.cpp.o.d"
+  "/root/repo/src/objects/ms_queue.cpp" "src/objects/CMakeFiles/cal_objects.dir/ms_queue.cpp.o" "gcc" "src/objects/CMakeFiles/cal_objects.dir/ms_queue.cpp.o.d"
+  "/root/repo/src/objects/sync_queue.cpp" "src/objects/CMakeFiles/cal_objects.dir/sync_queue.cpp.o" "gcc" "src/objects/CMakeFiles/cal_objects.dir/sync_queue.cpp.o.d"
+  "/root/repo/src/objects/treiber_stack.cpp" "src/objects/CMakeFiles/cal_objects.dir/treiber_stack.cpp.o" "gcc" "src/objects/CMakeFiles/cal_objects.dir/treiber_stack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cal/CMakeFiles/cal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cal_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

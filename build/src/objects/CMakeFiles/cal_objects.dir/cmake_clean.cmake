@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cal_objects.dir/elim_array.cpp.o"
+  "CMakeFiles/cal_objects.dir/elim_array.cpp.o.d"
+  "CMakeFiles/cal_objects.dir/elimination_stack.cpp.o"
+  "CMakeFiles/cal_objects.dir/elimination_stack.cpp.o.d"
+  "CMakeFiles/cal_objects.dir/exchanger.cpp.o"
+  "CMakeFiles/cal_objects.dir/exchanger.cpp.o.d"
+  "CMakeFiles/cal_objects.dir/immediate_snapshot.cpp.o"
+  "CMakeFiles/cal_objects.dir/immediate_snapshot.cpp.o.d"
+  "CMakeFiles/cal_objects.dir/ms_queue.cpp.o"
+  "CMakeFiles/cal_objects.dir/ms_queue.cpp.o.d"
+  "CMakeFiles/cal_objects.dir/sync_queue.cpp.o"
+  "CMakeFiles/cal_objects.dir/sync_queue.cpp.o.d"
+  "CMakeFiles/cal_objects.dir/treiber_stack.cpp.o"
+  "CMakeFiles/cal_objects.dir/treiber_stack.cpp.o.d"
+  "libcal_objects.a"
+  "libcal_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cal_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

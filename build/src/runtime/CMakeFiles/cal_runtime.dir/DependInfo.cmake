@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/ebr.cpp" "src/runtime/CMakeFiles/cal_runtime.dir/ebr.cpp.o" "gcc" "src/runtime/CMakeFiles/cal_runtime.dir/ebr.cpp.o.d"
+  "/root/repo/src/runtime/recorder.cpp" "src/runtime/CMakeFiles/cal_runtime.dir/recorder.cpp.o" "gcc" "src/runtime/CMakeFiles/cal_runtime.dir/recorder.cpp.o.d"
+  "/root/repo/src/runtime/thread_registry.cpp" "src/runtime/CMakeFiles/cal_runtime.dir/thread_registry.cpp.o" "gcc" "src/runtime/CMakeFiles/cal_runtime.dir/thread_registry.cpp.o.d"
+  "/root/repo/src/runtime/trace_log.cpp" "src/runtime/CMakeFiles/cal_runtime.dir/trace_log.cpp.o" "gcc" "src/runtime/CMakeFiles/cal_runtime.dir/trace_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cal/CMakeFiles/cal_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

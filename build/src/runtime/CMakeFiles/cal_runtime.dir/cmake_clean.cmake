@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cal_runtime.dir/ebr.cpp.o"
+  "CMakeFiles/cal_runtime.dir/ebr.cpp.o.d"
+  "CMakeFiles/cal_runtime.dir/recorder.cpp.o"
+  "CMakeFiles/cal_runtime.dir/recorder.cpp.o.d"
+  "CMakeFiles/cal_runtime.dir/thread_registry.cpp.o"
+  "CMakeFiles/cal_runtime.dir/thread_registry.cpp.o.d"
+  "CMakeFiles/cal_runtime.dir/trace_log.cpp.o"
+  "CMakeFiles/cal_runtime.dir/trace_log.cpp.o.d"
+  "libcal_runtime.a"
+  "libcal_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cal_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcal_runtime.a"
+)

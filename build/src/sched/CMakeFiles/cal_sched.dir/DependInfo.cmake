@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/explorer.cpp" "src/sched/CMakeFiles/cal_sched.dir/explorer.cpp.o" "gcc" "src/sched/CMakeFiles/cal_sched.dir/explorer.cpp.o.d"
+  "/root/repo/src/sched/machines/elim_stack_machine.cpp" "src/sched/CMakeFiles/cal_sched.dir/machines/elim_stack_machine.cpp.o" "gcc" "src/sched/CMakeFiles/cal_sched.dir/machines/elim_stack_machine.cpp.o.d"
+  "/root/repo/src/sched/machines/exchanger_machine.cpp" "src/sched/CMakeFiles/cal_sched.dir/machines/exchanger_machine.cpp.o" "gcc" "src/sched/CMakeFiles/cal_sched.dir/machines/exchanger_machine.cpp.o.d"
+  "/root/repo/src/sched/machines/stack_machine.cpp" "src/sched/CMakeFiles/cal_sched.dir/machines/stack_machine.cpp.o" "gcc" "src/sched/CMakeFiles/cal_sched.dir/machines/stack_machine.cpp.o.d"
+  "/root/repo/src/sched/machines/sync_queue_machine.cpp" "src/sched/CMakeFiles/cal_sched.dir/machines/sync_queue_machine.cpp.o" "gcc" "src/sched/CMakeFiles/cal_sched.dir/machines/sync_queue_machine.cpp.o.d"
+  "/root/repo/src/sched/rg.cpp" "src/sched/CMakeFiles/cal_sched.dir/rg.cpp.o" "gcc" "src/sched/CMakeFiles/cal_sched.dir/rg.cpp.o.d"
+  "/root/repo/src/sched/world.cpp" "src/sched/CMakeFiles/cal_sched.dir/world.cpp.o" "gcc" "src/sched/CMakeFiles/cal_sched.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cal/CMakeFiles/cal_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cal_sched.dir/explorer.cpp.o"
+  "CMakeFiles/cal_sched.dir/explorer.cpp.o.d"
+  "CMakeFiles/cal_sched.dir/machines/elim_stack_machine.cpp.o"
+  "CMakeFiles/cal_sched.dir/machines/elim_stack_machine.cpp.o.d"
+  "CMakeFiles/cal_sched.dir/machines/exchanger_machine.cpp.o"
+  "CMakeFiles/cal_sched.dir/machines/exchanger_machine.cpp.o.d"
+  "CMakeFiles/cal_sched.dir/machines/stack_machine.cpp.o"
+  "CMakeFiles/cal_sched.dir/machines/stack_machine.cpp.o.d"
+  "CMakeFiles/cal_sched.dir/machines/sync_queue_machine.cpp.o"
+  "CMakeFiles/cal_sched.dir/machines/sync_queue_machine.cpp.o.d"
+  "CMakeFiles/cal_sched.dir/rg.cpp.o"
+  "CMakeFiles/cal_sched.dir/rg.cpp.o.d"
+  "CMakeFiles/cal_sched.dir/world.cpp.o"
+  "CMakeFiles/cal_sched.dir/world.cpp.o.d"
+  "libcal_sched.a"
+  "libcal_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cal_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

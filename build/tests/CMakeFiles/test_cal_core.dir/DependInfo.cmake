@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cal/test_agree.cpp" "tests/CMakeFiles/test_cal_core.dir/cal/test_agree.cpp.o" "gcc" "tests/CMakeFiles/test_cal_core.dir/cal/test_agree.cpp.o.d"
+  "/root/repo/tests/cal/test_cal_checker.cpp" "tests/CMakeFiles/test_cal_core.dir/cal/test_cal_checker.cpp.o" "gcc" "tests/CMakeFiles/test_cal_core.dir/cal/test_cal_checker.cpp.o.d"
+  "/root/repo/tests/cal/test_core_types.cpp" "tests/CMakeFiles/test_cal_core.dir/cal/test_core_types.cpp.o" "gcc" "tests/CMakeFiles/test_cal_core.dir/cal/test_core_types.cpp.o.d"
+  "/root/repo/tests/cal/test_fig3.cpp" "tests/CMakeFiles/test_cal_core.dir/cal/test_fig3.cpp.o" "gcc" "tests/CMakeFiles/test_cal_core.dir/cal/test_fig3.cpp.o.d"
+  "/root/repo/tests/cal/test_history.cpp" "tests/CMakeFiles/test_cal_core.dir/cal/test_history.cpp.o" "gcc" "tests/CMakeFiles/test_cal_core.dir/cal/test_history.cpp.o.d"
+  "/root/repo/tests/cal/test_interval_lin.cpp" "tests/CMakeFiles/test_cal_core.dir/cal/test_interval_lin.cpp.o" "gcc" "tests/CMakeFiles/test_cal_core.dir/cal/test_interval_lin.cpp.o.d"
+  "/root/repo/tests/cal/test_lin_checker.cpp" "tests/CMakeFiles/test_cal_core.dir/cal/test_lin_checker.cpp.o" "gcc" "tests/CMakeFiles/test_cal_core.dir/cal/test_lin_checker.cpp.o.d"
+  "/root/repo/tests/cal/test_properties.cpp" "tests/CMakeFiles/test_cal_core.dir/cal/test_properties.cpp.o" "gcc" "tests/CMakeFiles/test_cal_core.dir/cal/test_properties.cpp.o.d"
+  "/root/repo/tests/cal/test_properties_sync.cpp" "tests/CMakeFiles/test_cal_core.dir/cal/test_properties_sync.cpp.o" "gcc" "tests/CMakeFiles/test_cal_core.dir/cal/test_properties_sync.cpp.o.d"
+  "/root/repo/tests/cal/test_set_lin.cpp" "tests/CMakeFiles/test_cal_core.dir/cal/test_set_lin.cpp.o" "gcc" "tests/CMakeFiles/test_cal_core.dir/cal/test_set_lin.cpp.o.d"
+  "/root/repo/tests/cal/test_specs.cpp" "tests/CMakeFiles/test_cal_core.dir/cal/test_specs.cpp.o" "gcc" "tests/CMakeFiles/test_cal_core.dir/cal/test_specs.cpp.o.d"
+  "/root/repo/tests/cal/test_text.cpp" "tests/CMakeFiles/test_cal_core.dir/cal/test_text.cpp.o" "gcc" "tests/CMakeFiles/test_cal_core.dir/cal/test_text.cpp.o.d"
+  "/root/repo/tests/cal/test_union_spec.cpp" "tests/CMakeFiles/test_cal_core.dir/cal/test_union_spec.cpp.o" "gcc" "tests/CMakeFiles/test_cal_core.dir/cal/test_union_spec.cpp.o.d"
+  "/root/repo/tests/cal/test_views.cpp" "tests/CMakeFiles/test_cal_core.dir/cal/test_views.cpp.o" "gcc" "tests/CMakeFiles/test_cal_core.dir/cal/test_views.cpp.o.d"
+  "/root/repo/tests/cal/test_write_snapshot.cpp" "tests/CMakeFiles/test_cal_core.dir/cal/test_write_snapshot.cpp.o" "gcc" "tests/CMakeFiles/test_cal_core.dir/cal/test_write_snapshot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cal/CMakeFiles/cal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cal_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/objects/CMakeFiles/cal_objects.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cal_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

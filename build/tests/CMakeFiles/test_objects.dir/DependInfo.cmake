@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/objects/test_elimination_stack.cpp" "tests/CMakeFiles/test_objects.dir/objects/test_elimination_stack.cpp.o" "gcc" "tests/CMakeFiles/test_objects.dir/objects/test_elimination_stack.cpp.o.d"
+  "/root/repo/tests/objects/test_exchanger.cpp" "tests/CMakeFiles/test_objects.dir/objects/test_exchanger.cpp.o" "gcc" "tests/CMakeFiles/test_objects.dir/objects/test_exchanger.cpp.o.d"
+  "/root/repo/tests/objects/test_immediate_snapshot.cpp" "tests/CMakeFiles/test_objects.dir/objects/test_immediate_snapshot.cpp.o" "gcc" "tests/CMakeFiles/test_objects.dir/objects/test_immediate_snapshot.cpp.o.d"
+  "/root/repo/tests/objects/test_queues.cpp" "tests/CMakeFiles/test_objects.dir/objects/test_queues.cpp.o" "gcc" "tests/CMakeFiles/test_objects.dir/objects/test_queues.cpp.o.d"
+  "/root/repo/tests/objects/test_stacks.cpp" "tests/CMakeFiles/test_objects.dir/objects/test_stacks.cpp.o" "gcc" "tests/CMakeFiles/test_objects.dir/objects/test_stacks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cal/CMakeFiles/cal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cal_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/objects/CMakeFiles/cal_objects.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cal_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

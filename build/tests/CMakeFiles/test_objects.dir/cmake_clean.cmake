@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_objects.dir/objects/test_elimination_stack.cpp.o"
+  "CMakeFiles/test_objects.dir/objects/test_elimination_stack.cpp.o.d"
+  "CMakeFiles/test_objects.dir/objects/test_exchanger.cpp.o"
+  "CMakeFiles/test_objects.dir/objects/test_exchanger.cpp.o.d"
+  "CMakeFiles/test_objects.dir/objects/test_immediate_snapshot.cpp.o"
+  "CMakeFiles/test_objects.dir/objects/test_immediate_snapshot.cpp.o.d"
+  "CMakeFiles/test_objects.dir/objects/test_queues.cpp.o"
+  "CMakeFiles/test_objects.dir/objects/test_queues.cpp.o.d"
+  "CMakeFiles/test_objects.dir/objects/test_stacks.cpp.o"
+  "CMakeFiles/test_objects.dir/objects/test_stacks.cpp.o.d"
+  "test_objects"
+  "test_objects.pdb"
+  "test_objects[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sched/test_multi_object.cpp" "tests/CMakeFiles/test_sched.dir/sched/test_multi_object.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_multi_object.cpp.o.d"
+  "/root/repo/tests/sched/test_replay.cpp" "tests/CMakeFiles/test_sched.dir/sched/test_replay.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_replay.cpp.o.d"
+  "/root/repo/tests/sched/test_rg_mutants.cpp" "tests/CMakeFiles/test_sched.dir/sched/test_rg_mutants.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_rg_mutants.cpp.o.d"
+  "/root/repo/tests/sched/test_sched.cpp" "tests/CMakeFiles/test_sched.dir/sched/test_sched.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_sched.cpp.o.d"
+  "/root/repo/tests/sched/test_sync_queue_machine.cpp" "tests/CMakeFiles/test_sched.dir/sched/test_sync_queue_machine.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/test_sync_queue_machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cal/CMakeFiles/cal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/cal_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/objects/CMakeFiles/cal_objects.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cal_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

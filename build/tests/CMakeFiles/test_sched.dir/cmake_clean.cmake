@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched.dir/sched/test_multi_object.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_multi_object.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_replay.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_replay.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_rg_mutants.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_rg_mutants.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_sched.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_sched.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_sync_queue_machine.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_sync_queue_machine.cpp.o.d"
+  "test_sched"
+  "test_sched.pdb"
+  "test_sched[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

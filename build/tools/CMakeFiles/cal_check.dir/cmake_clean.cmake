@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cal_check.dir/cal_check.cpp.o"
+  "CMakeFiles/cal_check.dir/cal_check.cpp.o.d"
+  "cal_check"
+  "cal_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cal_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

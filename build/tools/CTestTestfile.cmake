@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cal_check_accepts_h1 "/root/repo/build/tools/cal_check" "--spec" "exchanger:E" "--checker" "cal" "/root/repo/examples/histories/fig3_h1.history")
+set_tests_properties(cal_check_accepts_h1 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cal_check_rejects_h3 "/root/repo/build/tools/cal_check" "--spec" "exchanger:E" "--checker" "cal" "/root/repo/examples/histories/fig3_h3.history")
+set_tests_properties(cal_check_rejects_h3 PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cal_check_lin_stack "/root/repo/build/tools/cal_check" "--spec" "stack:S" "--checker" "lin" "/root/repo/examples/histories/stack.history")
+set_tests_properties(cal_check_lin_stack PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cal_check_refuses_lin_on_ca_spec "/root/repo/build/tools/cal_check" "--spec" "exchanger:E" "--checker" "lin" "/root/repo/examples/histories/fig3_h1.history")
+set_tests_properties(cal_check_refuses_lin_on_ca_spec PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cal_check_set_lin_h1 "/root/repo/build/tools/cal_check" "--spec" "exchanger:E" "--checker" "set-lin" "/root/repo/examples/histories/fig3_h1.history")
+set_tests_properties(cal_check_set_lin_h1 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
