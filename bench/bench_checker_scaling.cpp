@@ -94,20 +94,56 @@ BENCHMARK(BM_CalChecker_ExchangerHistory)
     ->Arg(128);
 
 void BM_CalChecker_OverlapWidth(benchmark::State& state) {
+  // threads=1 is the sequential engine (the historical series); higher
+  // counts exercise the work-stealing pool on the same workload — the
+  // speedup claim of the parallel-search PR is threads=8 vs threads=1 on
+  // the wide widths.
   const History h = wide_overlap_history(static_cast<std::size_t>(state.range(0)));
   ExchangerSpec spec(Symbol{"E"}, Symbol{"exchange"});
-  CalChecker checker(spec);
+  CalCheckOptions opts;
+  opts.threads = static_cast<std::size_t>(state.range(1));
+  CalChecker checker(spec, opts);
   for (auto _ : state) {
     benchmark::DoNotOptimize(checker.check(h).ok);
   }
 }
 BENCHMARK(BM_CalChecker_OverlapWidth)
-    ->ArgName("width")
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(6)
-    ->Arg(8)
-    ->Arg(10);
+    ->ArgNames({"width", "threads"})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({6, 1})
+    ->Args({8, 1})
+    ->Args({10, 1})
+    ->Args({8, 2})
+    ->Args({8, 8})
+    ->Args({10, 2})
+    ->Args({10, 8})
+    ->Args({12, 1})
+    ->Args({12, 8});
+
+void BM_CalChecker_OverlapWidth_Reject(benchmark::State& state) {
+  // Rejection needs full exhaustion — no early-witness cancellation — so
+  // this is the purest parallel-search scaling series.
+  History h = wide_overlap_history(static_cast<std::size_t>(state.range(0)));
+  std::vector<Action> actions = h.actions();
+  actions.back().payload = Value::pair(true, 424242);  // impossible swap
+  const History bad{std::move(actions)};
+  ExchangerSpec spec(Symbol{"E"}, Symbol{"exchange"});
+  CalCheckOptions opts;
+  opts.threads = static_cast<std::size_t>(state.range(1));
+  CalChecker checker(spec, opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.check(bad).ok);
+  }
+}
+BENCHMARK(BM_CalChecker_OverlapWidth_Reject)
+    ->ArgNames({"width", "threads"})
+    ->Args({7, 1})
+    ->Args({7, 2})
+    ->Args({7, 8})
+    ->Args({8, 1})
+    ->Args({8, 2})
+    ->Args({8, 8});
 
 void BM_LinChecker_StackHistory(benchmark::State& state) {
   const History h = stack_history(static_cast<std::size_t>(state.range(0)));

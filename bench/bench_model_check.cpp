@@ -81,6 +81,34 @@ BENCHMARK(BM_Explore_Exchanger)
     ->Args({4, 1})
     ->Unit(benchmark::kMillisecond);
 
+void BM_Explore_Exchanger_Parallel(benchmark::State& state) {
+  // jobs=1 is the sequential engine; higher counts split the schedule
+  // tree's root frontier across the work-stealing pool (the speedup claim
+  // of the parallel-search PR is jobs=8 vs jobs=1).
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const auto ops = static_cast<std::size_t>(state.range(1));
+  const auto jobs = static_cast<std::size_t>(state.range(2));
+  std::size_t states = 0;
+  for (auto _ : state) {
+    ExchangerConfig c = make_exchanger(threads, ops);
+    ExploreOptions opts;
+    opts.threads = jobs;
+    Explorer ex(c.config, std::move(c.objects), opts);
+    ExploreResult r = ex.run();
+    benchmark::DoNotOptimize(r.ok());
+    states = r.states;
+  }
+  state.counters["states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_Explore_Exchanger_Parallel)
+    ->ArgNames({"threads", "ops", "jobs"})
+    ->Args({3, 2, 1})
+    ->Args({3, 2, 2})
+    ->Args({3, 2, 8})
+    ->Args({4, 1, 1})
+    ->Args({4, 1, 8})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_Explore_Exchanger_NoMerge(benchmark::State& state) {
   const auto threads = static_cast<std::size_t>(state.range(0));
   const auto ops = static_cast<std::size_t>(state.range(1));

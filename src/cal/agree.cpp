@@ -30,12 +30,21 @@ AgreeResult agrees_with(const std::vector<OpRecord>& ops,
   std::vector<std::size_t> pi(n, kUnassigned);
   std::vector<bool> used(n, false);
 
+  // Real-time predecessor lists, computed once — enabledness checks per
+  // candidate are then proportional to the in-degree instead of O(n).
+  std::vector<std::vector<std::size_t>> preds(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i && History::precedes(ops[j], ops[i])) {
+        preds[i].push_back(j);
+      }
+    }
+  }
+
   auto enabled = [&](std::size_t i) {
     if (used[i]) return false;
-    for (std::size_t j = 0; j < n; ++j) {
-      if (!used[j] && j != i && History::precedes(ops[j], ops[i])) {
-        return false;
-      }
+    for (std::size_t j : preds[i]) {
+      if (!used[j]) return false;
     }
     return true;
   };

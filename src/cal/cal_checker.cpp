@@ -1,9 +1,14 @@
 #include "cal/cal_checker.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
+#include "cal/parallel/sharded_set.hpp"
+#include "cal/parallel/task_pool.hpp"
 #include "cal/spec.hpp"
 
 namespace cal {
@@ -39,23 +44,53 @@ struct KeyHash {
   }
 };
 
-class Search {
- public:
-  Search(const std::vector<OpRecord>& ops, const CaSpec& spec,
-         const CalCheckOptions& options)
-      : ops_(ops), spec_(spec), options_(options) {
-    const std::size_t n = ops_.size();
-    preds_.resize(n);
-    completed_ = 0;
+/// History structure shared by the sequential and the parallel engine:
+/// per-operation real-time predecessor lists and the completed count.
+struct HistoryIndex {
+  explicit HistoryIndex(const std::vector<OpRecord>& ops) {
+    const std::size_t n = ops.size();
+    preds.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
-      if (!ops_[i].is_pending()) ++completed_;
+      if (!ops[i].is_pending()) ++completed;
       for (std::size_t j = 0; j < n; ++j) {
-        if (j != i && History::precedes(ops_[j], ops_[i])) {
-          preds_[i].push_back(j);
+        if (j != i && History::precedes(ops[j], ops[i])) {
+          preds[i].push_back(j);
         }
       }
     }
   }
+
+  [[nodiscard]] bool enabled(std::size_t i, const Mask& mask) const {
+    if (test_bit(mask, i)) return false;
+    for (std::size_t j : preds[i]) {
+      if (!test_bit(mask, j)) return false;
+    }
+    return true;
+  }
+
+  std::vector<std::vector<std::size_t>> preds;
+  std::size_t completed = 0;
+};
+
+/// Serializes a search node (spec state + fired mask) into `out` for the
+/// visited set. `out` is a reusable scratch buffer — the caller only pays
+/// an allocation when the node is actually new.
+void encode_node(const SpecState& state, const Mask& mask,
+                 std::vector<std::int64_t>& out) {
+  out.clear();
+  out.reserve(state.size() + mask.size() + 1);
+  out.push_back(static_cast<std::int64_t>(state.size()));
+  out.insert(out.end(), state.begin(), state.end());
+  for (std::uint64_t w : mask) {
+    out.push_back(static_cast<std::int64_t>(w));
+  }
+}
+
+class Search {
+ public:
+  Search(const std::vector<OpRecord>& ops, const CaSpec& spec,
+         const CalCheckOptions& options)
+      : ops_(ops), spec_(spec), options_(options), index_(ops) {}
 
   CalCheckResult run() {
     CalCheckResult result;
@@ -72,37 +107,23 @@ class Search {
   }
 
  private:
-  bool enabled(std::size_t i, const Mask& mask) const {
-    if (test_bit(mask, i)) return false;
-    for (std::size_t j : preds_[i]) {
-      if (!test_bit(mask, j)) return false;
-    }
-    return true;
-  }
-
   bool dfs(const SpecState& state, const Mask& mask,
            std::size_t fired_completed) {
-    if (fired_completed == completed_) return true;
+    if (fired_completed == index_.completed) return true;
     if (options_.max_visited != 0 &&
         visited_.size() >= options_.max_visited) {
       exhausted_ = true;
       return false;
     }
 
-    std::vector<std::int64_t> key;
-    key.reserve(state.size() + mask.size() + 1);
-    key.push_back(static_cast<std::int64_t>(state.size()));
-    key.insert(key.end(), state.begin(), state.end());
-    for (std::uint64_t w : mask) {
-      key.push_back(static_cast<std::int64_t>(w));
-    }
-    if (!visited_.insert(std::move(key)).second) return false;
+    encode_node(state, mask, key_scratch_);
+    if (!visited_.insert(key_scratch_).second) return false;
 
     // Collect enabled operations, grouped by object. Pending invocations
     // participate only when completion is allowed.
     std::unordered_map<Symbol, std::vector<std::size_t>> by_object;
     for (std::size_t i = 0; i < ops_.size(); ++i) {
-      if (!enabled(i, mask)) continue;
+      if (!index_.enabled(i, mask)) continue;
       if (ops_[i].is_pending() && !options_.complete_pending) continue;
       by_object[ops_[i].op.object].push_back(i);
     }
@@ -172,17 +193,189 @@ class Search {
   const std::vector<OpRecord>& ops_;
   const CaSpec& spec_;
   const CalCheckOptions& options_;
-  std::vector<std::vector<std::size_t>> preds_;
-  std::size_t completed_ = 0;
+  HistoryIndex index_;
   std::unordered_set<std::vector<std::int64_t>, KeyHash> visited_;
+  std::vector<std::int64_t> key_scratch_;
   std::vector<CaElement> witness_;
   std::size_t fired_elements_ = 0;
   bool exhausted_ = false;
 };
 
+/// The multi-threaded engine. Explores the same memoized search space as
+/// `Search`: nodes above kForkDepth fork each successor into a pool task
+/// (carrying its own witness prefix), deeper nodes recurse sequentially.
+/// All tasks share the striped-lock visited set — whichever worker inserts
+/// a node first owns its subtree; every other path into it prunes, exactly
+/// like the sequential memoization. The first published witness cancels
+/// the remaining tasks cooperatively, so acceptance short-circuits just
+/// like the sequential engine; rejection still requires (shared-table)
+/// exhaustion. Verdicts are therefore identical to the sequential engine;
+/// only the choice of witness and the diagnostic counters may differ.
+class ParallelSearch {
+ public:
+  ParallelSearch(const std::vector<OpRecord>& ops, const CaSpec& spec,
+                 const CalCheckOptions& options, std::size_t threads)
+      : ops_(ops),
+        spec_(spec),
+        options_(options),
+        index_(ops),
+        pool_(threads) {}
+
+  CalCheckResult run() {
+    Mask mask((ops_.size() + 63) / 64, 0);
+    pool_.submit([this, state = spec_.initial(), mask]() mutable {
+      std::vector<CaElement> prefix;
+      dfs(state, mask, /*fired_completed=*/0, /*depth=*/0, prefix);
+    });
+    pool_.wait_idle();
+
+    CalCheckResult result;
+    result.ok = found_.load(std::memory_order_acquire);
+    result.exhausted = exhausted_.load(std::memory_order_relaxed);
+    result.visited_states = visited_.size();
+    result.fired_elements = fired_elements_.load(std::memory_order_relaxed);
+    if (result.ok) {
+      std::lock_guard<std::mutex> lock(witness_mu_);
+      result.witness = CaTrace(witness_);
+    }
+    return result;
+  }
+
+ private:
+  /// Nodes at depth < kForkDepth submit their successors as tasks instead
+  /// of recursing. Two levels is enough to flood the pool: the fan-out of
+  /// a search root is #objects × #subsets × #spec-outcomes.
+  static constexpr std::size_t kForkDepth = 2;
+
+  [[nodiscard]] bool cancelled() const {
+    return found_.load(std::memory_order_relaxed) ||
+           exhausted_.load(std::memory_order_relaxed);
+  }
+
+  void publish(const std::vector<CaElement>& prefix) {
+    std::lock_guard<std::mutex> lock(witness_mu_);
+    if (found_.load(std::memory_order_relaxed)) return;
+    witness_ = prefix;
+    found_.store(true, std::memory_order_release);
+  }
+
+  void dfs(const SpecState& state, const Mask& mask,
+           std::size_t fired_completed, std::size_t depth,
+           std::vector<CaElement>& prefix) {
+    if (cancelled()) return;
+    if (fired_completed == index_.completed) {
+      publish(prefix);
+      return;
+    }
+    if (options_.max_visited != 0 &&
+        visited_count_.load(std::memory_order_relaxed) >=
+            options_.max_visited) {
+      exhausted_.store(true, std::memory_order_relaxed);
+      return;
+    }
+
+    std::vector<std::int64_t> key;
+    encode_node(state, mask, key);
+    if (!visited_.insert(std::move(key))) return;
+    visited_count_.fetch_add(1, std::memory_order_relaxed);
+
+    std::unordered_map<Symbol, std::vector<std::size_t>> by_object;
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (!index_.enabled(i, mask)) continue;
+      if (ops_[i].is_pending() && !options_.complete_pending) continue;
+      by_object[ops_[i].op.object].push_back(i);
+    }
+
+    std::vector<std::size_t> chosen;
+    for (const auto& [object, candidates] : by_object) {
+      const std::size_t cap = spec_.max_element_size() == 0
+                                  ? candidates.size()
+                                  : std::min(spec_.max_element_size(),
+                                             candidates.size());
+      for (std::size_t size = cap; size >= 1; --size) {
+        chosen.clear();
+        try_subsets(state, mask, fired_completed, depth, prefix, object,
+                    candidates, 0, size, chosen);
+        if (cancelled()) return;
+      }
+    }
+  }
+
+  void try_subsets(const SpecState& state, const Mask& mask,
+                   std::size_t fired_completed, std::size_t depth,
+                   std::vector<CaElement>& prefix, Symbol object,
+                   const std::vector<std::size_t>& candidates,
+                   std::size_t from, std::size_t remaining,
+                   std::vector<std::size_t>& chosen) {
+    if (remaining == 0) {
+      fire(state, mask, fired_completed, depth, prefix, object, chosen);
+      return;
+    }
+    for (std::size_t i = from; i + remaining <= candidates.size(); ++i) {
+      if (cancelled()) return;
+      chosen.push_back(candidates[i]);
+      try_subsets(state, mask, fired_completed, depth, prefix, object,
+                  candidates, i + 1, remaining - 1, chosen);
+      chosen.pop_back();
+    }
+  }
+
+  void fire(const SpecState& state, const Mask& mask,
+            std::size_t fired_completed, std::size_t depth,
+            std::vector<CaElement>& prefix, Symbol object,
+            const std::vector<std::size_t>& chosen) {
+    std::vector<Operation> element_ops;
+    element_ops.reserve(chosen.size());
+    std::size_t newly_completed = 0;
+    for (std::size_t i : chosen) {
+      element_ops.push_back(ops_[i].op);
+      if (!ops_[i].is_pending()) ++newly_completed;
+    }
+    for (CaStepResult& sr : spec_.step(state, object, element_ops)) {
+      if (cancelled()) return;
+      fired_elements_.fetch_add(1, std::memory_order_relaxed);
+      Mask next_mask = mask;
+      for (std::size_t i : chosen) set_bit(next_mask, i);
+      if (depth < kForkDepth) {
+        // Fork the subtree: the task owns a copy of the witness prefix.
+        auto child_prefix = prefix;
+        child_prefix.push_back(sr.element);
+        pool_.submit([this, next = std::move(sr.next), next_mask,
+                      fired = fired_completed + newly_completed,
+                      depth, p = std::move(child_prefix)]() mutable {
+          dfs(next, next_mask, fired, depth + 1, p);
+        });
+      } else {
+        prefix.push_back(sr.element);
+        dfs(sr.next, next_mask, fired_completed + newly_completed, depth + 1,
+            prefix);
+        prefix.pop_back();
+      }
+    }
+  }
+
+  const std::vector<OpRecord>& ops_;
+  const CaSpec& spec_;
+  const CalCheckOptions& options_;
+  HistoryIndex index_;
+  par::TaskPool pool_;
+  par::ShardedStateSet visited_;
+  std::atomic<std::size_t> visited_count_{0};
+  std::atomic<std::size_t> fired_elements_{0};
+  std::atomic<bool> found_{false};
+  std::atomic<bool> exhausted_{false};
+  std::mutex witness_mu_;
+  std::vector<CaElement> witness_;
+};
+
 }  // namespace
 
 CalCheckResult CalChecker::check(const std::vector<OpRecord>& ops) const {
+  const std::size_t threads = par::resolve_threads(options_.threads);
+  if (threads > 1) {
+    ParallelSearch search(ops, spec_, options_, threads);
+    return search.run();
+  }
   Search search(ops, spec_, options_);
   return search.run();
 }

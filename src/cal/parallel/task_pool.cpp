@@ -1,0 +1,94 @@
+#include "cal/parallel/task_pool.hpp"
+
+namespace cal::par {
+
+namespace {
+
+// Identifies the worker a thread belongs to, so submit() can route to the
+// submitter's own deque. One pool is alive per engine invocation; nested
+// pools are not used, so a single (pool, index) pair suffices.
+thread_local TaskPool* tls_pool = nullptr;
+thread_local std::size_t tls_index = 0;
+
+}  // namespace
+
+TaskPool::TaskPool(std::size_t threads) {
+  const std::size_t n = resolve_threads(threads);
+  queues_.resize(n);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void TaskPool::submit(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tls_pool == this) {
+      queues_[tls_index].deque.push_back(std::move(task));
+    } else {
+      external_.push_back(std::move(task));
+    }
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+bool TaskPool::try_pop(std::size_t self, Task& out) {
+  // Own deque first, newest task (LIFO — depth-first locality) …
+  if (!queues_[self].deque.empty()) {
+    out = std::move(queues_[self].deque.back());
+    queues_[self].deque.pop_back();
+    return true;
+  }
+  if (!external_.empty()) {
+    out = std::move(external_.front());
+    external_.pop_front();
+    return true;
+  }
+  // … then steal the oldest task of a peer (FIFO — biggest subtree).
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    Queue& victim = queues_[(self + k) % queues_.size()];
+    if (!victim.deque.empty()) {
+      out = std::move(victim.deque.front());
+      victim.deque.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void TaskPool::worker_loop(std::size_t index) {
+  tls_pool = this;
+  tls_index = index;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || try_pop(index, task); });
+      if (!task) return;  // shutdown with empty queues
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void TaskPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] { return in_flight_ == 0; });
+}
+
+}  // namespace cal::par

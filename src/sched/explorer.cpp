@@ -1,5 +1,13 @@
 #include "sched/explorer.hpp"
 
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <utility>
+
+#include "cal/parallel/sharded_set.hpp"
+#include "cal/parallel/task_pool.hpp"
+
 namespace cal::sched {
 
 namespace {
@@ -18,6 +26,191 @@ std::vector<std::int64_t> encode_history(const History& h) {
   return out;
 }
 
+struct KeyHash {
+  std::size_t operator()(const std::vector<std::int64_t>& k) const noexcept {
+    return hash_state(k);
+  }
+};
+
+constexpr std::size_t kNoViolation = static_cast<std::size_t>(-1);
+
+/// State shared by every branch walker of one parallel exploration.
+struct SharedExplore {
+  par::ShardedStateSet visited;     ///< merge_states deduplication table
+  std::atomic<std::size_t> states{0};  ///< global count, for max_states
+  std::atomic<bool> exhausted{false};
+  /// Smallest branch sequence number that found a violation; branches
+  /// with larger numbers cancel (stop_on_first_violation mode), smaller
+  /// ones run on so the final selection is deterministic.
+  std::atomic<std::size_t> first_violation{kNoViolation};
+
+  void note_violation(std::size_t branch_seq) {
+    std::size_t cur = first_violation.load(std::memory_order_relaxed);
+    while (branch_seq < cur &&
+           !first_violation.compare_exchange_weak(cur, branch_seq,
+                                                  std::memory_order_relaxed)) {
+    }
+  }
+};
+
+/// One branch of the parallel exploration: a sequential DFS over the
+/// subtree rooted at a breadth-first split node, mirroring the sequential
+/// Explorer step for step but routing state merging and the max_states cap
+/// through SharedExplore. Counters, violations, and collected terminals
+/// stay walker-local and are merged in branch order afterwards.
+class Walker {
+ public:
+  Walker(const WorldConfig& config,
+         const std::vector<std::unique_ptr<SimObject>>& objects,
+         const ExploreOptions& options, const TransitionAuditor* auditor,
+         SharedExplore& shared, std::size_t branch_seq,
+         std::vector<ScheduleStep> schedule)
+      : config_(config),
+        objects_(objects),
+        options_(options),
+        auditor_(auditor),
+        shared_(shared),
+        branch_seq_(branch_seq),
+        schedule_(std::move(schedule)) {}
+
+  void run(World world, std::size_t depth) { dfs(std::move(world), depth); }
+
+  [[nodiscard]] ExploreResult& result() noexcept { return result_; }
+  [[nodiscard]] std::size_t branch_seq() const noexcept { return branch_seq_; }
+
+ private:
+  [[nodiscard]] bool stopped() const {
+    if (done_ || shared_.exhausted.load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return options_.stop_on_first_violation &&
+           shared_.first_violation.load(std::memory_order_relaxed) <
+               branch_seq_;
+  }
+
+  void record_violation(const World& world) {
+    result_.violations.push_back(
+        ScheduleViolation{world.violation().value_or("unknown"), schedule_});
+    if (options_.stop_on_first_violation) {
+      shared_.note_violation(branch_seq_);
+      done_ = true;
+    }
+  }
+
+  void reached(World&& world, std::size_t depth) {
+    if (stopped()) return;
+    if (world.violated()) {
+      record_violation(world);
+      return;
+    }
+    if (auditor_ != nullptr) {
+      if (auto why = auditor_->check_invariant(world)) {
+        world.report_violation("invariant: " + *why);
+        record_violation(world);
+        return;
+      }
+    }
+    dfs(std::move(world), depth);
+  }
+
+  void dfs(World world, std::size_t depth) {
+    if (stopped()) return;
+    if (depth > result_.max_depth) result_.max_depth = depth;
+    result_.events |= world.events();
+
+    if (options_.max_states != 0 &&
+        shared_.states.load(std::memory_order_relaxed) >=
+            options_.max_states) {
+      result_.exhausted = true;
+      shared_.exhausted.store(true, std::memory_order_relaxed);
+      done_ = true;
+      return;
+    }
+    if (options_.merge_states) {
+      std::vector<std::int64_t> key;
+      world.encode(key);
+      if (!shared_.visited.insert(std::move(key))) {
+        ++result_.merged;
+        return;
+      }
+    }
+    shared_.states.fetch_add(1, std::memory_order_relaxed);
+    ++result_.states;
+
+    if (world.all_done()) {
+      ++result_.terminals;
+      if (options_.collect_terminals) {
+        auto key = encode_history(world.history());
+        if (seen_histories_.insert(std::move(key)).second) {
+          result_.histories.push_back(world.history());
+          result_.traces.push_back(world.trace());
+        }
+      }
+      return;
+    }
+
+    for (std::size_t i = 0; i < world.threads().size(); ++i) {
+      const ThreadCtx& t = world.threads()[i];
+      if (t.done(config_.programs[t.program].calls.size())) continue;
+      advance(world, i, depth);
+      if (stopped()) return;
+    }
+  }
+
+  void advance(const World& world, std::size_t thread, std::size_t depth) {
+    const ThreadCtx& t = world.threads()[thread];
+    const Call& call = config_.programs[t.program].calls[t.call_idx];
+    const SimObject& object = *objects_[call.object];
+
+    schedule_.push_back(ScheduleStep{t.tid, -1});
+    ++result_.transitions;
+
+    World next = world;  // branch
+    ThreadCtx& nt = next.threads()[thread];
+    StepResult sr = object.step(next, nt);
+
+    if (sr.kind == StepResult::Kind::kChoice) {
+      for (std::int32_t c = 0; c < sr.nchoices && !stopped(); ++c) {
+        schedule_.back().choice = c;
+        World branch = world;
+        ThreadCtx& bt = branch.threads()[thread];
+        bt.choice = c;
+        StepResult inner = object.step(branch, bt);
+        bt.choice = -1;
+        if (inner.kind == StepResult::Kind::kChoice) {
+          branch.report_violation("machine asked for a choice twice in a row");
+        }
+        if (auditor_ != nullptr && !branch.violated()) {
+          if (auto why = auditor_->check_transition(world, branch, bt.tid)) {
+            branch.report_violation("guarantee: " + *why);
+          }
+        }
+        reached(std::move(branch), depth + 1);
+      }
+    } else {
+      if (auditor_ != nullptr && !next.violated()) {
+        if (auto why = auditor_->check_transition(world, next, nt.tid)) {
+          next.report_violation("guarantee: " + *why);
+        }
+      }
+      reached(std::move(next), depth + 1);
+    }
+
+    schedule_.pop_back();
+  }
+
+  const WorldConfig& config_;
+  const std::vector<std::unique_ptr<SimObject>>& objects_;
+  const ExploreOptions& options_;
+  const TransitionAuditor* auditor_;
+  SharedExplore& shared_;
+  const std::size_t branch_seq_;
+  std::vector<ScheduleStep> schedule_;
+  std::unordered_set<std::vector<std::int64_t>, KeyHash> seen_histories_;
+  ExploreResult result_;
+  bool done_ = false;
+};
+
 }  // namespace
 
 Explorer::Explorer(const WorldConfig& config,
@@ -26,6 +219,9 @@ Explorer::Explorer(const WorldConfig& config,
     : config_(config), objects_(std::move(objects)), options_(options) {}
 
 ExploreResult Explorer::run() {
+  const std::size_t threads = par::resolve_threads(options_.threads);
+  if (threads > 1) return run_parallel(threads);
+
   visited_.clear();
   seen_histories_.clear();
   schedule_.clear();
@@ -36,6 +232,194 @@ ExploreResult Explorer::run() {
   for (auto& obj : objects_) obj->init(initial);
   dfs(std::move(initial), 0);
   return result_;
+}
+
+ExploreResult Explorer::run_parallel(std::size_t threads) {
+  // Phase 1 — breadth-first root split (sequential, deterministic): grow a
+  // frontier of independent subtree roots, one per thread/choice prefix,
+  // until there is enough work to saturate the pool. Every node popped
+  // here goes through exactly the checks the sequential dfs() would apply;
+  // its children go through the advance()/reached() checks. `seq` numbers
+  // record the breadth-first order — they are the tie-breaker that makes
+  // the reported first violation deterministic.
+  struct Node {
+    World world;
+    std::vector<ScheduleStep> schedule;
+    std::size_t depth = 0;
+  };
+
+  SharedExplore shared;
+  ExploreResult total;
+  std::unordered_set<std::vector<std::int64_t>, KeyHash> merged_seen;
+  std::deque<Node> frontier;
+  bool stop_all = false;
+
+  {
+    World initial(config_);
+    for (auto& obj : objects_) obj->init(initial);
+    frontier.push_back(Node{std::move(initial), {}, 0});
+  }
+
+  const std::size_t split_target = threads * 4;
+  constexpr std::size_t kMaxSplitDepth = 8;
+
+  while (!frontier.empty() && !stop_all && frontier.size() < split_target &&
+         frontier.front().depth < kMaxSplitDepth) {
+    Node node = std::move(frontier.front());
+    frontier.pop_front();
+
+    // dfs()-entry checks.
+    if (node.depth > total.max_depth) total.max_depth = node.depth;
+    total.events |= node.world.events();
+    if (options_.max_states != 0 &&
+        shared.states.load(std::memory_order_relaxed) >= options_.max_states) {
+      total.exhausted = true;
+      stop_all = true;
+      break;
+    }
+    if (options_.merge_states) {
+      std::vector<std::int64_t> key;
+      node.world.encode(key);
+      if (!shared.visited.insert(std::move(key))) {
+        ++total.merged;
+        continue;
+      }
+    }
+    shared.states.fetch_add(1, std::memory_order_relaxed);
+    ++total.states;
+    if (node.world.all_done()) {
+      ++total.terminals;
+      if (options_.collect_terminals) {
+        auto key = encode_history(node.world.history());
+        if (merged_seen.insert(std::move(key)).second) {
+          total.histories.push_back(node.world.history());
+          total.traces.push_back(node.world.trace());
+        }
+      }
+      continue;
+    }
+
+    // advance()/reached() on every runnable thread.
+    auto emit = [&](World&& w, std::vector<ScheduleStep>&& sched) {
+      if (!w.violated() && auditor_ != nullptr) {
+        if (auto why = auditor_->check_invariant(w)) {
+          w.report_violation("invariant: " + *why);
+        }
+      }
+      if (w.violated()) {
+        total.violations.push_back(
+            ScheduleViolation{w.violation().value_or("unknown"), sched});
+        if (options_.stop_on_first_violation) stop_all = true;
+        return;
+      }
+      frontier.push_back(Node{std::move(w), std::move(sched), node.depth + 1});
+    };
+
+    for (std::size_t i = 0; i < node.world.threads().size() && !stop_all;
+         ++i) {
+      const ThreadCtx& t = node.world.threads()[i];
+      if (t.done(config_.programs[t.program].calls.size())) continue;
+      const Call& call = config_.programs[t.program].calls[t.call_idx];
+      const SimObject& object = *objects_[call.object];
+      ++total.transitions;
+
+      World next = node.world;
+      ThreadCtx& nt = next.threads()[i];
+      StepResult sr = object.step(next, nt);
+
+      if (sr.kind == StepResult::Kind::kChoice) {
+        for (std::int32_t c = 0; c < sr.nchoices && !stop_all; ++c) {
+          World branch = node.world;
+          ThreadCtx& bt = branch.threads()[i];
+          bt.choice = c;
+          StepResult inner = object.step(branch, bt);
+          bt.choice = -1;
+          if (inner.kind == StepResult::Kind::kChoice) {
+            branch.report_violation(
+                "machine asked for a choice twice in a row");
+          }
+          if (auditor_ != nullptr && !branch.violated()) {
+            if (auto why =
+                    auditor_->check_transition(node.world, branch, bt.tid)) {
+              branch.report_violation("guarantee: " + *why);
+            }
+          }
+          std::vector<ScheduleStep> sched = node.schedule;
+          sched.push_back(ScheduleStep{t.tid, c});
+          emit(std::move(branch), std::move(sched));
+        }
+      } else {
+        if (auditor_ != nullptr && !next.violated()) {
+          if (auto why = auditor_->check_transition(node.world, next,
+                                                    nt.tid)) {
+            next.report_violation("guarantee: " + *why);
+          }
+        }
+        std::vector<ScheduleStep> sched = node.schedule;
+        sched.push_back(ScheduleStep{t.tid, -1});
+        emit(std::move(next), std::move(sched));
+      }
+    }
+  }
+
+  // Phase 2 — branch walkers on the pool. Branch sequence numbers follow
+  // the frontier (= breadth-first) order.
+  if (!stop_all && !frontier.empty()) {
+    std::vector<std::unique_ptr<Walker>> walkers;
+    walkers.reserve(frontier.size());
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      walkers.push_back(std::make_unique<Walker>(
+          config_, objects_, options_, auditor_, shared, i,
+          std::move(frontier[i].schedule)));
+    }
+    {
+      par::TaskPool pool(threads);
+      for (std::size_t i = 0; i < walkers.size(); ++i) {
+        pool.submit([w = walkers[i].get(), world = std::move(frontier[i].world),
+                     depth = frontier[i].depth]() mutable {
+          w->run(std::move(world), depth);
+        });
+      }
+      pool.wait_idle();
+    }
+
+    // Phase 3 — deterministic merge, in branch order.
+    for (const auto& w : walkers) {
+      const ExploreResult& r = w->result();
+      total.states += r.states;
+      total.transitions += r.transitions;
+      total.merged += r.merged;
+      total.terminals += r.terminals;
+      if (r.max_depth > total.max_depth) total.max_depth = r.max_depth;
+      total.events |= r.events;
+      total.exhausted = total.exhausted || r.exhausted;
+      for (std::size_t i = 0; i < r.histories.size(); ++i) {
+        if (merged_seen.insert(encode_history(r.histories[i])).second) {
+          total.histories.push_back(r.histories[i]);
+          total.traces.push_back(r.traces[i]);
+        }
+      }
+    }
+    if (options_.stop_on_first_violation) {
+      // The earliest branch that found one wins (phase-1 violations, if
+      // any, stopped the split before walkers launched).
+      if (total.violations.empty()) {
+        for (const auto& w : walkers) {
+          if (!w->result().violations.empty()) {
+            total.violations.push_back(w->result().violations.front());
+            break;
+          }
+        }
+      }
+    } else {
+      for (const auto& w : walkers) {
+        for (const ScheduleViolation& v : w->result().violations) {
+          total.violations.push_back(v);
+        }
+      }
+    }
+  }
+  return total;
 }
 
 void Explorer::record_violation(const World& world) {

@@ -49,6 +49,18 @@ struct ExploreOptions {
   /// Collect unique terminal histories/traces (needs record_history /
   /// record_trace in the WorldConfig; usually with merge_states = false).
   bool collect_terminals = false;
+  /// Worker threads (1 = the sequential engine, bit-for-bit the historical
+  /// behavior; 0 = one per hardware thread). With more than one thread the
+  /// root of the schedule tree is split breadth-first into branches —
+  /// one per thread/choice prefix — that explore in work-stealing pool
+  /// tasks sharing the state-merging table. Verdicts (and, absent
+  /// violations and caps, the states/transitions/terminals counters) are
+  /// identical to the sequential engine. The reported first violation is
+  /// chosen deterministically — the violation of the earliest branch in
+  /// the breadth-first split order — so replays stay stable; under
+  /// merge_states the winning *schedule* can still differ from the
+  /// sequential engine's (it is always a real, replayable counterexample).
+  std::size_t threads = 1;
 };
 
 /// One step of a recorded schedule: which thread acted, and the value of
@@ -111,6 +123,9 @@ class Explorer {
   void advance(const World& world, std::size_t thread, std::size_t depth);
   void reached(World&& world, std::size_t depth);
   void record_violation(const World& world);
+  /// The multi-threaded engine behind ExploreOptions::threads > 1
+  /// (explorer.cpp: breadth-first root split + Walker pool tasks).
+  [[nodiscard]] ExploreResult run_parallel(std::size_t threads);
 
   const WorldConfig& config_;
   std::vector<std::unique_ptr<SimObject>> objects_;

@@ -1,0 +1,131 @@
+// Tests for the parallel-search substrate (cal/parallel): the
+// work-stealing task pool and the sharded visited set. These are the
+// tests the CI TSan job builds with -fsanitize=thread — they deliberately
+// hammer the concurrent paths.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "cal/parallel/sharded_set.hpp"
+#include "cal/parallel/task_pool.hpp"
+
+namespace cal::par {
+namespace {
+
+TEST(TaskPool, RunsEverySubmittedTask) {
+  TaskPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 1000);
+}
+
+TEST(TaskPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  TaskPool pool(2);
+  pool.wait_idle();  // nothing submitted — must not block
+  SUCCEED();
+}
+
+TEST(TaskPool, ResolveThreadsMapsZeroToHardware) {
+  EXPECT_GE(resolve_threads(0), 1u);
+  EXPECT_EQ(resolve_threads(1), 1u);
+  EXPECT_EQ(resolve_threads(7), 7u);
+}
+
+TEST(TaskPool, TasksMaySubmitSubtasksRecursively) {
+  // A binary fan-out submitted from inside workers: 2^10 leaves. wait_idle
+  // must cover transitively spawned tasks, not only the root submission.
+  TaskPool pool(4);
+  std::atomic<int> leaves{0};
+  std::function<void(int)> spawn = [&](int depth) {
+    if (depth == 0) {
+      leaves.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    pool.submit([&spawn, depth] { spawn(depth - 1); });
+    pool.submit([&spawn, depth] { spawn(depth - 1); });
+  };
+  pool.submit([&] { spawn(10); });
+  pool.wait_idle();
+  EXPECT_EQ(leaves.load(), 1 << 10);
+}
+
+TEST(TaskPool, ReusableAcrossWaves) {
+  TaskPool pool(3);
+  std::atomic<int> ran{0};
+  for (int wave = 0; wave < 5; ++wave) {
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(ran.load(), (wave + 1) * 100);
+  }
+}
+
+TEST(ShardedStateSet, InsertDeduplicates) {
+  ShardedStateSet set;
+  EXPECT_TRUE(set.insert({1, 2, 3}));
+  EXPECT_FALSE(set.insert({1, 2, 3}));
+  EXPECT_TRUE(set.insert({1, 2, 4}));
+  EXPECT_TRUE(set.contains({1, 2, 3}));
+  EXPECT_FALSE(set.contains({9}));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(ShardedStateSet, SingleShardStillWorks) {
+  ShardedStateSet set(1);
+  for (std::int64_t i = 0; i < 100; ++i) EXPECT_TRUE(set.insert({i}));
+  for (std::int64_t i = 0; i < 100; ++i) EXPECT_FALSE(set.insert({i}));
+  EXPECT_EQ(set.size(), 100u);
+}
+
+TEST(ShardedStateSet, ConcurrentInsertersAgreeOnUniqueWins) {
+  // 8 workers racing to insert overlapping key ranges; every key must be
+  // won exactly once, so the number of successful inserts equals the
+  // number of distinct keys.
+  ShardedStateSet set;
+  TaskPool pool(8);
+  constexpr std::int64_t kKeys = 2000;
+  std::atomic<std::int64_t> wins{0};
+  for (int worker = 0; worker < 8; ++worker) {
+    pool.submit([&, worker] {
+      std::mt19937 rng(static_cast<unsigned>(worker));
+      for (int n = 0; n < 5000; ++n) {
+        const std::int64_t k =
+            std::uniform_int_distribution<std::int64_t>(0, kKeys - 1)(rng);
+        if (set.insert({k, k * 7, k * 31})) {
+          wins.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  pool.wait_idle();
+  EXPECT_LE(wins.load(), kKeys);
+  EXPECT_EQ(static_cast<std::size_t>(wins.load()), set.size());
+}
+
+TEST(ShardedStateSet, StressInsertAndContainsUnderContention) {
+  ShardedStateSet set(16);
+  TaskPool pool(8);
+  std::atomic<bool> wrong{false};
+  for (int worker = 0; worker < 8; ++worker) {
+    pool.submit([&, worker] {
+      for (std::int64_t i = 0; i < 3000; ++i) {
+        const std::int64_t k = (worker * 3000 + i) % 1000;
+        set.insert({k});
+        if (!set.contains({k})) wrong.store(true);  // inserted keys persist
+      }
+    });
+  }
+  pool.wait_idle();
+  EXPECT_FALSE(wrong.load());
+  EXPECT_EQ(set.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace cal::par

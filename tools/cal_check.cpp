@@ -2,11 +2,20 @@
 //
 //   cal-check --spec exchanger:E [--checker cal|set-lin] [FILE]
 //   cal-check --spec stack:S --checker lin history.txt
+//   cal-check --spec exchanger:E --jobs 8 traces/*.history
 //
-// Reads a history in the line format of cal/text.hpp (stdin when FILE is
-// omitted), decides membership w.r.t. the named specification, prints the
-// verdict and (on acceptance) the witness, and exits 0/1/2 for
-// accept/reject/usage-or-parse error.
+// Reads one or more histories in the line format of cal/text.hpp (stdin
+// when no FILE is given), decides membership w.r.t. the named
+// specification, prints the verdict and (on acceptance) the witness, and
+// exits 0/1/2 for accept/reject/usage-or-parse error. With several FILEs
+// the verdicts are prefixed with the file name and printed in argument
+// order; --jobs N checks the files through a parallel pipeline, and the
+// exit code is the worst per-file code.
+//
+// Flags:
+//   --jobs N      check files concurrently on N pool workers (0 = #cores)
+//   --threads N   worker threads *inside* each CAL check
+//                 (CalCheckOptions::threads; 0 = #cores, default 1)
 //
 // Specs:
 //   exchanger:<obj>[:<method>]   CA-spec (swap pairs / failures)
@@ -18,15 +27,18 @@
 //   register:<obj>               sequential read/write register
 // Sequential specs work with every checker (wrapped in SeqAsCaSpec for
 // cal/set-lin); CA-specs reject --checker lin.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "cal/cal_checker.hpp"
 #include "cal/lin_checker.hpp"
+#include "cal/parallel/task_pool.hpp"
 #include "cal/set_lin.hpp"
 #include "cal/specs/exchanger_spec.hpp"
 #include "cal/specs/queue_spec.hpp"
@@ -42,15 +54,17 @@ using namespace cal;  // NOLINT: tool
 struct Options {
   std::string spec;
   std::string checker = "cal";
-  std::string file;  // empty = stdin
+  std::vector<std::string> files;  // empty = stdin
   bool quiet = false;
+  std::size_t jobs = 1;     // files checked concurrently (0 = #cores)
+  std::size_t threads = 1;  // CalCheckOptions::threads per check
 };
 
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --spec KIND:OBJ[:METHOD] [--checker cal|lin|set-lin]\n"
-      "          [--quiet] [FILE]\n"
+      "          [--quiet] [--jobs N] [--threads N] [FILE...]\n"
       "spec kinds: exchanger sync-queue snapshot stack central-stack queue "
       "register\n",
       argv0);
@@ -94,10 +108,147 @@ std::optional<SpecBundle> make_spec(const std::string& desc) {
   return b;
 }
 
+/// Outcome of checking one input: the process-style exit code plus the
+/// text for each stream. Batch mode buffers these so a parallel pipeline
+/// still prints verdicts in argument order.
+struct CheckOutcome {
+  int code = 2;
+  std::string out;  // stdout text
+  std::string err;  // stderr text
+};
+
+CheckOutcome check_text(const Options& opt, const SpecBundle& spec,
+                        const std::string& text) {
+  CheckOutcome o;
+  ParseResult<History> parsed = parse_history(text);
+  if (!parsed) {
+    o.err = "parse error at line " + std::to_string(parsed.error->line) +
+            ": " + parsed.error->message + "\n";
+    return o;
+  }
+  const History& history = *parsed.value;
+  if (!history.well_formed()) {
+    o.out = "REJECT: history is not well-formed\n";
+    o.code = 1;
+    return o;
+  }
+
+  if (opt.checker == "cal") {
+    CalCheckOptions copts;
+    copts.threads = opt.threads;
+    CalChecker checker(*spec.ca, copts);
+    CalCheckResult r = checker.check(history);
+    if (r.ok) {
+      if (!opt.quiet) {
+        o.out = "ACCEPT: CA-linearizable (" +
+                std::to_string(r.visited_states) + " states)\nwitness:\n" +
+                format_trace(*r.witness);
+      } else {
+        o.out = "ACCEPT\n";
+      }
+      o.code = 0;
+      return o;
+    }
+    o.out = "REJECT: not CA-linearizable (" +
+            std::to_string(r.visited_states) + " states" +
+            (r.exhausted ? ", search exhausted" : "") + ")\n";
+    o.code = 1;
+    return o;
+  }
+  if (opt.checker == "set-lin") {
+    SetLinChecker checker(*spec.ca);
+    SetLinResult r = checker.check(history);
+    if (r.ok) {
+      if (!opt.quiet) {
+        o.out = "ACCEPT: set-linearizable\nwitness:\n" +
+                format_trace(*r.witness);
+      } else {
+        o.out = "ACCEPT\n";
+      }
+      o.code = 0;
+      return o;
+    }
+    o.out = "REJECT: not set-linearizable\n";
+    o.code = 1;
+    return o;
+  }
+  if (opt.checker == "lin") {
+    LinChecker checker(*spec.seq);
+    LinCheckResult r = checker.check(history);
+    if (r.ok) {
+      if (!opt.quiet && r.witness) {
+        o.out = "ACCEPT: linearizable\nwitness linearization:\n";
+        for (const Operation& op : *r.witness) {
+          o.out += "  " + op.to_string() + "\n";
+        }
+      } else {
+        o.out = "ACCEPT\n";
+      }
+      o.code = 0;
+      return o;
+    }
+    o.out = "REJECT: not linearizable\n";
+    o.code = 1;
+    return o;
+  }
+  o.err = "unknown checker '" + opt.checker + "'\n";
+  return o;
+}
+
+CheckOutcome check_file(const Options& opt, const SpecBundle& spec,
+                        const std::string& file) {
+  std::ifstream in(file);
+  if (!in) {
+    CheckOutcome o;
+    o.err = "cannot open " + file + "\n";
+    return o;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return check_text(opt, spec, buf.str());
+}
+
+/// Emits one buffered outcome, prefixing each stdout line with the file
+/// name in multi-file mode.
+void emit(const CheckOutcome& o, const std::string& prefix) {
+  if (!o.err.empty()) std::fputs(o.err.c_str(), stderr);
+  if (o.out.empty()) return;
+  if (prefix.empty()) {
+    std::fputs(o.out.c_str(), stdout);
+    return;
+  }
+  std::istringstream lines(o.out);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::printf("%s: %s\n", prefix.c_str(), line.c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options opt;
+  bool bad_number = false;
+  auto parse_count = [&](const char* s) -> std::size_t {
+    // stoul accepts "-1" (wrapping to SIZE_MAX), so insist on plain digits
+    // and a sane ceiling before handing the count to a thread pool.
+    const std::string v = s;
+    if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos) {
+      bad_number = true;
+      return 1;
+    }
+    try {
+      const unsigned long n = std::stoul(v);
+      if (n > 4096) {
+        bad_number = true;
+        return 1;
+      }
+      return static_cast<std::size_t>(n);
+    } catch (...) {
+      bad_number = true;
+      return 1;
+    }
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--spec" && i + 1 < argc) {
@@ -106,6 +257,10 @@ int main(int argc, char** argv) {
       opt.checker = argv[++i];
     } else if (arg == "--quiet") {
       opt.quiet = true;
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      opt.jobs = parse_count(argv[++i]);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      opt.threads = parse_count(argv[++i]);
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -113,10 +268,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return usage(argv[0]);
     } else {
-      opt.file = arg;
+      opt.files.push_back(arg);
     }
   }
-  if (opt.spec.empty()) return usage(argv[0]);
+  if (opt.spec.empty() || bad_number) return usage(argv[0]);
 
   const auto spec = make_spec(opt.spec);
   if (!spec) {
@@ -132,82 +287,39 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::string text;
-  if (opt.file.empty()) {
+  if (opt.files.empty()) {
     std::ostringstream buf;
     buf << std::cin.rdbuf();
-    text = buf.str();
+    CheckOutcome o = check_text(opt, *spec, buf.str());
+    emit(o, "");
+    return o.code;
+  }
+  if (opt.files.size() == 1) {
+    CheckOutcome o = check_file(opt, *spec, opt.files.front());
+    emit(o, "");
+    return o.code;
+  }
+
+  // Batch pipeline: fan the files out over a pool, then report in
+  // argument order. The worst per-file exit code wins.
+  std::vector<CheckOutcome> outcomes(opt.files.size());
+  const std::size_t jobs =
+      std::min(par::resolve_threads(opt.jobs), opt.files.size());
+  if (jobs > 1) {
+    par::TaskPool pool(jobs);
+    for (std::size_t i = 0; i < opt.files.size(); ++i) {
+      pool.submit([&, i] { outcomes[i] = check_file(opt, *spec, opt.files[i]); });
+    }
+    pool.wait_idle();
   } else {
-    std::ifstream in(opt.file);
-    if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", opt.file.c_str());
-      return 2;
+    for (std::size_t i = 0; i < opt.files.size(); ++i) {
+      outcomes[i] = check_file(opt, *spec, opt.files[i]);
     }
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    text = buf.str();
   }
-
-  ParseResult<History> parsed = parse_history(text);
-  if (!parsed) {
-    std::fprintf(stderr, "parse error at line %zu: %s\n",
-                 parsed.error->line, parsed.error->message.c_str());
-    return 2;
+  int code = 0;
+  for (std::size_t i = 0; i < opt.files.size(); ++i) {
+    emit(outcomes[i], opt.files[i]);
+    code = std::max(code, outcomes[i].code);
   }
-  const History& history = *parsed.value;
-  if (!history.well_formed()) {
-    std::printf("REJECT: history is not well-formed\n");
-    return 1;
-  }
-
-  if (opt.checker == "cal") {
-    CalChecker checker(*spec->ca);
-    CalCheckResult r = checker.check(history);
-    if (r.ok) {
-      if (!opt.quiet) {
-        std::printf("ACCEPT: CA-linearizable (%zu states)\nwitness:\n%s",
-                    r.visited_states, format_trace(*r.witness).c_str());
-      } else {
-        std::printf("ACCEPT\n");
-      }
-      return 0;
-    }
-    std::printf("REJECT: not CA-linearizable (%zu states%s)\n",
-                r.visited_states, r.exhausted ? ", search exhausted" : "");
-    return 1;
-  }
-  if (opt.checker == "set-lin") {
-    SetLinChecker checker(*spec->ca);
-    SetLinResult r = checker.check(history);
-    if (r.ok) {
-      if (!opt.quiet) {
-        std::printf("ACCEPT: set-linearizable\nwitness:\n%s",
-                    format_trace(*r.witness).c_str());
-      } else {
-        std::printf("ACCEPT\n");
-      }
-      return 0;
-    }
-    std::printf("REJECT: not set-linearizable\n");
-    return 1;
-  }
-  if (opt.checker == "lin") {
-    LinChecker checker(*spec->seq);
-    LinCheckResult r = checker.check(history);
-    if (r.ok) {
-      if (!opt.quiet && r.witness) {
-        std::printf("ACCEPT: linearizable\nwitness linearization:\n");
-        for (const Operation& op : *r.witness) {
-          std::printf("  %s\n", op.to_string().c_str());
-        }
-      } else {
-        std::printf("ACCEPT\n");
-      }
-      return 0;
-    }
-    std::printf("REJECT: not linearizable\n");
-    return 1;
-  }
-  std::fprintf(stderr, "unknown checker '%s'\n", opt.checker.c_str());
-  return usage(argv[0]);
+  return code;
 }
