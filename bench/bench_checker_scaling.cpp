@@ -93,37 +93,58 @@ BENCHMARK(BM_CalChecker_ExchangerHistory)
     ->Arg(64)
     ->Arg(128);
 
+/// Copies a check's compression counters onto the benchmark series (T-MEM:
+/// visited-set bytes is the headline; cache/pruning explain the speedups).
+void record_compression(benchmark::State& state, const CalCheckResult& r) {
+  state.counters["visited"] = static_cast<double>(r.visited_states);
+  state.counters["visited_bytes"] = static_cast<double>(r.visited_bytes);
+  state.counters["step_hits"] = static_cast<double>(r.step_cache_hits);
+  state.counters["step_misses"] = static_cast<double>(r.step_cache_misses);
+  state.counters["pruned"] = static_cast<double>(r.pruned_subsets);
+}
+
 void BM_CalChecker_OverlapWidth(benchmark::State& state) {
   // threads=1 is the sequential engine (the historical series); higher
   // counts exercise the work-stealing pool on the same workload — the
   // speedup claim of the parallel-search PR is threads=8 vs threads=1 on
-  // the wide widths.
+  // the wide widths. exact=1 stores full visited keys
+  // (CalCheckOptions::exact_visited) instead of 128-bit fingerprints —
+  // the T-MEM before/after axis.
   const History h = wide_overlap_history(static_cast<std::size_t>(state.range(0)));
   ExchangerSpec spec(Symbol{"E"}, Symbol{"exchange"});
   CalCheckOptions opts;
   opts.threads = static_cast<std::size_t>(state.range(1));
+  opts.exact_visited = state.range(2) != 0;
   CalChecker checker(spec, opts);
+  CalCheckResult r;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(checker.check(h).ok);
+    r = checker.check(h);
+    benchmark::DoNotOptimize(r.ok);
   }
+  record_compression(state, r);
 }
 BENCHMARK(BM_CalChecker_OverlapWidth)
-    ->ArgNames({"width", "threads"})
-    ->Args({2, 1})
-    ->Args({4, 1})
-    ->Args({6, 1})
-    ->Args({8, 1})
-    ->Args({10, 1})
-    ->Args({8, 2})
-    ->Args({8, 8})
-    ->Args({10, 2})
-    ->Args({10, 8})
-    ->Args({12, 1})
-    ->Args({12, 8});
+    ->ArgNames({"width", "threads", "exact"})
+    ->Args({2, 1, 0})
+    ->Args({4, 1, 0})
+    ->Args({6, 1, 0})
+    ->Args({6, 1, 1})
+    ->Args({8, 1, 0})
+    ->Args({8, 1, 1})
+    ->Args({10, 1, 0})
+    ->Args({10, 1, 1})
+    ->Args({8, 2, 0})
+    ->Args({8, 8, 0})
+    ->Args({10, 2, 0})
+    ->Args({10, 8, 0})
+    ->Args({12, 1, 0})
+    ->Args({12, 1, 1})
+    ->Args({12, 8, 0});
 
 void BM_CalChecker_OverlapWidth_Reject(benchmark::State& state) {
   // Rejection needs full exhaustion — no early-witness cancellation — so
-  // this is the purest parallel-search scaling series.
+  // this is the purest parallel-search scaling series, and the one where
+  // the visited set peaks (T-MEM's headline numbers).
   History h = wide_overlap_history(static_cast<std::size_t>(state.range(0)));
   std::vector<Action> actions = h.actions();
   actions.back().payload = Value::pair(true, 424242);  // impossible swap
@@ -131,19 +152,25 @@ void BM_CalChecker_OverlapWidth_Reject(benchmark::State& state) {
   ExchangerSpec spec(Symbol{"E"}, Symbol{"exchange"});
   CalCheckOptions opts;
   opts.threads = static_cast<std::size_t>(state.range(1));
+  opts.exact_visited = state.range(2) != 0;
   CalChecker checker(spec, opts);
+  CalCheckResult r;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(checker.check(bad).ok);
+    r = checker.check(bad);
+    benchmark::DoNotOptimize(r.ok);
   }
+  record_compression(state, r);
 }
 BENCHMARK(BM_CalChecker_OverlapWidth_Reject)
-    ->ArgNames({"width", "threads"})
-    ->Args({7, 1})
-    ->Args({7, 2})
-    ->Args({7, 8})
-    ->Args({8, 1})
-    ->Args({8, 2})
-    ->Args({8, 8});
+    ->ArgNames({"width", "threads", "exact"})
+    ->Args({7, 1, 0})
+    ->Args({7, 1, 1})
+    ->Args({7, 2, 0})
+    ->Args({7, 8, 0})
+    ->Args({8, 1, 0})
+    ->Args({8, 1, 1})
+    ->Args({8, 2, 0})
+    ->Args({8, 8, 0});
 
 void BM_LinChecker_StackHistory(benchmark::State& state) {
   const History h = stack_history(static_cast<std::size_t>(state.range(0)));

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Runs the state-compression benchmark series (T-MEM / T-CHECK) and writes
+# google-benchmark's aggregate JSON — median ns/op plus the visited-set
+# counters (visited, visited_bytes, step_hits, step_misses, pruned) — to
+# BENCH_state_compression.json in the repo root.
+#
+# Environment overrides:
+#   BUILD_DIR  build tree containing bench/bench_checker_scaling
+#              (default: build)
+#   REPS       benchmark repetitions per series; the JSON keeps only the
+#              mean/median/stddev aggregates (default: 5)
+#   FILTER     benchmark name regex (default: the CalChecker overlap-width
+#              series, the ones the compression targets)
+#   OUT        output JSON path (default: BENCH_state_compression.json next
+#              to this script's repo root)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$ROOT/build}"
+REPS="${REPS:-5}"
+FILTER="${FILTER:-BM_CalChecker_OverlapWidth}"
+OUT="${OUT:-$ROOT/BENCH_state_compression.json}"
+
+BIN="$BUILD_DIR/bench/bench_checker_scaling"
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not built (cmake -B \"$BUILD_DIR\" -S \"$ROOT\" && cmake --build \"$BUILD_DIR\" -j)" >&2
+  exit 1
+fi
+
+"$BIN" \
+  --benchmark_filter="$FILTER" \
+  --benchmark_repetitions="$REPS" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_out_format=json \
+  --benchmark_out="$OUT"
+
+echo "wrote $OUT"

@@ -7,9 +7,12 @@
 #include <unordered_set>
 #include <utility>
 
+#include "cal/fingerprint.hpp"
+#include "cal/history_index.hpp"
 #include "cal/parallel/sharded_set.hpp"
 #include "cal/parallel/task_pool.hpp"
 #include "cal/spec.hpp"
+#include "cal/step_cache.hpp"
 
 namespace cal {
 
@@ -31,45 +34,12 @@ std::vector<CaStepResult> SeqAsCaSpec::step(
 
 namespace {
 
-using Mask = std::vector<std::uint64_t>;
-
-bool test_bit(const Mask& m, std::size_t i) {
-  return (m[i / 64] >> (i % 64)) & 1u;
-}
-void set_bit(Mask& m, std::size_t i) { m[i / 64] |= (1ull << (i % 64)); }
+using Mask = StateMask;
 
 struct KeyHash {
   std::size_t operator()(const std::vector<std::int64_t>& k) const noexcept {
     return hash_state(k);
   }
-};
-
-/// History structure shared by the sequential and the parallel engine:
-/// per-operation real-time predecessor lists and the completed count.
-struct HistoryIndex {
-  explicit HistoryIndex(const std::vector<OpRecord>& ops) {
-    const std::size_t n = ops.size();
-    preds.resize(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      if (!ops[i].is_pending()) ++completed;
-      for (std::size_t j = 0; j < n; ++j) {
-        if (j != i && History::precedes(ops[j], ops[i])) {
-          preds[i].push_back(j);
-        }
-      }
-    }
-  }
-
-  [[nodiscard]] bool enabled(std::size_t i, const Mask& mask) const {
-    if (test_bit(mask, i)) return false;
-    for (std::size_t j : preds[i]) {
-      if (!test_bit(mask, j)) return false;
-    }
-    return true;
-  }
-
-  std::vector<std::vector<std::size_t>> preds;
-  std::size_t completed = 0;
 };
 
 /// Serializes a search node (spec state + fired mask) into `out` for the
@@ -86,6 +56,21 @@ void encode_node(const SpecState& state, const Mask& mask,
   }
 }
 
+/// Memo key for spec_.step(state, object, element): the chosen operations
+/// are identified by their indices in the search's fixed array, so the key
+/// pins the query exactly without serializing Values (cal/step_cache.hpp).
+void encode_step_key(const SpecState& state, Symbol object,
+                     const std::vector<std::size_t>& chosen, StepKey& out) {
+  out.clear();
+  out.reserve(2 + chosen.size() + state.size());
+  out.push_back(static_cast<std::int64_t>(object.id()));
+  out.push_back(static_cast<std::int64_t>(chosen.size()));
+  for (std::size_t i : chosen) {
+    out.push_back(static_cast<std::int64_t>(i));
+  }
+  out.insert(out.end(), state.begin(), state.end());
+}
+
 class Search {
  public:
   Search(const std::vector<OpRecord>& ops, const CaSpec& spec,
@@ -100,24 +85,43 @@ class Search {
     const bool ok = dfs(state, mask, /*fired_completed=*/0);
     result.ok = ok;
     result.exhausted = exhausted_;
-    result.visited_states = visited_.size();
+    result.visited_states = visited_size();
     result.fired_elements = fired_elements_;
+    result.visited_bytes =
+        options_.exact_visited ? exact_bytes_ : fp_visited_.bytes();
+    result.step_cache_hits = memo_.hits();
+    result.step_cache_misses = memo_.misses();
+    result.pruned_subsets = pruned_subsets_;
     if (ok) result.witness = CaTrace(witness_);
     return result;
   }
 
  private:
+  [[nodiscard]] std::size_t visited_size() const {
+    return options_.exact_visited ? exact_visited_.size()
+                                  : fp_visited_.size();
+  }
+
+  /// Dedups the node currently encoded in `key_scratch_`; true iff new.
+  bool insert_visited() {
+    if (options_.exact_visited) {
+      if (!exact_visited_.insert(key_scratch_).second) return false;
+      exact_bytes_ += par::ShardedStateSet::key_bytes(key_scratch_);
+      return true;
+    }
+    return fp_visited_.insert(fingerprint_key(key_scratch_));
+  }
+
   bool dfs(const SpecState& state, const Mask& mask,
            std::size_t fired_completed) {
-    if (fired_completed == index_.completed) return true;
-    if (options_.max_visited != 0 &&
-        visited_.size() >= options_.max_visited) {
+    if (fired_completed == index_.completed()) return true;
+    if (options_.max_visited != 0 && visited_size() >= options_.max_visited) {
       exhausted_ = true;
       return false;
     }
 
     encode_node(state, mask, key_scratch_);
-    if (!visited_.insert(key_scratch_).second) return false;
+    if (!insert_visited()) return false;
 
     // Collect enabled operations, grouped by object. Pending invocations
     // participate only when completion is allowed.
@@ -135,12 +139,15 @@ class Search {
                                              candidates.size());
       // Enumerate non-empty subsets of `candidates` of size <= cap, largest
       // first (multi-operation CA-elements are the common witness shape for
-      // CA-objects, e.g. exchanger swaps).
+      // CA-objects, e.g. exchanger swaps). Partial sets the spec rules out
+      // via compatible() are pruned together with all their supersets.
       std::vector<std::size_t> chosen;
+      std::vector<Operation> chosen_ops;
       for (std::size_t size = cap; size >= 1; --size) {
         chosen.clear();
+        chosen_ops.clear();
         if (try_subsets(state, mask, fired_completed, object, candidates, 0,
-                        size, chosen)) {
+                        size, chosen, chosen_ops)) {
           return true;
         }
       }
@@ -152,35 +159,50 @@ class Search {
                    std::size_t fired_completed, Symbol object,
                    const std::vector<std::size_t>& candidates,
                    std::size_t from, std::size_t remaining,
-                   std::vector<std::size_t>& chosen) {
+                   std::vector<std::size_t>& chosen,
+                   std::vector<Operation>& chosen_ops) {
     if (remaining == 0) {
-      return fire(state, mask, fired_completed, object, chosen);
+      return fire(state, mask, fired_completed, object, chosen, chosen_ops);
     }
     for (std::size_t i = from; i + remaining <= candidates.size(); ++i) {
       chosen.push_back(candidates[i]);
-      if (try_subsets(state, mask, fired_completed, object, candidates, i + 1,
-                      remaining - 1, chosen)) {
+      chosen_ops.push_back(ops_[candidates[i]].op);
+      if (!spec_.compatible(object, chosen_ops)) {
+        ++pruned_subsets_;
+      } else if (try_subsets(state, mask, fired_completed, object, candidates,
+                             i + 1, remaining - 1, chosen, chosen_ops)) {
         return true;
       }
       chosen.pop_back();
+      chosen_ops.pop_back();
     }
     return false;
   }
 
+  /// spec_.step through the per-search memo; the returned reference stays
+  /// valid across the recursive dfs below (node-based map, never erased).
+  const std::vector<CaStepResult>& stepped(
+      const SpecState& state, Symbol object,
+      const std::vector<std::size_t>& chosen,
+      const std::vector<Operation>& element_ops) {
+    encode_step_key(state, object, chosen, memo_key_);
+    if (const auto* cached = memo_.find(memo_key_)) return *cached;
+    return memo_.insert(StepKey(memo_key_),
+                        spec_.step(state, object, element_ops));
+  }
+
   bool fire(const SpecState& state, const Mask& mask,
             std::size_t fired_completed, Symbol object,
-            const std::vector<std::size_t>& chosen) {
-    std::vector<Operation> element_ops;
-    element_ops.reserve(chosen.size());
+            const std::vector<std::size_t>& chosen,
+            const std::vector<Operation>& element_ops) {
     std::size_t newly_completed = 0;
     for (std::size_t i : chosen) {
-      element_ops.push_back(ops_[i].op);
       if (!ops_[i].is_pending()) ++newly_completed;
     }
-    for (CaStepResult& sr : spec_.step(state, object, element_ops)) {
+    for (const CaStepResult& sr : stepped(state, object, chosen, element_ops)) {
       ++fired_elements_;
       Mask next_mask = mask;
-      for (std::size_t i : chosen) set_bit(next_mask, i);
+      for (std::size_t i : chosen) mask_set(next_mask, i);
       witness_.push_back(sr.element);
       if (dfs(sr.next, next_mask, fired_completed + newly_completed)) {
         return true;
@@ -194,10 +216,15 @@ class Search {
   const CaSpec& spec_;
   const CalCheckOptions& options_;
   HistoryIndex index_;
-  std::unordered_set<std::vector<std::int64_t>, KeyHash> visited_;
+  FingerprintSet fp_visited_;
+  std::unordered_set<std::vector<std::int64_t>, KeyHash> exact_visited_;
+  std::size_t exact_bytes_ = 0;
   std::vector<std::int64_t> key_scratch_;
+  StepKey memo_key_;
+  StepMemo<CaStepResult> memo_;
   std::vector<CaElement> witness_;
   std::size_t fired_elements_ = 0;
+  std::size_t pruned_subsets_ = 0;
   bool exhausted_ = false;
 };
 
@@ -232,8 +259,14 @@ class ParallelSearch {
     CalCheckResult result;
     result.ok = found_.load(std::memory_order_acquire);
     result.exhausted = exhausted_.load(std::memory_order_relaxed);
-    result.visited_states = visited_.size();
+    result.visited_states = options_.exact_visited ? exact_visited_.size()
+                                                   : fp_visited_.size();
     result.fired_elements = fired_elements_.load(std::memory_order_relaxed);
+    result.visited_bytes = options_.exact_visited ? exact_visited_.bytes()
+                                                  : fp_visited_.bytes();
+    result.step_cache_hits = memo_.hits();
+    result.step_cache_misses = memo_.misses();
+    result.pruned_subsets = pruned_subsets_.load(std::memory_order_relaxed);
     if (result.ok) {
       std::lock_guard<std::mutex> lock(witness_mu_);
       result.witness = CaTrace(witness_);
@@ -259,11 +292,17 @@ class ParallelSearch {
     found_.store(true, std::memory_order_release);
   }
 
+  /// Shared dedup of an encoded node; true iff this worker owns it.
+  bool insert_visited(std::vector<std::int64_t>&& key) {
+    if (options_.exact_visited) return exact_visited_.insert(std::move(key));
+    return fp_visited_.insert(fingerprint_key(key));
+  }
+
   void dfs(const SpecState& state, const Mask& mask,
            std::size_t fired_completed, std::size_t depth,
            std::vector<CaElement>& prefix) {
     if (cancelled()) return;
-    if (fired_completed == index_.completed) {
+    if (fired_completed == index_.completed()) {
       publish(prefix);
       return;
     }
@@ -276,7 +315,7 @@ class ParallelSearch {
 
     std::vector<std::int64_t> key;
     encode_node(state, mask, key);
-    if (!visited_.insert(std::move(key))) return;
+    if (!insert_visited(std::move(key))) return;
     visited_count_.fetch_add(1, std::memory_order_relaxed);
 
     std::unordered_map<Symbol, std::vector<std::size_t>> by_object;
@@ -287,6 +326,7 @@ class ParallelSearch {
     }
 
     std::vector<std::size_t> chosen;
+    std::vector<Operation> chosen_ops;
     for (const auto& [object, candidates] : by_object) {
       const std::size_t cap = spec_.max_element_size() == 0
                                   ? candidates.size()
@@ -294,8 +334,9 @@ class ParallelSearch {
                                              candidates.size());
       for (std::size_t size = cap; size >= 1; --size) {
         chosen.clear();
+        chosen_ops.clear();
         try_subsets(state, mask, fired_completed, depth, prefix, object,
-                    candidates, 0, size, chosen);
+                    candidates, 0, size, chosen, chosen_ops);
         if (cancelled()) return;
       }
     }
@@ -306,41 +347,60 @@ class ParallelSearch {
                    std::vector<CaElement>& prefix, Symbol object,
                    const std::vector<std::size_t>& candidates,
                    std::size_t from, std::size_t remaining,
-                   std::vector<std::size_t>& chosen) {
+                   std::vector<std::size_t>& chosen,
+                   std::vector<Operation>& chosen_ops) {
     if (remaining == 0) {
-      fire(state, mask, fired_completed, depth, prefix, object, chosen);
+      fire(state, mask, fired_completed, depth, prefix, object, chosen,
+           chosen_ops);
       return;
     }
     for (std::size_t i = from; i + remaining <= candidates.size(); ++i) {
       if (cancelled()) return;
       chosen.push_back(candidates[i]);
-      try_subsets(state, mask, fired_completed, depth, prefix, object,
-                  candidates, i + 1, remaining - 1, chosen);
+      chosen_ops.push_back(ops_[candidates[i]].op);
+      if (!spec_.compatible(object, chosen_ops)) {
+        pruned_subsets_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        try_subsets(state, mask, fired_completed, depth, prefix, object,
+                    candidates, i + 1, remaining - 1, chosen, chosen_ops);
+      }
       chosen.pop_back();
+      chosen_ops.pop_back();
     }
+  }
+
+  /// spec_.step through the shared sharded memo; returned reference is
+  /// stable (entries immutable, never erased — cal/step_cache.hpp).
+  const std::vector<CaStepResult>& stepped(
+      const SpecState& state, Symbol object,
+      const std::vector<std::size_t>& chosen,
+      const std::vector<Operation>& element_ops) {
+    StepKey key;
+    encode_step_key(state, object, chosen, key);
+    if (const auto* cached = memo_.find(key)) return *cached;
+    return memo_.insert(std::move(key),
+                        spec_.step(state, object, element_ops));
   }
 
   void fire(const SpecState& state, const Mask& mask,
             std::size_t fired_completed, std::size_t depth,
             std::vector<CaElement>& prefix, Symbol object,
-            const std::vector<std::size_t>& chosen) {
-    std::vector<Operation> element_ops;
-    element_ops.reserve(chosen.size());
+            const std::vector<std::size_t>& chosen,
+            const std::vector<Operation>& element_ops) {
     std::size_t newly_completed = 0;
     for (std::size_t i : chosen) {
-      element_ops.push_back(ops_[i].op);
       if (!ops_[i].is_pending()) ++newly_completed;
     }
-    for (CaStepResult& sr : spec_.step(state, object, element_ops)) {
+    for (const CaStepResult& sr : stepped(state, object, chosen, element_ops)) {
       if (cancelled()) return;
       fired_elements_.fetch_add(1, std::memory_order_relaxed);
       Mask next_mask = mask;
-      for (std::size_t i : chosen) set_bit(next_mask, i);
+      for (std::size_t i : chosen) mask_set(next_mask, i);
       if (depth < kForkDepth) {
         // Fork the subtree: the task owns a copy of the witness prefix.
         auto child_prefix = prefix;
         child_prefix.push_back(sr.element);
-        pool_.submit([this, next = std::move(sr.next), next_mask,
+        pool_.submit([this, next = sr.next, next_mask,
                       fired = fired_completed + newly_completed,
                       depth, p = std::move(child_prefix)]() mutable {
           dfs(next, next_mask, fired, depth + 1, p);
@@ -359,9 +419,12 @@ class ParallelSearch {
   const CalCheckOptions& options_;
   HistoryIndex index_;
   par::TaskPool pool_;
-  par::ShardedStateSet visited_;
+  par::ShardedStateSet exact_visited_;
+  par::ShardedFingerprintSet fp_visited_;
+  ShardedStepMemo<CaStepResult> memo_;
   std::atomic<std::size_t> visited_count_{0};
   std::atomic<std::size_t> fired_elements_{0};
+  std::atomic<std::size_t> pruned_subsets_{0};
   std::atomic<bool> found_{false};
   std::atomic<bool> exhausted_{false};
   std::mutex witness_mu_;

@@ -44,6 +44,12 @@ struct CalCheckOptions {
   /// to the sequential one, but the witness may be any (valid) witness and
   /// `visited_states` may vary slightly from run to run.
   std::size_t threads = 1;
+  /// Deduplicate visited nodes by their full encodings instead of the
+  /// default 128-bit fingerprints (cal/fingerprint.hpp). Fingerprints
+  /// shrink the visited set to 16 bytes/node at a ~2^-64 per-pair risk of
+  /// a false prune; this switch restores the stored-key table so tests can
+  /// pin verdict equality between the two modes.
+  bool exact_visited = false;
 };
 
 struct CalCheckResult {
@@ -56,6 +62,16 @@ struct CalCheckResult {
   /// Search effort diagnostics.
   std::size_t visited_states = 0;
   std::size_t fired_elements = 0;
+  /// Bytes held by the visited set when the search finished; the set only
+  /// grows, so this is also its peak (estimated key+node footprint in
+  /// exact mode, exact table bytes in fingerprint mode).
+  std::size_t visited_bytes = 0;
+  /// Spec-step memoization: transition sets served from the per-search
+  /// cache vs computed by CaSpec::step.
+  std::size_t step_cache_hits = 0;
+  std::size_t step_cache_misses = 0;
+  /// Candidate subsets discarded by CaSpec::compatible before any step().
+  std::size_t pruned_subsets = 0;
 
   explicit operator bool() const noexcept { return ok; }
 };

@@ -1,0 +1,119 @@
+// 128-bit node fingerprints and a flat open-addressing fingerprint set.
+//
+// The checkers' visited sets deduplicate flat `std::vector<int64_t>` node
+// encodings (spec state + fired mask). Storing the full encoding per node
+// is the dominant memory cost of a search; a 128-bit fingerprint — two
+// independent mixes of the encoding — shrinks each entry to 16 bytes in a
+// probed flat table, at a false-positive (false *prune*) probability of
+// ~2^-64 per node pair. That risk is acceptable for a checker diagnostic
+// and is gated: `CalCheckOptions::exact_visited` restores the stored-key
+// path, and the equivalence suites pin identical verdicts between modes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cal {
+
+struct Fingerprint128 {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend bool operator==(Fingerprint128 a, Fingerprint128 b) noexcept {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+/// Murmur3's 64-bit finalizer: full avalanche, bijective.
+[[nodiscard]] inline std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Fingerprints a node encoding with two independently seeded and
+/// independently folded mix chains. The all-zero fingerprint is remapped
+/// (it marks an empty table slot).
+[[nodiscard]] inline Fingerprint128 fingerprint_key(
+    const std::vector<std::int64_t>& key) noexcept {
+  std::uint64_t a = 0x9e3779b97f4a7c15ull ^
+                    (key.size() * 0xff51afd7ed558ccdull);
+  std::uint64_t b = 0xc2b2ae3d27d4eb4full +
+                    (key.size() * 0x165667b19e3779f9ull);
+  for (std::int64_t x : key) {
+    const auto w = static_cast<std::uint64_t>(x);
+    a = mix64(a ^ w);
+    b = mix64(b + (w ^ 0x9e3779b97f4a7c15ull));
+  }
+  Fingerprint128 fp{a, b};
+  if (fp.lo == 0 && fp.hi == 0) fp.lo = 1;
+  return fp;
+}
+
+/// A grow-on-demand open-addressing set of 128-bit fingerprints: flat
+/// storage, linear probing, max load factor 7/10 (expected probe chains
+/// stay short and the 16-byte slots are cache-dense). Entries are never
+/// erased, so the table's byte footprint is also its peak.
+class FingerprintSet {
+ public:
+  explicit FingerprintSet(std::size_t initial_capacity = 16) {
+    std::size_t cap = 16;
+    while (cap < initial_capacity) cap <<= 1;
+    slots_.assign(cap, Fingerprint128{});
+  }
+
+  /// Inserts `fp` (which must not be all-zero — fingerprint_key guarantees
+  /// that); returns true iff it was not already present.
+  bool insert(Fingerprint128 fp) {
+    if (10 * (size_ + 1) > 7 * slots_.size()) grow();
+    const std::size_t idx = probe(slots_, fp);
+    if (!is_empty(slots_[idx])) return false;
+    slots_[idx] = fp;
+    ++size_;
+    return true;
+  }
+
+  [[nodiscard]] bool contains(Fingerprint128 fp) const {
+    return !is_empty(slots_[probe(slots_, fp)]);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Bytes held by the table (== peak: the table never shrinks).
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return slots_.size() * sizeof(Fingerprint128);
+  }
+
+ private:
+  static bool is_empty(Fingerprint128 s) noexcept {
+    return s.lo == 0 && s.hi == 0;
+  }
+
+  /// Index of `fp`'s slot: its own if present, else the first free one.
+  static std::size_t probe(const std::vector<Fingerprint128>& slots,
+                           Fingerprint128 fp) noexcept {
+    const std::size_t mask = slots.size() - 1;
+    std::size_t idx = static_cast<std::size_t>(fp.lo) & mask;
+    while (!is_empty(slots[idx]) && !(slots[idx] == fp)) {
+      idx = (idx + 1) & mask;
+    }
+    return idx;
+  }
+
+  void grow() {
+    std::vector<Fingerprint128> next(slots_.size() * 2, Fingerprint128{});
+    for (Fingerprint128 fp : slots_) {
+      if (!is_empty(fp)) next[probe(next, fp)] = fp;
+    }
+    slots_.swap(next);
+  }
+
+  std::vector<Fingerprint128> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace cal

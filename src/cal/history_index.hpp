@@ -1,0 +1,91 @@
+// Per-history search index shared by the three checkers: real-time
+// predecessor lists, the completed count, and the fired-mask helpers.
+//
+// The predecessors of operation i are exactly the completed operations
+// whose response precedes i's invocation (Def. 3). Sorting the completed
+// operations by response index makes each predecessor list a *prefix* of
+// one shared order: a single sweep over the operations in invocation order
+// assigns every i its prefix length. Construction is O(n log n) and the
+// index stores O(n) words, replacing the old all-pairs O(n²) scan.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cal/history.hpp"
+
+namespace cal {
+
+/// Fired/closed/open sets over operation indices, one bit each.
+using StateMask = std::vector<std::uint64_t>;
+
+[[nodiscard]] inline bool mask_test(const StateMask& m, std::size_t i) {
+  return (m[i / 64] >> (i % 64)) & 1u;
+}
+inline void mask_set(StateMask& m, std::size_t i) {
+  m[i / 64] |= (1ull << (i % 64));
+}
+inline void mask_clear(StateMask& m, std::size_t i) {
+  m[i / 64] &= ~(1ull << (i % 64));
+}
+
+class HistoryIndex {
+ public:
+  explicit HistoryIndex(const std::vector<OpRecord>& ops) {
+    const std::size_t n = ops.size();
+    pred_count_.assign(n, 0);
+    by_res_.reserve(n);
+    std::vector<std::size_t> by_inv(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      by_inv[i] = i;
+      if (!ops[i].is_pending()) {
+        ++completed_;
+        by_res_.push_back(i);
+      }
+    }
+    std::sort(by_res_.begin(), by_res_.end(),
+              [&ops](std::size_t a, std::size_t b) {
+                return *ops[a].res_index < *ops[b].res_index;
+              });
+    std::sort(by_inv.begin(), by_inv.end(),
+              [&ops](std::size_t a, std::size_t b) {
+                return ops[a].inv_index < ops[b].inv_index;
+              });
+    // Sweep in invocation order: the returned-before-me prefix only grows.
+    std::size_t k = 0;
+    for (std::size_t i : by_inv) {
+      while (k < by_res_.size() &&
+             *ops[by_res_[k]].res_index < ops[i].inv_index) {
+        ++k;
+      }
+      pred_count_[i] = k;
+    }
+  }
+
+  /// Real-time predecessors of operation i, as indices into the checker's
+  /// operation array (a prefix of the response-sorted order).
+  [[nodiscard]] std::span<const std::size_t> preds(std::size_t i) const {
+    return {by_res_.data(), pred_count_[i]};
+  }
+
+  /// True iff i is unfired and every real-time predecessor has fired.
+  [[nodiscard]] bool enabled(std::size_t i, const StateMask& mask) const {
+    if (mask_test(mask, i)) return false;
+    for (std::size_t j : preds(i)) {
+      if (!mask_test(mask, j)) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::size_t completed() const noexcept { return completed_; }
+
+ private:
+  std::vector<std::size_t> by_res_;    ///< completed ops, by response index
+  std::vector<std::size_t> pred_count_;
+  std::size_t completed_ = 0;
+};
+
+}  // namespace cal

@@ -4,17 +4,18 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "cal/history_index.hpp"
+#include "cal/step_cache.hpp"
+
 namespace cal {
 
 namespace {
 
-using Mask = std::vector<std::uint64_t>;
+using Mask = StateMask;
 
-bool test_bit(const Mask& m, std::size_t i) {
-  return (m[i / 64] >> (i % 64)) & 1u;
-}
-void set_bit(Mask& m, std::size_t i) { m[i / 64] |= (1ull << (i % 64)); }
-void clear_bit(Mask& m, std::size_t i) { m[i / 64] &= ~(1ull << (i % 64)); }
+bool test_bit(const Mask& m, std::size_t i) { return mask_test(m, i); }
+void set_bit(Mask& m, std::size_t i) { mask_set(m, i); }
+void clear_bit(Mask& m, std::size_t i) { mask_clear(m, i); }
 
 struct KeyHash {
   std::size_t operator()(const std::vector<std::int64_t>& k) const noexcept {
@@ -26,17 +27,8 @@ class Search {
  public:
   Search(const std::vector<OpRecord>& ops, const IntervalSpec& spec,
          const IntervalCheckOptions& options)
-      : ops_(ops), spec_(spec), options_(options) {
-    preds_.resize(ops_.size());
+      : ops_(ops), spec_(spec), options_(options), index_(ops) {
     intervals_.assign(ops_.size(), {0, 0});
-    for (std::size_t i = 0; i < ops_.size(); ++i) {
-      if (!ops_[i].is_pending()) ++completed_;
-      for (std::size_t j = 0; j < ops_.size(); ++j) {
-        if (j != i && History::precedes(ops_[j], ops_[i])) {
-          preds_[i].push_back(j);
-        }
-      }
-    }
   }
 
   IntervalCheckResult run() {
@@ -47,6 +39,8 @@ class Search {
     result.ok = dfs(spec_.initial(), closed, open, 0, 0);
     result.exhausted = exhausted_;
     result.visited_states = visited_.size();
+    result.step_cache_hits = memo_.hits();
+    result.step_cache_misses = memo_.misses();
     if (result.ok) result.intervals = intervals_;
     return result;
   }
@@ -56,7 +50,7 @@ class Search {
   // *closed* (its response precedes our invocation in any explanation).
   bool may_start(std::size_t i, const Mask& closed, const Mask& open) const {
     if (test_bit(closed, i) || test_bit(open, i)) return false;
-    for (std::size_t j : preds_[i]) {
+    for (std::size_t j : index_.preds(i)) {
       if (!test_bit(closed, j)) return false;
     }
     return true;
@@ -66,7 +60,7 @@ class Search {
            std::size_t closed_completed, std::size_t round_no) {
     // Success: every completed operation has closed and nothing is left
     // half-open that the history says returned.
-    if (closed_completed == completed_) {
+    if (closed_completed == index_.completed()) {
       bool open_completed = false;
       for (std::size_t i = 0; i < ops_.size(); ++i) {
         if (test_bit(open, i) && !ops_[i].is_pending()) {
@@ -148,12 +142,35 @@ class Search {
     return false;
   }
 
+  /// spec_.round through the per-search memo. The participants' op indices
+  /// plus their (starts, ends) flags pin the query exactly — the round's
+  /// outcome never depends on the round number or the masks. The returned
+  /// reference stays valid across the recursion (node-based map).
+  const std::vector<IntervalRoundResult>& rounded(
+      const SpecState& state, Symbol object,
+      const std::vector<std::size_t>& participants,
+      const std::vector<IntervalOpRef>& refs) {
+    memo_key_.clear();
+    memo_key_.reserve(2 + participants.size() + state.size());
+    memo_key_.push_back(static_cast<std::int64_t>(object.id()));
+    memo_key_.push_back(static_cast<std::int64_t>(participants.size()));
+    for (std::size_t b = 0; b < participants.size(); ++b) {
+      memo_key_.push_back(static_cast<std::int64_t>(
+          (participants[b] << 2) | (refs[b].starts ? 1u : 0u) |
+          (refs[b].ends ? 2u : 0u)));
+    }
+    memo_key_.insert(memo_key_.end(), state.begin(), state.end());
+    if (const auto* cached = memo_.find(memo_key_)) return *cached;
+    return memo_.insert(StepKey(memo_key_), spec_.round(state, object, refs));
+  }
+
   bool step_round(const SpecState& state, const Mask& closed,
                   const Mask& open, std::size_t closed_completed,
                   std::size_t round_no, Symbol object,
                   const std::vector<std::size_t>& participants,
                   const std::vector<IntervalOpRef>& refs) {
-    for (const IntervalRoundResult& rr : spec_.round(state, object, refs)) {
+    for (const IntervalRoundResult& rr :
+         rounded(state, object, participants, refs)) {
       Mask next_closed = closed;
       Mask next_open = open;
       std::size_t next_cc = closed_completed;
@@ -180,9 +197,10 @@ class Search {
   const std::vector<OpRecord>& ops_;
   const IntervalSpec& spec_;
   const IntervalCheckOptions& options_;
-  std::vector<std::vector<std::size_t>> preds_;
-  std::size_t completed_ = 0;
+  HistoryIndex index_;
   std::unordered_set<std::vector<std::int64_t>, KeyHash> visited_;
+  StepKey memo_key_;
+  StepMemo<IntervalRoundResult> memo_;
   std::vector<std::pair<std::size_t, std::size_t>> intervals_;
   bool exhausted_ = false;
 };

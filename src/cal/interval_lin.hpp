@@ -64,6 +64,10 @@ struct IntervalCheckResult {
   bool ok = false;
   bool exhausted = false;
   std::size_t visited_states = 0;
+  /// Round memoization (cal/step_cache.hpp): round outcome sets served
+  /// from the per-search cache vs computed by IntervalSpec::round.
+  std::size_t step_cache_hits = 0;
+  std::size_t step_cache_misses = 0;
   /// On success, interval[i] = (first round, last round) of operation i of
   /// History::operations(); rounds are numbered globally across objects.
   std::optional<std::vector<std::pair<std::size_t, std::size_t>>> intervals;

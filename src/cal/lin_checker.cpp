@@ -2,16 +2,14 @@
 
 #include <unordered_set>
 
+#include "cal/history_index.hpp"
+#include "cal/step_cache.hpp"
+
 namespace cal {
 
 namespace {
 
-using Mask = std::vector<std::uint64_t>;
-
-bool test_bit(const Mask& m, std::size_t i) {
-  return (m[i / 64] >> (i % 64)) & 1u;
-}
-void set_bit(Mask& m, std::size_t i) { m[i / 64] |= (1ull << (i % 64)); }
+using Mask = StateMask;
 
 struct KeyHash {
   std::size_t operator()(const std::vector<std::int64_t>& k) const noexcept {
@@ -23,17 +21,7 @@ class Search {
  public:
   Search(const std::vector<OpRecord>& ops, const SequentialSpec& spec,
          const LinCheckOptions& options)
-      : ops_(ops), spec_(spec), options_(options) {
-    preds_.resize(ops_.size());
-    for (std::size_t i = 0; i < ops_.size(); ++i) {
-      if (!ops_[i].is_pending()) ++completed_;
-      for (std::size_t j = 0; j < ops_.size(); ++j) {
-        if (j != i && History::precedes(ops_[j], ops_[i])) {
-          preds_[i].push_back(j);
-        }
-      }
-    }
-  }
+      : ops_(ops), spec_(spec), options_(options), index_(ops) {}
 
   LinCheckResult run() {
     LinCheckResult result;
@@ -41,14 +29,32 @@ class Search {
     result.ok = dfs(spec_.initial(), mask, 0);
     result.exhausted = exhausted_;
     result.visited_states = visited_.size();
+    result.step_cache_hits = memo_.hits();
+    result.step_cache_misses = memo_.misses();
     if (result.ok) result.witness = witness_;
     return result;
   }
 
  private:
+  /// spec_.step through the per-search memo, keyed by (op index, state);
+  /// the same operation recurs in the same abstract state along many
+  /// fired-mask paths. The reference stays valid across the recursion.
+  const std::vector<SeqStepResult>& stepped(const SpecState& state,
+                                            std::size_t op_index) {
+    memo_key_.clear();
+    memo_key_.reserve(1 + state.size());
+    memo_key_.push_back(static_cast<std::int64_t>(op_index));
+    memo_key_.insert(memo_key_.end(), state.begin(), state.end());
+    if (const auto* cached = memo_.find(memo_key_)) return *cached;
+    const OpRecord& rec = ops_[op_index];
+    return memo_.insert(StepKey(memo_key_),
+                        spec_.step(state, rec.op.tid, rec.op.object,
+                                   rec.op.method, rec.op.arg, rec.op.ret));
+  }
+
   bool dfs(const SpecState& state, const Mask& mask,
            std::size_t fired_completed) {
-    if (fired_completed == completed_) return true;
+    if (fired_completed == index_.completed()) return true;
     if (options_.max_visited != 0 &&
         visited_.size() >= options_.max_visited) {
       exhausted_ = true;
@@ -65,23 +71,13 @@ class Search {
     if (!visited_.insert(std::move(key)).second) return false;
 
     for (std::size_t i = 0; i < ops_.size(); ++i) {
-      if (test_bit(mask, i)) continue;
       if (ops_[i].is_pending() && !options_.complete_pending) continue;
-      bool is_enabled = true;
-      for (std::size_t j : preds_[i]) {
-        if (!test_bit(mask, j)) {
-          is_enabled = false;
-          break;
-        }
-      }
-      if (!is_enabled) continue;
+      if (!index_.enabled(i, mask)) continue;
 
       const OpRecord& rec = ops_[i];
-      for (SeqStepResult& sr :
-           spec_.step(state, rec.op.tid, rec.op.object, rec.op.method,
-                      rec.op.arg, rec.op.ret)) {
+      for (const SeqStepResult& sr : stepped(state, i)) {
         Mask next = mask;
-        set_bit(next, i);
+        mask_set(next, i);
         Operation completed_op = rec.op;
         completed_op.ret = sr.ret;
         witness_.push_back(std::move(completed_op));
@@ -98,9 +94,10 @@ class Search {
   const std::vector<OpRecord>& ops_;
   const SequentialSpec& spec_;
   const LinCheckOptions& options_;
-  std::vector<std::vector<std::size_t>> preds_;
-  std::size_t completed_ = 0;
+  HistoryIndex index_;
   std::unordered_set<std::vector<std::int64_t>, KeyHash> visited_;
+  StepKey memo_key_;
+  StepMemo<SeqStepResult> memo_;
   std::vector<Operation> witness_;
   bool exhausted_ = false;
 };

@@ -31,6 +31,10 @@ struct LinCheckResult {
   /// On success: a witness linearization (sequence of completed operations).
   std::optional<std::vector<Operation>> witness;
   std::size_t visited_states = 0;
+  /// Spec-step memoization (cal/step_cache.hpp): transition sets served
+  /// from the per-search cache vs computed by SequentialSpec::step.
+  std::size_t step_cache_hits = 0;
+  std::size_t step_cache_misses = 0;
 
   explicit operator bool() const noexcept { return ok; }
 };

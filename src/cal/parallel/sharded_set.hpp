@@ -17,6 +17,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "cal/fingerprint.hpp"
 #include "cal/spec.hpp"
 
 namespace cal::par {
@@ -40,15 +41,20 @@ class ShardedStateSet {
     const std::size_t h = hash_state(key);
     Shard& shard = shards_[shard_of(h)];
     std::lock_guard<std::mutex> lock(shard.mu);
-    return shard.set.insert(key).second;
+    if (!shard.set.insert(key).second) return false;
+    shard.bytes += key_bytes(key);
+    return true;
   }
 
   /// As above, destructively (spares the copy when the key is new).
   bool insert(Key&& key) {
     const std::size_t h = hash_state(key);
+    const std::size_t kb = key_bytes(key);
     Shard& shard = shards_[shard_of(h)];
     std::lock_guard<std::mutex> lock(shard.mu);
-    return shard.set.insert(std::move(key)).second;
+    if (!shard.set.insert(std::move(key)).second) return false;
+    shard.bytes += kb;
+    return true;
   }
 
   [[nodiscard]] bool contains(const Key& key) const {
@@ -68,6 +74,26 @@ class ShardedStateSet {
     return total;
   }
 
+  /// Estimated bytes held by the stored keys (payload + per-node overhead);
+  /// the set only grows, so this is also its peak.
+  [[nodiscard]] std::size_t bytes() const {
+    std::size_t total = 0;
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      std::lock_guard<std::mutex> lock(shards_[i].mu);
+      total += shards_[i].bytes;
+    }
+    return total;
+  }
+
+  /// Estimated footprint of one stored key: payload, vector header, and
+  /// eight pointers of per-node overhead — hash-node link + cached hash,
+  /// the bucket slot (with growth slack), and the two 16-byte-aligned heap
+  /// chunk headers (node + vector data) a node-based table really pays.
+  [[nodiscard]] static std::size_t key_bytes(const Key& key) noexcept {
+    return key.size() * sizeof(std::int64_t) + sizeof(Key) +
+           8 * sizeof(void*);
+  }
+
  private:
   struct KeyHash {
     std::size_t operator()(const Key& k) const noexcept {
@@ -77,6 +103,7 @@ class ShardedStateSet {
   struct alignas(64) Shard {  // own cache line: no lock false-sharing
     mutable std::mutex mu;
     std::unordered_set<Key, KeyHash> set;
+    std::size_t bytes = 0;
   };
 
   // Buckets inside a shard use the hash's low bits; pick the shard from
@@ -84,6 +111,57 @@ class ShardedStateSet {
   [[nodiscard]] std::size_t shard_of(std::size_t h) const noexcept {
     return (h >> 48 ^ h >> 24) & mask_;
   }
+
+  std::unique_ptr<Shard[]> shards_;
+  std::size_t mask_ = 0;
+};
+
+/// The fingerprinted counterpart: shards of flat open-addressing
+/// Fingerprint128 tables (cal/fingerprint.hpp) behind the same striped
+/// locks. 16 bytes per visited node regardless of encoding length — the
+/// parallel CAL engine's default dedup table; ShardedStateSet remains the
+/// `exact_visited` path (and the explorer's sound merging table).
+class ShardedFingerprintSet {
+ public:
+  explicit ShardedFingerprintSet(std::size_t shard_count = 64) {
+    std::size_t n = 1;
+    while (n < shard_count) n <<= 1;
+    mask_ = n - 1;
+    shards_ = std::make_unique<Shard[]>(n);
+  }
+
+  /// Inserts the fingerprint; returns true iff it was not already present.
+  bool insert(Fingerprint128 fp) {
+    // The shard comes from the hi word, probing inside a shard from the lo
+    // word (FingerprintSet), so the two partitions stay independent.
+    Shard& shard = shards_[static_cast<std::size_t>(fp.hi) & mask_];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return shard.set.insert(fp);
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::size_t total = 0;
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      std::lock_guard<std::mutex> lock(shards_[i].mu);
+      total += shards_[i].set.size();
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::size_t bytes() const {
+    std::size_t total = 0;
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      std::lock_guard<std::mutex> lock(shards_[i].mu);
+      total += shards_[i].set.bytes();
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    FingerprintSet set{16};
+  };
 
   std::unique_ptr<Shard[]> shards_;
   std::size_t mask_ = 0;

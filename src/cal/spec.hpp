@@ -27,12 +27,23 @@ namespace cal {
 using SpecState = std::vector<std::int64_t>;
 
 [[nodiscard]] inline std::size_t hash_state(const SpecState& s) noexcept {
-  std::size_t h = 0xcbf29ce484222325ull;
+  // FNV-style fold, hardened for short states: the length seeds the hash
+  // (so zero elements and truncations move it) and a murmur3 avalanche
+  // finishes it (the bare xor-multiply fold lets small states cancel —
+  // e.g. {0, (c·p)⊕((c⊕1)·p)} and {1, 0} collided exactly; see
+  // CoreTypes.HashStateSeparatesShortStates).
+  std::uint64_t h = 0xcbf29ce484222325ull ^
+                    (s.size() * 0x9e3779b97f4a7c15ull);
   for (std::int64_t x : s) {
-    h ^= static_cast<std::size_t>(x);
+    h ^= static_cast<std::uint64_t>(x);
     h *= 0x100000001b3ull;
   }
-  return h;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return static_cast<std::size_t>(h);
 }
 
 /// One possible outcome of consuming a candidate CA-element: the successor
@@ -63,6 +74,20 @@ class CaSpec {
   [[nodiscard]] virtual std::vector<CaStepResult> step(
       const SpecState& state, Symbol object,
       const std::vector<Operation>& ops) const = 0;
+
+  /// Conservative feasibility pre-filter for the checkers' candidate-subset
+  /// enumeration. Called with a non-empty set of operations of `object`
+  /// (pending returns not yet filled in); must return false ONLY when no
+  /// admissible CA-element of this spec — in any abstract state — contains
+  /// all of `ops` together. The checkers prune every superset of an
+  /// incompatible set without consulting step(), so a spec that cannot
+  /// decide cheaply must return true (the default).
+  [[nodiscard]] virtual bool compatible(
+      Symbol object, const std::vector<Operation>& ops) const {
+    (void)object;
+    (void)ops;
+    return true;
+  }
 };
 
 /// One possible outcome of a sequential-spec transition.
@@ -103,6 +128,11 @@ class SeqAsCaSpec final : public CaSpec {
   [[nodiscard]] std::vector<CaStepResult> step(
       const SpecState& state, Symbol object,
       const std::vector<Operation>& ops) const override;
+  /// Sequential elements are singletons; any larger set is infeasible.
+  [[nodiscard]] bool compatible(
+      Symbol /*object*/, const std::vector<Operation>& ops) const override {
+    return ops.size() <= 1;
+  }
 
  private:
   std::shared_ptr<const SequentialSpec> seq_;

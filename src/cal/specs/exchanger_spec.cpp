@@ -22,6 +22,33 @@ bool admits_success(const Operation& op, std::int64_t got) {
 
 }  // namespace
 
+bool ExchangerSpec::compatible(Symbol object,
+                               const std::vector<Operation>& ops) const {
+  if (object != object_ || ops.size() > 2 || ops.empty()) return false;
+  for (const Operation& op : ops) {
+    if (op.method != method_ || op.arg.kind() != Value::Kind::kInt) {
+      return false;
+    }
+    if (op.ret) {
+      if (op.ret->kind() != Value::Kind::kPair) return false;
+      // A concrete failure must echo the thread's own offer; no element —
+      // singleton or pair — admits any other failed shape.
+      if (!op.ret->pair_ok() && op.ret->pair_int() != op.arg.as_int()) {
+        return false;
+      }
+    }
+  }
+  if (ops.size() == 2) {
+    const Operation& a = ops[0];
+    const Operation& b = ops[1];
+    return a.tid != b.tid && admits_success(a, b.arg.as_int()) &&
+           admits_success(b, a.arg.as_int());
+  }
+  // A lone operation may still pair with a later candidate, so only the
+  // per-operation shape checks above apply.
+  return true;
+}
+
 std::vector<CaStepResult> ExchangerSpec::step(
     const SpecState& state, Symbol object,
     const std::vector<Operation>& ops) const {

@@ -31,6 +31,12 @@ class ExchangerSpec final : public CaSpec {
       const SpecState& state, Symbol object,
       const std::vector<Operation>& ops) const override;
 
+  /// Feasibility pre-filter: elements are value-matched pairs or failures,
+  /// so the checker's pair enumeration drops from all 2-subsets to the
+  /// value-compatible ones without calling step().
+  [[nodiscard]] bool compatible(
+      Symbol object, const std::vector<Operation>& ops) const override;
+
   [[nodiscard]] Symbol object() const noexcept { return object_; }
   [[nodiscard]] Symbol method() const noexcept { return method_; }
 

@@ -4,6 +4,32 @@
 
 namespace cal {
 
+bool SnapshotSpec::compatible(Symbol object,
+                              const std::vector<Operation>& ops) const {
+  if (object != object_ || ops.empty()) return false;
+  const Value* snap = nullptr;
+  for (const Operation& op : ops) {
+    if (op.method != method_ || op.arg.kind() != Value::Kind::kInt) {
+      return false;
+    }
+    if (!op.ret) continue;
+    if (op.ret->kind() != Value::Kind::kVec) return false;
+    if (snap != nullptr && *snap != *op.ret) return false;
+    snap = &*op.ret;
+  }
+  if (snap != nullptr) {
+    // The common snapshot contains every member's own write; a superset
+    // only adds writes, so a missing one can never be repaired.
+    const std::vector<std::int64_t>& seen = snap->as_vec();
+    for (const Operation& op : ops) {
+      if (!std::binary_search(seen.begin(), seen.end(), op.arg.as_int())) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 std::vector<CaStepResult> SnapshotSpec::step(
     const SpecState& state, Symbol object,
     const std::vector<Operation>& ops) const {

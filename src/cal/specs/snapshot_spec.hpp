@@ -28,6 +28,12 @@ class SnapshotSpec final : public CaSpec {
       const SpecState& state, Symbol object,
       const std::vector<Operation>& ops) const override;
 
+  /// Feasibility pre-filter: all members of an element return one common
+  /// snapshot containing their own writes — mismatched concrete returns
+  /// prune the (unbounded) subset lattice above them.
+  [[nodiscard]] bool compatible(
+      Symbol object, const std::vector<Operation>& ops) const override;
+
  private:
   Symbol object_;
   Symbol method_;

@@ -33,6 +33,36 @@ bool take_admits(const Operation& op, const std::optional<std::int64_t>& got) {
 
 }  // namespace
 
+bool SyncQueueSpec::compatible(Symbol object,
+                               const std::vector<Operation>& ops) const {
+  if (object != object_ || ops.size() > 2 || ops.empty()) return false;
+  for (const Operation& op : ops) {
+    if (op.method == put_sym()) {
+      if (!put_admits(op, false) && !put_admits(op, true)) return false;
+    } else if (op.method == take_sym()) {
+      if (!take_admits(op, std::nullopt) &&
+          !(op.ret && op.ret->kind() == Value::Kind::kPair &&
+            op.ret->pair_ok())) {
+        return false;
+      }
+    } else {
+      return false;
+    }
+  }
+  if (ops.size() == 2) {
+    const Operation* put = nullptr;
+    const Operation* take = nullptr;
+    for (const Operation& op : ops) {
+      if (op.method == put_sym()) put = &op;
+      if (op.method == take_sym()) take = &op;
+    }
+    return put != nullptr && take != nullptr && put->tid != take->tid &&
+           put_admits(*put, /*paired=*/true) &&
+           take_admits(*take, put->arg.as_int());
+  }
+  return true;
+}
+
 std::vector<CaStepResult> SyncQueueSpec::step(
     const SpecState& state, Symbol object,
     const std::vector<Operation>& ops) const {

@@ -33,6 +33,12 @@ class SyncQueueSpec final : public CaSpec {
       const SpecState& state, Symbol object,
       const std::vector<Operation>& ops) const override;
 
+  /// Feasibility pre-filter: only value-matched put/take pairs (or lone
+  /// timeouts) can form elements, so put/put and take/take subsets — and
+  /// value-mismatched hand-offs — are pruned before step().
+  [[nodiscard]] bool compatible(
+      Symbol object, const std::vector<Operation>& ops) const override;
+
  private:
   Symbol object_;
 };

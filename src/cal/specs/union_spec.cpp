@@ -55,6 +55,14 @@ SpecState UnionCaSpec::replace_sub_state(const SpecState& state,
   return out;
 }
 
+bool UnionCaSpec::compatible(Symbol object,
+                             const std::vector<Operation>& ops) const {
+  for (const Entry& e : specs_) {
+    if (e.first == object) return e.second->compatible(object, ops);
+  }
+  return false;  // no registered spec for this object
+}
+
 std::vector<CaStepResult> UnionCaSpec::step(
     const SpecState& state, Symbol object,
     const std::vector<Operation>& ops) const {

@@ -28,6 +28,11 @@ class UnionCaSpec final : public CaSpec {
   [[nodiscard]] std::vector<CaStepResult> step(
       const SpecState& state, Symbol object,
       const std::vector<Operation>& ops) const override;
+  /// Dispatches to the owning sub-spec's pre-filter (so e.g. an
+  /// elimination-stack union inherits the exchanger's pair pruning);
+  /// unregistered objects admit nothing.
+  [[nodiscard]] bool compatible(
+      Symbol object, const std::vector<Operation>& ops) const override;
 
  private:
   /// Splits the product state into the i-th sub-state (by length prefix).

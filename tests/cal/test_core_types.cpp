@@ -5,6 +5,7 @@
 
 #include "cal/ca_trace.hpp"
 #include "cal/history.hpp"
+#include "cal/spec.hpp"
 #include "cal/symbol.hpp"
 #include "cal/value.hpp"
 
@@ -160,6 +161,22 @@ TEST(CaTraceTest, AllOpsFlattens) {
   CaTrace t;
   t.append(CaElement::swap(e, Symbol{"exchange"}, 1, 3, 2, 4));
   EXPECT_EQ(t.all_ops().size(), 2u);
+}
+
+TEST(CoreTypes, HashStateSeparatesShortStates) {
+  // The un-hardened FNV fold (no length seed, no avalanche) collided on
+  // short states. Derivation of an exact collision under the old fold
+  // h = ((c ^ x0) * p ^ x1) * p: pick {1, 0} vs {0, y} and solve for y —
+  // y = (c*p) ^ ((c^1)*p). The hardened hash must separate that pair and
+  // the common truncation/zero-extension shapes.
+  const std::uint64_t c = 0xcbf29ce484222325ull;  // FNV offset basis
+  const std::uint64_t p = 0x100000001b3ull;       // FNV prime
+  const auto y = static_cast<std::int64_t>((c * p) ^ ((c ^ 1ull) * p));
+  EXPECT_NE(hash_state({0, y}), hash_state({1, 0}));
+  EXPECT_NE(hash_state({}), hash_state({0}));
+  EXPECT_NE(hash_state({0}), hash_state({0, 0}));
+  EXPECT_NE(hash_state({5}), hash_state({5, 0}));
+  EXPECT_NE(hash_state({1, 2}), hash_state({2, 1}));
 }
 
 }  // namespace

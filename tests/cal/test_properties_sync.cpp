@@ -55,7 +55,7 @@ History generate_sync_queue_run(std::mt19937& rng, std::size_t n_threads,
         const std::size_t t = can[rnd(can.size())];
         const bool is_put = rnd(2) == 0;
         Active a{static_cast<ThreadId>(t + 1), is_put,
-                 is_put ? next_value++ : 0};
+                 is_put ? next_value++ : 0, false, Value::unit()};
         if (is_put) {
           h.invoke(a.tid, kQ, Symbol{"put"}, iv(a.v));
         } else {

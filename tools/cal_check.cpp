@@ -13,9 +13,12 @@
 // exit code is the worst per-file code.
 //
 // Flags:
-//   --jobs N      check files concurrently on N pool workers (0 = #cores)
-//   --threads N   worker threads *inside* each CAL check
-//                 (CalCheckOptions::threads; 0 = #cores, default 1)
+//   --jobs N          check files concurrently on N pool workers (0 = #cores)
+//   --threads N       worker threads *inside* each CAL check
+//                     (CalCheckOptions::threads; 0 = #cores, default 1)
+//   --exact-visited   dedup visited search nodes by full stored keys
+//                     instead of 128-bit fingerprints (CalCheckOptions::
+//                     exact_visited): more memory, zero false-prune risk
 //
 // Specs:
 //   exchanger:<obj>[:<method>]   CA-spec (swap pairs / failures)
@@ -58,13 +61,15 @@ struct Options {
   bool quiet = false;
   std::size_t jobs = 1;     // files checked concurrently (0 = #cores)
   std::size_t threads = 1;  // CalCheckOptions::threads per check
+  bool exact_visited = false;  // CalCheckOptions::exact_visited
 };
 
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --spec KIND:OBJ[:METHOD] [--checker cal|lin|set-lin]\n"
-      "          [--quiet] [--jobs N] [--threads N] [FILE...]\n"
+      "          [--quiet] [--jobs N] [--threads N] [--exact-visited] "
+      "[FILE...]\n"
       "spec kinds: exchanger sync-queue snapshot stack central-stack queue "
       "register\n",
       argv0);
@@ -136,12 +141,19 @@ CheckOutcome check_text(const Options& opt, const SpecBundle& spec,
   if (opt.checker == "cal") {
     CalCheckOptions copts;
     copts.threads = opt.threads;
+    copts.exact_visited = opt.exact_visited;
     CalChecker checker(*spec.ca, copts);
     CalCheckResult r = checker.check(history);
+    const std::string stats =
+        std::to_string(r.visited_states) + " states, " +
+        std::to_string(r.visited_bytes) + " visited bytes, " +
+        std::to_string(r.step_cache_hits) + "/" +
+        std::to_string(r.step_cache_hits + r.step_cache_misses) +
+        " step-cache hits, " + std::to_string(r.pruned_subsets) +
+        " pruned subsets";
     if (r.ok) {
       if (!opt.quiet) {
-        o.out = "ACCEPT: CA-linearizable (" +
-                std::to_string(r.visited_states) + " states)\nwitness:\n" +
+        o.out = "ACCEPT: CA-linearizable (" + stats + ")\nwitness:\n" +
                 format_trace(*r.witness);
       } else {
         o.out = "ACCEPT\n";
@@ -149,8 +161,7 @@ CheckOutcome check_text(const Options& opt, const SpecBundle& spec,
       o.code = 0;
       return o;
     }
-    o.out = "REJECT: not CA-linearizable (" +
-            std::to_string(r.visited_states) + " states" +
+    o.out = "REJECT: not CA-linearizable (" + stats +
             (r.exhausted ? ", search exhausted" : "") + ")\n";
     o.code = 1;
     return o;
@@ -228,24 +239,24 @@ void emit(const CheckOutcome& o, const std::string& prefix) {
 
 int main(int argc, char** argv) {
   Options opt;
-  bool bad_number = false;
-  auto parse_count = [&](const char* s) -> std::size_t {
+  std::string bad_count_flag;  // name of the flag with a bad count value
+  auto parse_count = [&](const char* flag, const char* s) -> std::size_t {
     // stoul accepts "-1" (wrapping to SIZE_MAX), so insist on plain digits
     // and a sane ceiling before handing the count to a thread pool.
     const std::string v = s;
     if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos) {
-      bad_number = true;
+      bad_count_flag = flag;
       return 1;
     }
     try {
       const unsigned long n = std::stoul(v);
       if (n > 4096) {
-        bad_number = true;
+        bad_count_flag = flag;
         return 1;
       }
       return static_cast<std::size_t>(n);
     } catch (...) {
-      bad_number = true;
+      bad_count_flag = flag;
       return 1;
     }
   };
@@ -258,9 +269,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--quiet") {
       opt.quiet = true;
     } else if (arg == "--jobs" && i + 1 < argc) {
-      opt.jobs = parse_count(argv[++i]);
+      opt.jobs = parse_count("--jobs", argv[++i]);
     } else if (arg == "--threads" && i + 1 < argc) {
-      opt.threads = parse_count(argv[++i]);
+      opt.threads = parse_count("--threads", argv[++i]);
+    } else if (arg == "--exact-visited") {
+      opt.exact_visited = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -271,7 +284,12 @@ int main(int argc, char** argv) {
       opt.files.push_back(arg);
     }
   }
-  if (opt.spec.empty() || bad_number) return usage(argv[0]);
+  if (!bad_count_flag.empty()) {
+    std::fprintf(stderr, "bad count for %s: expected 0..4096\n",
+                 bad_count_flag.c_str());
+    return usage(argv[0]);
+  }
+  if (opt.spec.empty()) return usage(argv[0]);
 
   const auto spec = make_spec(opt.spec);
   if (!spec) {
