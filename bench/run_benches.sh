@@ -1,18 +1,23 @@
 #!/usr/bin/env bash
-# Runs the state-compression benchmark series (T-MEM / T-CHECK) and writes
-# google-benchmark's aggregate JSON — median ns/op plus the visited-set
-# counters (visited, visited_bytes, step_hits, step_misses, pruned) — to
-# BENCH_state_compression.json in the repo root.
+# Runs the checked-in benchmark series and writes google-benchmark's
+# aggregate JSON (median ns/op plus per-series counters):
+#
+#   * T-MEM / T-CHECK — state-compression series (bench_checker_scaling)
+#     → BENCH_state_compression.json
+#   * T-STREAM — streaming incremental checker vs batch (bench_streaming)
+#     → BENCH_streaming.json
 #
 # Environment overrides:
-#   BUILD_DIR  build tree containing bench/bench_checker_scaling
-#              (default: build)
-#   REPS       benchmark repetitions per series; the JSON keeps only the
-#              mean/median/stddev aggregates (default: 5)
-#   FILTER     benchmark name regex (default: the CalChecker overlap-width
-#              series, the ones the compression targets)
-#   OUT        output JSON path (default: BENCH_state_compression.json next
-#              to this script's repo root)
+#   BUILD_DIR      build tree containing the bench binaries (default: build)
+#   REPS           benchmark repetitions per series; the JSON keeps only the
+#                  mean/median/stddev aggregates (default: 5)
+#   FILTER         state-compression benchmark name regex (default: the
+#                  CalChecker overlap-width series)
+#   OUT            state-compression output JSON path (default:
+#                  BENCH_state_compression.json in the repo root)
+#   STREAM_FILTER  streaming benchmark name regex (default: BM_Streaming)
+#   STREAM_OUT     streaming output JSON path (default: BENCH_streaming.json
+#                  in the repo root)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -20,18 +25,23 @@ BUILD_DIR="${BUILD_DIR:-$ROOT/build}"
 REPS="${REPS:-5}"
 FILTER="${FILTER:-BM_CalChecker_OverlapWidth}"
 OUT="${OUT:-$ROOT/BENCH_state_compression.json}"
+STREAM_FILTER="${STREAM_FILTER:-BM_Streaming}"
+STREAM_OUT="${STREAM_OUT:-$ROOT/BENCH_streaming.json}"
 
-BIN="$BUILD_DIR/bench/bench_checker_scaling"
-if [[ ! -x "$BIN" ]]; then
-  echo "error: $BIN not built (cmake -B \"$BUILD_DIR\" -S \"$ROOT\" && cmake --build \"$BUILD_DIR\" -j)" >&2
-  exit 1
-fi
+run_series() {
+  local bin="$1" filter="$2" out="$3"
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not built (cmake -B \"$BUILD_DIR\" -S \"$ROOT\" && cmake --build \"$BUILD_DIR\" -j)" >&2
+    exit 1
+  fi
+  "$bin" \
+    --benchmark_filter="$filter" \
+    --benchmark_repetitions="$REPS" \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_out_format=json \
+    --benchmark_out="$out"
+  echo "wrote $out"
+}
 
-"$BIN" \
-  --benchmark_filter="$FILTER" \
-  --benchmark_repetitions="$REPS" \
-  --benchmark_report_aggregates_only=true \
-  --benchmark_out_format=json \
-  --benchmark_out="$OUT"
-
-echo "wrote $OUT"
+run_series "$BUILD_DIR/bench/bench_checker_scaling" "$FILTER" "$OUT"
+run_series "$BUILD_DIR/bench/bench_streaming" "$STREAM_FILTER" "$STREAM_OUT"

@@ -1,18 +1,11 @@
 #include "cal/cal_checker.hpp"
 
-#include <algorithm>
-#include <atomic>
-#include <mutex>
-#include <unordered_map>
-#include <unordered_set>
 #include <utility>
+#include <vector>
 
-#include "cal/fingerprint.hpp"
-#include "cal/history_index.hpp"
-#include "cal/parallel/sharded_set.hpp"
+#include "cal/engine/cal_policy.hpp"
+#include "cal/engine/search_engine.hpp"
 #include "cal/parallel/task_pool.hpp"
-#include "cal/spec.hpp"
-#include "cal/step_cache.hpp"
 
 namespace cal {
 
@@ -34,413 +27,39 @@ std::vector<CaStepResult> SeqAsCaSpec::step(
 
 namespace {
 
-using Mask = StateMask;
-
-struct KeyHash {
-  std::size_t operator()(const std::vector<std::int64_t>& k) const noexcept {
-    return hash_state(k);
-  }
-};
-
-/// Serializes a search node (spec state + fired mask) into `out` for the
-/// visited set. `out` is a reusable scratch buffer — the caller only pays
-/// an allocation when the node is actually new.
-void encode_node(const SpecState& state, const Mask& mask,
-                 std::vector<std::int64_t>& out) {
-  out.clear();
-  out.reserve(state.size() + mask.size() + 1);
-  out.push_back(static_cast<std::int64_t>(state.size()));
-  out.insert(out.end(), state.begin(), state.end());
-  for (std::uint64_t w : mask) {
-    out.push_back(static_cast<std::int64_t>(w));
-  }
+template <bool kShared, typename Driver>
+CalCheckResult collect_result(Driver& driver,
+                              engine::CalPolicy<kShared>& policy) {
+  const engine::SearchStats stats = driver.run();
+  CalCheckResult result;
+  result.ok = stats.found;
+  result.exhausted = stats.exhausted;
+  result.visited_states = stats.visited_states;
+  result.visited_bytes = stats.visited_bytes;
+  result.fired_elements = policy.fired_elements();
+  result.pruned_subsets = policy.pruned_subsets();
+  result.step_cache_hits = policy.step_cache_hits();
+  result.step_cache_misses = policy.step_cache_misses();
+  if (result.ok) result.witness = CaTrace(driver.witness());
+  return result;
 }
-
-/// Memo key for spec_.step(state, object, element): the chosen operations
-/// are identified by their indices in the search's fixed array, so the key
-/// pins the query exactly without serializing Values (cal/step_cache.hpp).
-void encode_step_key(const SpecState& state, Symbol object,
-                     const std::vector<std::size_t>& chosen, StepKey& out) {
-  out.clear();
-  out.reserve(2 + chosen.size() + state.size());
-  out.push_back(static_cast<std::int64_t>(object.id()));
-  out.push_back(static_cast<std::int64_t>(chosen.size()));
-  for (std::size_t i : chosen) {
-    out.push_back(static_cast<std::int64_t>(i));
-  }
-  out.insert(out.end(), state.begin(), state.end());
-}
-
-class Search {
- public:
-  Search(const std::vector<OpRecord>& ops, const CaSpec& spec,
-         const CalCheckOptions& options)
-      : ops_(ops), spec_(spec), options_(options), index_(ops) {}
-
-  CalCheckResult run() {
-    CalCheckResult result;
-    Mask mask((ops_.size() + 63) / 64, 0);
-    SpecState state = spec_.initial();
-    witness_.clear();
-    const bool ok = dfs(state, mask, /*fired_completed=*/0);
-    result.ok = ok;
-    result.exhausted = exhausted_;
-    result.visited_states = visited_size();
-    result.fired_elements = fired_elements_;
-    result.visited_bytes =
-        options_.exact_visited ? exact_bytes_ : fp_visited_.bytes();
-    result.step_cache_hits = memo_.hits();
-    result.step_cache_misses = memo_.misses();
-    result.pruned_subsets = pruned_subsets_;
-    if (ok) result.witness = CaTrace(witness_);
-    return result;
-  }
-
- private:
-  [[nodiscard]] std::size_t visited_size() const {
-    return options_.exact_visited ? exact_visited_.size()
-                                  : fp_visited_.size();
-  }
-
-  /// Dedups the node currently encoded in `key_scratch_`; true iff new.
-  bool insert_visited() {
-    if (options_.exact_visited) {
-      if (!exact_visited_.insert(key_scratch_).second) return false;
-      exact_bytes_ += par::ShardedStateSet::key_bytes(key_scratch_);
-      return true;
-    }
-    return fp_visited_.insert(fingerprint_key(key_scratch_));
-  }
-
-  bool dfs(const SpecState& state, const Mask& mask,
-           std::size_t fired_completed) {
-    if (fired_completed == index_.completed()) return true;
-    if (options_.max_visited != 0 && visited_size() >= options_.max_visited) {
-      exhausted_ = true;
-      return false;
-    }
-
-    encode_node(state, mask, key_scratch_);
-    if (!insert_visited()) return false;
-
-    // Collect enabled operations, grouped by object. Pending invocations
-    // participate only when completion is allowed.
-    std::unordered_map<Symbol, std::vector<std::size_t>> by_object;
-    for (std::size_t i = 0; i < ops_.size(); ++i) {
-      if (!index_.enabled(i, mask)) continue;
-      if (ops_[i].is_pending() && !options_.complete_pending) continue;
-      by_object[ops_[i].op.object].push_back(i);
-    }
-
-    for (const auto& [object, candidates] : by_object) {
-      const std::size_t cap = spec_.max_element_size() == 0
-                                  ? candidates.size()
-                                  : std::min(spec_.max_element_size(),
-                                             candidates.size());
-      // Enumerate non-empty subsets of `candidates` of size <= cap, largest
-      // first (multi-operation CA-elements are the common witness shape for
-      // CA-objects, e.g. exchanger swaps). Partial sets the spec rules out
-      // via compatible() are pruned together with all their supersets.
-      std::vector<std::size_t> chosen;
-      std::vector<Operation> chosen_ops;
-      for (std::size_t size = cap; size >= 1; --size) {
-        chosen.clear();
-        chosen_ops.clear();
-        if (try_subsets(state, mask, fired_completed, object, candidates, 0,
-                        size, chosen, chosen_ops)) {
-          return true;
-        }
-      }
-    }
-    return false;
-  }
-
-  bool try_subsets(const SpecState& state, const Mask& mask,
-                   std::size_t fired_completed, Symbol object,
-                   const std::vector<std::size_t>& candidates,
-                   std::size_t from, std::size_t remaining,
-                   std::vector<std::size_t>& chosen,
-                   std::vector<Operation>& chosen_ops) {
-    if (remaining == 0) {
-      return fire(state, mask, fired_completed, object, chosen, chosen_ops);
-    }
-    for (std::size_t i = from; i + remaining <= candidates.size(); ++i) {
-      chosen.push_back(candidates[i]);
-      chosen_ops.push_back(ops_[candidates[i]].op);
-      if (!spec_.compatible(object, chosen_ops)) {
-        ++pruned_subsets_;
-      } else if (try_subsets(state, mask, fired_completed, object, candidates,
-                             i + 1, remaining - 1, chosen, chosen_ops)) {
-        return true;
-      }
-      chosen.pop_back();
-      chosen_ops.pop_back();
-    }
-    return false;
-  }
-
-  /// spec_.step through the per-search memo; the returned reference stays
-  /// valid across the recursive dfs below (node-based map, never erased).
-  const std::vector<CaStepResult>& stepped(
-      const SpecState& state, Symbol object,
-      const std::vector<std::size_t>& chosen,
-      const std::vector<Operation>& element_ops) {
-    encode_step_key(state, object, chosen, memo_key_);
-    if (const auto* cached = memo_.find(memo_key_)) return *cached;
-    return memo_.insert(StepKey(memo_key_),
-                        spec_.step(state, object, element_ops));
-  }
-
-  bool fire(const SpecState& state, const Mask& mask,
-            std::size_t fired_completed, Symbol object,
-            const std::vector<std::size_t>& chosen,
-            const std::vector<Operation>& element_ops) {
-    std::size_t newly_completed = 0;
-    for (std::size_t i : chosen) {
-      if (!ops_[i].is_pending()) ++newly_completed;
-    }
-    for (const CaStepResult& sr : stepped(state, object, chosen, element_ops)) {
-      ++fired_elements_;
-      Mask next_mask = mask;
-      for (std::size_t i : chosen) mask_set(next_mask, i);
-      witness_.push_back(sr.element);
-      if (dfs(sr.next, next_mask, fired_completed + newly_completed)) {
-        return true;
-      }
-      witness_.pop_back();
-    }
-    return false;
-  }
-
-  const std::vector<OpRecord>& ops_;
-  const CaSpec& spec_;
-  const CalCheckOptions& options_;
-  HistoryIndex index_;
-  FingerprintSet fp_visited_;
-  std::unordered_set<std::vector<std::int64_t>, KeyHash> exact_visited_;
-  std::size_t exact_bytes_ = 0;
-  std::vector<std::int64_t> key_scratch_;
-  StepKey memo_key_;
-  StepMemo<CaStepResult> memo_;
-  std::vector<CaElement> witness_;
-  std::size_t fired_elements_ = 0;
-  std::size_t pruned_subsets_ = 0;
-  bool exhausted_ = false;
-};
-
-/// The multi-threaded engine. Explores the same memoized search space as
-/// `Search`: nodes above kForkDepth fork each successor into a pool task
-/// (carrying its own witness prefix), deeper nodes recurse sequentially.
-/// All tasks share the striped-lock visited set — whichever worker inserts
-/// a node first owns its subtree; every other path into it prunes, exactly
-/// like the sequential memoization. The first published witness cancels
-/// the remaining tasks cooperatively, so acceptance short-circuits just
-/// like the sequential engine; rejection still requires (shared-table)
-/// exhaustion. Verdicts are therefore identical to the sequential engine;
-/// only the choice of witness and the diagnostic counters may differ.
-class ParallelSearch {
- public:
-  ParallelSearch(const std::vector<OpRecord>& ops, const CaSpec& spec,
-                 const CalCheckOptions& options, std::size_t threads)
-      : ops_(ops),
-        spec_(spec),
-        options_(options),
-        index_(ops),
-        pool_(threads) {}
-
-  CalCheckResult run() {
-    Mask mask((ops_.size() + 63) / 64, 0);
-    pool_.submit([this, state = spec_.initial(), mask]() mutable {
-      std::vector<CaElement> prefix;
-      dfs(state, mask, /*fired_completed=*/0, /*depth=*/0, prefix);
-    });
-    pool_.wait_idle();
-
-    CalCheckResult result;
-    result.ok = found_.load(std::memory_order_acquire);
-    result.exhausted = exhausted_.load(std::memory_order_relaxed);
-    result.visited_states = options_.exact_visited ? exact_visited_.size()
-                                                   : fp_visited_.size();
-    result.fired_elements = fired_elements_.load(std::memory_order_relaxed);
-    result.visited_bytes = options_.exact_visited ? exact_visited_.bytes()
-                                                  : fp_visited_.bytes();
-    result.step_cache_hits = memo_.hits();
-    result.step_cache_misses = memo_.misses();
-    result.pruned_subsets = pruned_subsets_.load(std::memory_order_relaxed);
-    if (result.ok) {
-      std::lock_guard<std::mutex> lock(witness_mu_);
-      result.witness = CaTrace(witness_);
-    }
-    return result;
-  }
-
- private:
-  /// Nodes at depth < kForkDepth submit their successors as tasks instead
-  /// of recursing. Two levels is enough to flood the pool: the fan-out of
-  /// a search root is #objects × #subsets × #spec-outcomes.
-  static constexpr std::size_t kForkDepth = 2;
-
-  [[nodiscard]] bool cancelled() const {
-    return found_.load(std::memory_order_relaxed) ||
-           exhausted_.load(std::memory_order_relaxed);
-  }
-
-  void publish(const std::vector<CaElement>& prefix) {
-    std::lock_guard<std::mutex> lock(witness_mu_);
-    if (found_.load(std::memory_order_relaxed)) return;
-    witness_ = prefix;
-    found_.store(true, std::memory_order_release);
-  }
-
-  /// Shared dedup of an encoded node; true iff this worker owns it.
-  bool insert_visited(std::vector<std::int64_t>&& key) {
-    if (options_.exact_visited) return exact_visited_.insert(std::move(key));
-    return fp_visited_.insert(fingerprint_key(key));
-  }
-
-  void dfs(const SpecState& state, const Mask& mask,
-           std::size_t fired_completed, std::size_t depth,
-           std::vector<CaElement>& prefix) {
-    if (cancelled()) return;
-    if (fired_completed == index_.completed()) {
-      publish(prefix);
-      return;
-    }
-    if (options_.max_visited != 0 &&
-        visited_count_.load(std::memory_order_relaxed) >=
-            options_.max_visited) {
-      exhausted_.store(true, std::memory_order_relaxed);
-      return;
-    }
-
-    std::vector<std::int64_t> key;
-    encode_node(state, mask, key);
-    if (!insert_visited(std::move(key))) return;
-    visited_count_.fetch_add(1, std::memory_order_relaxed);
-
-    std::unordered_map<Symbol, std::vector<std::size_t>> by_object;
-    for (std::size_t i = 0; i < ops_.size(); ++i) {
-      if (!index_.enabled(i, mask)) continue;
-      if (ops_[i].is_pending() && !options_.complete_pending) continue;
-      by_object[ops_[i].op.object].push_back(i);
-    }
-
-    std::vector<std::size_t> chosen;
-    std::vector<Operation> chosen_ops;
-    for (const auto& [object, candidates] : by_object) {
-      const std::size_t cap = spec_.max_element_size() == 0
-                                  ? candidates.size()
-                                  : std::min(spec_.max_element_size(),
-                                             candidates.size());
-      for (std::size_t size = cap; size >= 1; --size) {
-        chosen.clear();
-        chosen_ops.clear();
-        try_subsets(state, mask, fired_completed, depth, prefix, object,
-                    candidates, 0, size, chosen, chosen_ops);
-        if (cancelled()) return;
-      }
-    }
-  }
-
-  void try_subsets(const SpecState& state, const Mask& mask,
-                   std::size_t fired_completed, std::size_t depth,
-                   std::vector<CaElement>& prefix, Symbol object,
-                   const std::vector<std::size_t>& candidates,
-                   std::size_t from, std::size_t remaining,
-                   std::vector<std::size_t>& chosen,
-                   std::vector<Operation>& chosen_ops) {
-    if (remaining == 0) {
-      fire(state, mask, fired_completed, depth, prefix, object, chosen,
-           chosen_ops);
-      return;
-    }
-    for (std::size_t i = from; i + remaining <= candidates.size(); ++i) {
-      if (cancelled()) return;
-      chosen.push_back(candidates[i]);
-      chosen_ops.push_back(ops_[candidates[i]].op);
-      if (!spec_.compatible(object, chosen_ops)) {
-        pruned_subsets_.fetch_add(1, std::memory_order_relaxed);
-      } else {
-        try_subsets(state, mask, fired_completed, depth, prefix, object,
-                    candidates, i + 1, remaining - 1, chosen, chosen_ops);
-      }
-      chosen.pop_back();
-      chosen_ops.pop_back();
-    }
-  }
-
-  /// spec_.step through the shared sharded memo; returned reference is
-  /// stable (entries immutable, never erased — cal/step_cache.hpp).
-  const std::vector<CaStepResult>& stepped(
-      const SpecState& state, Symbol object,
-      const std::vector<std::size_t>& chosen,
-      const std::vector<Operation>& element_ops) {
-    StepKey key;
-    encode_step_key(state, object, chosen, key);
-    if (const auto* cached = memo_.find(key)) return *cached;
-    return memo_.insert(std::move(key),
-                        spec_.step(state, object, element_ops));
-  }
-
-  void fire(const SpecState& state, const Mask& mask,
-            std::size_t fired_completed, std::size_t depth,
-            std::vector<CaElement>& prefix, Symbol object,
-            const std::vector<std::size_t>& chosen,
-            const std::vector<Operation>& element_ops) {
-    std::size_t newly_completed = 0;
-    for (std::size_t i : chosen) {
-      if (!ops_[i].is_pending()) ++newly_completed;
-    }
-    for (const CaStepResult& sr : stepped(state, object, chosen, element_ops)) {
-      if (cancelled()) return;
-      fired_elements_.fetch_add(1, std::memory_order_relaxed);
-      Mask next_mask = mask;
-      for (std::size_t i : chosen) mask_set(next_mask, i);
-      if (depth < kForkDepth) {
-        // Fork the subtree: the task owns a copy of the witness prefix.
-        auto child_prefix = prefix;
-        child_prefix.push_back(sr.element);
-        pool_.submit([this, next = sr.next, next_mask,
-                      fired = fired_completed + newly_completed,
-                      depth, p = std::move(child_prefix)]() mutable {
-          dfs(next, next_mask, fired, depth + 1, p);
-        });
-      } else {
-        prefix.push_back(sr.element);
-        dfs(sr.next, next_mask, fired_completed + newly_completed, depth + 1,
-            prefix);
-        prefix.pop_back();
-      }
-    }
-  }
-
-  const std::vector<OpRecord>& ops_;
-  const CaSpec& spec_;
-  const CalCheckOptions& options_;
-  HistoryIndex index_;
-  par::TaskPool pool_;
-  par::ShardedStateSet exact_visited_;
-  par::ShardedFingerprintSet fp_visited_;
-  ShardedStepMemo<CaStepResult> memo_;
-  std::atomic<std::size_t> visited_count_{0};
-  std::atomic<std::size_t> fired_elements_{0};
-  std::atomic<std::size_t> pruned_subsets_{0};
-  std::atomic<bool> found_{false};
-  std::atomic<bool> exhausted_{false};
-  std::mutex witness_mu_;
-  std::vector<CaElement> witness_;
-};
 
 }  // namespace
 
 CalCheckResult CalChecker::check(const std::vector<OpRecord>& ops) const {
+  engine::SearchOptions sopts;
+  sopts.max_visited = options_.max_visited;
+  sopts.exact_visited = options_.exact_visited;
   const std::size_t threads = par::resolve_threads(options_.threads);
   if (threads > 1) {
-    ParallelSearch search(ops, spec_, options_, threads);
-    return search.run();
+    engine::CalPolicy<true> policy(ops, spec_, options_.complete_pending);
+    engine::ParallelSearch<engine::CalPolicy<true>> driver(policy, sopts,
+                                                           threads);
+    return collect_result(driver, policy);
   }
-  Search search(ops, spec_, options_);
-  return search.run();
+  engine::CalPolicy<false> policy(ops, spec_, options_.complete_pending);
+  engine::SequentialSearch<engine::CalPolicy<false>> driver(policy, sopts);
+  return collect_result(driver, policy);
 }
 
 CalCheckResult CalChecker::check(const History& history) const {

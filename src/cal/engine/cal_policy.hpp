@@ -1,0 +1,195 @@
+// CAL membership (Def. 6) as a search-engine policy.
+//
+// Nodes are Wing–Gong states (spec state, fired-set, #completed fired);
+// successors fire one CA-element: a non-empty subset of enabled operations
+// of one object (enabled = every real-time predecessor already fired, so
+// candidate sets are automatically ≺H-antichains), enumerated largest
+// first with CaSpec::compatible pruning partial subsets together with all
+// their supersets, and each subset stepped through the per-search spec
+// memo. Pending invocations participate only when completion is allowed.
+// The goal is every completed operation fired. Labels are the fired
+// CA-elements, so an accept-mode witness is exactly a trace T ∈ 𝒯 with
+// H^c ⊑CAL T.
+//
+// The expansion order replicates the pre-engine checker line for line —
+// with the sequential driver and exact dedup this policy is bit-for-bit
+// the historical CalChecker, witness included.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cal/ca_trace.hpp"
+#include "cal/engine/policy_base.hpp"
+#include "cal/engine/search_engine.hpp"
+#include "cal/history.hpp"
+#include "cal/history_index.hpp"
+#include "cal/spec.hpp"
+
+namespace cal::engine {
+
+/// Memo key for spec.step(state, object, element): the chosen operations
+/// are identified by their indices in the search's fixed array, so the key
+/// pins the query exactly without serializing Values (cal/step_cache.hpp).
+inline void encode_cal_step_key(const SpecState& state, Symbol object,
+                                const std::vector<std::size_t>& chosen,
+                                StepKey& out) {
+  out.clear();
+  out.reserve(2 + chosen.size() + state.size());
+  out.push_back(static_cast<std::int64_t>(object.id()));
+  out.push_back(static_cast<std::int64_t>(chosen.size()));
+  for (std::size_t i : chosen) {
+    out.push_back(static_cast<std::int64_t>(i));
+  }
+  out.insert(out.end(), state.begin(), state.end());
+}
+
+template <bool kShared>
+class CalPolicy {
+ public:
+  struct Node {
+    SpecState state;
+    StateMask fired;
+    std::size_t fired_completed;
+  };
+  using Label = CaElement;
+
+  CalPolicy(const std::vector<OpRecord>& ops, const CaSpec& spec,
+            bool complete_pending)
+      : ops_(ops),
+        spec_(spec),
+        complete_pending_(complete_pending),
+        index_(ops) {}
+
+  std::vector<Node> roots() const {
+    return {Node{spec_.initial(), StateMask((ops_.size() + 63) / 64, 0), 0}};
+  }
+
+  bool is_goal(const Node& n) const {
+    return n.fired_completed == index_.completed();
+  }
+
+  void encode(const Node& n, NodeKey& out) const {
+    encode_state_and_masks(n.state, {&n.fired}, out);
+  }
+
+  void on_enter(const Node&, std::size_t) {}
+  bool cancelled() const { return false; }
+
+  template <typename Emit>
+  void expand(const Node& node, std::size_t /*depth*/,
+              const std::vector<Label>& /*prefix*/, Emit&& emit) {
+    // Collect enabled operations, grouped by object. Pending invocations
+    // participate only when completion is allowed.
+    std::unordered_map<Symbol, std::vector<std::size_t>> by_object;
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (!index_.enabled(i, node.fired)) continue;
+      if (ops_[i].is_pending() && !complete_pending_) continue;
+      by_object[ops_[i].op.object].push_back(i);
+    }
+
+    // Enumerate non-empty subsets of each object's candidates, largest
+    // first (multi-operation CA-elements are the common witness shape for
+    // CA-objects, e.g. exchanger swaps).
+    std::vector<std::size_t> chosen;
+    std::vector<Operation> chosen_ops;
+    for (const auto& [object, candidates] : by_object) {
+      const std::size_t cap =
+          spec_.max_element_size() == 0
+              ? candidates.size()
+              : std::min(spec_.max_element_size(), candidates.size());
+      for (std::size_t size = cap; size >= 1; --size) {
+        chosen.clear();
+        chosen_ops.clear();
+        if (!try_subsets(node, object, candidates, 0, size, chosen,
+                         chosen_ops, emit)) {
+          return;
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t fired_elements() const {
+    return read_counter(fired_elements_);
+  }
+  [[nodiscard]] std::size_t pruned_subsets() const {
+    return read_counter(pruned_subsets_);
+  }
+  [[nodiscard]] std::size_t step_cache_hits() const { return memo_.hits(); }
+  [[nodiscard]] std::size_t step_cache_misses() const {
+    return memo_.misses();
+  }
+
+ private:
+  /// False = the driver asked to stop (goal found / cancelled).
+  template <typename Emit>
+  bool try_subsets(const Node& node, Symbol object,
+                   const std::vector<std::size_t>& candidates,
+                   std::size_t from, std::size_t remaining,
+                   std::vector<std::size_t>& chosen,
+                   std::vector<Operation>& chosen_ops, Emit& emit) {
+    if (remaining == 0) {
+      return fire(node, object, chosen, chosen_ops, emit);
+    }
+    for (std::size_t i = from; i + remaining <= candidates.size(); ++i) {
+      chosen.push_back(candidates[i]);
+      chosen_ops.push_back(ops_[candidates[i]].op);
+      bool keep_going = true;
+      if (!spec_.compatible(object, chosen_ops)) {
+        bump(pruned_subsets_);
+      } else {
+        keep_going = try_subsets(node, object, candidates, i + 1,
+                                 remaining - 1, chosen, chosen_ops, emit);
+      }
+      chosen.pop_back();
+      chosen_ops.pop_back();
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+
+  /// spec_.step through the memo; the returned reference stays valid
+  /// across the recursion (node-based / sharded map, never erased).
+  const std::vector<CaStepResult>& stepped(
+      const SpecState& state, Symbol object,
+      const std::vector<std::size_t>& chosen,
+      const std::vector<Operation>& element_ops) {
+    StepKey key;
+    encode_cal_step_key(state, object, chosen, key);
+    if (const auto* cached = memo_.find(key)) return *cached;
+    return memo_.insert(std::move(key),
+                        spec_.step(state, object, element_ops));
+  }
+
+  template <typename Emit>
+  bool fire(const Node& node, Symbol object,
+            const std::vector<std::size_t>& chosen,
+            const std::vector<Operation>& element_ops, Emit& emit) {
+    std::size_t newly_completed = 0;
+    for (std::size_t i : chosen) {
+      if (!ops_[i].is_pending()) ++newly_completed;
+    }
+    for (const CaStepResult& sr :
+         stepped(node.state, object, chosen, element_ops)) {
+      bump(fired_elements_);
+      Node next{sr.next, node.fired, node.fired_completed + newly_completed};
+      for (std::size_t i : chosen) mask_set(next.fired, i);
+      if (!emit(std::move(next), CaElement(sr.element))) return false;
+    }
+    return true;
+  }
+
+  const std::vector<OpRecord>& ops_;
+  const CaSpec& spec_;
+  bool complete_pending_;
+  HistoryIndex index_;
+  StepMemoFor<kShared, CaStepResult> memo_;
+  Counter<kShared> fired_elements_{0};
+  Counter<kShared> pruned_subsets_{0};
+};
+
+}  // namespace cal::engine

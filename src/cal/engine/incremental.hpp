@@ -1,0 +1,162 @@
+// Streaming (incremental) CAL membership checking.
+//
+// The batch CalChecker re-searches the whole history on every query. This
+// frontend instead consumes actions *as they are published* — from a
+// runtime::Recorder cursor, a file tail, or any other action stream — and
+// re-decides membership window-by-window with bounded latency: a violation
+// is reported within one window of the response that causes it.
+//
+// Algorithm. After window w the checker holds the *frontier*: every search
+// state in which all operations completed by the end of window w have
+// fired (plus any subset of still-pending invocations, whose return values
+// the spec chose). The frontier is complete because every operation
+// completed by window w precedes — in real time — every operation invoked
+// later, so any witness for any extension must fire all of them before
+// anything newer: every witness threads through a frontier state. Window
+// w+1 then runs one engine collect-mode search (engine/search_engine.hpp)
+// with the frontier as its roots and the newly visible operations as its
+// alphabet, collecting the new frontier from its goal states. An empty
+// frontier is a violation, and the final verdict after finish() equals the
+// batch verdict on the full history (engine-equivalence tests pin this on
+// the whole corpus).
+//
+// Two mechanisms keep this sound and scalable:
+//
+//  * pending returns — firing a still-pending invocation commits to the
+//    return value the spec chose. Each frontier entry records these
+//    choices; when the real response arrives, entries that guessed a
+//    different value are dropped (and the guess participates in the
+//    window-search node encoding, so explanations differing only in a
+//    guess are not merged);
+//  * retirement — an operation that has completed and is fired in *every*
+//    frontier entry can never be unfired: it leaves the active set, so
+//    window searches and node encodings scale with the (small) set of
+//    still-undecided operations, not with the length of the run.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cal/action.hpp"
+#include "cal/ca_trace.hpp"
+#include "cal/history.hpp"
+#include "cal/spec.hpp"
+#include "cal/value.hpp"
+
+namespace cal::engine {
+
+struct IncrementalOptions {
+  /// Actions consumed between window checks (the violation-detection
+  /// latency bound). finish() checks any shorter remainder.
+  std::size_t window = 16;
+  /// Per-window node cap; 0 = unlimited. Tripping it makes the stream
+  /// verdict inconclusive (`exhausted`), mirroring the batch checker.
+  std::size_t max_visited = 0;
+  /// Accept explanations that fire invocations left pending at the end of
+  /// the stream (completion by response extension), as in CalCheckOptions.
+  /// Window searches always fire mid-stream pending operations — those may
+  /// still complete later — so with this off the restriction is applied at
+  /// finish(): explanations that fired a never-completed operation are
+  /// discarded.
+  bool complete_pending = true;
+  /// Worker threads per window search (engine parallel driver); 1 =
+  /// sequential, 0 = one per hardware thread.
+  std::size_t threads = 1;
+  /// Exact stored-key dedup instead of 128-bit fingerprints.
+  bool exact_visited = false;
+  /// Carry a full witness trace in every frontier entry (off saves the
+  /// copying on long runs; witness() is then unavailable).
+  bool track_witness = true;
+};
+
+struct IncrementalStatus {
+  /// No violation so far (final verdict once `finished`).
+  bool ok = true;
+  /// A window search hit max_visited; `ok` is then inconclusive-negative.
+  bool exhausted = false;
+  /// finish() was called; `ok` is the batch-equivalent verdict.
+  bool finished = false;
+  std::size_t actions_consumed = 0;
+  std::size_t operations = 0;  ///< invocations seen
+  std::size_t completed = 0;   ///< responses seen
+  std::size_t windows_checked = 0;
+  /// Surviving explanations after the last window check.
+  std::size_t frontier_size = 1;
+  /// Operations still in play for window searches (not yet retired).
+  std::size_t active_ops = 0;
+  std::size_t retired_ops = 0;
+  /// Cumulative engine nodes over all window searches.
+  std::size_t visited_states = 0;
+  /// 1-based window of the violation; 0 = none.
+  std::size_t violation_window = 0;
+  /// Human-readable cause when !ok.
+  std::string reason;
+};
+
+/// One surviving explanation: a spec state reachable by firing exactly the
+/// listed active operations (every retired one, and for the pending ones
+/// among them the return values committed to). Implementation detail of
+/// IncrementalChecker, public only for the window-search policy.
+struct FrontierEntry {
+  SpecState state;
+  /// Global ids of fired, non-retired operations, ascending.
+  std::vector<std::size_t> fired;
+  /// Return values committed to for fired-while-pending operations,
+  /// ascending by global id (a subset of `fired`).
+  std::vector<std::pair<std::size_t, Value>> pending_rets;
+  /// Fired CA-elements from the start of the stream (when track_witness).
+  std::vector<CaElement> witness;
+};
+
+class IncrementalChecker {
+ public:
+  explicit IncrementalChecker(const CaSpec& spec,
+                              IncrementalOptions options = {});
+
+  /// Consumes one action; runs a window check every `options.window`
+  /// actions. After a violation (or finish()) further pushes are ignored.
+  void push(const Action& action);
+
+  /// Convenience: push every action of `history` in order.
+  void push(const History& history);
+
+  /// Checks the buffered remainder and seals the verdict: afterwards
+  /// status().ok equals CalChecker::check on the full consumed history
+  /// (modulo `exhausted` and the fingerprint false-prune risk).
+  void finish();
+
+  [[nodiscard]] bool ok() const noexcept { return status_.ok; }
+  [[nodiscard]] const IncrementalStatus& status() const noexcept {
+    return status_;
+  }
+
+  /// On acceptance (after finish(), with track_witness): a witness trace
+  /// explaining every completed operation of the stream.
+  [[nodiscard]] std::optional<CaTrace> witness() const;
+
+ private:
+  void fail(std::string reason);
+  /// Drops frontier entries whose committed pending returns contradict the
+  /// responses that arrived since the previous window.
+  void apply_responses();
+  void check_window();
+  /// Retires operations that completed and are fired in every entry.
+  void retire();
+
+  const CaSpec& spec_;
+  IncrementalOptions options_;
+  IncrementalStatus status_;
+
+  std::vector<OpRecord> ops_;  ///< every operation ever seen, by global id
+  std::vector<bool> retired_;
+  std::unordered_map<ThreadId, std::size_t> open_;  ///< tid → open op id
+  std::vector<std::size_t> newly_completed_;  ///< since the last window
+  std::size_t buffered_ = 0;  ///< actions since the last window check
+  std::vector<FrontierEntry> frontier_;
+};
+
+}  // namespace cal::engine

@@ -1,216 +1,63 @@
 #include "cal/interval_lin.hpp"
 
-#include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
+#include <vector>
 
-#include "cal/history_index.hpp"
-#include "cal/step_cache.hpp"
+#include "cal/engine/interval_policy.hpp"
+#include "cal/engine/search_engine.hpp"
+#include "cal/parallel/task_pool.hpp"
 
 namespace cal {
 
 namespace {
 
-using Mask = StateMask;
-
-bool test_bit(const Mask& m, std::size_t i) { return mask_test(m, i); }
-void set_bit(Mask& m, std::size_t i) { mask_set(m, i); }
-void clear_bit(Mask& m, std::size_t i) { mask_clear(m, i); }
-
-struct KeyHash {
-  std::size_t operator()(const std::vector<std::int64_t>& k) const noexcept {
-    return hash_state(k);
-  }
-};
-
-class Search {
- public:
-  Search(const std::vector<OpRecord>& ops, const IntervalSpec& spec,
-         const IntervalCheckOptions& options)
-      : ops_(ops), spec_(spec), options_(options), index_(ops) {
-    intervals_.assign(ops_.size(), {0, 0});
-  }
-
-  IntervalCheckResult run() {
-    IntervalCheckResult result;
-    const std::size_t words = (ops_.size() + 63) / 64;
-    Mask closed(words, 0);
-    Mask open(words, 0);
-    result.ok = dfs(spec_.initial(), closed, open, 0, 0);
-    result.exhausted = exhausted_;
-    result.visited_states = visited_.size();
-    result.step_cache_hits = memo_.hits();
-    result.step_cache_misses = memo_.misses();
-    if (result.ok) result.intervals = intervals_;
-    return result;
-  }
-
- private:
-  // An operation may start when every completed real-time predecessor has
-  // *closed* (its response precedes our invocation in any explanation).
-  bool may_start(std::size_t i, const Mask& closed, const Mask& open) const {
-    if (test_bit(closed, i) || test_bit(open, i)) return false;
-    for (std::size_t j : index_.preds(i)) {
-      if (!test_bit(closed, j)) return false;
-    }
-    return true;
-  }
-
-  bool dfs(const SpecState& state, const Mask& closed, const Mask& open,
-           std::size_t closed_completed, std::size_t round_no) {
-    // Success: every completed operation has closed and nothing is left
-    // half-open that the history says returned.
-    if (closed_completed == index_.completed()) {
-      bool open_completed = false;
-      for (std::size_t i = 0; i < ops_.size(); ++i) {
-        if (test_bit(open, i) && !ops_[i].is_pending()) {
-          open_completed = true;
-          break;
-        }
-      }
-      if (!open_completed) return true;
-    }
-    if (options_.max_visited != 0 &&
-        visited_.size() >= options_.max_visited) {
-      exhausted_ = true;
-      return false;
-    }
-
-    std::vector<std::int64_t> key;
-    key.reserve(state.size() + closed.size() + open.size() + 1);
-    key.push_back(static_cast<std::int64_t>(state.size()));
-    key.insert(key.end(), state.begin(), state.end());
-    for (std::uint64_t w : closed) key.push_back(static_cast<std::int64_t>(w));
-    for (std::uint64_t w : open) key.push_back(static_cast<std::int64_t>(w));
-    if (!visited_.insert(std::move(key)).second) return false;
-
-    // Rounds are per-object: participants are the currently open operations
-    // of the object plus any newly starting ones.
-    std::unordered_map<Symbol, std::vector<std::size_t>> startable;
-    std::unordered_map<Symbol, std::vector<std::size_t>> open_by_object;
-    for (std::size_t i = 0; i < ops_.size(); ++i) {
-      if (test_bit(open, i)) {
-        open_by_object[ops_[i].op.object].push_back(i);
-      } else if (may_start(i, closed, open)) {
-        if (ops_[i].is_pending() && !options_.complete_pending) continue;
-        startable[ops_[i].op.object].push_back(i);
+template <bool kShared, typename Driver>
+IntervalCheckResult collect_result(Driver& driver,
+                                   engine::IntervalPolicy<kShared>& policy,
+                                   std::size_t n_ops) {
+  const engine::SearchStats stats = driver.run();
+  IntervalCheckResult result;
+  result.ok = stats.found;
+  result.exhausted = stats.exhausted;
+  result.visited_states = stats.visited_states;
+  result.visited_bytes = stats.visited_bytes;
+  result.step_cache_hits = policy.step_cache_hits();
+  result.step_cache_misses = policy.step_cache_misses();
+  if (result.ok) {
+    // The witness label path is the round sequence: label r is round r, so
+    // each operation's interval is read straight off its starts/ends flags.
+    std::vector<std::pair<std::size_t, std::size_t>> intervals(n_ops, {0, 0});
+    const auto witness = driver.witness();
+    for (std::size_t r = 0; r < witness.size(); ++r) {
+      for (const auto& part : witness[r].parts) {
+        if (part.starts) intervals[part.op].first = r;
+        if (part.ends) intervals[part.op].second = r;
       }
     }
-
-    std::unordered_set<Symbol> objects;
-    for (const auto& kv : startable) objects.insert(kv.first);
-    for (const auto& kv : open_by_object) objects.insert(kv.first);
-
-    for (Symbol object : objects) {
-      const auto& st = startable[object];
-      const auto& op = open_by_object[object];
-      // Enumerate New ⊆ startable by bitmask (candidate sets are small).
-      const std::size_t sn = st.size();
-      for (std::size_t new_bits = 0; new_bits < (1ull << sn); ++new_bits) {
-        std::vector<std::size_t> participants = op;
-        std::vector<bool> starts(op.size(), false);
-        for (std::size_t b = 0; b < sn; ++b) {
-          if (new_bits & (1ull << b)) {
-            participants.push_back(st[b]);
-            starts.push_back(true);
-          }
-        }
-        if (participants.empty()) continue;
-        if (spec_.max_round_size() != 0 &&
-            participants.size() > spec_.max_round_size()) {
-          continue;
-        }
-        // Enumerate Close ⊆ participants.
-        const std::size_t pn = participants.size();
-        for (std::size_t close_bits = 0; close_bits < (1ull << pn);
-             ++close_bits) {
-          if (new_bits == 0 && close_bits == 0) continue;  // no-op round
-          std::vector<IntervalOpRef> refs;
-          refs.reserve(pn);
-          for (std::size_t b = 0; b < pn; ++b) {
-            refs.push_back(IntervalOpRef{ops_[participants[b]].op, starts[b],
-                                         (close_bits >> b) & 1u ? true
-                                                                : false});
-          }
-          if (step_round(state, closed, open, closed_completed, round_no,
-                         object, participants, refs)) {
-            return true;
-          }
-        }
-      }
-    }
-    return false;
+    result.intervals = std::move(intervals);
   }
-
-  /// spec_.round through the per-search memo. The participants' op indices
-  /// plus their (starts, ends) flags pin the query exactly — the round's
-  /// outcome never depends on the round number or the masks. The returned
-  /// reference stays valid across the recursion (node-based map).
-  const std::vector<IntervalRoundResult>& rounded(
-      const SpecState& state, Symbol object,
-      const std::vector<std::size_t>& participants,
-      const std::vector<IntervalOpRef>& refs) {
-    memo_key_.clear();
-    memo_key_.reserve(2 + participants.size() + state.size());
-    memo_key_.push_back(static_cast<std::int64_t>(object.id()));
-    memo_key_.push_back(static_cast<std::int64_t>(participants.size()));
-    for (std::size_t b = 0; b < participants.size(); ++b) {
-      memo_key_.push_back(static_cast<std::int64_t>(
-          (participants[b] << 2) | (refs[b].starts ? 1u : 0u) |
-          (refs[b].ends ? 2u : 0u)));
-    }
-    memo_key_.insert(memo_key_.end(), state.begin(), state.end());
-    if (const auto* cached = memo_.find(memo_key_)) return *cached;
-    return memo_.insert(StepKey(memo_key_), spec_.round(state, object, refs));
-  }
-
-  bool step_round(const SpecState& state, const Mask& closed,
-                  const Mask& open, std::size_t closed_completed,
-                  std::size_t round_no, Symbol object,
-                  const std::vector<std::size_t>& participants,
-                  const std::vector<IntervalOpRef>& refs) {
-    for (const IntervalRoundResult& rr :
-         rounded(state, object, participants, refs)) {
-      Mask next_closed = closed;
-      Mask next_open = open;
-      std::size_t next_cc = closed_completed;
-      for (std::size_t b = 0; b < refs.size(); ++b) {
-        const std::size_t i = participants[b];
-        if (refs[b].starts) {
-          intervals_[i].first = round_no;
-          set_bit(next_open, i);
-        }
-        if (refs[b].ends) {
-          intervals_[i].second = round_no;
-          clear_bit(next_open, i);
-          set_bit(next_closed, i);
-          if (!ops_[i].is_pending()) ++next_cc;
-        }
-      }
-      if (dfs(rr.next, next_closed, next_open, next_cc, round_no + 1)) {
-        return true;
-      }
-    }
-    return false;
-  }
-
-  const std::vector<OpRecord>& ops_;
-  const IntervalSpec& spec_;
-  const IntervalCheckOptions& options_;
-  HistoryIndex index_;
-  std::unordered_set<std::vector<std::int64_t>, KeyHash> visited_;
-  StepKey memo_key_;
-  StepMemo<IntervalRoundResult> memo_;
-  std::vector<std::pair<std::size_t, std::size_t>> intervals_;
-  bool exhausted_ = false;
-};
+  return result;
+}
 
 }  // namespace
 
 IntervalCheckResult IntervalLinChecker::check(
     const std::vector<OpRecord>& ops) const {
-  Search search(ops, spec_, options_);
-  return search.run();
+  engine::SearchOptions sopts;
+  sopts.max_visited = options_.max_visited;
+  sopts.exact_visited = options_.exact_visited;
+  const std::size_t threads = par::resolve_threads(options_.threads);
+  if (threads > 1) {
+    engine::IntervalPolicy<true> policy(ops, spec_,
+                                        options_.complete_pending);
+    engine::ParallelSearch<engine::IntervalPolicy<true>> driver(policy, sopts,
+                                                                threads);
+    return collect_result(driver, policy, ops.size());
+  }
+  engine::IntervalPolicy<false> policy(ops, spec_, options_.complete_pending);
+  engine::SequentialSearch<engine::IntervalPolicy<false>> driver(policy,
+                                                                 sopts);
+  return collect_result(driver, policy, ops.size());
 }
 
 IntervalCheckResult IntervalLinChecker::check(const History& history) const {

@@ -58,12 +58,20 @@ class IntervalSpec {
 struct IntervalCheckOptions {
   std::size_t max_visited = 0;  ///< 0 = unlimited
   bool complete_pending = true;
+  /// Worker threads (1 = sequential, bit-for-bit the historical checker;
+  /// 0 = one per hardware thread). Parallel verdicts are identical; the
+  /// chosen intervals and the diagnostic counters may differ.
+  std::size_t threads = 1;
+  /// Exact stored-key dedup instead of the default 128-bit fingerprints.
+  bool exact_visited = false;
 };
 
 struct IntervalCheckResult {
   bool ok = false;
   bool exhausted = false;
   std::size_t visited_states = 0;
+  /// Peak footprint of the visited set.
+  std::size_t visited_bytes = 0;
   /// Round memoization (cal/step_cache.hpp): round outcome sets served
   /// from the per-search cache vs computed by IntervalSpec::round.
   std::size_t step_cache_hits = 0;

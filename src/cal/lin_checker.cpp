@@ -1,112 +1,46 @@
 #include "cal/lin_checker.hpp"
 
-#include <unordered_set>
+#include <utility>
 
-#include "cal/history_index.hpp"
-#include "cal/step_cache.hpp"
+#include "cal/engine/lin_policy.hpp"
+#include "cal/engine/search_engine.hpp"
+#include "cal/parallel/task_pool.hpp"
 
 namespace cal {
 
 namespace {
 
-using Mask = StateMask;
-
-struct KeyHash {
-  std::size_t operator()(const std::vector<std::int64_t>& k) const noexcept {
-    return hash_state(k);
-  }
-};
-
-class Search {
- public:
-  Search(const std::vector<OpRecord>& ops, const SequentialSpec& spec,
-         const LinCheckOptions& options)
-      : ops_(ops), spec_(spec), options_(options), index_(ops) {}
-
-  LinCheckResult run() {
-    LinCheckResult result;
-    Mask mask((ops_.size() + 63) / 64, 0);
-    result.ok = dfs(spec_.initial(), mask, 0);
-    result.exhausted = exhausted_;
-    result.visited_states = visited_.size();
-    result.step_cache_hits = memo_.hits();
-    result.step_cache_misses = memo_.misses();
-    if (result.ok) result.witness = witness_;
-    return result;
-  }
-
- private:
-  /// spec_.step through the per-search memo, keyed by (op index, state);
-  /// the same operation recurs in the same abstract state along many
-  /// fired-mask paths. The reference stays valid across the recursion.
-  const std::vector<SeqStepResult>& stepped(const SpecState& state,
-                                            std::size_t op_index) {
-    memo_key_.clear();
-    memo_key_.reserve(1 + state.size());
-    memo_key_.push_back(static_cast<std::int64_t>(op_index));
-    memo_key_.insert(memo_key_.end(), state.begin(), state.end());
-    if (const auto* cached = memo_.find(memo_key_)) return *cached;
-    const OpRecord& rec = ops_[op_index];
-    return memo_.insert(StepKey(memo_key_),
-                        spec_.step(state, rec.op.tid, rec.op.object,
-                                   rec.op.method, rec.op.arg, rec.op.ret));
-  }
-
-  bool dfs(const SpecState& state, const Mask& mask,
-           std::size_t fired_completed) {
-    if (fired_completed == index_.completed()) return true;
-    if (options_.max_visited != 0 &&
-        visited_.size() >= options_.max_visited) {
-      exhausted_ = true;
-      return false;
-    }
-
-    std::vector<std::int64_t> key;
-    key.reserve(state.size() + mask.size() + 1);
-    key.push_back(static_cast<std::int64_t>(state.size()));
-    key.insert(key.end(), state.begin(), state.end());
-    for (std::uint64_t w : mask) {
-      key.push_back(static_cast<std::int64_t>(w));
-    }
-    if (!visited_.insert(std::move(key)).second) return false;
-
-    for (std::size_t i = 0; i < ops_.size(); ++i) {
-      if (ops_[i].is_pending() && !options_.complete_pending) continue;
-      if (!index_.enabled(i, mask)) continue;
-
-      const OpRecord& rec = ops_[i];
-      for (const SeqStepResult& sr : stepped(state, i)) {
-        Mask next = mask;
-        mask_set(next, i);
-        Operation completed_op = rec.op;
-        completed_op.ret = sr.ret;
-        witness_.push_back(std::move(completed_op));
-        if (dfs(sr.next, next,
-                fired_completed + (rec.is_pending() ? 0 : 1))) {
-          return true;
-        }
-        witness_.pop_back();
-      }
-    }
-    return false;
-  }
-
-  const std::vector<OpRecord>& ops_;
-  const SequentialSpec& spec_;
-  const LinCheckOptions& options_;
-  HistoryIndex index_;
-  std::unordered_set<std::vector<std::int64_t>, KeyHash> visited_;
-  StepKey memo_key_;
-  StepMemo<SeqStepResult> memo_;
-  std::vector<Operation> witness_;
-  bool exhausted_ = false;
-};
+template <bool kShared, typename Driver>
+LinCheckResult collect_result(Driver& driver,
+                              engine::LinPolicy<kShared>& policy) {
+  const engine::SearchStats stats = driver.run();
+  LinCheckResult result;
+  result.ok = stats.found;
+  result.exhausted = stats.exhausted;
+  result.visited_states = stats.visited_states;
+  result.visited_bytes = stats.visited_bytes;
+  result.step_cache_hits = policy.step_cache_hits();
+  result.step_cache_misses = policy.step_cache_misses();
+  if (result.ok) result.witness = driver.witness();
+  return result;
+}
 
 }  // namespace
 
 LinCheckResult LinChecker::check(const std::vector<OpRecord>& ops) const {
-  Search search(ops, spec_, options_);
-  return search.run();
+  engine::SearchOptions sopts;
+  sopts.max_visited = options_.max_visited;
+  sopts.exact_visited = options_.exact_visited;
+  const std::size_t threads = par::resolve_threads(options_.threads);
+  if (threads > 1) {
+    engine::LinPolicy<true> policy(ops, spec_, options_.complete_pending);
+    engine::ParallelSearch<engine::LinPolicy<true>> driver(policy, sopts,
+                                                           threads);
+    return collect_result(driver, policy);
+  }
+  engine::LinPolicy<false> policy(ops, spec_, options_.complete_pending);
+  engine::SequentialSearch<engine::LinPolicy<false>> driver(policy, sopts);
+  return collect_result(driver, policy);
 }
 
 LinCheckResult LinChecker::check(const History& history) const {

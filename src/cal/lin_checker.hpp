@@ -23,6 +23,17 @@ namespace cal {
 struct LinCheckOptions {
   std::size_t max_visited = 0;  ///< 0 = unlimited
   bool complete_pending = true;
+  /// Worker threads for the search (1 = the sequential engine, bit-for-bit
+  /// the historical behavior including the witness; 0 = one per hardware
+  /// thread). Parallel runs share the engine's striped-lock dedup table
+  /// and cancel cooperatively on the first witness: the verdict is
+  /// identical to the sequential one, but the witness may be any (valid)
+  /// witness and `visited_states` may vary slightly from run to run.
+  std::size_t threads = 1;
+  /// Deduplicate visited nodes by their full encodings instead of the
+  /// default 128-bit fingerprints (cal/fingerprint.hpp, ~2^-64 per-pair
+  /// false-prune risk).
+  bool exact_visited = false;
 };
 
 struct LinCheckResult {
@@ -31,6 +42,8 @@ struct LinCheckResult {
   /// On success: a witness linearization (sequence of completed operations).
   std::optional<std::vector<Operation>> witness;
   std::size_t visited_states = 0;
+  /// Peak footprint of the visited set.
+  std::size_t visited_bytes = 0;
   /// Spec-step memoization (cal/step_cache.hpp): transition sets served
   /// from the per-search cache vs computed by SequentialSpec::step.
   std::size_t step_cache_hits = 0;

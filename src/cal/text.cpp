@@ -160,6 +160,49 @@ std::string format_value(const Value& v) {
   return "()";
 }
 
+ParseResult<std::optional<Action>> parse_action_line(std::string_view raw) {
+  using Out = std::optional<Action>;
+  std::string_view line = trim(raw);
+  if (line.empty() || line.front() == '#') {
+    ParseResult<Out> r;
+    r.value.emplace(std::nullopt);
+    return r;
+  }
+  const auto toks = tokens_of(line);
+  if (toks.size() < 3 || toks.size() > 4) {
+    return fail_at<Out>(1, "expected: inv|res t<N> obj.method [value]");
+  }
+  Action::Kind kind;
+  if (toks[0] == "inv") {
+    kind = Action::Kind::kInvoke;
+  } else if (toks[0] == "res") {
+    kind = Action::Kind::kRespond;
+  } else {
+    return fail_at<Out>(1,
+                        "unknown action kind '" + std::string(toks[0]) + "'");
+  }
+  const auto tid = parse_thread(toks[1]);
+  if (!tid) {
+    return fail_at<Out>(1, "bad thread id '" + std::string(toks[1]) + "'");
+  }
+  const auto target = parse_target(toks[2]);
+  if (!target) {
+    return fail_at<Out>(1,
+                        "bad object.method '" + std::string(toks[2]) + "'");
+  }
+  Value payload = Value::unit();
+  if (toks.size() == 4) {
+    const auto v = parse_value(toks[3]);
+    if (!v) {
+      return fail_at<Out>(1, "bad value '" + std::string(toks[3]) + "'");
+    }
+    payload = *v;
+  }
+  ParseResult<Out> r;
+  r.value.emplace(Action{kind, *tid, target->first, target->second, payload});
+  return r;
+}
+
 ParseResult<History> parse_history(std::string_view text) {
   History h;
   std::size_t line_no = 0;
@@ -167,42 +210,9 @@ ParseResult<History> parse_history(std::string_view text) {
   std::string raw;
   while (std::getline(in, raw)) {
     ++line_no;
-    std::string_view line = trim(raw);
-    if (line.empty() || line.front() == '#') continue;
-    const auto toks = tokens_of(line);
-    if (toks.size() < 3 || toks.size() > 4) {
-      return fail_at<History>(line_no,
-                              "expected: inv|res t<N> obj.method [value]");
-    }
-    Action::Kind kind;
-    if (toks[0] == "inv") {
-      kind = Action::Kind::kInvoke;
-    } else if (toks[0] == "res") {
-      kind = Action::Kind::kRespond;
-    } else {
-      return fail_at<History>(line_no, "unknown action kind '" +
-                                           std::string(toks[0]) + "'");
-    }
-    const auto tid = parse_thread(toks[1]);
-    if (!tid) {
-      return fail_at<History>(line_no, "bad thread id '" +
-                                           std::string(toks[1]) + "'");
-    }
-    const auto target = parse_target(toks[2]);
-    if (!target) {
-      return fail_at<History>(line_no, "bad object.method '" +
-                                           std::string(toks[2]) + "'");
-    }
-    Value payload = Value::unit();
-    if (toks.size() == 4) {
-      const auto v = parse_value(toks[3]);
-      if (!v) {
-        return fail_at<History>(line_no,
-                                "bad value '" + std::string(toks[3]) + "'");
-      }
-      payload = *v;
-    }
-    h.append(Action{kind, *tid, target->first, target->second, payload});
+    ParseResult<std::optional<Action>> a = parse_action_line(raw);
+    if (!a) return fail_at<History>(line_no, a.error->message);
+    if (*a.value) h.append(**a.value);
   }
   ParseResult<History> r;
   r.value = std::move(h);

@@ -49,6 +49,13 @@ struct ParseResult {
 /// Renders a value in the grammar's syntax (inverse of parse_value).
 [[nodiscard]] std::string format_value(const Value& v);
 
+/// Parses one line of the history grammar — the streaming entry point
+/// (cal-check --follow feeds a live tail through this). An engaged result
+/// holds the action, or std::nullopt for blank/comment lines; the reported
+/// error line is always 1 (callers track their own line numbers).
+[[nodiscard]] ParseResult<std::optional<Action>> parse_action_line(
+    std::string_view line);
+
 /// Parses a whole history document.
 [[nodiscard]] ParseResult<History> parse_history(std::string_view text);
 

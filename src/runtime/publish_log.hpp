@@ -1,0 +1,142 @@
+// A wait-free claim/publish slot log, shared by Recorder and TraceLog.
+//
+// Both runtime logs — the action recorder and the auxiliary trace variable
+// 𝒯 — need the same primitive: many producer threads append items into a
+// single global order with no locks, while observers read consistent
+// prefixes. The protocol:
+//
+//   * a producer claims a slot with one atomic fetch_add on `next_`
+//     (wait-free), writes the item, then *publishes* it with a release
+//     store on the slot's ready flag;
+//   * appends past capacity are dropped and counted (`dropped()`), so the
+//     producer path never blocks and every lost item is accounted for:
+//     claimed + dropped == total append attempts, and once producers have
+//     quiesced size() + dropped() == total appends;
+//   * readers use acquire loads on the ready flags and stop at the first
+//     unpublished slot, so they only ever observe a gap-free prefix of the
+//     claimed order (`snapshot_prefix`, or incrementally via `Cursor`).
+//
+// Overflow interaction of size()/snapshot: `next_` keeps counting past
+// capacity (each overshoot is one drop); size() clamps it to capacity, and
+// the published prefix is always a prefix of the first `capacity` claimed
+// slots. `next_` would need 2^64 appends to wrap — not reachable.
+//
+// The Cursor is the streaming counterpart of snapshot_prefix: it remembers
+// how far it has read and hands out only newly published items, which is
+// what lets the incremental checker consume a live run window-by-window
+// instead of re-reading the whole log.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace cal::runtime {
+
+template <typename T>
+class PublishLog {
+ public:
+  explicit PublishLog(std::size_t capacity) : slots_(capacity) {}
+
+  PublishLog(const PublishLog&) = delete;
+  PublishLog& operator=(const PublishLog&) = delete;
+
+  /// Claims a slot and publishes `item` into it. Wait-free; drops (and
+  /// counts) when the log is full.
+  void append(T item) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= slots_.size()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    slots_[i].item = std::move(item);
+    slots_[i].ready.store(true, std::memory_order_release);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Claimed slots, clamped to capacity. An upper bound on the published
+  /// prefix while producers are running; exact once they have quiesced.
+  [[nodiscard]] std::size_t size() const noexcept {
+    const std::size_t n = next_.load(std::memory_order_acquire);
+    return n < slots_.size() ? n : slots_.size();
+  }
+
+  /// Appends dropped because the log was full.
+  [[nodiscard]] std::size_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Copies the longest published prefix into `sink(item)`, in order.
+  /// Safe concurrently with producers: stops at the first unpublished slot.
+  template <typename Sink>
+  void snapshot_prefix(Sink&& sink) const {
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!slots_[i].ready.load(std::memory_order_acquire)) break;
+      sink(slots_[i].item);
+    }
+  }
+
+  /// Not thread-safe against concurrent producers (callers quiesce first).
+  void reset() {
+    const std::size_t n = size();
+    for (std::size_t i = 0; i < n; ++i) {
+      slots_[i].ready.store(false, std::memory_order_relaxed);
+    }
+    dropped_.store(0, std::memory_order_relaxed);
+    next_.store(0, std::memory_order_release);
+  }
+
+  /// An incremental reader: each poll() hands out the items published since
+  /// the previous poll, never re-reading or skipping a slot. One cursor is
+  /// single-reader; independent cursors are independent.
+  class Cursor {
+   public:
+    Cursor() = default;
+    explicit Cursor(const PublishLog& log) : log_(&log) {}
+
+    /// Feeds every newly published item to `sink(item)` (at most `max`
+    /// items; 0 = unbounded) and returns how many were consumed.
+    template <typename Sink>
+    std::size_t poll(Sink&& sink, std::size_t max = 0) {
+      if (log_ == nullptr) return 0;
+      std::size_t consumed = 0;
+      const std::size_t n = log_->size();
+      while (pos_ < n && (max == 0 || consumed < max)) {
+        if (!log_->slots_[pos_].ready.load(std::memory_order_acquire)) break;
+        sink(log_->slots_[pos_].item);
+        ++pos_;
+        ++consumed;
+      }
+      return consumed;
+    }
+
+    /// Slots consumed so far (== the next slot index to read).
+    [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+    /// True once the log is full *and* every slot has been consumed — no
+    /// further item can ever appear.
+    [[nodiscard]] bool at_capacity() const noexcept {
+      return log_ != nullptr && pos_ == log_->capacity();
+    }
+
+   private:
+    const PublishLog* log_ = nullptr;
+    std::size_t pos_ = 0;
+  };
+
+  [[nodiscard]] Cursor cursor() const { return Cursor(*this); }
+
+ private:
+  struct Slot {
+    T item;
+    std::atomic<bool> ready{false};
+  };
+
+  std::vector<Slot> slots_;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<std::size_t> dropped_{0};
+};
+
+}  // namespace cal::runtime

@@ -6,24 +6,25 @@
 // control passes from the program to the object system and vice versa" (§3):
 // objects call invoke() on entry and respond() on exit.
 //
-// Implementation: a fixed-capacity log. A slot is claimed with one atomic
-// fetch_add (wait-free), written, then published with a release store on a
-// per-slot ready flag; snapshot() reads with acquire loads and stops at the
-// first unpublished slot, so it only ever observes a consistent prefix.
+// Implementation: a runtime::PublishLog<Action> (see publish_log.hpp for the
+// wait-free claim/publish protocol, the drop accounting, and the consistent-
+// prefix guarantee). Post-hoc consumers take a whole-prefix snapshot();
+// streaming consumers (engine::IncrementalChecker) attach a Cursor and poll
+// newly published actions as the run progresses.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
-#include <memory>
-#include <vector>
 
 #include "cal/history.hpp"
+#include "runtime/publish_log.hpp"
 
 namespace cal::runtime {
 
 class Recorder {
  public:
-  explicit Recorder(std::size_t capacity = 1 << 20);
+  using Cursor = PublishLog<Action>::Cursor;
+
+  explicit Recorder(std::size_t capacity = 1 << 20) : log_(capacity) {}
 
   Recorder(const Recorder&) = delete;
   Recorder& operator=(const Recorder&) = delete;
@@ -31,36 +32,37 @@ class Recorder {
   /// Records (t, inv o.f(arg)). Wait-free. Drops the action (and counts the
   /// drop) if the log is full.
   void invoke(ThreadId t, Symbol object, Symbol method,
-              Value arg = Value::unit());
+              Value arg = Value::unit()) {
+    log_.append(Action::invoke(t, object, method, std::move(arg)));
+  }
   /// Records (t, res o.f ▷ ret).
   void respond(ThreadId t, Symbol object, Symbol method,
-               Value ret = Value::unit());
+               Value ret = Value::unit()) {
+    log_.append(Action::respond(t, object, method, std::move(ret)));
+  }
 
   /// The longest published prefix as a History. Safe to call concurrently
   /// with recording, but normally called after joining worker threads.
-  [[nodiscard]] History snapshot() const;
-
-  [[nodiscard]] std::size_t size() const noexcept {
-    const std::size_t n = next_.load(std::memory_order_acquire);
-    return n < slots_.size() ? n : slots_.size();
-  }
-  [[nodiscard]] std::size_t dropped() const noexcept {
-    return dropped_.load(std::memory_order_relaxed);
+  [[nodiscard]] History snapshot() const {
+    History out;
+    log_.snapshot_prefix([&out](const Action& a) { out.append(a); });
+    return out;
   }
 
-  void reset();
+  /// A streaming reader over the published prefix; poll it (directly, or
+  /// via engine::IncrementalChecker) to consume actions as they land.
+  [[nodiscard]] Cursor cursor() const { return log_.cursor(); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return log_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return log_.capacity();
+  }
+  [[nodiscard]] std::size_t dropped() const noexcept { return log_.dropped(); }
+
+  void reset() { log_.reset(); }
 
  private:
-  struct Slot {
-    Action action;
-    std::atomic<bool> ready{false};
-  };
-
-  void record(Action a);
-
-  std::vector<Slot> slots_;
-  std::atomic<std::size_t> next_{0};
-  std::atomic<std::size_t> dropped_{0};
+  PublishLog<Action> log_;
 };
 
 /// RAII pair: records the invocation on construction and the response when

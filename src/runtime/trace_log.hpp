@@ -5,7 +5,8 @@
 // exchanger's XCHG CAS appends E.swap(g.tid, g.data, t, n.data), and its
 // failure returns append the singleton failure element. This class is that
 // variable for *real threaded* executions: a wait-free append log of
-// CA-elements.
+// CA-elements, a runtime::PublishLog<CaElement> (publish_log.hpp documents
+// the claim/publish protocol, drop accounting, and prefix consistency).
 //
 // Fidelity note: in the paper (and in the model-checking substrate,
 // src/sched), the auxiliary assignment happens *atomically with* the
@@ -18,46 +19,45 @@
 // checker.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
-#include <vector>
 
 #include "cal/ca_trace.hpp"
+#include "runtime/publish_log.hpp"
 
 namespace cal::runtime {
 
 class TraceLog {
  public:
-  explicit TraceLog(std::size_t capacity = 1 << 20);
+  using Cursor = PublishLog<CaElement>::Cursor;
+
+  explicit TraceLog(std::size_t capacity = 1 << 20) : log_(capacity) {}
 
   TraceLog(const TraceLog&) = delete;
   TraceLog& operator=(const TraceLog&) = delete;
 
   /// Appends one CA-element to 𝒯. Wait-free; drops (and counts) on overflow.
-  void append(CaElement element);
+  void append(CaElement element) { log_.append(std::move(element)); }
 
   /// The longest published prefix of 𝒯.
-  [[nodiscard]] CaTrace snapshot() const;
-
-  [[nodiscard]] std::size_t size() const noexcept {
-    const std::size_t n = next_.load(std::memory_order_acquire);
-    return n < slots_.size() ? n : slots_.size();
-  }
-  [[nodiscard]] std::size_t dropped() const noexcept {
-    return dropped_.load(std::memory_order_relaxed);
+  [[nodiscard]] CaTrace snapshot() const {
+    CaTrace out;
+    log_.snapshot_prefix([&out](const CaElement& e) { out.append(e); });
+    return out;
   }
 
-  void reset();
+  /// A streaming reader over the published prefix of 𝒯.
+  [[nodiscard]] Cursor cursor() const { return log_.cursor(); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return log_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return log_.capacity();
+  }
+  [[nodiscard]] std::size_t dropped() const noexcept { return log_.dropped(); }
+
+  void reset() { log_.reset(); }
 
  private:
-  struct Slot {
-    CaElement element;
-    std::atomic<bool> ready{false};
-  };
-
-  std::vector<Slot> slots_;
-  std::atomic<std::size_t> next_{0};
-  std::atomic<std::size_t> dropped_{0};
+  PublishLog<CaElement> log_;
 };
 
 }  // namespace cal::runtime

@@ -3,8 +3,11 @@
 #include <atomic>
 #include <deque>
 #include <memory>
+#include <unordered_set>
 #include <utility>
 
+#include "cal/engine/incremental.hpp"
+#include "cal/engine/search_engine.hpp"
 #include "cal/parallel/sharded_set.hpp"
 #include "cal/parallel/task_pool.hpp"
 
@@ -30,6 +33,143 @@ struct KeyHash {
   std::size_t operator()(const std::vector<std::int64_t>& k) const noexcept {
     return hash_state(k);
   }
+};
+
+/// The sequential exploration as an engine policy: worlds are nodes,
+/// schedule steps are labels, terminal worlds are goals (collect-mode
+/// sinks). Per-step audits (transition guarantee, state invariant, choice
+/// protocol) run in expand() *before* a successor is emitted, so violating
+/// worlds never enter the search — exactly the pre-engine reached() order.
+/// The engine owns state merging, the max_states cap, depth, and the
+/// schedule prefix; this policy owns transitions/events accounting and
+/// violation recording.
+class ExplorePolicy {
+ public:
+  using Node = World;
+  using Label = ScheduleStep;
+
+  ExplorePolicy(const WorldConfig& config,
+                const std::vector<std::unique_ptr<SimObject>>& objects,
+                const ExploreOptions& options,
+                const TransitionAuditor* auditor)
+      : config_(config),
+        objects_(objects),
+        options_(options),
+        auditor_(auditor) {}
+
+  std::vector<World> roots() {
+    World initial(config_);
+    for (const auto& obj : objects_) obj->init(initial);
+    std::vector<World> out;
+    out.push_back(std::move(initial));
+    return out;
+  }
+
+  [[nodiscard]] bool is_goal(const World& world) const {
+    return world.all_done();
+  }
+
+  void encode(const World& world, engine::NodeKey& out) const {
+    out.clear();
+    world.encode(out);
+  }
+
+  void on_enter(const World& world, std::size_t /*depth*/) {
+    events_ |= world.events();
+  }
+
+  [[nodiscard]] bool cancelled() const noexcept { return done_; }
+
+  template <typename Emit>
+  void expand(const World& world, std::size_t /*depth*/,
+              const std::vector<ScheduleStep>& prefix, Emit&& emit) {
+    for (std::size_t i = 0; i < world.threads().size(); ++i) {
+      if (done_) return;
+      const ThreadCtx& t = world.threads()[i];
+      if (t.done(config_.programs[t.program].calls.size())) continue;
+      const Call& call = config_.programs[t.program].calls[t.call_idx];
+      const SimObject& object = *objects_[call.object];
+      ++transitions_;
+
+      World next = world;  // branch
+      ThreadCtx& nt = next.threads()[i];
+      StepResult sr = object.step(next, nt);
+
+      if (sr.kind == StepResult::Kind::kChoice) {
+        // Fork one successor per choice value; the machine consumes the
+        // choice on its next step.
+        for (std::int32_t c = 0; c < sr.nchoices && !done_; ++c) {
+          World branch = world;
+          ThreadCtx& bt = branch.threads()[i];
+          bt.choice = c;
+          StepResult inner = object.step(branch, bt);
+          bt.choice = -1;
+          if (inner.kind == StepResult::Kind::kChoice) {
+            branch.report_violation(
+                "machine asked for a choice twice in a row");
+          }
+          audit_transition(world, branch, bt.tid);
+          if (!offer(std::move(branch), ScheduleStep{t.tid, c}, prefix,
+                     emit)) {
+            return;
+          }
+        }
+      } else {
+        audit_transition(world, next, nt.tid);
+        if (!offer(std::move(next), ScheduleStep{t.tid, -1}, prefix, emit)) {
+          return;
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t transitions() const noexcept {
+    return transitions_;
+  }
+  [[nodiscard]] std::uint64_t events() const noexcept { return events_; }
+  [[nodiscard]] std::vector<ScheduleViolation>&& violations() noexcept {
+    return std::move(violations_);
+  }
+
+ private:
+  void audit_transition(const World& pre, World& post, ThreadId actor) const {
+    if (auditor_ == nullptr || post.violated()) return;
+    if (auto why = auditor_->check_transition(pre, post, actor)) {
+      post.report_violation("guarantee: " + *why);
+    }
+  }
+
+  /// Audits a freshly stepped world and either records its violation or
+  /// hands it to the driver; false stops this node's expansion.
+  template <typename Emit>
+  bool offer(World&& world, ScheduleStep step,
+             const std::vector<ScheduleStep>& prefix, Emit& emit) {
+    if (done_) return false;
+    if (!world.violated() && auditor_ != nullptr) {
+      if (auto why = auditor_->check_invariant(world)) {
+        world.report_violation("invariant: " + *why);
+      }
+    }
+    if (world.violated()) {
+      std::vector<ScheduleStep> schedule = prefix;
+      schedule.push_back(step);
+      violations_.push_back(ScheduleViolation{
+          world.violation().value_or("unknown"), std::move(schedule)});
+      if (options_.stop_on_first_violation) done_ = true;
+      return !done_;
+    }
+    return emit(std::move(world), std::move(step));
+  }
+
+  const WorldConfig& config_;
+  const std::vector<std::unique_ptr<SimObject>>& objects_;
+  const ExploreOptions& options_;
+  const TransitionAuditor* auditor_;
+
+  std::size_t transitions_ = 0;
+  std::uint64_t events_ = 0;
+  std::vector<ScheduleViolation> violations_;
+  bool done_ = false;
 };
 
 constexpr std::size_t kNoViolation = static_cast<std::size_t>(-1);
@@ -220,18 +360,59 @@ Explorer::Explorer(const WorldConfig& config,
 
 ExploreResult Explorer::run() {
   const std::size_t threads = par::resolve_threads(options_.threads);
-  if (threads > 1) return run_parallel(threads);
+  ExploreResult result =
+      threads > 1 ? run_parallel(threads) : run_sequential();
+  check_collected(result);
+  return result;
+}
 
-  visited_.clear();
-  seen_histories_.clear();
-  schedule_.clear();
-  result_ = ExploreResult{};
-  done_ = false;
+ExploreResult Explorer::run_sequential() {
+  ExploreResult result;
+  ExplorePolicy policy(config_, objects_, options_, auditor_);
 
-  World initial(config_);
-  for (auto& obj : objects_) obj->init(initial);
-  dfs(std::move(initial), 0);
-  return result_;
+  engine::SearchOptions sopts;
+  sopts.max_visited = options_.max_states;
+  sopts.exact_visited = true;  // state merging must be sound, not probable
+  sopts.dedup = options_.merge_states;
+
+  std::unordered_set<std::vector<std::int64_t>, KeyHash> seen_histories;
+  engine::SequentialSearch<ExplorePolicy> search(policy, sopts);
+  engine::SearchStats stats = search.run_collect(
+      [&](const World& world, const std::vector<ScheduleStep>&) {
+        ++result.terminals;
+        if (!options_.collect_terminals) return;
+        auto key = encode_history(world.history());
+        if (seen_histories.insert(std::move(key)).second) {
+          result.histories.push_back(world.history());
+          result.traces.push_back(world.trace());
+        }
+      });
+
+  result.states = stats.visited_states;
+  result.transitions = policy.transitions();
+  result.merged = stats.dedup_hits;
+  result.max_depth = stats.max_depth;
+  result.exhausted = stats.exhausted;
+  result.events = policy.events();
+  result.violations = policy.violations();
+  return result;
+}
+
+void Explorer::check_collected(ExploreResult& result) const {
+  if (options_.check_spec == nullptr || result.histories.empty()) return;
+  result.history_verdicts.reserve(result.histories.size());
+  for (std::size_t i = 0; i < result.histories.size(); ++i) {
+    engine::IncrementalOptions iopts;
+    iopts.window = options_.check_window;
+    engine::IncrementalChecker checker(*options_.check_spec, iopts);
+    checker.push(result.histories[i]);
+    checker.finish();
+    result.history_verdicts.push_back(checker.ok());
+    if (!checker.ok()) {
+      result.check_failures.push_back(
+          "history " + std::to_string(i) + ": " + checker.status().reason);
+    }
+  }
 }
 
 ExploreResult Explorer::run_parallel(std::size_t threads) {
@@ -420,114 +601,6 @@ ExploreResult Explorer::run_parallel(std::size_t threads) {
     }
   }
   return total;
-}
-
-void Explorer::record_violation(const World& world) {
-  result_.violations.push_back(
-      ScheduleViolation{world.violation().value_or("unknown"), schedule_});
-  if (options_.stop_on_first_violation) done_ = true;
-}
-
-void Explorer::reached(World&& world, std::size_t depth) {
-  if (done_) return;
-  if (world.violated()) {
-    record_violation(world);
-    return;
-  }
-  if (auditor_ != nullptr) {
-    if (auto why = auditor_->check_invariant(world)) {
-      world.report_violation("invariant: " + *why);
-      record_violation(world);
-      return;
-    }
-  }
-  dfs(std::move(world), depth);
-}
-
-void Explorer::dfs(World world, std::size_t depth) {
-  if (done_) return;
-  if (depth > result_.max_depth) result_.max_depth = depth;
-  result_.events |= world.events();
-
-  if (options_.max_states != 0 && result_.states >= options_.max_states) {
-    result_.exhausted = true;
-    done_ = true;
-    return;
-  }
-  if (options_.merge_states) {
-    std::vector<std::int64_t> key;
-    world.encode(key);
-    if (!visited_.insert(std::move(key)).second) {
-      ++result_.merged;
-      return;
-    }
-  }
-  ++result_.states;
-
-  if (world.all_done()) {
-    ++result_.terminals;
-    if (options_.collect_terminals) {
-      auto key = encode_history(world.history());
-      if (seen_histories_.insert(std::move(key)).second) {
-        result_.histories.push_back(world.history());
-        result_.traces.push_back(world.trace());
-      }
-    }
-    return;
-  }
-
-  for (std::size_t i = 0; i < world.threads().size(); ++i) {
-    const ThreadCtx& t = world.threads()[i];
-    if (t.done(config_.programs[t.program].calls.size())) continue;
-    advance(world, i, depth);
-    if (done_) return;
-  }
-}
-
-void Explorer::advance(const World& world, std::size_t thread,
-                       std::size_t depth) {
-  const ThreadCtx& t = world.threads()[thread];
-  const Call& call = config_.programs[t.program].calls[t.call_idx];
-  const SimObject& object = *objects_[call.object];
-
-  schedule_.push_back(ScheduleStep{t.tid, -1});
-  ++result_.transitions;
-
-  World next = world;  // branch
-  ThreadCtx& nt = next.threads()[thread];
-  StepResult sr = object.step(next, nt);
-
-  if (sr.kind == StepResult::Kind::kChoice) {
-    // Fork one successor per choice value; the machine consumes the choice
-    // on its next step.
-    for (std::int32_t c = 0; c < sr.nchoices && !done_; ++c) {
-      schedule_.back().choice = c;
-      World branch = world;
-      ThreadCtx& bt = branch.threads()[thread];
-      bt.choice = c;
-      StepResult inner = object.step(branch, bt);
-      bt.choice = -1;
-      if (inner.kind == StepResult::Kind::kChoice) {
-        branch.report_violation("machine asked for a choice twice in a row");
-      }
-      if (auditor_ != nullptr && !branch.violated()) {
-        if (auto why =
-                auditor_->check_transition(world, branch, bt.tid)) {
-          branch.report_violation("guarantee: " + *why);
-        }
-      }
-      reached(std::move(branch), depth + 1);
-    }
-  } else {
-    if (auditor_ != nullptr && !next.violated()) {
-      if (auto why = auditor_->check_transition(world, next, nt.tid)) {
-        next.report_violation("guarantee: " + *why);
-      }
-    }
-    reached(std::move(next), depth + 1);
-  }
-
-  schedule_.pop_back();
 }
 
 std::string ScheduleViolation::to_string() const {

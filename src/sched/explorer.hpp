@@ -16,14 +16,22 @@
 // A TransitionAuditor hook observes every (pre, post, actor) transition and
 // every reached state; the rely/guarantee audit of Fig. 4 (sched/rg.hpp) is
 // implemented as one.
+//
+// The sequential walk runs on the shared search engine
+// (cal/engine/search_engine.hpp) in collect mode: worlds are nodes,
+// schedule steps are labels, terminal states are goals. The parallel walk
+// keeps its bespoke deterministic breadth-first split + Walker pool. With
+// `check_spec` set, every collected terminal history is additionally
+// checked for CAL membership by the streaming checker
+// (cal/engine/incremental.hpp) as a post-pass shared by both drivers.
 #pragma once
 
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
+#include "cal/spec.hpp"
 #include "sched/world.hpp"
 
 namespace cal::sched {
@@ -61,6 +69,14 @@ struct ExploreOptions {
   /// merge_states the winning *schedule* can still differ from the
   /// sequential engine's (it is always a real, replayable counterexample).
   std::size_t threads = 1;
+  /// When set (together with collect_terminals), every collected terminal
+  /// history is checked for CAL membership against this spec with the
+  /// streaming checker; verdicts land in ExploreResult::history_verdicts
+  /// and failures in ExploreResult::check_failures. The spec must outlive
+  /// the exploration.
+  const CaSpec* check_spec = nullptr;
+  /// Window size for the post-pass streaming checks.
+  std::size_t check_window = 16;
 };
 
 /// One step of a recorded schedule: which thread acted, and the value of
@@ -93,8 +109,16 @@ struct ExploreResult {
   std::vector<ScheduleViolation> violations;
   std::vector<History> histories;  ///< unique terminal histories
   std::vector<CaTrace> traces;     ///< final raw 𝒯 per collected history
+  /// With ExploreOptions::check_spec: streaming-checker verdict for each
+  /// entry of `histories` (same indexing).
+  std::vector<bool> history_verdicts;
+  /// Human-readable reasons for each false entry of history_verdicts.
+  std::vector<std::string> check_failures;
 
-  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+  /// No schedule violations and no failed history checks.
+  [[nodiscard]] bool ok() const noexcept {
+    return violations.empty() && check_failures.empty();
+  }
 };
 
 class Explorer {
@@ -117,15 +141,14 @@ class Explorer {
                              bool record = true);
 
  private:
-  void dfs(World world, std::size_t depth);
-  /// Steps `thread` of a copy of `world`, resolving nondeterministic
-  /// choices by forking; recurses into dfs() for every successor.
-  void advance(const World& world, std::size_t thread, std::size_t depth);
-  void reached(World&& world, std::size_t depth);
-  void record_violation(const World& world);
+  /// The sequential walk: the engine collect driver over ExplorePolicy
+  /// (explorer.cpp).
+  [[nodiscard]] ExploreResult run_sequential();
   /// The multi-threaded engine behind ExploreOptions::threads > 1
   /// (explorer.cpp: breadth-first root split + Walker pool tasks).
   [[nodiscard]] ExploreResult run_parallel(std::size_t threads);
+  /// The check_spec post-pass over collected terminal histories.
+  void check_collected(ExploreResult& result) const;
 
   const WorldConfig& config_;
   std::vector<std::unique_ptr<SimObject>> objects_;
@@ -134,17 +157,6 @@ class Explorer {
   /// Storage for replay()'s recording-enabled config copy (worlds keep a
   /// pointer to their config, so it must outlive the returned World).
   std::optional<WorldConfig> replay_config_;
-
-  struct KeyHash {
-    std::size_t operator()(const std::vector<std::int64_t>& k) const noexcept {
-      return hash_state(k);
-    }
-  };
-  std::unordered_set<std::vector<std::int64_t>, KeyHash> visited_;
-  std::unordered_set<std::vector<std::int64_t>, KeyHash> seen_histories_;
-  std::vector<ScheduleStep> schedule_;
-  ExploreResult result_;
-  bool done_ = false;
 };
 
 }  // namespace cal::sched

@@ -1,0 +1,170 @@
+// Shared history corpus for the equivalence suites: generated stress
+// families (schedule-randomized exchanger runs, corruptions, adversarial
+// sequential-spec histories, wide overlap blowups) plus the checked-in
+// example histories. test_state_compression, test_engine_equivalence and
+// test_incremental all draw from these generators so "equivalent on the
+// corpus" means the same corpus everywhere.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <optional>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cal/history.hpp"
+#include "cal/text.hpp"
+#include "cal/value.hpp"
+
+namespace cal {
+
+/// A well-formed exchanger run with a randomized schedule: threads invoke,
+/// pair up (or time out), and respond in random interleavings, so the
+/// result is a *valid* history with rich overlap structure.
+inline History random_exchanger_history(std::mt19937& rng,
+                                        std::size_t n_threads,
+                                        std::size_t ops_per_thread) {
+  const Symbol kE{"E"};
+  const Symbol kEx{"exchange"};
+  struct Active {
+    ThreadId tid;
+    std::int64_t v;
+    bool decided = false;
+    Value ret;
+  };
+  History h;
+  std::vector<std::size_t> remaining(n_threads, ops_per_thread);
+  std::vector<std::optional<Active>> active(n_threads);
+  std::int64_t next_value = 1;
+  auto rnd = [&](std::size_t n) {
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(rng);
+  };
+  auto some_left = [&] {
+    for (std::size_t t = 0; t < n_threads; ++t) {
+      if (remaining[t] > 0 || active[t].has_value()) return true;
+    }
+    return false;
+  };
+  while (some_left()) {
+    switch (rnd(3)) {
+      case 0: {
+        std::vector<std::size_t> can;
+        for (std::size_t t = 0; t < n_threads; ++t) {
+          if (remaining[t] > 0 && !active[t]) can.push_back(t);
+        }
+        if (can.empty()) break;
+        const std::size_t t = can[rnd(can.size())];
+        const std::int64_t v = next_value++;
+        active[t] = Active{static_cast<ThreadId>(t + 1), v, false,
+                           Value::unit()};
+        remaining[t] -= 1;
+        h.invoke(static_cast<ThreadId>(t + 1), kE, kEx, Value::integer(v));
+        break;
+      }
+      case 1: {
+        std::vector<std::size_t> undecided;
+        for (std::size_t t = 0; t < n_threads; ++t) {
+          if (active[t] && !active[t]->decided) undecided.push_back(t);
+        }
+        if (undecided.empty()) break;
+        if (undecided.size() >= 2 && rnd(2) == 0) {
+          const std::size_t i = undecided[rnd(undecided.size())];
+          std::size_t j = i;
+          while (j == i) j = undecided[rnd(undecided.size())];
+          active[i]->decided = true;
+          active[j]->decided = true;
+          active[i]->ret = Value::pair(true, active[j]->v);
+          active[j]->ret = Value::pair(true, active[i]->v);
+        } else {
+          const std::size_t i = undecided[rnd(undecided.size())];
+          active[i]->decided = true;
+          active[i]->ret = Value::pair(false, active[i]->v);
+        }
+        break;
+      }
+      case 2: {
+        std::vector<std::size_t> decided;
+        for (std::size_t t = 0; t < n_threads; ++t) {
+          if (active[t] && active[t]->decided) decided.push_back(t);
+        }
+        if (decided.empty()) break;
+        const std::size_t t = decided[rnd(decided.size())];
+        h.respond(active[t]->tid, kE, kEx, active[t]->ret);
+        active[t].reset();
+        break;
+      }
+    }
+  }
+  return h;
+}
+
+/// Corrupts the first successful exchange response; nullopt when the run
+/// had none.
+inline std::optional<History> corrupt(const History& h) {
+  std::vector<Action> actions = h.actions();
+  for (Action& a : actions) {
+    if (a.is_respond() && a.payload.kind() == Value::Kind::kPair &&
+        a.payload.pair_ok()) {
+      a.payload = Value::pair(true, 99999);
+      return History(std::move(actions));
+    }
+  }
+  return std::nullopt;
+}
+
+/// Sequential stack ops with random (mostly wrong) return values — the
+/// adversarial family for SeqAsCaSpec checkers.
+inline History garbage_stack_history(std::mt19937& rng, std::size_t n_ops) {
+  auto rnd = [&](std::size_t n) {
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(rng);
+  };
+  HistoryBuilder b;
+  for (std::size_t i = 0; i < n_ops; ++i) {
+    const ThreadId tid = static_cast<ThreadId>(rnd(3) + 1);
+    if (rnd(2) == 0) {
+      b.op(tid, "S", "push", Value::integer(static_cast<std::int64_t>(
+                                 rnd(3) + 1)),
+           Value::boolean(true));
+    } else {
+      b.op(tid, "S", "pop", Value::unit(),
+           Value::pair(true, static_cast<std::int64_t>(rnd(3) + 1)));
+    }
+  }
+  return b.history();
+}
+
+/// `width` fully overlapping exchanges, all timing out — the subset
+/// enumeration blowup (optionally with one corrupted response).
+inline History wide_overlap_history(std::size_t width, bool corrupt_one) {
+  HistoryBuilder b;
+  for (std::size_t t = 1; t <= width; ++t) {
+    b.call(static_cast<ThreadId>(t), "E", "exchange",
+           Value::integer(static_cast<std::int64_t>(t)));
+  }
+  for (std::size_t t = 1; t <= width; ++t) {
+    const auto v = static_cast<std::int64_t>(t);
+    b.ret(static_cast<ThreadId>(t),
+          corrupt_one && t == width ? Value::pair(true, 424242)
+                                    : Value::pair(false, v));
+  }
+  return b.history();
+}
+
+#ifdef CAL_EXAMPLES_HISTORIES_DIR
+inline History load_history(const std::string& name) {
+  const std::string path =
+      std::string(CAL_EXAMPLES_HISTORIES_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  ParseResult<History> parsed = parse_history(buf.str());
+  EXPECT_TRUE(parsed) << "parse error in " << path;
+  return *parsed.value;
+}
+#endif
+
+}  // namespace cal

@@ -1,0 +1,378 @@
+// Streaming (incremental) CAL checking — engine/incremental.hpp.
+//
+// The load-bearing property is batch equivalence: for every history in the
+// corpus and every window size, pushing the actions one at a time and
+// calling finish() must reach exactly the verdict CalChecker reaches on the
+// whole history, and an accepting stream must be able to produce a witness
+// that replays and agrees. On top of that: bounded violation-detection
+// latency (within the window containing the bad response), frontier
+// compaction (retirement) on long runs, and live streaming from a
+// runtime::Recorder cursor while worker threads are still recording.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <optional>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "cal/agree.hpp"
+#include "cal/cal_checker.hpp"
+#include "cal/engine/incremental.hpp"
+#include "cal/replay.hpp"
+#include "cal/specs/exchanger_spec.hpp"
+#include "cal/specs/stack_spec.hpp"
+#include "corpus.hpp"
+#include "objects/exchanger.hpp"
+#include "runtime/ebr.hpp"
+#include "runtime/recorder.hpp"
+
+namespace cal {
+namespace {
+
+using engine::IncrementalChecker;
+using engine::IncrementalOptions;
+
+const Symbol kE{"E"};
+const Symbol kEx{"exchange"};
+const Symbol kS{"S"};
+
+Value iv(std::int64_t x) { return Value::integer(x); }
+
+constexpr std::size_t kWindowGrid[] = {1, 3, 16, 256};
+
+// ---------------------------------------------------------------------------
+// Batch equivalence on the corpus.
+
+void expect_incremental_matches_batch(const CaSpec& spec, const History& h,
+                                      bool complete_pending = true) {
+  CalCheckOptions batch_opts;
+  batch_opts.complete_pending = complete_pending;
+  const CalCheckResult batch = CalChecker(spec, batch_opts).check(h);
+  for (std::size_t window : kWindowGrid) {
+    for (std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+      IncrementalOptions opts;
+      opts.window = window;
+      opts.threads = threads;
+      opts.complete_pending = complete_pending;
+      IncrementalChecker inc(spec, opts);
+      inc.push(h);
+      inc.finish();
+      ASSERT_EQ(inc.ok(), batch.ok)
+          << "window=" << window << " threads=" << threads
+          << " reason=" << inc.status().reason << "\n"
+          << h.to_string();
+      EXPECT_TRUE(inc.status().finished);
+      if (inc.ok()) {
+        // An accepting stream consumed everything; a rejecting one stops
+        // at the violation and ignores the rest by design.
+        EXPECT_EQ(inc.status().actions_consumed, h.actions().size());
+        const std::optional<CaTrace> w = inc.witness();
+        ASSERT_TRUE(w.has_value())
+            << "window=" << window << " threads=" << threads;
+        const ReplayResult replayed = replay_ca(*w, spec);
+        EXPECT_TRUE(replayed.ok)
+            << "window=" << window << " threads=" << threads << ": "
+            << replayed.reason;
+        if (h.complete()) {
+          const AgreeResult a = agrees_with(h, *w);
+          EXPECT_TRUE(a.agrees)
+              << "window=" << window << " threads=" << threads << ": "
+              << a.reason << "\n"
+              << h.to_string() << w->to_string();
+        }
+      } else {
+        EXPECT_GT(inc.status().violation_window, 0u);
+        EXPECT_FALSE(inc.status().reason.empty());
+      }
+    }
+  }
+}
+
+TEST(IncrementalCorpus, ExampleHistories) {
+  ExchangerSpec ex(kE, kEx);
+  expect_incremental_matches_batch(ex, load_history("fig3_h1.history"));
+  expect_incremental_matches_batch(ex, load_history("fig3_h3.history"));
+  SeqAsCaSpec stack(std::make_shared<StackSpec>(kS));
+  expect_incremental_matches_batch(stack, load_history("stack.history"));
+}
+
+class IncrementalEquivalence : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(IncrementalEquivalence, ValidExchangerRuns) {
+  std::mt19937 rng(GetParam());
+  ExchangerSpec spec(kE, kEx);
+  const History h = random_exchanger_history(rng, 4, 3);
+  ASSERT_TRUE(h.well_formed());
+  expect_incremental_matches_batch(spec, h);
+}
+
+TEST_P(IncrementalEquivalence, CorruptedExchangerRuns) {
+  std::mt19937 rng(GetParam() + 500);
+  ExchangerSpec spec(kE, kEx);
+  const auto bad = corrupt(random_exchanger_history(rng, 4, 3));
+  if (!bad) GTEST_SKIP() << "run had no successful exchange";
+  expect_incremental_matches_batch(spec, *bad);
+}
+
+TEST_P(IncrementalEquivalence, PendingInvocations) {
+  std::mt19937 rng(GetParam() + 600);
+  ExchangerSpec spec(kE, kEx);
+  History h = random_exchanger_history(rng, 3, 2);
+  std::vector<Action> actions = h.actions();
+  std::size_t responses_dropped = 0;
+  while (!actions.empty() && responses_dropped < 2) {
+    if (actions.back().is_respond()) ++responses_dropped;
+    actions.pop_back();
+  }
+  const History pending{std::move(actions)};
+  if (!pending.well_formed()) GTEST_SKIP();
+  expect_incremental_matches_batch(spec, pending);
+  expect_incremental_matches_batch(spec, pending, /*complete_pending=*/false);
+}
+
+TEST_P(IncrementalEquivalence, SequentialSpecOverAdapter) {
+  std::mt19937 rng(GetParam() + 700);
+  SeqAsCaSpec spec(std::make_shared<StackSpec>(kS));
+  for (int round = 0; round < 3; ++round) {
+    expect_incremental_matches_batch(spec, garbage_stack_history(rng, 6));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalEquivalence,
+                         ::testing::Range(0u, 10u));
+
+TEST(IncrementalCorpus, WideOverlapBothVerdicts) {
+  ExchangerSpec spec(kE, kEx);
+  expect_incremental_matches_batch(spec, wide_overlap_history(6, false));
+  expect_incremental_matches_batch(spec, wide_overlap_history(6, true));
+}
+
+// ---------------------------------------------------------------------------
+// Bounded violation-detection latency: the window check that first covers
+// the corrupted response must already fail — no later than the next window
+// boundary after it, never dependent on the rest of the stream.
+
+TEST(IncrementalLatency, ViolationDetectedWithinOneWindow) {
+  constexpr std::size_t kWindow = 4;
+  ExchangerSpec spec(kE, kEx);
+  std::mt19937 rng(0);
+  std::size_t runs_with_violation = 0;
+  for (unsigned seed = 0; seed < 10; ++seed) {
+    rng.seed(seed);
+    const auto bad = corrupt(random_exchanger_history(rng, 4, 3));
+    if (!bad) continue;
+    ++runs_with_violation;
+    const std::vector<Action> actions = bad->actions();
+    std::size_t corrupt_idx = actions.size();
+    for (std::size_t i = 0; i < actions.size(); ++i) {
+      if (actions[i].is_respond() &&
+          actions[i].payload == Value::pair(true, 99999)) {
+        corrupt_idx = i;
+        break;
+      }
+    }
+    ASSERT_LT(corrupt_idx, actions.size());
+
+    IncrementalOptions opts;
+    opts.window = kWindow;
+    IncrementalChecker inc(spec, opts);
+    std::size_t flip_at = 0;  // actions consumed when ok() first went false
+    for (std::size_t i = 0; i < actions.size(); ++i) {
+      inc.push(actions[i]);
+      if (!inc.ok()) {
+        flip_at = i + 1;
+        break;
+      }
+    }
+    // The first window boundary at or after the corrupted response.
+    const std::size_t boundary = ((corrupt_idx / kWindow) + 1) * kWindow;
+    if (flip_at == 0) {
+      // Stream ended before that boundary; finish() must still catch it.
+      ASSERT_GT(boundary, actions.size());
+      inc.finish();
+      EXPECT_FALSE(inc.ok());
+    } else {
+      EXPECT_LE(flip_at, boundary) << "seed=" << seed;
+      EXPECT_GT(flip_at, corrupt_idx) << "seed=" << seed
+                                      << ": flagged before the bad response";
+    }
+    EXPECT_GT(inc.status().violation_window, 0u);
+    // Once failed, further pushes are ignored.
+    const std::size_t consumed = inc.status().actions_consumed;
+    inc.push(Action::invoke(99, kE, kEx, iv(1)));
+    EXPECT_EQ(inc.status().actions_consumed, consumed);
+  }
+  ASSERT_GT(runs_with_violation, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Status accounting and frontier compaction.
+
+TEST(IncrementalStatusCounters, WindowAndOperationCounts) {
+  ExchangerSpec spec(kE, kEx);
+  std::mt19937 rng(7);
+  const History h = random_exchanger_history(rng, 4, 3);
+  const std::size_t n = h.actions().size();
+  constexpr std::size_t kWindow = 5;
+  IncrementalOptions opts;
+  opts.window = kWindow;
+  IncrementalChecker inc(spec, opts);
+  inc.push(h);
+  EXPECT_EQ(inc.status().windows_checked, n / kWindow);
+  inc.finish();
+  EXPECT_EQ(inc.status().windows_checked,
+            n / kWindow + (n % kWindow == 0 ? 0 : 1));
+  EXPECT_EQ(inc.status().actions_consumed, n);
+  EXPECT_EQ(inc.status().operations, 12u);
+  EXPECT_EQ(inc.status().completed, 12u);
+  EXPECT_GT(inc.status().visited_states, 0u);
+}
+
+TEST(IncrementalCompaction, LongRunRetiresDecidedOperations) {
+  // 60 back-to-back timed-out exchanges: every operation is decided as
+  // soon as its window closes, so the active set must stay O(window) and
+  // the frontier must not accumulate explanations.
+  constexpr std::size_t kOps = 60;
+  ExchangerSpec spec(kE, kEx);
+  HistoryBuilder b;
+  for (std::size_t i = 1; i <= kOps; ++i) {
+    const auto v = static_cast<std::int64_t>(i);
+    b.call(1, "E", "exchange", iv(v));
+    b.ret(1, Value::pair(false, v));
+  }
+  const History h = b.history();
+  IncrementalOptions opts;
+  opts.window = 8;
+  IncrementalChecker inc(spec, opts);
+  inc.push(h);
+  inc.finish();
+  ASSERT_TRUE(inc.ok()) << inc.status().reason;
+  EXPECT_GE(inc.status().retired_ops, kOps - 2);
+  EXPECT_LE(inc.status().active_ops, 2u);
+  EXPECT_LE(inc.status().frontier_size, 2u);
+  // The witness still spans the whole stream.
+  const std::optional<CaTrace> w = inc.witness();
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->elements().size(), kOps);
+  EXPECT_TRUE(replay_ca(*w, spec).ok);
+}
+
+TEST(IncrementalEdgeCases, EmptyStreamAccepts) {
+  ExchangerSpec spec(kE, kEx);
+  IncrementalChecker inc(spec);
+  inc.finish();
+  EXPECT_TRUE(inc.ok());
+  EXPECT_TRUE(inc.status().finished);
+  const std::optional<CaTrace> w = inc.witness();
+  ASSERT_TRUE(w.has_value());
+  EXPECT_TRUE(w->elements().empty());
+}
+
+TEST(IncrementalEdgeCases, MalformedStreamsAreRejected) {
+  ExchangerSpec spec(kE, kEx);
+  {
+    IncrementalChecker inc(spec);
+    inc.push(Action::respond(1, kE, kEx, Value::pair(false, 1)));
+    EXPECT_FALSE(inc.ok());
+    EXPECT_NE(inc.status().reason.find("not well-formed"), std::string::npos);
+  }
+  {
+    IncrementalChecker inc(spec);
+    inc.push(Action::invoke(1, kE, kEx, iv(1)));
+    inc.push(Action::invoke(1, kE, kEx, iv(2)));  // same thread, still open
+    EXPECT_FALSE(inc.ok());
+    EXPECT_NE(inc.status().reason.find("not well-formed"), std::string::npos);
+  }
+}
+
+TEST(IncrementalEdgeCases, WindowSearchCapReportsExhausted) {
+  ExchangerSpec spec(kE, kEx);
+  IncrementalOptions opts;
+  opts.window = 64;
+  opts.max_visited = 1;
+  IncrementalChecker inc(spec, opts);
+  inc.push(wide_overlap_history(6, false));
+  inc.finish();
+  EXPECT_FALSE(inc.ok());
+  EXPECT_TRUE(inc.status().exhausted);
+  EXPECT_NE(inc.status().reason.find("exhausted"), std::string::npos);
+}
+
+TEST(IncrementalEdgeCases, TrackWitnessOffStillDecides) {
+  ExchangerSpec spec(kE, kEx);
+  IncrementalOptions opts;
+  opts.track_witness = false;
+  IncrementalChecker inc(spec, opts);
+  inc.push(wide_overlap_history(5, false));
+  inc.finish();
+  EXPECT_TRUE(inc.ok());
+  EXPECT_FALSE(inc.witness().has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Live streaming from the runtime recorder: a cursor feeds the checker
+// while worker threads are still publishing.
+
+TEST(IncrementalStreaming, FollowsRecorderCursorDuringExecution) {
+  runtime::EpochDomain ebr;
+  objects::Exchanger ex(ebr, kE);
+  runtime::Recorder rec(1 << 12);
+  ExchangerSpec spec(ex.name(), ex.method());
+  IncrementalOptions opts;
+  opts.window = 8;
+  IncrementalChecker inc(spec, opts);
+  runtime::Recorder::Cursor cursor = rec.cursor();
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 4;
+  std::atomic<int> running{kThreads};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    workers.emplace_back([&, i] {
+      const auto tid = static_cast<ThreadId>(i);
+      for (int r = 0; r < kRounds; ++r) {
+        const std::int64_t v = i * 100 + r;
+        rec.invoke(tid, ex.name(), ex.method(), iv(v));
+        objects::ExchangeResult res = ex.exchange(tid, v, 512);
+        rec.respond(tid, ex.name(), ex.method(),
+                    Value::pair(res.ok, res.value));
+      }
+      running.fetch_sub(1, std::memory_order_release);
+    });
+  }
+  // Follow the log while the run is live: consume whatever is published,
+  // checking window-by-window as enough arrives.
+  const auto drain = [&] {
+    return cursor.poll([&](const Action& a) { inc.push(a); });
+  };
+  while (running.load(std::memory_order_acquire) > 0) {
+    drain();
+    std::this_thread::yield();
+  }
+  for (std::thread& t : workers) t.join();
+  while (drain() > 0) {
+  }
+  inc.finish();
+
+  const History h = rec.snapshot();
+  ASSERT_TRUE(h.well_formed());
+  EXPECT_EQ(rec.dropped(), 0u);
+  EXPECT_EQ(inc.status().actions_consumed, h.actions().size());
+  // A real exchanger execution is CAL; the streaming verdict must agree
+  // with the batch verdict on the recorded history either way.
+  const CalCheckResult batch = CalChecker(spec).check(h);
+  EXPECT_TRUE(batch.ok) << h.to_string();
+  EXPECT_EQ(inc.ok(), batch.ok) << inc.status().reason;
+  const std::optional<CaTrace> w = inc.witness();
+  ASSERT_TRUE(w.has_value());
+  EXPECT_TRUE(replay_ca(*w, spec).ok);
+  if (h.complete()) {
+    EXPECT_TRUE(agrees_with(h, *w).agrees);
+  }
+}
+
+}  // namespace
+}  // namespace cal

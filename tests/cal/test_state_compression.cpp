@@ -23,6 +23,7 @@
 #include "cal/specs/exchanger_spec.hpp"
 #include "cal/specs/stack_spec.hpp"
 #include "cal/text.hpp"
+#include "corpus.hpp"
 
 namespace cal {
 namespace {
@@ -30,8 +31,6 @@ namespace {
 const Symbol kE{"E"};
 const Symbol kEx{"exchange"};
 const Symbol kS{"S"};
-
-Value iv(std::int64_t x) { return Value::integer(x); }
 
 // ---------------------------------------------------------------------------
 // Fingerprint primitives.
@@ -87,128 +86,6 @@ TEST(FingerprintSet, CompressesAgainstStoredKeys) {
 }
 
 // ---------------------------------------------------------------------------
-// Corpus generators (same families as the parallel equivalence suite).
-
-History random_exchanger_history(std::mt19937& rng, std::size_t n_threads,
-                                 std::size_t ops_per_thread) {
-  struct Active {
-    ThreadId tid;
-    std::int64_t v;
-    bool decided = false;
-    Value ret;
-  };
-  History h;
-  std::vector<std::size_t> remaining(n_threads, ops_per_thread);
-  std::vector<std::optional<Active>> active(n_threads);
-  std::int64_t next_value = 1;
-  auto rnd = [&](std::size_t n) {
-    return std::uniform_int_distribution<std::size_t>(0, n - 1)(rng);
-  };
-  auto some_left = [&] {
-    for (std::size_t t = 0; t < n_threads; ++t) {
-      if (remaining[t] > 0 || active[t].has_value()) return true;
-    }
-    return false;
-  };
-  while (some_left()) {
-    switch (rnd(3)) {
-      case 0: {
-        std::vector<std::size_t> can;
-        for (std::size_t t = 0; t < n_threads; ++t) {
-          if (remaining[t] > 0 && !active[t]) can.push_back(t);
-        }
-        if (can.empty()) break;
-        const std::size_t t = can[rnd(can.size())];
-        const std::int64_t v = next_value++;
-        active[t] = Active{static_cast<ThreadId>(t + 1), v, false,
-                           Value::unit()};
-        remaining[t] -= 1;
-        h.invoke(static_cast<ThreadId>(t + 1), kE, kEx, iv(v));
-        break;
-      }
-      case 1: {
-        std::vector<std::size_t> undecided;
-        for (std::size_t t = 0; t < n_threads; ++t) {
-          if (active[t] && !active[t]->decided) undecided.push_back(t);
-        }
-        if (undecided.empty()) break;
-        if (undecided.size() >= 2 && rnd(2) == 0) {
-          const std::size_t i = undecided[rnd(undecided.size())];
-          std::size_t j = i;
-          while (j == i) j = undecided[rnd(undecided.size())];
-          active[i]->decided = true;
-          active[j]->decided = true;
-          active[i]->ret = Value::pair(true, active[j]->v);
-          active[j]->ret = Value::pair(true, active[i]->v);
-        } else {
-          const std::size_t i = undecided[rnd(undecided.size())];
-          active[i]->decided = true;
-          active[i]->ret = Value::pair(false, active[i]->v);
-        }
-        break;
-      }
-      case 2: {
-        std::vector<std::size_t> decided;
-        for (std::size_t t = 0; t < n_threads; ++t) {
-          if (active[t] && active[t]->decided) decided.push_back(t);
-        }
-        if (decided.empty()) break;
-        const std::size_t t = decided[rnd(decided.size())];
-        h.respond(active[t]->tid, kE, kEx, active[t]->ret);
-        active[t].reset();
-        break;
-      }
-    }
-  }
-  return h;
-}
-
-std::optional<History> corrupt(const History& h) {
-  std::vector<Action> actions = h.actions();
-  for (Action& a : actions) {
-    if (a.is_respond() && a.payload.kind() == Value::Kind::kPair &&
-        a.payload.pair_ok()) {
-      a.payload = Value::pair(true, 99999);
-      return History(std::move(actions));
-    }
-  }
-  return std::nullopt;
-}
-
-History garbage_stack_history(std::mt19937& rng, std::size_t n_ops) {
-  auto rnd = [&](std::size_t n) {
-    return std::uniform_int_distribution<std::size_t>(0, n - 1)(rng);
-  };
-  HistoryBuilder b;
-  for (std::size_t i = 0; i < n_ops; ++i) {
-    const ThreadId tid = static_cast<ThreadId>(rnd(3) + 1);
-    if (rnd(2) == 0) {
-      b.op(tid, "S", "push", iv(static_cast<std::int64_t>(rnd(3) + 1)),
-           Value::boolean(true));
-    } else {
-      b.op(tid, "S", "pop", Value::unit(),
-           Value::pair(true, static_cast<std::int64_t>(rnd(3) + 1)));
-    }
-  }
-  return b.history();
-}
-
-History wide_overlap_history(std::size_t width, bool corrupt_one) {
-  HistoryBuilder b;
-  for (std::size_t t = 1; t <= width; ++t) {
-    b.call(static_cast<ThreadId>(t), "E", "exchange",
-           iv(static_cast<std::int64_t>(t)));
-  }
-  for (std::size_t t = 1; t <= width; ++t) {
-    const auto v = static_cast<std::int64_t>(t);
-    b.ret(static_cast<ThreadId>(t),
-          corrupt_one && t == width ? Value::pair(true, 424242)
-                                    : Value::pair(false, v));
-  }
-  return b.history();
-}
-
-// ---------------------------------------------------------------------------
 // Equivalence harness: fingerprint vs exact × threads {1, 2, 8}.
 
 void expect_modes_equivalent(const CaSpec& spec, const History& h,
@@ -253,16 +130,6 @@ void expect_modes_equivalent(const CaSpec& spec, const History& h,
   }
 }
 
-History load_history(const std::string& name) {
-  const std::string path = std::string(CAL_EXAMPLES_HISTORIES_DIR) + "/" + name;
-  std::ifstream in(path);
-  EXPECT_TRUE(in) << "cannot open " << path;
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  ParseResult<History> parsed = parse_history(buf.str());
-  EXPECT_TRUE(parsed) << "parse error in " << path;
-  return *parsed.value;
-}
 
 TEST(StateCompressionCorpus, ExampleHistories) {
   ExchangerSpec ex(kE, kEx);

@@ -1,0 +1,135 @@
+// ExploreOptions::check_spec — the streaming-checker post-pass over
+// collected terminal histories. Shared by the sequential and parallel
+// drivers: every unique terminal history is pushed through an
+// engine::IncrementalChecker and the per-history verdicts (plus reasons
+// for the failures) land on the ExploreResult.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cal/specs/exchanger_spec.hpp"
+#include "sched/explorer.hpp"
+#include "sched/machines/exchanger_machine.hpp"
+
+namespace cal::sched {
+namespace {
+
+/// A spec with an empty trace-set: admits no CA-element at all, so every
+/// history with a completed operation is non-CAL w.r.t. it.
+class RejectAllSpec : public CaSpec {
+ public:
+  [[nodiscard]] SpecState initial() const override { return {}; }
+  [[nodiscard]] std::size_t max_element_size() const override { return 1; }
+  [[nodiscard]] std::vector<CaStepResult> step(
+      const SpecState&, Symbol, const std::vector<Operation>&) const override {
+    return {};
+  }
+};
+
+struct ExchangerWorld {
+  WorldConfig config;
+  ExchangerSpec spec{Symbol{"E"}, Symbol{"exchange"}};
+  std::vector<std::unique_ptr<SimObject>> objects;
+};
+
+/// n threads, one exchange each (distinct values), recording histories.
+ExchangerWorld make_world(std::size_t n_threads) {
+  ExchangerWorld w;
+  w.objects.push_back(std::make_unique<ExchangerMachine>(Symbol{"E"}));
+  for (std::size_t i = 0; i < n_threads; ++i) {
+    ThreadProgram p;
+    p.tid = static_cast<ThreadId>(i);
+    p.calls.push_back(Call{0, Symbol{"exchange"},
+                           Value::integer(static_cast<std::int64_t>(i + 1))});
+    w.config.programs.push_back(std::move(p));
+  }
+  w.config.object_names = {Symbol{"E"}};
+  w.config.spec = &w.spec;
+  w.config.record_history = true;
+  w.config.record_trace = true;
+  w.config.heap_cells = 64;
+  w.config.global_cells = 16;
+  return w;
+}
+
+TEST(ExplorerCheckSpec, CleanWorldEveryHistoryAccepted) {
+  ExchangerWorld w = make_world(2);
+  ExploreOptions opts;
+  opts.merge_states = false;
+  opts.collect_terminals = true;
+  opts.check_spec = &w.spec;
+  opts.check_window = 2;
+  Explorer ex(w.config, std::move(w.objects), opts);
+  ExploreResult r = ex.run();
+
+  ASSERT_TRUE(r.violations.empty());
+  ASSERT_GT(r.histories.size(), 1u);
+  ASSERT_EQ(r.history_verdicts.size(), r.histories.size());
+  for (std::size_t i = 0; i < r.history_verdicts.size(); ++i) {
+    EXPECT_TRUE(r.history_verdicts[i]) << r.histories[i].to_string();
+  }
+  EXPECT_TRUE(r.check_failures.empty());
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(ExplorerCheckSpec, RejectAllSpecFailsEveryHistoryAndResult) {
+  ExchangerWorld w = make_world(2);
+  RejectAllSpec reject;
+  ExploreOptions opts;
+  opts.merge_states = false;
+  opts.collect_terminals = true;
+  opts.check_spec = &reject;
+  Explorer ex(w.config, std::move(w.objects), opts);
+  ExploreResult r = ex.run();
+
+  // The schedule-level exploration itself is clean — only the post-pass
+  // fails, and that alone must flip ok().
+  EXPECT_TRUE(r.violations.empty());
+  ASSERT_GT(r.histories.size(), 0u);
+  ASSERT_EQ(r.history_verdicts.size(), r.histories.size());
+  for (std::size_t i = 0; i < r.history_verdicts.size(); ++i) {
+    EXPECT_FALSE(r.history_verdicts[i]);
+  }
+  EXPECT_EQ(r.check_failures.size(), r.histories.size());
+  for (const std::string& reason : r.check_failures) {
+    EXPECT_NE(reason.find("history "), std::string::npos) << reason;
+  }
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ExplorerCheckSpec, ParallelDriverRunsTheSamePostPass) {
+  ExchangerWorld w = make_world(2);
+  ExploreOptions opts;
+  opts.merge_states = false;
+  opts.collect_terminals = true;
+  opts.check_spec = &w.spec;
+  opts.threads = 4;
+  Explorer ex(w.config, std::move(w.objects), opts);
+  ExploreResult r = ex.run();
+
+  ASSERT_TRUE(r.violations.empty());
+  ASSERT_GT(r.histories.size(), 1u);
+  ASSERT_EQ(r.history_verdicts.size(), r.histories.size());
+  for (std::size_t i = 0; i < r.history_verdicts.size(); ++i) {
+    EXPECT_TRUE(r.history_verdicts[i]) << r.histories[i].to_string();
+  }
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(ExplorerCheckSpec, WithoutCollectTerminalsNothingIsChecked) {
+  ExchangerWorld w = make_world(2);
+  RejectAllSpec reject;
+  ExploreOptions opts;
+  opts.check_spec = &reject;  // collect_terminals stays off
+  Explorer ex(w.config, std::move(w.objects), opts);
+  ExploreResult r = ex.run();
+
+  EXPECT_TRUE(r.histories.empty());
+  EXPECT_TRUE(r.history_verdicts.empty());
+  EXPECT_TRUE(r.check_failures.empty());
+  EXPECT_TRUE(r.ok());
+}
+
+}  // namespace
+}  // namespace cal::sched

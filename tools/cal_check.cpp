@@ -19,6 +19,13 @@
 //   --exact-visited   dedup visited search nodes by full stored keys
 //                     instead of 128-bit fingerprints (CalCheckOptions::
 //                     exact_visited): more memory, zero false-prune risk
+//   --follow          streaming mode: consume actions line-by-line (stdin
+//                     or one FILE, e.g. a live tail) through the
+//                     incremental checker, deciding window-by-window with
+//                     per-window progress on stderr. A violation exits 1
+//                     within one window of the offending response and
+//                     prints the consumed prefix as a replayable history.
+//   --window N        actions per streaming window (--follow; default 16)
 //
 // Specs:
 //   exchanger:<obj>[:<method>]   CA-spec (swap pairs / failures)
@@ -40,6 +47,7 @@
 #include <vector>
 
 #include "cal/cal_checker.hpp"
+#include "cal/engine/incremental.hpp"
 #include "cal/lin_checker.hpp"
 #include "cal/parallel/task_pool.hpp"
 #include "cal/set_lin.hpp"
@@ -62,14 +70,16 @@ struct Options {
   std::size_t jobs = 1;     // files checked concurrently (0 = #cores)
   std::size_t threads = 1;  // CalCheckOptions::threads per check
   bool exact_visited = false;  // CalCheckOptions::exact_visited
+  bool follow = false;         // streaming incremental mode
+  std::size_t window = 16;     // IncrementalOptions::window
 };
 
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --spec KIND:OBJ[:METHOD] [--checker cal|lin|set-lin]\n"
-      "          [--quiet] [--jobs N] [--threads N] [--exact-visited] "
-      "[FILE...]\n"
+      "          [--quiet] [--jobs N] [--threads N] [--exact-visited]\n"
+      "          [--follow [--window N]] [FILE...]\n"
       "spec kinds: exchanger sync-queue snapshot stack central-stack queue "
       "register\n",
       argv0);
@@ -206,6 +216,73 @@ CheckOutcome check_text(const Options& opt, const SpecBundle& spec,
   return o;
 }
 
+/// Streaming mode: pushes each parsed line into the incremental checker,
+/// reporting per-window progress on stderr. Output matches the batch
+/// format (ACCEPT/REJECT first line, witness on acceptance); a rejection
+/// additionally prints the consumed action prefix, which is itself a valid
+/// history document — replayable through the batch checker.
+int run_follow(const Options& opt, const SpecBundle& spec, std::istream& in) {
+  engine::IncrementalOptions iopts;
+  iopts.window = opt.window == 0 ? 16 : opt.window;
+  iopts.threads = opt.threads;
+  iopts.exact_visited = opt.exact_visited;
+  engine::IncrementalChecker checker(*spec.ca, iopts);
+
+  History consumed;
+  std::string raw;
+  std::size_t line_no = 0;
+  std::size_t last_window = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    ParseResult<std::optional<Action>> parsed = parse_action_line(raw);
+    if (!parsed) {
+      std::fprintf(stderr, "parse error at line %zu: %s\n", line_no,
+                   parsed.error->message.c_str());
+      return 2;
+    }
+    if (!*parsed.value) continue;  // blank / comment
+    consumed.append(**parsed.value);
+    checker.push(**parsed.value);
+
+    const auto& s = checker.status();
+    if (!opt.quiet && s.windows_checked > last_window) {
+      last_window = s.windows_checked;
+      std::fprintf(stderr,
+                   "window %zu: %zu actions, %zu/%zu ops completed, "
+                   "frontier %zu, active %zu, retired %zu\n",
+                   s.windows_checked, s.actions_consumed, s.completed,
+                   s.operations, s.frontier_size, s.active_ops,
+                   s.retired_ops);
+    }
+    if (!s.ok) break;
+  }
+  checker.finish();
+
+  const auto& s = checker.status();
+  const std::string stats = std::to_string(s.visited_states) + " states, " +
+                            std::to_string(s.windows_checked) + " windows, " +
+                            std::to_string(s.actions_consumed) + " actions";
+  if (s.ok) {
+    if (opt.quiet) {
+      std::printf("ACCEPT\n");
+    } else {
+      std::printf("ACCEPT: CA-linearizable (%s)\n", stats.c_str());
+      if (const auto w = checker.witness()) {
+        std::printf("witness:\n%s", format_trace(*w).c_str());
+      }
+    }
+    return 0;
+  }
+  std::printf("REJECT: not CA-linearizable (%s%s)\n", stats.c_str(),
+              s.exhausted ? ", search exhausted" : "");
+  if (!opt.quiet) {
+    std::printf("window %zu: %s\n", s.violation_window, s.reason.c_str());
+    std::printf("consumed prefix (replayable):\n%s",
+                format_history(consumed).c_str());
+  }
+  return 1;
+}
+
 CheckOutcome check_file(const Options& opt, const SpecBundle& spec,
                         const std::string& file) {
   std::ifstream in(file);
@@ -274,6 +351,10 @@ int main(int argc, char** argv) {
       opt.threads = parse_count("--threads", argv[++i]);
     } else if (arg == "--exact-visited") {
       opt.exact_visited = true;
+    } else if (arg == "--follow") {
+      opt.follow = true;
+    } else if (arg == "--window" && i + 1 < argc) {
+      opt.window = parse_count("--window", argv[++i]);
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -303,6 +384,24 @@ int main(int argc, char** argv) {
                  "use cal or set-lin)\n",
                  opt.spec.c_str());
     return 2;
+  }
+
+  if (opt.follow) {
+    if (opt.checker != "cal") {
+      std::fprintf(stderr, "--follow streams through the cal checker only\n");
+      return 2;
+    }
+    if (opt.files.size() > 1) {
+      std::fprintf(stderr, "--follow takes at most one FILE\n");
+      return 2;
+    }
+    if (opt.files.empty()) return run_follow(opt, *spec, std::cin);
+    std::ifstream in(opt.files.front());
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", opt.files.front().c_str());
+      return 2;
+    }
+    return run_follow(opt, *spec, in);
   }
 
   if (opt.files.empty()) {
