@@ -1,22 +1,31 @@
 // Experiment T-MC — cost of the verification substrate itself: exhaustive
-// exploration of the exchanger and elimination-stack machines.
+// exploration of the simulated exchanger and elimination stack (the same
+// objects/core/ bodies the runtime executes, stepped through SimEnv).
 //
 // Series regenerated:
 //   * states/transitions/time vs configuration size (threads × ops);
 //   * state merging on vs off (the soundness-preserving reduction);
 //   * rely/guarantee audit overhead (Fig. 4 actions + J + proof outline).
+//
+// Experiment T-ENV — cost of the environment abstraction on the *real*
+// side: BM_Env_StepOverhead compares the RealEnv-instantiated Treiber
+// stack against a hand-written direct-atomic twin (the shape the objects
+// had before unification). See BENCH_env_unification.json.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <memory>
+#include <utility>
 
 #include "cal/cal_checker.hpp"
 #include "cal/specs/elim_views.hpp"
 #include "cal/specs/exchanger_spec.hpp"
 #include "cal/specs/stack_spec.hpp"
+#include "objects/treiber_stack.hpp"
+#include "runtime/ebr.hpp"
 #include "sched/explorer.hpp"
-#include "sched/machines/elim_stack_machine.hpp"
-#include "sched/machines/exchanger_machine.hpp"
 #include "sched/rg.hpp"
+#include "sched/sim_objects.hpp"
 
 namespace {
 
@@ -28,13 +37,13 @@ Value iv(std::int64_t x) { return Value::integer(x); }
 struct ExchangerConfig {
   WorldConfig config;
   ExchangerSpec spec{Symbol{"E"}, Symbol{"exchange"}};
-  const ExchangerMachine* machine = nullptr;
+  const SimExchanger* machine = nullptr;
   std::vector<std::unique_ptr<SimObject>> objects;
 };
 
 ExchangerConfig make_exchanger(std::size_t threads, std::size_t ops) {
   ExchangerConfig c;
-  auto machine = std::make_unique<ExchangerMachine>(Symbol{"E"});
+  auto machine = std::make_unique<SimExchanger>(Symbol{"E"});
   c.machine = machine.get();
   c.objects.push_back(std::move(machine));
   for (std::size_t i = 0; i < threads; ++i) {
@@ -161,7 +170,7 @@ void BM_Explore_ElimStack(benchmark::State& state) {
                                             Symbol{"ES.AR"}, 1);
     WorldConfig cfg;
     std::vector<std::unique_ptr<SimObject>> objects;
-    objects.push_back(std::make_unique<ElimStackMachine>(
+    objects.push_back(std::make_unique<SimElimStack>(
         Symbol{"ES"}, Symbol{"ES.S"}, Symbol{"ES.AR"}, 1, 1));
     ThreadId tid = 0;
     for (std::size_t i = 0; i < pushers; ++i, ++tid) {
@@ -217,6 +226,108 @@ void BM_Enumerate_And_OfflineCheck(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Enumerate_And_OfflineCheck)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Experiment T-ENV: the price of running the shared objects/core/ bodies
+// through RealEnv instead of hand-written atomics. One push + one pop per
+// iteration, single thread, tracing off. The direct twin below is a
+// verbatim transplant of the pre-unification CentralStack (the hand-
+// written object this repo shipped before the env refactor): pointer-typed
+// cells, an eager log() helper with its null-trace check, epoch guard,
+// acquire load, acq_rel CAS, EBR retire. Any gap between the two series is
+// the cost of routing the same algorithm through the env template layer.
+
+/// The legacy hand-written central stack, copied from the pre-env sources.
+class DirectCentralStack {
+ public:
+  struct Cell {
+    std::int64_t data;
+    Cell* next;
+  };
+
+  DirectCentralStack(runtime::EpochDomain& ebr, Symbol name,
+                     runtime::TraceLog* trace)
+      : ebr_(ebr), name_(name), trace_(trace) {}
+  ~DirectCentralStack() {
+    Cell* c = top_.load(std::memory_order_acquire);
+    while (c != nullptr) {
+      Cell* next = c->next;
+      delete c;
+      c = next;
+    }
+  }
+
+  bool push(runtime::ThreadId tid, std::int64_t v) {
+    static const Symbol kPush{"push"};
+    runtime::EpochDomain::Guard guard(ebr_, tid);
+    Cell* h = top_.load(std::memory_order_acquire);
+    auto* n = new Cell{v, h};
+    const bool ok =
+        top_.compare_exchange_strong(h, n, std::memory_order_acq_rel);
+    if (!ok) delete n;
+    log(tid, kPush, Value::integer(v), Value::boolean(ok));
+    return ok;
+  }
+
+  objects::PopResult pop(runtime::ThreadId tid) {
+    static const Symbol kPop{"pop"};
+    runtime::EpochDomain::Guard guard(ebr_, tid);
+    Cell* h = top_.load(std::memory_order_acquire);
+    if (h == nullptr) {
+      log(tid, kPop, Value::unit(), Value::pair(false, 0));
+      return {false, 0};
+    }
+    Cell* n = h->next;
+    if (top_.compare_exchange_strong(h, n, std::memory_order_acq_rel)) {
+      const std::int64_t v = h->data;
+      ebr_.retire(tid, h);
+      log(tid, kPop, Value::unit(), Value::pair(true, v));
+      return {true, v};
+    }
+    log(tid, kPop, Value::unit(), Value::pair(false, 0));
+    return {false, 0};
+  }
+
+ private:
+  void log(runtime::ThreadId tid, Symbol method, Value arg, Value ret) {
+    if (trace_ == nullptr) return;
+    trace_->append(CaElement::singleton(
+        name_, Operation::make(tid, name_, method, std::move(arg),
+                               std::move(ret))));
+  }
+
+  runtime::EpochDomain& ebr_;
+  Symbol name_;
+  runtime::TraceLog* trace_;
+  std::atomic<Cell*> top_{nullptr};
+};
+
+void BM_Env_StepOverhead_RealEnv(benchmark::State& state) {
+  runtime::EpochDomain ebr;
+  // CentralStack = exactly one core attempt per call, the same one-CAS
+  // shape as the direct twin (TreiberStack would add its retry-policy
+  // loads on top, which are not part of the env layer being measured).
+  objects::CentralStack stack(ebr, Symbol{"S"}, /*trace=*/nullptr);
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    stack.push(0, ++v);
+    benchmark::DoNotOptimize(stack.pop(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_Env_StepOverhead_RealEnv);
+
+void BM_Env_StepOverhead_Direct(benchmark::State& state) {
+  runtime::EpochDomain ebr;
+  DirectCentralStack stack(ebr, Symbol{"S"}, /*trace=*/nullptr);
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    stack.push(0, ++v);
+    benchmark::DoNotOptimize(stack.pop(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_Env_StepOverhead_Direct);
 
 }  // namespace
 

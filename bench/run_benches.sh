@@ -6,6 +6,10 @@
 #     → BENCH_state_compression.json
 #   * T-STREAM — streaming incremental checker vs batch (bench_streaming)
 #     → BENCH_streaming.json
+#   * T-ENV — RealEnv abstraction cost vs the direct-atomic twin
+#     (bench_model_check, BM_Env_StepOverhead_*) → BENCH_env_unification.json;
+#     build with CMAKE_BUILD_TYPE=Release, the ≤5% claim is about optimized
+#     code where the env wrappers inline away
 #
 # Environment overrides:
 #   BUILD_DIR      build tree containing the bench binaries (default: build)
@@ -18,6 +22,10 @@
 #   STREAM_FILTER  streaming benchmark name regex (default: BM_Streaming)
 #   STREAM_OUT     streaming output JSON path (default: BENCH_streaming.json
 #                  in the repo root)
+#   ENV_FILTER     env-overhead benchmark name regex (default:
+#                  BM_Env_StepOverhead)
+#   ENV_OUT        env-overhead output JSON path (default:
+#                  BENCH_env_unification.json in the repo root)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -27,6 +35,8 @@ FILTER="${FILTER:-BM_CalChecker_OverlapWidth}"
 OUT="${OUT:-$ROOT/BENCH_state_compression.json}"
 STREAM_FILTER="${STREAM_FILTER:-BM_Streaming}"
 STREAM_OUT="${STREAM_OUT:-$ROOT/BENCH_streaming.json}"
+ENV_FILTER="${ENV_FILTER:-BM_Env_StepOverhead}"
+ENV_OUT="${ENV_OUT:-$ROOT/BENCH_env_unification.json}"
 
 run_series() {
   local bin="$1" filter="$2" out="$3"
@@ -45,3 +55,4 @@ run_series() {
 
 run_series "$BUILD_DIR/bench/bench_checker_scaling" "$FILTER" "$OUT"
 run_series "$BUILD_DIR/bench/bench_streaming" "$STREAM_FILTER" "$STREAM_OUT"
+run_series "$BUILD_DIR/bench/bench_model_check" "$ENV_FILTER" "$ENV_OUT"

@@ -19,9 +19,8 @@
 #include "cal/specs/exchanger_spec.hpp"
 #include "cal/specs/stack_spec.hpp"
 #include "sched/explorer.hpp"
-#include "sched/machines/elim_stack_machine.hpp"
-#include "sched/machines/exchanger_machine.hpp"
 #include "sched/rg.hpp"
+#include "sched/sim_objects.hpp"
 
 using namespace cal;         // NOLINT: example
 using namespace cal::sched;  // NOLINT: example
@@ -42,22 +41,21 @@ void report(const char* title, const ExploreResult& r) {
   }
 }
 
-/// Mutant for act 3: success returns echo the thread's own value.
-class EchoBugExchanger final : public SimObject {
- public:
-  explicit EchoBugExchanger(Symbol name) : inner_(name) {}
-  void init(World& world) override { inner_.init(world); }
-  StepResult step(World& world, ThreadCtx& t) const override {
-    if (t.pc == ExchangerMachine::kSuccessReturnB) {
-      world.respond(t, Value::pair(true, t.regs[ExchangerMachine::kRegV]));
-      return StepResult::ran();
+/// Mutant for act 3: success returns echo the thread's own value,
+/// injected as a respond hook on the real exchanger body.
+std::unique_ptr<SimExchanger> echo_bug_exchanger(Symbol name) {
+  namespace core = cal::objects::core;
+  auto object = std::make_unique<SimExchanger>(name);
+  SimHooks hooks;
+  hooks.respond = [](const ThreadCtx& t, Value ret) {
+    if (t.pc == core::ExchangerPc::kSuccessReturnB) {
+      return Value::pair(true, t.regs[core::ExchangerReg::kV]);
     }
-    return inner_.step(world, t);
-  }
-
- private:
-  ExchangerMachine inner_;
-};
+    return ret;
+  };
+  object->set_hooks(std::move(hooks));
+  return object;
+}
 
 WorldConfig exchanger_config(const CaSpec* spec, std::size_t threads) {
   WorldConfig cfg;
@@ -83,7 +81,7 @@ int main() {
   {
     ExchangerSpec spec(Symbol{"E"}, Symbol{"exchange"});
     WorldConfig cfg = exchanger_config(&spec, 3);
-    auto machine = std::make_unique<ExchangerMachine>(Symbol{"E"});
+    auto machine = std::make_unique<SimExchanger>(Symbol{"E"});
     ExchangerRgAuditor auditor(*machine);
     std::vector<std::unique_ptr<SimObject>> objects;
     objects.push_back(std::move(machine));
@@ -112,7 +110,7 @@ int main() {
     cfg.heap_cells = 24;
     cfg.global_cells = 8;
     std::vector<std::unique_ptr<SimObject>> objects;
-    objects.push_back(std::make_unique<ElimStackMachine>(
+    objects.push_back(std::make_unique<SimElimStack>(
         Symbol{"ES"}, Symbol{"ES.S"}, Symbol{"ES.AR"}, 1, 2));
     Explorer explorer(cfg, std::move(objects));
     ExploreResult r = explorer.run();
@@ -120,7 +118,7 @@ int main() {
            "the sequential stack spec",
            r);
     std::printf("  elimination path reachable: %s\n\n",
-                (r.events & (1ull << ElimStackMachine::kEventElimination))
+                (r.events & (1ull << cal::objects::core::kEventElimination))
                     ? "yes"
                     : "no");
   }
@@ -130,7 +128,7 @@ int main() {
     ExchangerSpec spec(Symbol{"E"}, Symbol{"exchange"});
     WorldConfig cfg = exchanger_config(&spec, 2);
     std::vector<std::unique_ptr<SimObject>> objects;
-    objects.push_back(std::make_unique<EchoBugExchanger>(Symbol{"E"}));
+    objects.push_back(echo_bug_exchanger(Symbol{"E"}));
     Explorer explorer(cfg, std::move(objects));
     report("[3] seeded bug: successful exchange returns its own value",
            explorer.run());

@@ -1,0 +1,96 @@
+// The elimination tier of Fig. 2: a striped array of exchangers (the
+// elimination array AR / the rendezvous object) and the elimination-stack
+// composition that interleaves central-stack attempts with exchanges.
+//
+// One *attempt* = one iteration of Fig. 2's while(true) (lines 31-37 for
+// push, 41-47 for pop). The wrappers own the loop: the real
+// EliminationStack retries forever, the simulated one is bounded by the
+// explorer's retry budget with truncation.
+#pragma once
+
+#include <cstdint>
+
+#include "cal/value.hpp"
+#include "objects/core/exchanger_core.hpp"
+#include "objects/core/stack_core.hpp"
+#include "objects/env.hpp"
+
+namespace cal::objects::core {
+
+/// World event bit signalled when an operation completes by elimination
+/// (reachability beacon; no-op under RealEnv).
+inline constexpr unsigned kEventElimination = 0;
+
+/// The striped meeting point shared by ElimArray, Rendezvous and the
+/// elimination stack: pick a slot (Fig. 2 line 4 — a genuine
+/// nondeterministic choice, so the explorer forks on it) and exchange
+/// there. `slots`/`slot_names` have `width` entries.
+template <class Env>
+ExchangeOutcome striped_exchange(Env& env, const ExchangerRefs* slots,
+                                 const Symbol* slot_names, std::size_t width,
+                                 Symbol method, ThreadId tid, Word v,
+                                 unsigned spins) {
+  const auto slot = static_cast<std::size_t>(
+      env.choose(static_cast<Word>(width)));
+  return exchange(env, slots[slot], slot_names[slot], method, tid, v, spins);
+}
+
+enum class ElimAttempt : std::uint8_t {
+  kDone,            ///< completed through the central stack
+  kDoneEliminated,  ///< completed by exchanging through AR
+  kRetry,           ///< failed exchange or same-side collision (loop again)
+};
+
+struct ElimPopOutcome {
+  ElimAttempt kind = ElimAttempt::kRetry;
+  Word value = 0;
+};
+
+/// One push attempt (Fig. 2 lines 32-36). `accept_any_exchange` drops the
+/// d == POP_SENTINAL check of line 35 — the DropsPushMutant of the test
+/// suite, kept here as an explicit misconfiguration flag so the mutant
+/// shares this body too.
+template <class Env>
+ElimAttempt elim_push_attempt(Env& env, const StackRefs& s,
+                              const ExchangerRefs* slots,
+                              const Symbol* slot_names, std::size_t width,
+                              Symbol s_name, ThreadId tid, Word v,
+                              unsigned spins,
+                              bool accept_any_exchange = false) {
+  static const Symbol kExchange{"exchange"};
+  if (stack_push_attempt(env, s, s_name, tid, v)) {  // lines 32-33
+    return ElimAttempt::kDone;
+  }
+  const ExchangeOutcome r = striped_exchange(env, slots, slot_names, width,
+                                             kExchange, tid, v, spins);
+  if (r.ok && (accept_any_exchange || r.value == kInfinity)) {  // line 35
+    env.event(kEventElimination);
+    return ElimAttempt::kDoneEliminated;  // line 36
+  }
+  return ElimAttempt::kRetry;  // line 31
+}
+
+/// One pop attempt (Fig. 2 lines 42-46). An empty central stack is not a
+/// pop result here: Fig. 2's pop never reports empty, it goes to the
+/// elimination array and loops.
+template <class Env>
+ElimPopOutcome elim_pop_attempt(Env& env, const StackRefs& s,
+                                const ExchangerRefs* slots,
+                                const Symbol* slot_names, std::size_t width,
+                                Symbol s_name, ThreadId tid,
+                                unsigned spins) {
+  static const Symbol kExchange{"exchange"};
+  const StackPopOutcome p = stack_pop_attempt(env, s, s_name, tid);
+  if (p.kind == StackPop::kGot) {  // lines 42-43
+    return {ElimAttempt::kDone, p.value};
+  }
+  const ExchangeOutcome r = striped_exchange(
+      env, slots, slot_names, width, kExchange, tid, kInfinity, spins);
+  if (r.ok && r.value != kInfinity) {  // line 45
+    env.event(kEventElimination);
+    return {ElimAttempt::kDoneEliminated, r.value};  // line 46
+  }
+  return {ElimAttempt::kRetry, 0};  // line 41
+}
+
+}  // namespace cal::objects::core

@@ -1,0 +1,149 @@
+// The Fig. 1 exchanger, written once over the environment concept Env
+// (objects/env.hpp), with the paper's auxiliary assignments (§5.1) at
+// exactly the instrumented points:
+//
+//   line 13  allocate offer n = {tid, v, hole: null}
+//   line 15  CAS(g, null, n)                       — INIT
+//   line 17  bounded wait for a partner
+//   line 18  CAS(n.hole, null, FAIL)               — PASS; 𝒯 += failure
+//   line 20  CAS(g, n, null) withdraw; return (false, v)
+//   line 22  return (true, n.hole.data)
+//   line 25  cur = g; null → 𝒯 += failure; return (false, v)
+//   line 29  s = CAS(cur.hole, null, n)            — XCHG; if s the single
+//            CAS completes *both* operations and 𝒯 += E.swap(cur.tid,
+//            cur.data, tid, v), appended atomically with the CAS
+//   line 31  CAS(g, cur, null)                     — CLEAN (helping)
+//   line 33  s → return (true, cur.data); else 𝒯 += failure, (false, v)
+//
+// The withdraw CAS at line 20 (present in the real implementation's
+// cleanup path) is part of the single body now, so the model checker
+// explores it too; it is the CLEAN action applied to the thread's own
+// passed offer.
+#pragma once
+
+#include <cstdint>
+
+#include "cal/ca_trace.hpp"
+#include "cal/value.hpp"
+#include "objects/env.hpp"
+
+namespace cal::objects::core {
+
+// Offer layout: [0] tid (the auxiliary field of §5.1), [1] data, [2] hole.
+inline constexpr Word kOfferTid = 0;
+inline constexpr Word kOfferData = 1;
+inline constexpr Word kOfferHole = 2;
+inline constexpr Word kOfferCells = 3;
+
+/// Shared cells of one exchanger: the global offer slot g and the address
+/// of the FAIL sentinel offer. RealEnv points these at member storage;
+/// SimEnv allocates them from the world's global region.
+struct ExchangerRefs {
+  Word g = kNullRef;
+  Word fail = kNullRef;
+};
+
+/// Control points stable at scheduler step boundaries (the labels name the
+/// action *about to* execute, as in the hand-written machine they replace).
+/// The proof-outline auditor (sched/rg.hpp) keys Fig. 1's assertions on
+/// them.
+struct ExchangerPc {
+  enum : std::int32_t {
+    kStart = 0,
+    kPassCas = 2,
+    kWithdrawCas = 3,
+    kSuccessReturnA = 4,
+    kReadG = 5,
+    kXchgCas = 6,
+    kCleanCas = 7,
+    kSuccessReturnB = 8,
+    kFailReturnA = 9,
+    kFailReturnB = 10,
+  };
+};
+
+/// Proof-outline register allocation.
+struct ExchangerReg {
+  enum : std::size_t { kN = 0, kV = 1, kCur = 2, kS = 3 };
+};
+
+struct ExchangeOutcome {
+  bool ok = false;
+  Word value = 0;
+};
+
+/// One complete exchange (the Fig. 1 body has no retry loop: every path
+/// returns). `method` parameterizes the logged operation name so the same
+/// body serves `exchange` and `rendezvous`.
+template <class Env>
+ExchangeOutcome exchange(Env& env, const ExchangerRefs& x, Symbol name,
+                         Symbol method, ThreadId tid, Word v,
+                         unsigned spins) {
+  auto failure = [&] {
+    return CaElement::singleton(
+        name, Operation::make(tid, name, method, Value::integer(v),
+                              Value::pair(false, v)));
+  };
+
+  const Word n = env.alloc(kOfferCells);  // line 13
+  env.store_private(n, kOfferTid, static_cast<Word>(tid));
+  env.store_private(n, kOfferData, v);
+  env.note(ExchangerReg::kN, n);
+  env.note(ExchangerReg::kV, v);
+
+  if (env.cas(x.g, 0, kNullRef, n)) {  // line 15: INIT
+    env.await(n, kOfferHole, spins);   // line 17
+    env.label(ExchangerPc::kPassCas);
+    if (env.cas(n, kOfferHole, kNullRef, x.fail)) {  // line 18: PASS
+      env.emit(failure);  // 𝒯 += the failed operation, fused with PASS
+      env.label(ExchangerPc::kWithdrawCas);
+      env.cas(x.g, 0, n, kNullRef);  // line 20: withdraw the dead offer
+      env.retire(n, kOfferCells);
+      env.label(ExchangerPc::kFailReturnA);
+      return {false, v};
+    }
+    // A partner installed its offer into our hole (and logged the swap).
+    const Word partner = env.load_frozen(n, kOfferHole);
+    const Word got = env.load_frozen(partner, kOfferData);  // line 22
+    env.retire(n, kOfferCells);
+    env.label(ExchangerPc::kSuccessReturnA);
+    return {true, got};
+  }
+
+  env.label(ExchangerPc::kReadG);
+  const Word cur = env.load(x.g, 0);  // line 25
+  env.note(ExchangerReg::kCur, cur);
+  if (cur == kNullRef) {
+    env.free_private(n, kOfferCells);  // never published
+    env.emit(failure);
+    env.label(ExchangerPc::kFailReturnB);
+    return {false, v};
+  }
+  env.label(ExchangerPc::kXchgCas);
+  const bool s = env.cas(cur, kOfferHole, kNullRef, n);  // line 29: XCHG
+  env.note(ExchangerReg::kS, s ? 1 : 0);
+  if (s) {
+    // The auxiliary assignment of §5.1: one CAS seems to complete both
+    // operations; the swap element is appended atomically with it.
+    env.emit([&] {
+      return CaElement::swap(
+          name, method,
+          static_cast<ThreadId>(env.load_frozen(cur, kOfferTid)),
+          env.load_frozen(cur, kOfferData), tid, v);
+    });
+  }
+  env.label(ExchangerPc::kCleanCas);
+  env.cas(x.g, 0, cur, kNullRef);  // line 31: CLEAN (helping)
+  if (s) {
+    const Word got = env.load_frozen(cur, kOfferData);  // line 33
+    env.retire(n, kOfferCells);
+    env.label(ExchangerPc::kSuccessReturnB);
+    return {true, got};
+  }
+  env.free_private(n, kOfferCells);  // never published
+  env.emit(failure);
+  env.label(ExchangerPc::kFailReturnB);
+  return {false, v};
+}
+
+}  // namespace cal::objects::core

@@ -1,0 +1,130 @@
+// The Michael–Scott FIFO queue — the "ordinary object" control of §3 — as
+// a single Env-parameterized body. One *attempt* = one iteration of the
+// classic retry loop; the wrappers own the loops (unbounded in the real
+// MsQueue, retry-bounded with truncation in simulation).
+//
+// Singleton CA-elements are emitted fused with the linearization points:
+// the tail-link CAS for enq, the head-swing CAS for a successful deq, the
+// read of head.next for an empty deq.
+#pragma once
+
+#include <cstdint>
+
+#include "cal/ca_trace.hpp"
+#include "cal/value.hpp"
+#include "objects/env.hpp"
+
+namespace cal::objects::core {
+
+// Queue-node layout: [0] data, [1] next.
+inline constexpr Word kQNodeData = 0;
+inline constexpr Word kQNodeNext = 1;
+inline constexpr Word kQNodeCells = 2;
+
+/// Shared cells: the head and tail pointer cells (offset 0 of each block).
+/// The dummy node is installed by the wrapper's init.
+struct MsQueueRefs {
+  Word head = kNullRef;
+  Word tail = kNullRef;
+};
+
+struct MsQueuePc {
+  enum : std::int32_t {
+    kStart = 0,
+    kEnqReturn = 3,
+    kDeqEmptyReturn = 6,
+    kDeqReturn = 7,
+  };
+};
+
+enum class MsQueueDeq : std::uint8_t {
+  kGot,    ///< dequeued a value
+  kEmpty,  ///< observed an empty queue (logged)
+  kRetry,  ///< lost a race / helped swing the tail; loop again
+};
+
+struct MsQueueDeqOutcome {
+  MsQueueDeq kind = MsQueueDeq::kRetry;
+  Word value = 0;
+};
+
+/// One enq attempt. The real implementation allocates the node once
+/// outside its loop; allocating per attempt (and eagerly freeing on a lost
+/// race — the node was never published) is observationally identical and
+/// keeps the attempt self-contained.
+template <class Env>
+bool ms_queue_enq_attempt(Env& env, const MsQueueRefs& q, Symbol name,
+                          ThreadId tid, Word v) {
+  static const Symbol kEnq{"enq"};
+  const Word node = env.alloc(kQNodeCells);
+  env.store_private(node, kQNodeData, v);
+  const Word tail = env.load(q.tail, 0);
+  const Word next = env.load(tail, kQNodeNext);
+  if (tail != env.load(q.tail, 0)) {  // tail moved under us
+    env.free_private(node, kQNodeCells);
+    return false;
+  }
+  if (next != kNullRef) {  // help swing the lagging tail
+    env.cas(q.tail, 0, tail, next);
+    env.free_private(node, kQNodeCells);
+    return false;
+  }
+  if (env.cas(tail, kQNodeNext, kNullRef, node)) {
+    // Linearization point: the link CAS.
+    env.emit([&] {
+      return CaElement::singleton(
+          name, Operation::make(tid, name, kEnq, Value::integer(v),
+                                Value::boolean(true)));
+    });
+    env.cas(q.tail, 0, tail, node);  // swing (best effort)
+    env.label(MsQueuePc::kEnqReturn);
+    return true;
+  }
+  env.free_private(node, kQNodeCells);
+  return false;
+}
+
+/// One deq attempt.
+template <class Env>
+MsQueueDeqOutcome ms_queue_deq_attempt(Env& env, const MsQueueRefs& q,
+                                       Symbol name, ThreadId tid) {
+  static const Symbol kDeq{"deq"};
+  const Word head = env.load(q.head, 0);
+  const Word tail = env.load(q.tail, 0);
+  const Word next = env.load(head, kQNodeNext);
+  if (next == kNullRef) {
+    // Empty: linearizes at the read of head.next, with which the emit is
+    // fused. No head re-check is needed on this path: a node's next link
+    // is write-once (null → successor) and a node leaves the head
+    // position only after its next is set, so observing null proves
+    // `head` is still the current head and the queue is empty right now.
+    env.emit([&] {
+      return CaElement::singleton(
+          name, Operation::make(tid, name, kDeq, Value::unit(),
+                                Value::pair(false, 0)));
+    });
+    env.label(MsQueuePc::kDeqEmptyReturn);
+    return {MsQueueDeq::kEmpty, 0};
+  }
+  if (head != env.load(q.head, 0)) {  // head moved under us
+    return {MsQueueDeq::kRetry, 0};
+  }
+  if (head == tail) {  // tail lags behind a non-empty queue: help swing
+    env.cas(q.tail, 0, tail, next);
+    return {MsQueueDeq::kRetry, 0};
+  }
+  const Word v = env.load_frozen(next, kQNodeData);
+  if (env.cas(q.head, 0, head, next)) {
+    env.retire(head, kQNodeCells);
+    env.emit([&] {
+      return CaElement::singleton(
+          name, Operation::make(tid, name, kDeq, Value::unit(),
+                                Value::pair(true, v)));
+    });
+    env.label(MsQueuePc::kDeqReturn);
+    return {MsQueueDeq::kGot, v};
+  }
+  return {MsQueueDeq::kRetry, 0};
+}
+
+}  // namespace cal::objects::core

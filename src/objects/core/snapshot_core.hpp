@@ -1,0 +1,76 @@
+// The one-shot immediate atomic snapshot (Borowsky–Gafni level descent) as
+// a single Env-parameterized body. A CA-object with *unbounded*
+// simultaneity blocks: participants terminating at the same level with the
+// same set form one block of SnapshotSpec.
+//
+// The body has no retry loop (the descent always terminates by level 1),
+// so one attempt = one complete us(v).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "cal/ca_trace.hpp"
+#include "cal/value.hpp"
+#include "objects/env.hpp"
+
+namespace cal::objects::core {
+
+/// levels[q] before q starts its descent.
+inline constexpr Word kSnapshotNotStarted = INT64_MAX;
+
+/// Shared cells: two blocks of `participants` cells each. The wrapper's
+/// init must set every levels cell to kSnapshotNotStarted.
+struct SnapshotRefs {
+  Word values = kNullRef;
+  Word levels = kNullRef;
+};
+
+struct SnapshotPc {
+  enum : std::int32_t { kStart = 0, kReturn = 2 };
+};
+
+/// update-and-scan for participant `tid` (0..n-1): writes v, descends one
+/// level at a time from n, and terminates at the first level L where the
+/// number of participants observed at level <= L reaches L. Emits the
+/// participant's singleton element fused with the terminating scan's last
+/// read (no single CAS closes a whole simultaneity block; the checker's
+/// element search regroups the per-thread singletons).
+template <class Env>
+std::vector<std::int64_t> snapshot_us(Env& env, const SnapshotRefs& r,
+                                      Symbol name, std::size_t n,
+                                      ThreadId tid, Word v) {
+  static const Symbol kUs{"us"};
+  env.store(r.values, static_cast<Word>(tid), v);
+  for (Word level = static_cast<Word>(n); level >= 1; --level) {
+    env.store(r.levels, static_cast<Word>(tid), level);
+    std::vector<std::size_t> seen;
+    for (std::size_t q = 0; q < n; ++q) {
+      if (env.load(r.levels, static_cast<Word>(q)) <= level) {
+        seen.push_back(q);
+      }
+    }
+    if (seen.size() >= static_cast<std::size_t>(level)) {
+      std::vector<std::int64_t> snapshot;
+      snapshot.reserve(seen.size());
+      for (std::size_t q : seen) {
+        // values[q] is written exactly once, before q's first level store,
+        // so it is frozen by the time q shows up in a scan.
+        snapshot.push_back(env.load_frozen(r.values, static_cast<Word>(q)));
+      }
+      std::sort(snapshot.begin(), snapshot.end());
+      env.emit([&] {
+        return CaElement::singleton(
+            name, Operation::make(tid, name, kUs, Value::integer(v),
+                                  Value::vec(snapshot)));
+      });
+      env.label(SnapshotPc::kReturn);
+      return snapshot;
+    }
+  }
+  // Unreachable: at level 1 the set always contains at least ourselves.
+  return {v};
+}
+
+}  // namespace cal::objects::core

@@ -1,0 +1,88 @@
+// The central Treiber stack of Fig. 2 (class Stack), one attempt per call:
+// a single CAS try for push and a three-way outcome for pop (value / empty
+// / lost the CAS), logging singleton CA-elements at the linearization
+// points. Wrappers build the retry policies on top: CentralStack exposes
+// the raw attempts, TreiberStack loops them, and the elimination stack
+// (elim_stack_core.hpp) interleaves them with exchanger attempts.
+#pragma once
+
+#include <cstdint>
+
+#include "cal/ca_trace.hpp"
+#include "cal/value.hpp"
+#include "objects/env.hpp"
+
+namespace cal::objects::core {
+
+// Cell layout: [0] data, [1] next.
+inline constexpr Word kCellData = 0;
+inline constexpr Word kCellNext = 1;
+inline constexpr Word kCellCells = 2;
+
+struct StackRefs {
+  Word top = kNullRef;
+};
+
+enum class StackPop : std::uint8_t {
+  kGot,    ///< popped a value
+  kEmpty,  ///< observed top = null (logged as a failed pop)
+  kLost,   ///< lost the pop CAS under contention (logged as a failed pop)
+};
+
+struct StackPopOutcome {
+  StackPop kind = StackPop::kEmpty;
+  Word value = 0;
+};
+
+/// One push attempt (Fig. 2 lines 11-13). Logs push ▷ ok either way; the
+/// elimination view erases the failures.
+template <class Env>
+bool stack_push_attempt(Env& env, const StackRefs& s, Symbol name,
+                        ThreadId tid, Word v) {
+  static const Symbol kPush{"push"};
+  const Word h = env.load(s.top, 0);   // line 11
+  const Word n = env.alloc(kCellCells);  // line 12
+  env.store_private(n, kCellData, v);
+  env.store_private(n, kCellNext, h);
+  const bool ok = env.cas(s.top, 0, h, n);  // line 13
+  if (!ok) env.free_private(n, kCellCells);
+  env.emit([&] {
+    return CaElement::singleton(
+        name, Operation::make(tid, name, kPush, Value::integer(v),
+                              Value::boolean(ok)));
+  });
+  return ok;
+}
+
+/// One pop attempt (Fig. 2 lines 16-23). The next link of a published cell
+/// is immutable, so reading it is not an interference point.
+template <class Env>
+StackPopOutcome stack_pop_attempt(Env& env, const StackRefs& s, Symbol name,
+                                  ThreadId tid) {
+  static const Symbol kPop{"pop"};
+  auto failed = [&] {
+    return CaElement::singleton(
+        name, Operation::make(tid, name, kPop, Value::unit(),
+                              Value::pair(false, 0)));
+  };
+  const Word h = env.load(s.top, 0);  // line 16
+  if (h == kNullRef) {                // line 17: EMPTY
+    env.emit(failed);
+    return {StackPop::kEmpty, 0};
+  }
+  const Word next = env.load_frozen(h, kCellNext);  // line 19
+  if (env.cas(s.top, 0, h, next)) {
+    const Word v = env.load_frozen(h, kCellData);  // line 21
+    env.retire(h, kCellCells);
+    env.emit([&] {
+      return CaElement::singleton(
+          name, Operation::make(tid, name, kPop, Value::unit(),
+                                Value::pair(true, v)));
+    });
+    return {StackPop::kGot, v};
+  }
+  env.emit(failed);  // line 23
+  return {StackPop::kLost, 0};
+}
+
+}  // namespace cal::objects::core

@@ -2,39 +2,29 @@
 
 namespace cal::objects {
 
-namespace {
-
-/// Cheap per-thread xorshift; quality is irrelevant, independence from other
-/// threads is what matters for spreading load over the slots.
-std::uint64_t next_random() noexcept {
-  thread_local std::uint64_t state =
-      0x9e3779b97f4a7c15ull ^
-      reinterpret_cast<std::uintptr_t>(&state);  // per-thread seed
-  state ^= state << 13;
-  state ^= state >> 7;
-  state ^= state << 17;
-  return state;
-}
-
-}  // namespace
-
 ElimArray::ElimArray(EpochDomain& ebr, Symbol name, std::size_t width,
                      TraceLog* trace)
-    : name_(name) {
+    : ebr_(ebr), name_(name), trace_(trace) {
   slots_.reserve(width);
+  slot_refs_.reserve(width);
+  slot_names_.reserve(width);
   for (std::size_t i = 0; i < width; ++i) {
     slots_.push_back(
         std::make_unique<Exchanger>(ebr, elim_slot_name(name, i), trace));
+    slot_refs_.push_back(slots_.back()->refs());
+    slot_names_.push_back(slots_.back()->name());
   }
-}
-
-std::size_t ElimArray::random_slot() const noexcept {
-  return static_cast<std::size_t>(next_random() % slots_.size());
 }
 
 ExchangeResult ElimArray::exchange(ThreadId tid, std::int64_t v,
                                    unsigned spins) {
-  return slots_[random_slot()]->exchange(tid, v, spins);
+  static const Symbol kExchange{"exchange"};
+  EpochDomain::Guard guard(ebr_, tid);
+  RealEnv env(&ebr_, tid, trace_);
+  const core::ExchangeOutcome r = core::striped_exchange(
+      env, slot_refs_.data(), slot_names_.data(), slots_.size(), kExchange,
+      tid, v, spins);
+  return {r.ok, r.value};
 }
 
 }  // namespace cal::objects

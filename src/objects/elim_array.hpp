@@ -2,8 +2,10 @@
 // that "essentially acts as an exchanger object, but is implemented as an
 // array of exchangers to reduce contention".
 //
-// exchange() picks a uniformly random slot and delegates to it. The array
-// exposes the same CA-specification as a single exchanger; its view function
+// exchange() runs core::striped_exchange — pick a slot through env.choose
+// (a per-thread xorshift under RealEnv, an explorer fork point under
+// SimEnv) and delegate to the shared exchanger core. The array exposes the
+// same CA-specification as a single exchanger; its view function
 // F_AR(E[i].S) ≜ (AR.S) (built by cal::make_f_ar) renames the subobjects'
 // trace elements so clients — the elimination stack — never see the slots.
 // Subobjects are named "<AR>.E[<i>]" to match cal::elim_slot_name.
@@ -15,6 +17,7 @@
 
 #include "cal/specs/elim_views.hpp"
 #include "cal/symbol.hpp"
+#include "objects/core/elim_stack_core.hpp"
 #include "objects/exchanger.hpp"
 
 namespace cal::objects {
@@ -34,11 +37,22 @@ class ElimArray {
   [[nodiscard]] Symbol name() const noexcept { return name_; }
   [[nodiscard]] Exchanger& slot(std::size_t i) { return *slots_[i]; }
 
- private:
-  [[nodiscard]] std::size_t random_slot() const noexcept;
+  /// The slots' shared cells and trace names, for compositions that run
+  /// the core directly (the elimination stack).
+  [[nodiscard]] const core::ExchangerRefs* slot_refs() const noexcept {
+    return slot_refs_.data();
+  }
+  [[nodiscard]] const Symbol* slot_names() const noexcept {
+    return slot_names_.data();
+  }
 
+ private:
+  EpochDomain& ebr_;
   Symbol name_;
+  TraceLog* trace_;
   std::vector<std::unique_ptr<Exchanger>> slots_;
+  std::vector<core::ExchangerRefs> slot_refs_;
+  std::vector<Symbol> slot_names_;
 };
 
 }  // namespace cal::objects

@@ -19,7 +19,9 @@ EliminationStack::EliminationStack(EpochDomain& ebr, Symbol name,
                                    std::size_t width, TraceLog* trace,
                                    runtime::Recorder* recorder,
                                    unsigned exchange_spins)
-    : name_(name),
+    : ebr_(ebr),
+      name_(name),
+      trace_(trace),
       stack_(ebr, Symbol(name.str() + ".S"), trace),
       array_(ebr, Symbol(name.str() + ".AR"), width, trace),
       recorder_(recorder),
@@ -30,12 +32,16 @@ bool EliminationStack::push(ThreadId tid, std::int64_t v) {
   if (recorder_ != nullptr) {
     recorder_->invoke(tid, name_, push_sym(), Value::integer(v));
   }
-  for (;;) {                                       // line 31
-    if (stack_.push(tid, v)) break;                // lines 32-33
-    ExchangeResult r = array_.exchange(tid, v, exchange_spins_);  // line 34
-    if (r.ok && r.value == kPopSentinel) {         // line 35
+  RealEnv env(&ebr_, tid, trace_);
+  for (;;) {  // line 31
+    EpochDomain::Guard guard(ebr_, tid);
+    const core::ElimAttempt a = core::elim_push_attempt(
+        env, stack_.refs(), array_.slot_refs(), array_.slot_names(),
+        array_.width(), stack_.name(), tid, v, exchange_spins_);
+    if (a == core::ElimAttempt::kDone) break;  // lines 32-33
+    if (a == core::ElimAttempt::kDoneEliminated) {  // lines 35-36
       eliminations_.fetch_add(1, std::memory_order_relaxed);
-      break;                                       // line 36
+      break;
     }
     // Failed exchange or push/push collision: retry (line 31).
   }
@@ -49,15 +55,20 @@ PopResult EliminationStack::pop(ThreadId tid) {
   if (recorder_ != nullptr) {
     recorder_->invoke(tid, name_, pop_sym());
   }
+  RealEnv env(&ebr_, tid, trace_);
   PopResult result;
-  for (;;) {                                       // line 41
-    result = stack_.pop(tid);                      // line 42
-    if (result.ok) break;                          // line 43
-    ExchangeResult r =
-        array_.exchange(tid, kPopSentinel, exchange_spins_);  // line 44
-    if (r.ok && r.value != kPopSentinel) {         // line 45
+  for (;;) {  // line 41
+    EpochDomain::Guard guard(ebr_, tid);
+    const core::ElimPopOutcome r = core::elim_pop_attempt(
+        env, stack_.refs(), array_.slot_refs(), array_.slot_names(),
+        array_.width(), stack_.name(), tid, exchange_spins_);
+    if (r.kind == core::ElimAttempt::kDone) {  // lines 42-43
+      result = {true, r.value};
+      break;
+    }
+    if (r.kind == core::ElimAttempt::kDoneEliminated) {  // lines 45-46
       eliminations_.fetch_add(1, std::memory_order_relaxed);
-      result = {true, r.value};                    // line 46
+      result = {true, r.value};
       break;
     }
     // Failed exchange or pop/pop collision: retry (line 41).

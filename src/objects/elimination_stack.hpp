@@ -8,6 +8,11 @@
 // without ever touching S. An exchange that failed or paired two same-side
 // operations simply retries (Fig. 2 lines 31-37 / 41-47).
 //
+// The attempt body (one Fig. 2 loop iteration) is
+// core::elim_push_attempt / core::elim_pop_attempt, shared with the model
+// checker; this class owns the subobjects, the unbounded retry loop, the
+// recorder hooks and the eliminations counter.
+//
 // Correctness (§5): the composite is *classically* linearizable as a stack.
 // The elimination view 𝔽_ES = F̂_ES ∘ F̂_AR (cal/specs/elim_views.hpp) maps
 // the recorded auxiliary trace — central-stack singletons and AR swaps — to
@@ -19,6 +24,7 @@
 #include <cstdint>
 
 #include "cal/symbol.hpp"
+#include "objects/core/elim_stack_core.hpp"
 #include "objects/elim_array.hpp"
 #include "objects/treiber_stack.hpp"
 #include "runtime/recorder.hpp"
@@ -61,7 +67,9 @@ class EliminationStack {
   }
 
  private:
+  EpochDomain& ebr_;
   Symbol name_;
+  TraceLog* trace_;
   CentralStack stack_;
   ElimArray array_;
   runtime::Recorder* recorder_;

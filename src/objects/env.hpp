@@ -1,0 +1,82 @@
+// The environment concept Env — the single seam between the CA-object
+// algorithm bodies (objects/core/) and the two runtimes that execute them.
+//
+// The paper's §5 instruments the *implementation itself* with auxiliary
+// assignments; keeping a second, hand-compiled copy of each algorithm for
+// the model checker reintroduces exactly the code/model gap that
+// concurrency-aware linearizability is meant to close. So every algorithm
+// in this repo is written once, as a template over an environment `Env`,
+// and instantiated twice:
+//
+//   * RealEnv (objects/real_env.hpp): shared accesses become std::atomic
+//     operations, reclamation goes through runtime::EpochDomain, and emit
+//     appends to runtime::TraceLog — the lock-free implementation threads
+//     actually run.
+//   * SimEnv (sched/sim_env.hpp): every *yield operation* (see below)
+//     becomes one scheduler step of the explorer's World/SimMemory, with
+//     the program counter synthesized from the dynamic access sequence.
+//     The auxiliary emit is fused with the preceding yield operation, i.e.
+//     it happens atomically with the instrumented instruction — the
+//     paper's coupling, which real hardware cannot provide (trace_log.hpp
+//     discusses the fidelity gap).
+//
+// An Env provides (Word = std::int64_t; a "block" is the base of a zeroed
+// run of cells; cell addressing is block + offset):
+//
+//   Word load(Word block, Word off)                  — shared read  [yield]
+//   void store(Word block, Word off, Word v)         — shared write [yield]
+//   bool cas(Word block, Word off, Word exp, Word d) — shared CAS   [yield]
+//   Word choose(Word n)            — nondeterministic pick in [0,n) [yield]
+//   Word alloc(Word cells)         — fresh zeroed block (per-thread heap)
+//   Word load_frozen(Word b, Word o)  — read of a cell that can no longer
+//                                       change (write-once, pre-publication
+//                                       init, or immutable-after-publish)
+//   void store_private(Word b, Word o, Word v) — init of a not-yet-published
+//                                       cell that no other thread ever
+//                                       writes (Env may replay it)
+//   void retire(Word block, Word cells)       — deferred reclamation of a
+//                                               published block
+//   void free_private(Word block, Word cells) — eager free, never published
+//   void await(Word block, Word off, unsigned spins) — bounded wait for the
+//                                       cell to become non-null; a no-op in
+//                                       simulation (whether a partner
+//                                       arrives "during the wait" is the
+//                                       scheduler's interleaving choice)
+//   void emit(F&& make)            — append make() (a CaElement) to 𝒯,
+//                                    fused with the preceding yield op; the
+//                                    thunk is only evaluated when a trace
+//                                    is attached
+//   void label(std::int32_t pc)    — control-point label for the proof
+//                                    outline (Fig. 1 assertions)
+//   void note(std::size_t reg, Word v) — proof-outline register
+//   void event(unsigned bit)       — reachability beacon
+//
+// Yield-op discipline (what makes one body serve both runtimes):
+//
+//   * Only load/store/cas/choose are interference points; everything the
+//     body does between two yield ops executes atomically in simulation.
+//   * store_private must never target a cell another thread may CAS
+//     (exchanger holes, sync-queue match fields, queue next links after
+//     publication): SimEnv re-executes the body from the start on every
+//     step, replaying logged yield results but re-running private stores.
+//   * load_frozen must only read cells whose value is fixed by the time of
+//     the read; SimEnv re-reads them on every re-execution.
+//
+// Algorithm *attempt* bodies return after one pass of their retry loop;
+// the retry loops themselves live in the wrappers (unbounded in RealEnv,
+// bounded with truncation in SimEnv), mirroring how the hand-written
+// machines bounded Fig. 2's while(true).
+#pragma once
+
+#include <cstdint>
+
+namespace cal::objects {
+
+/// The cell word of both runtimes: SimMemory words and (via
+/// reinterpret_cast of std::atomic<Word>*) real heap addresses.
+using Word = std::int64_t;
+
+/// The null block / null cell value.
+inline constexpr Word kNullRef = 0;
+
+}  // namespace cal::objects

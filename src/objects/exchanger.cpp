@@ -1,107 +1,26 @@
 #include "objects/exchanger.hpp"
 
-#include <thread>
-
 namespace cal::objects {
-
-namespace {
-/// One spin-wait iteration. Yielding periodically keeps the wait useful on
-/// oversubscribed or single-core hosts, where a pure pause loop would burn
-/// the whole quantum before a partner can run.
-inline void spin_pause(unsigned i) noexcept {
-  if ((i & 63u) == 63u) {
-    std::this_thread::yield();
-    return;
-  }
-#if defined(__x86_64__) || defined(__i386__)
-  __builtin_ia32_pause();
-#else
-  std::atomic_signal_fence(std::memory_order_seq_cst);
-#endif
-}
-}  // namespace
 
 Exchanger::~Exchanger() {
   // Quiescent at destruction: at most one unmatched offer can still hang off
-  // g_ if a thread was killed mid-call; normal shutdown leaves g_ null or
+  // g if a thread was killed mid-call; normal shutdown leaves g null or
   // pointing at an offer already retired by its owner.
-  Offer* leftover = g_.load(std::memory_order_acquire);
-  if (leftover != nullptr && leftover->hole.load() == nullptr) {
-    delete leftover;
+  const Word leftover = g_storage_.load(std::memory_order_acquire);
+  if (leftover != kNullRef &&
+      RealEnv::cell(leftover, core::kOfferHole)
+              ->load(std::memory_order_acquire) == kNullRef) {
+    delete[] RealEnv::cell(leftover, 0);
   }
-}
-
-void Exchanger::log_swap(ThreadId passive, std::int64_t passive_value,
-                         ThreadId active, std::int64_t active_value) {
-  if (trace_ == nullptr) return;
-  trace_->append(CaElement::swap(name_, method(), passive, passive_value,
-                                 active, active_value));
-}
-
-void Exchanger::log_failure(ThreadId tid, std::int64_t v) {
-  if (trace_ == nullptr) return;
-  trace_->append(CaElement::singleton(
-      name_, Operation::make(tid, name_, method(), Value::integer(v),
-                             Value::pair(false, v))));
 }
 
 ExchangeResult Exchanger::exchange(ThreadId tid, std::int64_t v,
                                    unsigned spins) {
   EpochDomain::Guard guard(ebr_, tid);
-
-  auto* n = new Offer(tid, v);
-
-  Offer* expected = nullptr;
-  if (g_.compare_exchange_strong(expected, n, std::memory_order_acq_rel)) {
-    // Published our offer (init, line 15). Wait for a partner (line 17).
-    for (unsigned i = 0; i < spins; ++i) {
-      if (n->hole.load(std::memory_order_acquire) != nullptr) break;
-      spin_pause(i);
-    }
-    Offer* hole_expected = nullptr;
-    if (n->hole.compare_exchange_strong(hole_expected, &fail_,
-                                        std::memory_order_acq_rel)) {
-      // pass (line 18): nobody matched; withdraw the offer. The paper's
-      // PASS action logs the failed operation.
-      log_failure(tid, v);
-      // Best-effort cleanup so later threads see g = null promptly.
-      Offer* self = n;
-      g_.compare_exchange_strong(self, nullptr, std::memory_order_acq_rel);
-      ebr_.retire(tid, n);
-      return {false, v};
-    }
-    // A partner CAS'ed its offer into our hole; it logged the swap (XCHG).
-    Offer* partner = n->hole.load(std::memory_order_acquire);
-    const std::int64_t got = partner->data;  // line 22: n.hole.data
-    ebr_.retire(tid, n);
-    return {true, got};
-  }
-
-  // Second path: someone else's offer may be out there (lines 25-34).
-  Offer* cur = g_.load(std::memory_order_acquire);
-  if (cur != nullptr) {
-    Offer* hole_expected = nullptr;
-    const bool s = cur->hole.compare_exchange_strong(
-        hole_expected, n, std::memory_order_acq_rel);  // xchg (line 29)
-    if (s) {
-      // XCHG action: the single CAS seems to complete *both* operations;
-      // the auxiliary assignment appends the joint swap element (§5.1).
-      log_swap(cur->tid, cur->data, tid, v);
-    }
-    // clean (line 31): unconditional helping CAS.
-    Offer* cur_copy = cur;
-    g_.compare_exchange_strong(cur_copy, nullptr, std::memory_order_acq_rel);
-    if (s) {
-      const std::int64_t got = cur->data;  // line 33: cur.data
-      ebr_.retire(tid, n);
-      return {true, got};
-    }
-  }
-
-  // fail (line 35). Our offer was never published: free it eagerly.
-  delete n;
-  log_failure(tid, v);
-  return {false, v};
+  RealEnv env(&ebr_, tid, trace_);
+  const core::ExchangeOutcome r =
+      core::exchange(env, refs_, name_, method_, tid, v, spins);
+  return {r.ok, r.value};
 }
 
 }  // namespace cal::objects

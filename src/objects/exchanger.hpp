@@ -3,23 +3,14 @@
 //
 // A thread offers a value; if it pairs up with a concurrently offering
 // thread the two swap values instantaneously ((true, partner's value)),
-// otherwise the call fails ((false, own value)). The protocol:
+// otherwise the call fails ((false, own value)).
 //
-//   * An Offer{tid, data, hole} is published by CAS'ing the global slot `g`
-//     from null to the offer ("init", line 15). The publisher then waits
-//     briefly and CAS'es its own hole from null to the fail sentinel
-//     ("pass", line 18): success means no partner arrived (fail), failure
-//     means a partner already matched and the exchange succeeded.
-//   * A thread that finds `g` non-null CAS'es the published offer's hole
-//     from null to its own offer ("xchg", line 29) and then unconditionally
-//     CAS'es `g` back to null ("clean", line 31) — helping that keeps the
-//     object wait-free.
-//
-// Instrumentation (§4-§5): when constructed with a TraceLog, the object
-// appends to the auxiliary trace variable 𝒯 exactly where the paper's proof
-// instruments the code — the successful xchg CAS appends
-// E.swap(g.tid, g.data, tid, n.data) (action XCHG), and the failing returns
-// append the singleton failure element (actions PASS / FAIL).
+// The algorithm itself lives in objects/core/exchanger_core.hpp, written
+// once over the environment concept and shared with the model checker;
+// this class is the RealEnv wrapper: it owns the shared cells (the global
+// slot g and the FAIL sentinel, line 10) as member storage, pins the epoch
+// domain around each call, and routes the auxiliary CA-elements (§4-§5)
+// to the TraceLog.
 //
 // Memory: offers may be read by racing threads after the owning call
 // returns, so they are retired through an EpochDomain (the GC substitute;
@@ -31,6 +22,8 @@
 
 #include "cal/ca_trace.hpp"
 #include "cal/symbol.hpp"
+#include "objects/core/exchanger_core.hpp"
+#include "objects/real_env.hpp"
 #include "runtime/ebr.hpp"
 #include "runtime/trace_log.hpp"
 
@@ -56,7 +49,10 @@ class Exchanger {
   /// the protocol under their own method name).
   Exchanger(EpochDomain& ebr, Symbol name, TraceLog* trace = nullptr,
             Symbol method = Symbol("exchange"))
-      : ebr_(ebr), name_(name), trace_(trace), method_(method) {}
+      : ebr_(ebr), name_(name), trace_(trace), method_(method) {
+    refs_.g = RealEnv::ref(&g_storage_);
+    refs_.fail = RealEnv::ref(fail_cells_);
+  }
   ~Exchanger();
 
   Exchanger(const Exchanger&) = delete;
@@ -69,26 +65,20 @@ class Exchanger {
 
   [[nodiscard]] Symbol name() const noexcept { return name_; }
   [[nodiscard]] Symbol method() const noexcept { return method_; }
+  /// The shared cells, for compositions that run the core directly
+  /// (elimination array, rendezvous).
+  [[nodiscard]] const core::ExchangerRefs& refs() const noexcept {
+    return refs_;
+  }
 
  private:
-  struct Offer {
-    ThreadId tid;  // auxiliary field used by the XCHG instrumentation (§5.1)
-    std::int64_t data;
-    std::atomic<Offer*> hole{nullptr};
-
-    Offer(ThreadId t, std::int64_t d) : tid(t), data(d) {}
-  };
-
-  void log_swap(ThreadId passive, std::int64_t passive_value, ThreadId active,
-                std::int64_t active_value);
-  void log_failure(ThreadId tid, std::int64_t v);
-
   EpochDomain& ebr_;
   Symbol name_;
   TraceLog* trace_;
   Symbol method_;
-  std::atomic<Offer*> g_{nullptr};
-  Offer fail_{0, 0};  ///< the fail sentinel (line 10)
+  std::atomic<Word> g_storage_{0};  ///< the global offer slot g
+  std::atomic<Word> fail_cells_[core::kOfferCells] = {};  ///< FAIL sentinel
+  core::ExchangerRefs refs_;
 };
 
 }  // namespace cal::objects

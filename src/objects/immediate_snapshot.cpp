@@ -1,51 +1,16 @@
 #include "objects/immediate_snapshot.hpp"
 
-#include <algorithm>
-
 namespace cal::objects {
 
 std::vector<std::int64_t> ImmediateSnapshot::us(ThreadId tid,
                                                 std::int64_t v) {
-  const std::size_t n = levels_.size();
-  assert(tid < n && "participant id out of range");
-  assert(levels_[tid].load(std::memory_order_relaxed) == kNotStarted &&
+  assert(tid < participants_ && "participant id out of range");
+  assert(levels_[tid].load(std::memory_order_relaxed) ==
+             core::kSnapshotNotStarted &&
          "one-shot object: us() called twice by the same participant");
-
-  values_[tid].store(v, std::memory_order_release);
-
-  for (std::int64_t level = static_cast<std::int64_t>(n); level >= 1;
-       --level) {
-    levels_[tid].store(level, std::memory_order_seq_cst);
-    // Collect the participants observed at or below our level.
-    std::vector<std::size_t> seen;
-    for (std::size_t q = 0; q < n; ++q) {
-      if (levels_[q].load(std::memory_order_seq_cst) <= level) {
-        seen.push_back(q);
-      }
-    }
-    if (seen.size() >= static_cast<std::size_t>(level)) {
-      std::vector<std::int64_t> snapshot;
-      snapshot.reserve(seen.size());
-      for (std::size_t q : seen) {
-        snapshot.push_back(values_[q].load(std::memory_order_acquire));
-      }
-      std::sort(snapshot.begin(), snapshot.end());
-      if (trace_ != nullptr) {
-        // Auxiliary instrumentation: each terminating participant logs its
-        // own operation. Participants of one block log separate singleton
-        // elements carrying identical snapshots; the checker's element
-        // search regroups them (the instrumentation here is per-thread
-        // because no single CAS closes a whole block).
-        trace_->append(CaElement::singleton(
-            name_, Operation::make(tid, name_, method(), Value::integer(v),
-                                   Value::vec(snapshot))));
-      }
-      return snapshot;
-    }
-  }
-  // Unreachable: at level 1 the set always contains at least ourselves.
-  assert(false && "immediate snapshot descent fell through");
-  return {v};
+  // No EpochDomain: the one-shot object never reclaims.
+  RealEnv env(nullptr, tid, trace_);
+  return core::snapshot_us(env, refs_, name_, participants_, tid, v);
 }
 
 }  // namespace cal::objects

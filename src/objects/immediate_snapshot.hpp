@@ -8,12 +8,11 @@
 //   * containment: any two returned snapshots are ⊆-comparable,
 //   * immediacy: if p's value is in q's snapshot, then p's snapshot ⊆ q's.
 //
-// Algorithm (the classic BG level descent): a participant writes its value,
-// then descends one level at a time from n; at level L it counts the
-// participants at level ≤ L and terminates when that count reaches L,
-// returning their values. Participants terminating at the same level with
-// the same set form one "simultaneity block" — exactly one CA-element of
-// cal::SnapshotSpec, which is this object's specification.
+// The BG level-descent body lives in objects/core/snapshot_core.hpp,
+// shared with the model checker; this class owns the values/levels arrays
+// and the one-shot bookkeeping. Participants terminating at the same level
+// with the same set form one "simultaneity block" — exactly one CA-element
+// of cal::SnapshotSpec, which is this object's specification.
 //
 // This is a CA-object with *unbounded* CA-elements (up to n operations can
 // take effect simultaneously), exercising the checkers beyond the
@@ -28,6 +27,8 @@
 
 #include "cal/ca_trace.hpp"
 #include "cal/symbol.hpp"
+#include "objects/core/snapshot_core.hpp"
+#include "objects/real_env.hpp"
 #include "runtime/thread_registry.hpp"
 #include "runtime/trace_log.hpp"
 
@@ -44,14 +45,14 @@ class ImmediateSnapshot {
                     TraceLog* trace = nullptr)
       : name_(name),
         trace_(trace),
-        values_(participants),
-        levels_(participants) {
-    for (auto& level : levels_) {
-      level.store(kNotStarted, std::memory_order_relaxed);
+        participants_(participants),
+        values_(new std::atomic<Word>[participants]()),
+        levels_(new std::atomic<Word>[participants]) {
+    for (std::size_t q = 0; q < participants; ++q) {
+      levels_[q].store(core::kSnapshotNotStarted, std::memory_order_relaxed);
     }
-    for (auto& value : values_) {
-      value.store(0, std::memory_order_relaxed);
-    }
+    refs_.values = RealEnv::ref(values_.get());
+    refs_.levels = RealEnv::ref(levels_.get());
   }
 
   ImmediateSnapshot(const ImmediateSnapshot&) = delete;
@@ -67,16 +68,16 @@ class ImmediateSnapshot {
     return kUs;
   }
   [[nodiscard]] std::size_t participants() const noexcept {
-    return levels_.size();
+    return participants_;
   }
 
  private:
-  static constexpr std::int64_t kNotStarted = INT64_MAX;
-
   Symbol name_;
   TraceLog* trace_;
-  std::vector<std::atomic<std::int64_t>> values_;
-  std::vector<std::atomic<std::int64_t>> levels_;
+  std::size_t participants_;
+  std::unique_ptr<std::atomic<Word>[]> values_;
+  std::unique_ptr<std::atomic<Word>[]> levels_;
+  core::SnapshotRefs refs_;
 };
 
 }  // namespace cal::objects

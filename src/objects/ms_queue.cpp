@@ -4,74 +4,39 @@ namespace cal::objects {
 
 MsQueue::MsQueue(EpochDomain& ebr, Symbol name, TraceLog* trace)
     : ebr_(ebr), name_(name), trace_(trace) {
-  auto* dummy = new Node(0);
-  head_.store(dummy, std::memory_order_relaxed);
-  tail_.store(dummy, std::memory_order_relaxed);
+  refs_.head = RealEnv::ref(&head_storage_);
+  refs_.tail = RealEnv::ref(&tail_storage_);
+  const Word dummy = reinterpret_cast<Word>(
+      new std::atomic<Word>[core::kQNodeCells]());
+  head_storage_.store(dummy, std::memory_order_relaxed);
+  tail_storage_.store(dummy, std::memory_order_relaxed);
 }
 
 MsQueue::~MsQueue() {
-  Node* n = head_.load(std::memory_order_acquire);
-  while (n != nullptr) {
-    Node* next = n->next.load(std::memory_order_acquire);
-    delete n;
+  Word n = head_storage_.load(std::memory_order_acquire);
+  while (n != kNullRef) {
+    const Word next =
+        RealEnv::cell(n, core::kQNodeNext)->load(std::memory_order_acquire);
+    delete[] RealEnv::cell(n, 0);
     n = next;
   }
 }
 
-void MsQueue::log(ThreadId tid, Symbol method, Value arg, Value ret) {
-  if (trace_ == nullptr) return;
-  trace_->append(CaElement::singleton(
-      name_, Operation::make(tid, name_, method, std::move(arg),
-                             std::move(ret))));
-}
-
 void MsQueue::enq(ThreadId tid, std::int64_t v) {
-  static const Symbol kEnq{"enq"};
   EpochDomain::Guard guard(ebr_, tid);
-  auto* node = new Node(v);
-  for (;;) {
-    Node* tail = tail_.load(std::memory_order_acquire);
-    Node* next = tail->next.load(std::memory_order_acquire);
-    if (tail != tail_.load(std::memory_order_acquire)) continue;
-    if (next == nullptr) {
-      Node* expected = nullptr;
-      if (tail->next.compare_exchange_weak(expected, node,
-                                           std::memory_order_acq_rel)) {
-        // Linearization point: the link CAS.
-        tail_.compare_exchange_strong(tail, node, std::memory_order_acq_rel);
-        log(tid, kEnq, Value::integer(v), Value::boolean(true));
-        return;
-      }
-    } else {
-      // Help swing the lagging tail.
-      tail_.compare_exchange_strong(tail, next, std::memory_order_acq_rel);
-    }
+  RealEnv env(&ebr_, tid, trace_);
+  while (!core::ms_queue_enq_attempt(env, refs_, name_, tid, v)) {
   }
 }
 
 PopResult MsQueue::deq(ThreadId tid) {
-  static const Symbol kDeq{"deq"};
   EpochDomain::Guard guard(ebr_, tid);
+  RealEnv env(&ebr_, tid, trace_);
   for (;;) {
-    Node* head = head_.load(std::memory_order_acquire);
-    Node* tail = tail_.load(std::memory_order_acquire);
-    Node* next = head->next.load(std::memory_order_acquire);
-    if (head != head_.load(std::memory_order_acquire)) continue;
-    if (next == nullptr) {
-      // Empty: linearizes at the read of head->next.
-      log(tid, kDeq, Value::unit(), Value::pair(false, 0));
-      return {false, 0};
-    }
-    if (head == tail) {
-      tail_.compare_exchange_strong(tail, next, std::memory_order_acq_rel);
-      continue;
-    }
-    const std::int64_t v = next->data;
-    if (head_.compare_exchange_weak(head, next, std::memory_order_acq_rel)) {
-      ebr_.retire(tid, head);
-      log(tid, kDeq, Value::unit(), Value::pair(true, v));
-      return {true, v};
-    }
+    const core::MsQueueDeqOutcome r =
+        core::ms_queue_deq_attempt(env, refs_, name_, tid);
+    if (r.kind == core::MsQueueDeq::kGot) return {true, r.value};
+    if (r.kind == core::MsQueueDeq::kEmpty) return {false, 0};
   }
 }
 

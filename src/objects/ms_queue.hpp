@@ -6,9 +6,11 @@
 // SeqAsCaSpec(QueueSpec) — demonstrating that CAL conservatively extends
 // linearizability on objects that need no concurrency awareness (§3).
 //
-// Instrumentation appends singleton CA-elements at the linearization
-// points: the tail-link CAS for enq, the head-swing CAS (or the empty read)
-// for deq.
+// The attempt bodies live in objects/core/ms_queue_core.hpp, shared with
+// the model checker; this class owns the head/tail cells, the dummy node,
+// the retry loops and the epoch pinning. Instrumentation appends singleton
+// CA-elements at the linearization points: the tail-link CAS for enq, the
+// head-swing CAS (or the empty read) for deq.
 #pragma once
 
 #include <atomic>
@@ -16,6 +18,8 @@
 
 #include "cal/ca_trace.hpp"
 #include "cal/symbol.hpp"
+#include "objects/core/ms_queue_core.hpp"
+#include "objects/real_env.hpp"
 #include "objects/treiber_stack.hpp"  // PopResult
 #include "runtime/ebr.hpp"
 #include "runtime/trace_log.hpp"
@@ -37,20 +41,12 @@ class MsQueue {
   [[nodiscard]] Symbol name() const noexcept { return name_; }
 
  private:
-  struct Node {
-    std::int64_t data;
-    std::atomic<Node*> next{nullptr};
-
-    explicit Node(std::int64_t d) : data(d) {}
-  };
-
-  void log(ThreadId tid, Symbol method, Value arg, Value ret);
-
   EpochDomain& ebr_;
   Symbol name_;
   TraceLog* trace_;
-  std::atomic<Node*> head_;
-  std::atomic<Node*> tail_;
+  std::atomic<Word> head_storage_{0};
+  std::atomic<Word> tail_storage_{0};
+  core::MsQueueRefs refs_;
 };
 
 }  // namespace cal::objects

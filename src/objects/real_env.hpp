@@ -1,0 +1,150 @@
+// RealEnv — the production instantiation of the environment concept
+// (objects/env.hpp): the template bodies in objects/core/ compile through
+// this class into the same lock-free std::atomic code the hand-written
+// objects used to contain.
+//
+// Representation: a "block" is an array of std::atomic<Word> on the real
+// heap (or member storage of the owning object, for the global cells), and
+// a block address is the reinterpret_cast of its first element's pointer.
+// Every method is a thin inline wrapper, so after inlining an env.cas is
+// exactly a compare_exchange_strong on the addressed cell — the
+// BM_Env_StepOverhead benchmark (bench/bench_model_check.cpp) holds this
+// to within 5% of a direct-atomic baseline.
+//
+// Memory orders: shared loads are acquire, shared stores seq_cst (only the
+// snapshot's level descent uses env.store, and BG assumes atomic
+// registers), CAS acq_rel. load_frozen / store_private are relaxed — the
+// frozen-cell discipline of env.hpp means a happens-before edge from a
+// prior acquire load already covers them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+#include "objects/env.hpp"
+#include "runtime/ebr.hpp"
+#include "runtime/trace_log.hpp"
+
+namespace cal::objects {
+
+using runtime::EpochDomain;
+using runtime::TraceLog;
+
+namespace detail {
+
+/// One spin-wait iteration. Yielding periodically keeps the wait useful on
+/// oversubscribed or single-core hosts, where a pure pause loop would burn
+/// the whole quantum before a partner can run.
+inline void spin_pause(unsigned i) noexcept {
+  if ((i & 63u) == 63u) {
+    std::this_thread::yield();
+    return;
+  }
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Cheap per-thread xorshift behind env.choose; quality is irrelevant,
+/// independence between threads is what spreads load over striped slots.
+inline std::uint64_t next_random() noexcept {
+  thread_local std::uint64_t state =
+      0x9e3779b97f4a7c15ull ^
+      reinterpret_cast<std::uintptr_t>(&state);  // per-thread seed
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
+}
+
+}  // namespace detail
+
+class RealEnv {
+ public:
+  /// `ebr` may be null for objects that never retire (the snapshot);
+  /// `trace` may be null to disable instrumentation entirely — emit then
+  /// never evaluates its thunk, keeping CaElement construction off the hot
+  /// path.
+  RealEnv(EpochDomain* ebr, runtime::ThreadId tid,
+          TraceLog* trace) noexcept
+      : ebr_(ebr), trace_(trace), tid_(tid) {}
+
+  static std::atomic<Word>* cell(Word block, Word off) noexcept {
+    return reinterpret_cast<std::atomic<Word>*>(block) + off;
+  }
+  /// The block address of an object's member cell array.
+  static Word ref(std::atomic<Word>* base) noexcept {
+    return reinterpret_cast<Word>(base);
+  }
+
+  Word load(Word block, Word off) const noexcept {
+    return cell(block, off)->load(std::memory_order_acquire);
+  }
+
+  void store(Word block, Word off, Word v) const noexcept {
+    cell(block, off)->store(v, std::memory_order_seq_cst);
+  }
+
+  bool cas(Word block, Word off, Word expected, Word desired) const noexcept {
+    return cell(block, off)->compare_exchange_strong(
+        expected, desired, std::memory_order_acq_rel);
+  }
+
+  Word choose(Word n) const noexcept {
+    return static_cast<Word>(detail::next_random() %
+                             static_cast<std::uint64_t>(n));
+  }
+
+  Word alloc(Word cells) const {
+    // Value-initialized: all cells zero, as the concept requires.
+    return reinterpret_cast<Word>(
+        new std::atomic<Word>[static_cast<std::size_t>(cells)]());
+  }
+
+  Word load_frozen(Word block, Word off) const noexcept {
+    return cell(block, off)->load(std::memory_order_relaxed);
+  }
+
+  void store_private(Word block, Word off, Word v) const noexcept {
+    cell(block, off)->store(v, std::memory_order_relaxed);
+  }
+
+  void retire(Word block, Word /*cells*/) const {
+    ebr_->retire(tid_, reinterpret_cast<void*>(block), [](void* p) {
+      delete[] static_cast<std::atomic<Word>*>(p);
+    });
+  }
+
+  void free_private(Word block, Word /*cells*/) const {
+    delete[] reinterpret_cast<std::atomic<Word>*>(block);
+  }
+
+  void await(Word block, Word off, unsigned spins) const noexcept {
+    for (unsigned i = 0; i < spins; ++i) {
+      if (cell(block, off)->load(std::memory_order_acquire) != kNullRef) {
+        break;
+      }
+      detail::spin_pause(i);
+    }
+  }
+
+  template <typename F>
+  void emit(F&& make) const {
+    if (trace_ != nullptr) trace_->append(std::forward<F>(make)());
+  }
+
+  void label(std::int32_t /*pc*/) const noexcept {}
+  void note(std::size_t /*reg*/, Word /*v*/) const noexcept {}
+  void event(unsigned /*bit*/) const noexcept {}
+
+ private:
+  EpochDomain* ebr_;
+  TraceLog* trace_;
+  runtime::ThreadId tid_;
+};
+
+}  // namespace cal::objects

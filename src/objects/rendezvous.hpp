@@ -4,9 +4,10 @@
 // A rendezvous pairs two threads and hands each the other's value — exactly
 // the exchanger's contract under a different method name. The "fast and
 // scalable" implementations stripe the meeting point, which is what the
-// elimination-array layout already provides, so this object is a striped
-// array of exchanger protocols logging `rendezvous` operations. Its CA-spec
-// is ExchangerSpec(name, Symbol("rendezvous")).
+// elimination-array layout already provides, so this object runs
+// core::striped_exchange over an array of exchanger cells logging
+// `rendezvous` operations. Its CA-spec is
+// ExchangerSpec(name, Symbol("rendezvous")).
 #pragma once
 
 #include <cstdint>
@@ -15,6 +16,7 @@
 
 #include "cal/specs/elim_views.hpp"
 #include "cal/symbol.hpp"
+#include "objects/core/elim_stack_core.hpp"
 #include "objects/exchanger.hpp"
 
 namespace cal::objects {
@@ -23,9 +25,11 @@ class Rendezvous {
  public:
   Rendezvous(EpochDomain& ebr, Symbol name, std::size_t width = 1,
              TraceLog* trace = nullptr)
-      : name_(name) {
+      : ebr_(ebr), name_(name), trace_(trace) {
     static const Symbol kMethod{"rendezvous"};
     slots_.reserve(width);
+    slot_refs_.reserve(width);
+    slot_names_.reserve(width);
     for (std::size_t i = 0; i < width; ++i) {
       // Single-slot rendezvous logs under its own name so that traces need
       // no renaming; striped ones reuse the elimination-array naming and
@@ -33,6 +37,8 @@ class Rendezvous {
       const Symbol slot_name = width == 1 ? name : elim_slot_name(name, i);
       slots_.push_back(
           std::make_unique<Exchanger>(ebr, slot_name, trace, kMethod));
+      slot_refs_.push_back(slots_.back()->refs());
+      slot_names_.push_back(slot_name);
     }
   }
 
@@ -41,20 +47,25 @@ class Rendezvous {
 
   /// Meets a partner and swaps values; (false, v) if none arrived in time.
   ExchangeResult meet(ThreadId tid, std::int64_t v, unsigned spins = 256) {
-    thread_local std::uint64_t state =
-        0x2545f4914f6cdd1dull ^ reinterpret_cast<std::uintptr_t>(&state);
-    state ^= state << 13;
-    state ^= state >> 7;
-    state ^= state << 17;
-    return slots_[state % slots_.size()]->exchange(tid, v, spins);
+    static const Symbol kMethod{"rendezvous"};
+    EpochDomain::Guard guard(ebr_, tid);
+    RealEnv env(&ebr_, tid, trace_);
+    const core::ExchangeOutcome r = core::striped_exchange(
+        env, slot_refs_.data(), slot_names_.data(), slots_.size(), kMethod,
+        tid, v, spins);
+    return {r.ok, r.value};
   }
 
   [[nodiscard]] Symbol name() const noexcept { return name_; }
   [[nodiscard]] std::size_t width() const noexcept { return slots_.size(); }
 
  private:
+  EpochDomain& ebr_;
   Symbol name_;
+  TraceLog* trace_;
   std::vector<std::unique_ptr<Exchanger>> slots_;
+  std::vector<core::ExchangerRefs> slot_refs_;
+  std::vector<Symbol> slot_names_;
 };
 
 }  // namespace cal::objects

@@ -1,144 +1,43 @@
 #include "objects/sync_queue.hpp"
 
-#include <thread>
-
 namespace cal::objects {
-
-namespace {
-
-const Symbol& put_sym() {
-  static const Symbol s{"put"};
-  return s;
-}
-const Symbol& take_sym() {
-  static const Symbol s{"take"};
-  return s;
-}
-
-inline void spin_pause(unsigned i) noexcept {
-  if ((i & 63u) == 63u) {
-    std::this_thread::yield();
-    return;
-  }
-#if defined(__x86_64__) || defined(__i386__)
-  __builtin_ia32_pause();
-#else
-  std::atomic_signal_fence(std::memory_order_seq_cst);
-#endif
-}
-
-}  // namespace
 
 SyncQueue::~SyncQueue() {
   // Quiescent at destruction: surviving nodes are unmatched reservations of
-  // threads that never completed (abnormal shutdown) — free the spine.
-  Node* n = top_.load(std::memory_order_acquire);
-  while (n != nullptr) {
-    Node* next = n->next;
-    delete n;
+  // threads that never completed (abnormal shutdown) — free the spine. The
+  // cancelled sentinel is member storage and never linked into the spine.
+  Word n = top_storage_.load(std::memory_order_acquire);
+  while (n != kNullRef) {
+    const Word next =
+        RealEnv::cell(n, core::kNodeNext)->load(std::memory_order_relaxed);
+    delete[] RealEnv::cell(n, 0);
     n = next;
   }
 }
 
-void SyncQueue::log_pair(ThreadId putter, std::int64_t v, ThreadId taker) {
-  if (trace_ == nullptr) return;
-  trace_->append(CaElement(
-      name_,
-      {Operation::make(putter, name_, put_sym(), Value::integer(v),
-                       Value::boolean(true)),
-       Operation::make(taker, name_, take_sym(), Value::unit(),
-                       Value::pair(true, v))}));
-}
-
-void SyncQueue::log_failure(ThreadId tid, Mode mode, std::int64_t v) {
-  if (trace_ == nullptr) return;
-  if (mode == Mode::kData) {
-    trace_->append(CaElement::singleton(
-        name_, Operation::make(tid, name_, put_sym(), Value::integer(v),
-                               Value::boolean(false))));
-  } else {
-    trace_->append(CaElement::singleton(
-        name_, Operation::make(tid, name_, take_sym(), Value::unit(),
-                               Value::pair(false, 0))));
-  }
-}
-
-bool SyncQueue::transfer(ThreadId tid, Mode mode, std::int64_t v,
+bool SyncQueue::transfer(ThreadId tid, Word mode, std::int64_t v,
                          unsigned spins, std::int64_t& received) {
   EpochDomain::Guard guard(ebr_, tid);
-
+  RealEnv env(&ebr_, tid, trace_);
   for (;;) {
-    Node* h = top_.load(std::memory_order_acquire);
-
-    if (h == nullptr || h->mode == mode) {
-      // Same-mode top (or empty): publish a reservation and wait.
-      auto* node = new Node(mode, v, tid);
-      node->next = h;
-      if (!top_.compare_exchange_strong(h, node,
-                                        std::memory_order_acq_rel)) {
-        delete node;  // never published
-        continue;
-      }
-      for (unsigned i = 0; i < spins; ++i) {
-        if (node->match.load(std::memory_order_acquire) != nullptr) break;
-        spin_pause(i);
-      }
-      Node* expected = nullptr;
-      if (node->match.compare_exchange_strong(expected, &cancelled_,
-                                              std::memory_order_acq_rel)) {
-        // Timed out unpaired — the exchanger's "pass" move. Best-effort
-        // unlink if we are still the top; otherwise a later helper pops us.
-        Node* self = node;
-        top_.compare_exchange_strong(self, node->next,
-                                     std::memory_order_acq_rel);
-        log_failure(tid, mode, v);
-        ebr_.retire(tid, node);
-        return false;
-      }
-      // Fulfilled: the fulfiller logged the pairing element.
-      Node* partner = node->match.load(std::memory_order_acquire);
-      received = partner->data;
-      ebr_.retire(tid, node);
+    const core::SyncTransferOutcome r = core::sync_queue_transfer_attempt(
+        env, refs_, name_, tid, mode, v, spins);
+    if (r.kind == core::SyncTransfer::kPaired) {
+      received = r.received;
       return true;
     }
-
-    // Complementary top: try to fulfill it.
-    Node* hmatch = h->match.load(std::memory_order_acquire);
-    if (hmatch != nullptr) {
-      // Already matched or cancelled: help unlink and retry.
-      top_.compare_exchange_strong(h, h->next, std::memory_order_acq_rel);
-      continue;
-    }
-    auto* node = new Node(mode, v, tid);
-    Node* expected = nullptr;
-    if (h->match.compare_exchange_strong(expected, node,
-                                         std::memory_order_acq_rel)) {
-      // The fulfilling CAS completes both operations simultaneously: append
-      // the joint CA-element (the XCHG analogue).
-      if (mode == Mode::kRequest) {
-        log_pair(/*putter=*/h->tid, /*v=*/h->data, /*taker=*/tid);
-      } else {
-        log_pair(/*putter=*/tid, /*v=*/v, /*taker=*/h->tid);
-      }
-      Node* h_copy = h;
-      top_.compare_exchange_strong(h_copy, h->next,
-                                   std::memory_order_acq_rel);
-      received = h->data;
-      ebr_.retire(tid, node);
-      return true;
-    }
-    delete node;  // lost the fulfill race; node never published
+    if (r.kind == core::SyncTransfer::kTimedOut) return false;
   }
 }
 
 bool SyncQueue::put(ThreadId tid, std::int64_t v, unsigned spins) {
   std::int64_t ignored = 0;
-  return transfer(tid, Mode::kData, v, spins, ignored);
+  return transfer(tid, core::kModeData, v, spins, ignored);
 }
 
 PopResult SyncQueue::take(ThreadId tid, unsigned spins) {
   std::int64_t received = 0;
-  if (transfer(tid, Mode::kRequest, 0, spins, received)) {
+  if (transfer(tid, core::kModeRequest, 0, spins, received)) {
     return {true, received};
   }
   return {false, 0};

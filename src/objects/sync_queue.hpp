@@ -13,6 +13,10 @@
 //     exchanger's XCHG action — appends the joint CA-element
 //     Q.{(t, put(v) ▷ true), (t', take() ▷ (true,v))} to 𝒯.
 //
+// The transfer attempt lives in objects/core/sync_queue_core.hpp, shared
+// with the model checker; this class owns the top cell, the cancelled
+// sentinel, the retry loop and the epoch pinning.
+//
 // This is a CA-object: put/take pairs must overlap, and no useful
 // sequential specification exists (same Fig. 3 argument as the exchanger).
 // Its CA-spec is cal::SyncQueueSpec; the equivalent dual-data-structure
@@ -24,6 +28,8 @@
 
 #include "cal/ca_trace.hpp"
 #include "cal/symbol.hpp"
+#include "objects/core/sync_queue_core.hpp"
+#include "objects/real_env.hpp"
 #include "objects/treiber_stack.hpp"  // PopResult
 #include "runtime/ebr.hpp"
 #include "runtime/trace_log.hpp"
@@ -33,7 +39,10 @@ namespace cal::objects {
 class SyncQueue {
  public:
   SyncQueue(EpochDomain& ebr, Symbol name, TraceLog* trace = nullptr)
-      : ebr_(ebr), name_(name), trace_(trace) {}
+      : ebr_(ebr), name_(name), trace_(trace) {
+    refs_.top = RealEnv::ref(&top_storage_);
+    refs_.cancelled = RealEnv::ref(cancelled_cells_);
+  }
   ~SyncQueue();
 
   SyncQueue(const SyncQueue&) = delete;
@@ -48,30 +57,17 @@ class SyncQueue {
   [[nodiscard]] Symbol name() const noexcept { return name_; }
 
  private:
-  enum class Mode : std::uint8_t { kData, kRequest };
-
-  struct Node {
-    Mode mode;
-    std::int64_t data;
-    ThreadId tid;
-    std::atomic<Node*> match{nullptr};  ///< partner node, or cancelled_
-    Node* next = nullptr;
-
-    Node(Mode m, std::int64_t d, ThreadId t) : mode(m), data(d), tid(t) {}
-  };
-
-  /// Common engine for put/take.
-  bool transfer(ThreadId tid, Mode mode, std::int64_t v, unsigned spins,
+  /// Common engine for put/take: loops transfer attempts until the
+  /// reservation pairs or cancels.
+  bool transfer(ThreadId tid, Word mode, std::int64_t v, unsigned spins,
                 std::int64_t& received);
-
-  void log_pair(ThreadId putter, std::int64_t v, ThreadId taker);
-  void log_failure(ThreadId tid, Mode mode, std::int64_t v);
 
   EpochDomain& ebr_;
   Symbol name_;
   TraceLog* trace_;
-  std::atomic<Node*> top_{nullptr};
-  Node cancelled_{Mode::kData, 0, 0};  ///< cancellation sentinel
+  std::atomic<Word> top_storage_{0};
+  std::atomic<Word> cancelled_cells_[core::kNodeCells] = {};  ///< sentinel
+  core::SyncQueueRefs refs_;
 };
 
 }  // namespace cal::objects

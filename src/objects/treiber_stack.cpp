@@ -3,49 +3,27 @@
 namespace cal::objects {
 
 CentralStack::~CentralStack() {
-  Cell* c = top_.load(std::memory_order_acquire);
-  while (c != nullptr) {
-    Cell* next = c->next;
-    delete c;
+  Word c = top_storage_.load(std::memory_order_acquire);
+  while (c != kNullRef) {
+    const Word next =
+        RealEnv::cell(c, core::kCellNext)->load(std::memory_order_relaxed);
+    delete[] RealEnv::cell(c, 0);
     c = next;
   }
 }
 
-void CentralStack::log(ThreadId tid, Symbol method, Value arg, Value ret) {
-  if (trace_ == nullptr) return;
-  trace_->append(CaElement::singleton(
-      name_, Operation::make(tid, name_, method, std::move(arg),
-                             std::move(ret))));
-}
-
 bool CentralStack::push(ThreadId tid, std::int64_t v) {
-  static const Symbol kPush{"push"};
   EpochDomain::Guard guard(ebr_, tid);
-  Cell* h = top_.load(std::memory_order_acquire);     // line 11
-  auto* n = new Cell{v, h};                           // line 12
-  const bool ok =
-      top_.compare_exchange_strong(h, n, std::memory_order_acq_rel);
-  if (!ok) delete n;  // never published
-  log(tid, kPush, Value::integer(v), Value::boolean(ok));
-  return ok;                                          // line 13
+  RealEnv env(&ebr_, tid, trace_);
+  return core::stack_push_attempt(env, refs_, name_, tid, v);
 }
 
 PopResult CentralStack::pop(ThreadId tid) {
-  static const Symbol kPop{"pop"};
   EpochDomain::Guard guard(ebr_, tid);
-  Cell* h = top_.load(std::memory_order_acquire);     // line 16
-  if (h == nullptr) {                                 // line 17: EMPTY
-    log(tid, kPop, Value::unit(), Value::pair(false, 0));
-    return {false, 0};
-  }
-  Cell* n = h->next;                                  // line 19
-  if (top_.compare_exchange_strong(h, n, std::memory_order_acq_rel)) {
-    const std::int64_t v = h->data;                   // line 21
-    ebr_.retire(tid, h);
-    log(tid, kPop, Value::unit(), Value::pair(true, v));
-    return {true, v};
-  }
-  log(tid, kPop, Value::unit(), Value::pair(false, 0));  // line 23
+  RealEnv env(&ebr_, tid, trace_);
+  const core::StackPopOutcome r =
+      core::stack_pop_attempt(env, refs_, name_, tid);
+  if (r.kind == core::StackPop::kGot) return {true, r.value};
   return {false, 0};
 }
 

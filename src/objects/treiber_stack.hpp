@@ -8,13 +8,10 @@
 // pop also returns (false,0) on empty (Fig. 2 line 18), which is why the
 // elimination stack's pop loops instead of reporting empty.
 //
-// Instrumentation: with a TraceLog, every completed operation appends its
-// singleton CA-element S.{(t, f(n) ▷ r)} at its linearization point (the
-// successful CAS, the failed CAS, or the empty-read), matching the
-// sequential stack specification of §4.
-//
-// Cells are retired through the EpochDomain; not reusing them until safe
-// also rules out the top-pointer ABA.
+// The attempt bodies live in objects/core/stack_core.hpp, shared with the
+// model checker; this class owns the top cell, the epoch pinning, and the
+// TraceLog routing. Cells are retired through the EpochDomain; not reusing
+// them until safe also rules out the top-pointer ABA.
 #pragma once
 
 #include <atomic>
@@ -23,6 +20,8 @@
 
 #include "cal/ca_trace.hpp"
 #include "cal/symbol.hpp"
+#include "objects/core/stack_core.hpp"
+#include "objects/real_env.hpp"
 #include "runtime/ebr.hpp"
 #include "runtime/trace_log.hpp"
 
@@ -42,7 +41,9 @@ struct PopResult {
 class CentralStack {
  public:
   CentralStack(EpochDomain& ebr, Symbol name, TraceLog* trace = nullptr)
-      : ebr_(ebr), name_(name), trace_(trace) {}
+      : ebr_(ebr), name_(name), trace_(trace) {
+    refs_.top = RealEnv::ref(&top_storage_);
+  }
   ~CentralStack();
 
   CentralStack(const CentralStack&) = delete;
@@ -55,23 +56,20 @@ class CentralStack {
 
   /// True iff the stack is empty at this instant (test/diagnostic helper).
   [[nodiscard]] bool empty() const noexcept {
-    return top_.load(std::memory_order_acquire) == nullptr;
+    return top_storage_.load(std::memory_order_acquire) == kNullRef;
   }
 
   [[nodiscard]] Symbol name() const noexcept { return name_; }
+  /// The shared top cell, for compositions that run the core directly
+  /// (the elimination stack).
+  [[nodiscard]] const core::StackRefs& refs() const noexcept { return refs_; }
 
  private:
-  struct Cell {
-    std::int64_t data;
-    Cell* next;
-  };
-
-  void log(ThreadId tid, Symbol method, Value arg, Value ret);
-
   EpochDomain& ebr_;
   Symbol name_;
   TraceLog* trace_;
-  std::atomic<Cell*> top_{nullptr};
+  std::atomic<Word> top_storage_{0};
+  core::StackRefs refs_;
 };
 
 /// The no-elimination baseline: retries the single-attempt CAS until it

@@ -3,10 +3,11 @@
 namespace cal::sched {
 
 namespace {
-const Symbol& exchange_sym() {
-  static const Symbol s{"exchange"};
-  return s;
-}
+using objects::core::ExchangerPc;
+using objects::core::ExchangerReg;
+using objects::core::kOfferData;
+using objects::core::kOfferHole;
+using objects::core::kOfferTid;
 
 std::string describe(const std::vector<std::int64_t>& xs) {
   std::string out;
@@ -17,126 +18,152 @@ std::string describe(const std::vector<std::int64_t>& xs) {
 
 std::optional<std::string> ExchangerRgAuditor::check_transition(
     const World& pre, const World& post, ThreadId actor) const {
-  // Collect the shared-memory delta of this single step.
-  std::vector<Change> changes;
+  if (!check_guarantee_) return std::nullopt;
+
+  // Collect the memory delta of this single step, dropping initialization
+  // of fresh (previously null) cells in the actor's own region: those are
+  // line 13's offer setup, invisible to other threads until INIT. The one
+  // fresh own-region write that *is* shared is the PASS CAS storing FAIL
+  // into the hole of the offer currently published in g — identified by
+  // address, since the offer being initialized cannot already be in g.
+  std::vector<Change> shared;
   const SimMemory& pm = pre.memory();
   const SimMemory& qm = post.memory();
+  const Addr g = object_.g_addr();
+  const Word pre_g = pm.read(g);
+  const Addr published_hole =
+      pre_g == kNull ? 0 : static_cast<Addr>(pre_g) + kOfferHole;
   for (Addr a = 1; a < pm.size(); ++a) {
     const Word b = pm.read(a);
     const Word c = qm.read(a);
-    if (b != c) changes.push_back(Change{a, b, c});
+    if (b == c) continue;
+    const bool local_fresh = pm.owner(a) == static_cast<int>(actor) &&
+                             b == kNull && a != g && a != published_hole;
+    if (!local_fresh) shared.push_back(Change{a, b, c});
   }
   const std::size_t appended = post.trace().size() - pre.trace().size();
-  return classify(pre, post, actor, changes, appended);
+  return classify(pre, post, actor, shared, appended);
 }
 
 std::optional<std::string> ExchangerRgAuditor::classify(
     const World& pre, const World& post, ThreadId actor,
-    const std::vector<Change>& changes, std::size_t appended) const {
-  const Addr g = machine_.g_addr();
-  const Addr fail = machine_.fail_addr();
+    const std::vector<Change>& shared, std::size_t appended) const {
+  const Addr g = object_.g_addr();
+  const Addr fail = object_.fail_addr();
   const SimMemory& pm = pre.memory();
   const SimMemory& qm = post.memory();
 
-  // Stutter: reads, pc moves, responses of already-logged results.
-  if (changes.empty() && appended == 0) return std::nullopt;
+  // Stutter: reads, pc moves, local offer initialization, responses.
+  if (shared.empty() && appended == 0) return std::nullopt;
 
-  // Local-heap initialization: all changed cells are fresh (previously 0)
-  // cells in the actor's own region, and nothing was logged. This is the
-  // allocation in line 13, invisible to other threads until INIT.
-  if (appended == 0 && !changes.empty()) {
-    bool all_local_fresh = true;
-    for (const Change& ch : changes) {
-      if (pm.owner(ch.addr) != static_cast<int>(actor) || ch.before != 0) {
-        all_local_fresh = false;
-        break;
-      }
+  // The FAIL^t auxiliary append: the actor's own failed operation as a
+  // singleton element.
+  auto is_actor_failure = [&](const CaElement& e) {
+    static const Symbol kExchange{"exchange"};
+    if (e.object() != object_.name() || e.size() != 1) return false;
+    const Operation& op = e.ops().front();
+    return op.tid == actor && op.method == kExchange && op.ret &&
+           op.ret->kind() == Value::Kind::kPair && !op.ret->pair_ok() &&
+           op.arg == Value::integer(op.ret->pair_int());
+  };
+  auto bad_append = [&] {
+    return "trace append by t" + std::to_string(actor) + " matches no action: " +
+           post.trace()[post.trace().size() - 1].to_string();
+  };
+
+  // FAIL^t alone: pure auxiliary append, no shared-memory change (the
+  // empty-g fast path and the lost-clean path).
+  if (shared.empty() && appended == 1) {
+    if (is_actor_failure(post.trace()[post.trace().size() - 1])) {
+      return std::nullopt;  // FAIL
     }
-    if (all_local_fresh) return std::nullopt;
+    return bad_append();
   }
 
-  // FAIL^t: pure auxiliary append, no shared-memory change.
-  if (changes.empty() && appended == 1) {
-    const CaElement& e = post.trace()[post.trace().size() - 1];
-    if (e.object() == machine_.name() && e.size() == 1) {
-      const Operation& op = e.ops().front();
-      if (op.tid == actor && op.method == exchange_sym() && op.ret &&
-          op.ret->kind() == Value::Kind::kPair && !op.ret->pair_ok() &&
-          op.arg == Value::integer(op.ret->pair_int())) {
-        return std::nullopt;  // FAIL
-      }
-    }
-    return "trace append by t" + std::to_string(actor) +
-           " matches no action: " + post.trace()[post.trace().size() - 1]
-               .to_string();
-  }
-
-  if (changes.size() == 1 && appended == 0) {
-    const Change& ch = changes.front();
+  if (shared.size() == 1 && appended == 0) {
+    const Change& ch = shared.front();
 
     // INIT^t: g: null → n with n.tid = t, n.hole = null.
     if (ch.addr == g && ch.before == kNull && ch.after != kNull) {
       const Addr n = static_cast<Addr>(ch.after);
-      if (qm.read(n + ExchangerMachine::kTid) ==
-              static_cast<Word>(actor) &&
-          qm.read(n + ExchangerMachine::kHole) == kNull) {
+      if (qm.read(n + kOfferTid) == static_cast<Word>(actor) &&
+          qm.read(n + kOfferHole) == kNull) {
         return std::nullopt;  // INIT
       }
       return "INIT by t" + std::to_string(actor) +
              " publishes a malformed offer";
     }
 
-    // CLEAN^t: g: cur → null with cur.hole ≠ null.
+    // CLEAN^t: g: cur → null with cur.hole ≠ null (helping, or the line 20
+    // withdrawal of the thread's own passed offer).
     if (ch.addr == g && ch.after == kNull && ch.before != kNull) {
       const Addr cur = static_cast<Addr>(ch.before);
-      if (pm.read(cur + ExchangerMachine::kHole) != kNull) {
+      if (pm.read(cur + kOfferHole) != kNull) {
         return std::nullopt;  // CLEAN
       }
       return "CLEAN by t" + std::to_string(actor) +
              " removed an unmatched offer";
     }
 
-    // PASS^t: own published offer's hole: null → fail.
-    if (ch.before == kNull && ch.after == static_cast<Word>(fail)) {
-      const Addr n = ch.addr - ExchangerMachine::kHole;
-      if (pm.read(n + ExchangerMachine::kTid) == static_cast<Word>(actor) &&
-          pm.read(g) == static_cast<Word>(n)) {
-        return std::nullopt;  // PASS
-      }
-      return "PASS by t" + std::to_string(actor) +
-             " on an offer it does not own or that is not published";
-    }
-
     return "unclassified shared write by t" + std::to_string(actor) +
            " at cell " + std::to_string(ch.addr);
   }
 
-  // XCHG^t: cur.hole: null → n (n ≠ fail, n.tid = t, g = cur) appending
-  // exactly E.swap(cur.tid, cur.data, t, n.data).
-  if (changes.size() == 1 && appended == 1) {
-    const Change& ch = changes.front();
+  if (shared.size() == 1 && appended == 1) {
+    const Change& ch = shared.front();
+
+    // PASS^t (fused with FAIL^t): own published offer's hole: null → fail,
+    // appending the actor's failed operation in the same step.
+    if (ch.before == kNull && ch.after == static_cast<Word>(fail)) {
+      const Addr n = ch.addr - kOfferHole;
+      if (pm.read(n + kOfferTid) != static_cast<Word>(actor) ||
+          pm.read(g) != static_cast<Word>(n)) {
+        return "PASS by t" + std::to_string(actor) +
+               " on an offer it does not own or that is not published";
+      }
+      if (!is_actor_failure(post.trace()[post.trace().size() - 1])) {
+        return bad_append();
+      }
+      return std::nullopt;  // PASS
+    }
+
+    // CLEAN^t fused with FAIL^t: the failed-exchange path whose clean CAS
+    // succeeded — the helping removal and the auxiliary append share the
+    // final step of the attempt.
+    if (ch.addr == g && ch.after == kNull && ch.before != kNull) {
+      const Addr cur = static_cast<Addr>(ch.before);
+      if (pm.read(cur + kOfferHole) == kNull) {
+        return "CLEAN by t" + std::to_string(actor) +
+               " removed an unmatched offer";
+      }
+      if (!is_actor_failure(post.trace()[post.trace().size() - 1])) {
+        return bad_append();
+      }
+      return std::nullopt;  // CLEAN + FAIL
+    }
+
+    // XCHG^t: cur.hole: null → n (n ≠ fail, n.tid = t, g = cur) appending
+    // exactly E.swap(cur.tid, cur.data, t, n.data).
     if (ch.before == kNull && ch.after != static_cast<Word>(fail) &&
         ch.after != kNull) {
-      const Addr cur = ch.addr - ExchangerMachine::kHole;
+      const Addr cur = ch.addr - kOfferHole;
       const Addr n = static_cast<Addr>(ch.after);
-      if (qm.read(n + ExchangerMachine::kTid) !=
-          static_cast<Word>(actor)) {
+      if (qm.read(n + kOfferTid) != static_cast<Word>(actor)) {
         return "XCHG by t" + std::to_string(actor) +
                " installs another thread's offer";
       }
-      if (pm.read(cur + ExchangerMachine::kTid) ==
-          static_cast<Word>(actor)) {
+      if (pm.read(cur + kOfferTid) == static_cast<Word>(actor)) {
         return "XCHG by t" + std::to_string(actor) + " matched itself";
       }
       if (pm.read(g) != static_cast<Word>(cur)) {
         return "XCHG by t" + std::to_string(actor) +
                " on an offer not published in g";
       }
+      static const Symbol kExchange{"exchange"};
       const CaElement expected = CaElement::swap(
-          machine_.name(), exchange_sym(),
-          static_cast<ThreadId>(pm.read(cur + ExchangerMachine::kTid)),
-          pm.read(cur + ExchangerMachine::kData), actor,
-          qm.read(n + ExchangerMachine::kData));
+          object_.name(), kExchange,
+          static_cast<ThreadId>(pm.read(cur + kOfferTid)),
+          pm.read(cur + kOfferData), actor, qm.read(n + kOfferData));
       const CaElement& logged = post.trace()[post.trace().size() - 1];
       if (logged == expected) return std::nullopt;  // XCHG
       return "XCHG by t" + std::to_string(actor) +
@@ -146,7 +173,7 @@ std::optional<std::string> ExchangerRgAuditor::classify(
   }
 
   std::vector<std::int64_t> addrs;
-  for (const Change& ch : changes) addrs.push_back(ch.addr);
+  for (const Change& ch : shared) addrs.push_back(ch.addr);
   return "transition by t" + std::to_string(actor) +
          " matches no guarantee action (cells " + describe(addrs) +
          ", appends " + std::to_string(appended) + ")";
@@ -154,19 +181,20 @@ std::optional<std::string> ExchangerRgAuditor::classify(
 
 std::optional<std::string> ExchangerRgAuditor::check_invariant(
     const World& world) const {
+  static const Symbol kExchange{"exchange"};
   const SimMemory& m = world.memory();
-  const Word gval = m.read(machine_.g_addr());
+  const Word gval = m.read(object_.g_addr());
 
   // J: g ≠ null ∧ g.hole = null ⇒ InE(g.tid).
   if (gval != kNull) {
     const Addr offer = static_cast<Addr>(gval);
-    if (m.read(offer + ExchangerMachine::kHole) == kNull) {
-      const Word owner = m.read(offer + ExchangerMachine::kTid);
+    if (m.read(offer + kOfferHole) == kNull) {
+      const Word owner = m.read(offer + kOfferTid);
       bool in_e = false;
       for (const ThreadCtx& t : world.threads()) {
         if (static_cast<Word>(t.tid) != owner || !t.op_active) continue;
         const auto& prog = world.config().programs[t.program];
-        if (prog.calls[t.call_idx].method == exchange_sym()) in_e = true;
+        if (prog.calls[t.call_idx].method == kExchange) in_e = true;
       }
       if (!in_e) {
         return "J violated: unmatched published offer of t" +
@@ -186,10 +214,10 @@ std::optional<std::string> ExchangerRgAuditor::check_invariant(
 std::optional<std::string> ExchangerRgAuditor::check_outline(
     const World& world, const ThreadCtx& t) const {
   const SimMemory& m = world.memory();
-  const Addr g = machine_.g_addr();
-  const Addr fail = machine_.fail_addr();
-  const Addr n = static_cast<Addr>(t.regs[ExchangerMachine::kRegN]);
-  const Word v = t.regs[ExchangerMachine::kRegV];
+  const Addr g = object_.g_addr();
+  const Addr fail = object_.fail_addr();
+  const Addr n = static_cast<Addr>(t.regs[ExchangerReg::kN]);
+  const Word v = t.regs[ExchangerReg::kV];
 
   auto fmt = [&](const char* what) {
     return std::string("proof outline at pc ") + std::to_string(t.pc) +
@@ -200,12 +228,9 @@ std::optional<std::string> ExchangerRgAuditor::check_outline(
   auto B = [&](Word k) {
     if (k == kNull || k == static_cast<Word>(fail)) return false;
     const Addr ka = static_cast<Addr>(k);
-    if (m.read(ka + ExchangerMachine::kTid) == static_cast<Word>(t.tid)) {
-      return false;
-    }
+    if (m.read(ka + kOfferTid) == static_cast<Word>(t.tid)) return false;
     return t.op_logged &&
-           t.op_logged_ret ==
-               Value::pair(true, m.read(ka + ExchangerMachine::kData));
+           t.op_logged_ret == Value::pair(true, m.read(ka + kOfferData));
   };
   // A ≜ TE|tid = T ∧ (g = null ∨ g.hole ≠ null ∨ g.tid ≠ tid) ∧ n ↦ tid,v,null.
   auto A = [&]() {
@@ -214,55 +239,64 @@ std::optional<std::string> ExchangerRgAuditor::check_outline(
     bool g_ok = gval == kNull;
     if (!g_ok) {
       const Addr ga = static_cast<Addr>(gval);
-      g_ok = m.read(ga + ExchangerMachine::kHole) != kNull ||
-             m.read(ga + ExchangerMachine::kTid) !=
-                 static_cast<Word>(t.tid);
+      g_ok = m.read(ga + kOfferHole) != kNull ||
+             m.read(ga + kOfferTid) != static_cast<Word>(t.tid);
     }
-    return g_ok &&
-           m.read(n + ExchangerMachine::kTid) == static_cast<Word>(t.tid) &&
-           m.read(n + ExchangerMachine::kData) == v &&
-           m.read(n + ExchangerMachine::kHole) == kNull;
+    return g_ok && m.read(n + kOfferTid) == static_cast<Word>(t.tid) &&
+           m.read(n + kOfferData) == v && m.read(n + kOfferHole) == kNull;
+  };
+  // The auxiliary FAIL append precedes the failing return in the single
+  // body, so at every failing control point the operation is already
+  // logged with (false, v).
+  auto failed = [&]() {
+    return t.op_logged && t.op_logged_ret == Value::pair(false, v);
   };
 
   switch (t.pc) {
-    case ExchangerMachine::kInitCas:
-      if (!A()) return fmt("A does not hold before the init CAS");
+    case ExchangerPc::kReadG:
+      if (!A()) return fmt("A does not hold after the failed init CAS");
       break;
-    case ExchangerMachine::kPassCas: {
+    case ExchangerPc::kPassCas: {
       // (TE|tid = T ∧ n ↦ tid,v,null ∧ g = n) ∨ B(n.hole)   (line 16)
-      const Word hole = m.read(n + ExchangerMachine::kHole);
-      const bool first = !t.op_logged && hole == kNull &&
-                         m.read(g) == static_cast<Word>(n);
+      const Word hole = m.read(n + kOfferHole);
+      const bool first =
+          !t.op_logged && hole == kNull && m.read(g) == static_cast<Word>(n);
       if (!first && !B(hole)) {
         return fmt("neither unmatched-published nor B(n.hole) holds");
       }
       break;
     }
-    case ExchangerMachine::kSuccessReturnA: {
-      if (!B(m.read(n + ExchangerMachine::kHole))) {
+    case ExchangerPc::kWithdrawCas:
+      // After PASS: the failure is logged and the own offer is dead.
+      if (!failed()) return fmt("failure not logged after PASS");
+      if (m.read(n + kOfferHole) != static_cast<Word>(fail)) {
+        return fmt("n.hole is not FAIL before the withdraw CAS");
+      }
+      break;
+    case ExchangerPc::kSuccessReturnA: {
+      if (!B(m.read(n + kOfferHole))) {
         return fmt("B(n.hole) does not hold at the passive success return");
       }
       break;
     }
-    case ExchangerMachine::kXchgCas: {
+    case ExchangerPc::kXchgCas: {
       // A ∧ (g = cur ∨ cur.hole ≠ null) ∧ cur ≠ null ∧ ¬s   (line 28)
-      const Word cur = t.regs[ExchangerMachine::kRegCur];
+      const Word cur = t.regs[ExchangerReg::kCur];
       if (cur == kNull) return fmt("cur is null before the xchg CAS");
       if (!A()) return fmt("A does not hold before the xchg CAS");
       const Addr ca = static_cast<Addr>(cur);
-      if (m.read(g) != cur &&
-          m.read(ca + ExchangerMachine::kHole) == kNull) {
+      if (m.read(g) != cur && m.read(ca + kOfferHole) == kNull) {
         return fmt("g != cur and cur.hole is null before the xchg CAS");
       }
       break;
     }
-    case ExchangerMachine::kCleanCas: {
+    case ExchangerPc::kCleanCas: {
       // (¬s ∧ A ∨ s ∧ B(cur)) ∧ cur ≠ null ∧ cur.hole ≠ null   (line 30)
-      const Word cur = t.regs[ExchangerMachine::kRegCur];
-      const bool s = t.regs[ExchangerMachine::kRegS] != 0;
+      const Word cur = t.regs[ExchangerReg::kCur];
+      const bool s = t.regs[ExchangerReg::kS] != 0;
       if (cur == kNull) return fmt("cur is null before the clean CAS");
       const Addr ca = static_cast<Addr>(cur);
-      if (m.read(ca + ExchangerMachine::kHole) == kNull) {
+      if (m.read(ca + kOfferHole) == kNull) {
         return fmt("cur.hole is null before the clean CAS");
       }
       if (s ? !B(cur) : !A()) {
@@ -270,15 +304,15 @@ std::optional<std::string> ExchangerRgAuditor::check_outline(
       }
       break;
     }
-    case ExchangerMachine::kSuccessReturnB: {
-      if (!B(t.regs[ExchangerMachine::kRegCur])) {
+    case ExchangerPc::kSuccessReturnB: {
+      if (!B(t.regs[ExchangerReg::kCur])) {
         return fmt("B(cur) does not hold at the active success return");
       }
       break;
     }
-    case ExchangerMachine::kFailReturnA:
-    case ExchangerMachine::kFailReturnB:
-      if (t.op_logged) return fmt("failing return but already logged");
+    case ExchangerPc::kFailReturnA:
+    case ExchangerPc::kFailReturnB:
+      if (!failed()) return fmt("failure not logged at the failing return");
       break;
     default:
       break;

@@ -21,6 +21,14 @@
 //     stability under the rely: any interference that invalidated one
 //     would surface as a failed assertion in some interleaving.
 //
+// The audited object is the Env-instantiated SimExchanger — the same
+// objects/core/exchanger_core.hpp body the real runtime executes — so the
+// guarantee actions here describe the transitions of the re-execution
+// engine: the paper's auxiliary appends are fused with their instrumented
+// CAS (PASS appends the failure element in the same step; XCHG appends the
+// swap), and line 13's private initialization rides along with the step
+// that publishes or first yields.
+//
 // Requires WorldConfig::record_trace = true (the auditor reads the 𝒯 delta
 // of each transition).
 #pragma once
@@ -29,15 +37,18 @@
 #include <string>
 
 #include "sched/explorer.hpp"
-#include "sched/machines/exchanger_machine.hpp"
+#include "sched/sim_objects.hpp"
 
 namespace cal::sched {
 
 class ExchangerRgAuditor final : public TransitionAuditor {
  public:
-  explicit ExchangerRgAuditor(const ExchangerMachine& machine,
-                              bool check_proof_outline = true)
-      : machine_(machine), check_outline_(check_proof_outline) {}
+  explicit ExchangerRgAuditor(const SimExchanger& object,
+                              bool check_proof_outline = true,
+                              bool check_guarantee = true)
+      : object_(object),
+        check_outline_(check_proof_outline),
+        check_guarantee_(check_guarantee) {}
 
   [[nodiscard]] std::optional<std::string> check_transition(
       const World& pre, const World& post, ThreadId actor) const override;
@@ -54,13 +65,14 @@ class ExchangerRgAuditor final : public TransitionAuditor {
 
   [[nodiscard]] std::optional<std::string> classify(
       const World& pre, const World& post, ThreadId actor,
-      const std::vector<Change>& changes, std::size_t appended) const;
+      const std::vector<Change>& shared, std::size_t appended) const;
 
   [[nodiscard]] std::optional<std::string> check_outline(
       const World& world, const ThreadCtx& t) const;
 
-  const ExchangerMachine& machine_;
+  const SimExchanger& object_;
   bool check_outline_;
+  bool check_guarantee_;
 };
 
 }  // namespace cal::sched

@@ -1,0 +1,294 @@
+// SimEnv — the model-checking instantiation of the environment concept
+// (objects/env.hpp), and the EnvSimObject adapter that turns one
+// Env-parameterized algorithm body into a SimObject of the explorer.
+//
+// The same template bodies in objects/core/ that compile into lock-free
+// std::atomic code under RealEnv execute here one *yield operation*
+// (shared load/store/CAS, nondeterministic choice) per scheduler step,
+// with the paper's auxiliary trace appends fused atomically with the
+// instrumented instruction.
+//
+// How one body becomes a step machine without hand-compiling it into a pc
+// switch: the thread's oplog (ThreadCtx::oplog) records the result of
+// every yield operation (and allocation) the current attempt has already
+// committed, in program order. Each scheduler step re-runs the body from
+// the start:
+//
+//   * a yield op with a logged result *replays* it — no memory effect, no
+//     step consumed;
+//   * the first yield op past the log executes live against the World,
+//     appends its result to the log, and marks the step's quantum spent;
+//   * execution then continues through trailing non-yield work — frozen
+//     reads re-read (their cells can no longer change), private stores
+//     re-execute (idempotent by the Env discipline), emits past the
+//     per-call counter append to 𝒯 *in this same step*, labels update the
+//     stable pc — until the next yield op throws YieldInterrupt or the
+//     body returns.
+//
+// Because replayed operations have no memory effects and frozen/private
+// accesses are idempotent, re-running the body is observationally
+// equivalent to resuming a coroutine at the saved point — but worlds stay
+// plain copyable values, which the explorer's branching and state merging
+// require.
+//
+// Nondeterministic choice follows the explorer's probe protocol: a fresh
+// choose(n) with no pending ThreadCtx::choice throws ChoiceRequest{n}; the
+// explorer discards the probe world and re-steps a fresh copy with the
+// choice set, which choose() then consumes as its own quantum (the same
+// granularity as the retired hand-written machines' choose step).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "cal/ca_trace.hpp"
+#include "cal/value.hpp"
+#include "objects/env.hpp"
+#include "sched/world.hpp"
+
+namespace cal::sched {
+
+/// Thrown when the body reaches a yield operation after this step's
+/// quantum is spent; the attempt resumes (by re-execution) next step.
+struct YieldInterrupt {};
+
+/// Thrown when the body reaches a fresh choose(n) and no choice is
+/// pending; the explorer forks one branch per value in [0, n).
+struct ChoiceRequest {
+  std::int32_t n = 0;
+};
+
+/// Fault-injection hooks for the mutation tests: every hook sees the real
+/// execution and may corrupt it. Null members are identity.
+struct SimHooks {
+  /// Transforms the value of a private (pre-publication) store.
+  std::function<objects::Word(objects::Word block, objects::Word off,
+                              objects::Word v)>
+      private_store;
+  /// Observes/edits an element about to be appended; false suppresses the
+  /// append entirely (the emit still counts as performed).
+  std::function<bool(CaElement&)> emit;
+  /// Transforms the response value (keyed on the thread's stable pc).
+  std::function<Value(const ThreadCtx&, Value)> respond;
+};
+
+class SimEnv {
+ public:
+  using Word = objects::Word;
+
+  /// `replay_only` runs the body purely from the oplog (used to recover
+  /// the return value of a completed attempt); any fresh operation then
+  /// is a divergence bug, reported as YieldInterrupt.
+  SimEnv(World& world, ThreadCtx& t, const SimHooks* hooks,
+         bool replay_only) noexcept
+      : world_(world), t_(t), hooks_(hooks), replay_only_(replay_only) {}
+
+  // --- yield operations: one scheduler step each ---
+
+  Word load(Word block, Word off) {
+    if (Word logged = 0; replay(logged)) return logged;
+    return commit(world_.read(addr(block, off)));
+  }
+
+  void store(Word block, Word off, Word v) {
+    if (Word logged = 0; replay(logged)) return;
+    world_.write(addr(block, off), v);
+    commit(0);
+  }
+
+  bool cas(Word block, Word off, Word expected, Word desired) {
+    if (Word logged = 0; replay(logged)) return logged != 0;
+    return commit(world_.cas(addr(block, off), expected, desired) ? 1 : 0) !=
+           0;
+  }
+
+  Word choose(Word n) {
+    if (Word logged = 0; replay(logged)) return logged;
+    if (t_.choice < 0) throw ChoiceRequest{static_cast<std::int32_t>(n)};
+    const Word c = t_.choice;
+    t_.choice = -1;
+    return commit(c);
+  }
+
+  // --- non-yield operations: run within the current step ---
+
+  Word alloc(Word cells) {
+    // Logged like a yield op so replays return the same address without
+    // advancing the heap cursor, but consumes no quantum.
+    if (cursor_ < t_.oplog.size()) return t_.oplog[cursor_++];
+    if (replay_only_) throw YieldInterrupt{};
+    const Addr a = world_.alloc(t_, static_cast<std::size_t>(cells));
+    t_.oplog.push_back(static_cast<Word>(a));
+    ++cursor_;
+    return static_cast<Word>(a);
+  }
+
+  Word load_frozen(Word block, Word off) {
+    // Frozen cells can no longer change, so re-reading on every
+    // re-execution is deterministic.
+    return world_.read(addr(block, off));
+  }
+
+  void store_private(Word block, Word off, Word v) {
+    if (replay_only_) return;
+    Word w = v;
+    if (hooks_ != nullptr && hooks_->private_store) {
+      w = hooks_->private_store(block, off, v);
+    }
+    world_.write(addr(block, off), w);  // idempotent across re-executions
+  }
+
+  void retire(Word /*block*/, Word /*cells*/) const noexcept {
+    // The simulation never reclaims: addresses stay valid for auditors and
+    // frozen reads, and the bump allocator never reuses them (no ABA).
+  }
+  void free_private(Word /*block*/, Word /*cells*/) const noexcept {}
+
+  void await(Word /*block*/, Word /*off*/, unsigned /*spins*/) const noexcept {
+    // Whether a partner arrives "during the wait" is the scheduler's
+    // interleaving choice; the wait itself needs no modelling.
+  }
+
+  template <typename F>
+  void emit(F&& make) {
+    ++emit_seen_;
+    if (emit_seen_ <= t_.emits) return;  // appended in an earlier step
+    t_.emits = emit_seen_;
+    if (replay_only_) return;
+    CaElement e = std::forward<F>(make)();
+    if (hooks_ != nullptr && hooks_->emit && !hooks_->emit(e)) {
+      return;  // suppressed (still counted as performed)
+    }
+    world_.append_element(e);
+  }
+
+  void label(std::int32_t pc) noexcept { t_.pc = pc; }
+  void note(std::size_t reg, Word v) noexcept { t_.regs[reg] = v; }
+  void event(unsigned bit) noexcept {
+    if (!replay_only_) world_.signal_event(bit);  // idempotent OR anyway
+  }
+
+ private:
+  static Addr addr(Word block, Word off) noexcept {
+    return static_cast<Addr>(block + off);
+  }
+
+  /// Replays the next logged result into `out`; false = past the log.
+  bool replay(Word& out) {
+    if (cursor_ < t_.oplog.size()) {
+      out = t_.oplog[cursor_++];
+      return true;
+    }
+    if (fresh_done_ || replay_only_) throw YieldInterrupt{};
+    return false;
+  }
+
+  /// Commits a fresh yield-op result: logs it and spends the quantum.
+  Word commit(Word r) {
+    t_.oplog.push_back(r);
+    ++cursor_;
+    fresh_done_ = true;
+    return r;
+  }
+
+  World& world_;
+  ThreadCtx& t_;
+  const SimHooks* hooks_;
+  bool replay_only_;
+  std::size_t cursor_ = 0;     ///< position in t_.oplog
+  std::uint32_t emit_seen_ = 0;  ///< emits encountered this re-execution
+  bool fresh_done_ = false;    ///< this step's quantum already spent
+};
+
+/// Adapter: runs one Env-parameterized attempt body as a SimObject. A
+/// concrete sim object implements attempt() by calling its core with the
+/// given env and mapping the typed outcome to (status, return value).
+///
+/// Step lifecycle per call: one invoke step (kIdle), one step per yield
+/// operation of the body (kRunning; a completed attempt that must retry
+/// clears the oplog and counts against `retry_bound` — exceeding it
+/// truncates the thread), and one respond step (kDone) that replays the
+/// finished body to recover the return value.
+class EnvSimObject : public SimObject {
+ public:
+  enum class Status : std::uint8_t { kDone, kRetry };
+
+  struct Attempt {
+    Status status = Status::kDone;
+    Value ret;
+  };
+
+  explicit EnvSimObject(std::size_t retry_bound = 2)
+      : retry_bound_(retry_bound) {}
+
+  /// Installs fault-injection hooks (mutation tests). Call before
+  /// exploration; the hooks are shared by all world copies.
+  void set_hooks(SimHooks hooks) { hooks_ = std::move(hooks); }
+  [[nodiscard]] const SimHooks& hooks() const noexcept { return hooks_; }
+
+  [[nodiscard]] StepResult step(World& world, ThreadCtx& t) const override {
+    if (t.stage == ThreadStage::kIdle) {
+      world.invoke(t);
+      t.oplog.clear();
+      t.emits = 0;
+      t.retries = 0;
+      t.stage = ThreadStage::kRunning;
+      return StepResult::ran();
+    }
+
+    if (t.stage == ThreadStage::kDone) {
+      // Replay the completed body to recover its return value; respond.
+      SimEnv env(world, t, &hooks_, /*replay_only=*/true);
+      try {
+        Attempt a = attempt(env, world, t);
+        Value ret = std::move(a.ret);
+        if (hooks_.respond) ret = hooks_.respond(t, ret);
+        world.respond(t, ret);
+      } catch (const YieldInterrupt&) {
+        world.report_violation("replay of a completed attempt diverged");
+      }
+      return StepResult::ran();
+    }
+
+    SimEnv env(world, t, &hooks_, /*replay_only=*/false);
+    try {
+      const Attempt a = attempt(env, world, t);
+      // The body returned within this step's quantum.
+      if (a.status == Status::kRetry) {
+        t.retries += 1;
+        if (t.retries > retry_bound_) {
+          world.truncate(t);
+        } else {
+          t.oplog.clear();  // next step starts a fresh attempt
+          t.emits = 0;
+          t.pc = 0;
+        }
+      } else {
+        t.stage = ThreadStage::kDone;  // respond gets its own step
+      }
+      return StepResult::ran();
+    } catch (const YieldInterrupt&) {
+      return StepResult::ran();
+    } catch (const ChoiceRequest& c) {
+      return StepResult::choice(c.n);
+    }
+  }
+
+ protected:
+  /// One pass of the body. Must be deterministic given the oplog.
+  [[nodiscard]] virtual Attempt attempt(SimEnv& env, World& world,
+                                        ThreadCtx& t) const = 0;
+
+  /// The current call of `t` (argument extraction helper).
+  [[nodiscard]] static const Call& current_call(const World& world,
+                                                const ThreadCtx& t) {
+    return world.config().programs[t.program].calls[t.call_idx];
+  }
+
+ private:
+  std::size_t retry_bound_;
+  SimHooks hooks_;
+};
+
+}  // namespace cal::sched

@@ -1,0 +1,369 @@
+// The simulated CA-objects: every algorithm in objects/core/, instantiated
+// with SimEnv and adapted to the explorer through EnvSimObject. These
+// replace the four hand-written step machines (and add the four objects
+// that never had one): the explorer now executes the *same* template
+// bodies as the real runtime, so there is no code/model gap left to argue
+// away.
+//
+// Each adapter owns only immutable identity (names, global-cell addresses
+// allocated in init(), retry bounds, fault-injection hooks); all mutable
+// state lives in the World, as SimObject requires.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cal/specs/elim_views.hpp"
+#include "objects/core/elim_stack_core.hpp"
+#include "objects/core/exchanger_core.hpp"
+#include "objects/core/ms_queue_core.hpp"
+#include "objects/core/snapshot_core.hpp"
+#include "objects/core/stack_core.hpp"
+#include "objects/core/sync_queue_core.hpp"
+#include "sched/sim_env.hpp"
+
+namespace cal::sched {
+
+namespace core = objects::core;
+
+/// The Fig. 1 exchanger. No retry loop: every attempt completes.
+/// Subclassable so mutation tests can swap in a broken attempt body over
+/// the same cells (the auditor only needs the addresses and the name).
+class SimExchanger : public EnvSimObject {
+ public:
+  explicit SimExchanger(Symbol name, Symbol method = Symbol("exchange"))
+      : EnvSimObject(0), name_(name), method_(method) {}
+
+  void init(World& world) override {
+    refs_.g = world.alloc_global(1);
+    refs_.fail = world.alloc_global(core::kOfferCells);
+  }
+
+  [[nodiscard]] Symbol name() const noexcept { return name_; }
+  /// Address of the global offer slot g (for the rely/guarantee auditor).
+  [[nodiscard]] Addr g_addr() const noexcept {
+    return static_cast<Addr>(refs_.g);
+  }
+  /// Address of the fail sentinel offer.
+  [[nodiscard]] Addr fail_addr() const noexcept {
+    return static_cast<Addr>(refs_.fail);
+  }
+
+ protected:
+  [[nodiscard]] Attempt attempt(SimEnv& env, World& world,
+                                ThreadCtx& t) const override {
+    const Call& call = current_call(world, t);
+    const core::ExchangeOutcome r = core::exchange(
+        env, refs_, name_, method_, t.tid, call.arg.as_int(), /*spins=*/0);
+    return {Status::kDone, Value::pair(r.ok, r.value)};
+  }
+
+  [[nodiscard]] const core::ExchangerRefs& refs() const noexcept {
+    return refs_;
+  }
+
+ private:
+  Symbol name_;
+  Symbol method_;
+  core::ExchangerRefs refs_;
+};
+
+/// The single-attempt central stack (Fig. 2 class Stack): push/pop try one
+/// CAS and report failure under contention.
+class SimCentralStack final : public EnvSimObject {
+ public:
+  explicit SimCentralStack(Symbol name) : EnvSimObject(0), name_(name) {}
+
+  void init(World& world) override { refs_.top = world.alloc_global(1); }
+
+  [[nodiscard]] Symbol name() const noexcept { return name_; }
+  [[nodiscard]] Addr top_addr() const noexcept {
+    return static_cast<Addr>(refs_.top);
+  }
+
+ protected:
+  [[nodiscard]] Attempt attempt(SimEnv& env, World& world,
+                                ThreadCtx& t) const override {
+    static const Symbol kPush{"push"};
+    const Call& call = current_call(world, t);
+    if (call.method == kPush) {
+      const bool ok =
+          core::stack_push_attempt(env, refs_, name_, t.tid,
+                                   call.arg.as_int());
+      return {Status::kDone, Value::boolean(ok)};
+    }
+    const core::StackPopOutcome r =
+        core::stack_pop_attempt(env, refs_, name_, t.tid);
+    if (r.kind == core::StackPop::kGot) {
+      return {Status::kDone, Value::pair(true, r.value)};
+    }
+    return {Status::kDone, Value::pair(false, 0)};
+  }
+
+ private:
+  Symbol name_;
+  core::StackRefs refs_;
+};
+
+/// The elimination stack (Fig. 2): central-stack attempts interleaved with
+/// striped exchanges, retry-bounded (exceeding the budget truncates the
+/// thread; its operation stays pending).
+class SimElimStack final : public EnvSimObject {
+ public:
+  SimElimStack(Symbol es, Symbol s, Symbol ar, std::size_t width,
+               std::size_t retry_bound = 2)
+      : EnvSimObject(retry_bound), es_(es), s_(s), ar_(ar), width_(width) {
+    slot_names_.reserve(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      slot_names_.push_back(elim_slot_name(ar, i));
+    }
+  }
+
+  void init(World& world) override {
+    stack_refs_.top = world.alloc_global(1);
+    slot_refs_.clear();
+    slot_refs_.reserve(width_);
+    for (std::size_t i = 0; i < width_; ++i) {
+      core::ExchangerRefs r;
+      r.g = world.alloc_global(1);
+      r.fail = world.alloc_global(core::kOfferCells);
+      slot_refs_.push_back(r);
+    }
+  }
+
+  /// Drops Fig. 2 line 35's d == POP_SENTINAL check (the DropsPushMutant):
+  /// a push then accepts pairing with another push.
+  void set_accept_any_exchange(bool on) noexcept { accept_any_ = on; }
+
+  [[nodiscard]] Symbol name() const noexcept { return es_; }
+  [[nodiscard]] Symbol stack_name() const noexcept { return s_; }
+  [[nodiscard]] Symbol array_name() const noexcept { return ar_; }
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+  [[nodiscard]] Addr top_addr() const noexcept {
+    return static_cast<Addr>(stack_refs_.top);
+  }
+  [[nodiscard]] Addr slot_g_addr(std::size_t i) const {
+    return static_cast<Addr>(slot_refs_[i].g);
+  }
+
+ protected:
+  [[nodiscard]] Attempt attempt(SimEnv& env, World& world,
+                                ThreadCtx& t) const override {
+    static const Symbol kPush{"push"};
+    const Call& call = current_call(world, t);
+    if (call.method == kPush) {
+      const core::ElimAttempt a = core::elim_push_attempt(
+          env, stack_refs_, slot_refs_.data(), slot_names_.data(), width_,
+          s_, t.tid, call.arg.as_int(), /*spins=*/0, accept_any_);
+      if (a == core::ElimAttempt::kRetry) return {Status::kRetry, Value()};
+      return {Status::kDone, Value::boolean(true)};
+    }
+    const core::ElimPopOutcome r = core::elim_pop_attempt(
+        env, stack_refs_, slot_refs_.data(), slot_names_.data(), width_, s_,
+        t.tid, /*spins=*/0);
+    if (r.kind == core::ElimAttempt::kRetry) return {Status::kRetry, Value()};
+    return {Status::kDone, Value::pair(true, r.value)};
+  }
+
+ private:
+  Symbol es_;
+  Symbol s_;
+  Symbol ar_;
+  std::size_t width_;
+  bool accept_any_ = false;
+  core::StackRefs stack_refs_;
+  std::vector<core::ExchangerRefs> slot_refs_;
+  std::vector<Symbol> slot_names_;
+};
+
+/// The dual synchronous queue: retry-bounded transfer attempts.
+class SimSyncQueue final : public EnvSimObject {
+ public:
+  explicit SimSyncQueue(Symbol name, std::size_t retry_bound = 2)
+      : EnvSimObject(retry_bound), name_(name) {}
+
+  void init(World& world) override {
+    refs_.top = world.alloc_global(1);
+    refs_.cancelled = world.alloc_global(core::kNodeCells);
+  }
+
+  [[nodiscard]] Symbol name() const noexcept { return name_; }
+  [[nodiscard]] Addr top_addr() const noexcept {
+    return static_cast<Addr>(refs_.top);
+  }
+
+ protected:
+  [[nodiscard]] Attempt attempt(SimEnv& env, World& world,
+                                ThreadCtx& t) const override {
+    static const Symbol kPut{"put"};
+    const Call& call = current_call(world, t);
+    const bool is_put = call.method == kPut;
+    const SimEnv::Word mode = is_put ? core::kModeData : core::kModeRequest;
+    const SimEnv::Word v = is_put ? call.arg.as_int() : 0;
+    const core::SyncTransferOutcome r = core::sync_queue_transfer_attempt(
+        env, refs_, name_, t.tid, mode, v, /*spins=*/0);
+    switch (r.kind) {
+      case core::SyncTransfer::kPaired:
+        return {Status::kDone, is_put ? Value::boolean(true)
+                                      : Value::pair(true, r.received)};
+      case core::SyncTransfer::kTimedOut:
+        return {Status::kDone,
+                is_put ? Value::boolean(false) : Value::pair(false, 0)};
+      case core::SyncTransfer::kRetry:
+        break;
+    }
+    return {Status::kRetry, Value()};
+  }
+
+ private:
+  Symbol name_;
+  core::SyncQueueRefs refs_;
+};
+
+/// The Michael–Scott queue — the "ordinary object" control.
+class SimMsQueue final : public EnvSimObject {
+ public:
+  explicit SimMsQueue(Symbol name, std::size_t retry_bound = 2)
+      : EnvSimObject(retry_bound), name_(name) {}
+
+  void init(World& world) override {
+    refs_.head = world.alloc_global(1);
+    refs_.tail = world.alloc_global(1);
+    const Addr dummy = world.alloc_global(core::kQNodeCells);
+    world.write(static_cast<Addr>(refs_.head), dummy);
+    world.write(static_cast<Addr>(refs_.tail), dummy);
+  }
+
+  [[nodiscard]] Symbol name() const noexcept { return name_; }
+
+ protected:
+  [[nodiscard]] Attempt attempt(SimEnv& env, World& world,
+                                ThreadCtx& t) const override {
+    static const Symbol kEnq{"enq"};
+    const Call& call = current_call(world, t);
+    if (call.method == kEnq) {
+      if (core::ms_queue_enq_attempt(env, refs_, name_, t.tid,
+                                     call.arg.as_int())) {
+        return {Status::kDone, Value::boolean(true)};
+      }
+      return {Status::kRetry, Value()};
+    }
+    const core::MsQueueDeqOutcome r =
+        core::ms_queue_deq_attempt(env, refs_, name_, t.tid);
+    switch (r.kind) {
+      case core::MsQueueDeq::kGot:
+        return {Status::kDone, Value::pair(true, r.value)};
+      case core::MsQueueDeq::kEmpty:
+        return {Status::kDone, Value::pair(false, 0)};
+      case core::MsQueueDeq::kRetry:
+        break;
+    }
+    return {Status::kRetry, Value()};
+  }
+
+ private:
+  Symbol name_;
+  core::MsQueueRefs refs_;
+};
+
+/// The striped elimination array / rendezvous meeting point, standalone:
+/// a single exchange on a chosen slot (the explorer forks on the choice).
+class SimStripedExchanger : public EnvSimObject {
+ public:
+  /// Slots are named elim_slot_name(name, i), except a width-1 object logs
+  /// under its own name (matching objects/rendezvous.hpp).
+  SimStripedExchanger(Symbol name, Symbol method, std::size_t width)
+      : EnvSimObject(0), name_(name), method_(method), width_(width) {
+    slot_names_.reserve(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      slot_names_.push_back(width == 1 ? name : elim_slot_name(name, i));
+    }
+  }
+
+  void init(World& world) override {
+    slot_refs_.clear();
+    slot_refs_.reserve(width_);
+    for (std::size_t i = 0; i < width_; ++i) {
+      core::ExchangerRefs r;
+      r.g = world.alloc_global(1);
+      r.fail = world.alloc_global(core::kOfferCells);
+      slot_refs_.push_back(r);
+    }
+  }
+
+  [[nodiscard]] Symbol name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+  [[nodiscard]] Addr slot_g_addr(std::size_t i) const {
+    return static_cast<Addr>(slot_refs_[i].g);
+  }
+
+ protected:
+  [[nodiscard]] Attempt attempt(SimEnv& env, World& world,
+                                ThreadCtx& t) const override {
+    const Call& call = current_call(world, t);
+    const core::ExchangeOutcome r = core::striped_exchange(
+        env, slot_refs_.data(), slot_names_.data(), width_, method_, t.tid,
+        call.arg.as_int(), /*spins=*/0);
+    return {Status::kDone, Value::pair(r.ok, r.value)};
+  }
+
+ private:
+  Symbol name_;
+  Symbol method_;
+  std::size_t width_;
+  std::vector<core::ExchangerRefs> slot_refs_;
+  std::vector<Symbol> slot_names_;
+};
+
+/// The elimination array AR as a standalone object (method "exchange").
+class SimElimArray final : public SimStripedExchanger {
+ public:
+  SimElimArray(Symbol name, std::size_t width)
+      : SimStripedExchanger(name, Symbol("exchange"), width) {}
+};
+
+/// The rendezvous object (method "rendezvous").
+class SimRendezvous final : public SimStripedExchanger {
+ public:
+  explicit SimRendezvous(Symbol name, std::size_t width = 1)
+      : SimStripedExchanger(name, Symbol("rendezvous"), width) {}
+};
+
+/// The one-shot immediate snapshot for `participants` threads with dense
+/// ids 0..n-1 (ThreadCtx::tid is the participant id).
+class SimSnapshot final : public EnvSimObject {
+ public:
+  SimSnapshot(Symbol name, std::size_t participants)
+      : EnvSimObject(0), name_(name), participants_(participants) {}
+
+  void init(World& world) override {
+    refs_.values = world.alloc_global(participants_);
+    refs_.levels = world.alloc_global(participants_);
+    for (std::size_t q = 0; q < participants_; ++q) {
+      world.write(static_cast<Addr>(refs_.levels + q),
+                  core::kSnapshotNotStarted);
+    }
+  }
+
+  [[nodiscard]] Symbol name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t participants() const noexcept {
+    return participants_;
+  }
+
+ protected:
+  [[nodiscard]] Attempt attempt(SimEnv& env, World& world,
+                                ThreadCtx& t) const override {
+    const Call& call = current_call(world, t);
+    const std::vector<std::int64_t> snapshot = core::snapshot_us(
+        env, refs_, name_, participants_, t.tid, call.arg.as_int());
+    return {Status::kDone, Value::vec(snapshot)};
+  }
+
+ private:
+  Symbol name_;
+  std::size_t participants_;
+  core::SnapshotRefs refs_;
+};
+
+}  // namespace cal::sched

@@ -61,6 +61,10 @@ void World::respond(ThreadCtx& t, Value ret) {
   t.call_idx += 1;
   t.pc = 0;
   t.regs = {};
+  t.oplog.clear();
+  t.emits = 0;
+  t.retries = 0;
+  t.stage = ThreadStage::kIdle;
 }
 
 std::optional<std::string> World::mark_logged(const Operation& op) {
@@ -149,8 +153,13 @@ void World::encode(std::vector<std::int64_t>& out) const {
     for (Word r : t.regs) out.push_back(r);
     out.push_back(t.choice);
     out.push_back((t.op_active ? 1 : 0) | (t.op_logged ? 2 : 0) |
-                  (t.truncated ? 4 : 0));
+                  (t.truncated ? 4 : 0) |
+                  (static_cast<std::int64_t>(t.stage) << 3));
     out.push_back(static_cast<std::int64_t>(t.op_logged_ret.hash()));
+    out.push_back(static_cast<std::int64_t>(t.oplog.size()));
+    out.insert(out.end(), t.oplog.begin(), t.oplog.end());
+    out.push_back(static_cast<std::int64_t>(t.emits));
+    out.push_back(static_cast<std::int64_t>(t.retries));
   }
   out.push_back(static_cast<std::int64_t>(view_state_.size()));
   out.insert(out.end(), view_state_.begin(), view_state_.end());

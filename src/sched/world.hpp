@@ -59,6 +59,12 @@ struct ThreadProgram {
   std::vector<Call> calls;
 };
 
+/// Lifecycle of a thread's current call under the re-execution engine
+/// (sched/sim_env.hpp): idle (next step invokes), running the attempt
+/// body, or completed (next step replays the body to recover the return
+/// value and responds).
+enum class ThreadStage : std::uint8_t { kIdle = 0, kRunning = 1, kDone = 2 };
+
 struct ThreadCtx {
   ThreadId tid = 0;
   std::size_t program = 0;   ///< index into the immutable program table
@@ -66,6 +72,16 @@ struct ThreadCtx {
   std::int32_t pc = 0;
   std::array<Word, 8> regs{};
   std::int32_t choice = -1;  ///< set by the explorer before a choice step
+
+  // Re-execution state for Env-instantiated bodies (sched/sim_env.hpp):
+  // the results of the yield operations (and allocations) already
+  // committed by the current attempt, in program order. Each scheduler
+  // step re-runs the body, replaying this log and committing exactly one
+  // fresh yield operation.
+  std::vector<Word> oplog;
+  std::uint32_t emits = 0;    ///< CA-elements already appended this call
+  std::uint32_t retries = 0;  ///< attempts already abandoned this call
+  ThreadStage stage = ThreadStage::kIdle;
 
   // Audit bookkeeping for the current operation.
   bool op_active = false;

@@ -10,7 +10,7 @@
 
 #include "cal/specs/exchanger_spec.hpp"
 #include "sched/explorer.hpp"
-#include "sched/machines/exchanger_machine.hpp"
+#include "sched/sim_objects.hpp"
 
 namespace cal::sched {
 namespace {
@@ -36,7 +36,7 @@ struct ExchangerWorld {
 /// n threads, one exchange each (distinct values), recording histories.
 ExchangerWorld make_world(std::size_t n_threads) {
   ExchangerWorld w;
-  w.objects.push_back(std::make_unique<ExchangerMachine>(Symbol{"E"}));
+  w.objects.push_back(std::make_unique<SimExchanger>(Symbol{"E"}));
   for (std::size_t i = 0; i < n_threads; ++i) {
     ThreadProgram p;
     p.tid = static_cast<ThreadId>(i);

@@ -9,7 +9,7 @@
 #include "cal/specs/exchanger_spec.hpp"
 #include "cal/specs/union_spec.hpp"
 #include "sched/explorer.hpp"
-#include "sched/machines/exchanger_machine.hpp"
+#include "sched/sim_objects.hpp"
 
 namespace cal::sched {
 namespace {
@@ -30,8 +30,8 @@ TwoExchangerWorld make_world(bool record = false) {
   entries.emplace_back(Symbol{"E2"}, std::make_shared<ExchangerSpec>(
                                          Symbol{"E2"}, Symbol{"exchange"}));
   w.spec = std::make_shared<UnionCaSpec>(std::move(entries));
-  w.objects.push_back(std::make_unique<ExchangerMachine>(Symbol{"E1"}));
-  w.objects.push_back(std::make_unique<ExchangerMachine>(Symbol{"E2"}));
+  w.objects.push_back(std::make_unique<SimExchanger>(Symbol{"E1"}));
+  w.objects.push_back(std::make_unique<SimExchanger>(Symbol{"E2"}));
   // Two threads, each exchanging on E1 and then on E2.
   for (ThreadId t = 0; t < 2; ++t) {
     ThreadProgram p;
@@ -62,7 +62,7 @@ TEST(MultiObject, EnumeratedHistoriesPassUnionSpec) {
   ExploreOptions opts;
   opts.merge_states = false;
   opts.collect_terminals = true;
-  opts.max_states = 300000;  // generous; this config enumerates below it
+  opts.max_states = 2000000;  // generous; this config enumerates ~1.1M
   Explorer ex(w.config, std::move(w.objects), opts);
   ExploreResult r = ex.run();
   ASSERT_TRUE(r.ok()) << r.violations.front().what;

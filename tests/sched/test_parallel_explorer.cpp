@@ -12,7 +12,7 @@
 #include "cal/cal_checker.hpp"
 #include "cal/specs/exchanger_spec.hpp"
 #include "sched/explorer.hpp"
-#include "sched/machines/exchanger_machine.hpp"
+#include "sched/sim_objects.hpp"
 #include "sched/rg.hpp"
 
 namespace cal::sched {
@@ -23,7 +23,7 @@ Value iv(std::int64_t x) { return Value::integer(x); }
 struct ExchangerWorld {
   WorldConfig config;
   ExchangerSpec spec{Symbol{"E"}, Symbol{"exchange"}};
-  const ExchangerMachine* machine = nullptr;
+  const SimExchanger* machine = nullptr;
   std::vector<std::unique_ptr<SimObject>> objects;
 };
 
@@ -31,7 +31,7 @@ ExchangerWorld make_exchanger_world(std::size_t n_threads,
                                     std::size_t ops_per_thread,
                                     bool record = false) {
   ExchangerWorld w;
-  auto machine = std::make_unique<ExchangerMachine>(Symbol{"E"});
+  auto machine = std::make_unique<SimExchanger>(Symbol{"E"});
   w.machine = machine.get();
   w.objects.push_back(std::move(machine));
   for (std::size_t i = 0; i < n_threads; ++i) {

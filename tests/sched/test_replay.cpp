@@ -9,11 +9,13 @@
 #include "cal/specs/stack_spec.hpp"
 #include "cal/specs/elim_views.hpp"
 #include "sched/explorer.hpp"
-#include "sched/machines/elim_stack_machine.hpp"
-#include "sched/machines/exchanger_machine.hpp"
+#include "sched/sim_objects.hpp"
 
 namespace cal::sched {
 namespace {
+
+using objects::core::ExchangerPc;
+using objects::core::ExchangerReg;
 
 Value iv(std::int64_t x) { return Value::integer(x); }
 
@@ -34,28 +36,26 @@ WorldConfig exchanger_config(const CaSpec* spec, std::size_t threads) {
   return cfg;
 }
 
-/// Mutant from the examples: success returns echo the thread's own value.
-class EchoBug final : public SimObject {
- public:
-  explicit EchoBug(Symbol name) : inner_(name) {}
-  void init(World& world) override { inner_.init(world); }
-  StepResult step(World& world, ThreadCtx& t) const override {
-    if (t.pc == ExchangerMachine::kSuccessReturnB) {
-      world.respond(t, Value::pair(true, t.regs[ExchangerMachine::kRegV]));
-      return StepResult::ran();
+/// Mutant from the examples: success returns echo the thread's own value,
+/// injected as a respond hook on the active success return.
+std::unique_ptr<SimExchanger> echo_bug(Symbol name) {
+  auto object = std::make_unique<SimExchanger>(name);
+  SimHooks hooks;
+  hooks.respond = [](const ThreadCtx& t, Value ret) {
+    if (t.pc == ExchangerPc::kSuccessReturnB) {
+      return Value::pair(true, t.regs[ExchangerReg::kV]);
     }
-    return inner_.step(world, t);
-  }
-
- private:
-  ExchangerMachine inner_;
-};
+    return ret;
+  };
+  object->set_hooks(std::move(hooks));
+  return object;
+}
 
 TEST(Replay, ReproducesViolationAndHistoryPrefix) {
   ExchangerSpec spec(Symbol{"E"}, Symbol{"exchange"});
   WorldConfig cfg = exchanger_config(&spec, 2);
   std::vector<std::unique_ptr<SimObject>> objects;
-  objects.push_back(std::make_unique<EchoBug>(Symbol{"E"}));
+  objects.push_back(echo_bug(Symbol{"E"}));
   Explorer ex(cfg, std::move(objects));
   ExploreResult r = ex.run();
   ASSERT_FALSE(r.ok());
@@ -81,11 +81,11 @@ TEST(Replay, CleanScheduleReplaysWithoutViolation) {
   ExchangerSpec spec(Symbol{"E"}, Symbol{"exchange"});
   WorldConfig cfg = exchanger_config(&spec, 1);
   std::vector<std::unique_ptr<SimObject>> objects;
-  objects.push_back(std::make_unique<ExchangerMachine>(Symbol{"E"}));
+  objects.push_back(std::make_unique<SimExchanger>(Symbol{"E"}));
   Explorer ex(cfg, std::move(objects));
-  // A single thread's full run: t0 steps until done (4 steps: invoke,
-  // init CAS, pass CAS, fail return).
-  std::vector<ScheduleStep> schedule(4, ScheduleStep{0, -1});
+  // A single thread's full run: t0 steps until done (5 steps: invoke,
+  // init CAS, pass CAS + fused failure append, withdraw CAS, respond).
+  std::vector<ScheduleStep> schedule(5, ScheduleStep{0, -1});
   World world = ex.replay(schedule);
   EXPECT_FALSE(world.violated());
   EXPECT_TRUE(world.all_done());
@@ -97,7 +97,7 @@ TEST(Replay, RejectsImpossibleStep) {
   ExchangerSpec spec(Symbol{"E"}, Symbol{"exchange"});
   WorldConfig cfg = exchanger_config(&spec, 1);
   std::vector<std::unique_ptr<SimObject>> objects;
-  objects.push_back(std::make_unique<ExchangerMachine>(Symbol{"E"}));
+  objects.push_back(std::make_unique<SimExchanger>(Symbol{"E"}));
   Explorer ex(cfg, std::move(objects));
   // Thread 7 does not exist.
   World world = ex.replay({ScheduleStep{7, -1}});
@@ -121,13 +121,14 @@ TEST(Replay, ChoiceValuesAreHonored) {
   cfg.view = view.get();
   cfg.record_trace = true;
   cfg.heap_cells = 24;
-  cfg.global_cells = 8;
+  cfg.global_cells = 12;  // top + 2 slots × (g + 3 fail cells)
   std::vector<std::unique_ptr<SimObject>> objects;
-  objects.push_back(std::make_unique<ElimStackMachine>(
+  objects.push_back(std::make_unique<SimElimStack>(
       Symbol{"ES"}, Symbol{"ES.S"}, Symbol{"ES.AR"}, 2, 0));
   Explorer ex(cfg, std::move(objects));
-  // invoke, stack read (empty -> log + choose), choice(slot=1), init CAS,
-  // pass CAS (fail elem), retry -> truncate (bound 0).
+  // invoke, stack read (empty -> log), choice(slot=1) + offer setup,
+  // init CAS, pass CAS (fused fail elem), withdraw -> retry -> truncate
+  // (bound 0).
   const std::vector<ScheduleStep> schedule = {
       {0, -1}, {0, -1}, {0, 1}, {0, -1}, {0, -1}, {0, -1},
   };

@@ -1,13 +1,17 @@
-// Rely/guarantee audit mutants: violations of the invariant J and of the
-// INIT action shape, caught by ExchangerRgAuditor (Fig. 4 made executable).
+// Rely/guarantee audit mutants: violations of the invariant J, of the
+// guarantee action shapes, and of the proof-outline assertions, caught by
+// ExchangerRgAuditor (Fig. 4 made executable). Mutations are injected
+// through SimHooks where the bug is a corrupted value or a forgotten
+// auxiliary append, and through a subclassed attempt body where the bug is
+// a wrong control flow over the same shared cells.
 #include <gtest/gtest.h>
 
 #include <memory>
 
 #include "cal/specs/exchanger_spec.hpp"
 #include "sched/explorer.hpp"
-#include "sched/machines/exchanger_machine.hpp"
 #include "sched/rg.hpp"
+#include "sched/sim_objects.hpp"
 
 namespace cal::sched {
 namespace {
@@ -32,40 +36,25 @@ WorldConfig exchanger_config(const CaSpec* spec, std::size_t threads) {
 }
 
 /// Mutant: the offer is allocated with a *wrong tid* (as if the auxiliary
-/// tid field of §5.1 were mis-instrumented). Publishing it breaks both the
-/// INIT action (the published offer must carry the actor's tid) and the
-/// invariant J (the unmatched offer's owner is not inside exchange()).
-class WrongTidOffer final : public SimObject {
- public:
-  explicit WrongTidOffer(Symbol name) : inner_(name) {}
-  void init(World& world) override { inner_.init(world); }
-  [[nodiscard]] const ExchangerMachine& inner() const { return inner_; }
-  StepResult step(World& world, ThreadCtx& t) const override {
-    if (t.pc == ExchangerMachine::kInvoke) {
-      const Call& call =
-          world.config().programs[t.program].calls[t.call_idx];
-      world.invoke(t);
-      const Word v = call.arg.as_int();
-      const Addr n = world.alloc(t, 3);
-      world.write(n + ExchangerMachine::kTid, t.tid + 17);  // bug
-      world.write(n + ExchangerMachine::kData, v);
-      t.regs[ExchangerMachine::kRegN] = n;
-      t.regs[ExchangerMachine::kRegV] = v;
-      t.pc = ExchangerMachine::kInitCas;
-      return StepResult::ran();
-    }
-    return inner_.step(world, t);
-  }
-
- private:
-  ExchangerMachine inner_;
-};
+/// tid field of §5.1 were mis-instrumented), injected as a private-store
+/// hook. Publishing it breaks both the INIT action (the published offer
+/// must carry the actor's tid) and the invariant J (the unmatched offer's
+/// owner is not inside exchange()).
+SimHooks wrong_tid_hooks() {
+  SimHooks hooks;
+  hooks.private_store = [](objects::Word /*block*/, objects::Word off,
+                           objects::Word v) {
+    return off == objects::core::kOfferTid ? v + 17 : v;
+  };
+  return hooks;
+}
 
 TEST(RgMutants, WrongOfferTidCaughtByAudit) {
   ExchangerSpec spec(Symbol{"E"}, Symbol{"exchange"});
   WorldConfig cfg = exchanger_config(&spec, 2);
-  auto mutant = std::make_unique<WrongTidOffer>(Symbol{"E"});
-  const ExchangerMachine& inner = mutant->inner();
+  auto mutant = std::make_unique<SimExchanger>(Symbol{"E"});
+  mutant->set_hooks(wrong_tid_hooks());
+  const SimExchanger& inner = *mutant;
   std::vector<std::unique_ptr<SimObject>> objects;
   objects.push_back(std::move(mutant));
   ExchangerRgAuditor auditor(inner, /*check_proof_outline=*/false);
@@ -81,16 +70,22 @@ TEST(RgMutants, WrongOfferTidCaughtByAudit) {
       << what;
 }
 
-TEST(RgMutants, WrongOfferTidAlsoBreaksProofOutline) {
-  // With outline checking on, assertion A (n ↦ tid,v,null) fails even
-  // before the offer is published.
+TEST(RgMutants, MissingFailLogBreaksProofOutline) {
+  // The forgotten auxiliary FAIL append, checked against the *outline*
+  // this time: after PASS the assertion demands the failure already be
+  // logged (the append is fused with the PASS CAS in the single body).
+  // Guarantee checking is off so the outline assertion is what fires.
   ExchangerSpec spec(Symbol{"E"}, Symbol{"exchange"});
   WorldConfig cfg = exchanger_config(&spec, 1);
-  auto mutant = std::make_unique<WrongTidOffer>(Symbol{"E"});
-  const ExchangerMachine& inner = mutant->inner();
+  auto mutant = std::make_unique<SimExchanger>(Symbol{"E"});
+  SimHooks hooks;
+  hooks.emit = [](CaElement&) { return false; };  // drop every append
+  mutant->set_hooks(std::move(hooks));
+  const SimExchanger& inner = *mutant;
   std::vector<std::unique_ptr<SimObject>> objects;
   objects.push_back(std::move(mutant));
-  ExchangerRgAuditor auditor(inner, /*check_proof_outline=*/true);
+  ExchangerRgAuditor auditor(inner, /*check_proof_outline=*/true,
+                             /*check_guarantee=*/false);
   Explorer ex(cfg, std::move(objects));
   ex.set_auditor(&auditor);
   ExploreResult r = ex.run();
@@ -101,36 +96,53 @@ TEST(RgMutants, WrongOfferTidAlsoBreaksProofOutline) {
 }
 
 /// Mutant: CLEAN fires even when the removed offer is unmatched (drops the
-/// paper's side condition cur.hole ≠ null by clearing g at the wrong time).
-class OverzealousClean final : public SimObject {
+/// paper's side condition cur.hole ≠ null). The broken attempt body runs
+/// over the same cells as the real exchanger; the INIT/PASS paths follow
+/// the real algorithm so only the unjustified CLEAN deviates.
+class OverzealousClean final : public SimExchanger {
  public:
-  explicit OverzealousClean(Symbol name) : inner_(name) {}
-  void init(World& world) override { inner_.init(world); }
-  [[nodiscard]] const ExchangerMachine& inner() const { return inner_; }
-  StepResult step(World& world, ThreadCtx& t) const override {
-    if (t.pc == ExchangerMachine::kReadG) {
-      // Bug: instead of reading g, clear it unconditionally (removing a
-      // possibly-unmatched offer), then fail.
-      const Word g = world.read(inner_.g_addr());
-      if (g != kNull) {
-        world.cas(inner_.g_addr(), g, kNull);
-      }
-      t.regs[ExchangerMachine::kRegCur] = kNull;
-      t.pc = ExchangerMachine::kFailReturnB;
-      return StepResult::ran();
-    }
-    return inner_.step(world, t);
-  }
+  using SimExchanger::SimExchanger;
 
- private:
-  ExchangerMachine inner_;
+ protected:
+  [[nodiscard]] Attempt attempt(SimEnv& env, World& world,
+                                ThreadCtx& t) const override {
+    namespace core = objects::core;
+    static const Symbol kExchange{"exchange"};
+    const objects::Word v = current_call(world, t).arg.as_int();
+    const core::ExchangerRefs& x = refs();
+    auto failure = [&] {
+      return CaElement::singleton(
+          name(), Operation::make(t.tid, name(), kExchange,
+                                  Value::integer(v), Value::pair(false, v)));
+    };
+    const objects::Word n = env.alloc(core::kOfferCells);
+    env.store_private(n, core::kOfferTid, t.tid);
+    env.store_private(n, core::kOfferData, v);
+    if (env.cas(x.g, 0, 0, n)) {
+      if (env.cas(n, core::kOfferHole, 0, x.fail)) {
+        env.emit(failure);
+        env.cas(x.g, 0, n, 0);
+        return {Status::kDone, Value::pair(false, v)};
+      }
+      const objects::Word partner = env.load_frozen(n, core::kOfferHole);
+      const objects::Word got = env.load_frozen(partner, core::kOfferData);
+      return {Status::kDone, Value::pair(true, got)};
+    }
+    const objects::Word cur = env.load(x.g, 0);
+    if (cur != 0) {
+      env.cas(x.g, 0, cur, 0);  // bug: removes the offer without checking
+                                // cur.hole — a possibly-unmatched offer
+    }
+    env.emit(failure);
+    return {Status::kDone, Value::pair(false, v)};
+  }
 };
 
 TEST(RgMutants, UnjustifiedCleanCaughtByGuarantee) {
   ExchangerSpec spec(Symbol{"E"}, Symbol{"exchange"});
   WorldConfig cfg = exchanger_config(&spec, 2);
   auto mutant = std::make_unique<OverzealousClean>(Symbol{"E"});
-  const ExchangerMachine& inner = mutant->inner();
+  const SimExchanger& inner = *mutant;
   std::vector<std::unique_ptr<SimObject>> objects;
   objects.push_back(std::move(mutant));
   ExchangerRgAuditor auditor(inner, /*check_proof_outline=*/false);

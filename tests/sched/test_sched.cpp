@@ -1,6 +1,9 @@
 // Model-checking substrate tests: exhaustive verification of the exchanger
 // (Fig. 1 + Fig. 4) and the elimination stack (Fig. 2 + §5), plus mutation
-// tests showing the online audit actually catches bugs.
+// tests showing the online audit actually catches bugs. The simulated
+// objects are the Env-instantiated algorithm cores (the same bodies the
+// real runtime executes); mutations are injected through SimHooks instead
+// of subclassed step machines.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -13,13 +16,14 @@
 #include "cal/specs/exchanger_spec.hpp"
 #include "cal/specs/stack_spec.hpp"
 #include "sched/explorer.hpp"
-#include "sched/machines/elim_stack_machine.hpp"
-#include "sched/machines/exchanger_machine.hpp"
-#include "sched/machines/stack_machine.hpp"
 #include "sched/rg.hpp"
+#include "sched/sim_objects.hpp"
 
 namespace cal::sched {
 namespace {
+
+using objects::core::ExchangerPc;
+using objects::core::ExchangerReg;
 
 Value iv(std::int64_t x) { return Value::integer(x); }
 
@@ -55,7 +59,7 @@ TEST(SimMemory, PerThreadAllocationIsDeterministic) {
 struct ExchangerWorld {
   WorldConfig config;
   ExchangerSpec spec{Symbol{"E"}, Symbol{"exchange"}};
-  const ExchangerMachine* machine = nullptr;
+  SimExchanger* object = nullptr;
   std::vector<std::unique_ptr<SimObject>> objects;
 };
 
@@ -65,9 +69,9 @@ ExchangerWorld make_exchanger_world(std::size_t n_threads,
                                     std::size_t ops_per_thread,
                                     bool record = false) {
   ExchangerWorld w;
-  auto machine = std::make_unique<ExchangerMachine>(Symbol{"E"});
-  w.machine = machine.get();
-  w.objects.push_back(std::move(machine));
+  auto object = std::make_unique<SimExchanger>(Symbol{"E"});
+  w.object = object.get();
+  w.objects.push_back(std::move(object));
   for (std::size_t i = 0; i < n_threads; ++i) {
     ThreadProgram p;
     p.tid = static_cast<ThreadId>(i);
@@ -88,7 +92,7 @@ ExchangerWorld make_exchanger_world(std::size_t n_threads,
 
 TEST(ExplorerExchanger, TwoThreadsOneOpAuditClean) {
   ExchangerWorld w = make_exchanger_world(2, 1);
-  ExchangerRgAuditor auditor(*w.machine);
+  ExchangerRgAuditor auditor(*w.object);
   Explorer ex(w.config, std::move(w.objects));
   ex.set_auditor(&auditor);
   ExploreResult r = ex.run();
@@ -101,7 +105,7 @@ TEST(ExplorerExchanger, TwoThreadsOneOpAuditClean) {
 
 TEST(ExplorerExchanger, ThreeThreadsOneOpAuditClean) {
   ExchangerWorld w = make_exchanger_world(3, 1);
-  ExchangerRgAuditor auditor(*w.machine);
+  ExchangerRgAuditor auditor(*w.object);
   Explorer ex(w.config, std::move(w.objects));
   ex.set_auditor(&auditor);
   ExploreResult r = ex.run();
@@ -112,7 +116,7 @@ TEST(ExplorerExchanger, ThreeThreadsOneOpAuditClean) {
 
 TEST(ExplorerExchanger, TwoThreadsTwoOpsAuditClean) {
   ExchangerWorld w = make_exchanger_world(2, 2);
-  ExchangerRgAuditor auditor(*w.machine);
+  ExchangerRgAuditor auditor(*w.object);
   Explorer ex(w.config, std::move(w.objects));
   ex.set_auditor(&auditor);
   ExploreResult r = ex.run();
@@ -188,28 +192,19 @@ TEST(ExplorerExchanger, MaxStatesCapTripsExhausted) {
 
 // --- mutation tests: the audit must catch broken implementations ---
 
-/// A broken machine: returns success with the *offered* value instead of
-/// the partner's (classic copy-paste bug). L2 must fire.
-class WrongValueExchanger final : public SimObject {
- public:
-  explicit WrongValueExchanger(Symbol name) : inner_(name) {}
-  void init(World& world) override { inner_.init(world); }
-  StepResult step(World& world, ThreadCtx& t) const override {
-    if (t.pc == ExchangerMachine::kSuccessReturnB) {
-      world.respond(t, Value::pair(true, t.regs[ExchangerMachine::kRegV]));
-      return StepResult::ran();
-    }
-    return inner_.step(world, t);
-  }
-
- private:
-  ExchangerMachine inner_;
-};
-
 TEST(ExplorerMutation, WrongReturnValueCaught) {
+  // A broken exchanger: returns success with the *offered* value instead
+  // of the partner's (classic copy-paste bug), injected as a respond hook
+  // on the active success return. L2 must fire.
   ExchangerWorld w = make_exchanger_world(2, 1);
-  w.objects.clear();
-  w.objects.push_back(std::make_unique<WrongValueExchanger>(Symbol{"E"}));
+  SimHooks hooks;
+  hooks.respond = [](const ThreadCtx& t, Value ret) {
+    if (t.pc == ExchangerPc::kSuccessReturnB) {
+      return Value::pair(true, t.regs[ExchangerReg::kV]);
+    }
+    return ret;
+  };
+  w.object->set_hooks(std::move(hooks));
   Explorer ex(w.config, std::move(w.objects));
   ExploreResult r = ex.run();
   ASSERT_FALSE(r.ok());
@@ -217,29 +212,19 @@ TEST(ExplorerMutation, WrongReturnValueCaught) {
       << r.violations.front().what;
 }
 
-/// A machine that "forgets" the auxiliary FAIL assignment (the paper's
-/// instrumentation obligation). L2 fires: response without a logged op.
-class ForgetsFailLog final : public SimObject {
- public:
-  explicit ForgetsFailLog(Symbol name) : inner_(name) {}
-  void init(World& world) override { inner_.init(world); }
-  StepResult step(World& world, ThreadCtx& t) const override {
-    if (t.pc == ExchangerMachine::kFailReturnA ||
-        t.pc == ExchangerMachine::kFailReturnB) {
-      world.respond(t, Value::pair(false, t.regs[ExchangerMachine::kRegV]));
-      return StepResult::ran();
-    }
-    return inner_.step(world, t);
-  }
-
- private:
-  ExchangerMachine inner_;
-};
-
 TEST(ExplorerMutation, MissingAuxAssignmentCaught) {
+  // An exchanger that "forgets" the auxiliary FAIL assignment (the paper's
+  // instrumentation obligation): the emit hook suppresses every failure
+  // singleton. L2 fires: response without a logged op.
   ExchangerWorld w = make_exchanger_world(1, 1);  // one lonely thread fails
-  w.objects.clear();
-  w.objects.push_back(std::make_unique<ForgetsFailLog>(Symbol{"E"}));
+  SimHooks hooks;
+  hooks.emit = [](CaElement& e) {
+    const bool failure = e.size() == 1 && e.ops().front().ret &&
+                         e.ops().front().ret->kind() == Value::Kind::kPair &&
+                         !e.ops().front().ret->pair_ok();
+    return !failure;  // drop the FAIL append, keep everything else
+  };
+  w.object->set_hooks(std::move(hooks));
   Explorer ex(w.config, std::move(w.objects));
   ExploreResult r = ex.run();
   ASSERT_FALSE(r.ok());
@@ -248,44 +233,28 @@ TEST(ExplorerMutation, MissingAuxAssignmentCaught) {
       << r.violations.front().what;
 }
 
-/// A machine that logs a swap with the *values* crossed over: the element
-/// claims each thread offered the other's value. The exchanger spec replay
-/// accepts it (it is a well-formed swap), but L1 catches the mismatch with
-/// the threads' actual call arguments, and the RG auditor catches the
+/// The crossed-swap bug as an emit hook: the logged element claims each
+/// thread offered the other's value. The exchanger spec replay accepts it
+/// (it is a well-formed swap), but L1 catches the mismatch with the
+/// threads' actual call arguments, and the RG auditor catches the
 /// malformed XCHG element.
-class CrossedValuesSwapLog final : public SimObject {
- public:
-  explicit CrossedValuesSwapLog(Symbol name) : inner_(name) {}
-  void init(World& world) override { inner_.init(world); }
-  [[nodiscard]] const ExchangerMachine& inner() const { return inner_; }
-  StepResult step(World& world, ThreadCtx& t) const override {
-    if (t.pc == ExchangerMachine::kXchgCas) {
-      const Addr cur = static_cast<Addr>(t.regs[ExchangerMachine::kRegCur]);
-      const Addr n = static_cast<Addr>(t.regs[ExchangerMachine::kRegN]);
-      const bool s = world.cas(cur + ExchangerMachine::kHole, kNull, n);
-      t.regs[ExchangerMachine::kRegS] = s ? 1 : 0;
-      if (s) {
-        // Bug: partner's value attributed to us and vice versa.
-        world.append_element(CaElement::swap(
-            Symbol{"E"}, Symbol{"exchange"},
-            static_cast<ThreadId>(world.read(cur + ExchangerMachine::kTid)),
-            t.regs[ExchangerMachine::kRegV], t.tid,
-            world.read(cur + ExchangerMachine::kData)));
-      }
-      t.pc = ExchangerMachine::kCleanCas;
-      return StepResult::ran();
+SimHooks crossed_swap_hooks() {
+  SimHooks hooks;
+  hooks.emit = [](CaElement& e) {
+    if (e.size() == 2) {
+      const Operation& a = e.ops()[0];
+      const Operation& b = e.ops()[1];
+      e = CaElement::swap(e.object(), a.method, a.tid, b.arg.as_int(),
+                          b.tid, a.arg.as_int());
     }
-    return inner_.step(world, t);
-  }
-
- private:
-  ExchangerMachine inner_;
-};
+    return true;
+  };
+  return hooks;
+}
 
 TEST(ExplorerMutation, CrossedSwapValuesCaughtByOnlineAudit) {
   ExchangerWorld w = make_exchanger_world(2, 1);
-  w.objects.clear();
-  w.objects.push_back(std::make_unique<CrossedValuesSwapLog>(Symbol{"E"}));
+  w.object->set_hooks(crossed_swap_hooks());
   Explorer ex(w.config, std::move(w.objects));
   ExploreResult r = ex.run();
   EXPECT_FALSE(r.ok());
@@ -293,11 +262,8 @@ TEST(ExplorerMutation, CrossedSwapValuesCaughtByOnlineAudit) {
 
 TEST(ExplorerMutation, CrossedSwapValuesCaughtByGuaranteeAudit) {
   ExchangerWorld w = make_exchanger_world(2, 1);
-  w.objects.clear();
-  auto mutant = std::make_unique<CrossedValuesSwapLog>(Symbol{"E"});
-  const ExchangerMachine& inner = mutant->inner();
-  w.objects.push_back(std::move(mutant));
-  ExchangerRgAuditor auditor(inner, /*check_proof_outline=*/false);
+  w.object->set_hooks(crossed_swap_hooks());
+  ExchangerRgAuditor auditor(*w.object, /*check_proof_outline=*/false);
   Explorer ex(w.config, std::move(w.objects));
   ex.set_auditor(&auditor);
   ExploreResult r = ex.run();
@@ -308,11 +274,10 @@ TEST(ExplorerMutation, CrossedSwapValuesCaughtByGuaranteeAudit) {
   EXPECT_FALSE(r.violations.front().schedule.empty());
 }
 
-// --- central stack machine ---
+// --- central stack (single-attempt) ---
 
 TEST(ExplorerStack, EnumeratedHistoriesAllLinearizable) {
   WorldConfig cfg;
-  StackSpec es_spec(Symbol{"S"});  // unused at this interface
   CentralStackSpec spec(Symbol{"S"});
   auto seq = std::make_shared<CentralStackSpec>(Symbol{"S"});
   SeqAsCaSpec ca(seq);
@@ -331,7 +296,7 @@ TEST(ExplorerStack, EnumeratedHistoriesAllLinearizable) {
   cfg.programs = {p0, p1};
 
   std::vector<std::unique_ptr<SimObject>> objects;
-  objects.push_back(std::make_unique<StackMachine>(Symbol{"S"}));
+  objects.push_back(std::make_unique<SimCentralStack>(Symbol{"S"}));
   ExploreOptions opts;
   opts.merge_states = false;
   opts.collect_terminals = true;
@@ -346,13 +311,14 @@ TEST(ExplorerStack, EnumeratedHistoriesAllLinearizable) {
   }
 }
 
-// --- elimination stack machine: the §5 composite, model-checked ---
+// --- elimination stack: the §5 composite, model-checked ---
 
 struct ElimWorld {
   WorldConfig config;
   std::shared_ptr<StackSpec> es_seq = std::make_shared<StackSpec>(Symbol{"ES"});
   SeqAsCaSpec spec{es_seq};
   std::shared_ptr<const ComposedView> view;
+  SimElimStack* object = nullptr;
   std::vector<std::unique_ptr<SimObject>> objects;
 };
 
@@ -362,8 +328,10 @@ ElimWorld make_elim_world(std::size_t pushers, std::size_t poppers,
   ElimWorld w;
   w.view = make_elimination_stack_view(Symbol{"ES"}, Symbol{"ES.S"},
                                        Symbol{"ES.AR"}, width);
-  w.objects.push_back(std::make_unique<ElimStackMachine>(
-      Symbol{"ES"}, Symbol{"ES.S"}, Symbol{"ES.AR"}, width, retry_bound));
+  auto object = std::make_unique<SimElimStack>(
+      Symbol{"ES"}, Symbol{"ES.S"}, Symbol{"ES.AR"}, width, retry_bound);
+  w.object = object.get();
+  w.objects.push_back(std::move(object));
   ThreadId tid = 0;
   for (std::size_t i = 0; i < pushers; ++i, ++tid) {
     ThreadProgram p;
@@ -416,13 +384,13 @@ TEST(ExplorerElimStack, EliminationPathIsReachable) {
   // pusher only visits the exchanger after *losing* a stack CAS, which
   // takes a second pusher plus a popper perturbing top, so the minimal
   // eliminating configuration is 2 pushers + 1 popper. Reachability is
-  // observed via the machine's event beacon, which is part of the state
+  // observed via the core's event beacon, which is part of the state
   // encoding and therefore sound under merging.
   ElimWorld w = make_elim_world(2, 1, 1, 2);
   Explorer ex(w.config, std::move(w.objects));
   ExploreResult r = ex.run();
   ASSERT_TRUE(r.ok()) << r.violations.front().what;
-  EXPECT_TRUE(r.events & (1ull << ElimStackMachine::kEventElimination))
+  EXPECT_TRUE(r.events & (1ull << core::kEventElimination))
       << "no interleaving exercised the elimination path";
 }
 
@@ -434,7 +402,7 @@ TEST(ExplorerElimStack, OnePusherOnePopperCannotEliminate) {
   Explorer ex(w.config, std::move(w.objects));
   ExploreResult r = ex.run();
   ASSERT_TRUE(r.ok()) << r.violations.front().what;
-  EXPECT_FALSE(r.events & (1ull << ElimStackMachine::kEventElimination));
+  EXPECT_FALSE(r.events & (1ull << core::kEventElimination));
 }
 
 TEST(ExplorerElimStack, EnumeratedHistoriesAllStackLinearizable) {
@@ -453,39 +421,9 @@ TEST(ExplorerElimStack, EnumeratedHistoriesAllStackLinearizable) {
   }
 }
 
-/// Mutant elimination stack: pop accepts a value from a *pusher-pusher*
-/// collision (forgets the sentinel check of Fig. 2 line 45 on the push
-/// side: a pusher treats any successful exchange as elimination). The
-/// composite then drops pushes, which the stack-spec replay catches.
-class DropsPushMutant final : public SimObject {
- public:
-  DropsPushMutant(Symbol es, Symbol s, Symbol ar, std::size_t width,
-                  std::size_t retry_bound)
-      : inner_(es, s, ar, width, retry_bound) {}
-  void init(World& world) override { inner_.init(world); }
-  StepResult step(World& world, ThreadCtx& t) const override {
-    const Call& call = world.config().programs[t.program].calls[t.call_idx];
-    const bool is_push = call.method == Symbol{"push"};
-    if (is_push && t.pc == ElimStackMachine::kExchCleanCas) {
-      // Like the real machine, but treats ANY successful exchange as an
-      // elimination (drops the d == POP_SENTINAL check of Fig. 2 line 35).
-      const Addr cur = static_cast<Addr>(t.regs[ElimStackMachine::kRegHead]);
-      world.cas(inner_.slot_g_addr(static_cast<std::size_t>(
-                    t.regs[ElimStackMachine::kRegSlot])),
-                cur, kNull);
-      t.pc = t.regs[ElimStackMachine::kRegS] != 0
-                 ? ElimStackMachine::kRespondPush  // bug: no sentinel check
-                 : ElimStackMachine::kRetry;
-      return StepResult::ran();
-    }
-    return inner_.step(world, t);
-  }
-
- private:
-  ElimStackMachine inner_;
-};
-
 TEST(ExplorerMutation, PushAcceptingPushCollisionCaught) {
+  // Mutant elimination stack: a pusher treats *any* successful exchange as
+  // an elimination (drops the d == POP_SENTINAL check of Fig. 2 line 35).
   // A push/push collision at the exchanger needs two pushers there at
   // once; that takes a popper perturbing the central stack so both pushers
   // lose a CAS. The mutant then answers one push with success although the
@@ -504,9 +442,7 @@ TEST(ExplorerMutation, PushAcceptingPushCollisionCaught) {
                   Call{0, Symbol{"push"}, iv(21)}}),
       mk_prog(2, {Call{0, Symbol{"pop"}, Value::unit()}}),
   };
-  w.objects.clear();
-  w.objects.push_back(std::make_unique<DropsPushMutant>(
-      Symbol{"ES"}, Symbol{"ES.S"}, Symbol{"ES.AR"}, 1, 2));
+  w.object->set_accept_any_exchange(true);
   Explorer ex(w.config, std::move(w.objects));
   ExploreResult r = ex.run();
   ASSERT_FALSE(r.ok());

@@ -1,5 +1,7 @@
 // Exhaustive verification of the dual synchronous queue — the paper's
-// second client, model-checked against its CA-spec.
+// second client, model-checked against its CA-spec. The simulated object
+// runs the same sync_queue_core body as the real runtime; mutants are
+// injected through SimHooks.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -9,24 +11,28 @@
 #include "cal/replay.hpp"
 #include "cal/specs/sync_queue_spec.hpp"
 #include "sched/explorer.hpp"
-#include "sched/machines/sync_queue_machine.hpp"
+#include "sched/sim_objects.hpp"
 
 namespace cal::sched {
 namespace {
+
+using objects::core::SyncQueuePc;
 
 Value iv(std::int64_t x) { return Value::integer(x); }
 
 struct SqWorld {
   WorldConfig config;
   SyncQueueSpec spec{Symbol{"SQ"}};
+  SimSyncQueue* object = nullptr;
   std::vector<std::unique_ptr<SimObject>> objects;
 };
 
 SqWorld make_world(std::size_t putters, std::size_t takers,
                    std::size_t retry_bound = 1, bool record = false) {
   SqWorld w;
-  w.objects.push_back(
-      std::make_unique<SyncQueueMachine>(Symbol{"SQ"}, retry_bound));
+  auto object = std::make_unique<SimSyncQueue>(Symbol{"SQ"}, retry_bound);
+  w.object = object.get();
+  w.objects.push_back(std::move(object));
   ThreadId tid = 0;
   for (std::size_t i = 0; i < putters; ++i, ++tid) {
     ThreadProgram p;
@@ -54,7 +60,7 @@ TEST(SyncQueueMachine, OnePutterOneTakerAuditClean) {
   Explorer ex(w.config, std::move(w.objects));
   ExploreResult r = ex.run();
   EXPECT_TRUE(r.ok()) << r.violations.front().what;
-  EXPECT_TRUE(r.events & (1ull << SyncQueueMachine::kEventPairing))
+  EXPECT_TRUE(r.events & (1ull << core::kEventPairing))
       << "no interleaving paired the put with the take";
 }
 
@@ -80,7 +86,7 @@ TEST(SyncQueueMachine, SameModeOnlyNeverPairs) {
   Explorer ex(w.config, std::move(w.objects));
   ExploreResult r = ex.run();
   EXPECT_TRUE(r.ok()) << r.violations.front().what;
-  EXPECT_FALSE(r.events & (1ull << SyncQueueMachine::kEventPairing));
+  EXPECT_FALSE(r.events & (1ull << core::kEventPairing));
 }
 
 TEST(SyncQueueMachine, EnumeratedHistoriesAllCaLinearizable) {
@@ -114,71 +120,35 @@ TEST(SyncQueueMachine, EnumeratedHistoriesAllCaLinearizable) {
   EXPECT_TRUE(saw_handoff);
 }
 
-/// Mutant: the fulfilling taker responds with its own register contents
-/// instead of the value it logged — L2 must fire.
-class WrongTakeValue final : public SimObject {
- public:
-  explicit WrongTakeValue(Symbol name) : inner_(name, 1) {}
-  void init(World& world) override { inner_.init(world); }
-  StepResult step(World& world, ThreadCtx& t) const override {
-    const Call& call =
-        world.config().programs[t.program].calls[t.call_idx];
-    if (t.pc == SyncQueueMachine::kRespondFulfiller &&
-        call.method == Symbol{"take"}) {
-      world.respond(t, Value::pair(true, 424242));
-      return StepResult::ran();
-    }
-    return inner_.step(world, t);
-  }
-
- private:
-  SyncQueueMachine inner_;
-};
-
 TEST(SyncQueueMachine, MutantWrongTakeValueCaught) {
+  // The fulfilling taker responds with a junk value instead of the value
+  // it logged — L2 must fire. Injected as a respond hook keyed on the
+  // fulfiller's return point (puts return booleans there, so the pair
+  // check pins it to the taker).
   SqWorld w = make_world(1, 1);
-  w.objects.clear();
-  w.objects.push_back(std::make_unique<WrongTakeValue>(Symbol{"SQ"}));
+  SimHooks hooks;
+  hooks.respond = [](const ThreadCtx& t, Value ret) {
+    if (t.pc == SyncQueuePc::kFulfillReturn &&
+        ret.kind() == Value::Kind::kPair) {
+      return Value::pair(true, 424242);
+    }
+    return ret;
+  };
+  w.object->set_hooks(std::move(hooks));
   Explorer ex(w.config, std::move(w.objects));
   ExploreResult r = ex.run();
   ASSERT_FALSE(r.ok());
   EXPECT_NE(r.violations.front().what.find("424242"), std::string::npos);
 }
 
-/// Mutant: forgets to log the pairing element (drops the paper's auxiliary
-/// assignment at the fulfilling CAS).
-class ForgetsPairLog final : public SimObject {
- public:
-  explicit ForgetsPairLog(Symbol name) : inner_(name, 1) {}
-  void init(World& world) override { inner_.init(world); }
-  StepResult step(World& world, ThreadCtx& t) const override {
-    if (t.pc == SyncQueueMachine::kFulfillCas) {
-      const Addr h =
-          static_cast<Addr>(t.regs[SyncQueueMachine::kRegHead]);
-      const Addr node = world.alloc(t, 5);
-      world.write(node + SyncQueueMachine::kData,
-                  t.regs[SyncQueueMachine::kRegV]);
-      world.write(node + SyncQueueMachine::kTid, t.tid);
-      if (world.cas(h + SyncQueueMachine::kMatch, kNull, node)) {
-        t.regs[SyncQueueMachine::kRegGot] =
-            world.read(h + SyncQueueMachine::kData);
-        t.pc = SyncQueueMachine::kUnlinkTop;  // bug: no log_pair
-      } else {
-        t.pc = SyncQueueMachine::kRetry;
-      }
-      return StepResult::ran();
-    }
-    return inner_.step(world, t);
-  }
-
- private:
-  SyncQueueMachine inner_;
-};
-
 TEST(SyncQueueMachine, MutantMissingPairLogCaught) {
+  // Forgets to log the pairing element (drops the paper's auxiliary
+  // assignment at the fulfilling CAS): the emit hook suppresses the
+  // two-operation pair element.
   SqWorld w = make_world(1, 1);
-  w.objects.clear();
-  w.objects.push_back(std::make_unique<ForgetsPairLog>(Symbol{"SQ"}));
+  SimHooks hooks;
+  hooks.emit = [](CaElement& e) { return e.size() != 2; };
+  w.object->set_hooks(std::move(hooks));
   Explorer ex(w.config, std::move(w.objects));
   ExploreResult r = ex.run();
   ASSERT_FALSE(r.ok());

@@ -234,6 +234,28 @@ int run_follow(const Options& opt, const SpecBundle& spec, std::istream& in) {
   std::size_t last_window = 0;
   while (std::getline(in, raw)) {
     ++line_no;
+    // Writer-side `!dropped <n>` directive: wait-free recorders emit it
+    // when their publish log overflowed. A nonzero count means the stream
+    // is missing actions, so any verdict over it would be unsound — bail
+    // out with the infrastructure exit code rather than report ACCEPT or
+    // REJECT over a hole.
+    if (raw.rfind("!dropped", 0) == 0) {
+      long long n = -1;
+      if (std::sscanf(raw.c_str(), "!dropped %lld", &n) != 1 || n < 0) {
+        std::fprintf(stderr,
+                     "parse error at line %zu: malformed !dropped directive\n",
+                     line_no);
+        return 2;
+      }
+      if (n > 0) {
+        std::fprintf(stderr,
+                     "warning: writer dropped %lld action(s); the stream is "
+                     "incomplete, refusing to give a verdict\n",
+                     n);
+        return 2;
+      }
+      continue;
+    }
     ParseResult<std::optional<Action>> parsed = parse_action_line(raw);
     if (!parsed) {
       std::fprintf(stderr, "parse error at line %zu: %s\n", line_no,
