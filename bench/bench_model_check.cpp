@@ -205,6 +205,130 @@ BENCHMARK(BM_Explore_ElimStack)
     ->Args({2, 2})
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Experiment T-POR — sleep-set partial-order reduction and thread-symmetry
+// canonicalization (BENCH_por.json via bench/run_benches.sh). The config is
+// the reduction's best case and the plain search's worst: identically
+// programmed threads offering the same value, tids drawn outside the
+// address range as the symmetry value discipline requires. A fixed state
+// budget keeps the unreduced 6-thread row finite — it exhausts the budget
+// (counter `exhausted`), the reduced rows complete under it.
+
+ExchangerConfig make_symmetric_exchanger(std::size_t threads) {
+  ExchangerConfig c;
+  auto machine = std::make_unique<SimExchanger>(Symbol{"E"});
+  c.machine = machine.get();
+  c.objects.push_back(std::move(machine));
+  for (std::size_t i = 0; i < threads; ++i) {
+    ThreadProgram p;
+    p.tid = static_cast<ThreadId>(1000 + i);
+    p.calls = {Call{0, Symbol{"exchange"}, iv(7)}};
+    c.config.programs.push_back(std::move(p));
+  }
+  c.config.object_names = {Symbol{"E"}};
+  c.config.spec = &c.spec;
+  c.config.record_trace = true;
+  c.config.heap_cells = 16;
+  c.config.global_cells = 8;
+  return c;
+}
+
+void BM_Explore_Reduction(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kBudget = 200000;
+  ExploreOptions opts;
+  opts.por = state.range(1) != 0;
+  opts.symmetry = state.range(2) != 0;
+  opts.max_states = kBudget;
+  ExploreResult r;
+  for (auto _ : state) {
+    ExchangerConfig c = make_symmetric_exchanger(threads);
+    Explorer ex(c.config, std::move(c.objects), opts);
+    r = ex.run();
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.counters["states"] = static_cast<double>(r.states);
+  state.counters["por_pruned"] = static_cast<double>(r.por_pruned);
+  state.counters["symmetry_merged"] = static_cast<double>(r.symmetry_merged);
+  state.counters["exhausted"] = r.exhausted ? 1.0 : 0.0;
+}
+BENCHMARK(BM_Explore_Reduction)
+    ->ArgNames({"threads", "por", "sym"})
+    ->Args({4, 0, 0})
+    ->Args({4, 1, 0})
+    ->Args({4, 0, 1})
+    ->Args({4, 1, 1})
+    ->Args({6, 0, 0})
+    ->Args({6, 0, 1})
+    ->Args({6, 1, 1})
+    ->Unit(benchmark::kMillisecond);
+
+/// The checker-side axis of T-POR: the all-fail overlap history of
+/// bench_checker_scaling's BM_CalChecker_OverlapWidth series, with
+/// CalCheckOptions::symmetry as the swept flag. Every failed exchange is
+/// interchangeable, so the canonical encoding collapses the 2^width fired
+/// subsets to width+1 per-group counts.
+History overlap_history(std::size_t width, bool poison_last) {
+  HistoryBuilder b;
+  for (ThreadId t = 1; t <= width; ++t) {
+    b.call(t, "E", "exchange", iv(static_cast<std::int64_t>(t)));
+  }
+  for (ThreadId t = 1; t <= width; ++t) {
+    b.ret(t, Value::pair(false, static_cast<std::int64_t>(t)));
+  }
+  History h = b.history();
+  if (!poison_last) return h;
+  std::vector<Action> actions = h.actions();
+  actions.back().payload = Value::pair(true, 424242);  // impossible swap
+  return History{std::move(actions)};
+}
+
+void check_overlap(benchmark::State& state, bool poison_last) {
+  const History h = overlap_history(static_cast<std::size_t>(state.range(0)),
+                                    poison_last);
+  ExchangerSpec spec(Symbol{"E"}, Symbol{"exchange"});
+  CalCheckOptions opts;
+  opts.symmetry = state.range(1) != 0;
+  CalChecker checker(spec, opts);
+  CalCheckResult r;
+  for (auto _ : state) {
+    r = checker.check(h);
+    benchmark::DoNotOptimize(r.ok);
+  }
+  state.counters["visited"] = static_cast<double>(r.visited_states);
+  state.counters["symmetry_merged"] =
+      static_cast<double>(r.symmetry_merged);
+}
+
+void BM_CalChecker_OverlapWidth_Sym(benchmark::State& state) {
+  check_overlap(state, /*poison_last=*/false);
+}
+BENCHMARK(BM_CalChecker_OverlapWidth_Sym)
+    ->ArgNames({"width", "sym"})
+    ->Args({7, 0})
+    ->Args({7, 1})
+    ->Args({10, 0})
+    ->Args({10, 1})
+    ->Args({12, 0})
+    ->Args({12, 1});
+
+// Rejection exhausts the search: the plain checker visits every fired
+// subset (2^(width-1) states), the symmetric one O(width) — this is the
+// headline visited-state reduction of T-POR.
+void BM_CalChecker_OverlapWidth_Reject_Sym(benchmark::State& state) {
+  check_overlap(state, /*poison_last=*/true);
+}
+BENCHMARK(BM_CalChecker_OverlapWidth_Reject_Sym)
+    ->ArgNames({"width", "sym"})
+    ->Args({7, 0})
+    ->Args({7, 1})
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({10, 0})
+    ->Args({10, 1})
+    ->Args({12, 0})
+    ->Args({12, 1});
+
 void BM_Enumerate_And_OfflineCheck(benchmark::State& state) {
   // End-to-end cost of the cross-validation pipeline: enumerate all
   // interleavings of 2 concurrent exchanges and offline-check each unique

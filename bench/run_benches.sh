@@ -10,6 +10,10 @@
 #     (bench_model_check, BM_Env_StepOverhead_*) → BENCH_env_unification.json;
 #     build with CMAKE_BUILD_TYPE=Release, the ≤5% claim is about optimized
 #     code where the env wrappers inline away
+#   * T-POR — partial-order + thread-symmetry reduction: the explorer
+#     {por,symmetry} grid and the checker symmetry overlap-width series
+#     (bench_model_check, BM_Explore_Reduction + BM_CalChecker_OverlapWidth
+#     _Sym/_Reject_Sym) → BENCH_por.json
 #
 # Environment overrides:
 #   BUILD_DIR      build tree containing the bench binaries (default: build)
@@ -26,6 +30,11 @@
 #                  BM_Env_StepOverhead)
 #   ENV_OUT        env-overhead output JSON path (default:
 #                  BENCH_env_unification.json in the repo root)
+#   POR_FILTER     reduction benchmark name regex (default: the T-POR
+#                  explorer {por,symmetry} grid plus the checker symmetry
+#                  overlap-width series)
+#   POR_OUT        reduction output JSON path (default: BENCH_por.json in
+#                  the repo root)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -37,6 +46,8 @@ STREAM_FILTER="${STREAM_FILTER:-BM_Streaming}"
 STREAM_OUT="${STREAM_OUT:-$ROOT/BENCH_streaming.json}"
 ENV_FILTER="${ENV_FILTER:-BM_Env_StepOverhead}"
 ENV_OUT="${ENV_OUT:-$ROOT/BENCH_env_unification.json}"
+POR_FILTER="${POR_FILTER:-BM_Explore_Reduction|BM_CalChecker_OverlapWidth_Sym|BM_CalChecker_OverlapWidth_Reject_Sym}"
+POR_OUT="${POR_OUT:-$ROOT/BENCH_por.json}"
 
 run_series() {
   local bin="$1" filter="$2" out="$3"
@@ -56,3 +67,4 @@ run_series() {
 run_series "$BUILD_DIR/bench/bench_checker_scaling" "$FILTER" "$OUT"
 run_series "$BUILD_DIR/bench/bench_streaming" "$STREAM_FILTER" "$STREAM_OUT"
 run_series "$BUILD_DIR/bench/bench_model_check" "$ENV_FILTER" "$ENV_OUT"
+run_series "$BUILD_DIR/bench/bench_model_check" "$POR_FILTER" "$POR_OUT"

@@ -38,6 +38,7 @@ CalCheckResult collect_result(Driver& driver,
   result.visited_bytes = stats.visited_bytes;
   result.fired_elements = policy.fired_elements();
   result.pruned_subsets = policy.pruned_subsets();
+  result.symmetry_merged = policy.symmetry_merged();
   result.step_cache_hits = policy.step_cache_hits();
   result.step_cache_misses = policy.step_cache_misses();
   if (result.ok) result.witness = CaTrace(driver.witness());
@@ -52,12 +53,14 @@ CalCheckResult CalChecker::check(const std::vector<OpRecord>& ops) const {
   sopts.exact_visited = options_.exact_visited;
   const std::size_t threads = par::resolve_threads(options_.threads);
   if (threads > 1) {
-    engine::CalPolicy<true> policy(ops, spec_, options_.complete_pending);
+    engine::CalPolicy<true> policy(ops, spec_, options_.complete_pending,
+                                   options_.symmetry);
     engine::ParallelSearch<engine::CalPolicy<true>> driver(policy, sopts,
                                                            threads);
     return collect_result(driver, policy);
   }
-  engine::CalPolicy<false> policy(ops, spec_, options_.complete_pending);
+  engine::CalPolicy<false> policy(ops, spec_, options_.complete_pending,
+                                  options_.symmetry);
   engine::SequentialSearch<engine::CalPolicy<false>> driver(policy, sopts);
   return collect_result(driver, policy);
 }

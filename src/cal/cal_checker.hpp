@@ -50,6 +50,14 @@ struct CalCheckOptions {
   /// a false prune; this switch restores the stored-key table so tests can
   /// pin verdict equality between the two modes.
   bool exact_visited = false;
+  /// Symmetry reduction: operations the spec declares interchangeable
+  /// (CaSpec::symmetry_class) and that share identical real-time
+  /// constraints are *counted*, not identified, in the dedup key, merging
+  /// search states that differ only in which of them fired. Verdicts are
+  /// unchanged; visited_states can drop exponentially in the number of
+  /// interchangeable operations (e.g. an exchanger history where w threads
+  /// all fail: 2^w fired-subsets collapse to w+1 counts).
+  bool symmetry = false;
 };
 
 struct CalCheckResult {
@@ -72,6 +80,10 @@ struct CalCheckResult {
   std::size_t step_cache_misses = 0;
   /// Candidate subsets discarded by CaSpec::compatible before any step().
   std::size_t pruned_subsets = 0;
+  /// With CalCheckOptions::symmetry: dedup hits on nodes with a partially
+  /// fired symmetry group — an upper bound on the merges classic dedup
+  /// would have missed.
+  std::size_t symmetry_merged = 0;
 
   explicit operator bool() const noexcept { return ok; }
 };

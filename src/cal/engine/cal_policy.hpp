@@ -59,11 +59,13 @@ class CalPolicy {
   using Label = CaElement;
 
   CalPolicy(const std::vector<OpRecord>& ops, const CaSpec& spec,
-            bool complete_pending)
+            bool complete_pending, bool symmetry = false)
       : ops_(ops),
         spec_(spec),
         complete_pending_(complete_pending),
-        index_(ops) {}
+        index_(ops) {
+    if (symmetry) build_groups();
+  }
 
   std::vector<Node> roots() const {
     return {Node{spec_.initial(), StateMask((ops_.size() + 63) / 64, 0), 0}};
@@ -73,11 +75,52 @@ class CalPolicy {
     return n.fired_completed == index_.completed();
   }
 
+  /// With symmetry groups, the dedup key identifies nodes up to swapping
+  /// fired/unfired status *within* a group: grouped bits are cleared from
+  /// the fired mask and replaced by per-group fired counts. Sound because
+  /// group members are spec-interchangeable (CaSpec::symmetry_class) and
+  /// have identical real-time constraints in both directions — the same
+  /// predecessor prefix and the same successor set — so any within-group
+  /// permutation maps enabled candidate sets to enabled candidate sets and
+  /// spec steps to equal spec steps (DESIGN.md).
   void encode(const Node& n, NodeKey& out) const {
-    encode_state_and_masks(n.state, {&n.fired}, out);
+    if (groups_.empty()) {
+      encode_state_and_masks(n.state, {&n.fired}, out);
+      return;
+    }
+    StateMask masked = n.fired;
+    for (std::size_t w = 0; w < masked.size(); ++w) {
+      masked[w] &= ~grouped_mask_[w];
+    }
+    encode_state_and_masks(n.state, {&masked}, out);
+    for (const std::vector<std::size_t>& members : groups_) {
+      std::int64_t fired = 0;
+      for (std::size_t i : members) {
+        if (mask_test(n.fired, i)) ++fired;
+      }
+      out.push_back(fired);
+    }
   }
 
   void on_enter(const Node&, std::size_t) {}
+
+  /// Dedup-hit attribution (engine hook): a hit on a node where some group
+  /// is *partially* fired may have merged a genuinely distinct fired set —
+  /// an upper bound on the merges classic dedup would have missed.
+  void on_dedup(const Node& n) {
+    if (groups_.empty()) return;
+    for (const std::vector<std::size_t>& members : groups_) {
+      std::size_t fired = 0;
+      for (std::size_t i : members) {
+        if (mask_test(n.fired, i)) ++fired;
+      }
+      if (fired != 0 && fired != members.size()) {
+        bump(symmetry_merged_);
+        return;
+      }
+    }
+  }
+
   bool cancelled() const { return false; }
 
   template <typename Emit>
@@ -119,12 +162,113 @@ class CalPolicy {
   [[nodiscard]] std::size_t pruned_subsets() const {
     return read_counter(pruned_subsets_);
   }
+  [[nodiscard]] std::size_t symmetry_merged() const {
+    return read_counter(symmetry_merged_);
+  }
+  /// Operations actually covered by a symmetry group (diagnostic).
+  [[nodiscard]] std::size_t symmetric_ops() const {
+    std::size_t n = 0;
+    for (const auto& g : groups_) n += g.size();
+    return n;
+  }
   [[nodiscard]] std::size_t step_cache_hits() const { return memo_.hits(); }
   [[nodiscard]] std::size_t step_cache_misses() const {
     return memo_.misses();
   }
 
  private:
+  /// Partitions the completed operations into interchangeability groups.
+  /// Two operations may share a group only when
+  ///   * the spec declares them interchangeable (equal nonzero
+  ///     symmetry_class for their object),
+  ///   * they have the same real-time predecessors (equal pred-prefix
+  ///     length — predecessor lists are prefixes of one response-sorted
+  ///     order), and
+  ///   * they constrain the same successors: their positions in the
+  ///     response-sorted order fall on the same side of every distinct
+  ///     predecessor-count threshold.
+  /// The last two conditions are recomputed here from the raw indices the
+  /// same way HistoryIndex computes them (it exposes only the combined
+  /// `enabled` query). Groups of size 1 are dropped — they reduce nothing.
+  void build_groups() {
+    const std::size_t n = ops_.size();
+    // Response-sorted order of completed ops, and each op's position in it.
+    std::vector<std::size_t> by_res;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!ops_[i].is_pending()) by_res.push_back(i);
+    }
+    std::sort(by_res.begin(), by_res.end(),
+              [this](std::size_t a, std::size_t b) {
+                return *ops_[a].res_index < *ops_[b].res_index;
+              });
+    std::vector<std::size_t> pos(n, 0);
+    for (std::size_t p = 0; p < by_res.size(); ++p) pos[by_res[p]] = p;
+    // Predecessor-prefix length per op (HistoryIndex's sweep).
+    std::vector<std::size_t> by_inv(n);
+    for (std::size_t i = 0; i < n; ++i) by_inv[i] = i;
+    std::sort(by_inv.begin(), by_inv.end(),
+              [this](std::size_t a, std::size_t b) {
+                return ops_[a].inv_index < ops_[b].inv_index;
+              });
+    std::vector<std::size_t> pred_count(n, 0);
+    std::size_t k = 0;
+    for (std::size_t i : by_inv) {
+      while (k < by_res.size() &&
+             *ops_[by_res[k]].res_index < ops_[i].inv_index) {
+        ++k;
+      }
+      pred_count[i] = k;
+    }
+    // Successor bucket: how many distinct thresholds lie at or below the
+    // op's response-sorted position (ops in the same bucket are
+    // predecessors of exactly the same set of operations).
+    std::vector<std::size_t> thresholds(pred_count);
+    std::sort(thresholds.begin(), thresholds.end());
+    thresholds.erase(std::unique(thresholds.begin(), thresholds.end()),
+                     thresholds.end());
+    auto bucket = [&thresholds](std::size_t p) {
+      return static_cast<std::size_t>(
+          std::upper_bound(thresholds.begin(), thresholds.end(), p) -
+          thresholds.begin());
+    };
+    // Group by (object, class, pred_count, bucket).
+    struct GroupKey {
+      std::uint32_t object;
+      std::uint64_t cls;
+      std::size_t preds;
+      std::size_t bucket;
+      bool operator==(const GroupKey&) const = default;
+    };
+    std::vector<std::pair<GroupKey, std::size_t>> found;  // key -> group idx
+    std::vector<std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (ops_[i].is_pending()) continue;
+      const std::uint64_t cls =
+          spec_.symmetry_class(ops_[i].op.object, ops_[i].op);
+      if (cls == 0) continue;
+      const GroupKey key{ops_[i].op.object.id(), cls, pred_count[i],
+                         bucket(pos[i])};
+      std::size_t g = groups.size();
+      for (const auto& [fk, fg] : found) {
+        if (fk == key) {
+          g = fg;
+          break;
+        }
+      }
+      if (g == groups.size()) {
+        found.emplace_back(key, g);
+        groups.emplace_back();
+      }
+      groups[g].push_back(i);
+    }
+    grouped_mask_.assign((n + 63) / 64, 0);
+    for (std::vector<std::size_t>& g : groups) {
+      if (g.size() < 2) continue;
+      for (std::size_t i : g) mask_set(grouped_mask_, i);
+      groups_.push_back(std::move(g));
+    }
+  }
+
   /// False = the driver asked to stop (goal found / cancelled).
   template <typename Emit>
   bool try_subsets(const Node& node, Symbol object,
@@ -187,9 +331,14 @@ class CalPolicy {
   const CaSpec& spec_;
   bool complete_pending_;
   HistoryIndex index_;
+  /// Interchangeability groups (≥ 2 members each) and the bit-mask of all
+  /// grouped operations; both empty when symmetry is off or inapplicable.
+  std::vector<std::vector<std::size_t>> groups_;
+  StateMask grouped_mask_;
   StepMemoFor<kShared, CaStepResult> memo_;
   Counter<kShared> fired_elements_{0};
   Counter<kShared> pruned_subsets_{0};
+  Counter<kShared> symmetry_merged_{0};
 };
 
 }  // namespace cal::engine

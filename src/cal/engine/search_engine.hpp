@@ -90,7 +90,26 @@ struct SearchStats {
   std::size_t dedup_hits = 0;
   /// Deepest node entered (labels from root).
   std::size_t max_depth = 0;
+  /// Successors never generated thanks to partial-order reduction (filled
+  /// from `policy.por_pruned()` when the policy provides it; else 0).
+  std::size_t por_pruned = 0;
+  /// Dedup hits that only exist because the encoding canonicalized away a
+  /// symmetry (filled from `policy.symmetry_merged()` when provided).
+  std::size_t symmetry_merged = 0;
 };
+
+/// Copies the policy's reduction counters into the stats when the policy
+/// exposes them (detected per accessor; policies without reductions need
+/// no boilerplate).
+template <typename Policy>
+void fill_policy_stats(Policy& policy, SearchStats& stats) {
+  if constexpr (requires { policy.por_pruned(); }) {
+    stats.por_pruned = policy.por_pruned();
+  }
+  if constexpr (requires { policy.symmetry_merged(); }) {
+    stats.symmetry_merged = policy.symmetry_merged();
+  }
+}
 
 /// Single-threaded driver. One instance runs one search.
 template <typename Policy>
@@ -130,6 +149,7 @@ class SequentialSearch {
   SearchStats finish() {
     stats_.visited_states = options_.dedup ? visited_.size() : entered_;
     stats_.visited_bytes = visited_.bytes();
+    fill_policy_stats(policy_, stats_);
     return stats_;
   }
 
@@ -148,6 +168,9 @@ class SequentialSearch {
     policy_.encode(node, scratch_);
     if (!visited_.insert(scratch_)) {
       ++stats_.dedup_hits;
+      if constexpr (requires { policy_.on_dedup(node); }) {
+        policy_.on_dedup(node);  // e.g. attribute the hit to a reduction
+      }
       return false;
     }
     return true;
@@ -270,6 +293,7 @@ class ParallelSearch {
     stats.visited_bytes = visited_.bytes();
     stats.dedup_hits = dedup_hits_.load(std::memory_order_relaxed);
     stats.max_depth = max_depth_.load(std::memory_order_relaxed);
+    fill_policy_stats(policy_, stats);
     return stats;
   }
 
@@ -295,6 +319,9 @@ class ParallelSearch {
     policy_.encode(node, key);
     if (!visited_.insert(std::move(key))) {
       dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+      if constexpr (requires { policy_.on_dedup(node); }) {
+        policy_.on_dedup(node);  // must be thread-safe in shared policies
+      }
       return false;
     }
     visited_count_.fetch_add(1, std::memory_order_relaxed);

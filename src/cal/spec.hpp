@@ -88,6 +88,23 @@ class CaSpec {
     (void)ops;
     return true;
   }
+
+  /// Interchangeability class of one *completed* operation for the
+  /// checker's symmetry reduction (0 = unique, never merged). Two
+  /// operations with the same nonzero class must be fully interchangeable
+  /// in the spec: for every abstract state and every candidate element,
+  /// swapping one for the other yields an admissible element with the same
+  /// successor states and the same completion choices. (Thread ids do not
+  /// break interchangeability — a CA-element never inspects tids — but
+  /// arguments and return values do, so classes must key on them.)
+  /// CalPolicy then counts, rather than identifies, fired operations of a
+  /// class — see cal/engine/cal_policy.hpp.
+  [[nodiscard]] virtual std::uint64_t symmetry_class(
+      Symbol object, const Operation& op) const {
+    (void)object;
+    (void)op;
+    return 0;
+  }
 };
 
 /// One possible outcome of a sequential-spec transition.

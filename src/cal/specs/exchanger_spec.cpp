@@ -49,6 +49,16 @@ bool ExchangerSpec::compatible(Symbol object,
   return true;
 }
 
+std::uint64_t ExchangerSpec::symmetry_class(Symbol object,
+                                            const Operation& op) const {
+  if (object != object_ || op.method != method_) return 0;
+  if (!op.ret || op.arg.kind() != Value::Kind::kInt) return 0;
+  const bool failed = op.ret->kind() == Value::Kind::kPair &&
+                      !op.ret->pair_ok() &&
+                      op.ret->pair_int() == op.arg.as_int();
+  return failed ? 1 : 0;
+}
+
 std::vector<CaStepResult> ExchangerSpec::step(
     const SpecState& state, Symbol object,
     const std::vector<Operation>& ops) const {

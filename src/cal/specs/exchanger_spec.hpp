@@ -37,6 +37,14 @@ class ExchangerSpec final : public CaSpec {
   [[nodiscard]] bool compatible(
       Symbol object, const std::vector<Operation>& ops) const override;
 
+  /// All completed *failed* exchanges share one class: a failure's only
+  /// admissible consumption is its own singleton element (its ret is
+  /// (false, v), never the (true, ·) a swap half needs), the spec is
+  /// stateless, and the value it echoes is its own offer — so even
+  /// failures with different offers have identical admissible futures.
+  [[nodiscard]] std::uint64_t symmetry_class(
+      Symbol object, const Operation& op) const override;
+
   [[nodiscard]] Symbol object() const noexcept { return object_; }
   [[nodiscard]] Symbol method() const noexcept { return method_; }
 

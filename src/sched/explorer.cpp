@@ -1,8 +1,11 @@
 #include "sched/explorer.hpp"
 
+#include <array>
 #include <atomic>
 #include <deque>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
@@ -35,6 +38,103 @@ struct KeyHash {
   }
 };
 
+// --- partial-order reduction: sleep sets over step footprints -------------
+//
+// A sleep entry records a thread whose next step was already explored from
+// an earlier sibling branch, together with that step's footprint. The
+// footprint of a thread's next step is a function of its own context and
+// frozen cells only, and stays valid while the thread sleeps: every
+// executed step is independent of it (a dependent step removes the entry),
+// so it cannot change the cell the sleeping step touches, the step's
+// control path, or its purity. See DESIGN.md for the full argument.
+
+struct SleepEntry {
+  std::size_t thread = 0;
+  StepFootprint fp;
+};
+using SleepSet = std::vector<SleepEntry>;
+
+bool is_sleeping(const SleepSet& sleep, std::size_t thread) {
+  for (const SleepEntry& e : sleep) {
+    if (e.thread == thread) return true;
+  }
+  return false;
+}
+
+std::uint64_t sleep_mask_of(const SleepSet& sleep) {
+  std::uint64_t m = 0;
+  for (const SleepEntry& e : sleep) m |= (1ull << (e.thread & 63u));
+  return m;
+}
+
+/// The sleep set a successor inherits: every entry independent of the
+/// executed step `g` stays asleep; dependent entries wake.
+SleepSet inherit_sleep(const SleepSet& cur, const StepFootprint& g) {
+  SleepSet out;
+  out.reserve(cur.size());
+  for (const SleepEntry& e : cur) {
+    if (footprints_independent(e.fp, g)) out.push_back(e);
+  }
+  return out;
+}
+
+/// Visited-set key: canonical (symmetry) encoding when a canonicalizer is
+/// attached, else World::encode; under POR the sleep mask is part of the
+/// key, making the reduced successor set a function of the key — which is
+/// what keeps sleep sets sound under state merging. When `por`, the mask
+/// is always the *last* element (SleepSubsumption peels it back off).
+void encode_world_key(const World& world, const WorldCanon* canon, bool por,
+                      std::uint64_t sleep_mask,
+                      std::vector<std::int64_t>& out, bool& renamed) {
+  out.clear();
+  renamed = false;
+  if (canon != nullptr) {
+    canon->encode(world, por ? sleep_mask : 0, out, renamed);
+  } else {
+    world.encode(out);
+    if (por) out.push_back(static_cast<std::int64_t>(sleep_mask));
+  }
+}
+
+/// Sleep-mask subsumption (sleep sets with state matching, Godefroid
+/// style): exact (state, mask) dedup alone *splits* states — the same
+/// world re-entered under an incomparable sleep mask is a fresh key — so
+/// on top of it, a node's expansion is pruned outright when the same state
+/// was already expanded with a *subset* mask: fewer sleeping threads means
+/// the earlier expansion explored a superset of this node's successor
+/// closure. Re-visits under incomparable masks still re-expand, which is
+/// what keeps the reduction sound (DESIGN.md). Striped-lock sharded so the
+/// parallel walkers can share one instance; the sequential driver uses the
+/// same type with the locks uncontended.
+class SleepSubsumption {
+ public:
+  /// True iff `key` was already expanded with a recorded mask ⊆ `mask`.
+  /// Otherwise records `mask` (dropping recorded supersets, which it now
+  /// covers) and returns false.
+  bool covered(const std::vector<std::int64_t>& key, std::uint64_t mask) {
+    Shard& s = shards_[hash_state(key) % kShards];
+    std::lock_guard<std::mutex> lock(s.mu);
+    std::vector<std::uint64_t>& masks = s.map[key];
+    for (std::uint64_t m : masks) {
+      if ((m & ~mask) == 0) return true;
+    }
+    std::erase_if(masks,
+                  [mask](std::uint64_t m) { return (mask & ~m) == 0; });
+    masks.push_back(mask);
+    return false;
+  }
+
+ private:
+  static constexpr std::size_t kShards = 64;
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::vector<std::int64_t>, std::vector<std::uint64_t>,
+                       KeyHash>
+        map;
+  };
+  std::array<Shard, kShards> shards_;
+};
+
 /// The sequential exploration as an engine policy: worlds are nodes,
 /// schedule steps are labels, terminal worlds are goals (collect-mode
 /// sinks). Per-step audits (transition guarantee, state invariant, choice
@@ -45,61 +145,96 @@ struct KeyHash {
 /// violation recording.
 class ExplorePolicy {
  public:
-  using Node = World;
+  /// A node is a world plus its sleep set (empty when POR is off); the
+  /// sleep set travels with the node because the engine recurses inside
+  /// emit, and it joins the dedup key via encode().
+  struct Node {
+    World world;
+    SleepSet sleep;
+  };
   using Label = ScheduleStep;
 
   ExplorePolicy(const WorldConfig& config,
                 const std::vector<std::unique_ptr<SimObject>>& objects,
                 const ExploreOptions& options,
-                const TransitionAuditor* auditor)
+                const TransitionAuditor* auditor, const WorldCanon* canon,
+                bool por)
       : config_(config),
         objects_(objects),
         options_(options),
-        auditor_(auditor) {}
+        auditor_(auditor),
+        canon_(canon),
+        por_(por) {
+    // Subsumption only matters under state merging: without it the walk
+    // is a plain tree DFS, where sleep sets alone are the classic (sound)
+    // reduction.
+    if (por_ && options_.merge_states) {
+      subsume_ = std::make_unique<SleepSubsumption>();
+    }
+  }
 
-  std::vector<World> roots() {
+  std::vector<Node> roots() {
     World initial(config_);
     for (const auto& obj : objects_) obj->init(initial);
-    std::vector<World> out;
-    out.push_back(std::move(initial));
+    std::vector<Node> out;
+    out.push_back(Node{std::move(initial), {}});
     return out;
   }
 
-  [[nodiscard]] bool is_goal(const World& world) const {
-    return world.all_done();
+  [[nodiscard]] bool is_goal(const Node& node) const {
+    return node.world.all_done();
   }
 
-  void encode(const World& world, engine::NodeKey& out) const {
-    out.clear();
-    world.encode(out);
+  void encode(const Node& node, engine::NodeKey& out) {
+    encode_world_key(node.world, canon_, por_, sleep_mask_of(node.sleep),
+                     out, last_renamed_);
   }
 
-  void on_enter(const World& world, std::size_t /*depth*/) {
-    events_ |= world.events();
+  /// Engine dedup-hit hook: a hit whose key was produced by a non-identity
+  /// renaming is a merge only the canonicalizer could have made.
+  void on_dedup(const Node& /*node*/) {
+    if (last_renamed_) ++symmetry_merged_;
+  }
+
+  void on_enter(const Node& node, std::size_t /*depth*/) {
+    events_ |= node.world.events();
   }
 
   [[nodiscard]] bool cancelled() const noexcept { return done_; }
 
   template <typename Emit>
-  void expand(const World& world, std::size_t /*depth*/,
+  void expand(const Node& node, std::size_t /*depth*/,
               const std::vector<ScheduleStep>& prefix, Emit&& emit) {
+    const World& world = node.world;
+    // Entries accumulate as siblings are explored: a later thread's child
+    // inherits every earlier pure sibling step it is independent of.
+    SleepSet cur = node.sleep;
     for (std::size_t i = 0; i < world.threads().size(); ++i) {
       if (done_) return;
       const ThreadCtx& t = world.threads()[i];
       if (t.done(config_.programs[t.program].calls.size())) continue;
+      if (por_ && is_sleeping(node.sleep, i)) {
+        ++por_pruned_;
+        continue;
+      }
       const Call& call = config_.programs[t.program].calls[t.call_idx];
       const SimObject& object = *objects_[call.object];
       ++transitions_;
 
       World next = world;  // branch
+      next.begin_step();
       ThreadCtx& nt = next.threads()[i];
       StepResult sr = object.step(next, nt);
 
       if (sr.kind == StepResult::Kind::kChoice) {
         // Fork one successor per choice value; the machine consumes the
-        // choice on its next step.
+        // choice on its next step. The step only joins sibling sleep sets
+        // if every branch is pure (a single emitting branch makes the
+        // whole step order-sensitive).
+        bool all_pure = true;
         for (std::int32_t c = 0; c < sr.nchoices && !done_; ++c) {
           World branch = world;
+          branch.begin_step();
           ThreadCtx& bt = branch.threads()[i];
           bt.choice = c;
           StepResult inner = object.step(branch, bt);
@@ -109,16 +244,27 @@ class ExplorePolicy {
                 "machine asked for a choice twice in a row");
           }
           audit_transition(world, branch, bt.tid);
-          if (!offer(std::move(branch), ScheduleStep{t.tid, c}, prefix,
-                     emit)) {
+          const StepFootprint fp = branch.footprint();
+          all_pure = all_pure && fp.pure();
+          SleepSet child = por_ ? inherit_sleep(cur, fp) : SleepSet{};
+          if (!offer(Node{std::move(branch), std::move(child)},
+                     ScheduleStep{t.tid, c}, prefix, emit)) {
             return;
           }
         }
+        if (por_ && all_pure) {
+          cur.push_back(SleepEntry{
+              i, StepFootprint{StepFootprint::Kind::kLocal, kNull, false}});
+        }
       } else {
         audit_transition(world, next, nt.tid);
-        if (!offer(std::move(next), ScheduleStep{t.tid, -1}, prefix, emit)) {
+        const StepFootprint fp = next.footprint();
+        SleepSet child = por_ ? inherit_sleep(cur, fp) : SleepSet{};
+        if (!offer(Node{std::move(next), std::move(child)},
+                   ScheduleStep{t.tid, -1}, prefix, emit)) {
           return;
         }
+        if (por_ && fp.pure()) cur.push_back(SleepEntry{i, fp});
       }
     }
   }
@@ -127,6 +273,12 @@ class ExplorePolicy {
     return transitions_;
   }
   [[nodiscard]] std::uint64_t events() const noexcept { return events_; }
+  [[nodiscard]] std::size_t por_pruned() const noexcept {
+    return por_pruned_;
+  }
+  [[nodiscard]] std::size_t symmetry_merged() const noexcept {
+    return symmetry_merged_;
+  }
   [[nodiscard]] std::vector<ScheduleViolation>&& violations() noexcept {
     return std::move(violations_);
   }
@@ -142,32 +294,55 @@ class ExplorePolicy {
   /// Audits a freshly stepped world and either records its violation or
   /// hands it to the driver; false stops this node's expansion.
   template <typename Emit>
-  bool offer(World&& world, ScheduleStep step,
+  bool offer(Node&& node, ScheduleStep step,
              const std::vector<ScheduleStep>& prefix, Emit& emit) {
     if (done_) return false;
-    if (!world.violated() && auditor_ != nullptr) {
-      if (auto why = auditor_->check_invariant(world)) {
-        world.report_violation("invariant: " + *why);
+    if (!node.world.violated() && auditor_ != nullptr) {
+      if (auto why = auditor_->check_invariant(node.world)) {
+        node.world.report_violation("invariant: " + *why);
       }
     }
-    if (world.violated()) {
+    if (node.world.violated()) {
       std::vector<ScheduleStep> schedule = prefix;
       schedule.push_back(step);
       violations_.push_back(ScheduleViolation{
-          world.violation().value_or("unknown"), std::move(schedule)});
+          node.world.violation().value_or("unknown"), std::move(schedule)});
       if (options_.stop_on_first_violation) done_ = true;
       return !done_;
     }
-    return emit(std::move(world), std::move(step));
+    // Sleep-mask subsumption happens at child-generation time so a covered
+    // revisit never enters the engine (and is never counted as a state).
+    // Terminals are exempt: their final step is global, so they always
+    // carry an empty sleep set and the exact visited key already dedups
+    // them — keeping them out keeps the table small.
+    if (subsume_ != nullptr && !node.world.all_done()) {
+      engine::NodeKey key;
+      bool renamed = false;
+      encode_world_key(node.world, canon_, /*por=*/true,
+                       sleep_mask_of(node.sleep), key, renamed);
+      const auto mask = static_cast<std::uint64_t>(key.back());
+      key.pop_back();
+      if (subsume_->covered(key, mask)) {
+        ++por_pruned_;
+        return true;
+      }
+    }
+    return emit(std::move(node), std::move(step));
   }
 
   const WorldConfig& config_;
   const std::vector<std::unique_ptr<SimObject>>& objects_;
   const ExploreOptions& options_;
   const TransitionAuditor* auditor_;
+  const WorldCanon* canon_;
+  const bool por_;
+  std::unique_ptr<SleepSubsumption> subsume_;
 
   std::size_t transitions_ = 0;
   std::uint64_t events_ = 0;
+  std::size_t por_pruned_ = 0;
+  std::size_t symmetry_merged_ = 0;
+  bool last_renamed_ = false;
   std::vector<ScheduleViolation> violations_;
   bool done_ = false;
 };
@@ -177,6 +352,7 @@ constexpr std::size_t kNoViolation = static_cast<std::size_t>(-1);
 /// State shared by every branch walker of one parallel exploration.
 struct SharedExplore {
   par::ShardedStateSet visited;     ///< merge_states deduplication table
+  SleepSubsumption sleep_seen;      ///< POR sleep-mask subsumption table
   std::atomic<std::size_t> states{0};  ///< global count, for max_states
   std::atomic<bool> exhausted{false};
   /// Smallest branch sequence number that found a violation; branches
@@ -203,17 +379,21 @@ class Walker {
   Walker(const WorldConfig& config,
          const std::vector<std::unique_ptr<SimObject>>& objects,
          const ExploreOptions& options, const TransitionAuditor* auditor,
-         SharedExplore& shared, std::size_t branch_seq,
-         std::vector<ScheduleStep> schedule)
+         const WorldCanon* canon, bool por, SharedExplore& shared,
+         std::size_t branch_seq, std::vector<ScheduleStep> schedule)
       : config_(config),
         objects_(objects),
         options_(options),
         auditor_(auditor),
+        canon_(canon),
+        por_(por),
         shared_(shared),
         branch_seq_(branch_seq),
         schedule_(std::move(schedule)) {}
 
-  void run(World world, std::size_t depth) { dfs(std::move(world), depth); }
+  void run(World world, std::size_t depth, SleepSet sleep) {
+    dfs(std::move(world), depth, std::move(sleep));
+  }
 
   [[nodiscard]] ExploreResult& result() noexcept { return result_; }
   [[nodiscard]] std::size_t branch_seq() const noexcept { return branch_seq_; }
@@ -237,7 +417,7 @@ class Walker {
     }
   }
 
-  void reached(World&& world, std::size_t depth) {
+  void reached(World&& world, std::size_t depth, SleepSet&& sleep) {
     if (stopped()) return;
     if (world.violated()) {
       record_violation(world);
@@ -250,10 +430,10 @@ class Walker {
         return;
       }
     }
-    dfs(std::move(world), depth);
+    dfs(std::move(world), depth, std::move(sleep));
   }
 
-  void dfs(World world, std::size_t depth) {
+  void dfs(World world, std::size_t depth, SleepSet sleep) {
     if (stopped()) return;
     if (depth > result_.max_depth) result_.max_depth = depth;
     result_.events |= world.events();
@@ -268,11 +448,23 @@ class Walker {
     }
     if (options_.merge_states) {
       std::vector<std::int64_t> key;
-      world.encode(key);
+      bool renamed = false;
+      encode_world_key(world, canon_, por_, sleep_mask_of(sleep), key,
+                       renamed);
       if (!shared_.visited.insert(std::move(key))) {
         ++result_.merged;
+        if (renamed) ++result_.symmetry_merged;
         return;
       }
+    }
+    // Subsumption runs before the node is counted: a covered revisit is a
+    // prune, not a state. Terminals always carry an empty sleep set (their
+    // final step is global), so the exact visited key above already dedups
+    // them and they stay out of the subsumption table.
+    if (por_ && options_.merge_states && !world.all_done() &&
+        subsumed(world, sleep_mask_of(sleep))) {
+      ++result_.por_pruned;
+      return;
     }
     shared_.states.fetch_add(1, std::memory_order_relaxed);
     ++result_.states;
@@ -289,15 +481,32 @@ class Walker {
       return;
     }
 
+    SleepSet cur = sleep;
     for (std::size_t i = 0; i < world.threads().size(); ++i) {
       const ThreadCtx& t = world.threads()[i];
       if (t.done(config_.programs[t.program].calls.size())) continue;
-      advance(world, i, depth);
+      if (por_ && is_sleeping(sleep, i)) {
+        ++result_.por_pruned;
+        continue;
+      }
+      advance(world, i, depth, cur);
       if (stopped()) return;
     }
   }
 
-  void advance(const World& world, std::size_t thread, std::size_t depth) {
+  /// Sleep-mask subsumption against the shared table (see the sequential
+  /// policy's offer() for the argument).
+  bool subsumed(const World& world, std::uint64_t mask) {
+    std::vector<std::int64_t> key;
+    bool renamed = false;
+    encode_world_key(world, canon_, /*por=*/true, mask, key, renamed);
+    const auto permuted = static_cast<std::uint64_t>(key.back());
+    key.pop_back();
+    return shared_.sleep_seen.covered(key, permuted);
+  }
+
+  void advance(const World& world, std::size_t thread, std::size_t depth,
+               SleepSet& cur) {
     const ThreadCtx& t = world.threads()[thread];
     const Call& call = config_.programs[t.program].calls[t.call_idx];
     const SimObject& object = *objects_[call.object];
@@ -306,13 +515,16 @@ class Walker {
     ++result_.transitions;
 
     World next = world;  // branch
+    next.begin_step();
     ThreadCtx& nt = next.threads()[thread];
     StepResult sr = object.step(next, nt);
 
     if (sr.kind == StepResult::Kind::kChoice) {
+      bool all_pure = true;
       for (std::int32_t c = 0; c < sr.nchoices && !stopped(); ++c) {
         schedule_.back().choice = c;
         World branch = world;
+        branch.begin_step();
         ThreadCtx& bt = branch.threads()[thread];
         bt.choice = c;
         StepResult inner = object.step(branch, bt);
@@ -325,7 +537,14 @@ class Walker {
             branch.report_violation("guarantee: " + *why);
           }
         }
-        reached(std::move(branch), depth + 1);
+        const StepFootprint fp = branch.footprint();
+        all_pure = all_pure && fp.pure();
+        SleepSet child = por_ ? inherit_sleep(cur, fp) : SleepSet{};
+        reached(std::move(branch), depth + 1, std::move(child));
+      }
+      if (por_ && all_pure) {
+        cur.push_back(SleepEntry{
+            thread, StepFootprint{StepFootprint::Kind::kLocal, kNull, false}});
       }
     } else {
       if (auditor_ != nullptr && !next.violated()) {
@@ -333,7 +552,10 @@ class Walker {
           next.report_violation("guarantee: " + *why);
         }
       }
-      reached(std::move(next), depth + 1);
+      const StepFootprint fp = next.footprint();
+      SleepSet child = por_ ? inherit_sleep(cur, fp) : SleepSet{};
+      reached(std::move(next), depth + 1, std::move(child));
+      if (por_ && fp.pure()) cur.push_back(SleepEntry{thread, fp});
     }
 
     schedule_.pop_back();
@@ -343,6 +565,8 @@ class Walker {
   const std::vector<std::unique_ptr<SimObject>>& objects_;
   const ExploreOptions& options_;
   const TransitionAuditor* auditor_;
+  const WorldCanon* canon_;
+  const bool por_;
   SharedExplore& shared_;
   const std::size_t branch_seq_;
   std::vector<ScheduleStep> schedule_;
@@ -367,8 +591,22 @@ ExploreResult Explorer::run() {
 }
 
 ExploreResult Explorer::run_sequential() {
+  // Both reductions are gated off while an auditor is attached: the
+  // auditor's per-transition and per-state checks must observe every
+  // transition, including the ones a reduction would skip (DESIGN.md).
+  // POR also needs one sleep-mask bit per thread, so >64 threads fall
+  // back to the plain walk rather than alias mask bits.
+  const bool por = options_.por && auditor_ == nullptr &&
+                   config_.programs.size() <= 64;
+  std::unique_ptr<WorldCanon> canon_storage;
+  const WorldCanon* canon = nullptr;
+  if (options_.symmetry && auditor_ == nullptr) {
+    canon_storage = std::make_unique<WorldCanon>(config_);
+    if (canon_storage->active()) canon = canon_storage.get();
+  }
+
   ExploreResult result;
-  ExplorePolicy policy(config_, objects_, options_, auditor_);
+  ExplorePolicy policy(config_, objects_, options_, auditor_, canon, por);
 
   engine::SearchOptions sopts;
   sopts.max_visited = options_.max_states;
@@ -378,13 +616,13 @@ ExploreResult Explorer::run_sequential() {
   std::unordered_set<std::vector<std::int64_t>, KeyHash> seen_histories;
   engine::SequentialSearch<ExplorePolicy> search(policy, sopts);
   engine::SearchStats stats = search.run_collect(
-      [&](const World& world, const std::vector<ScheduleStep>&) {
+      [&](const ExplorePolicy::Node& node, const std::vector<ScheduleStep>&) {
         ++result.terminals;
         if (!options_.collect_terminals) return;
-        auto key = encode_history(world.history());
+        auto key = encode_history(node.world.history());
         if (seen_histories.insert(std::move(key)).second) {
-          result.histories.push_back(world.history());
-          result.traces.push_back(world.trace());
+          result.histories.push_back(node.world.history());
+          result.traces.push_back(node.world.trace());
         }
       });
 
@@ -394,6 +632,8 @@ ExploreResult Explorer::run_sequential() {
   result.max_depth = stats.max_depth;
   result.exhausted = stats.exhausted;
   result.events = policy.events();
+  result.por_pruned = policy.por_pruned();
+  result.symmetry_merged = policy.symmetry_merged();
   result.violations = policy.violations();
   return result;
 }
@@ -427,7 +667,17 @@ ExploreResult Explorer::run_parallel(std::size_t threads) {
     World world;
     std::vector<ScheduleStep> schedule;
     std::size_t depth = 0;
+    SleepSet sleep;
   };
+
+  const bool por = options_.por && auditor_ == nullptr &&
+                   config_.programs.size() <= 64;
+  std::unique_ptr<WorldCanon> canon_storage;
+  const WorldCanon* canon = nullptr;
+  if (options_.symmetry && auditor_ == nullptr) {
+    canon_storage = std::make_unique<WorldCanon>(config_);
+    if (canon_storage->active()) canon = canon_storage.get();
+  }
 
   SharedExplore shared;
   ExploreResult total;
@@ -438,7 +688,7 @@ ExploreResult Explorer::run_parallel(std::size_t threads) {
   {
     World initial(config_);
     for (auto& obj : objects_) obj->init(initial);
-    frontier.push_back(Node{std::move(initial), {}, 0});
+    frontier.push_back(Node{std::move(initial), {}, 0, {}});
   }
 
   const std::size_t split_target = threads * 4;
@@ -460,9 +710,27 @@ ExploreResult Explorer::run_parallel(std::size_t threads) {
     }
     if (options_.merge_states) {
       std::vector<std::int64_t> key;
-      node.world.encode(key);
+      bool renamed = false;
+      encode_world_key(node.world, canon, por, sleep_mask_of(node.sleep),
+                       key, renamed);
       if (!shared.visited.insert(std::move(key))) {
         ++total.merged;
+        if (renamed) ++total.symmetry_merged;
+        continue;
+      }
+    }
+    if (por && options_.merge_states && !node.world.all_done()) {
+      // Sleep-mask subsumption, against the same table the walkers share.
+      // Runs before the state count so a covered revisit is a prune, not a
+      // state (terminals are exempt; see Walker::dfs).
+      std::vector<std::int64_t> key;
+      bool renamed = false;
+      encode_world_key(node.world, canon, /*por=*/true,
+                       sleep_mask_of(node.sleep), key, renamed);
+      const auto permuted = static_cast<std::uint64_t>(key.back());
+      key.pop_back();
+      if (shared.sleep_seen.covered(key, permuted)) {
+        ++total.por_pruned;
         continue;
       }
     }
@@ -481,7 +749,8 @@ ExploreResult Explorer::run_parallel(std::size_t threads) {
     }
 
     // advance()/reached() on every runnable thread.
-    auto emit = [&](World&& w, std::vector<ScheduleStep>&& sched) {
+    auto emit = [&](World&& w, std::vector<ScheduleStep>&& sched,
+                    SleepSet&& child_sleep) {
       if (!w.violated() && auditor_ != nullptr) {
         if (auto why = auditor_->check_invariant(w)) {
           w.report_violation("invariant: " + *why);
@@ -493,24 +762,33 @@ ExploreResult Explorer::run_parallel(std::size_t threads) {
         if (options_.stop_on_first_violation) stop_all = true;
         return;
       }
-      frontier.push_back(Node{std::move(w), std::move(sched), node.depth + 1});
+      frontier.push_back(Node{std::move(w), std::move(sched), node.depth + 1,
+                              std::move(child_sleep)});
     };
 
+    SleepSet cur = node.sleep;
     for (std::size_t i = 0; i < node.world.threads().size() && !stop_all;
          ++i) {
       const ThreadCtx& t = node.world.threads()[i];
       if (t.done(config_.programs[t.program].calls.size())) continue;
+      if (por && is_sleeping(node.sleep, i)) {
+        ++total.por_pruned;
+        continue;
+      }
       const Call& call = config_.programs[t.program].calls[t.call_idx];
       const SimObject& object = *objects_[call.object];
       ++total.transitions;
 
       World next = node.world;
+      next.begin_step();
       ThreadCtx& nt = next.threads()[i];
       StepResult sr = object.step(next, nt);
 
       if (sr.kind == StepResult::Kind::kChoice) {
+        bool all_pure = true;
         for (std::int32_t c = 0; c < sr.nchoices && !stop_all; ++c) {
           World branch = node.world;
+          branch.begin_step();
           ThreadCtx& bt = branch.threads()[i];
           bt.choice = c;
           StepResult inner = object.step(branch, bt);
@@ -525,9 +803,16 @@ ExploreResult Explorer::run_parallel(std::size_t threads) {
               branch.report_violation("guarantee: " + *why);
             }
           }
+          const StepFootprint fp = branch.footprint();
+          all_pure = all_pure && fp.pure();
           std::vector<ScheduleStep> sched = node.schedule;
           sched.push_back(ScheduleStep{t.tid, c});
-          emit(std::move(branch), std::move(sched));
+          emit(std::move(branch), std::move(sched),
+               por ? inherit_sleep(cur, fp) : SleepSet{});
+        }
+        if (por && all_pure) {
+          cur.push_back(SleepEntry{
+              i, StepFootprint{StepFootprint::Kind::kLocal, kNull, false}});
         }
       } else {
         if (auditor_ != nullptr && !next.violated()) {
@@ -536,9 +821,12 @@ ExploreResult Explorer::run_parallel(std::size_t threads) {
             next.report_violation("guarantee: " + *why);
           }
         }
+        const StepFootprint fp = next.footprint();
         std::vector<ScheduleStep> sched = node.schedule;
         sched.push_back(ScheduleStep{t.tid, -1});
-        emit(std::move(next), std::move(sched));
+        emit(std::move(next), std::move(sched),
+             por ? inherit_sleep(cur, fp) : SleepSet{});
+        if (por && fp.pure()) cur.push_back(SleepEntry{i, fp});
       }
     }
   }
@@ -550,15 +838,16 @@ ExploreResult Explorer::run_parallel(std::size_t threads) {
     walkers.reserve(frontier.size());
     for (std::size_t i = 0; i < frontier.size(); ++i) {
       walkers.push_back(std::make_unique<Walker>(
-          config_, objects_, options_, auditor_, shared, i,
+          config_, objects_, options_, auditor_, canon, por, shared, i,
           std::move(frontier[i].schedule)));
     }
     {
       par::TaskPool pool(threads);
       for (std::size_t i = 0; i < walkers.size(); ++i) {
         pool.submit([w = walkers[i].get(), world = std::move(frontier[i].world),
-                     depth = frontier[i].depth]() mutable {
-          w->run(std::move(world), depth);
+                     depth = frontier[i].depth,
+                     sleep = std::move(frontier[i].sleep)]() mutable {
+          w->run(std::move(world), depth, std::move(sleep));
         });
       }
       pool.wait_idle();
@@ -570,6 +859,8 @@ ExploreResult Explorer::run_parallel(std::size_t threads) {
       total.states += r.states;
       total.transitions += r.transitions;
       total.merged += r.merged;
+      total.por_pruned += r.por_pruned;
+      total.symmetry_merged += r.symmetry_merged;
       total.terminals += r.terminals;
       if (r.max_depth > total.max_depth) total.max_depth = r.max_depth;
       total.events |= r.events;
@@ -614,19 +905,19 @@ std::string ScheduleViolation::to_string() const {
 
 World Explorer::replay(const std::vector<ScheduleStep>& schedule,
                        bool record) {
-  WorldConfig cfg = config_;
+  // The returned World keeps a pointer to its config, so the
+  // recording-enabled copy must outlive it. One owned copy is kept per
+  // replay call (never reused): a second replay() must not destroy the
+  // config a previously returned World still references.
+  const WorldConfig* cfg = &config_;
   if (record) {
-    cfg.record_history = true;
-    cfg.record_trace = true;
+    auto owned = std::make_unique<WorldConfig>(config_);
+    owned->record_history = true;
+    owned->record_trace = true;
+    replay_configs_.push_back(std::move(owned));
+    cfg = replay_configs_.back().get();
   }
-  // The replay world references `cfg` locally, so rebuild against the
-  // original config after initialization: World stores a pointer to its
-  // config, which must outlive it. Use the member config with overridden
-  // recording only when identical lifetimes are guaranteed — simplest is
-  // to replay against the original config when no recording override is
-  // needed.
-  World world(record ? replay_config_.emplace(std::move(cfg))
-                     : config_);
+  World world(*cfg);
   for (auto& obj : objects_) obj->init(world);
 
   for (const ScheduleStep& step : schedule) {
@@ -642,6 +933,7 @@ World Explorer::replay(const std::vector<ScheduleStep>& schedule,
       break;
     }
     const Call& call = config_.programs[ctx->program].calls[ctx->call_idx];
+    world.begin_step();
     ctx->choice = step.choice;
     StepResult sr = objects_[call.object]->step(world, *ctx);
     ctx->choice = -1;

@@ -77,6 +77,20 @@ struct ExploreOptions {
   const CaSpec* check_spec = nullptr;
   /// Window size for the post-pass streaming checks.
   std::size_t check_window = 16;
+  /// Dynamic partial-order reduction: sleep sets over the Env layer's
+  /// per-step footprints prune interleavings that only commute pure yield
+  /// operations (disjoint cells, or both loads). Sound for verdicts,
+  /// events, and terminal histories — every invoke/respond/append step is
+  /// dependent with everything, so each pruned interleaving has an
+  /// explored representative with the identical history (DESIGN.md).
+  /// Forced off while a TransitionAuditor is attached: the auditor must
+  /// observe every transition, including the pruned ones.
+  bool por = false;
+  /// Thread-symmetry canonicalization: worlds that differ only by a
+  /// renaming of identically-programmed threads merge in the visited set
+  /// (WorldCanon in sched/world.hpp; requires its value discipline, else
+  /// it deactivates itself). Also forced off under an auditor.
+  bool symmetry = false;
 };
 
 /// One step of a recorded schedule: which thread acted, and the value of
@@ -103,6 +117,13 @@ struct ExploreResult {
   std::size_t merged = 0;       ///< prunes due to visited-set hits
   std::size_t terminals = 0;    ///< terminal states reached
   std::size_t max_depth = 0;
+  /// Expansions skipped by POR (ExploreOptions::por): the thread was in
+  /// the node's sleep set, or the child was covered by a smaller
+  /// already-explored sleep mask for the same state (subsumption).
+  std::size_t por_pruned = 0;
+  /// Visited-set hits whose key came from a non-identity thread renaming
+  /// (ExploreOptions::symmetry): merges classic dedup would have missed.
+  std::size_t symmetry_merged = 0;
   bool exhausted = false;
   /// OR of World::events() over every reached state (reachability beacons).
   std::uint64_t events = 0;
@@ -154,9 +175,11 @@ class Explorer {
   std::vector<std::unique_ptr<SimObject>> objects_;
   ExploreOptions options_;
   const TransitionAuditor* auditor_ = nullptr;
-  /// Storage for replay()'s recording-enabled config copy (worlds keep a
-  /// pointer to their config, so it must outlive the returned World).
-  std::optional<WorldConfig> replay_config_;
+  /// Storage for replay()'s recording-enabled config copies (worlds keep a
+  /// pointer to their config, so each must outlive its returned World —
+  /// one owned copy per replay call, never destroyed while the Explorer
+  /// lives, so earlier replays' worlds stay valid).
+  std::vector<std::unique_ptr<WorldConfig>> replay_configs_;
 };
 
 }  // namespace cal::sched

@@ -14,6 +14,15 @@ std::string describe(const std::vector<std::int64_t>& xs) {
   for (std::int64_t x : xs) out += std::to_string(x) + " ";
   return out;
 }
+
+/// Heap-segment index of the acting thread (segments are owned by thread
+/// index, not tid — tids are free-form labels).
+int owner_index(const World& world, ThreadId actor) {
+  for (const ThreadCtx& t : world.threads()) {
+    if (t.tid == actor) return static_cast<int>(t.program);
+  }
+  return -1;
+}
 }  // namespace
 
 std::optional<std::string> ExchangerRgAuditor::check_transition(
@@ -37,7 +46,7 @@ std::optional<std::string> ExchangerRgAuditor::check_transition(
     const Word b = pm.read(a);
     const Word c = qm.read(a);
     if (b == c) continue;
-    const bool local_fresh = pm.owner(a) == static_cast<int>(actor) &&
+    const bool local_fresh = pm.owner(a) == owner_index(pre, actor) &&
                              b == kNull && a != g && a != published_hole;
     if (!local_fresh) shared.push_back(Change{a, b, c});
   }

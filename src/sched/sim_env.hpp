@@ -88,19 +88,24 @@ class SimEnv {
 
   Word load(Word block, Word off) {
     if (Word logged = 0; replay(logged)) return logged;
-    return commit(world_.read(addr(block, off)));
+    const Addr a = addr(block, off);
+    world_.note_yield(StepFootprint::Kind::kLoad, a);
+    return commit(world_.read(a));
   }
 
   void store(Word block, Word off, Word v) {
     if (Word logged = 0; replay(logged)) return;
-    world_.write(addr(block, off), v);
+    const Addr a = addr(block, off);
+    world_.note_yield(StepFootprint::Kind::kStore, a);
+    world_.write(a, v);
     commit(0);
   }
 
   bool cas(Word block, Word off, Word expected, Word desired) {
     if (Word logged = 0; replay(logged)) return logged != 0;
-    return commit(world_.cas(addr(block, off), expected, desired) ? 1 : 0) !=
-           0;
+    const Addr a = addr(block, off);
+    world_.note_yield(StepFootprint::Kind::kUpdate, a);
+    return commit(world_.cas(a, expected, desired) ? 1 : 0) != 0;
   }
 
   Word choose(Word n) {
@@ -108,6 +113,7 @@ class SimEnv {
     if (t_.choice < 0) throw ChoiceRequest{static_cast<std::int32_t>(n)};
     const Word c = t_.choice;
     t_.choice = -1;
+    world_.note_yield(StepFootprint::Kind::kLocal, kNull);
     return commit(c);
   }
 

@@ -87,6 +87,27 @@ class SimMemory {
 
   [[nodiscard]] std::size_t size() const noexcept { return cells_.size(); }
 
+  // --- geometry accessors for the symmetry canonicalizer (world.cpp) ---
+  [[nodiscard]] Addr heaps_base() const noexcept { return heaps_base_; }
+  [[nodiscard]] std::size_t heap_cells() const noexcept { return heap_cells_; }
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return heap_next_.size();
+  }
+  /// First address of thread t's heap segment.
+  [[nodiscard]] Addr segment_base(std::size_t t) const noexcept {
+    return heaps_base_ + static_cast<Addr>(t * heap_cells_);
+  }
+  /// Allocation cursor of thread t's segment.
+  [[nodiscard]] std::size_t heap_next(std::size_t t) const noexcept {
+    return heap_next_[t];
+  }
+  /// Cells allocated so far in the globals region.
+  [[nodiscard]] std::size_t globals_used() const noexcept {
+    return globals_next_;
+  }
+  /// Raw cell value, null included (canonicalizer traversal only).
+  [[nodiscard]] Word cell(Addr a) const noexcept { return cells_[a]; }
+
   /// Flattens the full memory state (cells + allocation cursors) for the
   /// explorer's visited-set hashing.
   void encode(std::vector<std::int64_t>& out) const {

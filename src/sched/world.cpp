@@ -1,5 +1,7 @@
 #include "sched/world.hpp"
 
+#include <algorithm>
+
 namespace cal::sched {
 
 World::World(const WorldConfig& config)
@@ -16,6 +18,7 @@ World::World(const WorldConfig& config)
 }
 
 void World::invoke(ThreadCtx& t) {
+  note_global_effect();
   const ThreadProgram& prog = config_->programs[t.program];
   const Call& call = prog.calls[t.call_idx];
   if (t.op_active) {
@@ -31,6 +34,7 @@ void World::invoke(ThreadCtx& t) {
 }
 
 void World::respond(ThreadCtx& t, Value ret) {
+  note_global_effect();
   const ThreadProgram& prog = config_->programs[t.program];
   const Call& call = prog.calls[t.call_idx];
   if (!t.op_active) {
@@ -95,6 +99,7 @@ std::optional<std::string> World::mark_logged(const Operation& op) {
 }
 
 void World::append_element(const CaElement& element) {
+  note_global_effect();
   if (config_->record_trace) trace_.append(element);
 
   // Apply the composed view 𝔽 to obtain interface-level elements.
@@ -136,7 +141,10 @@ void World::append_element(const CaElement& element) {
   }
 }
 
-void World::truncate(ThreadCtx& t) { t.truncated = true; }
+void World::truncate(ThreadCtx& t) {
+  note_global_effect();
+  t.truncated = true;
+}
 
 bool World::all_done() const noexcept {
   for (const ThreadCtx& t : threads_) {
@@ -164,6 +172,216 @@ void World::encode(std::vector<std::int64_t>& out) const {
   out.push_back(static_cast<std::int64_t>(view_state_.size()));
   out.insert(out.end(), view_state_.begin(), view_state_.end());
   out.push_back(static_cast<std::int64_t>(events_));
+}
+
+// --- WorldCanon -----------------------------------------------------------
+
+namespace {
+
+bool same_program(const ThreadProgram& a, const ThreadProgram& b) {
+  if (a.calls.size() != b.calls.size()) return false;
+  for (std::size_t k = 0; k < a.calls.size(); ++k) {
+    if (a.calls[k].object != b.calls[k].object ||
+        a.calls[k].method != b.calls[k].method ||
+        a.calls[k].arg != b.calls[k].arg) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Word-token tags of the canonical encoding. Every emitted word is a
+// (tag, payload...) group, so equal encodings decode to worlds equal up
+// to the applied renaming — the rewriting is injective.
+constexpr std::int64_t kTagRaw = 0;
+constexpr std::int64_t kTagRef = 1;  ///< interchangeable-segment address
+constexpr std::int64_t kTagTid = 2;  ///< interchangeable thread's tid
+
+}  // namespace
+
+WorldCanon::WorldCanon(const WorldConfig& config) {
+  threads_ = config.programs.size();
+  heap_cells_ = config.heap_cells;
+  heaps_base_ = static_cast<Addr>(1 + config.global_cells);
+  mem_size_ = 1 + config.global_cells + threads_ * heap_cells_;
+
+  // Classes: threads with identical call sequences, in index order.
+  class_of_.assign(threads_, -1);
+  for (std::size_t i = 0; i < threads_; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      if (same_program(config.programs[i], config.programs[j])) {
+        class_of_[i] = class_of_[j];
+        break;
+      }
+    }
+    if (class_of_[i] < 0) {
+      class_of_[i] = static_cast<int>(class_members_.size());
+      class_members_.emplace_back();
+    }
+    class_members_[static_cast<std::size_t>(class_of_[i])].push_back(i);
+  }
+
+  interchangeable_.assign(threads_, false);
+  bool any_multi = false;
+  for (const auto& members : class_members_) {
+    if (members.size() < 2) continue;
+    any_multi = true;
+    for (std::size_t i : members) interchangeable_[i] = true;
+  }
+  if (!any_multi) return;
+
+  // Value discipline. Tids of interchangeable threads must not alias
+  // addresses or small counters; no program argument may alias those tids
+  // or an interchangeable heap segment (else word classification, and so
+  // the renaming, would be ambiguous).
+  for (std::size_t i = 0; i < threads_; ++i) {
+    if (!interchangeable_[i]) continue;
+    const Word tid = static_cast<Word>(config.programs[i].tid);
+    if (tid >= 0 && tid < static_cast<Word>(mem_size_)) return;
+    tid_to_thread_.emplace_back(tid, i);
+  }
+  const auto is_interchangeable_ref = [this](Word v) {
+    if (v < static_cast<Word>(heaps_base_) ||
+        v >= static_cast<Word>(mem_size_)) {
+      return false;
+    }
+    const std::size_t t =
+        (static_cast<std::size_t>(v) - heaps_base_) / heap_cells_;
+    return bool{interchangeable_[t]};
+  };
+  for (const ThreadProgram& p : config.programs) {
+    for (const Call& call : p.calls) {
+      if (call.arg.kind() == Value::Kind::kUnit) continue;
+      if (call.arg.kind() != Value::Kind::kInt) return;  // conservative
+      const Word v = call.arg.as_int();
+      if (is_interchangeable_ref(v)) return;
+      for (const auto& [tid, idx] : tid_to_thread_) {
+        if (v == tid) return;
+      }
+    }
+  }
+  active_ = true;
+}
+
+void WorldCanon::emit_word(Word w, bool abstract, std::size_t self,
+                           const std::vector<std::size_t>& new_index,
+                           std::vector<std::int64_t>& out) const {
+  if (w >= static_cast<Word>(heaps_base_) &&
+      w < static_cast<Word>(mem_size_)) {
+    const std::size_t t =
+        (static_cast<std::size_t>(w) - heaps_base_) / heap_cells_;
+    if (interchangeable_[t]) {
+      const Word off = w - static_cast<Word>(heaps_base_ +
+                                             t * heap_cells_);
+      out.push_back(kTagRef);
+      // For the sort key the target's identity is abstracted to its class
+      // (plus a self bit); ties between references to distinct siblings
+      // only cost merges (under-approximation), never soundness.
+      out.push_back(abstract ? static_cast<std::int64_t>(class_of_[t])
+                             : static_cast<std::int64_t>(new_index[t]));
+      if (abstract) out.push_back(t == self ? 1 : 0);
+      out.push_back(off);
+      return;
+    }
+  }
+  for (const auto& [tid, t] : tid_to_thread_) {
+    if (w == tid) {
+      out.push_back(kTagTid);
+      out.push_back(abstract ? static_cast<std::int64_t>(class_of_[t])
+                             : static_cast<std::int64_t>(new_index[t]));
+      if (abstract) out.push_back(t == self ? 1 : 0);
+      return;
+    }
+  }
+  out.push_back(kTagRaw);
+  out.push_back(w);
+}
+
+void WorldCanon::emit_thread(const World& world, std::size_t i,
+                             bool abstract,
+                             const std::vector<std::size_t>& new_index,
+                             std::vector<std::int64_t>& out) const {
+  const ThreadCtx& t = world.threads()[i];
+  const SimMemory& mem = world.memory();
+  // Structural counters are emitted raw (they are never addresses or
+  // tids); registers, oplog entries, and heap cells hold arbitrary words
+  // and go through the token rewriter.
+  out.push_back(static_cast<std::int64_t>(t.call_idx));
+  out.push_back(t.pc);
+  for (Word r : t.regs) emit_word(r, abstract, i, new_index, out);
+  out.push_back(t.choice);
+  out.push_back((t.op_active ? 1 : 0) | (t.op_logged ? 2 : 0) |
+                (t.truncated ? 4 : 0) |
+                (static_cast<std::int64_t>(t.stage) << 3));
+  out.push_back(static_cast<std::int64_t>(t.op_logged_ret.hash()));
+  out.push_back(static_cast<std::int64_t>(t.oplog.size()));
+  for (Word w : t.oplog) emit_word(w, abstract, i, new_index, out);
+  out.push_back(static_cast<std::int64_t>(t.emits));
+  out.push_back(static_cast<std::int64_t>(t.retries));
+  out.push_back(static_cast<std::int64_t>(mem.heap_next(i)));
+  const Addr base = mem.segment_base(i);
+  for (std::size_t c = 0; c < heap_cells_; ++c) {
+    emit_word(mem.cell(base + static_cast<Addr>(c)), abstract, i, new_index,
+              out);
+  }
+}
+
+void WorldCanon::encode(const World& world, std::uint64_t sleep_mask,
+                        std::vector<std::int64_t>& out,
+                        bool& renamed) const {
+  renamed = false;
+  if (!active_) {
+    world.encode(out);
+    out.push_back(static_cast<std::int64_t>(sleep_mask));
+    return;
+  }
+
+  // Pick the permutation: within each multi-member class, order members
+  // by their abstracted (renaming-invariant) state. The permutation maps
+  // class members onto the class's own slots; unique threads stay put.
+  static const std::vector<std::size_t> kNoIndex;
+  std::vector<std::size_t> order(threads_);
+  for (std::size_t i = 0; i < threads_; ++i) order[i] = i;
+  std::vector<std::vector<std::int64_t>> keys(threads_);
+  for (const auto& members : class_members_) {
+    if (members.size() < 2) continue;
+    for (std::size_t i : members) {
+      emit_thread(world, i, /*abstract=*/true, kNoIndex, keys[i]);
+    }
+    std::vector<std::size_t> sorted = members;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [&keys](std::size_t a, std::size_t b) {
+                       return keys[a] < keys[b];
+                     });
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      order[members[k]] = sorted[k];  // slot members[k] holds sorted[k]
+    }
+  }
+  std::vector<std::size_t> new_index(threads_);
+  for (std::size_t slot = 0; slot < threads_; ++slot) {
+    new_index[order[slot]] = slot;
+    if (order[slot] != slot) renamed = true;
+  }
+
+  // Emit the renamed world: globals, threads in permuted order, view
+  // state, events, and the permuted sleep mask.
+  const SimMemory& mem = world.memory();
+  out.push_back(static_cast<std::int64_t>(mem.globals_used()));
+  for (Addr a = 1; a < heaps_base_; ++a) {
+    emit_word(mem.cell(a), /*abstract=*/false, threads_, new_index, out);
+  }
+  for (std::size_t slot = 0; slot < threads_; ++slot) {
+    emit_thread(world, order[slot], /*abstract=*/false, new_index, out);
+  }
+  const SpecState& view = world.view_state();
+  out.push_back(static_cast<std::int64_t>(view.size()));
+  out.insert(out.end(), view.begin(), view.end());
+  out.push_back(static_cast<std::int64_t>(world.events()));
+  std::uint64_t permuted_sleep = 0;
+  for (std::size_t i = 0; i < threads_ && i < 64; ++i) {
+    if ((sleep_mask >> i) & 1u) permuted_sleep |= (1ull << new_index[i]);
+  }
+  out.push_back(static_cast<std::int64_t>(permuted_sleep));
 }
 
 }  // namespace cal::sched

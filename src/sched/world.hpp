@@ -95,6 +95,49 @@ struct ThreadCtx {
   }
 };
 
+/// Dependence footprint of one scheduler step, recorded by the Env layer
+/// as the step executes. A step is *pure* when its only shared effect is
+/// its single yield operation (load/store/CAS/choose) — no invoke,
+/// respond, CA-element append, truncation, or violation. Two pure steps
+/// commute iff either is a local choice, both are loads, or they touch
+/// different cells; any non-pure step is dependent with everything (its
+/// history action / audit effect is order-sensitive). The explorer's
+/// partial-order reduction (sched/explorer.cpp) builds sleep sets from
+/// these footprints; see DESIGN.md for the soundness argument.
+struct StepFootprint {
+  enum class Kind : std::uint8_t {
+    kNone = 0,  ///< no yield op committed (invoke / respond / truncate step)
+    kLoad,
+    kStore,
+    kUpdate,  ///< CAS, successful or not
+    kLocal,   ///< choose: no shared-memory access
+  };
+  Kind kind = Kind::kNone;
+  Addr addr = kNull;
+  /// Globally visible effect beyond the yield op (invoke, respond,
+  /// append_element, truncate, violation): dependent with every step.
+  bool global = false;
+
+  [[nodiscard]] bool pure() const noexcept {
+    return kind != Kind::kNone && !global;
+  }
+};
+
+/// Commutativity of two pure steps (non-pure steps never commute).
+[[nodiscard]] inline bool footprints_independent(
+    const StepFootprint& a, const StepFootprint& b) noexcept {
+  if (!a.pure() || !b.pure()) return false;
+  if (a.kind == StepFootprint::Kind::kLocal ||
+      b.kind == StepFootprint::Kind::kLocal) {
+    return true;
+  }
+  if (a.kind == StepFootprint::Kind::kLoad &&
+      b.kind == StepFootprint::Kind::kLoad) {
+    return true;
+  }
+  return a.addr != b.addr;
+}
+
 /// Immutable per-exploration configuration shared by all world copies.
 struct WorldConfig {
   std::vector<ThreadProgram> programs;
@@ -125,7 +168,11 @@ class World {
     return mem_.cas(a, expect, desired);
   }
   Addr alloc(const ThreadCtx& t, std::size_t n) {
-    return mem_.alloc(t.tid, n);
+    // Heap segments are owned by thread *index* (== program index), not
+    // tid: tids are free-form labels and may be large (the symmetry
+    // canonicalizer's value discipline picks them outside the address
+    // range).
+    return mem_.alloc(static_cast<std::uint32_t>(t.program), n);
   }
   Addr alloc_global(std::size_t n) { return mem_.alloc_global(n); }
 
@@ -155,7 +202,22 @@ class World {
     return violation_;
   }
   void report_violation(std::string what) {
+    footprint_.global = true;
     if (!violation_) violation_ = std::move(what);
+  }
+
+  // --- step-footprint recording (partial-order reduction) ---
+  /// Clears the footprint; the explorer calls this before every step.
+  void begin_step() noexcept { footprint_ = {}; }
+  /// Records the step's single fresh yield operation (SimEnv commit path).
+  void note_yield(StepFootprint::Kind kind, Addr a) noexcept {
+    footprint_.kind = kind;
+    footprint_.addr = a;
+  }
+  /// Marks the step dependent with every other step.
+  void note_global_effect() noexcept { footprint_.global = true; }
+  [[nodiscard]] const StepFootprint& footprint() const noexcept {
+    return footprint_;
   }
 
   [[nodiscard]] bool all_done() const noexcept;
@@ -174,6 +236,10 @@ class World {
   /// The view image of the raw trace accumulated so far (L3's input).
   [[nodiscard]] const CaTrace& viewed_trace() const noexcept {
     return viewed_trace_;
+  }
+  /// The online replay's abstract state (for the canonical encoder).
+  [[nodiscard]] const SpecState& view_state() const noexcept {
+    return view_state_;
   }
 
   /// Canonical state encoding for the visited set (excludes history/trace).
@@ -195,10 +261,61 @@ class World {
   std::vector<ThreadCtx> threads_;
   SpecState view_state_;
   std::uint64_t events_ = 0;
+  StepFootprint footprint_;  ///< transient per-step metadata, not encoded
   std::optional<std::string> violation_;
   History history_;
   CaTrace trace_;
   CaTrace viewed_trace_;
+};
+
+/// Thread-symmetry canonicalizer. Threads running identical programs
+/// (same object / method / argument sequence) are interchangeable: the
+/// world obtained by permuting their tids, heap segments, and every word
+/// referring to either is reachable iff the original is. encode() picks a
+/// canonical representative of that orbit — per-thread state is rewritten
+/// into renaming-invariant tokens (segment references become (new thread
+/// slot, offset) pairs, tid literals become thread-slot tokens), the
+/// interchangeable threads are sorted by their abstracted state, and the
+/// permuted world is encoded — so symmetric worlds hash identically and
+/// the visited set merges them.
+///
+/// Value discipline (checked at construction; violations deactivate the
+/// canonicalizer, falling back to the identity encoding, so soundness
+/// never depends on the caller): interchangeable threads' tids must lie
+/// outside [0, memory size) so tid literals in cells and oplogs are
+/// distinguishable from addresses and counters, and no program argument
+/// may collide with those tids or with an interchangeable heap segment.
+class WorldCanon {
+ public:
+  explicit WorldCanon(const WorldConfig& config);
+
+  /// At least one class has ≥ 2 members and the value discipline holds.
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+  /// Canonical encoding of `world` (plus the permuted `sleep_mask`, bit i
+  /// = thread index i is asleep). `renamed` reports a non-identity
+  /// permutation. Falls back to World::encode when inactive.
+  void encode(const World& world, std::uint64_t sleep_mask,
+              std::vector<std::int64_t>& out, bool& renamed) const;
+
+ private:
+  void emit_thread(const World& world, std::size_t i, bool abstract,
+                   const std::vector<std::size_t>& new_index,
+                   std::vector<std::int64_t>& out) const;
+  void emit_word(Word w, bool abstract, std::size_t self,
+                 const std::vector<std::size_t>& new_index,
+                 std::vector<std::int64_t>& out) const;
+
+  std::size_t threads_ = 0;
+  std::size_t heap_cells_ = 0;
+  Addr heaps_base_ = 0;
+  std::size_t mem_size_ = 0;
+  std::vector<int> class_of_;          ///< -1 = unique thread
+  std::vector<bool> interchangeable_;  ///< member of a multi-member class
+  /// tid value → thread index, for interchangeable threads only.
+  std::vector<std::pair<Word, std::size_t>> tid_to_thread_;
+  std::vector<std::vector<std::size_t>> class_members_;
+  bool active_ = false;
 };
 
 /// Outcome of one machine step.

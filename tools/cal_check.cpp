@@ -19,6 +19,9 @@
 //   --exact-visited   dedup visited search nodes by full stored keys
 //                     instead of 128-bit fingerprints (CalCheckOptions::
 //                     exact_visited): more memory, zero false-prune risk
+//   --symmetry        merge search states that differ only in which of a
+//                     set of spec-interchangeable operations fired
+//                     (CalCheckOptions::symmetry); verdict unchanged
 //   --follow          streaming mode: consume actions line-by-line (stdin
 //                     or one FILE, e.g. a live tail) through the
 //                     incremental checker, deciding window-by-window with
@@ -70,6 +73,7 @@ struct Options {
   std::size_t jobs = 1;     // files checked concurrently (0 = #cores)
   std::size_t threads = 1;  // CalCheckOptions::threads per check
   bool exact_visited = false;  // CalCheckOptions::exact_visited
+  bool symmetry = false;       // CalCheckOptions::symmetry
   bool follow = false;         // streaming incremental mode
   std::size_t window = 16;     // IncrementalOptions::window
 };
@@ -79,7 +83,7 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s --spec KIND:OBJ[:METHOD] [--checker cal|lin|set-lin]\n"
       "          [--quiet] [--jobs N] [--threads N] [--exact-visited]\n"
-      "          [--follow [--window N]] [FILE...]\n"
+      "          [--symmetry] [--follow [--window N]] [FILE...]\n"
       "spec kinds: exchanger sync-queue snapshot stack central-stack queue "
       "register\n",
       argv0);
@@ -152,15 +156,19 @@ CheckOutcome check_text(const Options& opt, const SpecBundle& spec,
     CalCheckOptions copts;
     copts.threads = opt.threads;
     copts.exact_visited = opt.exact_visited;
+    copts.symmetry = opt.symmetry;
     CalChecker checker(*spec.ca, copts);
     CalCheckResult r = checker.check(history);
-    const std::string stats =
+    std::string stats =
         std::to_string(r.visited_states) + " states, " +
         std::to_string(r.visited_bytes) + " visited bytes, " +
         std::to_string(r.step_cache_hits) + "/" +
         std::to_string(r.step_cache_hits + r.step_cache_misses) +
         " step-cache hits, " + std::to_string(r.pruned_subsets) +
         " pruned subsets";
+    if (opt.symmetry) {
+      stats += ", " + std::to_string(r.symmetry_merged) + " symmetry merges";
+    }
     if (r.ok) {
       if (!opt.quiet) {
         o.out = "ACCEPT: CA-linearizable (" + stats + ")\nwitness:\n" +
@@ -373,6 +381,8 @@ int main(int argc, char** argv) {
       opt.threads = parse_count("--threads", argv[++i]);
     } else if (arg == "--exact-visited") {
       opt.exact_visited = true;
+    } else if (arg == "--symmetry") {
+      opt.symmetry = true;
     } else if (arg == "--follow") {
       opt.follow = true;
     } else if (arg == "--window" && i + 1 < argc) {
