@@ -244,4 +244,3 @@ BENCHMARK(BM_CalChecker_RejectsCorrupted)
 
 }  // namespace
 
-BENCHMARK_MAIN();

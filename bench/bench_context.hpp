@@ -1,0 +1,21 @@
+// Stamps the build type of the measured code into the benchmark JSON
+// context. google-benchmark's own "library_build_type" field reports
+// whether the *benchmark library* was compiled with NDEBUG — for a
+// distro-packaged libbenchmark (Debian builds -O2 without -DNDEBUG) it
+// is pinned to "debug" regardless of this repo's flags, so the scripts
+// guard on "cal_build_type" instead (bench/run_benches.sh, CI).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+namespace calbench {
+
+inline void add_build_type_context() {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("cal_build_type", "release");
+#else
+  benchmark::AddCustomContext("cal_build_type", "debug");
+#endif
+}
+
+}  // namespace calbench

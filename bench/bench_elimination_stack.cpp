@@ -186,4 +186,3 @@ BENCHMARK(BM_EliminationStack_WidthAblation)
 
 }  // namespace
 
-BENCHMARK_MAIN();

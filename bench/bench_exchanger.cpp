@@ -123,4 +123,3 @@ BENCHMARK(BM_ExchangerInstrumented)->Threads(2)->Threads(4)->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();

@@ -7,6 +7,8 @@
 // admits the undesired prefix H3' (a partner-less successful exchange).
 #include <benchmark/benchmark.h>
 
+#include "bench_context.hpp"
+
 #include <cstdio>
 
 #include "cal/agree.hpp"
@@ -128,6 +130,7 @@ BENCHMARK(BM_Fig3_AgreeWitness);
 int main(int argc, char** argv) {
   print_verdict_table();
   benchmark::Initialize(&argc, argv);
+  calbench::add_build_type_context();
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

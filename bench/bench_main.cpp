@@ -1,0 +1,15 @@
+// Shared main for the bench binaries (every cal_bench target without
+// NOMAIN): identical to BENCHMARK_MAIN() plus the cal_build_type
+// context stamp — see bench_context.hpp for why the stamp exists.
+#include <benchmark/benchmark.h>
+
+#include "bench_context.hpp"
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  calbench::add_build_type_context();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -455,4 +455,3 @@ BENCHMARK(BM_Env_StepOverhead_Direct);
 
 }  // namespace
 
-BENCHMARK_MAIN();

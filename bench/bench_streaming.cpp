@@ -144,4 +144,3 @@ BENCHMARK(BM_Streaming_WindowSize)->Arg(4)->Arg(16)->Arg(64)->Arg(512);
 
 }  // namespace
 
-BENCHMARK_MAIN();

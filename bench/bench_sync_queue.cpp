@@ -129,4 +129,3 @@ BENCHMARK(BM_SyncQueue_SpinBudget)
 
 }  // namespace
 
-BENCHMARK_MAIN();

@@ -7,16 +7,29 @@
 #   * T-STREAM — streaming incremental checker vs batch (bench_streaming)
 #     → BENCH_streaming.json
 #   * T-ENV — RealEnv abstraction cost vs the direct-atomic twin
-#     (bench_model_check, BM_Env_StepOverhead_*) → BENCH_env_unification.json;
-#     build with CMAKE_BUILD_TYPE=Release, the ≤5% claim is about optimized
-#     code where the env wrappers inline away
+#     (bench_model_check, BM_Env_StepOverhead_*) → BENCH_env_unification.json
 #   * T-POR — partial-order + thread-symmetry reduction: the explorer
 #     {por,symmetry} grid and the checker symmetry overlap-width series
 #     (bench_model_check, BM_Explore_Reduction + BM_CalChecker_OverlapWidth
 #     _Sym/_Reject_Sym) → BENCH_por.json
+#   * T-PQ — polynomial order checker vs the enumerative engine on
+#     priority-queue staircase/overlap widths (bench_pq) → BENCH_pq.json
+#
+# Benches are built (and, when missing, configured) in a dedicated Release
+# tree: every checked-in number must come from optimized code, and each
+# run is verified against the cal_build_type context stamp (see
+# bench/bench_context.hpp) — the script fails if a binary reports
+# anything but "release", which is how debug numbers once slipped into
+# BENCH_por.json. (google-benchmark's own library_build_type field
+# reflects the NDEBUG state of the *benchmark library* — a distro
+# libbenchmark package pins it to "debug" regardless of this repo's
+# flags, so it cannot guard the measured code.)
 #
 # Environment overrides:
-#   BUILD_DIR      build tree containing the bench binaries (default: build)
+#   BUILD_DIR      build tree containing the bench binaries (default:
+#                  build-bench, configured with CMAKE_BUILD_TYPE=Release;
+#                  if you point this at another tree, its binaries must
+#                  still report a release build)
 #   REPS           benchmark repetitions per series; the JSON keeps only the
 #                  mean/median/stddev aggregates (default: 5)
 #   FILTER         state-compression benchmark name regex (default: the
@@ -35,10 +48,15 @@
 #                  overlap-width series)
 #   POR_OUT        reduction output JSON path (default: BENCH_por.json in
 #                  the repo root)
+#   PQ_FILTER      priority-queue benchmark name regex (default:
+#                  BM_PqChecker — the order-path widths, both reject
+#                  series, and the engine baseline)
+#   PQ_OUT         priority-queue output JSON path (default: BENCH_pq.json
+#                  in the repo root)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD_DIR="${BUILD_DIR:-$ROOT/build}"
+BUILD_DIR="${BUILD_DIR:-$ROOT/build-bench}"
 REPS="${REPS:-5}"
 FILTER="${FILTER:-BM_CalChecker_OverlapWidth}"
 OUT="${OUT:-$ROOT/BENCH_state_compression.json}"
@@ -48,11 +66,37 @@ ENV_FILTER="${ENV_FILTER:-BM_Env_StepOverhead}"
 ENV_OUT="${ENV_OUT:-$ROOT/BENCH_env_unification.json}"
 POR_FILTER="${POR_FILTER:-BM_Explore_Reduction|BM_CalChecker_OverlapWidth_Sym|BM_CalChecker_OverlapWidth_Reject_Sym}"
 POR_OUT="${POR_OUT:-$ROOT/BENCH_por.json}"
+PQ_FILTER="${PQ_FILTER:-BM_PqChecker}"
+PQ_OUT="${PQ_OUT:-$ROOT/BENCH_pq.json}"
+
+BENCH_TARGETS=(bench_checker_scaling bench_streaming bench_model_check bench_pq)
+
+ensure_built() {
+  if [[ ! -f "$BUILD_DIR/CMakeCache.txt" ]]; then
+    cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+  fi
+  cmake --build "$BUILD_DIR" -j --target "${BENCH_TARGETS[@]}"
+}
+
+# Refuses the series unless the binary was compiled optimized: a
+# debug-built bench writes "cal_build_type": "debug" into its JSON
+# context (bench/bench_context.hpp), and such numbers must never be
+# checked in.
+check_release() {
+  local out="$1"
+  local type
+  type="$(sed -n 's/.*"cal_build_type": *"\([^"]*\)".*/\1/p' "$out" | head -1)"
+  if [[ "$type" != "release" ]]; then
+    echo "error: $out reports cal_build_type=\"${type:-missing}\" (want \"release\");" >&2
+    echo "       rebuild the benches with CMAKE_BUILD_TYPE=Release" >&2
+    exit 1
+  fi
+}
 
 run_series() {
   local bin="$1" filter="$2" out="$3"
   if [[ ! -x "$bin" ]]; then
-    echo "error: $bin not built (cmake -B \"$BUILD_DIR\" -S \"$ROOT\" && cmake --build \"$BUILD_DIR\" -j)" >&2
+    echo "error: $bin not built (cmake -B \"$BUILD_DIR\" -S \"$ROOT\" -DCMAKE_BUILD_TYPE=Release && cmake --build \"$BUILD_DIR\" -j)" >&2
     exit 1
   fi
   "$bin" \
@@ -61,10 +105,13 @@ run_series() {
     --benchmark_report_aggregates_only=true \
     --benchmark_out_format=json \
     --benchmark_out="$out"
+  check_release "$out"
   echo "wrote $out"
 }
 
+ensure_built
 run_series "$BUILD_DIR/bench/bench_checker_scaling" "$FILTER" "$OUT"
 run_series "$BUILD_DIR/bench/bench_streaming" "$STREAM_FILTER" "$STREAM_OUT"
 run_series "$BUILD_DIR/bench/bench_model_check" "$ENV_FILTER" "$ENV_OUT"
 run_series "$BUILD_DIR/bench/bench_model_check" "$POR_FILTER" "$POR_OUT"
+run_series "$BUILD_DIR/bench/bench_pq" "$PQ_FILTER" "$PQ_OUT"

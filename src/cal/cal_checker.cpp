@@ -48,6 +48,18 @@ CalCheckResult collect_result(Driver& driver,
 }  // namespace
 
 CalCheckResult CalChecker::check(const std::vector<OpRecord>& ops) const {
+  if (options_.order_check) {
+    if (auto oc = spec_.order_check(ops, options_.complete_pending)) {
+      CalCheckResult result;
+      result.ok = oc->ok;
+      result.witness = std::move(oc->witness);
+      result.order_checked = true;
+      result.order_values = oc->values;
+      result.order_zones = oc->zones;
+      result.order_bumps = oc->bumps;
+      return result;
+    }
+  }
   engine::SearchOptions sopts;
   sopts.max_visited = options_.max_visited;
   sopts.exact_visited = options_.exact_visited;

@@ -58,6 +58,12 @@ struct CalCheckOptions {
   /// interchangeable operations (e.g. an exchanger history where w threads
   /// all fail: 2^w fired-subsets collapse to w+1 counts).
   bool symmetry = false;
+  /// Consult CaSpec::order_check before the engine. Specs with a
+  /// polynomial membership characterization (the priority queue) decide
+  /// the history without any state search; a declined order check falls
+  /// back to the engine. Disable to force the engine (cal_check
+  /// --no-order-check, differential tests).
+  bool order_check = true;
 };
 
 struct CalCheckResult {
@@ -84,6 +90,15 @@ struct CalCheckResult {
   /// fired symmetry group — an upper bound on the merges classic dedup
   /// would have missed.
   std::size_t symmetry_merged = 0;
+  /// True when the verdict came from CaSpec::order_check; the engine never
+  /// ran and the engine counters above are all zero.
+  bool order_checked = false;
+  /// Order-check effort counters (see OrderCheckOutcome): per-priority
+  /// value segments examined, forced-presence zones built, candidate
+  /// points bumped past a zone.
+  std::size_t order_values = 0;
+  std::size_t order_zones = 0;
+  std::size_t order_bumps = 0;
 
   explicit operator bool() const noexcept { return ok; }
 };

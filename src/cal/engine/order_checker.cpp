@@ -1,0 +1,202 @@
+#include "cal/engine/order_checker.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace cal::engine {
+
+namespace {
+
+/// A point on the action-index line refined by an epsilon coordinate:
+/// base + eps·ε for an infinitesimal ε. Realizes "strictly inside an
+/// (inv, res) interval" and "just before a resolution point" without real
+/// arithmetic; compared lexicographically.
+struct Pt {
+  std::int64_t base = 0;
+  std::int64_t eps = 0;
+
+  friend constexpr auto operator<=>(const Pt&, const Pt&) = default;
+};
+
+constexpr Pt kInfPt{std::numeric_limits<std::int64_t>::max(),
+                    std::numeric_limits<std::int64_t>::max()};
+
+/// Per-value segment: the (unique) insert and the matched removal, if any.
+struct Segment {
+  const OpRecord* ins = nullptr;
+  const OpRecord* rm = nullptr;
+};
+
+/// Disjoint, non-touching forced-presence zones [start, end) keyed by
+/// start. Merging on insert keeps resolution a single lookup + bump.
+class ZoneMap {
+ public:
+  void add(Pt s, Pt e, std::size_t& zones_built) {
+    if (!(s < e)) return;  // the insert point dodges everything
+    ++zones_built;
+    // Absorb every zone overlapping or touching [s, e).
+    auto it = zones_.upper_bound(s);
+    if (it != zones_.begin() && std::prev(it)->second >= s) --it;
+    while (it != zones_.end() && it->first <= e) {
+      s = std::min(s, it->first);
+      e = std::max(e, it->second);
+      it = zones_.erase(it);
+    }
+    zones_.emplace(s, e);
+  }
+
+  /// Earliest point >= c outside every zone (zones are merged and
+  /// non-touching, so one bump past the containing zone's end suffices).
+  [[nodiscard]] Pt resolve(Pt c, std::size_t& bumps) const {
+    auto it = zones_.upper_bound(c);
+    if (it != zones_.begin()) {
+      const auto& prev = *std::prev(it);
+      if (prev.second > c) {
+        ++bumps;
+        return prev.second;
+      }
+    }
+    return c;
+  }
+
+ private:
+  std::map<Pt, Pt> zones_;
+};
+
+/// One witness event: a completed singleton, ordered by resolution point.
+/// Inserts sort before removals at an equal point, empty removals after
+/// both; removal ties break in ascending value order (legal: the smaller
+/// value is the minimum when removed first).
+struct Event {
+  Pt key;
+  int rank = 0;
+  std::int64_t val = 0;
+  Operation op;
+};
+
+}  // namespace
+
+std::optional<OrderCheckOutcome> order_check_priority_queue(
+    const std::vector<OpRecord>& ops, const OrderCheckRequest& req) {
+  OrderCheckOutcome out;
+  auto reject = [&out]() -> std::optional<OrderCheckOutcome> {
+    out.ok = false;
+    out.witness.reset();
+    return out;
+  };
+
+  // --- classify the operations into per-value segments -------------------
+  std::map<std::int64_t, Segment> segments;  // ascending priority order
+  std::vector<const OpRecord*> removals;
+  std::vector<const OpRecord*> empties;
+  for (const OpRecord& r : ops) {
+    if (r.op.object != req.object) {
+      // A completed operation of another object can never fire under this
+      // spec; a pending one is droppable.
+      if (!r.op.is_pending()) return reject();
+      continue;
+    }
+    if (r.op.method == req.insert_method) {
+      if (r.op.arg.kind() != Value::Kind::kInt) {
+        if (r.op.is_pending()) continue;  // droppable
+        return reject();                  // unfireable completed insert
+      }
+      if (!r.op.is_pending() && (r.op.ret->kind() != Value::Kind::kBool ||
+                                 !r.op.ret->as_bool())) {
+        return reject();  // insert only ever returns true
+      }
+      if (r.op.is_pending() && !req.complete_pending) continue;  // dropped
+      Segment& seg = segments[r.op.arg.as_int()];
+      if (seg.ins != nullptr) return std::nullopt;  // duplicate value
+      seg.ins = &r;
+    } else if (r.op.method == req.delete_method) {
+      if (r.op.is_pending()) {
+        if (!req.complete_pending) continue;  // dropped
+        // Completing a pending removal means choosing its return value — a
+        // genuine search; decline to the engine.
+        return std::nullopt;
+      }
+      if (r.op.ret->kind() != Value::Kind::kPair) return reject();
+      if (!r.op.ret->pair_ok()) {
+        if (r.op.ret->pair_int() != 0) return reject();
+        empties.push_back(&r);
+      } else {
+        removals.push_back(&r);
+      }
+    } else {
+      if (!r.op.is_pending()) return reject();  // unknown completed method
+    }
+  }
+
+  // --- match removals to their inserts ------------------------------------
+  for (const OpRecord* rm : removals) {
+    auto it = segments.find(rm->op.ret->pair_int());
+    if (it == segments.end() || it->second.ins == nullptr) {
+      return reject();  // removed a value never inserted
+    }
+    if (it->second.rm != nullptr) return reject();  // removed twice
+    it->second.rm = rm;
+  }
+
+  // --- resolve removal points in ascending priority order -----------------
+  ZoneMap zones;
+  std::vector<Event> events;
+  events.reserve(ops.size());
+  auto res_pt = [](const OpRecord* r) {
+    return r->res_index ? Pt{static_cast<std::int64_t>(*r->res_index), 0}
+                        : kInfPt;
+  };
+  for (const auto& [v, seg] : segments) {
+    ++out.values;
+    if (seg.rm == nullptr) {
+      if (seg.ins->res_index) {
+        // Never removed: unavoidably present from its response on.
+        zones.add(res_pt(seg.ins), kInfPt, out.zones);
+        events.push_back(
+            Event{res_pt(seg.ins), /*rank=*/0, v, seg.ins->op});
+      }
+      // A pending unmatched insert is simply dropped (firing it could
+      // only obstruct other removals).
+      continue;
+    }
+    const auto lo = static_cast<std::int64_t>(
+        std::max(seg.ins->inv_index, seg.rm->inv_index));
+    const Pt r = zones.resolve(Pt{lo, 1}, out.bumps);
+    if (r >= res_pt(seg.rm)) return reject();  // no admissible point left
+    zones.add(res_pt(seg.ins), r, out.zones);
+    Operation ins_done = seg.ins->op;
+    ins_done.ret = Value::boolean(true);  // completes a fired pending insert
+    events.push_back(Event{std::min(res_pt(seg.ins), r), /*rank=*/0, v,
+                           std::move(ins_done)});
+    events.push_back(Event{r, /*rank=*/1, v, seg.rm->op});
+  }
+
+  // --- empty removals: a zone-free point inside the interval --------------
+  for (const OpRecord* e : empties) {
+    const Pt r =
+        zones.resolve(Pt{static_cast<std::int64_t>(e->inv_index), 1},
+                      out.bumps);
+    if (r >= res_pt(e)) return reject();  // something is always present
+    events.push_back(Event{r, /*rank=*/2,
+                           static_cast<std::int64_t>(e->inv_index), e->op});
+  }
+
+  // --- witness: singletons in resolution order ----------------------------
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    return std::tie(a.key, a.rank, a.val) < std::tie(b.key, b.rank, b.val);
+  });
+  CaTrace witness;
+  for (Event& e : events) {
+    witness.append(CaElement::singleton(req.object, std::move(e.op)));
+  }
+  out.ok = true;
+  out.witness = std::move(witness);
+  return out;
+}
+
+}  // namespace cal::engine

@@ -1,0 +1,71 @@
+// The non-enumerative priority-queue membership checker.
+//
+// Bouajjani–Enea–Wang show that linearizability of priority-queue
+// histories reduces to per-value ordering constraints decidable in
+// polynomial time — no permutation search. This module implements that
+// reduction for the repo's bucket priority queue
+// (insert(v) ▷ true / deleteMin ▷ (true,min) | (false,0), the inserted
+// value being the priority, smaller = higher), on the fragment where every
+// inserted value is distinct; instances outside the fragment *decline*
+// (return nullopt) and the caller falls back to the engine search, so the
+// composed verdict is always the engine's.
+//
+// The characterization (distinct values; removals first matched to their
+// inserts):
+//
+//   * The insert point of a value u can always be pushed to just before
+//     min(res(ins u), r_u) — dodging every earlier constraint — so the
+//     only interval during which u is *unavoidably* present is the
+//     "forced zone" [res(ins u), r_u) (empty when the removal resolves
+//     before the insert's response; [res(ins u), ∞) for a value never
+//     removed).
+//   * deleteMin ▷ (true,v) must resolve at a point r_v inside its own and
+//     its insert's intervals that avoids the forced zones of every value
+//     smaller than v (a smaller present value would be the minimum).
+//   * deleteMin ▷ (false,0) must resolve at a point inside its interval
+//     avoiding the zones of *all* values.
+//
+// Processing values in ascending priority order and greedily resolving
+// each removal at the earliest admissible point is complete: shrinking r_u
+// only shrinks u's zone [res(ins u), r_u), so the greedy choice weakly
+// dominates any other assignment (a standard exchange argument). Zones
+// are kept in a merged interval map, making each resolution a logarithmic
+// lookup plus at most one bump past a merged zone — O(n log n) overall.
+// Points live on the action-index line refined by an epsilon coordinate
+// (Pt = base + eps·ε), which realizes "just before / just after" without
+// touching real arithmetic.
+//
+// On acceptance the checker also builds the witness trace the engine would
+// have produced — singleton elements sorted by resolution point (inserts
+// before removals at equal points, ties in ascending value order) — so
+// cal_check can print it and the tests can replay it through the spec.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cal/history.hpp"
+#include "cal/spec.hpp"
+#include "cal/symbol.hpp"
+
+namespace cal::engine {
+
+struct OrderCheckRequest {
+  Symbol object;
+  Symbol insert_method;
+  Symbol delete_method;
+  /// Mirrors CalCheckOptions::complete_pending: when true, pending inserts
+  /// may be fired to match a completed removal (a pending deleteMin then
+  /// declines — completing one is a genuine search); when false every
+  /// pending invocation is dropped.
+  bool complete_pending = true;
+};
+
+/// Decides CAL membership of `ops` (a well-formed history's operation
+/// records) against the priority-queue specification. Returns nullopt to
+/// decline to the engine: duplicate inserted values, or a pending
+/// deleteMin under complete_pending.
+[[nodiscard]] std::optional<OrderCheckOutcome> order_check_priority_queue(
+    const std::vector<OpRecord>& ops, const OrderCheckRequest& req);
+
+}  // namespace cal::engine

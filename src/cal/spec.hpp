@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cal/ca_trace.hpp"
+#include "cal/history.hpp"
 #include "cal/operation.hpp"
 #include "cal/symbol.hpp"
 
@@ -51,6 +52,24 @@ using SpecState = std::vector<std::int64_t>;
 struct CaStepResult {
   SpecState next;
   CaElement element;
+};
+
+/// Verdict of a spec's non-enumerative membership decision
+/// (CaSpec::order_check): a definitive accept/reject computed from
+/// order-theoretic constraints instead of the engine's state search.
+struct OrderCheckOutcome {
+  bool ok = false;
+  /// On acceptance: a witness trace T ∈ 𝒯 with H^c ⊑CAL T, like the
+  /// engine's.
+  std::optional<CaTrace> witness;
+  /// Effort counters, mirroring the engine's visited/pruned style:
+  /// per-priority value segments examined, forced-presence zones built,
+  /// and candidate points bumped past a zone.
+  std::size_t values = 0;
+  std::size_t zones = 0;
+  std::size_t bumps = 0;
+
+  explicit operator bool() const noexcept { return ok; }
 };
 
 /// A concurrency-aware specification: which CA-elements may occur, in which
@@ -105,6 +124,22 @@ class CaSpec {
     (void)op;
     return 0;
   }
+
+  /// Non-enumerative membership decision hook. A spec that admits a
+  /// polynomial order-theoretic characterization of CAL membership (e.g.
+  /// the priority queue's per-priority ordering constraints) may decide
+  /// the whole history here, bypassing the engine search. Returning an
+  /// outcome is a *definitive* verdict and must equal the engine's on the
+  /// same operations under the same `complete_pending`; returning nullopt
+  /// declines (instance outside the characterization's fragment) and the
+  /// checker falls back to the engine. The default declines everything.
+  /// DESIGN.md § "Order-checked specs" states the soundness obligations.
+  [[nodiscard]] virtual std::optional<OrderCheckOutcome> order_check(
+      const std::vector<OpRecord>& ops, bool complete_pending) const {
+    (void)ops;
+    (void)complete_pending;
+    return std::nullopt;
+  }
 };
 
 /// One possible outcome of a sequential-spec transition.
@@ -134,8 +169,10 @@ class SequentialSpec {
 /// Adapter: view a sequential specification as a CA-spec whose elements are
 /// all singletons. A history is classically linearizable w.r.t. S iff it is
 /// CAL w.r.t. SeqAsCaSpec(S) — the formal sense in which CAL generalizes
-/// linearizability (§3).
-class SeqAsCaSpec final : public CaSpec {
+/// linearizability (§3). Subclassable so sequential specs with extra
+/// checker capabilities (symmetry classes, order_check) can layer them on
+/// (cal/specs/priority_queue_spec.hpp).
+class SeqAsCaSpec : public CaSpec {
  public:
   explicit SeqAsCaSpec(std::shared_ptr<const SequentialSpec> seq)
       : seq_(std::move(seq)) {}

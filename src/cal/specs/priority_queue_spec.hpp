@@ -1,0 +1,61 @@
+// Sequential priority-queue specification and its order-checked CA view.
+//
+// The bucket priority queue in src/objects is classically linearizable, so
+// its histories must pass both LinChecker(PriorityQueueSpec) and the CAL
+// checker. The inserted value doubles as the priority, smaller = higher:
+//
+//   insert(v)  ▷ true            — always succeeds
+//   deleteMin  ▷ (true, min)     — nonempty (min = smallest stored value)
+//   deleteMin  ▷ (false, 0)      — empty
+//
+// PriorityQueueCaSpec layers the checker capabilities on top of the
+// SeqAsCaSpec view: symmetry classes (identical completed operations are
+// interchangeable in a tid-agnostic sequential spec) and — the reason this
+// spec exists — the polynomial order_check fast path implemented in
+// cal/engine/order_checker.hpp, which decides membership without the
+// engine's state search whenever all inserted values are distinct.
+#pragma once
+
+#include <memory>
+
+#include "cal/spec.hpp"
+
+namespace cal {
+
+class PriorityQueueSpec final : public SequentialSpec {
+ public:
+  explicit PriorityQueueSpec(Symbol object) : object_(object) {}
+
+  [[nodiscard]] SpecState initial() const override { return {}; }
+  [[nodiscard]] std::vector<SeqStepResult> step(
+      const SpecState& state, ThreadId tid, Symbol object, Symbol method,
+      const Value& arg, const std::optional<Value>& ret) const override;
+
+ private:
+  Symbol object_;  // state is the stored multiset, kept ascending
+};
+
+/// SeqAsCaSpec(PriorityQueueSpec) plus the order_check fast path and
+/// symmetry classes. CalChecker consults order_check first and only falls
+/// back to the engine when it declines (duplicate inserted values, pending
+/// deleteMin under complete_pending).
+class PriorityQueueCaSpec final : public SeqAsCaSpec {
+ public:
+  explicit PriorityQueueCaSpec(Symbol object)
+      : SeqAsCaSpec(std::make_shared<PriorityQueueSpec>(object)),
+        object_(object) {}
+
+  /// The sequential spec never inspects tids, so completed operations with
+  /// equal method/argument/return are fully interchangeable.
+  [[nodiscard]] std::uint64_t symmetry_class(
+      Symbol object, const Operation& op) const override;
+
+  [[nodiscard]] std::optional<OrderCheckOutcome> order_check(
+      const std::vector<OpRecord>& ops,
+      bool complete_pending) const override;
+
+ private:
+  Symbol object_;
+};
+
+}  // namespace cal

@@ -1,0 +1,149 @@
+// A lock-free bounded-priority concurrent priority queue: an array of
+// Treiber-stack buckets (one per priority; the inserted value IS the
+// priority, smaller = higher) plus a global element counter, written once
+// as Env-parameterized attempt bodies like the other six cores.
+//
+//   insert(v):    bump the counter, then push a node onto bucket v.
+//   deleteMin():  read the counter; 0 means the queue is empty *at that
+//                 read* (the counter over-approximates the physically
+//                 present nodes: it is incremented before the push and
+//                 decremented after the pop, so counter == 0 implies every
+//                 logged insert has been matched by a logged removal).
+//                 Otherwise scan the buckets in ascending priority order
+//                 and pop the first non-empty one.
+//
+// Unlike the stacks and queues, a successful deleteMin has no fixed
+// linearization point: a smaller value may be published into an
+// already-scanned bucket before the pop CAS, in which case the operation
+// linearizes *earlier* (at a moment when the scanned prefix really was
+// empty), which only a whole-history argument can place. The emits below
+// therefore record the *physical* resolution order — a raw 𝒯, not always a
+// legal spec sequence — and the membership verdict comes from the
+// history-level checkers (the engine search, or the polynomial order
+// checker of cal/engine/order_checker.hpp). This is exactly the
+// future-dependent-linearization-point shape that motivates the
+// spec-specialized checker; DESIGN.md § "Order-checked specs" discusses it.
+//
+// One *attempt* = one pass: insert retries (returns false) only when the
+// counter CAS loses; once the counter is bumped the push loop runs to
+// completion inside the attempt (abandoning between the two would leak a
+// count). deleteMin retries when a bucket pop CAS loses or when counted
+// elements are still in flight (counter > 0 but every bucket scanned
+// empty).
+#pragma once
+
+#include <cstdint>
+
+#include "cal/ca_trace.hpp"
+#include "cal/value.hpp"
+#include "objects/env.hpp"
+
+namespace cal::objects::core {
+
+// Bucket-node layout: [0] data (the priority), [1] next.
+inline constexpr Word kPqNodeData = 0;
+inline constexpr Word kPqNodeNext = 1;
+inline constexpr Word kPqNodeCells = 2;
+
+/// Shared cells: the element counter and the base of the `buckets`
+/// contiguous bucket-top cells (tops + v is the top of bucket v).
+struct PqRefs {
+  Word count = kNullRef;
+  Word tops = kNullRef;
+};
+
+struct PqPc {
+  enum : std::int32_t {
+    kStart = 0,
+    kInsertReturn = 1,
+    kDeleteEmptyReturn = 2,
+    kDeleteReturn = 3,
+  };
+};
+
+enum class PqDelete : std::uint8_t {
+  kGot,    ///< removed the minimum of some bucket
+  kEmpty,  ///< observed counter == 0 (logged as deleteMin ▷ (false,0))
+  kRetry,  ///< lost a pop CAS, or counted elements not yet published
+};
+
+struct PqDeleteOutcome {
+  PqDelete kind = PqDelete::kRetry;
+  Word value = 0;
+};
+
+/// One insert attempt. The caller guarantees 0 <= v < buckets. Returns
+/// false (retry, no effect) only when the counter CAS loses; after the
+/// counter is bumped the push runs to completion — each lost push CAS
+/// implies another operation's publish or pop succeeded, so the loop
+/// terminates in every finite schedule.
+template <class Env>
+bool pq_insert_attempt(Env& env, const PqRefs& q, Symbol name, ThreadId tid,
+                       Word v) {
+  static const Symbol kInsert{"insert"};
+  const Word c = env.load(q.count, 0);
+  if (!env.cas(q.count, 0, c, c + 1)) return false;
+  const Word node = env.alloc(kPqNodeCells);
+  env.store_private(node, kPqNodeData, v);
+  for (;;) {
+    const Word top = env.load(q.tops, v);
+    env.store_private(node, kPqNodeNext, top);
+    if (env.cas(q.tops, v, top, node)) {
+      // The publish CAS is the insert's linearization point.
+      env.emit([&] {
+        return CaElement::singleton(
+            name, Operation::make(tid, name, kInsert, Value::integer(v),
+                                  Value::boolean(true)));
+      });
+      env.label(PqPc::kInsertReturn);
+      return true;
+    }
+  }
+}
+
+/// One deleteMin attempt over `buckets` buckets. A published node's data
+/// and next cells are immutable, so reading them is not an interference
+/// point. The success emit is fused with the pop CAS (the physical
+/// resolution point — see the header comment); the counter settles after.
+template <class Env>
+PqDeleteOutcome pq_delete_min_attempt(Env& env, const PqRefs& q, Word buckets,
+                                      Symbol name, ThreadId tid) {
+  static const Symbol kDeleteMin{"deleteMin"};
+  const Word c = env.load(q.count, 0);
+  if (c == 0) {
+    // Empty linearizes at the counter read: count == 0 proves no element
+    // was logically present at that instant.
+    env.emit([&] {
+      return CaElement::singleton(
+          name, Operation::make(tid, name, kDeleteMin, Value::unit(),
+                                Value::pair(false, 0)));
+    });
+    env.label(PqPc::kDeleteEmptyReturn);
+    return {PqDelete::kEmpty, 0};
+  }
+  for (Word p = 0; p < buckets; ++p) {
+    const Word h = env.load(q.tops, p);
+    if (h == kNullRef) continue;
+    const Word next = env.load_frozen(h, kPqNodeNext);
+    if (!env.cas(q.tops, p, h, next)) return {PqDelete::kRetry, 0};
+    const Word v = env.load_frozen(h, kPqNodeData);
+    env.retire(h, kPqNodeCells);
+    env.emit([&] {
+      return CaElement::singleton(
+          name, Operation::make(tid, name, kDeleteMin, Value::unit(),
+                                Value::pair(true, v)));
+    });
+    // Settle the counter (decrement-after-pop keeps count >= present).
+    for (;;) {
+      const Word k = env.load(q.count, 0);
+      if (env.cas(q.count, 0, k, k - 1)) break;
+    }
+    env.label(PqPc::kDeleteReturn);
+    return {PqDelete::kGot, v};
+  }
+  // count > 0 but every bucket empty: some insert holds a count but has
+  // not published yet — retry.
+  return {PqDelete::kRetry, 0};
+}
+
+}  // namespace cal::objects::core

@@ -1,0 +1,51 @@
+#include "objects/priority_queue.hpp"
+
+namespace cal::objects {
+
+BucketPriorityQueue::BucketPriorityQueue(runtime::EpochDomain& ebr,
+                                         Symbol name, std::size_t buckets,
+                                         runtime::TraceLog* trace)
+    : ebr_(ebr),
+      name_(name),
+      trace_(trace),
+      buckets_(buckets),
+      cells_(new std::atomic<Word>[buckets + 1]()) {
+  refs_.count = RealEnv::ref(cells_.get());
+  refs_.tops = RealEnv::ref(cells_.get() + 1);
+}
+
+BucketPriorityQueue::~BucketPriorityQueue() {
+  for (std::size_t p = 0; p < buckets_; ++p) {
+    Word c = cells_[p + 1].load(std::memory_order_acquire);
+    while (c != kNullRef) {
+      const Word next =
+          RealEnv::cell(c, core::kPqNodeNext)->load(std::memory_order_relaxed);
+      delete[] RealEnv::cell(c, 0);
+      c = next;
+    }
+  }
+}
+
+bool BucketPriorityQueue::insert(runtime::ThreadId tid, std::int64_t v) {
+  if (v < 0 || static_cast<std::size_t>(v) >= buckets_) return false;
+  runtime::EpochDomain::Guard guard(ebr_, tid);
+  RealEnv env(&ebr_, tid, trace_);
+  while (!core::pq_insert_attempt(env, refs_, name_, tid, v)) {
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+PopResult BucketPriorityQueue::delete_min(runtime::ThreadId tid) {
+  runtime::EpochDomain::Guard guard(ebr_, tid);
+  RealEnv env(&ebr_, tid, trace_);
+  for (;;) {
+    const core::PqDeleteOutcome r = core::pq_delete_min_attempt(
+        env, refs_, static_cast<Word>(buckets_), name_, tid);
+    if (r.kind == core::PqDelete::kGot) return {true, r.value};
+    if (r.kind == core::PqDelete::kEmpty) return {false, 0};
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace cal::objects

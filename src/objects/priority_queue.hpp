@@ -1,0 +1,60 @@
+// The bounded-priority bucket priority queue on the real runtime: the
+// Env-parameterized attempts of objects/core/pq_core.hpp instantiated with
+// RealEnv (std::atomic cells + EBR reclamation + TraceLog routing), with
+// the unbounded retry loops the wrappers own.
+//
+// Priorities are the inserted values themselves, restricted to
+// [0, buckets); smaller value = higher priority (deleteMin returns the
+// smallest present value). insert(v) with an out-of-range v returns false
+// without touching the structure (and without logging — the interface
+// specification has no such operation).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "cal/symbol.hpp"
+#include "objects/core/pq_core.hpp"
+#include "objects/real_env.hpp"
+#include "objects/treiber_stack.hpp"  // PopResult
+#include "runtime/ebr.hpp"
+#include "runtime/trace_log.hpp"
+
+namespace cal::objects {
+
+class BucketPriorityQueue {
+ public:
+  BucketPriorityQueue(runtime::EpochDomain& ebr, Symbol name,
+                      std::size_t buckets, runtime::TraceLog* trace = nullptr);
+  ~BucketPriorityQueue();
+
+  BucketPriorityQueue(const BucketPriorityQueue&) = delete;
+  BucketPriorityQueue& operator=(const BucketPriorityQueue&) = delete;
+
+  /// Inserts v (also its priority). False iff v is outside [0, buckets).
+  bool insert(runtime::ThreadId tid, std::int64_t v);
+
+  /// Removes and returns the smallest present value; (false,0) = empty.
+  PopResult delete_min(runtime::ThreadId tid);
+
+  /// True iff no element is logically present at this instant.
+  [[nodiscard]] bool empty() const noexcept {
+    return cells_[0].load(std::memory_order_acquire) == 0;
+  }
+
+  [[nodiscard]] Symbol name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t buckets() const noexcept { return buckets_; }
+
+ private:
+  runtime::EpochDomain& ebr_;
+  Symbol name_;
+  runtime::TraceLog* trace_;
+  std::size_t buckets_;
+  /// [0] the element counter, [1..buckets] the bucket tops.
+  std::unique_ptr<std::atomic<Word>[]> cells_;
+  core::PqRefs refs_;
+};
+
+}  // namespace cal::objects

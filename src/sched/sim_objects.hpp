@@ -18,6 +18,7 @@
 #include "objects/core/elim_stack_core.hpp"
 #include "objects/core/exchanger_core.hpp"
 #include "objects/core/ms_queue_core.hpp"
+#include "objects/core/pq_core.hpp"
 #include "objects/core/snapshot_core.hpp"
 #include "objects/core/stack_core.hpp"
 #include "objects/core/sync_queue_core.hpp"
@@ -265,6 +266,60 @@ class SimMsQueue final : public EnvSimObject {
  private:
   Symbol name_;
   core::MsQueueRefs refs_;
+};
+
+/// The bucket-array priority queue (objects/core/pq_core.hpp).
+/// Subclassable so the priority-ordering mutants can swap in a broken
+/// deleteMin body over the same cells. Note that a successful deleteMin
+/// has no fixed linearization point (see the core's header comment), so
+/// exhaustive explorations of this object check terminal histories through
+/// ExploreOptions::check_spec rather than the online element-wise replay
+/// (WorldConfig::spec), like the immediate snapshot.
+class SimPriorityQueue : public EnvSimObject {
+ public:
+  SimPriorityQueue(Symbol name, std::size_t buckets,
+                   std::size_t retry_bound = 2)
+      : EnvSimObject(retry_bound), name_(name), buckets_(buckets) {}
+
+  void init(World& world) override {
+    refs_.count = world.alloc_global(1);
+    refs_.tops = world.alloc_global(buckets_);
+  }
+
+  [[nodiscard]] Symbol name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t buckets() const noexcept { return buckets_; }
+
+ protected:
+  [[nodiscard]] Attempt attempt(SimEnv& env, World& world,
+                                ThreadCtx& t) const override {
+    static const Symbol kInsert{"insert"};
+    const Call& call = current_call(world, t);
+    if (call.method == kInsert) {
+      if (core::pq_insert_attempt(env, refs_, name_, t.tid,
+                                  call.arg.as_int())) {
+        return {Status::kDone, Value::boolean(true)};
+      }
+      return {Status::kRetry, Value()};
+    }
+    const core::PqDeleteOutcome r = core::pq_delete_min_attempt(
+        env, refs_, static_cast<SimEnv::Word>(buckets_), name_, t.tid);
+    switch (r.kind) {
+      case core::PqDelete::kGot:
+        return {Status::kDone, Value::pair(true, r.value)};
+      case core::PqDelete::kEmpty:
+        return {Status::kDone, Value::pair(false, 0)};
+      case core::PqDelete::kRetry:
+        break;
+    }
+    return {Status::kRetry, Value()};
+  }
+
+  [[nodiscard]] const core::PqRefs& refs() const noexcept { return refs_; }
+
+ private:
+  Symbol name_;
+  std::size_t buckets_;
+  core::PqRefs refs_;
 };
 
 /// The striped elimination array / rendezvous meeting point, standalone:

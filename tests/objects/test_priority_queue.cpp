@@ -1,0 +1,134 @@
+// Bucket priority queue on the real runtime: sequential semantics,
+// conservation under contention, and recorded histories through the
+// classical checker plus both CAL paths (order fast path and engine).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "cal/cal_checker.hpp"
+#include "cal/lin_checker.hpp"
+#include "cal/specs/priority_queue_spec.hpp"
+#include "objects/priority_queue.hpp"
+#include "runtime/recorder.hpp"
+
+namespace cal::objects {
+namespace {
+
+Value iv(std::int64_t x) { return Value::integer(x); }
+
+TEST(BucketPriorityQueue, SequentialAscendingOrder) {
+  runtime::EpochDomain ebr;
+  BucketPriorityQueue pq(ebr, Symbol{"P"}, /*buckets=*/8);
+  EXPECT_TRUE(pq.empty());
+  EXPECT_TRUE(pq.insert(0, 5));
+  EXPECT_TRUE(pq.insert(0, 1));
+  EXPECT_TRUE(pq.insert(0, 3));
+  EXPECT_FALSE(pq.empty());
+  EXPECT_EQ(pq.delete_min(0), (PopResult{true, 1}));
+  EXPECT_EQ(pq.delete_min(0), (PopResult{true, 3}));
+  EXPECT_EQ(pq.delete_min(0), (PopResult{true, 5}));
+  EXPECT_EQ(pq.delete_min(0), (PopResult{false, 0}));
+  EXPECT_TRUE(pq.empty());
+}
+
+TEST(BucketPriorityQueue, SamePriorityValuesAllCome) {
+  runtime::EpochDomain ebr;
+  BucketPriorityQueue pq(ebr, Symbol{"P"}, 4);
+  EXPECT_TRUE(pq.insert(0, 2));
+  EXPECT_TRUE(pq.insert(0, 2));
+  EXPECT_EQ(pq.delete_min(0), (PopResult{true, 2}));
+  EXPECT_EQ(pq.delete_min(0), (PopResult{true, 2}));
+  EXPECT_EQ(pq.delete_min(0), (PopResult{false, 0}));
+}
+
+TEST(BucketPriorityQueue, RejectsOutOfRangePriorities) {
+  runtime::EpochDomain ebr;
+  BucketPriorityQueue pq(ebr, Symbol{"P"}, 4);
+  EXPECT_FALSE(pq.insert(0, -1));
+  EXPECT_FALSE(pq.insert(0, 4));
+  EXPECT_TRUE(pq.insert(0, 0));
+  EXPECT_TRUE(pq.insert(0, 3));
+  EXPECT_EQ(pq.delete_min(0), (PopResult{true, 0}));
+  EXPECT_EQ(pq.delete_min(0), (PopResult{true, 3}));
+}
+
+TEST(BucketPriorityQueue, ConcurrentConservation) {
+  runtime::EpochDomain ebr;
+  constexpr int kThreads = 8;
+  constexpr int kOps = 300;
+  BucketPriorityQueue pq(ebr, Symbol{"P"}, kThreads * kOps);
+  std::vector<std::vector<std::int64_t>> got(kThreads);
+  {
+    std::vector<std::jthread> ts;
+    for (int i = 0; i < kThreads; ++i) {
+      ts.emplace_back([&, i] {
+        const auto tid = static_cast<runtime::ThreadId>(i);
+        for (int k = 0; k < kOps; ++k) {
+          ASSERT_TRUE(pq.insert(tid, i * kOps + k));  // distinct priorities
+          PopResult r = pq.delete_min(tid);
+          if (r.ok) got[i].push_back(r.value);
+        }
+      });
+    }
+  }
+  std::size_t taken = 0;
+  std::vector<std::int64_t> all;
+  for (auto& v : got) {
+    taken += v.size();
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::unique(all.begin(), all.end()), all.end());
+  std::size_t drained = 0;
+  while (pq.delete_min(0).ok) ++drained;
+  EXPECT_EQ(taken + drained, static_cast<std::size_t>(kThreads * kOps));
+  EXPECT_TRUE(pq.empty());
+}
+
+TEST(BucketPriorityQueue, RecordedHistoryPassesAllCheckers) {
+  runtime::EpochDomain ebr;
+  constexpr int kThreads = 3;
+  constexpr int kOps = 4;
+  BucketPriorityQueue pq(ebr, Symbol{"P"}, kThreads * 16);
+  runtime::Recorder rec(1 << 12);
+  const Symbol ps{"P"};
+  const Symbol ins{"insert"};
+  const Symbol del{"deleteMin"};
+  {
+    std::vector<std::jthread> ts;
+    for (int i = 0; i < kThreads; ++i) {
+      ts.emplace_back([&, i] {
+        const auto tid = static_cast<runtime::ThreadId>(i);
+        for (int k = 0; k < kOps; ++k) {
+          const std::int64_t v = i * 16 + k;  // all distinct: order fragment
+          rec.invoke(tid, ps, ins, iv(v));
+          pq.insert(tid, v);
+          rec.respond(tid, ps, ins, Value::boolean(true));
+          rec.invoke(tid, ps, del);
+          PopResult r = pq.delete_min(tid);
+          rec.respond(tid, ps, del, Value::pair(r.ok, r.value));
+        }
+      });
+    }
+  }
+  History h = rec.snapshot();
+  ASSERT_TRUE(h.complete());
+  PriorityQueueSpec seq(ps);
+  LinChecker lin(seq);
+  EXPECT_TRUE(lin.check(h)) << h.to_string();
+  PriorityQueueCaSpec ca(ps);
+  CalCheckResult order = CalChecker(ca).check(h);
+  EXPECT_TRUE(order.ok) << h.to_string();
+  EXPECT_TRUE(order.order_checked) << "distinct values must take the "
+                                      "polynomial path";
+  CalCheckOptions engine_opts;
+  engine_opts.order_check = false;
+  CalCheckResult engine = CalChecker(ca, engine_opts).check(h);
+  EXPECT_TRUE(engine.ok) << h.to_string();
+  EXPECT_FALSE(engine.order_checked);
+}
+
+}  // namespace
+}  // namespace cal::objects

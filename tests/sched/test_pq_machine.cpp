@@ -1,0 +1,231 @@
+// Exhaustive small-bound exploration of the simulated bucket priority
+// queue. A successful deleteMin has no fixed linearization point (the raw
+// emitted 𝒯 can be spec-illegal even for correct runs — see
+// objects/core/pq_core.hpp), so the concurrent explorations check terminal
+// histories through the ExploreOptions::check_spec post-pass, like the
+// immediate snapshot; the online element-wise replay (WorldConfig::spec)
+// is only sound here for single-threaded programs, which the mutant
+// replay test exploits for a deterministic counterexample schedule.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cal/cal_checker.hpp"
+#include "cal/specs/priority_queue_spec.hpp"
+#include "sched/explorer.hpp"
+#include "sched/sim_objects.hpp"
+
+namespace cal::sched {
+namespace {
+
+Value iv(std::int64_t x) { return Value::integer(x); }
+
+constexpr std::size_t kBuckets = 3;
+
+WorldConfig pq_config() {
+  // Two threads keep the unmerged schedule tree exhaustive yet tractable;
+  // the deleter racing the two inserts still reaches every outcome: empty
+  // (count read before the first insert), the minimum (both published),
+  // and the larger value alone (the scan passes bucket 0 before insert(0)
+  // publishes — the very race that makes deleteMin's linearization point
+  // future-dependent).
+  WorldConfig cfg;
+  ThreadProgram del{0, {Call{0, Symbol{"deleteMin"}, Value::unit()}}};
+  ThreadProgram ins{1,
+                    {Call{0, Symbol{"insert"}, iv(2)},
+                     Call{0, Symbol{"insert"}, iv(0)}}};
+  cfg.programs = {del, ins};
+  cfg.object_names = {Symbol{"P"}};
+  cfg.record_history = true;
+  cfg.record_trace = true;
+  cfg.heap_cells = 16;
+  cfg.global_cells = 1 + kBuckets;  // count + bucket tops
+  return cfg;
+}
+
+/// The priority-ordering mutant: deleteMin scans the buckets from lowest
+/// priority (highest value) downwards over the same cells, so it happily
+/// removes a non-minimal element when a smaller one is published.
+class ReversedScanPq final : public SimPriorityQueue {
+ public:
+  using SimPriorityQueue::SimPriorityQueue;
+
+ protected:
+  [[nodiscard]] Attempt attempt(SimEnv& env, World& world,
+                                ThreadCtx& t) const override {
+    static const Symbol kInsert{"insert"};
+    static const Symbol kDeleteMin{"deleteMin"};
+    if (current_call(world, t).method == kInsert) {
+      return SimPriorityQueue::attempt(env, world, t);
+    }
+    const core::PqRefs& q = refs();
+    const objects::Word c = env.load(q.count, 0);
+    if (c == 0) {
+      env.emit([&] {
+        return CaElement::singleton(
+            name(), Operation::make(t.tid, name(), kDeleteMin,
+                                    Value::unit(), Value::pair(false, 0)));
+      });
+      return {Status::kDone, Value::pair(false, 0)};
+    }
+    for (auto p = static_cast<objects::Word>(buckets()); p-- > 0;) {
+      const objects::Word h = env.load(q.tops, p);
+      if (h == objects::kNullRef) continue;
+      const objects::Word next = env.load_frozen(h, core::kPqNodeNext);
+      if (!env.cas(q.tops, p, h, next)) return {Status::kRetry, Value()};
+      const objects::Word v = env.load_frozen(h, core::kPqNodeData);
+      env.retire(h, core::kPqNodeCells);
+      env.emit([&] {
+        return CaElement::singleton(
+            name(), Operation::make(t.tid, name(), kDeleteMin,
+                                    Value::unit(), Value::pair(true, v)));
+      });
+      for (;;) {
+        const objects::Word k = env.load(q.count, 0);
+        if (env.cas(q.count, 0, k, k - 1)) break;
+      }
+      return {Status::kDone, Value::pair(true, v)};
+    }
+    return {Status::kRetry, Value()};
+  }
+};
+
+TEST(PqMachine, ExhaustiveCalCheckAllVerdictsTrue) {
+  PriorityQueueCaSpec spec(Symbol{"P"});
+  WorldConfig cfg = pq_config();
+  ExploreOptions opts;
+  opts.merge_states = false;
+  opts.collect_terminals = true;
+  opts.por = true;  // sound for terminal histories (DESIGN.md)
+  opts.check_spec = &spec;
+  std::vector<std::unique_ptr<SimObject>> objects;
+  objects.push_back(std::make_unique<SimPriorityQueue>(Symbol{"P"}, kBuckets,
+                                                       /*retry_bound=*/1));
+  Explorer ex(cfg, std::move(objects), opts);
+  ExploreResult r = ex.run();
+  ASSERT_TRUE(r.ok()) << (r.violations.empty()
+                              ? r.check_failures.front()
+                              : r.violations.front().what);
+  ASSERT_EQ(r.history_verdicts.size(), r.histories.size());
+  ASSERT_GT(r.histories.size(), 1u);
+  // All three races are reachable: deleteMin finds the minimum, only the
+  // larger value, or an empty queue.
+  bool saw_min = false;
+  bool saw_larger = false;
+  bool saw_empty = false;
+  for (std::size_t i = 0; i < r.histories.size(); ++i) {
+    EXPECT_TRUE(r.history_verdicts[i]) << r.histories[i].to_string();
+    // The order path and the engine agree on every terminal history.
+    CalCheckResult order = CalChecker(spec).check(r.histories[i]);
+    CalCheckOptions engine_only;
+    engine_only.order_check = false;
+    CalCheckResult engine =
+        CalChecker(spec, engine_only).check(r.histories[i]);
+    EXPECT_TRUE(order.ok) << r.histories[i].to_string();
+    EXPECT_TRUE(engine.ok) << r.histories[i].to_string();
+    for (const OpRecord& rec : r.histories[i].operations()) {
+      if (rec.op.method != Symbol{"deleteMin"} || !rec.op.ret) continue;
+      if (!rec.op.ret->pair_ok()) {
+        saw_empty = true;
+      } else if (rec.op.ret->pair_int() == 0) {
+        saw_min = true;
+      } else if (rec.op.ret->pair_int() == 2) {
+        saw_larger = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_min);
+  EXPECT_TRUE(saw_larger);
+  EXPECT_TRUE(saw_empty);
+}
+
+TEST(PqMachine, MutantCaughtByCalPostPassAndBothCheckers) {
+  PriorityQueueCaSpec spec(Symbol{"P"});
+  WorldConfig cfg = pq_config();
+  ExploreOptions opts;
+  opts.merge_states = false;
+  opts.collect_terminals = true;
+  opts.stop_on_first_violation = false;
+  opts.por = true;
+  opts.check_spec = &spec;
+  std::vector<std::unique_ptr<SimObject>> objects;
+  objects.push_back(std::make_unique<ReversedScanPq>(Symbol{"P"}, kBuckets,
+                                                     /*retry_bound=*/1));
+  Explorer ex(cfg, std::move(objects), opts);
+  ExploreResult r = ex.run();
+  ASSERT_FALSE(r.ok()) << "reversed-scan deleteMin must be caught";
+  ASSERT_FALSE(r.check_failures.empty());
+  // Re-check a failing terminal history through both membership paths:
+  // the engine search and the polynomial order checker reject it alike.
+  bool found_bad = false;
+  for (std::size_t i = 0; i < r.history_verdicts.size(); ++i) {
+    if (r.history_verdicts[i]) continue;
+    found_bad = true;
+    const History& bad = r.histories[i];
+    CalCheckResult order = CalChecker(spec).check(bad);
+    EXPECT_FALSE(order.ok) << bad.to_string();
+    EXPECT_TRUE(order.order_checked) << bad.to_string();
+    CalCheckOptions engine_only;
+    engine_only.order_check = false;
+    EXPECT_FALSE(CalChecker(spec, engine_only).check(bad).ok)
+        << bad.to_string();
+    break;
+  }
+  EXPECT_TRUE(found_bad);
+}
+
+TEST(PqMachine, MutantSequentialWitnessReplays) {
+  // Single-threaded program, so the emitted trace order is the program
+  // order and the online element-wise replay (WorldConfig::spec) is sound:
+  // the mutant returns 2 with 0 present, L3 fires, and the recorded
+  // schedule deterministically reproduces the violation.
+  PriorityQueueCaSpec spec(Symbol{"P"});
+  WorldConfig cfg;
+  ThreadProgram p{0,
+                  {Call{0, Symbol{"insert"}, iv(2)},
+                   Call{0, Symbol{"insert"}, iv(0)},
+                   Call{0, Symbol{"deleteMin"}, Value::unit()}}};
+  cfg.programs = {p};
+  cfg.object_names = {Symbol{"P"}};
+  cfg.spec = &spec;
+  cfg.record_trace = true;
+  cfg.record_history = true;
+  cfg.heap_cells = 16;
+  cfg.global_cells = 1 + kBuckets;
+  std::vector<std::unique_ptr<SimObject>> objects;
+  objects.push_back(std::make_unique<ReversedScanPq>(Symbol{"P"}, kBuckets));
+  Explorer ex(cfg, std::move(objects));
+  ExploreResult r = ex.run();
+  ASSERT_FALSE(r.ok());
+  const ScheduleViolation& v = r.violations.front();
+  ASSERT_FALSE(v.schedule.empty());
+  World world = ex.replay(v.schedule);
+  ASSERT_TRUE(world.violated());
+  EXPECT_EQ(*world.violation(), v.what);
+}
+
+TEST(PqMachine, CorrectObjectSequentialOnlineReplayClean) {
+  // Control for the mutant replay test: the genuine scan passes the same
+  // single-threaded online audit.
+  PriorityQueueCaSpec spec(Symbol{"P"});
+  WorldConfig cfg;
+  ThreadProgram p{0,
+                  {Call{0, Symbol{"insert"}, iv(2)},
+                   Call{0, Symbol{"insert"}, iv(0)},
+                   Call{0, Symbol{"deleteMin"}, Value::unit()}}};
+  cfg.programs = {p};
+  cfg.object_names = {Symbol{"P"}};
+  cfg.spec = &spec;
+  cfg.record_trace = true;
+  cfg.record_history = true;
+  cfg.heap_cells = 16;
+  cfg.global_cells = 1 + kBuckets;
+  std::vector<std::unique_ptr<SimObject>> objects;
+  objects.push_back(std::make_unique<SimPriorityQueue>(Symbol{"P"}, kBuckets));
+  Explorer ex(cfg, std::move(objects));
+  ExploreResult r = ex.run();
+  EXPECT_TRUE(r.ok()) << r.violations.front().what;
+}
+
+}  // namespace
+}  // namespace cal::sched

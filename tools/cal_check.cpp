@@ -22,6 +22,13 @@
 //   --symmetry        merge search states that differ only in which of a
 //                     set of spec-interchangeable operations fired
 //                     (CalCheckOptions::symmetry); verdict unchanged
+//   --no-order-check  force the engine search even when the spec offers a
+//                     polynomial order_check decision (pq). The verdict
+//                     line always names the path that ran: `path=order`
+//                     with its zone/bump counters, or `path=engine` with
+//                     the search counters. --follow always streams through
+//                     the engine (the incremental checker has no order
+//                     path).
 //   --follow          streaming mode: consume actions line-by-line (stdin
 //                     or one FILE, e.g. a live tail) through the
 //                     incremental checker, deciding window-by-window with
@@ -37,6 +44,8 @@
 //   stack:<obj>                  sequential (push always true; pop blocks)
 //   central-stack:<obj>          sequential with spurious CAS failures
 //   queue:<obj>                  sequential FIFO
+//   pq:<obj>                     sequential priority queue (insert/deleteMin)
+//                                with the polynomial order-check fast path
 //   register:<obj>               sequential read/write register
 // Sequential specs work with every checker (wrapped in SeqAsCaSpec for
 // cal/set-lin); CA-specs reject --checker lin.
@@ -55,6 +64,7 @@
 #include "cal/parallel/task_pool.hpp"
 #include "cal/set_lin.hpp"
 #include "cal/specs/exchanger_spec.hpp"
+#include "cal/specs/priority_queue_spec.hpp"
 #include "cal/specs/queue_spec.hpp"
 #include "cal/specs/snapshot_spec.hpp"
 #include "cal/specs/stack_spec.hpp"
@@ -74,6 +84,7 @@ struct Options {
   std::size_t threads = 1;  // CalCheckOptions::threads per check
   bool exact_visited = false;  // CalCheckOptions::exact_visited
   bool symmetry = false;       // CalCheckOptions::symmetry
+  bool order_check = true;     // CalCheckOptions::order_check
   bool follow = false;         // streaming incremental mode
   std::size_t window = 16;     // IncrementalOptions::window
 };
@@ -83,9 +94,10 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s --spec KIND:OBJ[:METHOD] [--checker cal|lin|set-lin]\n"
       "          [--quiet] [--jobs N] [--threads N] [--exact-visited]\n"
-      "          [--symmetry] [--follow [--window N]] [FILE...]\n"
+      "          [--symmetry] [--no-order-check] [--follow [--window N]]\n"
+      "          [FILE...]\n"
       "spec kinds: exchanger sync-queue snapshot stack central-stack queue "
-      "register\n",
+      "pq register\n",
       argv0);
   return 2;
 }
@@ -118,6 +130,10 @@ std::optional<SpecBundle> make_spec(const std::string& desc) {
     b.seq = std::make_shared<CentralStackSpec>(object);
   } else if (kind == "queue") {
     b.seq = std::make_shared<QueueSpec>(object);
+  } else if (kind == "pq") {
+    b.seq = std::make_shared<PriorityQueueSpec>(object);
+    b.ca = std::make_shared<PriorityQueueCaSpec>(object);  // not SeqAsCaSpec:
+    // carries the order_check fast path and symmetry classes
   } else if (kind == "register") {
     b.seq = std::make_shared<RegisterSpec>(object);
   } else {
@@ -157,17 +173,25 @@ CheckOutcome check_text(const Options& opt, const SpecBundle& spec,
     copts.threads = opt.threads;
     copts.exact_visited = opt.exact_visited;
     copts.symmetry = opt.symmetry;
+    copts.order_check = opt.order_check;
     CalChecker checker(*spec.ca, copts);
     CalCheckResult r = checker.check(history);
-    std::string stats =
-        std::to_string(r.visited_states) + " states, " +
-        std::to_string(r.visited_bytes) + " visited bytes, " +
-        std::to_string(r.step_cache_hits) + "/" +
-        std::to_string(r.step_cache_hits + r.step_cache_misses) +
-        " step-cache hits, " + std::to_string(r.pruned_subsets) +
-        " pruned subsets";
-    if (opt.symmetry) {
-      stats += ", " + std::to_string(r.symmetry_merged) + " symmetry merges";
+    std::string stats;
+    if (r.order_checked) {
+      stats = "path=order, " + std::to_string(r.order_values) + " values, " +
+              std::to_string(r.order_zones) + " zones, " +
+              std::to_string(r.order_bumps) + " bumps";
+    } else {
+      stats = "path=engine, " + std::to_string(r.visited_states) +
+              " states, " + std::to_string(r.visited_bytes) +
+              " visited bytes, " + std::to_string(r.step_cache_hits) + "/" +
+              std::to_string(r.step_cache_hits + r.step_cache_misses) +
+              " step-cache hits, " + std::to_string(r.pruned_subsets) +
+              " pruned subsets";
+      if (opt.symmetry) {
+        stats +=
+            ", " + std::to_string(r.symmetry_merged) + " symmetry merges";
+      }
     }
     if (r.ok) {
       if (!opt.quiet) {
@@ -383,6 +407,8 @@ int main(int argc, char** argv) {
       opt.exact_visited = true;
     } else if (arg == "--symmetry") {
       opt.symmetry = true;
+    } else if (arg == "--no-order-check") {
+      opt.order_check = false;
     } else if (arg == "--follow") {
       opt.follow = true;
     } else if (arg == "--window" && i + 1 < argc) {
