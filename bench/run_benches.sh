@@ -14,6 +14,9 @@
 #     _Sym/_Reject_Sym) → BENCH_por.json
 #   * T-PQ — polynomial order checker vs the enumerative engine on
 #     priority-queue staircase/overlap widths (bench_pq) → BENCH_pq.json
+#   * T-WMM — the memory-model axis: annotated vs seq_cst-forced RealEnv
+#     on the exchanger/stack hot paths, and explorer SC-vs-TSO state
+#     counts (bench_weak_memory) → BENCH_weak_memory.json
 #
 # Benches are built (and, when missing, configured) in a dedicated Release
 # tree: every checked-in number must come from optimized code, and each
@@ -53,6 +56,10 @@
 #                  series, and the engine baseline)
 #   PQ_OUT         priority-queue output JSON path (default: BENCH_pq.json
 #                  in the repo root)
+#   WMM_FILTER     weak-memory benchmark name regex (default:
+#                  BM_WeakMemory — runtime hot paths and explorer counts)
+#   WMM_OUT        weak-memory output JSON path (default:
+#                  BENCH_weak_memory.json in the repo root)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -68,8 +75,11 @@ POR_FILTER="${POR_FILTER:-BM_Explore_Reduction|BM_CalChecker_OverlapWidth_Sym|BM
 POR_OUT="${POR_OUT:-$ROOT/BENCH_por.json}"
 PQ_FILTER="${PQ_FILTER:-BM_PqChecker}"
 PQ_OUT="${PQ_OUT:-$ROOT/BENCH_pq.json}"
+WMM_FILTER="${WMM_FILTER:-BM_WeakMemory}"
+WMM_OUT="${WMM_OUT:-$ROOT/BENCH_weak_memory.json}"
 
-BENCH_TARGETS=(bench_checker_scaling bench_streaming bench_model_check bench_pq)
+BENCH_TARGETS=(bench_checker_scaling bench_streaming bench_model_check bench_pq
+  bench_weak_memory)
 
 ensure_built() {
   if [[ ! -f "$BUILD_DIR/CMakeCache.txt" ]]; then
@@ -115,3 +125,4 @@ run_series "$BUILD_DIR/bench/bench_streaming" "$STREAM_FILTER" "$STREAM_OUT"
 run_series "$BUILD_DIR/bench/bench_model_check" "$ENV_FILTER" "$ENV_OUT"
 run_series "$BUILD_DIR/bench/bench_model_check" "$POR_FILTER" "$POR_OUT"
 run_series "$BUILD_DIR/bench/bench_pq" "$PQ_FILTER" "$PQ_OUT"
+run_series "$BUILD_DIR/bench/bench_weak_memory" "$WMM_FILTER" "$WMM_OUT"

@@ -91,13 +91,21 @@ ExchangeOutcome exchange(Env& env, const ExchangerRefs& x, Symbol name,
   env.note(ExchangerReg::kN, n);
   env.note(ExchangerReg::kV, v);
 
-  if (env.cas(x.g, 0, kNullRef, n)) {  // line 15: INIT
+  // INIT publishes the privately initialized offer; acq_rel gives the
+  // release edge the partner's acquire load of g pairs with.
+  if (env.cas(x.g, 0, kNullRef, n, MemOrder::kAcqRel)) {  // line 15: INIT
     env.await(n, kOfferHole, spins);   // line 17
     env.label(ExchangerPc::kPassCas);
-    if (env.cas(n, kOfferHole, kNullRef, x.fail)) {  // line 18: PASS
+    // PASS failure means a partner installed its offer into our hole; the
+    // acquire failure order makes that offer's frozen fields visible.
+    if (env.cas(n, kOfferHole, kNullRef, x.fail,
+                MemOrder::kAcqRel)) {  // line 18: PASS
       env.emit(failure);  // 𝒯 += the failed operation, fused with PASS
       env.label(ExchangerPc::kWithdrawCas);
-      env.cas(x.g, 0, n, kNullRef);  // line 20: withdraw the dead offer
+      // Withdraw only unlinks the dead offer; nothing is read through g
+      // afterwards and the result is unused — release suffices.
+      env.cas(x.g, 0, n, kNullRef,
+              MemOrder::kRelease);  // line 20: withdraw the dead offer
       env.retire(n, kOfferCells);
       env.label(ExchangerPc::kFailReturnA);
       return {false, v};
@@ -111,7 +119,8 @@ ExchangeOutcome exchange(Env& env, const ExchangerRefs& x, Symbol name,
   }
 
   env.label(ExchangerPc::kReadG);
-  const Word cur = env.load(x.g, 0);  // line 25
+  // Acquire pairs with INIT's release: cur's frozen fields are visible.
+  const Word cur = env.load(x.g, 0, MemOrder::kAcquire);  // line 25
   env.note(ExchangerReg::kCur, cur);
   if (cur == kNullRef) {
     env.free_private(n, kOfferCells);  // never published
@@ -120,7 +129,10 @@ ExchangeOutcome exchange(Env& env, const ExchangerRefs& x, Symbol name,
     return {false, v};
   }
   env.label(ExchangerPc::kXchgCas);
-  const bool s = env.cas(cur, kOfferHole, kNullRef, n);  // line 29: XCHG
+  // XCHG publishes our offer into the partner's hole (release) and, on
+  // failure, observes the FAIL sentinel the partner PASSed (acquire).
+  const bool s = env.cas(cur, kOfferHole, kNullRef, n,
+                         MemOrder::kAcqRel);  // line 29: XCHG
   env.note(ExchangerReg::kS, s ? 1 : 0);
   if (s) {
     // The auxiliary assignment of §5.1: one CAS seems to complete both
@@ -133,7 +145,9 @@ ExchangeOutcome exchange(Env& env, const ExchangerRefs& x, Symbol name,
     });
   }
   env.label(ExchangerPc::kCleanCas);
-  env.cas(x.g, 0, cur, kNullRef);  // line 31: CLEAN (helping)
+  // CLEAN unlinks a consumed offer (helping); result unused, nothing read
+  // through g afterwards — release suffices.
+  env.cas(x.g, 0, cur, kNullRef, MemOrder::kRelease);  // line 31: CLEAN
   if (s) {
     const Word got = env.load_frozen(cur, kOfferData);  // line 33
     env.retire(n, kOfferCells);

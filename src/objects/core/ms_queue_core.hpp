@@ -58,25 +58,30 @@ bool ms_queue_enq_attempt(Env& env, const MsQueueRefs& q, Symbol name,
   static const Symbol kEnq{"enq"};
   const Word node = env.alloc(kQNodeCells);
   env.store_private(node, kQNodeData, v);
-  const Word tail = env.load(q.tail, 0);
-  const Word next = env.load(tail, kQNodeNext);
-  if (tail != env.load(q.tail, 0)) {  // tail moved under us
+  // Acquire loads pair with the link CAS's release: a reached node's
+  // frozen data/next init is visible.
+  const Word tail = env.load(q.tail, 0, MemOrder::kAcquire);
+  const Word next = env.load(tail, kQNodeNext, MemOrder::kAcquire);
+  if (tail != env.load(q.tail, 0, MemOrder::kAcquire)) {  // tail moved
     env.free_private(node, kQNodeCells);
     return false;
   }
   if (next != kNullRef) {  // help swing the lagging tail
-    env.cas(q.tail, 0, tail, next);
+    // Tail swings republish an already-released node; result unused.
+    env.cas(q.tail, 0, tail, next, MemOrder::kRelease);
     env.free_private(node, kQNodeCells);
     return false;
   }
-  if (env.cas(tail, kQNodeNext, kNullRef, node)) {
+  // The link CAS publishes the private node init (release); on failure
+  // the attempt retries through fresh acquire loads.
+  if (env.cas(tail, kQNodeNext, kNullRef, node, MemOrder::kAcqRel)) {
     // Linearization point: the link CAS.
     env.emit([&] {
       return CaElement::singleton(
           name, Operation::make(tid, name, kEnq, Value::integer(v),
                                 Value::boolean(true)));
     });
-    env.cas(q.tail, 0, tail, node);  // swing (best effort)
+    env.cas(q.tail, 0, tail, node, MemOrder::kRelease);  // swing
     env.label(MsQueuePc::kEnqReturn);
     return true;
   }
@@ -89,9 +94,9 @@ template <class Env>
 MsQueueDeqOutcome ms_queue_deq_attempt(Env& env, const MsQueueRefs& q,
                                        Symbol name, ThreadId tid) {
   static const Symbol kDeq{"deq"};
-  const Word head = env.load(q.head, 0);
-  const Word tail = env.load(q.tail, 0);
-  const Word next = env.load(head, kQNodeNext);
+  const Word head = env.load(q.head, 0, MemOrder::kAcquire);
+  const Word tail = env.load(q.tail, 0, MemOrder::kAcquire);
+  const Word next = env.load(head, kQNodeNext, MemOrder::kAcquire);
   if (next == kNullRef) {
     // Empty: linearizes at the read of head.next, with which the emit is
     // fused. No head re-check is needed on this path: a node's next link
@@ -106,15 +111,17 @@ MsQueueDeqOutcome ms_queue_deq_attempt(Env& env, const MsQueueRefs& q,
     env.label(MsQueuePc::kDeqEmptyReturn);
     return {MsQueueDeq::kEmpty, 0};
   }
-  if (head != env.load(q.head, 0)) {  // head moved under us
+  if (head != env.load(q.head, 0, MemOrder::kAcquire)) {  // head moved
     return {MsQueueDeq::kRetry, 0};
   }
   if (head == tail) {  // tail lags behind a non-empty queue: help swing
-    env.cas(q.tail, 0, tail, next);
+    env.cas(q.tail, 0, tail, next, MemOrder::kRelease);
     return {MsQueueDeq::kRetry, 0};
   }
   const Word v = env.load_frozen(next, kQNodeData);
-  if (env.cas(q.head, 0, head, next)) {
+  // The head swing transfers node ownership to this thread (acquire on
+  // success orders the retire after every prior access to `head`).
+  if (env.cas(q.head, 0, head, next, MemOrder::kAcqRel)) {
     env.retire(head, kQNodeCells);
     env.emit([&] {
       return CaElement::singleton(

@@ -81,14 +81,18 @@ template <class Env>
 bool pq_insert_attempt(Env& env, const PqRefs& q, Symbol name, ThreadId tid,
                        Word v) {
   static const Symbol kInsert{"insert"};
-  const Word c = env.load(q.count, 0);
-  if (!env.cas(q.count, 0, c, c + 1)) return false;
+  // The counter is a pure occupancy count — no data is published
+  // through it; acq_rel keeps its RMWs in a single modification order
+  // the emptiness check can reason about.
+  const Word c = env.load(q.count, 0, MemOrder::kAcquire);
+  if (!env.cas(q.count, 0, c, c + 1, MemOrder::kAcqRel)) return false;
   const Word node = env.alloc(kPqNodeCells);
   env.store_private(node, kPqNodeData, v);
   for (;;) {
-    const Word top = env.load(q.tops, v);
+    const Word top = env.load(q.tops, v, MemOrder::kAcquire);
     env.store_private(node, kPqNodeNext, top);
-    if (env.cas(q.tops, v, top, node)) {
+    // The publish CAS releases the private node init.
+    if (env.cas(q.tops, v, top, node, MemOrder::kAcqRel)) {
       // The publish CAS is the insert's linearization point.
       env.emit([&] {
         return CaElement::singleton(
@@ -109,7 +113,7 @@ template <class Env>
 PqDeleteOutcome pq_delete_min_attempt(Env& env, const PqRefs& q, Word buckets,
                                       Symbol name, ThreadId tid) {
   static const Symbol kDeleteMin{"deleteMin"};
-  const Word c = env.load(q.count, 0);
+  const Word c = env.load(q.count, 0, MemOrder::kAcquire);
   if (c == 0) {
     // Empty linearizes at the counter read: count == 0 proves no element
     // was logically present at that instant.
@@ -122,10 +126,13 @@ PqDeleteOutcome pq_delete_min_attempt(Env& env, const PqRefs& q, Word buckets,
     return {PqDelete::kEmpty, 0};
   }
   for (Word p = 0; p < buckets; ++p) {
-    const Word h = env.load(q.tops, p);
+    const Word h = env.load(q.tops, p, MemOrder::kAcquire);
     if (h == kNullRef) continue;
     const Word next = env.load_frozen(h, kPqNodeNext);
-    if (!env.cas(q.tops, p, h, next)) return {PqDelete::kRetry, 0};
+    // The pop CAS transfers node ownership (acquire before retire).
+    if (!env.cas(q.tops, p, h, next, MemOrder::kAcqRel)) {
+      return {PqDelete::kRetry, 0};
+    }
     const Word v = env.load_frozen(h, kPqNodeData);
     env.retire(h, kPqNodeCells);
     env.emit([&] {
@@ -135,8 +142,8 @@ PqDeleteOutcome pq_delete_min_attempt(Env& env, const PqRefs& q, Word buckets,
     });
     // Settle the counter (decrement-after-pop keeps count >= present).
     for (;;) {
-      const Word k = env.load(q.count, 0);
-      if (env.cas(q.count, 0, k, k - 1)) break;
+      const Word k = env.load(q.count, 0, MemOrder::kAcquire);
+      if (env.cas(q.count, 0, k, k - 1, MemOrder::kAcqRel)) break;
     }
     env.label(PqPc::kDeleteReturn);
     return {PqDelete::kGot, v};

@@ -42,12 +42,18 @@ std::vector<std::int64_t> snapshot_us(Env& env, const SnapshotRefs& r,
                                       Symbol name, std::size_t n,
                                       ThreadId tid, Word v) {
   static const Symbol kUs{"us"};
-  env.store(r.values, static_cast<Word>(tid), v);
+  // Borowsky–Gafni assumes atomic registers: every store must be
+  // globally visible before the next scan can be trusted, so the level
+  // descent stays seq_cst (annotated explicitly; a weaker order here is
+  // exactly what the TSO exploration mode exists to refute — a buffered
+  // level store lets two scans miss each other's descent).
+  env.store(r.values, static_cast<Word>(tid), v, MemOrder::kSeqCst);
   for (Word level = static_cast<Word>(n); level >= 1; --level) {
-    env.store(r.levels, static_cast<Word>(tid), level);
+    env.store(r.levels, static_cast<Word>(tid), level, MemOrder::kSeqCst);
     std::vector<std::size_t> seen;
     for (std::size_t q = 0; q < n; ++q) {
-      if (env.load(r.levels, static_cast<Word>(q)) <= level) {
+      if (env.load(r.levels, static_cast<Word>(q), MemOrder::kSeqCst) <=
+          level) {
         seen.push_back(q);
       }
     }

@@ -40,11 +40,13 @@ template <class Env>
 bool stack_push_attempt(Env& env, const StackRefs& s, Symbol name,
                         ThreadId tid, Word v) {
   static const Symbol kPush{"push"};
-  const Word h = env.load(s.top, 0);   // line 11
+  // Acquire pairs with the push CAS's release on the observed top.
+  const Word h = env.load(s.top, 0, MemOrder::kAcquire);   // line 11
   const Word n = env.alloc(kCellCells);  // line 12
   env.store_private(n, kCellData, v);
   env.store_private(n, kCellNext, h);
-  const bool ok = env.cas(s.top, 0, h, n);  // line 13
+  // The push CAS publishes the private node init (release).
+  const bool ok = env.cas(s.top, 0, h, n, MemOrder::kAcqRel);  // line 13
   if (!ok) env.free_private(n, kCellCells);
   env.emit([&] {
     return CaElement::singleton(
@@ -65,13 +67,15 @@ StackPopOutcome stack_pop_attempt(Env& env, const StackRefs& s, Symbol name,
         name, Operation::make(tid, name, kPop, Value::unit(),
                               Value::pair(false, 0)));
   };
-  const Word h = env.load(s.top, 0);  // line 16
+  const Word h = env.load(s.top, 0, MemOrder::kAcquire);  // line 16
   if (h == kNullRef) {                // line 17: EMPTY
     env.emit(failed);
     return {StackPop::kEmpty, 0};
   }
   const Word next = env.load_frozen(h, kCellNext);  // line 19
-  if (env.cas(s.top, 0, h, next)) {
+  // The pop CAS transfers cell ownership (acquire orders the retire
+  // after every prior access; release keeps the unlink published).
+  if (env.cas(s.top, 0, h, next, MemOrder::kAcqRel)) {
     const Word v = env.load_frozen(h, kCellData);  // line 21
     env.retire(h, kCellCells);
     env.emit([&] {

@@ -90,7 +90,8 @@ SyncTransferOutcome sync_queue_transfer_attempt(Env& env,
                                Value::pair(true, value))});
   };
 
-  const Word h = env.load(q.top, 0);
+  // Acquire pairs with the publishing CAS's release on the top node.
+  const Word h = env.load(q.top, 0, MemOrder::kAcquire);
   if (h == kNullRef || env.load_frozen(h, kNodeMode) == mode) {
     // Same-mode top (or empty): publish a reservation and wait.
     const Word node = env.alloc(kNodeCells);
@@ -98,18 +99,23 @@ SyncTransferOutcome sync_queue_transfer_attempt(Env& env,
     env.store_private(node, kNodeData, v);
     env.store_private(node, kNodeTid, static_cast<Word>(tid));
     env.store_private(node, kNodeNext, h);
-    if (!env.cas(q.top, 0, h, node)) {
+    // Publishes the private reservation init (release).
+    if (!env.cas(q.top, 0, h, node, MemOrder::kAcqRel)) {
       env.free_private(node, kNodeCells);  // never published
       return {SyncTransfer::kRetry, 0};
     }
     env.await(node, kNodeMatch, spins);
     env.label(SyncQueuePc::kCancelCas);
-    if (env.cas(node, kNodeMatch, kNullRef, q.cancelled)) {
+    // Cancel races the fulfiller's match CAS; failure needs acquire to
+    // read the partner node the fulfiller installed.
+    if (env.cas(node, kNodeMatch, kNullRef, q.cancelled,
+                MemOrder::kAcqRel)) {
       // Timed out unpaired — the exchanger's "pass" move. Best-effort
       // unlink if we are still the top; otherwise a helper pops us later.
       const Word next = env.load_frozen(node, kNodeNext);
       env.label(SyncQueuePc::kUnlinkSelf);
-      env.cas(q.top, 0, node, next);
+      // Best-effort unlink of the cancelled self; result unused.
+      env.cas(q.top, 0, node, next, MemOrder::kRelease);
       env.emit(failure);
       env.retire(node, kNodeCells);
       env.label(SyncQueuePc::kFailReturn);
@@ -124,12 +130,12 @@ SyncTransferOutcome sync_queue_transfer_attempt(Env& env,
   }
 
   // Complementary top: try to fulfill it.
-  const Word hmatch = env.load(h, kNodeMatch);
+  const Word hmatch = env.load(h, kNodeMatch, MemOrder::kAcquire);
   if (hmatch != kNullRef) {
     // Already matched or cancelled: help unlink and retry.
     const Word next = env.load_frozen(h, kNodeNext);
     env.label(SyncQueuePc::kHelpUnlink);
-    env.cas(q.top, 0, h, next);
+    env.cas(q.top, 0, h, next, MemOrder::kRelease);  // helping unlink
     return {SyncTransfer::kRetry, 0};
   }
   const Word node = env.alloc(kNodeCells);
@@ -137,7 +143,9 @@ SyncTransferOutcome sync_queue_transfer_attempt(Env& env,
   env.store_private(node, kNodeData, v);
   env.store_private(node, kNodeTid, static_cast<Word>(tid));
   env.label(SyncQueuePc::kFulfillCas);
-  if (env.cas(h, kNodeMatch, kNullRef, node)) {
+  // The fulfilling CAS publishes our node into the partner's match cell
+  // (release) and, on failure, observes the cancel sentinel (acquire).
+  if (env.cas(h, kNodeMatch, kNullRef, node, MemOrder::kAcqRel)) {
     // The fulfilling CAS completes both operations simultaneously: the
     // joint CA-element is appended atomically with it.
     const auto partner_tid =
@@ -151,7 +159,8 @@ SyncTransferOutcome sync_queue_transfer_attempt(Env& env,
     env.event(kEventPairing);
     const Word next = env.load_frozen(h, kNodeNext);
     env.label(SyncQueuePc::kUnlinkTop);
-    env.cas(q.top, 0, h, next);  // pop the fulfilled reservation
+    env.cas(q.top, 0, h, next,
+            MemOrder::kRelease);  // pop the fulfilled reservation
     const Word received = partner_data;
     env.retire(node, kNodeCells);
     env.label(SyncQueuePc::kFulfillReturn);

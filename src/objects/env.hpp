@@ -21,11 +21,15 @@
 //     discusses the fidelity gap).
 //
 // An Env provides (Word = std::int64_t; a "block" is the base of a zeroed
-// run of cells; cell addressing is block + offset):
+// run of cells; cell addressing is block + offset; `mo` is a MemOrder with
+// default kSeqCst, so unannotated bodies keep sequentially consistent
+// semantics in both runtimes):
 //
-//   Word load(Word block, Word off)                  — shared read  [yield]
-//   void store(Word block, Word off, Word v)         — shared write [yield]
-//   bool cas(Word block, Word off, Word exp, Word d) — shared CAS   [yield]
+//   Word load(Word block, Word off, MemOrder mo)     — shared read  [yield]
+//   void store(Word block, Word off, Word v, MemOrder mo)
+//                                                    — shared write [yield]
+//   bool cas(Word block, Word off, Word exp, Word d, MemOrder mo)
+//                                                    — shared CAS   [yield]
 //   Word choose(Word n)            — nondeterministic pick in [0,n) [yield]
 //   Word alloc(Word cells)         — fresh zeroed block (per-thread heap)
 //   Word load_frozen(Word b, Word o)  — read of a cell that can no longer
@@ -62,6 +66,22 @@
 //   * load_frozen must only read cells whose value is fixed by the time of
 //     the read; SimEnv re-reads them on every re-execution.
 //
+// Memory-order discipline (the weak-memory axis of the concept):
+//
+//   * A MemOrder annotation is a *claim the body makes about its own
+//     synchronization needs*, checked by the model checker and exploited
+//     by the production runtime. RealEnv maps it onto the matching
+//     std::memory_order; SimEnv maps it onto the simulated machine's
+//     memory model (under `MemoryModel::kTso`, stores weaker than kSeqCst
+//     enter the issuing thread's FIFO store buffer and become visible to
+//     other threads only at a nondeterministic flush step — so an
+//     annotation that is too weak shows up as an explorable, replayable
+//     interleaving, not a once-in-a-blue-moon production bug).
+//   * kSeqCst stores and *every* CAS drain the issuing thread's buffer
+//     (the x86-TSO mapping: locked RMWs and fenced stores flush).
+//   * Loads of any order read the newest matching entry of the thread's
+//     own buffer first (store-to-load forwarding), then memory.
+//
 // Algorithm *attempt* bodies return after one pass of their retry loop;
 // the retry loops themselves live in the wrappers (unbounded in RealEnv,
 // bounded with truncation in SimEnv), mirroring how the hand-written
@@ -78,5 +98,16 @@ using Word = std::int64_t;
 
 /// The null block / null cell value.
 inline constexpr Word kNullRef = 0;
+
+/// Memory-order parameter of the yield operations load/store/cas. The
+/// subset of std::memory_order both runtimes implement; every yield op
+/// defaults to kSeqCst so unannotated bodies are sequentially consistent.
+enum class MemOrder : std::uint8_t {
+  kRelaxed = 0,
+  kAcquire = 1,
+  kRelease = 2,
+  kAcqRel = 3,
+  kSeqCst = 4,
+};
 
 }  // namespace cal::objects

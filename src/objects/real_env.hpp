@@ -11,11 +11,16 @@
 // BM_Env_StepOverhead benchmark (bench/bench_model_check.cpp) holds this
 // to within 5% of a direct-atomic baseline.
 //
-// Memory orders: shared loads are acquire, shared stores seq_cst (only the
-// snapshot's level descent uses env.store, and BG assumes atomic
-// registers), CAS acq_rel. load_frozen / store_private are relaxed — the
-// frozen-cell discipline of env.hpp means a happens-before edge from a
-// prior acquire load already covers them.
+// Memory orders: every yield op takes a MemOrder (default kSeqCst) and
+// maps it onto the matching std::memory_order — the algorithm bodies in
+// objects/core/ annotate their accesses with the weakest order their R/G
+// argument supports (retry-loop loads → acquire, publishing CAS →
+// acq_rel), and the TSO exploration mode (sched/sim_memory.hpp) model
+// checks exactly those annotations. CAS maps kAcqRel to
+// (acq_rel, acquire): the failure path only needs to observe the
+// interfering value, never to publish. load_frozen / store_private stay
+// relaxed — the frozen-cell discipline of env.hpp means a happens-before
+// edge from a prior acquire load already covers them.
 #pragma once
 
 #include <atomic>
@@ -61,6 +66,55 @@ inline std::uint64_t next_random() noexcept {
   return state;
 }
 
+/// MemOrder → std::memory_order for a load (release orders degrade to
+/// acquire: a plain load cannot publish).
+constexpr std::memory_order load_order(MemOrder mo) noexcept {
+  switch (mo) {
+    case MemOrder::kRelaxed:
+      return std::memory_order_relaxed;
+    case MemOrder::kAcquire:
+    case MemOrder::kRelease:
+    case MemOrder::kAcqRel:
+      return std::memory_order_acquire;
+    case MemOrder::kSeqCst:
+      return std::memory_order_seq_cst;
+  }
+  return std::memory_order_seq_cst;
+}
+
+/// MemOrder → std::memory_order for a store (acquire orders upgrade to
+/// release: a plain store cannot observe).
+constexpr std::memory_order store_order(MemOrder mo) noexcept {
+  switch (mo) {
+    case MemOrder::kRelaxed:
+      return std::memory_order_relaxed;
+    case MemOrder::kAcquire:
+    case MemOrder::kRelease:
+    case MemOrder::kAcqRel:
+      return std::memory_order_release;
+    case MemOrder::kSeqCst:
+      return std::memory_order_seq_cst;
+  }
+  return std::memory_order_seq_cst;
+}
+
+/// MemOrder → std::memory_order for a read-modify-write.
+constexpr std::memory_order rmw_order(MemOrder mo) noexcept {
+  switch (mo) {
+    case MemOrder::kRelaxed:
+      return std::memory_order_relaxed;
+    case MemOrder::kAcquire:
+      return std::memory_order_acquire;
+    case MemOrder::kRelease:
+      return std::memory_order_release;
+    case MemOrder::kAcqRel:
+      return std::memory_order_acq_rel;
+    case MemOrder::kSeqCst:
+      return std::memory_order_seq_cst;
+  }
+  return std::memory_order_seq_cst;
+}
+
 }  // namespace detail
 
 class RealEnv {
@@ -81,17 +135,27 @@ class RealEnv {
     return reinterpret_cast<Word>(base);
   }
 
-  Word load(Word block, Word off) const noexcept {
-    return cell(block, off)->load(std::memory_order_acquire);
+  Word load(Word block, Word off,
+            MemOrder mo = MemOrder::kSeqCst) const noexcept {
+    return cell(block, off)->load(detail::load_order(mo));
   }
 
-  void store(Word block, Word off, Word v) const noexcept {
-    cell(block, off)->store(v, std::memory_order_seq_cst);
+  void store(Word block, Word off, Word v,
+             MemOrder mo = MemOrder::kSeqCst) const noexcept {
+    cell(block, off)->store(v, detail::store_order(mo));
   }
 
-  bool cas(Word block, Word off, Word expected, Word desired) const noexcept {
+  bool cas(Word block, Word off, Word expected, Word desired,
+           MemOrder mo = MemOrder::kSeqCst) const noexcept {
+    // Failure is a pure load: acquire when the success order synchronizes,
+    // relaxed otherwise (the retry loop re-reads through env.load anyway).
+    const std::memory_order failure =
+        mo == MemOrder::kSeqCst ? std::memory_order_seq_cst
+        : (mo == MemOrder::kRelaxed || mo == MemOrder::kRelease)
+            ? std::memory_order_relaxed
+            : std::memory_order_acquire;
     return cell(block, off)->compare_exchange_strong(
-        expected, desired, std::memory_order_acq_rel);
+        expected, desired, detail::rmw_order(mo), failure);
   }
 
   Word choose(Word n) const noexcept {

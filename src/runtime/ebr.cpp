@@ -14,10 +14,21 @@ EpochDomain::~EpochDomain() {
 
 void EpochDomain::pin(ThreadId t) noexcept {
   assert(t < kMaxThreads);
-  // seq_cst: the epoch announcement must be visible before any subsequent
-  // shared read, or try_advance could advance past a live reader.
   slots_[t].local.store(global_epoch_.load(std::memory_order_acquire),
-                        std::memory_order_seq_cst);
+                        std::memory_order_release);
+  // The announcement must be ordered before every shared load of the
+  // pinned section, and no store annotation gives that: even a seq_cst
+  // store may still be draining when a later acquire load is satisfied —
+  // the TSO store→load reordering, i.e. exactly the store-buffering
+  // litmus (tests/sched/test_sim_memory.cpp). This used to be a plain
+  // seq_cst store; with it, try_advance could scan the slots before the
+  // announcement surfaced and reclaim a node this thread was about to
+  // read. The fence pairs with the one in try_advance: either the
+  // advancer's scan observes this announcement, or this section's loads
+  // observe everything unlinked before the advancer's fence.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  // A stale epoch read above is safe: announcing an *older* epoch only
+  // blocks the advance (the straggler check), never unblocks it.
 }
 
 void EpochDomain::unpin(ThreadId t) noexcept {
@@ -26,6 +37,9 @@ void EpochDomain::unpin(ThreadId t) noexcept {
 
 bool EpochDomain::try_advance() noexcept {
   const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
+  // Pairs with the fence in pin(): makes every announcement that preceded
+  // a reader's fence visible to the scan below.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
   for (const Slot& slot : slots_) {
     const std::uint64_t local = slot.local.load(std::memory_order_acquire);
     if (local != 0 && local != e) return false;  // straggler in an old epoch

@@ -25,6 +25,17 @@
 // how far it has read and hands out only newly published items, which is
 // what lets the incremental checker consume a live run window-by-window
 // instead of re-reading the whole log.
+//
+// Ordering audit (weak-memory pass): the claim fetch_add can stay relaxed
+// because it synchronizes nothing — it only hands out a unique index, and
+// slot i is written exclusively by its claimant until a quiesced reset.
+// All cross-thread data movement is gated by the per-slot ready flag's
+// release/acquire pair, and no correctness property rests on a thread's
+// *own* store becoming visible before one of its later loads — the
+// store→load reordering TSO permits (the EBR pin() needed a fence for
+// precisely that; see runtime/ebr.cpp). size()'s acquire on next_ only
+// tightens the prefix bound readers start from; staleness there delays,
+// never corrupts, a poll.
 #pragma once
 
 #include <atomic>

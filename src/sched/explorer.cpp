@@ -198,6 +198,8 @@ class ExplorePolicy {
 
   void on_enter(const Node& node, std::size_t /*depth*/) {
     events_ |= node.world.events();
+    const std::size_t buffered = node.world.memory().buffered_total();
+    if (buffered > buffered_max_) buffered_max_ = buffered;
   }
 
   [[nodiscard]] bool cancelled() const noexcept { return done_; }
@@ -267,6 +269,28 @@ class ExplorePolicy {
         if (por_ && fp.pure()) cur.push_back(SleepEntry{i, fp});
       }
     }
+
+    // TSO flush transitions: one per thread with a buffered write, offered
+    // for completed threads too (terminal states must be drained). Flush
+    // steps are never slept and never enter sleep sets — strictly less
+    // reduction, trivially sound (DESIGN.md, "The memory-model layer") —
+    // but their store footprint does wake dependent sleepers in the child.
+    for (std::size_t i = 0; i < world.threads().size(); ++i) {
+      if (done_ || !world.flushable(i)) continue;
+      ++transitions_;
+      World next = world;
+      next.begin_step();
+      next.flush_one(i);
+      ++flush_steps_;
+      audit_transition(world, next, next.threads()[i].tid);
+      const StepFootprint fp = next.footprint();
+      SleepSet child = por_ ? inherit_sleep(cur, fp) : SleepSet{};
+      if (!offer(Node{std::move(next), std::move(child)},
+                 ScheduleStep{world.threads()[i].tid, -1, /*flush=*/true},
+                 prefix, emit)) {
+        return;
+      }
+    }
   }
 
   [[nodiscard]] std::size_t transitions() const noexcept {
@@ -278,6 +302,12 @@ class ExplorePolicy {
   }
   [[nodiscard]] std::size_t symmetry_merged() const noexcept {
     return symmetry_merged_;
+  }
+  [[nodiscard]] std::size_t flush_steps() const noexcept {
+    return flush_steps_;
+  }
+  [[nodiscard]] std::size_t buffered_max() const noexcept {
+    return buffered_max_;
   }
   [[nodiscard]] std::vector<ScheduleViolation>&& violations() noexcept {
     return std::move(violations_);
@@ -342,6 +372,8 @@ class ExplorePolicy {
   std::uint64_t events_ = 0;
   std::size_t por_pruned_ = 0;
   std::size_t symmetry_merged_ = 0;
+  std::size_t flush_steps_ = 0;
+  std::size_t buffered_max_ = 0;
   bool last_renamed_ = false;
   std::vector<ScheduleViolation> violations_;
   bool done_ = false;
@@ -437,6 +469,8 @@ class Walker {
     if (stopped()) return;
     if (depth > result_.max_depth) result_.max_depth = depth;
     result_.events |= world.events();
+    const std::size_t buffered = world.memory().buffered_total();
+    if (buffered > result_.buffered_max) result_.buffered_max = buffered;
 
     if (options_.max_states != 0 &&
         shared_.states.load(std::memory_order_relaxed) >=
@@ -492,6 +526,13 @@ class Walker {
       advance(world, i, depth, cur);
       if (stopped()) return;
     }
+    // TSO flush transitions (see ExplorePolicy::expand): never slept,
+    // never entering sleep sets, offered for completed threads too.
+    for (std::size_t i = 0; i < world.threads().size(); ++i) {
+      if (!world.flushable(i)) continue;
+      advance_flush(world, i, depth, cur);
+      if (stopped()) return;
+    }
   }
 
   /// Sleep-mask subsumption against the shared table (see the sequential
@@ -503,6 +544,27 @@ class Walker {
     const auto permuted = static_cast<std::uint64_t>(key.back());
     key.pop_back();
     return shared_.sleep_seen.covered(key, permuted);
+  }
+
+  void advance_flush(const World& world, std::size_t thread,
+                     std::size_t depth, SleepSet& cur) {
+    schedule_.push_back(
+        ScheduleStep{world.threads()[thread].tid, -1, /*flush=*/true});
+    ++result_.transitions;
+    World next = world;
+    next.begin_step();
+    next.flush_one(thread);
+    ++result_.flush_steps;
+    if (auditor_ != nullptr && !next.violated()) {
+      if (auto why = auditor_->check_transition(
+              world, next, next.threads()[thread].tid)) {
+        next.report_violation("guarantee: " + *why);
+      }
+    }
+    const StepFootprint fp = next.footprint();
+    SleepSet child = por_ ? inherit_sleep(cur, fp) : SleepSet{};
+    reached(std::move(next), depth + 1, std::move(child));
+    schedule_.pop_back();
   }
 
   void advance(const World& world, std::size_t thread, std::size_t depth,
@@ -580,7 +642,17 @@ class Walker {
 Explorer::Explorer(const WorldConfig& config,
                    std::vector<std::unique_ptr<SimObject>> objects,
                    ExploreOptions options)
-    : config_(config), objects_(std::move(objects)), options_(options) {}
+    : owned_config_(config),
+      config_(owned_config_),
+      objects_(std::move(objects)),
+      options_(options) {
+  // Either surface may select TSO: ExploreOptions::memory_model overrides
+  // the config when set, and a TSO config is honored when the options keep
+  // the default.
+  if (options_.memory_model == MemoryModel::kTso) {
+    owned_config_.memory_model = MemoryModel::kTso;
+  }
+}
 
 ExploreResult Explorer::run() {
   const std::size_t threads = par::resolve_threads(options_.threads);
@@ -634,6 +706,8 @@ ExploreResult Explorer::run_sequential() {
   result.events = policy.events();
   result.por_pruned = policy.por_pruned();
   result.symmetry_merged = policy.symmetry_merged();
+  result.flush_steps = policy.flush_steps();
+  result.buffered_max = policy.buffered_max();
   result.violations = policy.violations();
   return result;
 }
@@ -702,6 +776,8 @@ ExploreResult Explorer::run_parallel(std::size_t threads) {
     // dfs()-entry checks.
     if (node.depth > total.max_depth) total.max_depth = node.depth;
     total.events |= node.world.events();
+    const std::size_t buffered = node.world.memory().buffered_total();
+    if (buffered > total.buffered_max) total.buffered_max = buffered;
     if (options_.max_states != 0 &&
         shared.states.load(std::memory_order_relaxed) >= options_.max_states) {
       total.exhausted = true;
@@ -829,6 +905,29 @@ ExploreResult Explorer::run_parallel(std::size_t threads) {
         if (por && fp.pure()) cur.push_back(SleepEntry{i, fp});
       }
     }
+
+    // TSO flush transitions (see ExplorePolicy::expand).
+    for (std::size_t i = 0; i < node.world.threads().size() && !stop_all;
+         ++i) {
+      if (!node.world.flushable(i)) continue;
+      ++total.transitions;
+      World next = node.world;
+      next.begin_step();
+      next.flush_one(i);
+      ++total.flush_steps;
+      if (auditor_ != nullptr && !next.violated()) {
+        if (auto why = auditor_->check_transition(
+                node.world, next, next.threads()[i].tid)) {
+          next.report_violation("guarantee: " + *why);
+        }
+      }
+      const StepFootprint fp = next.footprint();
+      std::vector<ScheduleStep> sched = node.schedule;
+      sched.push_back(
+          ScheduleStep{node.world.threads()[i].tid, -1, /*flush=*/true});
+      emit(std::move(next), std::move(sched),
+           por ? inherit_sleep(cur, fp) : SleepSet{});
+    }
   }
 
   // Phase 2 — branch walkers on the pool. Branch sequence numbers follow
@@ -861,6 +960,10 @@ ExploreResult Explorer::run_parallel(std::size_t threads) {
       total.merged += r.merged;
       total.por_pruned += r.por_pruned;
       total.symmetry_merged += r.symmetry_merged;
+      total.flush_steps += r.flush_steps;
+      if (r.buffered_max > total.buffered_max) {
+        total.buffered_max = r.buffered_max;
+      }
       total.terminals += r.terminals;
       if (r.max_depth > total.max_depth) total.max_depth = r.max_depth;
       total.events |= r.events;
@@ -898,6 +1001,7 @@ std::string ScheduleViolation::to_string() const {
   std::string out = what + "\nschedule:";
   for (const ScheduleStep& s : schedule) {
     out += " t" + std::to_string(s.tid);
+    if (s.flush) out += "!flush";
     if (s.choice >= 0) out += "#" + std::to_string(s.choice);
   }
   return out;
@@ -926,8 +1030,22 @@ World Explorer::replay(const std::vector<ScheduleStep>& schedule,
     for (ThreadCtx& t : world.threads()) {
       if (t.tid == step.tid) ctx = &t;
     }
-    if (ctx == nullptr ||
-        ctx->done(config_.programs[ctx->program].calls.size())) {
+    if (ctx == nullptr) {
+      world.report_violation("replay: unknown thread t" +
+                             std::to_string(step.tid));
+      break;
+    }
+    if (step.flush) {
+      if (!world.flushable(ctx->program)) {
+        world.report_violation("replay: t" + std::to_string(step.tid) +
+                               " has no buffered write to flush");
+        break;
+      }
+      world.begin_step();
+      world.flush_one(ctx->program);
+      continue;
+    }
+    if (ctx->done(config_.programs[ctx->program].calls.size())) {
       world.report_violation("replay: thread t" + std::to_string(step.tid) +
                              " cannot act");
       break;

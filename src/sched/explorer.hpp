@@ -91,13 +91,21 @@ struct ExploreOptions {
   /// (WorldCanon in sched/world.hpp; requires its value discipline, else
   /// it deactivates itself). Also forced off under an auditor.
   bool symmetry = false;
+  /// Memory model of the simulated machine. kTso adds per-thread store
+  /// buffers and nondeterministic flush transitions (sched/sim_memory.hpp).
+  /// kSc here defers to the WorldConfig's own memory_model, so either
+  /// surface can select TSO; setting kTso overrides the config.
+  MemoryModel memory_model = MemoryModel::kSc;
 };
 
 /// One step of a recorded schedule: which thread acted, and the value of
-/// the nondeterministic choice it consumed (-1 = none).
+/// the nondeterministic choice it consumed (-1 = none). A flush step
+/// (TSO) makes the thread's oldest buffered write globally visible
+/// instead of running the thread's program.
 struct ScheduleStep {
   ThreadId tid = 0;
   std::int32_t choice = -1;
+  bool flush = false;
 
   friend bool operator==(const ScheduleStep&, const ScheduleStep&) = default;
 };
@@ -124,6 +132,10 @@ struct ExploreResult {
   /// Visited-set hits whose key came from a non-identity thread renaming
   /// (ExploreOptions::symmetry): merges classic dedup would have missed.
   std::size_t symmetry_merged = 0;
+  /// TSO flush transitions executed (0 under kSc).
+  std::size_t flush_steps = 0;
+  /// High-water mark of total buffered writes over all reached states.
+  std::size_t buffered_max = 0;
   bool exhausted = false;
   /// OR of World::events() over every reached state (reachability beacons).
   std::uint64_t events = 0;
@@ -171,6 +183,10 @@ class Explorer {
   /// The check_spec post-pass over collected terminal histories.
   void check_collected(ExploreResult& result) const;
 
+  /// Owned copy of the caller's config with ExploreOptions::memory_model
+  /// applied (worlds keep a pointer to their config, so the explorer must
+  /// own the adjusted one for its whole lifetime).
+  WorldConfig owned_config_;
   const WorldConfig& config_;
   std::vector<std::unique_ptr<SimObject>> objects_;
   ExploreOptions options_;

@@ -85,27 +85,45 @@ class SimEnv {
       : world_(world), t_(t), hooks_(hooks), replay_only_(replay_only) {}
 
   // --- yield operations: one scheduler step each ---
+  //
+  // Footprints under TSO: a buffered store is still recorded as a store at
+  // its address (conservative — the buffer entry is invisible to other
+  // threads until flushed, so treating it as already-visible only wakes
+  // sleeping threads early, never too late). An op that drains a non-empty
+  // buffer (seq_cst store, any CAS) touches every buffered address in one
+  // step and is marked as a global effect — it never enters a sleep set
+  // and wakes every sleeper. The intermediate states a non-atomic drain
+  // would expose are covered by the explorer's separate flush transitions.
 
-  Word load(Word block, Word off) {
+  Word load(Word block, Word off,
+            objects::MemOrder mo = objects::MemOrder::kSeqCst) {
     if (Word logged = 0; replay(logged)) return logged;
     const Addr a = addr(block, off);
     world_.note_yield(StepFootprint::Kind::kLoad, a);
-    return commit(world_.read(a));
+    return commit(world_.read(t_, a, mo));
   }
 
-  void store(Word block, Word off, Word v) {
+  void store(Word block, Word off, Word v,
+             objects::MemOrder mo = objects::MemOrder::kSeqCst) {
     if (Word logged = 0; replay(logged)) return;
     const Addr a = addr(block, off);
+    if (mo == objects::MemOrder::kSeqCst && world_.buffered(t_) != 0) {
+      world_.note_global_effect();  // atomic drain + write, multi-address
+    }
     world_.note_yield(StepFootprint::Kind::kStore, a);
-    world_.write(a, v);
+    world_.write(t_, a, v, mo);
     commit(0);
   }
 
-  bool cas(Word block, Word off, Word expected, Word desired) {
+  bool cas(Word block, Word off, Word expected, Word desired,
+           objects::MemOrder mo = objects::MemOrder::kSeqCst) {
     if (Word logged = 0; replay(logged)) return logged != 0;
     const Addr a = addr(block, off);
+    if (world_.buffered(t_) != 0) {
+      world_.note_global_effect();  // atomic drain + RMW, multi-address
+    }
     world_.note_yield(StepFootprint::Kind::kUpdate, a);
-    return commit(world_.cas(a, expected, desired) ? 1 : 0) != 0;
+    return commit(world_.cas(t_, a, expected, desired, mo) ? 1 : 0) != 0;
   }
 
   Word choose(Word n) {

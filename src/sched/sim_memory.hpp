@@ -5,6 +5,18 @@
 // interleaving granularity of the paper's operational semantics). Addresses
 // are cell indices; address 0 is reserved as null.
 //
+// Memory models (MemoryModel): under the default kSc every access hits the
+// cell array directly. Under kTso the memory follows the standard x86-TSO
+// operational model: each thread owns a FIFO store buffer; a store weaker
+// than seq_cst is appended to the issuing thread's buffer (invisible to
+// every other thread); a load reads the newest matching entry of the
+// thread's *own* buffer first (store-to-load forwarding), then the cell
+// array; seq_cst stores and all CAS operations drain the issuing thread's
+// buffer before acting (the x86 mapping: fenced stores and locked RMWs
+// flush). Buffered entries reach the cell array one at a time via
+// flush_one(), which the explorer offers as a nondeterministic transition
+// — so every real-TSO interleaving of buffer drains is explorable.
+//
 // Allocation is *deterministic per thread*: thread t's i-th allocation
 // always lands at the same address regardless of interleaving. This keeps
 // heap layout canonical across schedules so that the explorer's state
@@ -15,7 +27,10 @@
 
 #include <cassert>
 #include <cstdint>
+#include <utility>
 #include <vector>
+
+#include "objects/env.hpp"
 
 namespace cal::sched {
 
@@ -24,18 +39,43 @@ using Word = std::int64_t;
 
 inline constexpr Addr kNull = 0;
 
+/// The simulated machine's memory model. kSc interleaves atomic accesses
+/// directly (the historical behavior); kTso adds per-thread FIFO store
+/// buffers with explicit flush transitions.
+enum class MemoryModel : std::uint8_t { kSc = 0, kTso = 1 };
+
 class SimMemory {
  public:
+  /// One buffered (not yet globally visible) write of a thread.
+  struct BufferedWrite {
+    Addr addr = kNull;
+    Word value = 0;
+
+    friend bool operator==(const BufferedWrite&,
+                           const BufferedWrite&) = default;
+  };
+
   /// `threads` per-thread heap regions of `heap_cells` cells each, plus a
   /// shared globals region of `global_cells` cells.
   SimMemory(std::size_t threads, std::size_t heap_cells = 512,
-            std::size_t global_cells = 64)
-      : heap_cells_(heap_cells),
+            std::size_t global_cells = 64,
+            MemoryModel model = MemoryModel::kSc)
+      : model_(model),
+        heap_cells_(heap_cells),
         globals_base_(1),
         heaps_base_(static_cast<Addr>(1 + global_cells)),
         cells_(1 + global_cells + threads * heap_cells, 0),
         heap_next_(threads, 0),
-        globals_next_(0) {}
+        globals_next_(0),
+        buffers_(threads) {}
+
+  [[nodiscard]] MemoryModel model() const noexcept { return model_; }
+
+  // --- model-oblivious access (globally visible cells only) ---
+  //
+  // Used during world construction (object init, before any thread has
+  // buffered anything) and by read-only observers that must see flushed
+  // memory (auditors, canonicalizer). Never consults store buffers.
 
   [[nodiscard]] Word read(Addr a) const {
     assert(a != kNull && a < cells_.size());
@@ -53,6 +93,84 @@ class SimMemory {
     if (cells_[a] != expect) return false;
     cells_[a] = desired;
     return true;
+  }
+
+  // --- model-aware access (the Env layer's yield operations) ---
+  //
+  // `t` is the thread *index* (== program index), which also owns heap
+  // segment t. Every order is accepted; only the distinctions the model
+  // makes are acted on (TSO: store order < seq_cst buffers, everything
+  // else drains).
+
+  [[nodiscard]] Word load(std::uint32_t t, Addr a,
+                          objects::MemOrder /*mo*/) const {
+    assert(a != kNull && a < cells_.size());
+    if (model_ == MemoryModel::kTso) {
+      // Store-to-load forwarding: newest own-buffer entry for `a` wins.
+      const auto& buf = buffers_[t];
+      for (auto it = buf.rbegin(); it != buf.rend(); ++it) {
+        if (it->addr == a) return it->value;
+      }
+    }
+    return cells_[a];
+  }
+
+  /// True iff the store buffered (TSO, order weaker than seq_cst) rather
+  /// than writing the cell array; a non-buffering store on a thread with a
+  /// non-empty buffer drains it first (FIFO) within this call.
+  bool store(std::uint32_t t, Addr a, Word v, objects::MemOrder mo) {
+    assert(a != kNull && a < cells_.size());
+    if (model_ == MemoryModel::kTso) {
+      if (mo != objects::MemOrder::kSeqCst) {
+        buffers_[t].push_back(BufferedWrite{a, v});
+        return true;
+      }
+      drain(t);
+    }
+    cells_[a] = v;
+    return false;
+  }
+
+  /// CAS drains the issuing thread's buffer first (locked RMWs flush on
+  /// x86-TSO) regardless of the annotation, then acts on the cell array.
+  bool cas(std::uint32_t t, Addr a, Word expect, Word desired,
+           objects::MemOrder /*mo*/) {
+    if (model_ == MemoryModel::kTso) drain(t);
+    return cas(a, expect, desired);
+  }
+
+  // --- store-buffer surface (explorer flush transitions, encoders) ---
+
+  [[nodiscard]] std::size_t buffer_size(std::uint32_t t) const noexcept {
+    return buffers_[t].size();
+  }
+  /// Total buffered writes across all threads (0 under kSc — terminal
+  /// states require a drained machine).
+  [[nodiscard]] std::size_t buffered_total() const noexcept {
+    std::size_t n = 0;
+    for (const auto& b : buffers_) n += b.size();
+    return n;
+  }
+  [[nodiscard]] const std::vector<BufferedWrite>& buffer(
+      std::uint32_t t) const noexcept {
+    return buffers_[t];
+  }
+  /// Address the next flush_one(t) will write (front of the FIFO).
+  [[nodiscard]] Addr flush_addr(std::uint32_t t) const noexcept {
+    assert(!buffers_[t].empty());
+    return buffers_[t].front().addr;
+  }
+  /// Makes thread t's oldest buffered write globally visible.
+  void flush_one(std::uint32_t t) {
+    assert(!buffers_[t].empty());
+    const BufferedWrite w = buffers_[t].front();
+    buffers_[t].erase(buffers_[t].begin());
+    cells_[w.addr] = w.value;
+  }
+  /// Drains thread t's whole buffer in FIFO order (fence / seq_cst op).
+  void drain(std::uint32_t t) {
+    for (const BufferedWrite& w : buffers_[t]) cells_[w.addr] = w.value;
+    buffers_[t].clear();
   }
 
   /// Allocates `n` zeroed cells from the globals region (object fields;
@@ -108,24 +226,38 @@ class SimMemory {
   /// Raw cell value, null included (canonicalizer traversal only).
   [[nodiscard]] Word cell(Addr a) const noexcept { return cells_[a]; }
 
-  /// Flattens the full memory state (cells + allocation cursors) for the
-  /// explorer's visited-set hashing.
+  /// Flattens the full memory state (cells + allocation cursors + store
+  /// buffers) for the explorer's visited-set hashing. Buffer contents are
+  /// part of the state: two worlds whose cells agree but whose pending
+  /// writes differ have different futures.
   void encode(std::vector<std::int64_t>& out) const {
     out.insert(out.end(), cells_.begin(), cells_.end());
     for (std::size_t n : heap_next_) {
       out.push_back(static_cast<std::int64_t>(n));
+    }
+    if (model_ == MemoryModel::kTso) {
+      for (const auto& buf : buffers_) {
+        out.push_back(static_cast<std::int64_t>(buf.size()));
+        for (const BufferedWrite& w : buf) {
+          out.push_back(static_cast<std::int64_t>(w.addr));
+          out.push_back(w.value);
+        }
+      }
     }
   }
 
   friend bool operator==(const SimMemory&, const SimMemory&) = default;
 
  private:
+  MemoryModel model_;
   std::size_t heap_cells_;
   Addr globals_base_;
   Addr heaps_base_;
   std::vector<Word> cells_;
   std::vector<std::size_t> heap_next_;
   std::size_t globals_next_;
+  /// Per-thread FIFO store buffers (always empty under kSc).
+  std::vector<std::vector<BufferedWrite>> buffers_;
 };
 
 }  // namespace cal::sched

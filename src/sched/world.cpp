@@ -6,7 +6,8 @@ namespace cal::sched {
 
 World::World(const WorldConfig& config)
     : config_(&config),
-      mem_(config.programs.size(), config.heap_cells, config.global_cells) {
+      mem_(config.programs.size(), config.heap_cells, config.global_cells,
+           config.memory_model) {
   threads_.reserve(config.programs.size());
   for (std::size_t i = 0; i < config.programs.size(); ++i) {
     ThreadCtx t;
@@ -150,7 +151,10 @@ bool World::all_done() const noexcept {
   for (const ThreadCtx& t : threads_) {
     if (!t.done(config_->programs[t.program].calls.size())) return false;
   }
-  return true;
+  // Under TSO a terminal state must be drained: pending buffered writes
+  // still have futures (their flush transitions), and the explorer keeps
+  // offering those for completed threads, so this always terminates.
+  return mem_.buffered_total() == 0;
 }
 
 void World::encode(std::vector<std::int64_t>& out) const {
@@ -318,6 +322,15 @@ void WorldCanon::emit_thread(const World& world, std::size_t i,
   for (Word w : t.oplog) emit_word(w, abstract, i, new_index, out);
   out.push_back(static_cast<std::int64_t>(t.emits));
   out.push_back(static_cast<std::int64_t>(t.retries));
+  // TSO store buffer: FIFO of (addr, value). Addresses may reference an
+  // interchangeable heap segment and values may be tids, so both go
+  // through the token rewriter like cells do.
+  const auto& buf = mem.buffer(static_cast<std::uint32_t>(i));
+  out.push_back(static_cast<std::int64_t>(buf.size()));
+  for (const SimMemory::BufferedWrite& w : buf) {
+    emit_word(static_cast<Word>(w.addr), abstract, i, new_index, out);
+    emit_word(w.value, abstract, i, new_index, out);
+  }
   out.push_back(static_cast<std::int64_t>(mem.heap_next(i)));
   const Addr base = mem.segment_base(i);
   for (std::size_t c = 0; c < heap_cells_; ++c) {

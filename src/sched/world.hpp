@@ -155,6 +155,11 @@ struct WorldConfig {
   /// Heap cells per thread in the simulated memory.
   std::size_t heap_cells = 512;
   std::size_t global_cells = 64;
+  /// Memory model of the simulated machine (sched/sim_memory.hpp). Under
+  /// kTso the explorer additionally offers one flush transition per thread
+  /// with a non-empty store buffer, and terminal states require all
+  /// buffers drained.
+  MemoryModel memory_model = MemoryModel::kSc;
 };
 
 class World {
@@ -162,10 +167,52 @@ class World {
   explicit World(const WorldConfig& config);
 
   // --- machine-facing API (one shared access per scheduling step) ---
+  //
+  // The thread-less overloads bypass the memory model (no store-buffer
+  // interaction): object init code and private (pre-publication) stores
+  // use them, as do read-only observers that must see flushed memory
+  // (auditors, frozen reads — the frozen-cell discipline guarantees the
+  // value was published before the reader could learn the address).
   [[nodiscard]] Word read(Addr a) const { return mem_.read(a); }
   void write(Addr a, Word v) { mem_.write(a, v); }
   bool cas(Addr a, Word expect, Word desired) {
     return mem_.cas(a, expect, desired);
+  }
+
+  // Model-aware accesses of the yield operations (sched/sim_env.hpp):
+  // routed by thread index so TSO store buffering attributes correctly.
+  [[nodiscard]] Word read(const ThreadCtx& t, Addr a,
+                          objects::MemOrder mo) const {
+    return mem_.load(static_cast<std::uint32_t>(t.program), a, mo);
+  }
+  /// Returns true iff the store buffered instead of hitting memory.
+  bool write(const ThreadCtx& t, Addr a, Word v, objects::MemOrder mo) {
+    return mem_.store(static_cast<std::uint32_t>(t.program), a, v, mo);
+  }
+  bool cas(const ThreadCtx& t, Addr a, Word expect, Word desired,
+           objects::MemOrder mo) {
+    return mem_.cas(static_cast<std::uint32_t>(t.program), a, expect,
+                    desired, mo);
+  }
+  /// Buffered writes pending for the thread (0 under kSc).
+  [[nodiscard]] std::size_t buffered(const ThreadCtx& t) const noexcept {
+    return mem_.buffer_size(static_cast<std::uint32_t>(t.program));
+  }
+
+  // --- TSO flush transitions (explorer-facing) ---
+  /// True iff thread index `i` has a buffered write to flush.
+  [[nodiscard]] bool flushable(std::size_t i) const noexcept {
+    return mem_.model() == MemoryModel::kTso &&
+           mem_.buffer_size(static_cast<std::uint32_t>(i)) != 0;
+  }
+  /// Executes one flush step for thread index `i`: the oldest buffered
+  /// write becomes globally visible. Records a store footprint at the
+  /// flushed address — a flush is exactly a deferred store, so the POR
+  /// dependence relation treats it as one.
+  void flush_one(std::size_t i) {
+    const auto t = static_cast<std::uint32_t>(i);
+    note_yield(StepFootprint::Kind::kStore, mem_.flush_addr(t));
+    mem_.flush_one(t);
   }
   Addr alloc(const ThreadCtx& t, std::size_t n) {
     // Heap segments are owned by thread *index* (== program index), not

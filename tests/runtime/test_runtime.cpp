@@ -255,5 +255,67 @@ TEST(Ebr, StressManyThreadsRetiring) {
   EXPECT_EQ(ebr.retired_count(), 0u);
 }
 
+TEST(Ebr, PinnedReaderStallsRepeatedAdvance) {
+  // The straggler check: one announced reader caps the epoch at one
+  // advance past its announcement, however hard another thread collects.
+  EpochDomain ebr;
+  ebr.pin(0);
+  const auto e0 = ebr.global_epoch();
+  for (int i = 0; i < 10; ++i) ebr.collect(1);
+  EXPECT_LE(ebr.global_epoch(), e0 + 1);
+  ebr.unpin(0);
+  for (int i = 0; i < 10; ++i) ebr.collect(1);
+  EXPECT_GT(ebr.global_epoch(), e0 + 1);
+}
+
+// Regression for the pin() ordering bug (runtime/ebr.cpp): the epoch
+// announcement used to be a plain seq_cst store, which TSO may reorder
+// after the pinned section's first shared load — so a concurrent
+// collector could advance twice and reclaim the node a reader had just
+// loaded. Readers chase a swapped pointer and validate a magic value the
+// deleter poisons before freeing; with the fence missing this trips the
+// magic check (or ASan) within a few thousand swaps on real hardware.
+TEST(Ebr, StressReadersNeverSeeReclaimedNodes) {
+  static constexpr std::int64_t kMagic = 0x5ca1ab1e;
+  struct Node {
+    std::atomic<std::int64_t> magic{kMagic};
+  };
+  EpochDomain ebr;
+  std::atomic<Node*> current{new Node};
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> torn{0};
+  constexpr int kReaders = 3;
+  constexpr int kSwaps = 4000;
+  {
+    std::vector<std::jthread> ts;
+    for (int r = 0; r < kReaders; ++r) {
+      ts.emplace_back([&, r] {
+        const auto id = static_cast<ThreadId>(r + 1);
+        while (!stop.load(std::memory_order_acquire)) {
+          EpochDomain::Guard g(ebr, id);
+          Node* n = current.load(std::memory_order_acquire);
+          if (n->magic.load(std::memory_order_relaxed) != kMagic) {
+            torn.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    ts.emplace_back([&] {
+      for (int k = 0; k < kSwaps; ++k) {
+        Node* fresh = new Node;
+        Node* old = current.exchange(fresh, std::memory_order_acq_rel);
+        ebr.retire(0, old, [](void* q) {
+          auto* node = static_cast<Node*>(q);
+          node->magic.store(0, std::memory_order_relaxed);  // poison
+          delete node;
+        });
+      }
+      stop.store(true, std::memory_order_release);
+    });
+  }
+  delete current.load();
+  EXPECT_EQ(torn.load(), 0u);
+}
+
 }  // namespace
 }  // namespace cal::runtime

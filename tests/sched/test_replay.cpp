@@ -102,7 +102,7 @@ TEST(Replay, RejectsImpossibleStep) {
   // Thread 7 does not exist.
   World world = ex.replay({ScheduleStep{7, -1}});
   ASSERT_TRUE(world.violated());
-  EXPECT_NE(world.violation()->find("cannot act"), std::string::npos);
+  EXPECT_NE(world.violation()->find("unknown thread"), std::string::npos);
 }
 
 TEST(Replay, ChoiceValuesAreHonored) {

@@ -1,0 +1,251 @@
+// cal-explore — exhaustive schedule exploration from the command line.
+//
+//   cal-explore [--machine exchanger|stack|queue|sb|sb-sc]
+//               [--memory-model sc|tso] [--por] [--symmetry] [--jobs N]
+//
+// Explores every interleaving of a small built-in program against the
+// corresponding corpus machine (the same Env-parameterized bodies the
+// runtime executes) and reports the verdict with the search counters,
+// including the active memory model and, under TSO, the flush-transition
+// count and buffered-write high-water mark. Exits 0 on VERIFIED, 1 on a
+// violation (with the replayable counterexample schedule printed), 2 on
+// usage errors.
+//
+// The `sb` machine is the store-buffering litmus: each thread sets its
+// own flag with a *relaxed* store and reads the partner's. It is the
+// canonical SC/TSO separator — VERIFIED under --memory-model sc,
+// VIOLATION under tso. `sb-sc` is the repaired (seq_cst-store) variant,
+// VERIFIED under both.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cal/specs/exchanger_spec.hpp"
+#include "cal/specs/queue_spec.hpp"
+#include "cal/specs/stack_spec.hpp"
+#include "sched/explorer.hpp"
+#include "sched/sim_env.hpp"
+#include "sched/sim_objects.hpp"
+
+using namespace cal;         // NOLINT: tool
+using namespace cal::sched;  // NOLINT: tool
+
+namespace {
+
+Value iv(std::int64_t x) { return Value::integer(x); }
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--machine exchanger|stack|queue|sb|sb-sc]\n"
+      "          [--memory-model sc|tso] [--por] [--symmetry] [--jobs N]\n",
+      argv0);
+  return 2;
+}
+
+// The store-buffering litmus machine (mirrors the regression suite in
+// tests/sched/test_sim_memory.cpp): sb(i) sets flag[i] with `store_order`,
+// reads flag[1-i], returns it.
+class SimStoreBuffering final : public EnvSimObject {
+ public:
+  SimStoreBuffering(Symbol name, objects::MemOrder store_order)
+      : EnvSimObject(0), name_(name), order_(store_order) {}
+
+  void init(World& world) override { flags_ = world.alloc_global(2); }
+
+ protected:
+  [[nodiscard]] Attempt attempt(SimEnv& env, World& world,
+                                ThreadCtx& t) const override {
+    static const Symbol kSb{"sb"};
+    const Call& call = current_call(world, t);
+    const objects::Word me = call.arg.as_int();
+    env.store(flags_, me, 1, order_);
+    const objects::Word other =
+        env.load(flags_, 1 - me, objects::MemOrder::kAcquire);
+    env.emit([&] {
+      return CaElement::singleton(
+          name_, Operation::make(t.tid, name_, kSb, Value::integer(me),
+                                 Value::integer(other)));
+    });
+    return {Status::kDone, Value::integer(other)};
+  }
+
+ private:
+  Symbol name_;
+  objects::MemOrder order_;
+  objects::Word flags_ = objects::kNullRef;
+};
+
+/// Spec of sb: setting your flag linearizes; you must read 1 if the
+/// partner already linearized, may read either value otherwise.
+class SbSpec final : public SequentialSpec {
+ public:
+  explicit SbSpec(Symbol object) : object_(object) {}
+
+  [[nodiscard]] SpecState initial() const override { return {0, 0}; }
+  [[nodiscard]] std::vector<SeqStepResult> step(
+      const SpecState& state, ThreadId /*tid*/, Symbol object, Symbol method,
+      const Value& arg, const std::optional<Value>& ret) const override {
+    static const Symbol kSb{"sb"};
+    if (object != object_ || method != kSb) return {};
+    const auto me = static_cast<std::size_t>(arg.as_int());
+    if (me > 1) return {};
+    SpecState next = state;
+    next[me] = 1;
+    std::vector<SeqStepResult> out;
+    auto emit = [&](std::int64_t r) {
+      Value v = Value::integer(r);
+      if (!ret || *ret == v) out.push_back(SeqStepResult{next, std::move(v)});
+    };
+    emit(1);
+    if (state[1 - me] == 0) emit(0);
+    return out;
+  }
+
+ private:
+  Symbol object_;
+};
+
+struct Setup {
+  WorldConfig cfg;
+  std::vector<std::unique_ptr<SimObject>> objects;
+  // Keep the specs alive for the exploration.
+  std::shared_ptr<const CaSpec> spec;
+};
+
+Setup make_exchanger() {
+  Setup s;
+  auto spec =
+      std::make_shared<ExchangerSpec>(Symbol{"E"}, Symbol{"exchange"});
+  for (std::size_t i = 0; i < 3; ++i) {
+    ThreadProgram p;
+    p.tid = static_cast<ThreadId>(i);
+    p.calls = {Call{0, Symbol{"exchange"},
+                    iv(static_cast<std::int64_t>(10 * (i + 1)))}};
+    s.cfg.programs.push_back(std::move(p));
+  }
+  s.cfg.object_names = {Symbol{"E"}};
+  s.cfg.heap_cells = 16;
+  s.cfg.global_cells = 8;
+  s.objects.push_back(std::make_unique<SimExchanger>(Symbol{"E"}));
+  s.cfg.spec = spec.get();
+  s.spec = std::move(spec);
+  return s;
+}
+
+Setup make_stack() {
+  Setup s;
+  auto spec = std::make_shared<SeqAsCaSpec>(
+      std::make_shared<CentralStackSpec>(Symbol{"S"}));
+  s.cfg.programs = {ThreadProgram{0, {Call{0, Symbol{"push"}, iv(10)}}},
+                    ThreadProgram{1, {Call{0, Symbol{"push"}, iv(20)}}},
+                    ThreadProgram{2, {Call{0, Symbol{"pop"}, Value::unit()}}}};
+  s.cfg.object_names = {Symbol{"S"}};
+  s.cfg.heap_cells = 16;
+  s.cfg.global_cells = 4;
+  s.objects.push_back(std::make_unique<SimCentralStack>(Symbol{"S"}));
+  s.cfg.spec = spec.get();
+  s.spec = std::move(spec);
+  return s;
+}
+
+Setup make_queue() {
+  Setup s;
+  auto spec =
+      std::make_shared<SeqAsCaSpec>(std::make_shared<QueueSpec>(Symbol{"Q"}));
+  s.cfg.programs = {ThreadProgram{0, {Call{0, Symbol{"enq"}, iv(7)}}},
+                    ThreadProgram{1, {Call{0, Symbol{"deq"}, Value::unit()}}}};
+  s.cfg.object_names = {Symbol{"Q"}};
+  s.cfg.heap_cells = 16;
+  s.cfg.global_cells = 4;
+  s.objects.push_back(std::make_unique<SimMsQueue>(Symbol{"Q"}));
+  s.cfg.spec = spec.get();
+  s.spec = std::move(spec);
+  return s;
+}
+
+Setup make_sb(objects::MemOrder store_order) {
+  Setup s;
+  auto spec =
+      std::make_shared<SeqAsCaSpec>(std::make_shared<SbSpec>(Symbol{"L"}));
+  s.cfg.programs = {ThreadProgram{0, {Call{0, Symbol{"sb"}, iv(0)}}},
+                    ThreadProgram{1, {Call{0, Symbol{"sb"}, iv(1)}}}};
+  s.cfg.object_names = {Symbol{"L"}};
+  s.cfg.heap_cells = 4;
+  s.cfg.global_cells = 4;
+  s.objects.push_back(
+      std::make_unique<SimStoreBuffering>(Symbol{"L"}, store_order));
+  s.cfg.spec = spec.get();
+  s.spec = std::move(spec);
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string machine = "exchanger";
+  ExploreOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--machine" && i + 1 < argc) {
+      machine = argv[++i];
+    } else if (arg == "--memory-model" && i + 1 < argc) {
+      const std::string model = argv[++i];
+      if (model == "sc") {
+        opts.memory_model = MemoryModel::kSc;
+      } else if (model == "tso") {
+        opts.memory_model = MemoryModel::kTso;
+      } else {
+        std::fprintf(stderr, "unknown memory model '%s'\n", model.c_str());
+        return usage(argv[0]);
+      }
+    } else if (arg == "--por") {
+      opts.por = true;
+    } else if (arg == "--symmetry") {
+      opts.symmetry = true;
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      opts.threads = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  Setup s;
+  if (machine == "exchanger") {
+    s = make_exchanger();
+  } else if (machine == "stack") {
+    s = make_stack();
+  } else if (machine == "queue") {
+    s = make_queue();
+  } else if (machine == "sb") {
+    s = make_sb(objects::MemOrder::kRelaxed);
+  } else if (machine == "sb-sc") {
+    s = make_sb(objects::MemOrder::kSeqCst);
+  } else {
+    std::fprintf(stderr, "unknown machine '%s'\n", machine.c_str());
+    return usage(argv[0]);
+  }
+  s.cfg.record_trace = true;
+
+  Explorer explorer(s.cfg, std::move(s.objects), opts);
+  const ExploreResult r = explorer.run();
+
+  std::printf("machine: %s\n", machine.c_str());
+  std::printf("memory model: %s\n",
+              opts.memory_model == MemoryModel::kTso ? "tso" : "sc");
+  std::printf("states: %zu, transitions: %zu, merged: %zu, terminals: %zu, "
+              "max depth: %zu\n",
+              r.states, r.transitions, r.merged, r.terminals, r.max_depth);
+  std::printf("por pruned: %zu, symmetry merged: %zu\n", r.por_pruned,
+              r.symmetry_merged);
+  std::printf("flush steps: %zu, buffered high-water: %zu\n", r.flush_steps,
+              r.buffered_max);
+  if (r.ok()) {
+    std::printf("VERIFIED: no violation in any interleaving\n");
+    return 0;
+  }
+  std::printf("VIOLATION: %s\n", r.violations[0].to_string().c_str());
+  return 1;
+}
