@@ -22,7 +22,7 @@
 #include "cal/specs/exchanger_spec.hpp"
 #include "cal/specs/stack_spec.hpp"
 #include "objects/treiber_stack.hpp"
-#include "runtime/ebr.hpp"
+#include "runtime/reclaim/ebr.hpp"
 #include "sched/explorer.hpp"
 #include "sched/rg.hpp"
 #include "sched/sim_objects.hpp"

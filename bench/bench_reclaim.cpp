@@ -1,0 +1,115 @@
+// Experiment T-RECLAIM — the reclamation backends head-to-head on the
+// same hot path. The Reclaimer interface turned memory reclamation into a
+// policy axis of Env (epoch grace periods, hazard-pointer slots, tagged
+// generations); this series prices that axis: the same Treiber-stack
+// push/pop loop, identical except for which backend pins and retires the
+// nodes.
+//
+// Regenerated series: throughput of a 50/50 push/pop workload vs thread
+// count for
+//   * ebr    — EpochDomain grace periods: no per-load bookkeeping, cost
+//              concentrates in retire-time collection sweeps,
+//   * hp     — hazard-pointer slots: a seq_cst store on every traversal
+//              hop, reclamation scans the slot table,
+//   * tagged — generation-tagged CAS: no protection writes at all, reuse
+//              is immediate and the widened CAS carries the safety.
+// Counters: ops/s, nodes reclaimed per second, and the retired-list
+// high-water mark (the backend's memory backlog under load).
+//
+// Expected shape: ebr leads on raw throughput (empty read-side), hp pays
+// its per-hop fence, tagged sits near ebr with a flat backlog because
+// blocks recycle immediately. On single-core CI hosts the spreads
+// compress; the backlog counters still separate the policies.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "objects/treiber_stack.hpp"
+#include "runtime/reclaim/ebr_reclaimer.hpp"
+#include "runtime/reclaim/hazard.hpp"
+#include "runtime/reclaim/reclaimer.hpp"
+#include "runtime/reclaim/tagged.hpp"
+#include "runtime/thread_registry.hpp"
+
+namespace {
+
+using namespace cal::objects;  // NOLINT: bench file
+using cal::Symbol;
+namespace runtime = cal::runtime;
+
+std::unique_ptr<runtime::Reclaimer> make_reclaimer(
+    runtime::ReclaimPolicy policy) {
+  switch (policy) {
+    case runtime::ReclaimPolicy::kHp:
+      return std::make_unique<runtime::HpReclaimer>();
+    case runtime::ReclaimPolicy::kTagged:
+      return std::make_unique<runtime::TaggedReclaimer>();
+    case runtime::ReclaimPolicy::kEbr:
+      break;
+  }
+  return std::make_unique<runtime::EbrReclaimer>();
+}
+
+void run_stack_workload(benchmark::State& state,
+                        runtime::ReclaimPolicy policy) {
+  static std::unique_ptr<runtime::Reclaimer> rec;
+  static std::unique_ptr<TreiberStack> stack;
+  if (state.thread_index() == 0) {
+    rec = make_reclaimer(policy);
+    stack = std::make_unique<TreiberStack>(*rec, Symbol{"RS"});
+    // Pre-populate so pops do not spin on empty.
+    for (int i = 1; i <= 4096; ++i) stack->push(0, i);
+  }
+  runtime::ThreadIdGuard tid;
+  std::int64_t v = 1;
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    stack->push(tid.tid(), v++);
+    benchmark::DoNotOptimize(stack->pop(tid.tid()));
+    ops += 2;
+  }
+  state.counters["ops/s"] =
+      benchmark::Counter(static_cast<double>(ops), benchmark::Counter::kIsRate);
+  if (state.thread_index() == 0) {
+    const runtime::ReclaimStats s = rec->stats();
+    state.counters["reclaimed/s"] = benchmark::Counter(
+        static_cast<double>(s.reclaimed_total), benchmark::Counter::kIsRate);
+    state.counters["retired_high_water"] =
+        static_cast<double>(s.retired_high_water);
+    stack.reset();
+    rec.reset();
+  }
+}
+
+void BM_Reclaim_StackChurn_Ebr(benchmark::State& state) {
+  run_stack_workload(state, runtime::ReclaimPolicy::kEbr);
+}
+BENCHMARK(BM_Reclaim_StackChurn_Ebr)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+void BM_Reclaim_StackChurn_Hp(benchmark::State& state) {
+  run_stack_workload(state, runtime::ReclaimPolicy::kHp);
+}
+BENCHMARK(BM_Reclaim_StackChurn_Hp)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+void BM_Reclaim_StackChurn_Tagged(benchmark::State& state) {
+  run_stack_workload(state, runtime::ReclaimPolicy::kTagged);
+}
+BENCHMARK(BM_Reclaim_StackChurn_Tagged)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+}  // namespace

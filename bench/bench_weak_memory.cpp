@@ -27,6 +27,7 @@
 #include "objects/core/exchanger_core.hpp"
 #include "objects/core/stack_core.hpp"
 #include "objects/real_env.hpp"
+#include "runtime/reclaim/ebr_reclaimer.hpp"
 #include "runtime/thread_registry.hpp"
 #include "sched/explorer.hpp"
 #include "sched/sim_env.hpp"
@@ -46,9 +47,9 @@ namespace sched = cal::sched;
 /// as RealEnv so the comparison isolates the memory orders.
 class SeqCstEnv {
  public:
-  SeqCstEnv(runtime::EpochDomain* ebr, runtime::ThreadId tid,
+  SeqCstEnv(runtime::Reclaimer* rec, runtime::ThreadId tid,
             runtime::TraceLog* trace) noexcept
-      : env_(ebr, tid, trace) {}
+      : env_(rec, tid, trace) {}
 
   Word load(Word b, Word o, MemOrder /*mo*/ = MemOrder::kSeqCst) const
       noexcept {
@@ -62,6 +63,15 @@ class SeqCstEnv {
            MemOrder /*mo*/ = MemOrder::kSeqCst) const noexcept {
     return env_.cas(b, o, expected, desired, MemOrder::kSeqCst);
   }
+  Word protect(Word b, Word o, MemOrder /*mo*/ = MemOrder::kSeqCst) const
+      noexcept {
+    return env_.protect(b, o, MemOrder::kSeqCst);
+  }
+  void release() const noexcept { env_.release(); }
+  bool validate(Word b, Word o) const noexcept { return env_.validate(b, o); }
+  ReclaimPolicy reclaim_policy() const noexcept {
+    return env_.reclaim_policy();
+  }
   Word choose(Word n) const noexcept { return env_.choose(n); }
   Word alloc(Word cells) const { return env_.alloc(cells); }
   Word load_frozen(Word b, Word o) const noexcept {
@@ -71,6 +81,7 @@ class SeqCstEnv {
     env_.store_private(b, o, v);
   }
   void retire(Word b, Word c) const { env_.retire(b, c); }
+  void retire_grace(Word b, Word c) const { env_.retire_grace(b, c); }
   void free_private(Word b, Word c) const { env_.free_private(b, c); }
   void await(Word b, Word o, unsigned s) const noexcept {
     env_.await(b, o, s);
@@ -97,11 +108,11 @@ struct ExchangerCells {
 
 template <class Env>
 void BM_WeakMemory_Exchanger(benchmark::State& state) {
-  static runtime::EpochDomain* ebr = nullptr;
+  static runtime::EbrReclaimer* rec = nullptr;
   static ExchangerCells* cells = nullptr;
   static core::ExchangerRefs refs;
   if (state.thread_index() == 0) {
-    ebr = new runtime::EpochDomain();
+    rec = new runtime::EbrReclaimer();
     cells = new ExchangerCells();
     refs.g = RealEnv::ref(&cells->g);
     refs.fail = RealEnv::ref(cells->fail);
@@ -110,8 +121,8 @@ void BM_WeakMemory_Exchanger(benchmark::State& state) {
   std::int64_t v = 1;
   std::uint64_t ops = 0;
   for (auto _ : state) {
-    runtime::EpochDomain::Guard guard(*ebr, tid.tid());
-    Env env(ebr, tid.tid(), /*trace=*/nullptr);
+    runtime::Reclaimer::Guard guard(*rec, tid.tid());
+    Env env(rec, tid.tid(), /*trace=*/nullptr);
     benchmark::DoNotOptimize(core::exchange(env, refs, Symbol{"E"},
                                             Symbol{"exchange"}, tid.tid(),
                                             v++, /*spins=*/64));
@@ -121,9 +132,9 @@ void BM_WeakMemory_Exchanger(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(ops), benchmark::Counter::kIsRate);
   if (state.thread_index() == 0) {
     delete cells;
-    delete ebr;
+    delete rec;
     cells = nullptr;
-    ebr = nullptr;
+    rec = nullptr;
   }
 }
 BENCHMARK_TEMPLATE(BM_WeakMemory_Exchanger, RealEnv)
@@ -143,11 +154,11 @@ BENCHMARK_TEMPLATE(BM_WeakMemory_Exchanger, SeqCstEnv)
 // Treiber top (each thread alternates, retrying like TreiberStack does).
 template <class Env>
 void BM_WeakMemory_StackCore(benchmark::State& state) {
-  static runtime::EpochDomain* ebr = nullptr;
+  static runtime::EbrReclaimer* rec = nullptr;
   static std::atomic<Word>* top = nullptr;
   static core::StackRefs refs;
   if (state.thread_index() == 0) {
-    ebr = new runtime::EpochDomain();
+    rec = new runtime::EbrReclaimer();
     top = new std::atomic<Word>(0);
     refs.top = RealEnv::ref(top);
   }
@@ -155,8 +166,8 @@ void BM_WeakMemory_StackCore(benchmark::State& state) {
   std::int64_t v = 1;
   std::uint64_t ops = 0;
   for (auto _ : state) {
-    runtime::EpochDomain::Guard guard(*ebr, tid.tid());
-    Env env(ebr, tid.tid(), /*trace=*/nullptr);
+    runtime::Reclaimer::Guard guard(*rec, tid.tid());
+    Env env(rec, tid.tid(), /*trace=*/nullptr);
     if ((ops & 1) == 0) {
       while (!core::stack_push_attempt(env, refs, Symbol{"S"}, tid.tid(),
                                        v++)) {
@@ -175,16 +186,16 @@ void BM_WeakMemory_StackCore(benchmark::State& state) {
   if (state.thread_index() == 0) {
     // Drain whatever the pushes left behind before freeing the top cell.
     runtime::ThreadIdGuard drain_tid;
-    RealEnv env(ebr, drain_tid.tid(), nullptr);
+    RealEnv env(rec, drain_tid.tid(), nullptr);
     core::StackPopOutcome r;
     do {
-      runtime::EpochDomain::Guard guard(*ebr, drain_tid.tid());
+      runtime::Reclaimer::Guard guard(*rec, drain_tid.tid());
       r = core::stack_pop_attempt(env, refs, Symbol{"S"}, drain_tid.tid());
     } while (r.kind != core::StackPop::kEmpty);
     delete top;
-    delete ebr;
+    delete rec;
     top = nullptr;
-    ebr = nullptr;
+    rec = nullptr;
   }
 }
 BENCHMARK_TEMPLATE(BM_WeakMemory_StackCore, RealEnv)

@@ -17,6 +17,8 @@
 #   * T-WMM — the memory-model axis: annotated vs seq_cst-forced RealEnv
 #     on the exchanger/stack hot paths, and explorer SC-vs-TSO state
 #     counts (bench_weak_memory) → BENCH_weak_memory.json
+#   * T-RECLAIM — the reclamation axis: ebr/hp/tagged backends head-to-head
+#     on the Treiber-stack churn path (bench_reclaim) → BENCH_reclaim.json
 #
 # Benches are built (and, when missing, configured) in a dedicated Release
 # tree: every checked-in number must come from optimized code, and each
@@ -60,6 +62,10 @@
 #                  BM_WeakMemory — runtime hot paths and explorer counts)
 #   WMM_OUT        weak-memory output JSON path (default:
 #                  BENCH_weak_memory.json in the repo root)
+#   RECLAIM_FILTER reclamation benchmark name regex (default:
+#                  BM_Reclaim — all three backends on the stack churn)
+#   RECLAIM_OUT    reclamation output JSON path (default:
+#                  BENCH_reclaim.json in the repo root)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -77,9 +83,11 @@ PQ_FILTER="${PQ_FILTER:-BM_PqChecker}"
 PQ_OUT="${PQ_OUT:-$ROOT/BENCH_pq.json}"
 WMM_FILTER="${WMM_FILTER:-BM_WeakMemory}"
 WMM_OUT="${WMM_OUT:-$ROOT/BENCH_weak_memory.json}"
+RECLAIM_FILTER="${RECLAIM_FILTER:-BM_Reclaim}"
+RECLAIM_OUT="${RECLAIM_OUT:-$ROOT/BENCH_reclaim.json}"
 
 BENCH_TARGETS=(bench_checker_scaling bench_streaming bench_model_check bench_pq
-  bench_weak_memory)
+  bench_weak_memory bench_reclaim)
 
 ensure_built() {
   if [[ ! -f "$BUILD_DIR/CMakeCache.txt" ]]; then
@@ -126,3 +134,4 @@ run_series "$BUILD_DIR/bench/bench_model_check" "$ENV_FILTER" "$ENV_OUT"
 run_series "$BUILD_DIR/bench/bench_model_check" "$POR_FILTER" "$POR_OUT"
 run_series "$BUILD_DIR/bench/bench_pq" "$PQ_FILTER" "$PQ_OUT"
 run_series "$BUILD_DIR/bench/bench_weak_memory" "$WMM_FILTER" "$WMM_OUT"
+run_series "$BUILD_DIR/bench/bench_reclaim" "$RECLAIM_FILTER" "$RECLAIM_OUT"

@@ -14,10 +14,16 @@
 //      audit produce a counterexample schedule.
 #include <cstdio>
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "cal/specs/elim_views.hpp"
 #include "cal/specs/exchanger_spec.hpp"
 #include "cal/specs/stack_spec.hpp"
+#include "objects/treiber_stack.hpp"
+#include "runtime/reclaim/ebr_reclaimer.hpp"
+#include "runtime/reclaim/hazard.hpp"
+#include "runtime/reclaim/tagged.hpp"
 #include "sched/explorer.hpp"
 #include "sched/rg.hpp"
 #include "sched/sim_objects.hpp"
@@ -204,6 +210,80 @@ int main() {
                 sc.states, tso.states,
                 sc.states == tso.states ? "identical" : "DIFFER",
                 tso.flush_steps, tso.buffered_max);
+  }
+
+  // Act 6: the reclamation axis. First in the model: the central stack
+  // explored with address reuse on, under each reclamation policy the
+  // world can enforce — every interleaving still verifies, and the
+  // counters show reuse actually happened (the ABA surface was searched,
+  // not sidestepped). Then for real: the Treiber stack hammered through
+  // each runtime Reclaimer backend, with the backend's own accounting.
+  {
+    std::printf("[6] reclamation axis: central stack with recycled "
+                "addresses\n");
+    const runtime::ReclaimPolicy policies[] = {runtime::ReclaimPolicy::kEbr,
+                                               runtime::ReclaimPolicy::kHp,
+                                               runtime::ReclaimPolicy::kTagged};
+    for (const auto policy : policies) {
+      auto seq = std::make_shared<CentralStackSpec>(Symbol{"S"});
+      SeqAsCaSpec spec(seq);
+      WorldConfig cfg;
+      cfg.programs = {
+          ThreadProgram{0, {Call{0, Symbol{"push"}, iv(10)}}},
+          ThreadProgram{1, {Call{0, Symbol{"push"}, iv(20)}}},
+          ThreadProgram{2, {Call{0, Symbol{"pop"}, Value::unit()}}}};
+      cfg.object_names = {Symbol{"S"}};
+      cfg.spec = &spec;
+      cfg.record_trace = true;
+      cfg.heap_cells = 16;
+      cfg.global_cells = 4;
+      cfg.recycle_addresses = true;
+      cfg.reclaim_policy = policy;
+      std::vector<std::unique_ptr<SimObject>> objects;
+      objects.push_back(std::make_unique<SimCentralStack>(Symbol{"S"}));
+      Explorer explorer(cfg, std::move(objects));
+      const ExploreResult r = explorer.run();
+      std::printf("  sim %-6s: %s, states: %zu, recycled allocs: %zu, "
+                  "retired high-water: %zu\n",
+                  runtime::reclaim_policy_name(policy),
+                  r.ok() ? "VERIFIED" : "VIOLATION", r.states,
+                  r.recycled_allocs, r.retired_max);
+    }
+    for (const auto policy : policies) {
+      std::unique_ptr<runtime::Reclaimer> rec;
+      switch (policy) {
+        case runtime::ReclaimPolicy::kEbr:
+          rec = std::make_unique<runtime::EbrReclaimer>();
+          break;
+        case runtime::ReclaimPolicy::kHp:
+          rec = std::make_unique<runtime::HpReclaimer>();
+          break;
+        case runtime::ReclaimPolicy::kTagged:
+          rec = std::make_unique<runtime::TaggedReclaimer>();
+          break;
+      }
+      objects::TreiberStack stack(*rec, Symbol{"S"});
+      constexpr int kThreads = 4;
+      constexpr int kOps = 2000;
+      {
+        std::vector<std::jthread> ts;
+        for (int i = 0; i < kThreads; ++i) {
+          ts.emplace_back([&stack, i] {
+            const auto tid = static_cast<ThreadId>(i);
+            for (int k = 0; k < kOps; ++k) {
+              stack.push(tid, k);
+              stack.pop(tid);
+            }
+          });
+        }
+      }
+      const runtime::ReclaimStats s = rec->stats();
+      std::printf("  run %-6s: %d threads x %d push/pop, reclaimed: %zu, "
+                  "retired pending: %zu, retired high-water: %zu\n",
+                  runtime::reclaim_policy_name(policy), kThreads, kOps,
+                  s.reclaimed_total, s.retired_pending, s.retired_high_water);
+    }
+    std::printf("\n");
   }
   return 0;
 }

@@ -106,14 +106,14 @@ ExchangeOutcome exchange(Env& env, const ExchangerRefs& x, Symbol name,
       // afterwards and the result is unused — release suffices.
       env.cas(x.g, 0, n, kNullRef,
               MemOrder::kRelease);  // line 20: withdraw the dead offer
-      env.retire(n, kOfferCells);
+      env.retire_grace(n, kOfferCells);
       env.label(ExchangerPc::kFailReturnA);
       return {false, v};
     }
     // A partner installed its offer into our hole (and logged the swap).
     const Word partner = env.load_frozen(n, kOfferHole);
     const Word got = env.load_frozen(partner, kOfferData);  // line 22
-    env.retire(n, kOfferCells);
+    env.retire_grace(n, kOfferCells);
     env.label(ExchangerPc::kSuccessReturnA);
     return {true, got};
   }
@@ -150,7 +150,7 @@ ExchangeOutcome exchange(Env& env, const ExchangerRefs& x, Symbol name,
   env.cas(x.g, 0, cur, kNullRef, MemOrder::kRelease);  // line 31: CLEAN
   if (s) {
     const Word got = env.load_frozen(cur, kOfferData);  // line 33
-    env.retire(n, kOfferCells);
+    env.retire_grace(n, kOfferCells);
     env.label(ExchangerPc::kSuccessReturnB);
     return {true, got};
   }

@@ -59,17 +59,22 @@ bool ms_queue_enq_attempt(Env& env, const MsQueueRefs& q, Symbol name,
   const Word node = env.alloc(kQNodeCells);
   env.store_private(node, kQNodeData, v);
   // Acquire loads pair with the link CAS's release: a reached node's
-  // frozen data/next init is visible.
-  const Word tail = env.load(q.tail, 0, MemOrder::kAcquire);
-  const Word next = env.load(tail, kQNodeNext, MemOrder::kAcquire);
-  if (tail != env.load(q.tail, 0, MemOrder::kAcquire)) {  // tail moved
+  // frozen data/next init is visible. The protects arm the reclamation
+  // protocol: the observed tail (and the next link we will CAS) stay
+  // protected across every dereference and CAS of this attempt — three
+  // protections, within the hazard backend's per-thread slot budget.
+  const Word tail = env.protect(q.tail, 0, MemOrder::kAcquire);
+  const Word next = env.protect(tail, kQNodeNext, MemOrder::kAcquire);
+  if (tail != env.protect(q.tail, 0, MemOrder::kAcquire)) {  // tail moved
     env.free_private(node, kQNodeCells);
+    env.release();
     return false;
   }
   if (next != kNullRef) {  // help swing the lagging tail
     // Tail swings republish an already-released node; result unused.
     env.cas(q.tail, 0, tail, next, MemOrder::kRelease);
     env.free_private(node, kQNodeCells);
+    env.release();
     return false;
   }
   // The link CAS publishes the private node init (release); on failure
@@ -82,10 +87,12 @@ bool ms_queue_enq_attempt(Env& env, const MsQueueRefs& q, Symbol name,
                                 Value::boolean(true)));
     });
     env.cas(q.tail, 0, tail, node, MemOrder::kRelease);  // swing
+    env.release();
     env.label(MsQueuePc::kEnqReturn);
     return true;
   }
   env.free_private(node, kQNodeCells);
+  env.release();
   return false;
 }
 
@@ -94,15 +101,32 @@ template <class Env>
 MsQueueDeqOutcome ms_queue_deq_attempt(Env& env, const MsQueueRefs& q,
                                        Symbol name, ThreadId tid) {
   static const Symbol kDeq{"deq"};
-  const Word head = env.load(q.head, 0, MemOrder::kAcquire);
-  const Word tail = env.load(q.tail, 0, MemOrder::kAcquire);
-  const Word next = env.load(head, kQNodeNext, MemOrder::kAcquire);
+  // Four protections per attempt (head, tail, head->next, and the head
+  // recheck) — exactly the hazard backend's per-thread slot budget, so
+  // round-robin slot reuse never evicts a live protection.
+  const Word head = env.protect(q.head, 0, MemOrder::kAcquire);
+  const Word tail = env.protect(q.tail, 0, MemOrder::kAcquire);
+  const Word next = env.protect(head, kQNodeNext, MemOrder::kAcquire);
   if (next == kNullRef) {
     // Empty: linearizes at the read of head.next, with which the emit is
-    // fused. No head re-check is needed on this path: a node's next link
-    // is write-once (null → successor) and a node leaves the head
-    // position only after its next is set, so observing null proves
-    // `head` is still the current head and the queue is empty right now.
+    // fused. No head re-check is needed on this path under EBR or hazard
+    // pointers: a node's next link is write-once (null → successor) and a
+    // node leaves the head position only after its next is set, so
+    // observing null proves `head` is still the current head and the
+    // queue is empty right now — the protect above pins `head`
+    // unreclaimed, so the cell we read really is its next link. Under
+    // tagged pointers that argument breaks: a recycled node's next is
+    // re-zeroed, so null may be a *new generation's* empty link — and a
+    // stripped-value recheck cannot see the difference, because the new
+    // generation reuses the same address. The tag-widened validate
+    // restores the argument (it compares the raw word, generation tag
+    // included); on the other policies it is constant true and the state
+    // space is untouched.
+    if (!env.validate(q.head, 0)) {
+      env.release();
+      return {MsQueueDeq::kRetry, 0};
+    }
+    env.release();
     env.emit([&] {
       return CaElement::singleton(
           name, Operation::make(tid, name, kDeq, Value::unit(),
@@ -111,17 +135,20 @@ MsQueueDeqOutcome ms_queue_deq_attempt(Env& env, const MsQueueRefs& q,
     env.label(MsQueuePc::kDeqEmptyReturn);
     return {MsQueueDeq::kEmpty, 0};
   }
-  if (head != env.load(q.head, 0, MemOrder::kAcquire)) {  // head moved
+  if (head != env.protect(q.head, 0, MemOrder::kAcquire)) {  // head moved
+    env.release();
     return {MsQueueDeq::kRetry, 0};
   }
   if (head == tail) {  // tail lags behind a non-empty queue: help swing
     env.cas(q.tail, 0, tail, next, MemOrder::kRelease);
+    env.release();
     return {MsQueueDeq::kRetry, 0};
   }
   const Word v = env.load_frozen(next, kQNodeData);
   // The head swing transfers node ownership to this thread (acquire on
   // success orders the retire after every prior access to `head`).
   if (env.cas(q.head, 0, head, next, MemOrder::kAcqRel)) {
+    env.release();
     env.retire(head, kQNodeCells);
     env.emit([&] {
       return CaElement::singleton(
@@ -131,6 +158,7 @@ MsQueueDeqOutcome ms_queue_deq_attempt(Env& env, const MsQueueRefs& q,
     env.label(MsQueuePc::kDeqReturn);
     return {MsQueueDeq::kGot, v};
   }
+  env.release();
   return {MsQueueDeq::kRetry, 0};
 }
 

@@ -134,7 +134,7 @@ PqDeleteOutcome pq_delete_min_attempt(Env& env, const PqRefs& q, Word buckets,
       return {PqDelete::kRetry, 0};
     }
     const Word v = env.load_frozen(h, kPqNodeData);
-    env.retire(h, kPqNodeCells);
+    env.retire_grace(h, kPqNodeCells);
     env.emit([&] {
       return CaElement::singleton(
           name, Operation::make(tid, name, kDeleteMin, Value::unit(),

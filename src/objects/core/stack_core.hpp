@@ -40,14 +40,18 @@ template <class Env>
 bool stack_push_attempt(Env& env, const StackRefs& s, Symbol name,
                         ThreadId tid, Word v) {
   static const Symbol kPush{"push"};
-  // Acquire pairs with the push CAS's release on the observed top.
-  const Word h = env.load(s.top, 0, MemOrder::kAcquire);   // line 11
+  // Acquire pairs with the push CAS's release on the observed top. The
+  // protect arms the reclamation protocol on the observed head: push never
+  // dereferences h, but the tagged backend's widened CAS below needs the
+  // raw word this load saw.
+  const Word h = env.protect(s.top, 0, MemOrder::kAcquire);  // line 11
   const Word n = env.alloc(kCellCells);  // line 12
   env.store_private(n, kCellData, v);
   env.store_private(n, kCellNext, h);
   // The push CAS publishes the private node init (release).
   const bool ok = env.cas(s.top, 0, h, n, MemOrder::kAcqRel);  // line 13
   if (!ok) env.free_private(n, kCellCells);
+  env.release();
   env.emit([&] {
     return CaElement::singleton(
         name, Operation::make(tid, name, kPush, Value::integer(v),
@@ -67,8 +71,12 @@ StackPopOutcome stack_pop_attempt(Env& env, const StackRefs& s, Symbol name,
         name, Operation::make(tid, name, kPop, Value::unit(),
                               Value::pair(false, 0)));
   };
-  const Word h = env.load(s.top, 0, MemOrder::kAcquire);  // line 16
+  // The protect covers every dereference of h below (the frozen next and
+  // data reads): under hazard pointers h cannot be freed, under tagged
+  // pointers the pop CAS widens to the generation tag this load saw.
+  const Word h = env.protect(s.top, 0, MemOrder::kAcquire);  // line 16
   if (h == kNullRef) {                // line 17: EMPTY
+    env.release();
     env.emit(failed);
     return {StackPop::kEmpty, 0};
   }
@@ -77,6 +85,7 @@ StackPopOutcome stack_pop_attempt(Env& env, const StackRefs& s, Symbol name,
   // after every prior access; release keeps the unlink published).
   if (env.cas(s.top, 0, h, next, MemOrder::kAcqRel)) {
     const Word v = env.load_frozen(h, kCellData);  // line 21
+    env.release();
     env.retire(h, kCellCells);
     env.emit([&] {
       return CaElement::singleton(
@@ -85,6 +94,7 @@ StackPopOutcome stack_pop_attempt(Env& env, const StackRefs& s, Symbol name,
     });
     return {StackPop::kGot, v};
   }
+  env.release();
   env.emit(failed);  // line 23
   return {StackPop::kLost, 0};
 }

@@ -117,14 +117,14 @@ SyncTransferOutcome sync_queue_transfer_attempt(Env& env,
       // Best-effort unlink of the cancelled self; result unused.
       env.cas(q.top, 0, node, next, MemOrder::kRelease);
       env.emit(failure);
-      env.retire(node, kNodeCells);
+      env.retire_grace(node, kNodeCells);
       env.label(SyncQueuePc::kFailReturn);
       return {SyncTransfer::kTimedOut, 0};
     }
     // Fulfilled: the fulfiller logged the pairing element.
     const Word partner = env.load_frozen(node, kNodeMatch);
     const Word received = env.load_frozen(partner, kNodeData);
-    env.retire(node, kNodeCells);
+    env.retire_grace(node, kNodeCells);
     env.label(SyncQueuePc::kWaiterReturn);
     return {SyncTransfer::kPaired, received};
   }
@@ -162,7 +162,7 @@ SyncTransferOutcome sync_queue_transfer_attempt(Env& env,
     env.cas(q.top, 0, h, next,
             MemOrder::kRelease);  // pop the fulfilled reservation
     const Word received = partner_data;
-    env.retire(node, kNodeCells);
+    env.retire_grace(node, kNodeCells);
     env.label(SyncQueuePc::kFulfillReturn);
     return {SyncTransfer::kPaired, received};
   }

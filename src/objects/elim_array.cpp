@@ -2,15 +2,28 @@
 
 namespace cal::objects {
 
+ElimArray::ElimArray(Reclaimer& rec, Symbol name, std::size_t width,
+                     TraceLog* trace)
+    : rec_(&rec), name_(name), trace_(trace) {
+  build(width);
+}
+
 ElimArray::ElimArray(EpochDomain& ebr, Symbol name, std::size_t width,
                      TraceLog* trace)
-    : ebr_(ebr), name_(name), trace_(trace) {
+    : own_(std::make_unique<runtime::EbrReclaimer>(ebr)),
+      rec_(own_.get()),
+      name_(name),
+      trace_(trace) {
+  build(width);
+}
+
+void ElimArray::build(std::size_t width) {
   slots_.reserve(width);
   slot_refs_.reserve(width);
   slot_names_.reserve(width);
   for (std::size_t i = 0; i < width; ++i) {
     slots_.push_back(
-        std::make_unique<Exchanger>(ebr, elim_slot_name(name, i), trace));
+        std::make_unique<Exchanger>(*rec_, elim_slot_name(name_, i), trace_));
     slot_refs_.push_back(slots_.back()->refs());
     slot_names_.push_back(slots_.back()->name());
   }
@@ -19,8 +32,8 @@ ElimArray::ElimArray(EpochDomain& ebr, Symbol name, std::size_t width,
 ExchangeResult ElimArray::exchange(ThreadId tid, std::int64_t v,
                                    unsigned spins) {
   static const Symbol kExchange{"exchange"};
-  EpochDomain::Guard guard(ebr_, tid);
-  RealEnv env(&ebr_, tid, trace_);
+  Reclaimer::Guard guard(*rec_, tid);
+  RealEnv env(rec_, tid, trace_);
   const core::ExchangeOutcome r = core::striped_exchange(
       env, slot_refs_.data(), slot_names_.data(), slots_.size(), kExchange,
       tid, v, spins);

@@ -24,6 +24,11 @@ namespace cal::objects {
 
 class ElimArray {
  public:
+  /// Primary constructor: any reclamation backend (must outlive the
+  /// array; shared with every slot exchanger).
+  ElimArray(Reclaimer& rec, Symbol name, std::size_t width,
+            TraceLog* trace = nullptr);
+  /// Convenience constructor: the historical EBR-domain signature.
   ElimArray(EpochDomain& ebr, Symbol name, std::size_t width,
             TraceLog* trace = nullptr);
 
@@ -47,7 +52,10 @@ class ElimArray {
   }
 
  private:
-  EpochDomain& ebr_;
+  void build(std::size_t width);
+
+  std::unique_ptr<runtime::EbrReclaimer> own_;  // convenience-ctor adapter
+  Reclaimer* rec_;
   Symbol name_;
   TraceLog* trace_;
   std::vector<std::unique_ptr<Exchanger>> slots_;

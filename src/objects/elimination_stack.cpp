@@ -15,15 +15,28 @@ const Symbol& pop_sym() {
 }
 }  // namespace
 
+EliminationStack::EliminationStack(Reclaimer& rec, Symbol name,
+                                   std::size_t width, TraceLog* trace,
+                                   runtime::Recorder* recorder,
+                                   unsigned exchange_spins)
+    : rec_(&rec),
+      name_(name),
+      trace_(trace),
+      stack_(rec, Symbol(name.str() + ".S"), trace),
+      array_(rec, Symbol(name.str() + ".AR"), width, trace),
+      recorder_(recorder),
+      exchange_spins_(exchange_spins) {}
+
 EliminationStack::EliminationStack(EpochDomain& ebr, Symbol name,
                                    std::size_t width, TraceLog* trace,
                                    runtime::Recorder* recorder,
                                    unsigned exchange_spins)
-    : ebr_(ebr),
+    : own_(std::make_unique<runtime::EbrReclaimer>(ebr)),
+      rec_(own_.get()),
       name_(name),
       trace_(trace),
-      stack_(ebr, Symbol(name.str() + ".S"), trace),
-      array_(ebr, Symbol(name.str() + ".AR"), width, trace),
+      stack_(*rec_, Symbol(name.str() + ".S"), trace),
+      array_(*rec_, Symbol(name.str() + ".AR"), width, trace),
       recorder_(recorder),
       exchange_spins_(exchange_spins) {}
 
@@ -32,9 +45,9 @@ bool EliminationStack::push(ThreadId tid, std::int64_t v) {
   if (recorder_ != nullptr) {
     recorder_->invoke(tid, name_, push_sym(), Value::integer(v));
   }
-  RealEnv env(&ebr_, tid, trace_);
+  RealEnv env(rec_, tid, trace_);
   for (;;) {  // line 31
-    EpochDomain::Guard guard(ebr_, tid);
+    Reclaimer::Guard guard(*rec_, tid);
     const core::ElimAttempt a = core::elim_push_attempt(
         env, stack_.refs(), array_.slot_refs(), array_.slot_names(),
         array_.width(), stack_.name(), tid, v, exchange_spins_);
@@ -55,10 +68,10 @@ PopResult EliminationStack::pop(ThreadId tid) {
   if (recorder_ != nullptr) {
     recorder_->invoke(tid, name_, pop_sym());
   }
-  RealEnv env(&ebr_, tid, trace_);
+  RealEnv env(rec_, tid, trace_);
   PopResult result;
   for (;;) {  // line 41
-    EpochDomain::Guard guard(ebr_, tid);
+    Reclaimer::Guard guard(*rec_, tid);
     const core::ElimPopOutcome r = core::elim_pop_attempt(
         env, stack_.refs(), array_.slot_refs(), array_.slot_names(),
         array_.width(), stack_.name(), tid, exchange_spins_);

@@ -39,6 +39,11 @@ class EliminationStack {
   /// auxiliary 𝒯 elements of the subobjects (S singletons, E[i] swaps);
   /// `recorder`, when set, records push/pop invocations and responses at
   /// the elimination stack's own interface.
+  EliminationStack(Reclaimer& rec, Symbol name, std::size_t width,
+                   TraceLog* trace = nullptr,
+                   runtime::Recorder* recorder = nullptr,
+                   unsigned exchange_spins = 256);
+  /// Convenience constructor: the historical EBR-domain signature.
   EliminationStack(EpochDomain& ebr, Symbol name, std::size_t width,
                    TraceLog* trace = nullptr,
                    runtime::Recorder* recorder = nullptr,
@@ -67,7 +72,8 @@ class EliminationStack {
   }
 
  private:
-  EpochDomain& ebr_;
+  std::unique_ptr<runtime::EbrReclaimer> own_;  // convenience-ctor adapter
+  Reclaimer* rec_;
   Symbol name_;
   TraceLog* trace_;
   CentralStack stack_;

@@ -9,9 +9,10 @@
 // and instantiated twice:
 //
 //   * RealEnv (objects/real_env.hpp): shared accesses become std::atomic
-//     operations, reclamation goes through runtime::EpochDomain, and emit
-//     appends to runtime::TraceLog — the lock-free implementation threads
-//     actually run.
+//     operations, reclamation goes through the pluggable runtime/reclaim/
+//     backend (EBR by default, hazard or tagged pointers by policy), and
+//     emit appends to runtime::TraceLog — the lock-free implementation
+//     threads actually run.
 //   * SimEnv (sched/sim_env.hpp): every *yield operation* (see below)
 //     becomes one scheduler step of the explorer's World/SimMemory, with
 //     the program counter synthesized from the dynamic access sequence.
@@ -30,6 +31,13 @@
 //                                                    — shared write [yield]
 //   bool cas(Word block, Word off, Word exp, Word d, MemOrder mo)
 //                                                    — shared CAS   [yield]
+//   Word protect(Word block, Word off, MemOrder mo)  — shared read that
+//                                       additionally *protects* the loaded
+//                                       block under the active reclamation
+//                                       policy (runtime/reclaim/) until
+//                                       release() or the operation ends;
+//                                       returns a plain block address (tag
+//                                       bits stripped)            [yield]
 //   Word choose(Word n)            — nondeterministic pick in [0,n) [yield]
 //   Word alloc(Word cells)         — fresh zeroed block (per-thread heap)
 //   Word load_frozen(Word b, Word o)  — read of a cell that can no longer
@@ -38,8 +46,34 @@
 //   void store_private(Word b, Word o, Word v) — init of a not-yet-published
 //                                       cell that no other thread ever
 //                                       writes (Env may replay it)
+//   void release()                 — drops every protection the thread
+//                                    holds (protect is re-armed per
+//                                    attempt; release keeps the slot /
+//                                    record budget bounded)
+//   bool validate(Word block, Word off) — true iff the cell still holds
+//                                    exactly what this thread's protect of
+//                                    it observed, compared *tag-widened*:
+//                                    a recycled same-address generation
+//                                    fails. Constant true under EBR and
+//                                    hazard pointers (their protect pins
+//                                    the block, so the body's stripped
+//                                    compare suffices) — a yield op under
+//                                    kTagged only
+//   ReclaimPolicy reclaim_policy() — the active reclamation backend
 //   void retire(Word block, Word cells)       — deferred reclamation of a
-//                                               published block
+//                                               published block whose
+//                                               readers follow the protect
+//                                               discipline (every
+//                                               dereference under a live
+//                                               protect of the block)
+//   void retire_grace(Word block, Word cells) — reclamation of a published
+//                                               block whose readers only
+//                                               guarantee operation
+//                                               bracketing: freed after a
+//                                               full grace period under
+//                                               every backend (the choice
+//                                               for bodies without a
+//                                               protect protocol)
 //   void free_private(Word block, Word cells) — eager free, never published
 //   void await(Word block, Word off, unsigned spins) — bounded wait for the
 //                                       cell to become non-null; a no-op in
@@ -57,8 +91,14 @@
 //
 // Yield-op discipline (what makes one body serve both runtimes):
 //
-//   * Only load/store/cas/choose are interference points; everything the
-//     body does between two yield ops executes atomically in simulation.
+//   * Only load/store/cas/protect/choose are interference points;
+//     everything the body does between two yield ops executes atomically
+//     in simulation.
+//   * Under the default EBR policy, protect *is* load and release is a
+//     no-op — annotated bodies keep the exact meaning (and state space)
+//     they had before the reclamation axis existed. Under hazard pointers
+//     it publishes an HP slot; under tagged pointers it records the raw
+//     tagged word for the widened CAS.
 //   * store_private must never target a cell another thread may CAS
 //     (exchanger holes, sync-queue match fields, queue next links after
 //     publication): SimEnv re-executes the body from the start on every
@@ -90,11 +130,21 @@
 
 #include <cstdint>
 
+#include "runtime/reclaim/reclaimer.hpp"
+
 namespace cal::objects {
 
 /// The cell word of both runtimes: SimMemory words and (via
 /// reinterpret_cast of std::atomic<Word>*) real heap addresses.
 using Word = std::int64_t;
+
+/// The reclamation-policy axis (runtime/reclaim/reclaimer.hpp), shared by
+/// both runtimes: RealEnv caches its Reclaimer's policy, SimEnv reflects
+/// WorldConfig::reclaim_policy. Where a backend's safety contract
+/// genuinely differs, bodies use policy-sensitive primitives (validate)
+/// rather than branching by hand — each instantiation is model-checked
+/// under its own policy.
+using runtime::ReclaimPolicy;
 
 /// The null block / null cell value.
 inline constexpr Word kNullRef = 0;

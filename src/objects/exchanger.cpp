@@ -10,14 +10,14 @@ Exchanger::~Exchanger() {
   if (leftover != kNullRef &&
       RealEnv::cell(leftover, core::kOfferHole)
               ->load(std::memory_order_acquire) == kNullRef) {
-    delete[] RealEnv::cell(leftover, 0);
+    rec_->dealloc(0, leftover, core::kOfferCells);
   }
 }
 
 ExchangeResult Exchanger::exchange(ThreadId tid, std::int64_t v,
                                    unsigned spins) {
-  EpochDomain::Guard guard(ebr_, tid);
-  RealEnv env(&ebr_, tid, trace_);
+  Reclaimer::Guard guard(*rec_, tid);
+  RealEnv env(rec_, tid, trace_);
   const core::ExchangeOutcome r =
       core::exchange(env, refs_, name_, method_, tid, v, spins);
   return {r.ok, r.value};

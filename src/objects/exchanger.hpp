@@ -13,18 +13,21 @@
 // to the TraceLog.
 //
 // Memory: offers may be read by racing threads after the owning call
-// returns, so they are retired through an EpochDomain (the GC substitute;
-// see runtime/ebr.hpp).
+// returns, so they are retired with retire_grace — the body has no
+// protect protocol, so every backend defers the free for a full grace
+// period (the enter/exit bracketing is the only discipline offers need).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 
 #include "cal/ca_trace.hpp"
 #include "cal/symbol.hpp"
 #include "objects/core/exchanger_core.hpp"
 #include "objects/real_env.hpp"
-#include "runtime/ebr.hpp"
+#include "runtime/reclaim/ebr.hpp"
+#include "runtime/reclaim/ebr_reclaimer.hpp"
 #include "runtime/trace_log.hpp"
 
 namespace cal::objects {
@@ -47,9 +50,20 @@ class Exchanger {
   /// non-null, receives the auxiliary CA-elements. `method` is the method
   /// name logged in 𝒯 ("exchange" for exchangers; rendezvous objects reuse
   /// the protocol under their own method name).
+  Exchanger(Reclaimer& rec, Symbol name, TraceLog* trace = nullptr,
+            Symbol method = Symbol("exchange"))
+      : rec_(&rec), name_(name), trace_(trace), method_(method) {
+    refs_.g = RealEnv::ref(&g_storage_);
+    refs_.fail = RealEnv::ref(fail_cells_);
+  }
+  /// Convenience constructor: the historical EBR-domain signature.
   Exchanger(EpochDomain& ebr, Symbol name, TraceLog* trace = nullptr,
             Symbol method = Symbol("exchange"))
-      : ebr_(ebr), name_(name), trace_(trace), method_(method) {
+      : own_(std::make_unique<runtime::EbrReclaimer>(ebr)),
+        rec_(own_.get()),
+        name_(name),
+        trace_(trace),
+        method_(method) {
     refs_.g = RealEnv::ref(&g_storage_);
     refs_.fail = RealEnv::ref(fail_cells_);
   }
@@ -72,7 +86,8 @@ class Exchanger {
   }
 
  private:
-  EpochDomain& ebr_;
+  std::unique_ptr<runtime::EbrReclaimer> own_;  // convenience-ctor adapter
+  Reclaimer* rec_;
   Symbol name_;
   TraceLog* trace_;
   Symbol method_;

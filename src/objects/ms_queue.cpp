@@ -2,36 +2,53 @@
 
 namespace cal::objects {
 
+MsQueue::MsQueue(Reclaimer& rec, Symbol name, TraceLog* trace)
+    : rec_(&rec), name_(name), trace_(trace) {
+  init();
+}
+
 MsQueue::MsQueue(EpochDomain& ebr, Symbol name, TraceLog* trace)
-    : ebr_(ebr), name_(name), trace_(trace) {
+    : own_(std::make_unique<runtime::EbrReclaimer>(ebr)),
+      rec_(own_.get()),
+      name_(name),
+      trace_(trace) {
+  init();
+}
+
+void MsQueue::init() {
   refs_.head = RealEnv::ref(&head_storage_);
   refs_.tail = RealEnv::ref(&tail_storage_);
-  const Word dummy = reinterpret_cast<Word>(
-      new std::atomic<Word>[core::kQNodeCells]());
+  // The dummy goes through the reclaimer: deq eventually retires it when
+  // the head swings past, so it must come from the same allocator as every
+  // other node (type-stable free lists under the tagged backend).
+  const Word dummy = rec_->alloc(0, core::kQNodeCells);
   head_storage_.store(dummy, std::memory_order_relaxed);
   tail_storage_.store(dummy, std::memory_order_relaxed);
 }
 
 MsQueue::~MsQueue() {
-  Word n = head_storage_.load(std::memory_order_acquire);
+  // Strip every link: the tagged backend keeps generation tags on the
+  // head and next cells. Free through the reclaimer (tid 0: destruction
+  // is single-threaded).
+  Word n = rec_->strip(head_storage_.load(std::memory_order_acquire));
   while (n != kNullRef) {
-    const Word next =
-        RealEnv::cell(n, core::kQNodeNext)->load(std::memory_order_acquire);
-    delete[] RealEnv::cell(n, 0);
+    const Word next = rec_->strip(
+        RealEnv::cell(n, core::kQNodeNext)->load(std::memory_order_acquire));
+    rec_->dealloc(0, n, core::kQNodeCells);
     n = next;
   }
 }
 
 void MsQueue::enq(ThreadId tid, std::int64_t v) {
-  EpochDomain::Guard guard(ebr_, tid);
-  RealEnv env(&ebr_, tid, trace_);
+  Reclaimer::Guard guard(*rec_, tid);
+  RealEnv env(rec_, tid, trace_);
   while (!core::ms_queue_enq_attempt(env, refs_, name_, tid, v)) {
   }
 }
 
 PopResult MsQueue::deq(ThreadId tid) {
-  EpochDomain::Guard guard(ebr_, tid);
-  RealEnv env(&ebr_, tid, trace_);
+  Reclaimer::Guard guard(*rec_, tid);
+  RealEnv env(rec_, tid, trace_);
   for (;;) {
     const core::MsQueueDeqOutcome r =
         core::ms_queue_deq_attempt(env, refs_, name_, tid);

@@ -16,18 +16,25 @@
 #include <atomic>
 #include <cstdint>
 
+#include <memory>
+
 #include "cal/ca_trace.hpp"
 #include "cal/symbol.hpp"
 #include "objects/core/ms_queue_core.hpp"
 #include "objects/real_env.hpp"
 #include "objects/treiber_stack.hpp"  // PopResult
-#include "runtime/ebr.hpp"
+#include "runtime/reclaim/ebr.hpp"
+#include "runtime/reclaim/ebr_reclaimer.hpp"
 #include "runtime/trace_log.hpp"
 
 namespace cal::objects {
 
 class MsQueue {
  public:
+  /// Primary constructor: any reclamation backend (must outlive the
+  /// queue); the dummy node is allocated through it.
+  MsQueue(Reclaimer& rec, Symbol name, TraceLog* trace = nullptr);
+  /// Convenience constructor: the historical EBR-domain signature.
   MsQueue(EpochDomain& ebr, Symbol name, TraceLog* trace = nullptr);
   ~MsQueue();
 
@@ -41,7 +48,10 @@ class MsQueue {
   [[nodiscard]] Symbol name() const noexcept { return name_; }
 
  private:
-  EpochDomain& ebr_;
+  void init();
+
+  std::unique_ptr<runtime::EbrReclaimer> own_;  // convenience-ctor adapter
+  Reclaimer* rec_;
   Symbol name_;
   TraceLog* trace_;
   std::atomic<Word> head_storage_{0};

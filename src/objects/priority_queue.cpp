@@ -5,7 +5,7 @@ namespace cal::objects {
 BucketPriorityQueue::BucketPriorityQueue(runtime::EpochDomain& ebr,
                                          Symbol name, std::size_t buckets,
                                          runtime::TraceLog* trace)
-    : ebr_(ebr),
+    : rec_(ebr),
       name_(name),
       trace_(trace),
       buckets_(buckets),
@@ -28,8 +28,8 @@ BucketPriorityQueue::~BucketPriorityQueue() {
 
 bool BucketPriorityQueue::insert(runtime::ThreadId tid, std::int64_t v) {
   if (v < 0 || static_cast<std::size_t>(v) >= buckets_) return false;
-  runtime::EpochDomain::Guard guard(ebr_, tid);
-  RealEnv env(&ebr_, tid, trace_);
+  Reclaimer::Guard guard(rec_, tid);
+  RealEnv env(&rec_, tid, trace_);
   while (!core::pq_insert_attempt(env, refs_, name_, tid, v)) {
     std::this_thread::yield();
   }
@@ -37,8 +37,8 @@ bool BucketPriorityQueue::insert(runtime::ThreadId tid, std::int64_t v) {
 }
 
 PopResult BucketPriorityQueue::delete_min(runtime::ThreadId tid) {
-  runtime::EpochDomain::Guard guard(ebr_, tid);
-  RealEnv env(&ebr_, tid, trace_);
+  Reclaimer::Guard guard(rec_, tid);
+  RealEnv env(&rec_, tid, trace_);
   for (;;) {
     const core::PqDeleteOutcome r = core::pq_delete_min_attempt(
         env, refs_, static_cast<Word>(buckets_), name_, tid);

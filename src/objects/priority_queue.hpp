@@ -19,7 +19,8 @@
 #include "objects/core/pq_core.hpp"
 #include "objects/real_env.hpp"
 #include "objects/treiber_stack.hpp"  // PopResult
-#include "runtime/ebr.hpp"
+#include "runtime/reclaim/ebr.hpp"
+#include "runtime/reclaim/ebr_reclaimer.hpp"
 #include "runtime/trace_log.hpp"
 
 namespace cal::objects {
@@ -48,7 +49,9 @@ class BucketPriorityQueue {
   [[nodiscard]] std::size_t buckets() const noexcept { return buckets_; }
 
  private:
-  runtime::EpochDomain& ebr_;
+  /// The bucket body has no protect protocol (retire_grace): EBR-only,
+  /// adapted through an EbrReclaimer member.
+  runtime::EbrReclaimer rec_;
   Symbol name_;
   runtime::TraceLog* trace_;
   std::size_t buckets_;

@@ -29,12 +29,16 @@
 #include <utility>
 
 #include "objects/env.hpp"
-#include "runtime/ebr.hpp"
+#include "runtime/reclaim/ebr.hpp"
+#include "runtime/reclaim/reclaimer.hpp"
+#include "runtime/reclaim/tagged.hpp"
 #include "runtime/trace_log.hpp"
 
 namespace cal::objects {
 
 using runtime::EpochDomain;
+using runtime::Reclaimer;
+using runtime::ReclaimPolicy;
 using runtime::TraceLog;
 
 namespace detail {
@@ -119,13 +123,17 @@ constexpr std::memory_order rmw_order(MemOrder mo) noexcept {
 
 class RealEnv {
  public:
-  /// `ebr` may be null for objects that never retire (the snapshot);
+  /// `rec` may be null for objects that never retire (the snapshot);
   /// `trace` may be null to disable instrumentation entirely — emit then
   /// never evaluates its thunk, keeping CaElement construction off the hot
-  /// path.
-  RealEnv(EpochDomain* ebr, runtime::ThreadId tid,
-          TraceLog* trace) noexcept
-      : ebr_(ebr), trace_(trace), tid_(tid) {}
+  /// path. The reclamation policy is cached at construction so every
+  /// dispatch below is a branch on a local, not a virtual call, on the
+  /// default EBR path.
+  RealEnv(Reclaimer* rec, runtime::ThreadId tid, TraceLog* trace) noexcept
+      : rec_(rec),
+        trace_(trace),
+        tid_(tid),
+        policy_(rec != nullptr ? rec->policy() : ReclaimPolicy::kEbr) {}
 
   static std::atomic<Word>* cell(Word block, Word off) noexcept {
     return reinterpret_cast<std::atomic<Word>*>(block) + off;
@@ -154,8 +162,38 @@ class RealEnv {
         : (mo == MemOrder::kRelaxed || mo == MemOrder::kRelease)
             ? std::memory_order_relaxed
             : std::memory_order_acquire;
+    if (policy_ == ReclaimPolicy::kTagged) {
+      // The tagged backend widens the compare to the raw word recorded by
+      // the protect of this cell (address + generation tag).
+      return rec_->cas(tid_, cell(block, off), expected, desired,
+                       detail::rmw_order(mo), failure);
+    }
     return cell(block, off)->compare_exchange_strong(
         expected, desired, detail::rmw_order(mo), failure);
+  }
+
+  Word protect(Word block, Word off,
+               MemOrder mo = MemOrder::kSeqCst) const noexcept {
+    // EBR: grace periods protect everything an operation can reach, so
+    // protect degenerates to the plain load it replaced.
+    if (policy_ == ReclaimPolicy::kEbr) return load(block, off, mo);
+    return rec_->protect(tid_, cell(block, off), detail::load_order(mo));
+  }
+
+  void release() const noexcept {
+    if (policy_ != ReclaimPolicy::kEbr) rec_->release(tid_);
+  }
+
+  [[nodiscard]] bool validate(Word block, Word off) const noexcept {
+    // EBR and hazard pointers pin the protected block, so the body's own
+    // stripped compare is already generation-accurate; only the tagged
+    // backend needs the raw re-load.
+    if (policy_ != ReclaimPolicy::kTagged) return true;
+    return rec_->validate(tid_, cell(block, off));
+  }
+
+  [[nodiscard]] ReclaimPolicy reclaim_policy() const noexcept {
+    return policy_;
   }
 
   Word choose(Word n) const noexcept {
@@ -164,6 +202,11 @@ class RealEnv {
   }
 
   Word alloc(Word cells) const {
+    if (policy_ == ReclaimPolicy::kTagged) {
+      // Recycles from the type-stable free lists (value bits zeroed, tag
+      // bits preserved).
+      return rec_->alloc(tid_, cells);
+    }
     // Value-initialized: all cells zero, as the concept requires.
     return reinterpret_cast<Word>(
         new std::atomic<Word>[static_cast<std::size_t>(cells)]());
@@ -174,16 +217,30 @@ class RealEnv {
   }
 
   void store_private(Word block, Word off, Word v) const noexcept {
+    if (policy_ == ReclaimPolicy::kTagged) {
+      // A recycled cell may carry a generation tag that must survive
+      // re-initialization (the per-cell count is monotone across block
+      // lifetimes — resetting it would re-admit ABA).
+      static_cast<runtime::TaggedReclaimer*>(rec_)->store_preserving_tag(
+          cell(block, off), v);
+      return;
+    }
     cell(block, off)->store(v, std::memory_order_relaxed);
   }
 
-  void retire(Word block, Word /*cells*/) const {
-    ebr_->retire(tid_, reinterpret_cast<void*>(block), [](void* p) {
-      delete[] static_cast<std::atomic<Word>*>(p);
-    });
+  void retire(Word block, Word cells) const {
+    rec_->retire(tid_, block, cells);
   }
 
-  void free_private(Word block, Word /*cells*/) const {
+  void retire_grace(Word block, Word cells) const {
+    rec_->retire_grace(tid_, block, cells);
+  }
+
+  void free_private(Word block, Word cells) const {
+    if (rec_ != nullptr) {
+      rec_->dealloc(tid_, block, cells);
+      return;
+    }
     delete[] reinterpret_cast<std::atomic<Word>*>(block);
   }
 
@@ -206,9 +263,10 @@ class RealEnv {
   void event(unsigned /*bit*/) const noexcept {}
 
  private:
-  EpochDomain* ebr_;
+  Reclaimer* rec_;
   TraceLog* trace_;
   runtime::ThreadId tid_;
+  ReclaimPolicy policy_;
 };
 
 }  // namespace cal::objects

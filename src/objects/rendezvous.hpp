@@ -23,9 +23,11 @@ namespace cal::objects {
 
 class Rendezvous {
  public:
+  /// The striped-exchange body has no protect protocol (retire_grace):
+  /// EBR-only, adapted through an EbrReclaimer member.
   Rendezvous(EpochDomain& ebr, Symbol name, std::size_t width = 1,
              TraceLog* trace = nullptr)
-      : ebr_(ebr), name_(name), trace_(trace) {
+      : rec_(ebr), name_(name), trace_(trace) {
     static const Symbol kMethod{"rendezvous"};
     slots_.reserve(width);
     slot_refs_.reserve(width);
@@ -36,7 +38,7 @@ class Rendezvous {
       // are viewed through cal::make_f_ar(name, width).
       const Symbol slot_name = width == 1 ? name : elim_slot_name(name, i);
       slots_.push_back(
-          std::make_unique<Exchanger>(ebr, slot_name, trace, kMethod));
+          std::make_unique<Exchanger>(rec_, slot_name, trace, kMethod));
       slot_refs_.push_back(slots_.back()->refs());
       slot_names_.push_back(slot_name);
     }
@@ -48,8 +50,8 @@ class Rendezvous {
   /// Meets a partner and swaps values; (false, v) if none arrived in time.
   ExchangeResult meet(ThreadId tid, std::int64_t v, unsigned spins = 256) {
     static const Symbol kMethod{"rendezvous"};
-    EpochDomain::Guard guard(ebr_, tid);
-    RealEnv env(&ebr_, tid, trace_);
+    Reclaimer::Guard guard(rec_, tid);
+    RealEnv env(&rec_, tid, trace_);
     const core::ExchangeOutcome r = core::striped_exchange(
         env, slot_refs_.data(), slot_names_.data(), slots_.size(), kMethod,
         tid, v, spins);
@@ -60,7 +62,7 @@ class Rendezvous {
   [[nodiscard]] std::size_t width() const noexcept { return slots_.size(); }
 
  private:
-  EpochDomain& ebr_;
+  runtime::EbrReclaimer rec_;
   Symbol name_;
   TraceLog* trace_;
   std::vector<std::unique_ptr<Exchanger>> slots_;

@@ -17,8 +17,8 @@ SyncQueue::~SyncQueue() {
 
 bool SyncQueue::transfer(ThreadId tid, Word mode, std::int64_t v,
                          unsigned spins, std::int64_t& received) {
-  EpochDomain::Guard guard(ebr_, tid);
-  RealEnv env(&ebr_, tid, trace_);
+  Reclaimer::Guard guard(rec_, tid);
+  RealEnv env(&rec_, tid, trace_);
   for (;;) {
     const core::SyncTransferOutcome r = core::sync_queue_transfer_attempt(
         env, refs_, name_, tid, mode, v, spins);

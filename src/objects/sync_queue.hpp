@@ -31,15 +31,19 @@
 #include "objects/core/sync_queue_core.hpp"
 #include "objects/real_env.hpp"
 #include "objects/treiber_stack.hpp"  // PopResult
-#include "runtime/ebr.hpp"
+#include "runtime/reclaim/ebr.hpp"
+#include "runtime/reclaim/ebr_reclaimer.hpp"
 #include "runtime/trace_log.hpp"
 
 namespace cal::objects {
 
 class SyncQueue {
  public:
+  /// The dual-stack body has no protect protocol (it retires with
+  /// retire_grace), so this wrapper stays EBR-only: the domain is adapted
+  /// through an EbrReclaimer member.
   SyncQueue(EpochDomain& ebr, Symbol name, TraceLog* trace = nullptr)
-      : ebr_(ebr), name_(name), trace_(trace) {
+      : rec_(ebr), name_(name), trace_(trace) {
     refs_.top = RealEnv::ref(&top_storage_);
     refs_.cancelled = RealEnv::ref(cancelled_cells_);
   }
@@ -62,7 +66,7 @@ class SyncQueue {
   bool transfer(ThreadId tid, Word mode, std::int64_t v, unsigned spins,
                 std::int64_t& received);
 
-  EpochDomain& ebr_;
+  runtime::EbrReclaimer rec_;
   Symbol name_;
   TraceLog* trace_;
   std::atomic<Word> top_storage_{0};

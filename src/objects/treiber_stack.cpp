@@ -3,24 +3,27 @@
 namespace cal::objects {
 
 CentralStack::~CentralStack() {
-  Word c = top_storage_.load(std::memory_order_acquire);
+  // Strip every link: under the tagged backend the cells carry generation
+  // tags. Freeing goes through the reclaimer so type-stable backends keep
+  // their free lists consistent (tid 0: no concurrency at destruction).
+  Word c = rec_->strip(top_storage_.load(std::memory_order_acquire));
   while (c != kNullRef) {
-    const Word next =
-        RealEnv::cell(c, core::kCellNext)->load(std::memory_order_relaxed);
-    delete[] RealEnv::cell(c, 0);
+    const Word next = rec_->strip(
+        RealEnv::cell(c, core::kCellNext)->load(std::memory_order_relaxed));
+    rec_->dealloc(0, c, core::kCellCells);
     c = next;
   }
 }
 
 bool CentralStack::push(ThreadId tid, std::int64_t v) {
-  EpochDomain::Guard guard(ebr_, tid);
-  RealEnv env(&ebr_, tid, trace_);
+  Reclaimer::Guard guard(*rec_, tid);
+  RealEnv env(rec_, tid, trace_);
   return core::stack_push_attempt(env, refs_, name_, tid, v);
 }
 
 PopResult CentralStack::pop(ThreadId tid) {
-  EpochDomain::Guard guard(ebr_, tid);
-  RealEnv env(&ebr_, tid, trace_);
+  Reclaimer::Guard guard(*rec_, tid);
+  RealEnv env(rec_, tid, trace_);
   const core::StackPopOutcome r =
       core::stack_pop_attempt(env, refs_, name_, tid);
   if (r.kind == core::StackPop::kGot) return {true, r.value};

@@ -9,20 +9,24 @@
 // elimination stack's pop loops instead of reporting empty.
 //
 // The attempt bodies live in objects/core/stack_core.hpp, shared with the
-// model checker; this class owns the top cell, the epoch pinning, and the
-// TraceLog routing. Cells are retired through the EpochDomain; not reusing
-// them until safe also rules out the top-pointer ABA.
+// model checker; this class owns the top cell, the operation bracketing,
+// and the TraceLog routing. Cells are retired through the pluggable
+// Reclaimer (runtime/reclaim/): under the default EBR backend they are not
+// reused until safe, which also rules out the top-pointer ABA; the hazard
+// and tagged backends defend the annotated protect/CAS protocol instead.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <thread>
 
 #include "cal/ca_trace.hpp"
 #include "cal/symbol.hpp"
 #include "objects/core/stack_core.hpp"
 #include "objects/real_env.hpp"
-#include "runtime/ebr.hpp"
+#include "runtime/reclaim/ebr.hpp"
+#include "runtime/reclaim/ebr_reclaimer.hpp"
 #include "runtime/trace_log.hpp"
 
 namespace cal::objects {
@@ -40,8 +44,19 @@ struct PopResult {
 
 class CentralStack {
  public:
+  /// Primary constructor: any reclamation backend. The reclaimer must
+  /// outlive the stack (the destructor walks and frees through it).
+  CentralStack(Reclaimer& rec, Symbol name, TraceLog* trace = nullptr)
+      : rec_(&rec), name_(name), trace_(trace) {
+    refs_.top = RealEnv::ref(&top_storage_);
+  }
+  /// Convenience constructor: the historical EBR-domain signature, wrapped
+  /// in an owned EbrReclaimer adapter.
   CentralStack(EpochDomain& ebr, Symbol name, TraceLog* trace = nullptr)
-      : ebr_(ebr), name_(name), trace_(trace) {
+      : own_(std::make_unique<runtime::EbrReclaimer>(ebr)),
+        rec_(own_.get()),
+        name_(name),
+        trace_(trace) {
     refs_.top = RealEnv::ref(&top_storage_);
   }
   ~CentralStack();
@@ -56,7 +71,9 @@ class CentralStack {
 
   /// True iff the stack is empty at this instant (test/diagnostic helper).
   [[nodiscard]] bool empty() const noexcept {
-    return top_storage_.load(std::memory_order_acquire) == kNullRef;
+    // Strip: under the tagged backend a null top still carries its tag.
+    return rec_->strip(top_storage_.load(std::memory_order_acquire)) ==
+           kNullRef;
   }
 
   [[nodiscard]] Symbol name() const noexcept { return name_; }
@@ -65,7 +82,8 @@ class CentralStack {
   [[nodiscard]] const core::StackRefs& refs() const noexcept { return refs_; }
 
  private:
-  EpochDomain& ebr_;
+  std::unique_ptr<runtime::EbrReclaimer> own_;  // convenience-ctor adapter
+  Reclaimer* rec_;
   Symbol name_;
   TraceLog* trace_;
   std::atomic<Word> top_storage_{0};
@@ -76,6 +94,8 @@ class CentralStack {
 /// wins. push always succeeds; pop returns (false,0) only when empty.
 class TreiberStack {
  public:
+  TreiberStack(Reclaimer& rec, Symbol name, TraceLog* trace = nullptr)
+      : inner_(rec, name, trace) {}
   TreiberStack(EpochDomain& ebr, Symbol name, TraceLog* trace = nullptr)
       : inner_(ebr, name, trace) {}
 

@@ -33,7 +33,7 @@
 // release/acquire pair, and no correctness property rests on a thread's
 // *own* store becoming visible before one of its later loads — the
 // store→load reordering TSO permits (the EBR pin() needed a fence for
-// precisely that; see runtime/ebr.cpp). size()'s acquire on next_ only
+// precisely that; see runtime/reclaim/ebr.cpp). size()'s acquire on next_ only
 // tightens the prefix bound readers start from; staleness there delays,
 // never corrupts, a poll.
 #pragma once

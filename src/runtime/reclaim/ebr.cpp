@@ -1,4 +1,4 @@
-#include "runtime/ebr.hpp"
+#include "runtime/reclaim/ebr.hpp"
 
 #include <cassert>
 
@@ -7,7 +7,10 @@ namespace cal::runtime {
 EpochDomain::~EpochDomain() {
   // No thread may be pinned at destruction; everything retired is safe.
   for (RetireShard& shard : shards_) {
-    for (const Retired& r : shard.list) r.deleter(r.ptr);
+    for (const Retired& r : shard.list) {
+      r.deleter(r.ptr);
+      reclaimed_.fetch_add(1, std::memory_order_relaxed);
+    }
     shard.list.clear();
   }
 }
@@ -57,6 +60,8 @@ void EpochDomain::free_safe(RetireShard& shard) {
     // pinned at retirement time has since unpinned or re-pinned.
     if (r.epoch + 2 <= e) {
       r.deleter(r.ptr);
+      live_.fetch_sub(1, std::memory_order_relaxed);
+      reclaimed_.fetch_add(1, std::memory_order_relaxed);
     } else {
       shard.list[kept++] = r;
     }
@@ -71,6 +76,11 @@ void EpochDomain::retire(ThreadId t, void* p, void (*deleter)(void*)) {
   shard.list.push_back(
       Retired{p, deleter, global_epoch_.load(std::memory_order_acquire)});
   shard.size.store(shard.list.size(), std::memory_order_relaxed);
+  const std::size_t live = live_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::size_t hw = high_water_.load(std::memory_order_relaxed);
+  while (live > hw && !high_water_.compare_exchange_weak(
+                          hw, live, std::memory_order_relaxed)) {
+  }
   if (shard.list.size() >= kCollectThreshold) collect(t);
 }
 

@@ -58,6 +58,14 @@ class EpochDomain {
   }
   /// Nodes retired and not yet freed (approximate; for tests/metrics).
   [[nodiscard]] std::size_t retired_count() const noexcept;
+  /// Nodes whose deleter has run since construction.
+  [[nodiscard]] std::size_t reclaimed_total() const noexcept {
+    return reclaimed_.load(std::memory_order_relaxed);
+  }
+  /// Largest retired-and-pending population ever observed.
+  [[nodiscard]] std::size_t retired_high_water() const noexcept {
+    return high_water_.load(std::memory_order_relaxed);
+  }
 
   class Guard {
    public:
@@ -94,6 +102,9 @@ class EpochDomain {
   void free_safe(RetireShard& shard);
 
   std::atomic<std::uint64_t> global_epoch_{1};
+  std::atomic<std::size_t> live_{0};       // retired, deleter not yet run
+  std::atomic<std::size_t> high_water_{0};
+  std::atomic<std::size_t> reclaimed_{0};
   Slot slots_[kMaxThreads];
   RetireShard shards_[kMaxThreads];
 };

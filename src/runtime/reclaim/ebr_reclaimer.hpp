@@ -1,0 +1,73 @@
+// EbrReclaimer — the epoch-based backend of the Reclaimer interface,
+// wrapping the pre-existing EpochDomain (ebr.hpp). This is the default
+// policy: protect is a plain load (grace periods, not per-pointer
+// protection, keep retired blocks alive), so bodies annotated with the
+// protect protocol compile to exactly the code they ran before the
+// reclamation axis existed.
+#pragma once
+
+#include <memory>
+
+#include "runtime/reclaim/ebr.hpp"
+#include "runtime/reclaim/reclaimer.hpp"
+
+namespace cal::runtime {
+
+class EbrReclaimer final : public Reclaimer {
+ public:
+  /// Owns a private domain.
+  EbrReclaimer() : owned_(std::make_unique<EpochDomain>()), ebr_(owned_.get()) {}
+  /// Shares an external domain (several objects in one grace universe).
+  explicit EbrReclaimer(EpochDomain& ebr) noexcept : ebr_(&ebr) {}
+
+  [[nodiscard]] ReclaimPolicy policy() const noexcept override {
+    return ReclaimPolicy::kEbr;
+  }
+
+  void enter(ThreadId t) noexcept override { ebr_->pin(t); }
+  void exit(ThreadId t) noexcept override { ebr_->unpin(t); }
+
+  Word protect(ThreadId t, const std::atomic<Word>* cell,
+               std::memory_order order) noexcept override {
+    (void)t;
+    return cell->load(order);
+  }
+
+  void release(ThreadId /*t*/) noexcept override {}
+
+  bool cas(ThreadId /*t*/, std::atomic<Word>* cell, Word expected,
+           Word desired, std::memory_order success,
+           std::memory_order failure) noexcept override {
+    return cell->compare_exchange_strong(expected, desired, success, failure);
+  }
+
+  [[nodiscard]] Word alloc(ThreadId /*t*/, Word cells) override {
+    return new_block(cells);
+  }
+
+  void dealloc(ThreadId /*t*/, Word block, Word /*cells*/) noexcept override {
+    delete_block(block);
+  }
+
+  void retire(ThreadId t, Word block, Word /*cells*/) override {
+    ebr_->retire(t, reinterpret_cast<void*>(block),
+                 [](void* p) { delete_block(reinterpret_cast<Word>(p)); });
+  }
+
+  void retire_grace(ThreadId t, Word block, Word cells) override {
+    retire(t, block, cells);  // EBR retirement *is* the grace period
+  }
+
+  [[nodiscard]] ReclaimStats stats() const noexcept override {
+    return ReclaimStats{ebr_->retired_count(), ebr_->reclaimed_total(),
+                        ebr_->retired_high_water()};
+  }
+
+  [[nodiscard]] EpochDomain& domain() noexcept { return *ebr_; }
+
+ private:
+  std::unique_ptr<EpochDomain> owned_;  // null when wrapping external
+  EpochDomain* ebr_;
+};
+
+}  // namespace cal::runtime

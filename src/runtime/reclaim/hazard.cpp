@@ -1,0 +1,120 @@
+#include "runtime/reclaim/hazard.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cal::runtime {
+
+HpReclaimer::~HpReclaimer() {
+  // No thread may hold a protection at destruction.
+  for (Shard& shard : shards_) {
+    for (Word block : shard.list) {
+      delete_block(block);
+      reclaimed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard.list.clear();
+  }
+}
+
+void HpReclaimer::enter(ThreadId t) noexcept {
+  assert(t < kMaxThreads);
+  grace_.pin(t);
+}
+
+void HpReclaimer::exit(ThreadId t) noexcept {
+  release(t);
+  grace_.unpin(t);
+}
+
+auto HpReclaimer::protect(ThreadId t, const std::atomic<Word>* cell,
+                          std::memory_order order) noexcept -> Word {
+  assert(t < kMaxThreads);
+  Slots& slots = slots_[t];
+  std::atomic<Word>& slot = slots.hp[slots.next];
+  slots.next = (slots.next + 1) % kSlots;
+  Word raw = cell->load(order);
+  for (;;) {
+    if (raw == 0) {
+      slot.store(0, std::memory_order_release);
+      return 0;
+    }
+    // Publish, then validate: the seq_cst store is ordered before the
+    // re-load, and pairs with the seq_cst scan loads in scan() — either
+    // the scanner sees this protection, or this validate sees the
+    // unlinking store and retries.
+    slot.store(raw, std::memory_order_seq_cst);
+    const Word again = cell->load(std::memory_order_seq_cst);
+    if (again == raw) return raw;
+    raw = again;
+  }
+}
+
+void HpReclaimer::release(ThreadId t) noexcept {
+  assert(t < kMaxThreads);
+  for (std::atomic<Word>& slot : slots_[t].hp) {
+    slot.store(0, std::memory_order_release);
+  }
+  slots_[t].next = 0;
+}
+
+void HpReclaimer::retire(ThreadId t, Word block, Word /*cells*/) {
+  assert(t < kMaxThreads);
+  Shard& shard = shards_[t];
+  shard.list.push_back(block);
+  shard.size.store(shard.list.size(), std::memory_order_relaxed);
+  const std::size_t live = live_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::size_t hw = high_water_.load(std::memory_order_relaxed);
+  while (live > hw && !high_water_.compare_exchange_weak(
+                          hw, live, std::memory_order_relaxed)) {
+  }
+  if (shard.list.size() >= kScanThreshold) scan(t);
+}
+
+void HpReclaimer::retire_grace(ThreadId t, Word block, Word /*cells*/) {
+  // Grace-period blocks live in the internal epoch domain, which keeps
+  // its own pending/reclaimed/high-water counters (merged in stats()).
+  grace_.retire(t, reinterpret_cast<void*>(block),
+                [](void* p) { delete_block(reinterpret_cast<Word>(p)); });
+}
+
+void HpReclaimer::scan(ThreadId t) {
+  // Snapshot every published protection. Pairs with the seq_cst publish
+  // in protect(): a protection established before this scan is visible.
+  std::vector<Word> hazards;
+  hazards.reserve(kMaxThreads * kSlots);
+  for (const Slots& slots : slots_) {
+    for (const std::atomic<Word>& slot : slots.hp) {
+      const Word h = slot.load(std::memory_order_seq_cst);
+      if (h != 0) hazards.push_back(h);
+    }
+  }
+  std::sort(hazards.begin(), hazards.end());
+
+  Shard& shard = shards_[t];
+  std::size_t kept = 0;
+  for (Word block : shard.list) {
+    if (std::binary_search(hazards.begin(), hazards.end(), block)) {
+      shard.list[kept++] = block;
+    } else {
+      delete_block(block);
+      live_.fetch_sub(1, std::memory_order_relaxed);
+      reclaimed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  shard.list.resize(kept);
+  shard.size.store(kept, std::memory_order_relaxed);
+}
+
+ReclaimStats HpReclaimer::stats() const noexcept {
+  std::size_t pending = grace_.retired_count();
+  for (const Shard& shard : shards_) {
+    pending += shard.size.load(std::memory_order_relaxed);
+  }
+  return ReclaimStats{
+      pending,
+      reclaimed_.load(std::memory_order_relaxed) + grace_.reclaimed_total(),
+      high_water_.load(std::memory_order_relaxed) +
+          grace_.retired_high_water()};
+}
+
+}  // namespace cal::runtime

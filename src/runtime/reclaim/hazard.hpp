@@ -1,0 +1,97 @@
+// HpReclaimer — hazard pointers (Michael, "Hazard Pointers: Safe Memory
+// Reclamation for Lock-Free Objects", see PAPERS.md).
+//
+// Each thread owns kSlots hazard slots, used round-robin by protect():
+//
+//   1. load the cell
+//   2. publish the loaded block address into the next slot (seq_cst)
+//   3. re-load the cell; if unchanged the protection is established —
+//      any thread that unlinks the block *after* step 3 must scan the
+//      slots after its retire, and the publish is ordered before its scan
+//      (the seq_cst store/scan pairing); otherwise retry from 1.
+//
+// The slot budget is calibrated to the annotated corpus: the deepest user
+// is the MS-queue dequeue with four live protections per attempt (head,
+// tail, head->next, and the head recheck), so round-robin reuse never
+// evicts a protection that is still load-bearing.
+//
+// retire() appends to a per-thread list; past kScanThreshold the thread
+// snapshots every slot and frees exactly the unprotected blocks. Blocks
+// retired through retire_grace() instead go through an internal
+// EpochDomain whose pin/unpin ride on enter/exit — the escape hatch for
+// blocks handed across threads outside any protect window (exchanger
+// offers, sync-queue nodes).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "runtime/reclaim/ebr.hpp"
+#include "runtime/reclaim/reclaimer.hpp"
+
+namespace cal::runtime {
+
+class HpReclaimer final : public Reclaimer {
+ public:
+  static constexpr std::size_t kMaxThreads = ThreadRegistry::kMaxThreads;
+  static constexpr std::size_t kSlots = 4;
+  /// Retired-list length that triggers a scan.
+  static constexpr std::size_t kScanThreshold = 64;
+
+  HpReclaimer() = default;
+  ~HpReclaimer() override;
+
+  HpReclaimer(const HpReclaimer&) = delete;
+  HpReclaimer& operator=(const HpReclaimer&) = delete;
+
+  [[nodiscard]] ReclaimPolicy policy() const noexcept override {
+    return ReclaimPolicy::kHp;
+  }
+
+  void enter(ThreadId t) noexcept override;
+  void exit(ThreadId t) noexcept override;
+
+  Word protect(ThreadId t, const std::atomic<Word>* cell,
+               std::memory_order order) noexcept override;
+  void release(ThreadId t) noexcept override;
+
+  bool cas(ThreadId /*t*/, std::atomic<Word>* cell, Word expected,
+           Word desired, std::memory_order success,
+           std::memory_order failure) noexcept override {
+    return cell->compare_exchange_strong(expected, desired, success, failure);
+  }
+
+  [[nodiscard]] Word alloc(ThreadId /*t*/, Word cells) override {
+    return new_block(cells);
+  }
+  void dealloc(ThreadId /*t*/, Word block, Word /*cells*/) noexcept override {
+    delete_block(block);
+  }
+
+  void retire(ThreadId t, Word block, Word cells) override;
+  void retire_grace(ThreadId t, Word block, Word cells) override;
+
+  [[nodiscard]] ReclaimStats stats() const noexcept override;
+
+ private:
+  struct alignas(64) Slots {
+    std::atomic<Word> hp[kSlots] = {};
+    std::size_t next = 0;  // owning thread only
+  };
+  struct alignas(64) Shard {
+    std::vector<Word> list;  // owning thread only
+    std::atomic<std::size_t> size{0};
+  };
+
+  void scan(ThreadId t);
+
+  Slots slots_[kMaxThreads];
+  Shard shards_[kMaxThreads];
+  EpochDomain grace_;  // backs retire_grace; pinned via enter/exit
+  std::atomic<std::size_t> live_{0};
+  std::atomic<std::size_t> high_water_{0};
+  std::atomic<std::size_t> reclaimed_{0};
+};
+
+}  // namespace cal::runtime

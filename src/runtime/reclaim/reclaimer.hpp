@@ -1,0 +1,152 @@
+// The pluggable reclamation interface — the policy axis behind Env's
+// protect/release/retire operations (objects/env.hpp).
+//
+// The paper's objects assume a garbage collector; each backend here is one
+// GC substitute with its own safety contract:
+//
+//   * EbrReclaimer (ebr_reclaimer.hpp) — epoch-based grace periods. protect
+//     degenerates to a plain load: safety comes from enter/exit bracketing
+//     every operation (pin/unpin), so a retired block outlives every
+//     operation that could have loaded it.
+//   * HpReclaimer (hazard.hpp) — Michael-style hazard pointers. protect
+//     publishes the loaded block in one of kSlots per-thread slots with a
+//     publish-then-validate loop; retire scans the slots and frees only
+//     unprotected blocks. Bounded garbage, no global grace period.
+//   * TaggedReclaimer (tagged.hpp) — counted/tagged pointers. A per-cell
+//     generation tag is packed beside the 48-bit pointer; protect records
+//     the full raw word, cas widens the comparison to include the tag and
+//     bumps it on success. Retired blocks are reused immediately from
+//     type-stable free lists — the tag, not deferral, defeats ABA.
+//
+// Contract split: `retire` requires the body to follow the full protect
+// discipline on every path that dereferences the block (the annotated
+// Treiber-stack and MS-queue cores do). `retire_grace` only requires
+// enter/exit bracketing — every backend funnels it through an epoch
+// domain — and is what bodies without a protect protocol (exchanger,
+// sync-queue, priority-queue) must use.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "runtime/thread_registry.hpp"
+
+namespace cal::runtime {
+
+/// The cell word shared with objects::Word (std::int64_t): block addresses
+/// are reinterpret_cast pointers to std::atomic<Word> arrays.
+using ReclaimWord = std::int64_t;
+
+/// Selects the backend; mirrored by WorldConfig::reclaim_policy on the
+/// simulation side so the explorer can model each protocol.
+enum class ReclaimPolicy : std::uint8_t { kEbr = 0, kHp = 1, kTagged = 2 };
+
+[[nodiscard]] constexpr const char* reclaim_policy_name(
+    ReclaimPolicy p) noexcept {
+  switch (p) {
+    case ReclaimPolicy::kEbr:
+      return "ebr";
+    case ReclaimPolicy::kHp:
+      return "hp";
+    case ReclaimPolicy::kTagged:
+      return "tagged";
+  }
+  return "?";
+}
+
+struct ReclaimStats {
+  /// Blocks handed to retire()/retire_grace() and not yet freed/recycled.
+  std::size_t retired_pending = 0;
+  /// Blocks freed or recycled since construction.
+  std::size_t reclaimed_total = 0;
+  /// Largest retired-and-pending population ever observed.
+  std::size_t retired_high_water = 0;
+};
+
+class Reclaimer {
+ public:
+  using Word = ReclaimWord;
+
+  virtual ~Reclaimer() = default;
+
+  [[nodiscard]] virtual ReclaimPolicy policy() const noexcept = 0;
+
+  /// Operation bracketing: every object operation that touches shared
+  /// blocks runs between enter(t) and exit(t) (use Guard). exit also drops
+  /// every protection t still holds.
+  virtual void enter(ThreadId t) noexcept = 0;
+  virtual void exit(ThreadId t) noexcept = 0;
+
+  /// Loads *cell and protects the loaded block until release/exit.
+  /// Returns the loaded word with tag bits stripped — always a plain
+  /// block address the caller may dereference.
+  virtual Word protect(ThreadId t, const std::atomic<Word>* cell,
+                       std::memory_order order) noexcept = 0;
+
+  /// Drops every protection t holds (keeps enter/exit bracketing).
+  virtual void release(ThreadId t) noexcept = 0;
+
+  /// Re-loads *cell and reports whether it still holds exactly what t's
+  /// first protect of this cell observed — tag-widened, so a recycled
+  /// same-address block fails. True under backends whose protect already
+  /// pins the block (EBR grace, hazard slots): there the body's own
+  /// stripped compare is sufficient and this is not an interference
+  /// point.
+  [[nodiscard]] virtual bool validate(
+      ThreadId /*t*/, const std::atomic<Word>* /*cell*/) const noexcept {
+    return true;
+  }
+
+  /// CAS on a protocol cell. `expected` is the stripped word a prior
+  /// protect on this cell returned; the tagged backend widens the compare
+  /// to the recorded raw word and installs a bumped tag on success.
+  virtual bool cas(ThreadId t, std::atomic<Word>* cell, Word expected,
+                   Word desired, std::memory_order success,
+                   std::memory_order failure) noexcept = 0;
+
+  /// Fresh zeroed block of `cells` atomic words (value bits zero; the
+  /// tagged backend recycles type-stable storage and preserves tag bits).
+  [[nodiscard]] virtual Word alloc(ThreadId t, Word cells) = 0;
+
+  /// Eagerly frees a block that was never published.
+  virtual void dealloc(ThreadId t, Word block, Word cells) noexcept = 0;
+
+  /// Retires a published block whose readers follow the protect
+  /// discipline. Freed (or recycled) once no protection covers it.
+  virtual void retire(ThreadId t, Word block, Word cells) = 0;
+
+  /// Retires a published block whose readers only guarantee enter/exit
+  /// bracketing: freed after a full grace period under every backend.
+  virtual void retire_grace(ThreadId t, Word block, Word cells) = 0;
+
+  /// Strips tag bits from a raw cell word (identity except kTagged). For
+  /// walking structures outside the Env (destructors).
+  [[nodiscard]] virtual Word strip(Word raw) const noexcept { return raw; }
+
+  [[nodiscard]] virtual ReclaimStats stats() const noexcept = 0;
+
+  class Guard {
+   public:
+    Guard(Reclaimer& r, ThreadId t) noexcept : r_(r), t_(t) { r_.enter(t_); }
+    ~Guard() { r_.exit(t_); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    Reclaimer& r_;
+    ThreadId t_;
+  };
+
+ protected:
+  static Word new_block(Word cells) {
+    // Value-initialized: all cells zero, as the Env concept requires.
+    return reinterpret_cast<Word>(
+        new std::atomic<Word>[static_cast<std::size_t>(cells)]());
+  }
+  static void delete_block(Word block) noexcept {
+    delete[] reinterpret_cast<std::atomic<Word>*>(block);
+  }
+};
+
+}  // namespace cal::runtime

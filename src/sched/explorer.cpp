@@ -200,6 +200,10 @@ class ExplorePolicy {
     events_ |= node.world.events();
     const std::size_t buffered = node.world.memory().buffered_total();
     if (buffered > buffered_max_) buffered_max_ = buffered;
+    const std::size_t recycled = node.world.recycled_allocs();
+    if (recycled > recycled_allocs_) recycled_allocs_ = recycled;
+    const std::size_t retired = node.world.retired().size();
+    if (retired > retired_max_) retired_max_ = retired;
   }
 
   [[nodiscard]] bool cancelled() const noexcept { return done_; }
@@ -309,6 +313,12 @@ class ExplorePolicy {
   [[nodiscard]] std::size_t buffered_max() const noexcept {
     return buffered_max_;
   }
+  [[nodiscard]] std::size_t recycled_allocs() const noexcept {
+    return recycled_allocs_;
+  }
+  [[nodiscard]] std::size_t retired_max() const noexcept {
+    return retired_max_;
+  }
   [[nodiscard]] std::vector<ScheduleViolation>&& violations() noexcept {
     return std::move(violations_);
   }
@@ -374,6 +384,8 @@ class ExplorePolicy {
   std::size_t symmetry_merged_ = 0;
   std::size_t flush_steps_ = 0;
   std::size_t buffered_max_ = 0;
+  std::size_t recycled_allocs_ = 0;
+  std::size_t retired_max_ = 0;
   bool last_renamed_ = false;
   std::vector<ScheduleViolation> violations_;
   bool done_ = false;
@@ -471,6 +483,12 @@ class Walker {
     result_.events |= world.events();
     const std::size_t buffered = world.memory().buffered_total();
     if (buffered > result_.buffered_max) result_.buffered_max = buffered;
+    const std::size_t recycled = world.recycled_allocs();
+    if (recycled > result_.recycled_allocs) {
+      result_.recycled_allocs = recycled;
+    }
+    const std::size_t retired = world.retired().size();
+    if (retired > result_.retired_max) result_.retired_max = retired;
 
     if (options_.max_states != 0 &&
         shared_.states.load(std::memory_order_relaxed) >=
@@ -708,6 +726,8 @@ ExploreResult Explorer::run_sequential() {
   result.symmetry_merged = policy.symmetry_merged();
   result.flush_steps = policy.flush_steps();
   result.buffered_max = policy.buffered_max();
+  result.recycled_allocs = policy.recycled_allocs();
+  result.retired_max = policy.retired_max();
   result.violations = policy.violations();
   return result;
 }
@@ -778,6 +798,10 @@ ExploreResult Explorer::run_parallel(std::size_t threads) {
     total.events |= node.world.events();
     const std::size_t buffered = node.world.memory().buffered_total();
     if (buffered > total.buffered_max) total.buffered_max = buffered;
+    const std::size_t recycled = node.world.recycled_allocs();
+    if (recycled > total.recycled_allocs) total.recycled_allocs = recycled;
+    const std::size_t retired = node.world.retired().size();
+    if (retired > total.retired_max) total.retired_max = retired;
     if (options_.max_states != 0 &&
         shared.states.load(std::memory_order_relaxed) >= options_.max_states) {
       total.exhausted = true;
@@ -963,6 +987,12 @@ ExploreResult Explorer::run_parallel(std::size_t threads) {
       total.flush_steps += r.flush_steps;
       if (r.buffered_max > total.buffered_max) {
         total.buffered_max = r.buffered_max;
+      }
+      if (r.recycled_allocs > total.recycled_allocs) {
+        total.recycled_allocs = r.recycled_allocs;
+      }
+      if (r.retired_max > total.retired_max) {
+        total.retired_max = r.retired_max;
       }
       total.terminals += r.terminals;
       if (r.max_depth > total.max_depth) total.max_depth = r.max_depth;

@@ -136,6 +136,11 @@ struct ExploreResult {
   std::size_t flush_steps = 0;
   /// High-water mark of total buffered writes over all reached states.
   std::size_t buffered_max = 0;
+  /// Max blocks handed out by the recycler along any reached path
+  /// (0 without WorldConfig::recycle_addresses).
+  std::size_t recycled_allocs = 0;
+  /// High-water mark of the retired-pending set over all reached states.
+  std::size_t retired_max = 0;
   bool exhausted = false;
   /// OR of World::events() over every reached state (reachability beacons).
   std::uint64_t events = 0;

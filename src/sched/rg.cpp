@@ -329,4 +329,69 @@ std::optional<std::string> ExchangerRgAuditor::check_outline(
   return std::nullopt;
 }
 
+// --- ReclaimRgAuditor -----------------------------------------------------
+
+namespace {
+
+/// True iff `block` is still listed (retired or reusable) in `world`.
+bool still_unreclaimed(const World& world, Addr block) {
+  for (const RetiredBlock& r : world.retired()) {
+    if (r.block == block) return true;
+  }
+  for (const auto& [a, n] : world.free_blocks()) {
+    if (a == block) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::string> ReclaimRgAuditor::check_transition(
+    const World& pre, const World& post, ThreadId actor) const {
+  if (!pre.config().recycle_addresses) return std::nullopt;
+
+  if (post.tagged_aba_step()) {
+    return "t" + std::to_string(actor) +
+           "'s CAS/validate succeeded against a recycled generation that "
+           "only tag truncation made congruent (ABA past the tag width)";
+  }
+
+  // Promotion check: a block that left the retired set this step without
+  // landing in the reusable list was handed back to the allocator.
+  if (pre.config().reclaim_policy == runtime::ReclaimPolicy::kTagged) {
+    return std::nullopt;  // reuse-while-referenced is tagged's design
+  }
+  for (const RetiredBlock& r : pre.retired()) {
+    if (still_unreclaimed(post, r.block)) continue;
+    for (const ThreadCtx& t : pre.threads()) {
+      if (t.stage != ThreadStage::kRunning) continue;
+      if (static_cast<std::uint32_t>(t.program) == r.retirer) continue;
+      for (Word w : t.oplog) {
+        if (w != static_cast<Word>(r.block)) continue;
+        return "block " + std::to_string(r.block) +
+               " was recycled while t" + std::to_string(t.tid) +
+               " still holds its address mid-attempt: the protocol should "
+               "have pinned it (dropped protect or cut-short grace period)";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> ReclaimRgAuditor::check_invariant(
+    const World& world) const {
+  if (!world.config().recycle_addresses) return std::nullopt;
+  // Structural consistency: a block must not be simultaneously retired
+  // (awaiting its grace/hazard clearance) and already reusable.
+  for (const RetiredBlock& r : world.retired()) {
+    for (const auto& [a, n] : world.free_blocks()) {
+      if (a == r.block) {
+        return "block " + std::to_string(r.block) +
+               " is both retired-pending and in the reusable list";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace cal::sched

@@ -75,4 +75,35 @@ class ExchangerRgAuditor final : public TransitionAuditor {
   bool check_guarantee_;
 };
 
+/// Rely/guarantee audit of the reclamation layer (the Reclaimer policy
+/// axis under WorldConfig::recycle_addresses): every thread's guarantee
+/// includes "I only unmap blocks no concurrent operation can still
+/// dereference", and every thread relies on exactly that. Two checks:
+///
+///   * Stale-generation admission (kTagged): a CAS or validate succeeded
+///     only because tag truncation made distinct generations congruent —
+///     the tag-width mutant's signature (World::tagged_aba_step).
+///   * Lost protection (kEbr/kHp): a retired block was promoted back to
+///     the allocator while a mid-attempt (kRunning) thread other than its
+///     retirer still holds its address in its oplog — under the protocol
+///     such a thread would have pinned the block (grace bit or hazard
+///     slot), so a promotion under its feet means a protect was dropped
+///     or a grace period was cut short. Skipped under kTagged, where
+///     reuse-while-referenced is the designed behavior. Oplogs are
+///     compared by raw word, so corpora must keep payload values below
+///     the heap base (every shipped corpus does).
+///
+/// Trivially silent without recycle_addresses. Like every auditor it
+/// forces POR/symmetry off, observing each transition.
+class ReclaimRgAuditor final : public TransitionAuditor {
+ public:
+  ReclaimRgAuditor() = default;
+
+  [[nodiscard]] std::optional<std::string> check_transition(
+      const World& pre, const World& post, ThreadId actor) const override;
+
+  [[nodiscard]] std::optional<std::string> check_invariant(
+      const World& world) const override;
+};
+
 }  // namespace cal::sched

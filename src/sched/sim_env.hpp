@@ -123,7 +123,59 @@ class SimEnv {
       world_.note_global_effect();  // atomic drain + RMW, multi-address
     }
     world_.note_yield(StepFootprint::Kind::kUpdate, a);
-    return commit(world_.cas(t_, a, expected, desired, mo) ? 1 : 0) != 0;
+    const bool ok =
+        tagged_recycling()
+            ? world_.reclaim_cas(t_, a, expected, desired, mo)
+            : world_.cas(t_, a, expected, desired, mo);
+    return commit(ok ? 1 : 0) != 0;
+  }
+
+  /// Protected load: under a recycling kHp/kTagged configuration the
+  /// observation is registered with the world's protection state
+  /// (atomically with the read — the sim analogue of the real backends'
+  /// validated publish); everywhere else it is exactly load(), so
+  /// non-recycling state spaces are untouched by the annotations.
+  Word protect(Word block, Word off,
+               objects::MemOrder mo = objects::MemOrder::kSeqCst) {
+    if (!world_.recycling() ||
+        world_.reclaim_policy() == runtime::ReclaimPolicy::kEbr) {
+      return load(block, off, mo);
+    }
+    if (Word logged = 0; replay(logged)) return logged;
+    const Addr a = addr(block, off);
+    world_.note_yield(StepFootprint::Kind::kLoad, a);
+    const Word v = world_.read(t_, a, mo);
+    world_.reclaim_protect(t_, a, v);  // marks the step global
+    return commit(v);
+  }
+
+  /// Tag-widened recheck (objects/env.hpp): constant true (non-yield) for
+  /// EBR/HP, whose protect pins the block instead. Under a recycling
+  /// kTagged configuration it evaluates *fused with the preceding yield
+  /// op* rather than as its own scheduling point: a body that emits an
+  /// element right after a validate (the MS-queue empty path) linearizes
+  /// at the observation the validate retroactively justifies, and an
+  /// extra interleaving point in between would let a concurrent update
+  /// slide its element ahead of the emit in 𝒯 — misplacing a
+  /// linearization the real machine gets right. Logged like a frozen
+  /// read for deterministic replay; the hidden re-read of the validated
+  /// cell marks the step as a global effect so the partial-order
+  /// reduction never sleeps a writer past it.
+  bool validate(Word block, Word off) {
+    if (!tagged_recycling()) return true;
+    if (frozen_cursor_ < t_.frozen.size()) {
+      return t_.frozen[frozen_cursor_++] != 0;
+    }
+    if (replay_only_) throw YieldInterrupt{};
+    world_.note_global_effect();
+    const bool ok = world_.reclaim_validate(t_, addr(block, off));
+    t_.frozen.push_back(ok ? 1 : 0);
+    ++frozen_cursor_;
+    return ok;
+  }
+
+  [[nodiscard]] runtime::ReclaimPolicy reclaim_policy() const noexcept {
+    return world_.reclaim_policy();
   }
 
   Word choose(Word n) {
@@ -139,19 +191,35 @@ class SimEnv {
 
   Word alloc(Word cells) {
     // Logged like a yield op so replays return the same address without
-    // advancing the heap cursor, but consumes no quantum.
+    // advancing the heap cursor (or re-promoting a recycled block), but
+    // consumes no quantum.
     if (cursor_ < t_.oplog.size()) return t_.oplog[cursor_++];
     if (replay_only_) throw YieldInterrupt{};
-    const Addr a = world_.alloc(t_, static_cast<std::size_t>(cells));
+    const Addr a = world_.reclaim_alloc(t_, static_cast<std::size_t>(cells));
     t_.oplog.push_back(static_cast<Word>(a));
     ++cursor_;
     return static_cast<Word>(a);
   }
 
   Word load_frozen(Word block, Word off) {
-    // Frozen cells can no longer change, so re-reading on every
-    // re-execution is deterministic.
-    return world_.read(addr(block, off));
+    // Without recycling, frozen cells can no longer change, so re-reading
+    // on every re-execution is deterministic.
+    if (!world_.recycling()) return world_.read(addr(block, off));
+    // Under recycling the block can be promoted and rewritten after this
+    // attempt observed it (that is the ABA the mode exists to surface), so
+    // the observation is logged: replays — including the respond-step
+    // recovery of the return value — see the recorded word, not the
+    // recycled cell. Logged in ThreadCtx::frozen, not the oplog, and
+    // still quantum-free: the protection protocol, not an extra
+    // interleaving point, is what guards the dereference.
+    if (frozen_cursor_ < t_.frozen.size()) {
+      return t_.frozen[frozen_cursor_++];
+    }
+    if (replay_only_) throw YieldInterrupt{};
+    const Word v = world_.read(addr(block, off));
+    t_.frozen.push_back(v);
+    ++frozen_cursor_;
+    return v;
   }
 
   void store_private(Word block, Word off, Word v) {
@@ -163,11 +231,34 @@ class SimEnv {
     world_.write(addr(block, off), w);  // idempotent across re-executions
   }
 
-  void retire(Word /*block*/, Word /*cells*/) const noexcept {
-    // The simulation never reclaims: addresses stay valid for auditors and
-    // frozen reads, and the bump allocator never reuses them (no ABA).
+  // Reclamation side-effects are non-yield but not idempotent, so they
+  // follow the emit discipline: counted on every re-execution of the
+  // body, performed only the first time the body reaches them
+  // (ThreadCtx::reclaims). Without WorldConfig::recycle_addresses the
+  // world-side calls are no-ops beyond the retire-size check — addresses
+  // stay valid forever, the historical no-ABA mode.
+
+  void release() {
+    if (!reclaim_fresh()) return;
+    world_.reclaim_release(t_);
   }
-  void free_private(Word /*block*/, Word /*cells*/) const noexcept {}
+
+  void retire(Word block, Word cells) {
+    if (!reclaim_fresh()) return;
+    world_.reclaim_retire(t_, static_cast<Addr>(block), cells,
+                          /*grace=*/false);
+  }
+
+  void retire_grace(Word block, Word cells) {
+    if (!reclaim_fresh()) return;
+    world_.reclaim_retire(t_, static_cast<Addr>(block), cells,
+                          /*grace=*/true);
+  }
+
+  void free_private(Word block, Word cells) {
+    if (!reclaim_fresh()) return;
+    world_.reclaim_free(static_cast<Addr>(block), cells);
+  }
 
   void await(Word /*block*/, Word /*off*/, unsigned /*spins*/) const noexcept {
     // Whether a partner arrives "during the wait" is the scheduler's
@@ -198,6 +289,20 @@ class SimEnv {
     return static_cast<Addr>(block + off);
   }
 
+  [[nodiscard]] bool tagged_recycling() const noexcept {
+    return world_.recycling() &&
+           world_.reclaim_policy() == runtime::ReclaimPolicy::kTagged;
+  }
+
+  /// True exactly once per body position per attempt: the emit discipline
+  /// applied to non-yield reclamation side-effects.
+  bool reclaim_fresh() {
+    ++reclaim_seen_;
+    if (reclaim_seen_ <= t_.reclaims) return false;  // already performed
+    t_.reclaims = reclaim_seen_;
+    return !replay_only_;
+  }
+
   /// Replays the next logged result into `out`; false = past the log.
   bool replay(Word& out) {
     if (cursor_ < t_.oplog.size()) {
@@ -220,8 +325,11 @@ class SimEnv {
   ThreadCtx& t_;
   const SimHooks* hooks_;
   bool replay_only_;
-  std::size_t cursor_ = 0;     ///< position in t_.oplog
+  std::size_t cursor_ = 0;        ///< position in t_.oplog
+  std::size_t frozen_cursor_ = 0;  ///< position in t_.frozen (recycling)
   std::uint32_t emit_seen_ = 0;  ///< emits encountered this re-execution
+  /// Reclamation ops encountered this re-execution (see reclaim_fresh).
+  std::uint32_t reclaim_seen_ = 0;
   bool fresh_done_ = false;    ///< this step's quantum already spent
 };
 
@@ -255,7 +363,9 @@ class EnvSimObject : public SimObject {
     if (t.stage == ThreadStage::kIdle) {
       world.invoke(t);
       t.oplog.clear();
+      t.frozen.clear();
       t.emits = 0;
+      t.reclaims = 0;
       t.retries = 0;
       t.stage = ThreadStage::kRunning;
       return StepResult::ran();
@@ -285,7 +395,9 @@ class EnvSimObject : public SimObject {
           world.truncate(t);
         } else {
           t.oplog.clear();  // next step starts a fresh attempt
+          t.frozen.clear();
           t.emits = 0;
+          t.reclaims = 0;
           t.pc = 0;
         }
       } else {

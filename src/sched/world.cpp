@@ -16,6 +16,199 @@ World::World(const WorldConfig& config)
     threads_.push_back(t);
   }
   if (config_->spec != nullptr) view_state_ = config_->spec->initial();
+  if (config.recycle_addresses) {
+    reclaim_.resize(config.programs.size());
+    if (config.reclaim_policy == runtime::ReclaimPolicy::kTagged) {
+      versions_.assign(mem_.size(), 0);
+    }
+  }
+}
+
+// --- simulated reclamation ------------------------------------------------
+
+std::uint64_t World::active_ops_mask() const noexcept {
+  std::uint64_t mask = 0;
+  for (const ThreadCtx& t : threads_) {
+    if (t.op_active) mask |= (1ull << (t.program & 63u));
+  }
+  return mask;
+}
+
+bool World::tag_congruent(std::uint32_t a, std::uint32_t b) const noexcept {
+  const unsigned bits = config_->tag_bits;
+  if (bits >= 32) return a == b;
+  // bits == 0 → mask 0 → every generation congruent (the truncation
+  // mutant: the tag defends nothing).
+  const std::uint32_t mask = (1u << bits) - 1u;
+  return ((a - b) & mask) == 0;
+}
+
+bool World::promotable(const RetiredBlock& r) const noexcept {
+  // Under TSO a retired block could still have stale stores sitting in
+  // some thread's buffer; promotion waits until every buffer is drained
+  // (conservative — see DESIGN.md).
+  if (mem_.model() == MemoryModel::kTso && mem_.buffered_total() != 0) {
+    return false;
+  }
+  if (config_->premature_free) return true;
+  const bool grace =
+      r.grace || config_->reclaim_policy == runtime::ReclaimPolicy::kEbr;
+  if (grace) return r.graced_mask == 0;
+  if (config_->reclaim_policy == runtime::ReclaimPolicy::kHp) {
+    for (const ThreadReclaim& tr : reclaim_) {
+      for (Word h : tr.hazards) {
+        if (h == static_cast<Word>(r.block)) return false;
+      }
+    }
+    return true;
+  }
+  return true;  // kTagged non-grace: generations defend the reuse
+}
+
+void World::recycle_block(Addr block, Word cells) {
+  // Reclamation-state mutations gate other threads' allocations, so the
+  // step never commutes (POR) — and zeroing is a multi-cell write anyway.
+  note_global_effect();
+  for (Word c = 0; c < cells; ++c) {
+    mem_.write(block + static_cast<Addr>(c), 0);
+  }
+  ++recycled_allocs_;
+}
+
+Addr World::reclaim_alloc(const ThreadCtx& t, std::size_t cells) {
+  if (recycling()) {
+    // Freed (never-published / tag-binned) blocks first, then retired
+    // blocks in retirement order: deterministic FIFO reuse, like the real
+    // tagged backend's bins. Only exact size matches (type stability).
+    for (auto it = free_.begin(); it != free_.end(); ++it) {
+      if (it->second != static_cast<Word>(cells)) continue;
+      const Addr block = it->first;
+      free_.erase(it);
+      recycle_block(block, static_cast<Word>(cells));
+      return block;
+    }
+    for (auto it = retired_.begin(); it != retired_.end(); ++it) {
+      if (it->cells != static_cast<Word>(cells) || !promotable(*it)) continue;
+      const Addr block = it->block;
+      retired_.erase(it);
+      recycle_block(block, static_cast<Word>(cells));
+      return block;
+    }
+  }
+  const Addr a = mem_.alloc(static_cast<std::uint32_t>(t.program), cells);
+  alloc_cells_.emplace_back(a, static_cast<Word>(cells));
+  return a;
+}
+
+Word World::alloc_size(Addr block) const noexcept {
+  for (const auto& [a, n] : alloc_cells_) {
+    if (a == block) return n;
+  }
+  return 0;
+}
+
+void World::reclaim_protect(const ThreadCtx& t, Addr cell, Word v) {
+  if (!recycling()) return;
+  note_global_effect();  // gates other threads' promotions
+  ThreadReclaim& tr = reclaim_[t.program];
+  if (config_->reclaim_policy == runtime::ReclaimPolicy::kHp) {
+    tr.hazards[tr.next_slot % tr.hazards.size()] = v;
+    tr.next_slot = (tr.next_slot + 1) % static_cast<std::uint32_t>(
+                                            tr.hazards.size());
+    return;
+  }
+  // kTagged: first record per cell wins (a refresh would be unsound —
+  // runtime/reclaim/tagged.cpp).
+  for (const ProtRecord& r : tr.records) {
+    if (r.cell == cell) return;
+  }
+  const std::uint32_t ver =
+      versions_.empty() ? 0 : versions_[static_cast<std::size_t>(cell)];
+  tr.records.push_back({cell, v, ver});
+}
+
+void World::reclaim_release(const ThreadCtx& t) {
+  if (!recycling()) return;
+  ThreadReclaim& tr = reclaim_[t.program];
+  if (tr.hazards == std::array<Word, 4>{} && tr.next_slot == 0 &&
+      tr.records.empty()) {
+    return;  // nothing held: keep the step pure
+  }
+  note_global_effect();
+  tr.hazards = {};
+  tr.next_slot = 0;
+  tr.records.clear();
+}
+
+bool World::reclaim_validate(const ThreadCtx& t, Addr cell) {
+  const ThreadReclaim& tr = reclaim_[t.program];
+  for (const ProtRecord& r : tr.records) {
+    if (r.cell != cell) continue;
+    if (read(t, cell, objects::MemOrder::kSeqCst) != r.value) return false;
+    const std::uint32_t ver =
+        versions_.empty() ? 0 : versions_[static_cast<std::size_t>(cell)];
+    if (!tag_congruent(ver, r.version)) return false;
+    if (ver != r.version) tagged_aba_ = true;  // truncation admitted this
+    return true;
+  }
+  return true;  // never protected: nothing to validate against
+}
+
+bool World::reclaim_cas(const ThreadCtx& t, Addr a, Word expected,
+                        Word desired, objects::MemOrder mo) {
+  ThreadReclaim& tr = reclaim_[t.program];
+  ProtRecord* rec = nullptr;
+  for (ProtRecord& r : tr.records) {
+    if (r.cell == a) {
+      rec = &r;
+      break;
+    }
+  }
+  if (rec == nullptr) {
+    // Non-protocol cell (no protect preceded): plain value CAS.
+    return cas(t, a, expected, desired, mo);
+  }
+  note_global_effect();  // generation bump gates other threads' CASes
+  const std::uint32_t ver =
+      versions_.empty() ? 0 : versions_[static_cast<std::size_t>(a)];
+  if (!tag_congruent(ver, rec->version)) return false;  // widened mismatch
+  const bool stale = ver != rec->version;
+  if (!cas(t, a, expected, desired, mo)) return false;
+  if (!versions_.empty()) versions_[static_cast<std::size_t>(a)] = ver + 1;
+  if (stale) tagged_aba_ = true;  // ABA the truncated tag failed to stop
+  rec->value = desired;
+  rec->version = ver + 1;
+  return true;
+}
+
+void World::reclaim_retire(const ThreadCtx& t, Addr block, Word cells,
+                           bool grace) {
+  // The retire-size check runs in every mode: retiring a different size
+  // than was allocated corrupts any size-binned reclaimer.
+  const Word sz = alloc_size(block);
+  if (sz != 0 && sz != cells) {
+    report_violation("t" + std::to_string(t.tid) + " retires block " +
+                     std::to_string(block) + " as " + std::to_string(cells) +
+                     " cells but it was allocated with " + std::to_string(sz));
+    return;
+  }
+  if (!recycling()) return;  // addresses stay valid forever
+  note_global_effect();
+  RetiredBlock r;
+  r.block = block;
+  r.cells = cells;
+  r.grace = grace;
+  r.retirer = static_cast<std::uint32_t>(t.program);
+  if (grace || config_->reclaim_policy == runtime::ReclaimPolicy::kEbr) {
+    r.graced_mask = active_ops_mask();
+  }
+  retired_.push_back(r);
+}
+
+void World::reclaim_free(Addr block, Word cells) {
+  if (!recycling()) return;
+  note_global_effect();
+  free_.emplace_back(block, cells);
 }
 
 void World::invoke(ThreadCtx& t) {
@@ -67,9 +260,18 @@ void World::respond(ThreadCtx& t, Value ret) {
   t.pc = 0;
   t.regs = {};
   t.oplog.clear();
+  t.frozen.clear();
   t.emits = 0;
+  t.reclaims = 0;
   t.retries = 0;
   t.stage = ThreadStage::kIdle;
+  if (recycling()) {
+    // The operation interval ends: its grace pin lifts and any leftover
+    // protections drop (exit implies release).
+    reclaim_release(t);
+    const std::uint64_t bit = 1ull << (t.program & 63u);
+    for (RetiredBlock& r : retired_) r.graced_mask &= ~bit;
+  }
 }
 
 std::optional<std::string> World::mark_logged(const Operation& op) {
@@ -176,6 +378,56 @@ void World::encode(std::vector<std::int64_t>& out) const {
   out.push_back(static_cast<std::int64_t>(view_state_.size()));
   out.insert(out.end(), view_state_.begin(), view_state_.end());
   out.push_back(static_cast<std::int64_t>(events_));
+
+  // Reclamation state: part of the configuration iff recycling (retired
+  // sets, protections, and generations all shape future transitions).
+  // Appended last so legacy encodings stay byte-identical.
+  if (config_->recycle_addresses) {
+    for (const ThreadCtx& t : threads_) {
+      // Frozen-read logs exist only under recycling; they are replay
+      // state (future return values depend on them), so they separate
+      // states like the oplog does.
+      out.push_back(static_cast<std::int64_t>(t.frozen.size()));
+      out.insert(out.end(), t.frozen.begin(), t.frozen.end());
+    }
+    for (const ThreadReclaim& tr : reclaim_) {
+      for (Word h : tr.hazards) out.push_back(h);
+      out.push_back(tr.next_slot);
+      out.push_back(static_cast<std::int64_t>(tr.records.size()));
+      for (const ProtRecord& r : tr.records) {
+        out.push_back(static_cast<std::int64_t>(r.cell));
+        out.push_back(r.value);
+        out.push_back(r.version);
+      }
+    }
+    out.push_back(static_cast<std::int64_t>(retired_.size()));
+    for (const RetiredBlock& r : retired_) {
+      out.push_back(static_cast<std::int64_t>(r.block));
+      out.push_back(r.cells);
+      out.push_back(static_cast<std::int64_t>(r.graced_mask));
+      out.push_back((r.grace ? 1 : 0) |
+                    (static_cast<std::int64_t>(r.retirer) << 1));
+    }
+    out.push_back(static_cast<std::int64_t>(free_.size()));
+    for (const auto& [a, n] : free_) {
+      out.push_back(static_cast<std::int64_t>(a));
+      out.push_back(n);
+    }
+    out.push_back(static_cast<std::int64_t>(alloc_cells_.size()));
+    for (const auto& [a, n] : alloc_cells_) {
+      out.push_back(static_cast<std::int64_t>(a));
+      out.push_back(n);
+    }
+    // Generations, sparsely (they only move on protocol-cell CASes).
+    std::int64_t nonzero = 0;
+    for (std::uint32_t v : versions_) nonzero += (v != 0);
+    out.push_back(nonzero);
+    for (std::size_t a = 0; a < versions_.size(); ++a) {
+      if (versions_[a] == 0) continue;
+      out.push_back(static_cast<std::int64_t>(a));
+      out.push_back(versions_[a]);
+    }
+  }
 }
 
 // --- WorldCanon -----------------------------------------------------------
@@ -204,6 +456,11 @@ constexpr std::int64_t kTagTid = 2;  ///< interchangeable thread's tid
 }  // namespace
 
 WorldCanon::WorldCanon(const WorldConfig& config) {
+  // Recycling breaks the segment-ownership premise of the renaming (a
+  // promoted block migrates across thread heaps, and the reclamation
+  // lists hold raw addresses the rewriter does not reach): fall back to
+  // the identity encoding, which is always sound.
+  if (config.recycle_addresses) return;
   threads_ = config.programs.size();
   heap_cells_ = config.heap_cells;
   heaps_base_ = static_cast<Addr>(1 + config.global_cells);

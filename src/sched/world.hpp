@@ -39,6 +39,7 @@
 #include "cal/history.hpp"
 #include "cal/spec.hpp"
 #include "cal/view.hpp"
+#include "runtime/reclaim/reclaimer.hpp"
 #include "sched/sim_memory.hpp"
 
 namespace cal::sched {
@@ -79,7 +80,19 @@ struct ThreadCtx {
   // step re-runs the body, replaying this log and committing exactly one
   // fresh yield operation.
   std::vector<Word> oplog;
+  /// Frozen-read results logged under recycling (sched/sim_env.hpp
+  /// load_frozen): with address reuse a "frozen" cell can be promoted and
+  /// rewritten after the attempt observed it, so replays must return the
+  /// recorded words. Kept out of the oplog so that log stays what the
+  /// reclamation auditor scans: addresses obtained from yield-granularity
+  /// shared observations (plus allocs), not data values read through them.
+  std::vector<Word> frozen;
   std::uint32_t emits = 0;    ///< CA-elements already appended this call
+  /// Non-yield reclamation side-effects (release/retire/free_private)
+  /// already performed this attempt — the emit discipline applied to the
+  /// reclamation layer (sched/sim_env.hpp). Deterministically derived
+  /// from the oplog, so it needs no slot in the state encoding.
+  std::uint32_t reclaims = 0;
   std::uint32_t retries = 0;  ///< attempts already abandoned this call
   ThreadStage stage = ThreadStage::kIdle;
 
@@ -160,6 +173,72 @@ struct WorldConfig {
   /// with a non-empty store buffer, and terminal states require all
   /// buffers drained.
   MemoryModel memory_model = MemoryModel::kSc;
+
+  // --- reclamation / address reuse (the reuse-aware allocator mode) ---
+  /// Recycle retired heap blocks: alloc() reuses the oldest eligible
+  /// retired (or free_private'd) block of the same size before bumping
+  /// the cursor. Off (the default), addresses are never reused — the
+  /// historical no-ABA mode, and the control that shows recycling is
+  /// load-bearing for the ABA mutants. Recycling adds the reclamation
+  /// state to World::encode and deactivates WorldCanon (recycled blocks
+  /// break its segment-ownership value discipline).
+  bool recycle_addresses = false;
+  /// Which backend's protection protocol the simulated Env models when
+  /// recycling: kEbr (protect = plain load; grace = operation intervals),
+  /// kHp (protect publishes a hazard slot), kTagged (protect records the
+  /// cell's generation; CAS/validate compare it tag-widened).
+  runtime::ReclaimPolicy reclaim_policy = runtime::ReclaimPolicy::kEbr;
+  /// Generation-counter width under kTagged: CAS/validate compare
+  /// generations modulo 2^tag_bits. 0 models the tag-width-truncation
+  /// mutant (every generation congruent — the tag defends nothing).
+  unsigned tag_bits = 16;
+  /// Mutant switch: retired blocks become reusable immediately, ignoring
+  /// grace periods and hazard slots (a reclaimer that frees too early).
+  bool premature_free = false;
+};
+
+// --- simulated reclamation state (WorldConfig::recycle_addresses) ---
+
+/// One protect record of the simulated tagged backend: the protected
+/// cell, the value observed, and the cell's generation at observation
+/// time — the side-table analogue of runtime/reclaim/tagged.hpp's packed
+/// tag (simulated cells hold plain values; generations live beside them).
+struct ProtRecord {
+  Addr cell = kNull;
+  Word value = 0;
+  std::uint32_t version = 0;
+
+  friend bool operator==(const ProtRecord&, const ProtRecord&) = default;
+};
+
+/// A retired but not yet reusable block.
+struct RetiredBlock {
+  Addr block = kNull;
+  Word cells = 0;
+  /// Thread indices whose operations were active when the block was
+  /// retired under grace semantics; bits clear as those operations
+  /// respond, and the block becomes reusable when the mask empties.
+  std::uint64_t graced_mask = 0;
+  bool grace = false;  ///< retired via retire_grace (grace under any policy)
+  /// Thread index of the retirer. The protocols let the retirer keep the
+  /// address in its oplog past the retire, so the rely/guarantee
+  /// reclamation auditor exempts it from the stale-reference check.
+  std::uint32_t retirer = 0;
+
+  friend bool operator==(const RetiredBlock&, const RetiredBlock&) = default;
+};
+
+/// Per-thread protection-protocol state.
+struct ThreadReclaim {
+  /// Hazard slots under kHp — same budget and round-robin rotation as the
+  /// real backend (runtime/reclaim/hazard.hpp kSlots).
+  std::array<Word, 4> hazards{};
+  std::uint32_t next_slot = 0;
+  /// Tagged protect records; the first record per cell wins, like the
+  /// real backend (a refresh would be unsound — see tagged.cpp).
+  std::vector<ProtRecord> records;
+
+  friend bool operator==(const ThreadReclaim&, const ThreadReclaim&) = default;
 };
 
 class World {
@@ -223,6 +302,64 @@ class World {
   }
   Addr alloc_global(std::size_t n) { return mem_.alloc_global(n); }
 
+  // --- simulated reclamation (SimEnv-facing; sched/sim_env.hpp) ---
+  [[nodiscard]] bool recycling() const noexcept {
+    return config_->recycle_addresses;
+  }
+  [[nodiscard]] runtime::ReclaimPolicy reclaim_policy() const noexcept {
+    return config_->reclaim_policy;
+  }
+  /// Allocation for Env bodies: under recycling, reuses the oldest
+  /// eligible freed/retired block of exactly `cells` cells (zeroing it)
+  /// before bumping the cursor; always records the block's size for the
+  /// retire-size check.
+  [[nodiscard]] Addr reclaim_alloc(const ThreadCtx& t, std::size_t cells);
+  /// Registers t's protection of `cell` observed holding `v`: a hazard
+  /// slot under kHp, a first-wins generation record under kTagged.
+  void reclaim_protect(const ThreadCtx& t, Addr cell, Word v);
+  /// Drops all of t's protections (the body's release()).
+  void reclaim_release(const ThreadCtx& t);
+  /// Tag-widened recheck under kTagged: true iff `cell` still holds what
+  /// t's protect observed *and* its generation is congruent mod
+  /// 2^tag_bits. Sets the per-step tagged-ABA flag when truncation alone
+  /// made the generations congruent.
+  [[nodiscard]] bool reclaim_validate(const ThreadCtx& t, Addr cell);
+  /// The widened CAS under kTagged: value compare plus generation
+  /// congruence against t's record of the cell; bumps the generation and
+  /// advances the record on success. Falls back to the plain model-aware
+  /// CAS when t holds no record of the cell (non-protocol cell).
+  bool reclaim_cas(const ThreadCtx& t, Addr a, Word expected, Word desired,
+                   objects::MemOrder mo);
+  /// Retires a block (grace = retire_grace semantics). Checks the retired
+  /// size against the allocated size in every mode; feeds the reuse lists
+  /// only under recycling.
+  void reclaim_retire(const ThreadCtx& t, Addr block, Word cells, bool grace);
+  /// Frees a never-published block: immediately reusable under recycling.
+  void reclaim_free(Addr block, Word cells);
+  /// Allocated size of `block` (0 = unknown, e.g. init-time globals).
+  [[nodiscard]] Word alloc_size(Addr block) const noexcept;
+
+  // Read-side accessors for the reclamation auditor and the explorer.
+  [[nodiscard]] const std::vector<RetiredBlock>& retired() const noexcept {
+    return retired_;
+  }
+  [[nodiscard]] const std::vector<std::pair<Addr, Word>>& free_blocks()
+      const noexcept {
+    return free_;
+  }
+  [[nodiscard]] const std::vector<ThreadReclaim>& reclaim_threads()
+      const noexcept {
+    return reclaim_;
+  }
+  /// Transient, per step (cleared by begin_step): a truncated tag admitted
+  /// a stale generation in this step's CAS/validate.
+  [[nodiscard]] bool tagged_aba_step() const noexcept { return tagged_aba_; }
+  /// Blocks handed out by the recycler so far on this path (monotone along
+  /// a schedule; the explorer reports the max over reached states).
+  [[nodiscard]] std::uint32_t recycled_allocs() const noexcept {
+    return recycled_allocs_;
+  }
+
   /// Records the invocation of the thread's current call.
   void invoke(ThreadCtx& t);
   /// Records the response; runs check L2; advances to the next call.
@@ -255,7 +392,10 @@ class World {
 
   // --- step-footprint recording (partial-order reduction) ---
   /// Clears the footprint; the explorer calls this before every step.
-  void begin_step() noexcept { footprint_ = {}; }
+  void begin_step() noexcept {
+    footprint_ = {};
+    tagged_aba_ = false;
+  }
   /// Records the step's single fresh yield operation (SimEnv commit path).
   void note_yield(StepFootprint::Kind kind, Addr a) noexcept {
     footprint_.kind = kind;
@@ -303,16 +443,39 @@ class World {
   /// fails (not executing / mismatched call / already logged / pending).
   [[nodiscard]] std::optional<std::string> mark_logged(const Operation& op);
 
+  /// True iff the retired block may be handed back to the allocator under
+  /// the configured policy right now.
+  [[nodiscard]] bool promotable(const RetiredBlock& r) const noexcept;
+  /// Bitmask of thread indices with an active operation (grace pinning).
+  [[nodiscard]] std::uint64_t active_ops_mask() const noexcept;
+  /// Generation congruence modulo 2^tag_bits.
+  [[nodiscard]] bool tag_congruent(std::uint32_t a,
+                                   std::uint32_t b) const noexcept;
+  /// Zeroes a recycled block's cells and counts the reuse.
+  void recycle_block(Addr block, Word cells);
+
   const WorldConfig* config_;
   SimMemory mem_;
   std::vector<ThreadCtx> threads_;
   SpecState view_state_;
   std::uint64_t events_ = 0;
   StepFootprint footprint_;  ///< transient per-step metadata, not encoded
+  bool tagged_aba_ = false;  ///< transient per-step metadata, not encoded
   std::optional<std::string> violation_;
   History history_;
   CaTrace trace_;
   CaTrace viewed_trace_;
+
+  // Reclamation state (encoded only under recycle_addresses; empty and
+  // inert otherwise, so legacy encodings are byte-identical).
+  std::vector<ThreadReclaim> reclaim_;       ///< per thread index
+  std::vector<RetiredBlock> retired_;        ///< FIFO retirement order
+  std::vector<std::pair<Addr, Word>> free_;  ///< reusable blocks, FIFO
+  /// Per-cell generation counters under kTagged (indexed by address).
+  std::vector<std::uint32_t> versions_;
+  /// Block → allocated size, append-only (the retire-size check).
+  std::vector<std::pair<Addr, Word>> alloc_cells_;
+  std::uint32_t recycled_allocs_ = 0;  ///< path statistic, not encoded
 };
 
 /// Thread-symmetry canonicalizer. Threads running identical programs

@@ -25,7 +25,7 @@
 #include "cal/specs/stack_spec.hpp"
 #include "corpus.hpp"
 #include "objects/exchanger.hpp"
-#include "runtime/ebr.hpp"
+#include "runtime/reclaim/ebr.hpp"
 #include "runtime/recorder.hpp"
 
 namespace cal {

@@ -18,10 +18,14 @@
 #include "cal/cal_checker.hpp"
 #include "cal/specs/exchanger_spec.hpp"
 #include "cal/specs/queue_spec.hpp"
+#include "objects/elimination_stack.hpp"
 #include "objects/exchanger.hpp"
 #include "objects/ms_queue.hpp"
 #include "objects/rendezvous.hpp"
+#include "objects/treiber_stack.hpp"
 #include "runtime/recorder.hpp"
+#include "runtime/reclaim/hazard.hpp"
+#include "runtime/reclaim/tagged.hpp"
 #include "sched/explorer.hpp"
 #include "sched/sim_objects.hpp"
 
@@ -200,6 +204,163 @@ TEST(EnvEquivalence, MsQueueRealHistoriesReproducedBySim) {
   // Both outcomes of the race should show up across 60 real rounds; if
   // this ever flakes, the assertion documents why rather than hiding it.
   EXPECT_TRUE(saw_got || saw_empty);
+}
+
+// --- reclamation-backend differential --------------------------------------
+//
+// The pluggable reclamation layer must be observationally invisible: the
+// same core bodies over EBR, hazard pointers, and tagged pointers must
+// produce only histories the (reclamation-oblivious) simulation already
+// enumerates — the reclaimer changes *when memory is reused*, never what
+// the object does.
+
+std::unique_ptr<runtime::Reclaimer> make_reclaimer(
+    runtime::ReclaimPolicy policy) {
+  switch (policy) {
+    case runtime::ReclaimPolicy::kHp:
+      return std::make_unique<runtime::HpReclaimer>();
+    case runtime::ReclaimPolicy::kTagged:
+      return std::make_unique<runtime::TaggedReclaimer>();
+    case runtime::ReclaimPolicy::kEbr:
+      break;
+  }
+  return std::make_unique<runtime::EbrReclaimer>();
+}
+
+constexpr runtime::ReclaimPolicy kAllPolicies[] = {
+    runtime::ReclaimPolicy::kEbr, runtime::ReclaimPolicy::kHp,
+    runtime::ReclaimPolicy::kTagged};
+
+TEST(EnvEquivalence, MsQueueRealHistoriesReproducedBySimUnderEveryBackend) {
+  auto seq = std::make_shared<QueueSpec>(Symbol{"Q"});
+  SeqAsCaSpec spec(seq);
+  WorldConfig cfg;
+  ThreadProgram enq{0, {Call{0, Symbol{"enq"}, iv(7)}}};
+  ThreadProgram deq{1, {Call{0, Symbol{"deq"}, Value::unit()}}};
+  cfg.programs = {enq, deq};
+  cfg.object_names = {Symbol{"Q"}};
+  cfg.spec = &spec;
+  cfg.heap_cells = 16;
+  cfg.global_cells = 4;
+  std::vector<std::unique_ptr<SimObject>> objects;
+  objects.push_back(std::make_unique<sched::SimMsQueue>(Symbol{"Q"}, 2));
+  const std::vector<History> enumerated = enumerate_sim(cfg, std::move(objects));
+
+  CalChecker checker(spec);
+  for (runtime::ReclaimPolicy policy : kAllPolicies) {
+    for (int round = 0; round < 20; ++round) {
+      std::unique_ptr<runtime::Reclaimer> rec_backend = make_reclaimer(policy);
+      MsQueue q(*rec_backend, Symbol{"Q"});
+      Recorder rec(1 << 10);
+      {
+        std::jthread enqueuer([&] {
+          rec.invoke(0, Symbol{"Q"}, Symbol{"enq"}, iv(7));
+          q.enq(0, 7);
+          rec.respond(0, Symbol{"Q"}, Symbol{"enq"}, Value::boolean(true));
+        });
+        std::jthread dequeuer([&] {
+          rec.invoke(1, Symbol{"Q"}, Symbol{"deq"}, Value::unit());
+          PopResult r = q.deq(1);
+          rec.respond(1, Symbol{"Q"}, Symbol{"deq"},
+                      Value::pair(r.ok, r.value));
+        });
+      }
+      History h = rec.snapshot();
+      ASSERT_TRUE(h.complete());
+      EXPECT_TRUE(checker.check(h))
+          << runtime::reclaim_policy_name(policy) << ":\n" << h.to_string();
+      EXPECT_TRUE(reproduced(h, enumerated))
+          << runtime::reclaim_policy_name(policy)
+          << ": real history not reachable in simulation:\n"
+          << h.to_string();
+    }
+  }
+}
+
+TEST(EnvEquivalence, StackBackendsAgreeAcrossThreadCounts) {
+  // Value-conservation differential at the thread counts the sim cannot
+  // enumerate: under every backend and 1/2/8 threads, the multiset popped
+  // must match the multiset pushed (each thread pushes then pops its own
+  // count), the stack must drain, and the backend's stats ledger must
+  // balance (every retired block is either reclaimed or still pending).
+  // Runs real threads on purpose — this suite is part of the TSan CI job,
+  // which makes the per-backend protect/release protocols race-checked.
+  for (runtime::ReclaimPolicy policy : kAllPolicies) {
+    for (std::size_t nthreads : {1u, 2u, 8u}) {
+      std::unique_ptr<runtime::Reclaimer> rec_backend = make_reclaimer(policy);
+      TreiberStack st(*rec_backend, Symbol{"S"});
+      constexpr int kPerThread = 50;
+      std::vector<std::vector<std::int64_t>> popped(nthreads);
+      {
+        std::vector<std::jthread> ts;
+        for (std::size_t t = 0; t < nthreads; ++t) {
+          ts.emplace_back([&, t] {
+            const auto tid = static_cast<ThreadId>(t);
+            for (int i = 0; i < kPerThread; ++i) {
+              st.push(tid, static_cast<std::int64_t>(t * kPerThread + i));
+            }
+            for (int i = 0; i < kPerThread; ++i) {
+              PopResult r = st.pop(tid);
+              if (r.ok) popped[t].push_back(r.value);
+            }
+          });
+        }
+      }
+      std::vector<std::int64_t> all;
+      for (const auto& p : popped) all.insert(all.end(), p.begin(), p.end());
+      // Pops may observe empty mid-race and give up, so drain the rest.
+      for (PopResult r = st.pop(0); r.ok; r = st.pop(0)) {
+        all.push_back(r.value);
+      }
+      std::sort(all.begin(), all.end());
+      ASSERT_EQ(all.size(), nthreads * kPerThread)
+          << runtime::reclaim_policy_name(policy) << " x" << nthreads;
+      for (std::size_t i = 0; i < all.size(); ++i) {
+        EXPECT_EQ(all[i], static_cast<std::int64_t>(i));
+      }
+      EXPECT_TRUE(st.empty());
+      const runtime::ReclaimStats s = rec_backend->stats();
+      // Every successful pop retired exactly one node.
+      EXPECT_EQ(s.reclaimed_total + s.retired_pending, all.size())
+          << runtime::reclaim_policy_name(policy) << " x" << nthreads;
+      EXPECT_GE(s.retired_high_water, s.retired_pending);
+    }
+  }
+}
+
+TEST(EnvEquivalence, ElimStackBackendsConserveValues) {
+  // The elimination stack's hot path mixes central-stack CASes (retire)
+  // with exchanger offers (retire_grace) — both reclamation entry points
+  // under one object, per backend, on real threads.
+  for (runtime::ReclaimPolicy policy : kAllPolicies) {
+    std::unique_ptr<runtime::Reclaimer> rec_backend = make_reclaimer(policy);
+    EliminationStack es(*rec_backend, Symbol{"ES"}, /*width=*/2);
+    constexpr std::size_t kThreads = 4;
+    constexpr int kPerThread = 25;
+    std::vector<std::vector<std::int64_t>> popped(kThreads);
+    {
+      std::vector<std::jthread> ts;
+      for (std::size_t t = 0; t < kThreads; ++t) {
+        ts.emplace_back([&, t] {
+          const auto tid = static_cast<ThreadId>(t);
+          for (int i = 0; i < kPerThread; ++i) {
+            es.push(tid, static_cast<std::int64_t>(t * kPerThread + i));
+            PopResult r = es.pop(tid);
+            ASSERT_TRUE(r.ok);
+            popped[t].push_back(r.value);
+          }
+        });
+      }
+    }
+    std::vector<std::int64_t> all;
+    for (const auto& p : popped) all.insert(all.end(), p.begin(), p.end());
+    std::sort(all.begin(), all.end());
+    ASSERT_EQ(all.size(), kThreads * kPerThread)
+        << runtime::reclaim_policy_name(policy);
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      EXPECT_EQ(all[i], static_cast<std::int64_t>(i));
+    }
+  }
 }
 
 }  // namespace

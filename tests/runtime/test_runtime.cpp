@@ -5,7 +5,7 @@
 #include <thread>
 #include <vector>
 
-#include "runtime/ebr.hpp"
+#include "runtime/reclaim/ebr.hpp"
 #include "runtime/recorder.hpp"
 #include "runtime/thread_registry.hpp"
 #include "runtime/trace_log.hpp"
@@ -268,7 +268,7 @@ TEST(Ebr, PinnedReaderStallsRepeatedAdvance) {
   EXPECT_GT(ebr.global_epoch(), e0 + 1);
 }
 
-// Regression for the pin() ordering bug (runtime/ebr.cpp): the epoch
+// Regression for the pin() ordering bug (runtime/reclaim/ebr.cpp): the epoch
 // announcement used to be a plain seq_cst store, which TSO may reorder
 // after the pinned section's first shared load — so a concurrent
 // collector could advance twice and reclaim the node a reader had just
@@ -315,6 +315,65 @@ TEST(Ebr, StressReadersNeverSeeReclaimedNodes) {
   }
   delete current.load();
   EXPECT_EQ(torn.load(), 0u);
+}
+
+// Thread churn: short-lived readers acquire dense ids from a registry,
+// pin, read, unpin and exit while a writer keeps swapping and retiring.
+// A released slot is immediately reacquired by the next reader generation,
+// so a stale epoch announcement left behind by a departing thread would
+// either stall reclamation forever or (worse) let the collector advance
+// past a new reader that inherited the slot mid-pin.
+TEST(Ebr, ThreadChurnReusedSlotsStayCoherent) {
+  static constexpr std::int64_t kMagic = 0x5ca1ab1e;
+  struct Node {
+    std::atomic<std::int64_t> magic{kMagic};
+  };
+  ThreadRegistry reg;
+  const ThreadId writer_id = reg.acquire();  // id 0, held for the run
+  EpochDomain ebr;
+  std::atomic<Node*> current{new Node};
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> torn{0};
+  constexpr int kChurners = 3;
+  constexpr int kGenerations = 40;
+  constexpr int kReadsPerLife = 200;
+  constexpr int kSwaps = 6000;
+  {
+    std::vector<std::jthread> ts;
+    for (int c = 0; c < kChurners; ++c) {
+      ts.emplace_back([&] {
+        for (int gen = 0; gen < kGenerations && !stop.load(); ++gen) {
+          ThreadIdGuard slot(reg);  // a fresh life, likely a reused id
+          for (int i = 0; i < kReadsPerLife; ++i) {
+            EpochDomain::Guard g(ebr, slot.tid());
+            Node* n = current.load(std::memory_order_acquire);
+            if (n->magic.load(std::memory_order_relaxed) != kMagic) {
+              torn.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+      });
+    }
+    ts.emplace_back([&] {
+      for (int k = 0; k < kSwaps; ++k) {
+        Node* fresh = new Node;
+        Node* old = current.exchange(fresh, std::memory_order_acq_rel);
+        ebr.retire(writer_id, old, [](void* q) {
+          auto* node = static_cast<Node*>(q);
+          node->magic.store(0, std::memory_order_relaxed);  // poison
+          delete node;
+        });
+      }
+      stop.store(true, std::memory_order_release);
+    });
+  }
+  reg.release(writer_id);
+  delete current.load();
+  EXPECT_EQ(torn.load(), 0u);
+  // No reader is pinned any more: the backlog must drain completely once
+  // the domain collects, proving no departed generation wedged the epoch.
+  for (int i = 0; i < 4; ++i) ebr.collect(writer_id);
+  EXPECT_EQ(ebr.retired_count(), 0u);
 }
 
 }  // namespace

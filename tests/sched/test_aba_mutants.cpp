@@ -1,0 +1,422 @@
+// The ABA mutant corpus: reclamation bugs the checker must catch once the
+// simulated allocator recycles addresses (WorldConfig::recycle_addresses).
+//
+// Three mutants, each a classic way lock-free reclamation goes wrong:
+//
+//   * drop-the-protect — a pop body reads the top with a plain load
+//     instead of protect(), so under hazard pointers nothing pins the
+//     observed node and a concurrent pop/pop/push recycles it under the
+//     reader's feet: the reader's CAS succeeds against the same address
+//     holding a different node (the textbook ABA), corrupting the stack.
+//   * premature free — the reclaimer ignores grace periods and hazard
+//     slots (WorldConfig::premature_free): even the *correct* body
+//     breaks, because its protect discipline assumed the reclaimer's half
+//     of the contract.
+//   * tag-width truncation — the tagged backend's generation counter is
+//     0 bits wide (WorldConfig::tag_bits = 0), so every generation is
+//     congruent and the widened CAS defends nothing.
+//
+// Every mutant must be rejected by the explorer under recycling with a
+// replayable witness and flagged by the reclamation rely/guarantee
+// auditor; the drop-the-protect mutant must be ACCEPTED when recycling is
+// off (the historical no-reuse mode masks it — recycling is load-bearing);
+// and the unmutated bodies must verify under all three backends.
+//
+// The stack corpus starts from a pre-populated stack (top → B(20) → A(10),
+// seeded in init() and mirrored by the spec's initial abstract state) so
+// the two-pops-then-reuse race needs no setup interleavings.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cal/specs/queue_spec.hpp"
+#include "cal/specs/stack_spec.hpp"
+#include "sched/explorer.hpp"
+#include "sched/rg.hpp"
+#include "sched/sim_objects.hpp"
+
+namespace cal::sched {
+namespace {
+
+namespace core = objects::core;
+using objects::MemOrder;
+using runtime::ReclaimPolicy;
+
+Value iv(std::int64_t x) { return Value::integer(x); }
+
+/// CentralStackSpec (final, so wrapped rather than subclassed) whose
+/// initial abstract state matches the seeded concrete stack: A(10) below
+/// B(20) — contents top-last.
+class SeededStackSpec final : public SequentialSpec {
+ public:
+  explicit SeededStackSpec(Symbol object) : inner_(object) {}
+
+  [[nodiscard]] SpecState initial() const override { return {10, 20}; }
+  [[nodiscard]] std::vector<SeqStepResult> step(
+      const SpecState& state, ThreadId tid, Symbol object, Symbol method,
+      const Value& arg, const std::optional<Value>& ret) const override {
+    return inner_.step(state, tid, object, method, arg, ret);
+  }
+
+ private:
+  CentralStackSpec inner_;
+};
+
+/// One pop attempt with the protect dropped: the top read is a plain
+/// load, so no hazard slot or tag record covers h while it is
+/// dereferenced and CASed. Identical to core::stack_pop_attempt in every
+/// other respect — and byte-for-byte indistinguishable from it in a
+/// non-recycling world, where protect *is* load and release is free.
+core::StackPopOutcome pop_attempt_drop_protect(SimEnv& env,
+                                               const core::StackRefs& s,
+                                               Symbol name, ThreadId tid) {
+  static const Symbol kPop{"pop"};
+  auto failed = [&] {
+    return CaElement::singleton(
+        name, Operation::make(tid, name, kPop, Value::unit(),
+                              Value::pair(false, 0)));
+  };
+  const SimEnv::Word h = env.load(s.top, 0, MemOrder::kAcquire);  // MUTANT
+  if (h == objects::kNullRef) {
+    env.emit(failed);
+    return {core::StackPop::kEmpty, 0};
+  }
+  const SimEnv::Word next = env.load_frozen(h, core::kCellNext);
+  if (env.cas(s.top, 0, h, next, MemOrder::kAcqRel)) {
+    const SimEnv::Word v = env.load_frozen(h, core::kCellData);
+    env.retire(h, core::kCellCells);
+    env.emit([&] {
+      return CaElement::singleton(
+          name, Operation::make(tid, name, kPop, Value::unit(),
+                                Value::pair(true, v)));
+    });
+    return {core::StackPop::kGot, v};
+  }
+  env.emit(failed);
+  return {core::StackPop::kLost, 0};
+}
+
+/// The single-attempt central stack seeded with two nodes, optionally
+/// running the drop-the-protect pop body over the same cells.
+class SeededStack final : public EnvSimObject {
+ public:
+  SeededStack(Symbol name, bool drop_protect)
+      : EnvSimObject(0), name_(name), drop_protect_(drop_protect) {}
+
+  void init(World& world) override {
+    refs_.top = world.alloc_global(1);
+    const Addr a = world.alloc_global(core::kCellCells);
+    const Addr b = world.alloc_global(core::kCellCells);
+    world.write(a + core::kCellData, 10);
+    world.write(a + core::kCellNext, objects::kNullRef);
+    world.write(b + core::kCellData, 20);
+    world.write(b + core::kCellNext, static_cast<Word>(a));
+    world.write(static_cast<Addr>(refs_.top), static_cast<Word>(b));
+  }
+
+ protected:
+  [[nodiscard]] Attempt attempt(SimEnv& env, World& world,
+                                ThreadCtx& t) const override {
+    static const Symbol kPush{"push"};
+    const Call& call = current_call(world, t);
+    if (call.method == kPush) {
+      const bool ok = core::stack_push_attempt(env, refs_, name_, t.tid,
+                                               call.arg.as_int());
+      return {Status::kDone, Value::boolean(ok)};
+    }
+    const core::StackPopOutcome r =
+        drop_protect_ ? pop_attempt_drop_protect(env, refs_, name_, t.tid)
+                      : core::stack_pop_attempt(env, refs_, name_, t.tid);
+    if (r.kind == core::StackPop::kGot) {
+      return {Status::kDone, Value::pair(true, r.value)};
+    }
+    return {Status::kDone, Value::pair(false, 0)};
+  }
+
+ private:
+  Symbol name_;
+  bool drop_protect_;
+  core::StackRefs refs_;
+};
+
+/// The ABA witness program: T0 can pause between reading the top and
+/// CASing it while T1 pops both seeded nodes and pushes a fresh value,
+/// recycling the very block T0 observed.
+WorldConfig stack_config(const CaSpec* spec) {
+  WorldConfig cfg;
+  ThreadProgram p0;
+  p0.tid = 0;
+  p0.calls = {Call{0, Symbol{"pop"}, {}}, Call{0, Symbol{"pop"}, {}}};
+  ThreadProgram p1;
+  p1.tid = 1;
+  p1.calls = {Call{0, Symbol{"pop"}, {}}, Call{0, Symbol{"pop"}, {}},
+              Call{0, Symbol{"push"}, iv(30)}};
+  cfg.programs = {p0, p1};
+  cfg.object_names = {Symbol{"S"}};
+  cfg.spec = spec;
+  cfg.record_trace = true;
+  cfg.heap_cells = 16;
+  cfg.global_cells = 8;
+  return cfg;
+}
+
+ExploreResult explore_stack(const WorldConfig& cfg, bool drop_protect,
+                            const TransitionAuditor* auditor = nullptr) {
+  std::vector<std::unique_ptr<SimObject>> objects;
+  objects.push_back(std::make_unique<SeededStack>(Symbol{"S"}, drop_protect));
+  Explorer ex(cfg, std::move(objects));
+  if (auditor != nullptr) ex.set_auditor(auditor);
+  return ex.run();
+}
+
+// --- drop-the-protect ------------------------------------------------------
+
+TEST(AbaMutants, DropProtectUnderHpRecyclingViolatesWithReplayableWitness) {
+  auto seq = std::make_shared<SeededStackSpec>(Symbol{"S"});
+  SeqAsCaSpec spec(seq);
+  WorldConfig cfg = stack_config(&spec);
+  cfg.recycle_addresses = true;
+  cfg.reclaim_policy = ReclaimPolicy::kHp;
+
+  std::vector<std::unique_ptr<SimObject>> objects;
+  objects.push_back(std::make_unique<SeededStack>(Symbol{"S"},
+                                                  /*drop_protect=*/true));
+  Explorer ex(cfg, std::move(objects));
+  ExploreResult r = ex.run();
+  ASSERT_FALSE(r.ok());
+  // The witness replays deterministically to the same violation.
+  const ScheduleViolation& v = r.violations.front();
+  ASSERT_FALSE(v.schedule.empty());
+  World world = ex.replay(v.schedule);
+  ASSERT_TRUE(world.violated());
+  EXPECT_EQ(*world.violation(), v.what);
+}
+
+TEST(AbaMutants, DropProtectFlaggedByReclaimAuditor) {
+  auto seq = std::make_shared<SeededStackSpec>(Symbol{"S"});
+  SeqAsCaSpec spec(seq);
+  WorldConfig cfg = stack_config(&spec);
+  cfg.recycle_addresses = true;
+  cfg.reclaim_policy = ReclaimPolicy::kHp;
+
+  ReclaimRgAuditor auditor;
+  ExploreResult r = explore_stack(cfg, /*drop_protect=*/true, &auditor);
+  ASSERT_FALSE(r.ok());
+  // The audit fires at the promotion itself — before the corrupted stack
+  // ever reaches the specification checks.
+  EXPECT_NE(r.violations.front().what.find("recycled while"),
+            std::string::npos)
+      << r.violations.front().what;
+}
+
+TEST(AbaMutants, DropProtectAcceptedWithoutRecycling) {
+  // The same mutant, same programs, recycling off: without address reuse
+  // a plain load and a protect are indistinguishable, so the exploration
+  // (wrongly, from the real machine's point of view) verifies — the
+  // recycle-aware allocator is load-bearing for this whole corpus.
+  auto seq = std::make_shared<SeededStackSpec>(Symbol{"S"});
+  SeqAsCaSpec spec(seq);
+  WorldConfig cfg = stack_config(&spec);
+  cfg.recycle_addresses = false;
+
+  ExploreResult r = explore_stack(cfg, /*drop_protect=*/true);
+  EXPECT_TRUE(r.ok()) << r.violations.front().what;
+  EXPECT_EQ(r.recycled_allocs, 0u);
+}
+
+// --- premature free --------------------------------------------------------
+
+TEST(AbaMutants, PrematureFreeUnderEbrViolatesWithReplayableWitness) {
+  // The *correct* body over a reclaimer that frees before the grace
+  // period: the EBR pins the body relies on are ignored, the seeded block
+  // recycles mid-read, and the same ABA appears.
+  auto seq = std::make_shared<SeededStackSpec>(Symbol{"S"});
+  SeqAsCaSpec spec(seq);
+  WorldConfig cfg = stack_config(&spec);
+  cfg.recycle_addresses = true;
+  cfg.reclaim_policy = ReclaimPolicy::kEbr;
+  cfg.premature_free = true;
+
+  std::vector<std::unique_ptr<SimObject>> objects;
+  objects.push_back(std::make_unique<SeededStack>(Symbol{"S"},
+                                                  /*drop_protect=*/false));
+  Explorer ex(cfg, std::move(objects));
+  ExploreResult r = ex.run();
+  ASSERT_FALSE(r.ok());
+  const ScheduleViolation& v = r.violations.front();
+  World world = ex.replay(v.schedule);
+  ASSERT_TRUE(world.violated());
+  EXPECT_EQ(*world.violation(), v.what);
+}
+
+TEST(AbaMutants, PrematureFreeFlaggedByReclaimAuditor) {
+  auto seq = std::make_shared<SeededStackSpec>(Symbol{"S"});
+  SeqAsCaSpec spec(seq);
+  WorldConfig cfg = stack_config(&spec);
+  cfg.recycle_addresses = true;
+  cfg.reclaim_policy = ReclaimPolicy::kEbr;
+  cfg.premature_free = true;
+
+  ReclaimRgAuditor auditor;
+  ExploreResult r = explore_stack(cfg, /*drop_protect=*/false, &auditor);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.violations.front().what.find("recycled while"),
+            std::string::npos)
+      << r.violations.front().what;
+}
+
+// --- tag-width truncation --------------------------------------------------
+
+TEST(AbaMutants, TagTruncationUnderTaggedViolates) {
+  // tag_bits = 0: every generation is congruent, the widened CAS degrades
+  // to a plain value compare, and the recycled block slips through. The
+  // tag_bits = 16 control is CorrectStackVerifiesUnderAllBackends below.
+  auto seq = std::make_shared<SeededStackSpec>(Symbol{"S"});
+  SeqAsCaSpec spec(seq);
+  WorldConfig cfg = stack_config(&spec);
+  cfg.recycle_addresses = true;
+  cfg.reclaim_policy = ReclaimPolicy::kTagged;
+  cfg.tag_bits = 0;
+
+  ExploreResult r = explore_stack(cfg, /*drop_protect=*/false);
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(AbaMutants, TagTruncationFlaggedByReclaimAuditor) {
+  auto seq = std::make_shared<SeededStackSpec>(Symbol{"S"});
+  SeqAsCaSpec spec(seq);
+  WorldConfig cfg = stack_config(&spec);
+  cfg.recycle_addresses = true;
+  cfg.reclaim_policy = ReclaimPolicy::kTagged;
+  cfg.tag_bits = 0;
+
+  ReclaimRgAuditor auditor;
+  ExploreResult r = explore_stack(cfg, /*drop_protect=*/false, &auditor);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.violations.front().what.find("tag truncation"),
+            std::string::npos)
+      << r.violations.front().what;
+}
+
+// --- unmutated controls ----------------------------------------------------
+
+TEST(AbaMutants, CorrectStackVerifiesUnderAllBackends) {
+  for (ReclaimPolicy policy :
+       {ReclaimPolicy::kEbr, ReclaimPolicy::kHp, ReclaimPolicy::kTagged}) {
+    auto seq = std::make_shared<SeededStackSpec>(Symbol{"S"});
+    SeqAsCaSpec spec(seq);
+    WorldConfig cfg = stack_config(&spec);
+    cfg.recycle_addresses = true;
+    cfg.reclaim_policy = policy;
+
+    ExploreResult r = explore_stack(cfg, /*drop_protect=*/false);
+    EXPECT_TRUE(r.ok()) << runtime::reclaim_policy_name(policy) << ": "
+                        << r.violations.front().what;
+    if (policy == ReclaimPolicy::kTagged) {
+      // Tagged promotes retired blocks immediately: the witness program
+      // really does recycle, so these controls are not passing vacuously.
+      EXPECT_GT(r.recycled_allocs, 0u);
+    }
+  }
+}
+
+TEST(AbaMutants, CorrectStackCleanUnderReclaimAuditor) {
+  for (ReclaimPolicy policy :
+       {ReclaimPolicy::kEbr, ReclaimPolicy::kHp, ReclaimPolicy::kTagged}) {
+    auto seq = std::make_shared<SeededStackSpec>(Symbol{"S"});
+    SeqAsCaSpec spec(seq);
+    WorldConfig cfg = stack_config(&spec);
+    cfg.recycle_addresses = true;
+    cfg.reclaim_policy = policy;
+
+    ReclaimRgAuditor auditor;
+    ExploreResult r = explore_stack(cfg, /*drop_protect=*/false, &auditor);
+    EXPECT_TRUE(r.ok()) << runtime::reclaim_policy_name(policy) << ": "
+                        << r.violations.front().what;
+  }
+}
+
+TEST(AbaMutants, MsQueueVerifiesUnderAllBackendsWithRecycling) {
+  // The MS-queue control exercises the full protect budget (head, tail,
+  // and next observations live at once) and, under kTagged, the
+  // validate() empty-path recheck that a stripped compare cannot express.
+  for (ReclaimPolicy policy :
+       {ReclaimPolicy::kEbr, ReclaimPolicy::kHp, ReclaimPolicy::kTagged}) {
+    auto seq = std::make_shared<QueueSpec>(Symbol{"Q"});
+    SeqAsCaSpec spec(seq);
+    WorldConfig cfg;
+    ThreadProgram p0;
+    p0.tid = 0;
+    p0.calls = {Call{0, Symbol{"enq"}, iv(7)}, Call{0, Symbol{"deq"}, {}}};
+    ThreadProgram p1;
+    p1.tid = 1;
+    p1.calls = {Call{0, Symbol{"deq"}, {}}, Call{0, Symbol{"enq"}, iv(8)}};
+    cfg.programs = {p0, p1};
+    cfg.object_names = {Symbol{"Q"}};
+    cfg.spec = &spec;
+    cfg.record_trace = true;
+    cfg.heap_cells = 32;
+    cfg.global_cells = 8;
+    cfg.recycle_addresses = true;
+    cfg.reclaim_policy = policy;
+
+    std::vector<std::unique_ptr<SimObject>> objects;
+    objects.push_back(std::make_unique<SimMsQueue>(Symbol{"Q"}, 2));
+    Explorer ex(cfg, std::move(objects));
+    ExploreResult r = ex.run();
+    EXPECT_TRUE(r.ok()) << runtime::reclaim_policy_name(policy) << ": "
+                        << r.violations.front().what;
+  }
+}
+
+// --- retire-size mismatch --------------------------------------------------
+
+/// An object that allocates three cells and retires two of them — the
+/// size-binned-reclaimer corruption the retire contract forbids.
+class ShrinkingRetire final : public EnvSimObject {
+ public:
+  ShrinkingRetire() : EnvSimObject(0) {}
+
+  void init(World& world) override {
+    slot_ = static_cast<SimEnv::Word>(world.alloc_global(1));
+  }
+
+ protected:
+  [[nodiscard]] Attempt attempt(SimEnv& env, World& /*world*/,
+                                ThreadCtx& /*t*/) const override {
+    const SimEnv::Word n = env.alloc(3);
+    env.store(slot_, 0, n);  // publish (the attempt's one yield op)
+    env.retire(n, 2);        // MUTANT: allocated 3, retires 2
+    return {Status::kDone, Value::unit()};
+  }
+
+ private:
+  SimEnv::Word slot_ = 0;
+};
+
+TEST(AbaMutants, RetireSizeMismatchReported) {
+  // The check fires in every mode, recycling or not (a size-binned
+  // reclaimer corrupts either way); run the cheap non-recycling one.
+  WorldConfig cfg;
+  ThreadProgram p0;
+  p0.tid = 0;
+  p0.calls = {Call{0, Symbol{"op"}, {}}};
+  cfg.programs = {p0};
+  cfg.object_names = {Symbol{"X"}};
+  cfg.heap_cells = 8;
+  cfg.global_cells = 4;
+
+  std::vector<std::unique_ptr<SimObject>> objects;
+  objects.push_back(std::make_unique<ShrinkingRetire>());
+  Explorer ex(cfg, std::move(objects));
+  ExploreResult r = ex.run();
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.violations.front().what.find("retires block"),
+            std::string::npos)
+      << r.violations.front().what;
+}
+
+}  // namespace
+}  // namespace cal::sched

@@ -266,16 +266,20 @@ TEST(PorEquivalence, ParallelDriverAgreesUnderReduction) {
 TEST(PorEquivalence, AuditorForcesReductionsOff) {
   ExchangerSpec spec(Symbol{"E"}, Symbol{"exchange"});
   WorldConfig cfg = exchanger_config(&spec, 3, /*symmetric=*/false);
-  SimExchanger machine(Symbol{"E"});
-  ExchangerRgAuditor auditor(machine);
 
+  // Each explorer initializes its own machine instance; the auditor must
+  // watch the instance whose global refs that explorer's world assigned.
   ExploreResult base;
   {
-    Explorer ex(cfg, one_exchanger());
+    auto objects = one_exchanger();
+    ExchangerRgAuditor auditor(static_cast<SimExchanger&>(*objects[0]));
+    Explorer ex(cfg, std::move(objects));
     ex.set_auditor(&auditor);
     base = ex.run();
   }
-  Explorer ex(cfg, one_exchanger(), reduction(true, true));
+  auto objects = one_exchanger();
+  ExchangerRgAuditor auditor(static_cast<SimExchanger&>(*objects[0]));
+  Explorer ex(cfg, std::move(objects), reduction(true, true));
   ex.set_auditor(&auditor);
   ExploreResult r = ex.run();
 

@@ -1,7 +1,8 @@
 // cal-explore — exhaustive schedule exploration from the command line.
 //
-//   cal-explore [--machine exchanger|stack|queue|sb|sb-sc]
+//   cal-explore [--machine exchanger|stack|stack-aba|queue|sb|sb-sc]
 //               [--memory-model sc|tso] [--por] [--symmetry] [--jobs N]
+//               [--recycle] [--reclaimer ebr|hp|tagged] [--tag-bits N]
 //
 // Explores every interleaving of a small built-in program against the
 // corresponding corpus machine (the same Env-parameterized bodies the
@@ -16,6 +17,16 @@
 // canonical SC/TSO separator — VERIFIED under --memory-model sc,
 // VIOLATION under tso. `sb-sc` is the repaired (seq_cst-store) variant,
 // VERIFIED under both.
+//
+// `--recycle` turns on address reuse in the simulated allocator, with
+// `--reclaimer` choosing the reclamation protocol the world enforces
+// (epoch grace periods, hazard-pointer slots, or tagged generations of
+// `--tag-bits` width). The `stack-aba` machine is the reclamation
+// counterpart of the sb litmus: a seeded Treiber-style stack whose pop
+// reads the top with a plain load instead of protect(). Without
+// --recycle the no-reuse heap masks the bug (VERIFIED); with
+// --recycle --reclaimer hp the observed block is recycled mid-attempt
+// and the stale CAS corrupts the stack (VIOLATION).
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -25,6 +36,8 @@
 #include "cal/specs/exchanger_spec.hpp"
 #include "cal/specs/queue_spec.hpp"
 #include "cal/specs/stack_spec.hpp"
+#include "objects/core/stack_core.hpp"
+#include "runtime/reclaim/reclaimer.hpp"
 #include "sched/explorer.hpp"
 #include "sched/sim_env.hpp"
 #include "sched/sim_objects.hpp"
@@ -39,8 +52,9 @@ Value iv(std::int64_t x) { return Value::integer(x); }
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--machine exchanger|stack|queue|sb|sb-sc]\n"
-      "          [--memory-model sc|tso] [--por] [--symmetry] [--jobs N]\n",
+      "usage: %s [--machine exchanger|stack|stack-aba|queue|sb|sb-sc]\n"
+      "          [--memory-model sc|tso] [--por] [--symmetry] [--jobs N]\n"
+      "          [--recycle] [--reclaimer ebr|hp|tagged] [--tag-bits N]\n",
       argv0);
   return 2;
 }
@@ -151,6 +165,121 @@ Setup make_stack() {
   return s;
 }
 
+// --- the reclamation litmus: drop-the-protect stack --------------------- //
+
+/// CentralStackSpec is final; wrap it and seed the abstract state to match
+/// the two concrete nodes init() plants (A(10) below B(20), top-last).
+class SeededStackSpec final : public SequentialSpec {
+ public:
+  explicit SeededStackSpec(Symbol object) : inner_(object) {}
+
+  [[nodiscard]] SpecState initial() const override { return {10, 20}; }
+  [[nodiscard]] std::vector<SeqStepResult> step(
+      const SpecState& state, ThreadId tid, Symbol object, Symbol method,
+      const Value& arg, const std::optional<Value>& ret) const override {
+    return inner_.step(state, tid, object, method, arg, ret);
+  }
+
+ private:
+  CentralStackSpec inner_;
+};
+
+/// core::stack_pop_attempt with the protect dropped: the top read is a
+/// plain load, so nothing pins the observed node while it is dereferenced
+/// and CASed. Indistinguishable from the correct body without --recycle.
+objects::core::StackPopOutcome pop_attempt_drop_protect(
+    SimEnv& env, const objects::core::StackRefs& s, Symbol name,
+    ThreadId tid) {
+  namespace core = objects::core;
+  static const Symbol kPop{"pop"};
+  auto failed = [&] {
+    return CaElement::singleton(
+        name, Operation::make(tid, name, kPop, Value::unit(),
+                              Value::pair(false, 0)));
+  };
+  const SimEnv::Word h =
+      env.load(s.top, 0, objects::MemOrder::kAcquire);  // MUTANT: no protect
+  if (h == objects::kNullRef) {
+    env.emit(failed);
+    return {core::StackPop::kEmpty, 0};
+  }
+  const SimEnv::Word next = env.load_frozen(h, core::kCellNext);
+  if (env.cas(s.top, 0, h, next, objects::MemOrder::kAcqRel)) {
+    const SimEnv::Word v = env.load_frozen(h, core::kCellData);
+    env.retire(h, core::kCellCells);
+    env.emit([&] {
+      return CaElement::singleton(
+          name, Operation::make(tid, name, kPop, Value::unit(),
+                                Value::pair(true, v)));
+    });
+    return {core::StackPop::kGot, v};
+  }
+  env.emit(failed);
+  return {core::StackPop::kLost, 0};
+}
+
+/// Seeded single-attempt central stack running the mutant pop body.
+class SimAbaStack final : public EnvSimObject {
+ public:
+  explicit SimAbaStack(Symbol name) : EnvSimObject(0), name_(name) {}
+
+  void init(World& world) override {
+    namespace core = objects::core;
+    refs_.top = world.alloc_global(1);
+    const Addr a = world.alloc_global(core::kCellCells);
+    const Addr b = world.alloc_global(core::kCellCells);
+    world.write(a + core::kCellData, 10);
+    world.write(a + core::kCellNext, objects::kNullRef);
+    world.write(b + core::kCellData, 20);
+    world.write(b + core::kCellNext, static_cast<Word>(a));
+    world.write(static_cast<Addr>(refs_.top), static_cast<Word>(b));
+  }
+
+ protected:
+  [[nodiscard]] Attempt attempt(SimEnv& env, World& world,
+                                ThreadCtx& t) const override {
+    namespace core = objects::core;
+    static const Symbol kPush{"push"};
+    const Call& call = current_call(world, t);
+    if (call.method == kPush) {
+      const bool ok = core::stack_push_attempt(env, refs_, name_, t.tid,
+                                               call.arg.as_int());
+      return {Status::kDone, Value::boolean(ok)};
+    }
+    const core::StackPopOutcome r =
+        pop_attempt_drop_protect(env, refs_, name_, t.tid);
+    if (r.kind == core::StackPop::kGot) {
+      return {Status::kDone, Value::pair(true, r.value)};
+    }
+    return {Status::kDone, Value::pair(false, 0)};
+  }
+
+ private:
+  Symbol name_;
+  objects::core::StackRefs refs_;
+};
+
+Setup make_aba_stack() {
+  Setup s;
+  auto spec = std::make_shared<SeqAsCaSpec>(
+      std::make_shared<SeededStackSpec>(Symbol{"S"}));
+  ThreadProgram p0;
+  p0.tid = 0;
+  p0.calls = {Call{0, Symbol{"pop"}, {}}, Call{0, Symbol{"pop"}, {}}};
+  ThreadProgram p1;
+  p1.tid = 1;
+  p1.calls = {Call{0, Symbol{"pop"}, {}}, Call{0, Symbol{"pop"}, {}},
+              Call{0, Symbol{"push"}, iv(30)}};
+  s.cfg.programs = {std::move(p0), std::move(p1)};
+  s.cfg.object_names = {Symbol{"S"}};
+  s.cfg.heap_cells = 16;
+  s.cfg.global_cells = 8;
+  s.objects.push_back(std::make_unique<SimAbaStack>(Symbol{"S"}));
+  s.cfg.spec = spec.get();
+  s.spec = std::move(spec);
+  return s;
+}
+
 Setup make_queue() {
   Setup s;
   auto spec =
@@ -187,10 +316,29 @@ Setup make_sb(objects::MemOrder store_order) {
 int main(int argc, char** argv) {
   std::string machine = "exchanger";
   ExploreOptions opts;
+  bool recycle = false;
+  auto policy = runtime::ReclaimPolicy::kEbr;
+  unsigned tag_bits = 16;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--machine" && i + 1 < argc) {
       machine = argv[++i];
+    } else if (arg == "--recycle") {
+      recycle = true;
+    } else if (arg == "--reclaimer" && i + 1 < argc) {
+      const std::string name = argv[++i];
+      if (name == "ebr") {
+        policy = runtime::ReclaimPolicy::kEbr;
+      } else if (name == "hp") {
+        policy = runtime::ReclaimPolicy::kHp;
+      } else if (name == "tagged") {
+        policy = runtime::ReclaimPolicy::kTagged;
+      } else {
+        std::fprintf(stderr, "unknown reclaimer '%s'\n", name.c_str());
+        return usage(argv[0]);
+      }
+    } else if (arg == "--tag-bits" && i + 1 < argc) {
+      tag_bits = static_cast<unsigned>(std::atol(argv[++i]));
     } else if (arg == "--memory-model" && i + 1 < argc) {
       const std::string model = argv[++i];
       if (model == "sc") {
@@ -217,6 +365,8 @@ int main(int argc, char** argv) {
     s = make_exchanger();
   } else if (machine == "stack") {
     s = make_stack();
+  } else if (machine == "stack-aba") {
+    s = make_aba_stack();
   } else if (machine == "queue") {
     s = make_queue();
   } else if (machine == "sb") {
@@ -228,6 +378,9 @@ int main(int argc, char** argv) {
     return usage(argv[0]);
   }
   s.cfg.record_trace = true;
+  s.cfg.recycle_addresses = recycle;
+  s.cfg.reclaim_policy = policy;
+  s.cfg.tag_bits = tag_bits;
 
   Explorer explorer(s.cfg, std::move(s.objects), opts);
   const ExploreResult r = explorer.run();
@@ -242,6 +395,12 @@ int main(int argc, char** argv) {
               r.symmetry_merged);
   std::printf("flush steps: %zu, buffered high-water: %zu\n", r.flush_steps,
               r.buffered_max);
+  if (recycle) {
+    std::printf("reclaimer: %s, recycled allocs: %zu, "
+                "retired high-water: %zu\n",
+                runtime::reclaim_policy_name(policy), r.recycled_allocs,
+                r.retired_max);
+  }
   if (r.ok()) {
     std::printf("VERIFIED: no violation in any interleaving\n");
     return 0;
